@@ -1,0 +1,107 @@
+// Command realtracker streams one or more RealVideo clips from the
+// simulated testbed and records application-layer statistics, mirroring
+// the paper's RealTracker tool (an instrumented RealPlayer).
+//
+// Usage:
+//
+//	realtracker [-seed N] [-clip set/R-class] [-playlist "1/R-h,5/R-l"] [-csv out.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"turbulence/internal/core"
+	"turbulence/internal/eventsim"
+	"turbulence/internal/media"
+	"turbulence/internal/tracker"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed")
+	clip := flag.String("clip", "5/R-l", "clip reference (set/R-class, e.g. 1/R-h)")
+	playlist := flag.String("playlist", "", "comma-separated clip refs; overrides -clip")
+	csvPath := flag.String("csv", "", "write per-second samples to this CSV file")
+	flag.Parse()
+
+	refs := []string{*clip}
+	if *playlist != "" {
+		refs = strings.Split(*playlist, ",")
+	}
+	reports, err := runPlaylist(*seed, refs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "realtracker:", err)
+		os.Exit(1)
+	}
+	for _, r := range reports {
+		fmt.Println(r)
+		fmt.Printf("  startup=%v playFrames=%d/%d recovered=%d loss=%.2f%%\n",
+			r.StartupDelay(), r.FramesPlayed, r.FramesExpected, r.PacketsRecovered, r.LossRate()*100)
+	}
+	if *csvPath != "" && len(reports) > 0 {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "realtracker:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		for _, r := range reports {
+			if err := r.WriteCSV(f); err != nil {
+				fmt.Fprintln(os.Stderr, "realtracker:", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Println("wrote", *csvPath)
+	}
+}
+
+func runPlaylist(seed int64, refs []string) ([]*tracker.Report, error) {
+	tb := core.NewTestbed(seed)
+	var horizon float64 = 30
+	for i, ref := range refs {
+		refs[i] = strings.TrimSpace(ref)
+		clip, ok := findByRef(refs[i])
+		if !ok {
+			return nil, fmt.Errorf("unknown RealVideo clip %q", ref)
+		}
+		horizon += clip.Duration.Seconds() + 90
+	}
+	var reports []*tracker.Report
+	var chain func(i int)
+	chain = func(i int) {
+		if i >= len(refs) {
+			return
+		}
+		set := setOf(refs[i])
+		site := tb.Site(set)
+		tracker.StartRealTracker(tb.Client, site.RDT, refs[i], 5101, 5102, func(r *tracker.Report) {
+			reports = append(reports, r)
+			chain(i + 1)
+		})
+	}
+	chain(0)
+	if err := tb.Net.Run(eventsim.At(horizon)); err != nil {
+		return nil, err
+	}
+	if len(reports) != len(refs) {
+		return reports, fmt.Errorf("only %d/%d playlist entries completed", len(reports), len(refs))
+	}
+	return reports, nil
+}
+
+func findByRef(ref string) (media.Clip, bool) {
+	for _, c := range media.AllClips() {
+		if c.Name() == ref && c.Format == media.Real {
+			return c, true
+		}
+	}
+	return media.Clip{}, false
+}
+
+func setOf(ref string) int {
+	var set int
+	fmt.Sscanf(ref, "%d/", &set)
+	return set
+}

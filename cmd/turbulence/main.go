@@ -1,0 +1,141 @@
+// Command turbulence regenerates the paper's tables and figures from the
+// simulated testbed.
+//
+// Usage:
+//
+//	turbulence [-seed N] [-experiment id] [-list] [-points]
+//
+// With no -experiment it runs everything, printing each artifact's rows,
+// series summaries and headline notes. -points includes full series data
+// (suitable for piping into a plotting tool).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"turbulence"
+)
+
+func main() {
+	seed := flag.Int64("seed", 2002, "base random seed (runs are deterministic per seed)")
+	experiment := flag.String("experiment", "", "run a single experiment id (default: all)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	points := flag.Bool("points", false, "print full series point data")
+	csvDir := flag.String("csv", "", "also write each experiment's series/rows as CSV files into this directory")
+	flag.Parse()
+
+	if *list {
+		for _, id := range turbulence.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := turbulence.ExperimentIDs()
+	if *experiment != "" {
+		ids = []string{*experiment}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "turbulence:", err)
+			os.Exit(1)
+		}
+	}
+	ctx := turbulence.NewExperimentContext(*seed)
+	for _, id := range ids {
+		res, err := turbulence.RunExperiment(ctx, id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "turbulence: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		print_(res, *points)
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, res); err != nil {
+				fmt.Fprintf(os.Stderr, "turbulence: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// writeCSV emits one file per experiment: table rows first (if any), then
+// each series as x,y pairs under a "# series <name>" banner — trivially
+// splittable for gnuplot or a spreadsheet.
+func writeCSV(dir string, res *turbulence.Result) error {
+	f, err := os.Create(dir + "/" + res.ID + ".csv")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "# %s: %s\n", res.ID, res.Title)
+	if len(res.Columns) > 0 {
+		fmt.Fprintln(f, strings.Join(res.Columns, ","))
+		for _, row := range res.Rows {
+			fmt.Fprintln(f, strings.Join(row, ","))
+		}
+	}
+	for _, s := range res.Series {
+		fmt.Fprintf(f, "# series %s\n", s.Name)
+		for _, p := range s.Points {
+			fmt.Fprintf(f, "%g,%g\n", p.X, p.Y)
+		}
+	}
+	for _, n := range res.Notes {
+		fmt.Fprintf(f, "# note: %s\n", n)
+	}
+	return nil
+}
+
+func print_(res *turbulence.Result, points bool) {
+	if points {
+		fmt.Print(res.String())
+		fmt.Println()
+		return
+	}
+	// Compact view: table rows and notes, series summarised.
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", res.ID, res.Title)
+	if len(res.Columns) > 0 {
+		fmt.Fprintf(&b, "%s\n", strings.Join(res.Columns, " | "))
+		for _, row := range res.Rows {
+			fmt.Fprintf(&b, "%s\n", strings.Join(row, " | "))
+		}
+	}
+	for _, s := range res.Series {
+		if len(s.Points) == 0 {
+			fmt.Fprintf(&b, "series %-40s  (empty)\n", s.Name)
+			continue
+		}
+		first, last := s.Points[0], s.Points[len(s.Points)-1]
+		fmt.Fprintf(&b, "series %-40s  %d points, x:[%.3g..%.3g] y:[%.3g..%.3g]\n",
+			s.Name, len(s.Points), first.X, last.X, minY(s.Points), maxY(s.Points))
+	}
+	for _, n := range res.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	b.WriteString("\n")
+	fmt.Print(b.String())
+}
+
+func minY(pts []turbulence.Point) float64 {
+	m := pts[0].Y
+	for _, p := range pts {
+		if p.Y < m {
+			m = p.Y
+		}
+	}
+	return m
+}
+
+func maxY(pts []turbulence.Point) float64 {
+	m := pts[0].Y
+	for _, p := range pts {
+		if p.Y > m {
+			m = p.Y
+		}
+	}
+	return m
+}

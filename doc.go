@@ -1,0 +1,29 @@
+// Package turbulence reproduces "MediaPlayer versus RealPlayer — A
+// Comparison of Network Turbulence" (Li, Claypool, Kinicki; WPI 2002) as a
+// runnable system: a deterministic discrete-event network testbed,
+// behavioural models of the two 2002 commercial streaming stacks, the
+// paper's measurement tools (MediaTracker, RealTracker, a packet sniffer,
+// ping and tracert), the turbulence analysis that produces every table and
+// figure of the evaluation, and the Section IV synthetic flow generator.
+//
+// # Quick start
+//
+//	run, err := turbulence.RunPair(2002, 1, turbulence.High)
+//	if err != nil { ... }
+//	cmp := turbulence.Compare(run)
+//	fmt.Println("WMP:", cmp.WMP)   // CBR, fragmented at high rates
+//	fmt.Println("Real:", cmp.Real) // VBR, buffering burst, never fragments
+//
+// Every run is seeded: identical (seed, set, class) triples produce
+// byte-identical traces.
+//
+// # Layout
+//
+// The facade re-exports the pieces most programs need. The full substrate
+// lives under internal/: eventsim (discrete-event engine), stats, inet
+// (IPv4/UDP codecs + fragmentation), netsim (links, hops, hosts), capture
+// (sniffer, trace files, display filters), media (Table 1 clip library),
+// wms and rdt (the two player stacks), tracker (instrumented players),
+// probe (ping/tracert), core (testbed + analysis + generator), and
+// experiments (one generator per paper table/figure).
+package turbulence

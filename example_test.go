@@ -1,0 +1,74 @@
+package turbulence_test
+
+import (
+	"fmt"
+	"time"
+
+	"turbulence"
+)
+
+// ExampleRunPair runs the paper's unit experiment and prints the headline
+// contrast between the two players.
+func ExampleRunPair() {
+	run, err := turbulence.RunPair(2002, 1, turbulence.High)
+	if err != nil {
+		panic(err)
+	}
+	cmp := turbulence.Compare(run)
+	fmt.Printf("WMP CBR: %t, fragments: %t\n", cmp.WMP.CBR, cmp.WMP.FragShare > 0)
+	fmt.Printf("Real CBR: %t, fragments: %t\n", cmp.Real.CBR, cmp.Real.FragShare > 0)
+	// Output:
+	// WMP CBR: true, fragments: true
+	// Real CBR: false, fragments: false
+}
+
+// ExampleCompileFilter shows the Ethereal-style display-filter language.
+func ExampleCompileFilter() {
+	run, err := turbulence.RunPair(2002, 1, turbulence.High)
+	if err != nil {
+		panic(err)
+	}
+	fullFragments, err := turbulence.CompileFilter("ip.contfrag && size == 1514")
+	if err != nil {
+		panic(err)
+	}
+	sub := fullFragments.Apply(run.Trace)
+	fmt.Printf("matched MTU-sized continuation fragments: %t\n", sub.Len() > 0)
+	for i := range sub.Records {
+		if !sub.Records[i].IsContinuationFragment() || sub.Records[i].WireLen != 1514 {
+			fmt.Println("filter leaked a non-matching record")
+		}
+	}
+	// Output:
+	// matched MTU-sized continuation fragments: true
+}
+
+// ExampleFitModel demonstrates the Section IV recipe: fit a flow model
+// from a measurement, then generate synthetic traffic with the same
+// turbulence.
+func ExampleFitModel() {
+	run, err := turbulence.RunPair(2002, 1, turbulence.High)
+	if err != nil {
+		panic(err)
+	}
+	model := turbulence.FitModel(run.WMPFlow)
+	synthetic := turbulence.GenerateFlow(model, turbulence.NewRNG(1), 30*time.Second, run.WMPFlow.Flow)
+	prof := turbulence.ProfileFlow(synthetic.SplitFlows()[0])
+	fmt.Printf("synthetic flow is CBR: %t, fragmented: %t\n", prof.CBR, prof.FragShare > 0.5)
+	// Output:
+	// synthetic flow is CBR: true, fragmented: true
+}
+
+// ExampleLibrary lists the Table 1 data sets.
+func ExampleLibrary() {
+	for _, set := range turbulence.Library() {
+		fmt.Printf("set %d: %s, %d clips\n", set.Set, set.Content, len(set.Clips()))
+	}
+	// Output:
+	// set 1: Sports, 4 clips
+	// set 2: Commercial, 4 clips
+	// set 3: Sports, 4 clips
+	// set 4: Music TV, 4 clips
+	// set 5: News, 4 clips
+	// set 6: Movie clip, 6 clips
+}

@@ -1,0 +1,49 @@
+// Congested explores the paper's future-work question (§VI): how do the
+// two players behave when the path is bandwidth constrained? It re-runs
+// the set 1 high pair (demand ~750 Kbps: 323 Kbps WMP CBR plus Real's
+// burst) while shrinking the site bottleneck from comfortable to
+// starvation, and reports loss, recovery and frame-rate damage — the
+// starting point for the TCP-friendliness study the paper proposes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"turbulence"
+)
+
+func main() {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "bottleneck\tplayer\tloss%\trecovered\tfps\tfps/encoded\tReal burst x")
+	for _, kbps := range []float64{900, 700, 550, 420} {
+		run, err := turbulence.RunPairWith(3001, 1, turbulence.High, turbulence.Options{
+			BottleneckBps: kbps * 1000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rc, wc := run.Clips()
+		burst := run.Real.AvgPlaybackBps / rc.EncodedBps()
+		fmt.Fprintf(w, "%.0fK\tReal\t%.2f\t%d\t%.1f\t%.2f\t%.2f\n",
+			kbps, run.Real.LossRate()*100, run.Real.PacketsRecovered,
+			run.Real.AvgFPS, run.Real.AvgFPS/rc.FrameRate(), burst)
+		fmt.Fprintf(w, "%.0fK\tWMP\t%.2f\t%d\t%.1f\t%.2f\t\n",
+			kbps, run.WMP.LossRate()*100, run.WMP.PacketsRecovered,
+			run.WMP.AvgFPS, run.WMP.AvgFPS/wc.FrameRate())
+	}
+	w.Flush()
+
+	fmt.Println("\nObservations:")
+	fmt.Println("  - Real's SETUP bandwidth probe senses the narrower bottleneck and")
+	fmt.Println("    shrinks its buffering burst toward 1x — it degrades gracefully by")
+	fmt.Println("    surrendering its startup advantage first.")
+	fmt.Println("  - WMP's CBR pacer is oblivious to the path: once demand exceeds the")
+	fmt.Println("    bottleneck its fragments queue and drop, and one lost fragment")
+	fmt.Println("    discards the whole application frame (the §3.C goodput hazard), so")
+	fmt.Println("    frame rate collapses faster than raw loss suggests.")
+	fmt.Println("  - Neither player reduces its send rate under sustained loss: both are")
+	fmt.Println("    unresponsive flows in the paper's sense.")
+}

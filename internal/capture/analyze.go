@@ -1,0 +1,246 @@
+package capture
+
+import (
+	"sort"
+	"time"
+
+	"turbulence/internal/inet"
+	"turbulence/internal/stats"
+)
+
+// FlowTrace is the slice of a trace belonging to one UDP flow, with
+// continuation fragments attributed to the flow via their IP ID (a sniffer
+// sees no ports on non-first fragments; the paper's Ethereal resolved them
+// the same way).
+type FlowTrace struct {
+	Flow    inet.Flow
+	Records []Record
+}
+
+// SplitFlows partitions received UDP records into flows. Records are
+// assumed time-ordered (as captured). Fragment trains are attributed to the
+// flow of their first fragment by (src, dst, IP ID).
+func (t *Trace) SplitFlows() []*FlowTrace {
+	type trainKey struct {
+		src, dst inet.Addr
+		id       uint16
+	}
+	byFlow := make(map[inet.Flow]*FlowTrace)
+	var order []inet.Flow
+	trains := make(map[trainKey]inet.Flow)
+	for i := range t.Records {
+		r := &t.Records[i]
+		if r.Proto != inet.ProtoUDP && r.Proto != inet.ProtoTCP {
+			continue
+		}
+		var flow inet.Flow
+		if r.HasPorts {
+			flow, _ = r.Flow()
+			if r.IsFragment() {
+				trains[trainKey{r.Src, r.Dst, r.IPID}] = flow
+			}
+		} else {
+			var ok bool
+			flow, ok = trains[trainKey{r.Src, r.Dst, r.IPID}]
+			if !ok {
+				continue // orphan fragment; first never seen
+			}
+		}
+		ft := byFlow[flow]
+		if ft == nil {
+			ft = &FlowTrace{Flow: flow}
+			byFlow[flow] = ft
+			order = append(order, flow)
+		}
+		ft.Records = append(ft.Records, *r)
+	}
+	out := make([]*FlowTrace, 0, len(order))
+	for _, f := range order {
+		out = append(out, byFlow[f])
+	}
+	return out
+}
+
+// FlowTo returns the flow trace whose destination port matches, or nil.
+// Streaming experiments key flows by their well-known data port.
+func (t *Trace) FlowTo(dstPort inet.Port) *FlowTrace {
+	for _, ft := range t.SplitFlows() {
+		if ft.Flow.Dst.Port == dstPort {
+			return ft
+		}
+	}
+	return nil
+}
+
+// Len reports the number of wire packets in the flow.
+func (f *FlowTrace) Len() int { return len(f.Records) }
+
+// PacketSizes returns the wire sizes in bytes of every packet, the sample
+// behind the paper's Figure 6/7 PDFs.
+func (f *FlowTrace) PacketSizes() []float64 {
+	out := make([]float64, len(f.Records))
+	for i := range f.Records {
+		out[i] = float64(f.Records[i].WireLen)
+	}
+	return out
+}
+
+// Interarrivals returns successive packet spacing in seconds (Figure 8).
+func (f *FlowTrace) Interarrivals() []float64 {
+	if len(f.Records) < 2 {
+		return nil
+	}
+	out := make([]float64, 0, len(f.Records)-1)
+	for i := 1; i < len(f.Records); i++ {
+		out = append(out, (f.Records[i].At - f.Records[i-1].At).Seconds())
+	}
+	return out
+}
+
+// GroupInterarrivals returns the spacing between the *first packets* of
+// successive datagrams, collapsing fragment trains into one arrival. The
+// paper uses exactly this reduction for high-rate MediaPlayer clips in
+// Figure 9 "to remove the noise caused by the IP fragments".
+func (f *FlowTrace) GroupInterarrivals() []float64 {
+	var firsts []time.Duration
+	for i := range f.Records {
+		if f.Records[i].FragOff == 0 { // whole datagram or first fragment
+			firsts = append(firsts, f.Records[i].At)
+		}
+	}
+	if len(firsts) < 2 {
+		return nil
+	}
+	out := make([]float64, 0, len(firsts)-1)
+	for i := 1; i < len(firsts); i++ {
+		out = append(out, (firsts[i] - firsts[i-1]).Seconds())
+	}
+	return out
+}
+
+// FragmentStats summarises fragmentation in a flow.
+type FragmentStats struct {
+	Packets       int // wire packets
+	Datagrams     int // distinct application datagrams (FragOff == 0)
+	Continuations int // non-first fragments (Ethereal's "IP fragments")
+	AnyFragment   int // packets carrying any fragment flag/offset
+}
+
+// ContinuationShare is the Figure 5 metric: the fraction of wire packets
+// that are continuation fragments.
+func (s FragmentStats) ContinuationShare() float64 {
+	if s.Packets == 0 {
+		return 0
+	}
+	return float64(s.Continuations) / float64(s.Packets)
+}
+
+// Fragmentation computes the flow's fragment statistics.
+func (f *FlowTrace) Fragmentation() FragmentStats {
+	var s FragmentStats
+	s.Packets = len(f.Records)
+	for i := range f.Records {
+		r := &f.Records[i]
+		if r.FragOff == 0 {
+			s.Datagrams++
+		} else {
+			s.Continuations++
+		}
+		if r.IsFragment() {
+			s.AnyFragment++
+		}
+	}
+	return s
+}
+
+// BandwidthSeries reduces the flow into a bits-per-second curve with the
+// given bucket width (Figure 10 uses one-second buckets).
+func (f *FlowTrace) BandwidthSeries(bucket time.Duration) []stats.Point {
+	var ts stats.TimeSeries
+	for i := range f.Records {
+		ts.Add(f.Records[i].At, float64(f.Records[i].WireLen*8))
+	}
+	return ts.RateSeries(bucket)
+}
+
+// AverageRate returns the flow's mean throughput in bits/second across its
+// active duration (first to last packet).
+func (f *FlowTrace) AverageRate() float64 {
+	if len(f.Records) < 2 {
+		return 0
+	}
+	var bits float64
+	for i := range f.Records {
+		bits += float64(f.Records[i].WireLen * 8)
+	}
+	span := (f.Records[len(f.Records)-1].At - f.Records[0].At).Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return bits / span
+}
+
+// SequencePoints returns (time, packet index) points for an arrival window,
+// reproducing Figure 4's sequence-number-versus-time view. Indexing starts
+// at the first packet of the flow so concurrent flows can be overlaid.
+func (f *FlowTrace) SequencePoints(from, to time.Duration) []stats.Point {
+	var out []stats.Point
+	for i := range f.Records {
+		at := f.Records[i].At
+		if at >= from && at < to {
+			out = append(out, stats.Point{X: at.Seconds(), Y: float64(i)})
+		}
+	}
+	return out
+}
+
+// TrainLengths returns the wire-packet count of each datagram's fragment
+// train, in arrival order: 1 for unfragmented datagrams.
+func (f *FlowTrace) TrainLengths() []int {
+	var out []int
+	count := 0
+	for i := range f.Records {
+		if f.Records[i].FragOff == 0 {
+			if count > 0 {
+				out = append(out, count)
+			}
+			count = 1
+		} else {
+			count++
+		}
+	}
+	if count > 0 {
+		out = append(out, count)
+	}
+	return out
+}
+
+// Window narrows the flow trace to records in [from, to).
+func (f *FlowTrace) Window(from, to time.Duration) *FlowTrace {
+	out := &FlowTrace{Flow: f.Flow}
+	for i := range f.Records {
+		if at := f.Records[i].At; at >= from && at < to {
+			out.Records = append(out.Records, f.Records[i])
+		}
+	}
+	return out
+}
+
+// DistinctSizes returns the sorted distinct wire sizes and their counts;
+// useful to assert the CBR "all packets the same size" property.
+func (f *FlowTrace) DistinctSizes() ([]int, []int) {
+	counts := make(map[int]int)
+	for i := range f.Records {
+		counts[f.Records[i].WireLen]++
+	}
+	sizes := make([]int, 0, len(counts))
+	for sz := range counts {
+		sizes = append(sizes, sz)
+	}
+	sort.Ints(sizes)
+	ns := make([]int, len(sizes))
+	for i, sz := range sizes {
+		ns[i] = counts[sz]
+	}
+	return sizes, ns
+}

@@ -1,0 +1,390 @@
+package capture
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"turbulence/internal/inet"
+)
+
+// Filter is a compiled display-filter expression, in the spirit of
+// Ethereal's filter language, evaluated against captured records.
+//
+// Grammar (precedence low to high):
+//
+//	expr   := or
+//	or     := and ( "||" and )*
+//	and    := not ( "&&" not )*
+//	not    := "!" not | primary
+//	primary:= "(" expr ")" | comparison | flag
+//	comparison := field op value
+//	op     := "==" | "!=" | "<" | "<=" | ">" | ">="
+//
+// Fields: ip.src, ip.dst (dotted quad), ip.proto ("udp"/"icmp"/"tcp" or a
+// number), ip.id, ip.len, ip.fragoff, udp.srcport, udp.dstport, udp.port
+// (either), size (wire bytes), time (seconds). Flags: ip.frag (any
+// fragment), ip.contfrag (continuation fragment), ip.mf, recv, send.
+type Filter struct {
+	root node
+	src  string
+}
+
+// Compile parses a filter expression.
+func Compile(expr string) (*Filter, error) {
+	toks, err := lex(expr)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	n, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("capture: trailing tokens at %q", p.peek().text)
+	}
+	return &Filter{root: n, src: expr}, nil
+}
+
+// String returns the original expression.
+func (f *Filter) String() string { return f.src }
+
+// Match evaluates the filter against one record.
+func (f *Filter) Match(r *Record) bool { return f.root.eval(r) }
+
+// Apply returns the sub-trace matching the filter.
+func (f *Filter) Apply(t *Trace) *Trace { return t.Filter(f.Match) }
+
+// --- lexer ---
+
+type tokKind int
+
+const (
+	tokField tokKind = iota
+	tokNumber
+	tokString
+	tokOp     // comparison operators
+	tokAndAnd // &&
+	tokOrOr   // ||
+	tokBang   // !
+	tokLParen
+	tokRParen
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func lex(s string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "("})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")"})
+			i++
+		case c == '&':
+			if i+1 >= len(s) || s[i+1] != '&' {
+				return nil, fmt.Errorf("capture: lone '&' at %d", i)
+			}
+			toks = append(toks, token{tokAndAnd, "&&"})
+			i += 2
+		case c == '|':
+			if i+1 >= len(s) || s[i+1] != '|' {
+				return nil, fmt.Errorf("capture: lone '|' at %d", i)
+			}
+			toks = append(toks, token{tokOrOr, "||"})
+			i += 2
+		case c == '!':
+			if i+1 < len(s) && s[i+1] == '=' {
+				toks = append(toks, token{tokOp, "!="})
+				i += 2
+			} else {
+				toks = append(toks, token{tokBang, "!"})
+				i++
+			}
+		case c == '=':
+			if i+1 >= len(s) || s[i+1] != '=' {
+				return nil, fmt.Errorf("capture: lone '=' at %d (use ==)", i)
+			}
+			toks = append(toks, token{tokOp, "=="})
+			i += 2
+		case c == '<' || c == '>':
+			op := string(c)
+			i++
+			if i < len(s) && s[i] == '=' {
+				op += "="
+				i++
+			}
+			toks = append(toks, token{tokOp, op})
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(s) && (s[j] >= '0' && s[j] <= '9' || s[j] == '.') {
+				j++
+			}
+			text := s[i:j]
+			if strings.Count(text, ".") >= 3 {
+				// dotted quad literal
+				toks = append(toks, token{tokString, text})
+			} else {
+				toks = append(toks, token{tokNumber, text})
+			}
+			i = j
+		case isIdentStart(c):
+			j := i
+			for j < len(s) && isIdentChar(s[j]) {
+				j++
+			}
+			toks = append(toks, token{tokField, s[i:j]})
+			i = j
+		default:
+			return nil, fmt.Errorf("capture: unexpected character %q at %d", c, i)
+		}
+	}
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9' || c == '.'
+}
+
+// --- parser ---
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) eof() bool   { return p.pos >= len(p.toks) }
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) accept(k tokKind) bool {
+	if !p.eof() && p.toks[p.pos].kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseOr() (node, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokOrOr) {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = orNode{left, right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (node, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokAndAnd) {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = andNode{left, right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (node, error) {
+	if p.accept(tokBang) {
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return notNode{inner}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (node, error) {
+	if p.accept(tokLParen) {
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(tokRParen) {
+			return nil, fmt.Errorf("capture: missing ')'")
+		}
+		return inner, nil
+	}
+	if p.eof() || p.peek().kind != tokField {
+		return nil, fmt.Errorf("capture: expected field")
+	}
+	field := p.next().text
+	// Bare flag?
+	if flag, ok := flagFields[field]; ok {
+		if p.eof() || p.peek().kind != tokOp {
+			return flagNode{fn: flag, name: field}, nil
+		}
+	}
+	if p.eof() || p.peek().kind != tokOp {
+		return nil, fmt.Errorf("capture: field %q needs a comparison", field)
+	}
+	op := p.next().text
+	if p.eof() {
+		return nil, fmt.Errorf("capture: missing value after %q", op)
+	}
+	val := p.next()
+	return buildComparison(field, op, val)
+}
+
+// --- AST ---
+
+type node interface{ eval(*Record) bool }
+
+type andNode struct{ l, r node }
+
+func (n andNode) eval(r *Record) bool { return n.l.eval(r) && n.r.eval(r) }
+
+type orNode struct{ l, r node }
+
+func (n orNode) eval(r *Record) bool { return n.l.eval(r) || n.r.eval(r) }
+
+type notNode struct{ inner node }
+
+func (n notNode) eval(r *Record) bool { return !n.inner.eval(r) }
+
+type flagNode struct {
+	fn   func(*Record) bool
+	name string
+}
+
+func (n flagNode) eval(r *Record) bool { return n.fn(r) }
+
+type numCmpNode struct {
+	get func(*Record) (float64, bool)
+	op  string
+	val float64
+}
+
+func (n numCmpNode) eval(r *Record) bool {
+	v, ok := n.get(r)
+	if !ok {
+		return false
+	}
+	switch n.op {
+	case "==":
+		return v == n.val
+	case "!=":
+		return v != n.val
+	case "<":
+		return v < n.val
+	case "<=":
+		return v <= n.val
+	case ">":
+		return v > n.val
+	case ">=":
+		return v >= n.val
+	}
+	return false
+}
+
+type addrCmpNode struct {
+	get func(*Record) inet.Addr
+	neq bool
+	val inet.Addr
+}
+
+func (n addrCmpNode) eval(r *Record) bool {
+	eq := n.get(r) == n.val
+	if n.neq {
+		return !eq
+	}
+	return eq
+}
+
+var flagFields = map[string]func(*Record) bool{
+	"ip.frag":     func(r *Record) bool { return r.IsFragment() },
+	"ip.contfrag": func(r *Record) bool { return r.IsContinuationFragment() },
+	"ip.mf":       func(r *Record) bool { return r.MoreFrag },
+	"recv":        func(r *Record) bool { return r.Dir == 1 },
+	"send":        func(r *Record) bool { return r.Dir == 0 },
+}
+
+var numFields = map[string]func(*Record) (float64, bool){
+	"ip.id":       func(r *Record) (float64, bool) { return float64(r.IPID), true },
+	"ip.len":      func(r *Record) (float64, bool) { return float64(r.IPLen), true },
+	"ip.fragoff":  func(r *Record) (float64, bool) { return float64(r.FragOff), true },
+	"size":        func(r *Record) (float64, bool) { return float64(r.WireLen), true },
+	"time":        func(r *Record) (float64, bool) { return r.At.Seconds(), true },
+	"udp.srcport": func(r *Record) (float64, bool) { return float64(r.SrcPort), r.HasPorts },
+	"udp.dstport": func(r *Record) (float64, bool) { return float64(r.DstPort), r.HasPorts },
+}
+
+var protoNames = map[string]float64{
+	"udp":  float64(inet.ProtoUDP),
+	"tcp":  float64(inet.ProtoTCP),
+	"icmp": float64(inet.ProtoICMP),
+}
+
+func buildComparison(field, op string, val token) (node, error) {
+	switch field {
+	case "ip.src", "ip.dst":
+		if op != "==" && op != "!=" {
+			return nil, fmt.Errorf("capture: %s supports only == and !=", field)
+		}
+		addr, err := inet.ParseAddr(val.text)
+		if err != nil {
+			return nil, err
+		}
+		get := func(r *Record) inet.Addr { return r.Src }
+		if field == "ip.dst" {
+			get = func(r *Record) inet.Addr { return r.Dst }
+		}
+		return addrCmpNode{get: get, neq: op == "!=", val: addr}, nil
+	case "ip.proto":
+		v, ok := protoNames[val.text]
+		if !ok {
+			f, err := strconv.ParseFloat(val.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("capture: bad protocol %q", val.text)
+			}
+			v = f
+		}
+		return numCmpNode{get: func(r *Record) (float64, bool) { return float64(r.Proto), true }, op: op, val: v}, nil
+	case "udp.port":
+		f, err := strconv.ParseFloat(val.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("capture: bad number %q", val.text)
+		}
+		src := numCmpNode{get: numFields["udp.srcport"], op: op, val: f}
+		dst := numCmpNode{get: numFields["udp.dstport"], op: op, val: f}
+		if op == "!=" {
+			return andNode{src, dst}, nil
+		}
+		return orNode{src, dst}, nil
+	default:
+		get, ok := numFields[field]
+		if !ok {
+			return nil, fmt.Errorf("capture: unknown field %q", field)
+		}
+		f, err := strconv.ParseFloat(val.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("capture: bad number %q for %s", val.text, field)
+		}
+		return numCmpNode{get: get, op: op, val: f}, nil
+	}
+}

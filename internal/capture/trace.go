@@ -1,0 +1,189 @@
+// Package capture reimplements the measurement role Ethereal 0.8.20 played
+// in the paper: it taps a simulated host NIC, records every wire packet
+// (including individual IP fragments) with timestamps, persists traces in a
+// compact binary format, evaluates display-filter expressions, and derives
+// the per-flow metrics the analysis section needs — packet sizes,
+// interarrival times, fragment shares, bandwidth-over-time and
+// sequence-number-over-time series.
+package capture
+
+import (
+	"fmt"
+	"time"
+
+	"turbulence/internal/eventsim"
+	"turbulence/internal/inet"
+	"turbulence/internal/netsim"
+	"turbulence/internal/stats"
+)
+
+// Record is one captured wire packet, pre-parsed for analysis. CapLen
+// bytes of the original datagram are retained for file round trips.
+type Record struct {
+	At      time.Duration // capture time relative to the trace epoch
+	Dir     netsim.Direction
+	WireLen int // on-the-wire bytes including Ethernet framing
+
+	// Parsed network-layer fields.
+	Src, Dst inet.Addr
+	Proto    byte
+	IPID     uint16
+	FragOff  uint16 // 8-byte units
+	MoreFrag bool
+	IPLen    int
+
+	// Parsed transport fields; valid only when HasPorts (unfragmented
+	// datagrams and first fragments).
+	HasPorts         bool
+	SrcPort, DstPort inet.Port
+	PayloadLen       int // UDP payload bytes in this wire packet
+
+	// Raw holds the captured datagram bytes for serialisation.
+	Raw []byte
+}
+
+// IsFragment reports whether the record is any fragment of a larger
+// datagram (first, middle or last).
+func (r *Record) IsFragment() bool { return r.FragOff != 0 || r.MoreFrag }
+
+// IsContinuationFragment reports whether the record is a non-first
+// fragment. This matches the convention in the paper's Figure 5: Ethereal
+// displays the first fragment (offset 0, which carries the UDP header) as a
+// UDP packet and only subsequent fragments as "IP fragments".
+func (r *Record) IsContinuationFragment() bool { return r.FragOff != 0 }
+
+// Flow returns the record's flow when ports are available.
+func (r *Record) Flow() (inet.Flow, bool) {
+	if !r.HasPorts {
+		return inet.Flow{}, false
+	}
+	return inet.Flow{
+		Src: inet.Endpoint{Addr: r.Src, Port: r.SrcPort},
+		Dst: inet.Endpoint{Addr: r.Dst, Port: r.DstPort},
+	}, true
+}
+
+// String renders a one-line packet summary in the spirit of a sniffer's
+// list view.
+func (r *Record) String() string {
+	proto := "ip"
+	switch r.Proto {
+	case inet.ProtoUDP:
+		proto = "udp"
+	case inet.ProtoICMP:
+		proto = "icmp"
+	case inet.ProtoTCP:
+		proto = "tcp"
+	}
+	frag := ""
+	if r.IsFragment() {
+		frag = fmt.Sprintf(" frag off=%d mf=%t", r.FragOff, r.MoreFrag)
+	}
+	ports := ""
+	if r.HasPorts {
+		ports = fmt.Sprintf(" %d->%d", r.SrcPort, r.DstPort)
+	}
+	return fmt.Sprintf("%10.6f %s %s %s -> %s len=%d%s%s",
+		r.At.Seconds(), r.Dir, proto, r.Src, r.Dst, r.WireLen, ports, frag)
+}
+
+// Trace is an ordered sequence of captured packets.
+type Trace struct {
+	Records []Record
+}
+
+// Len reports the number of captured packets.
+func (t *Trace) Len() int { return len(t.Records) }
+
+// Duration returns the timestamp of the last record.
+func (t *Trace) Duration() time.Duration {
+	if len(t.Records) == 0 {
+		return 0
+	}
+	return t.Records[len(t.Records)-1].At
+}
+
+// Append adds a record, keeping the trace usable as a streaming sink.
+func (t *Trace) Append(r Record) { t.Records = append(t.Records, r) }
+
+// Filter returns a new Trace containing the records for which keep returns
+// true.
+func (t *Trace) Filter(keep func(*Record) bool) *Trace {
+	out := &Trace{}
+	for i := range t.Records {
+		if keep(&t.Records[i]) {
+			out.Records = append(out.Records, t.Records[i])
+		}
+	}
+	return out
+}
+
+// Recv returns only received packets — the direction the paper analyses,
+// since its client-side sniffer observed inbound media.
+func (t *Trace) Recv() *Trace {
+	return t.Filter(func(r *Record) bool { return r.Dir == netsim.Recv })
+}
+
+// parseRecord builds a Record from a wire datagram.
+func parseRecord(at time.Duration, dir netsim.Direction, d *inet.Datagram) Record {
+	r := Record{
+		At:       at,
+		Dir:      dir,
+		WireLen:  d.WireLen(),
+		Src:      d.Header.Src,
+		Dst:      d.Header.Dst,
+		Proto:    d.Header.Protocol,
+		IPID:     d.Header.ID,
+		FragOff:  d.Header.FragOff,
+		MoreFrag: d.Header.MoreFragments(),
+		IPLen:    d.Len(),
+	}
+	if f, ok := d.FlowOf(); ok {
+		r.HasPorts = true
+		r.SrcPort = f.Src.Port
+		r.DstPort = f.Dst.Port
+		hdr := inet.UDPHeaderLen
+		if d.Header.Protocol == inet.ProtoTCP {
+			hdr = inet.TCPHeaderLen
+		}
+		r.PayloadLen = len(d.Payload) - hdr
+	} else if d.Header.IsFragment() {
+		// Continuation fragment: payload bytes still count toward flow
+		// bandwidth; ports resolved later via the IP ID.
+		r.PayloadLen = len(d.Payload)
+	}
+	if b, err := d.Marshal(); err == nil {
+		r.Raw = b
+	}
+	return r
+}
+
+// Sniffer taps a host NIC and accumulates a Trace, timestamping records
+// relative to the moment it was attached (the paper starts Ethereal as each
+// experiment begins).
+type Sniffer struct {
+	trace Trace
+	epoch eventsim.Time
+	// RecvOnly restricts capture to inbound packets.
+	RecvOnly bool
+}
+
+// Attach starts capturing at h's NIC.
+func Attach(h *netsim.Host) *Sniffer {
+	s := &Sniffer{epoch: h.Now()}
+	h.Tap(func(now eventsim.Time, dir netsim.Direction, d *inet.Datagram) {
+		if s.RecvOnly && dir != netsim.Recv {
+			return
+		}
+		s.trace.Append(parseRecord(now.Sub(s.epoch), dir, d))
+	})
+	return s
+}
+
+// Trace returns the accumulated trace. The sniffer keeps appending; take
+// the trace only after the run completes.
+func (s *Sniffer) Trace() *Trace { return &s.trace }
+
+// Point re-exports the stats series point type for callers that only import
+// capture.
+type Point = stats.Point

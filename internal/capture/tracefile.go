@@ -1,0 +1,152 @@
+package capture
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"turbulence/internal/inet"
+	"turbulence/internal/netsim"
+)
+
+// Trace file format ("TBC1"): a little binary capture container in the
+// spirit of libpcap, so the ethereal CLI can dump and filter saved runs.
+//
+//	file   := magic(4) version(u16) reserved(u16) record*
+//	record := tstampNanos(u64) dir(u8) wireLen(u16) capLen(u16) bytes[capLen]
+//
+// Records are EOF-terminated, allowing streaming writes. All integers are
+// big-endian.
+var traceMagic = [4]byte{'T', 'B', 'C', '1'}
+
+const traceVersion = 1
+
+// Errors returned by the trace file reader.
+var (
+	ErrBadMagic   = errors.New("capture: not a turbulence trace file")
+	ErrBadVersion = errors.New("capture: unsupported trace file version")
+	ErrCorrupt    = errors.New("capture: corrupt trace record")
+)
+
+// Writer streams records to a trace file.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter writes the file header and returns a record writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return nil, err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint16(hdr[0:], traceVersion)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// WriteRecord appends one record.
+func (w *Writer) WriteRecord(r *Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	capLen := len(r.Raw)
+	if capLen > 0xFFFF {
+		capLen = 0xFFFF
+	}
+	var hdr [13]byte
+	binary.BigEndian.PutUint64(hdr[0:], uint64(r.At))
+	hdr[8] = byte(r.Dir)
+	binary.BigEndian.PutUint16(hdr[9:], uint16(r.WireLen))
+	binary.BigEndian.PutUint16(hdr[11:], uint16(capLen))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		w.err = err
+		return err
+	}
+	if _, err := w.w.Write(r.Raw[:capLen]); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// WriteTrace writes every record of t.
+func (w *Writer) WriteTrace(t *Trace) error {
+	for i := range t.Records {
+		if err := w.WriteRecord(&t.Records[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// WriteFile serialises a whole trace to w.
+func WriteFile(w io.Writer, t *Trace) error {
+	tw, err := NewWriter(w)
+	if err != nil {
+		return err
+	}
+	if err := tw.WriteTrace(t); err != nil {
+		return err
+	}
+	return tw.Flush()
+}
+
+// ReadFile parses a trace file, re-deriving the analysis fields from the
+// captured datagram bytes.
+func ReadFile(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, ErrBadMagic
+	}
+	if magic != traceMagic {
+		return nil, ErrBadMagic
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, ErrBadMagic
+	}
+	if v := binary.BigEndian.Uint16(hdr[0:]); v != traceVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	t := &Trace{}
+	for {
+		var rh [13]byte
+		if _, err := io.ReadFull(br, rh[:]); err != nil {
+			if err == io.EOF {
+				return t, nil
+			}
+			return nil, ErrCorrupt
+		}
+		at := time.Duration(binary.BigEndian.Uint64(rh[0:]))
+		dir := netsim.Direction(rh[8])
+		wireLen := int(binary.BigEndian.Uint16(rh[9:]))
+		capLen := int(binary.BigEndian.Uint16(rh[11:]))
+		raw := make([]byte, capLen)
+		if _, err := io.ReadFull(br, raw); err != nil {
+			return nil, ErrCorrupt
+		}
+		d, err := inet.ParseDatagram(raw)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		rec := parseRecord(at, dir, d)
+		rec.WireLen = wireLen // trust the header over re-derivation
+		t.Append(rec)
+	}
+}

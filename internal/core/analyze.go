@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"turbulence/internal/capture"
+	"turbulence/internal/stats"
+)
+
+// FlowProfile is the turbulence characterisation of one streaming flow —
+// the paper's analytical output, condensing a capture into the properties
+// its figures plot.
+type FlowProfile struct {
+	Packets   int
+	Datagrams int // application datagrams (fragment trains collapsed)
+
+	// Size structure (Figures 6-7).
+	MeanSize float64 // wire bytes
+	SizeCV   float64 // coefficient of variation of wire sizes
+
+	// Timing structure (Figures 8-9); group interarrivals collapse
+	// fragment trains as the paper does.
+	MeanInterarrival float64 // seconds
+	InterarrivalCV   float64
+
+	// Fragmentation (Figures 4-5).
+	FragShare   float64 // continuation fragments / wire packets
+	MeanTrain   float64 // wire packets per datagram
+	MaxWireSize int
+
+	// Rate structure (Figures 10-11).
+	AvgRateBps float64
+	BurstRatio float64 // startup rate over steady rate
+
+	// Classification (the paper's CBR-versus-varied distinction).
+	CBR bool
+}
+
+// Thresholds for the CBR classification: MediaPlayer-like flows show
+// near-zero size and interarrival variation once fragment trains are
+// collapsed.
+const (
+	cbrSizeCV = 0.12
+	cbrIACV   = 0.15
+)
+
+// burstWindow is the startup window used for the burst ratio; steadyTail
+// selects the steady-state sample at the end of the flow, past any
+// buffering burst.
+const (
+	burstWindow = 8 * time.Second
+	steadyTail  = 0.25 // final quarter of the flow
+)
+
+// ProfileFlow computes the turbulence profile of a captured flow.
+func ProfileFlow(ft *capture.FlowTrace) FlowProfile {
+	var p FlowProfile
+	p.Packets = ft.Len()
+	if p.Packets == 0 {
+		return p
+	}
+	fs := ft.Fragmentation()
+	p.Datagrams = fs.Datagrams
+	p.FragShare = fs.ContinuationShare()
+	if fs.Datagrams > 0 {
+		p.MeanTrain = float64(fs.Packets) / float64(fs.Datagrams)
+	}
+
+	sizes := ft.PacketSizes()
+	ss := stats.Summarize(sizes)
+	p.MeanSize = ss.Mean
+	if ss.Mean > 0 {
+		p.SizeCV = ss.StdDev / ss.Mean
+	}
+	p.MaxWireSize = int(ss.Max)
+
+	ia := ft.GroupInterarrivals()
+	is := stats.Summarize(ia)
+	p.MeanInterarrival = is.Mean
+	if is.Mean > 0 {
+		p.InterarrivalCV = is.StdDev / is.Mean
+	}
+
+	p.AvgRateBps = ft.AverageRate()
+	p.BurstRatio = burstRatio(ft)
+	// Classify: collapse trains first, as the paper does, so WMP's
+	// fragment bursts don't disguise its CBR pacing. Size regularity is
+	// judged on first-packets-of-train too.
+	firstSizes := firstPacketSizes(ft)
+	fss := stats.Summarize(firstSizes)
+	firstCV := 0.0
+	if fss.Mean > 0 {
+		firstCV = fss.StdDev / fss.Mean
+	}
+	p.CBR = firstCV <= cbrSizeCV && p.InterarrivalCV <= cbrIACV
+	return p
+}
+
+// firstPacketSizes returns wire sizes of datagram-initial packets.
+func firstPacketSizes(ft *capture.FlowTrace) []float64 {
+	var out []float64
+	for i := range ft.Records {
+		if ft.Records[i].FragOff == 0 {
+			out = append(out, float64(ft.Records[i].WireLen))
+		}
+	}
+	return out
+}
+
+// burstRatio compares startup throughput to steady-state throughput.
+func burstRatio(ft *capture.FlowTrace) float64 {
+	if ft.Len() < 2 {
+		return 0
+	}
+	start := ft.Records[0].At
+	end := ft.Records[ft.Len()-1].At
+	span := end - start
+	if span <= burstWindow*2 {
+		return 1
+	}
+	var ts stats.TimeSeries
+	for i := range ft.Records {
+		ts.Add(ft.Records[i].At-start, float64(ft.Records[i].WireLen*8))
+	}
+	early := ts.WindowSum(0, burstWindow) / burstWindow.Seconds()
+	tailStart := time.Duration(float64(span) * (1 - steadyTail))
+	steady := ts.WindowSum(tailStart, span) / (time.Duration(float64(span) * steadyTail)).Seconds()
+	if steady <= 0 {
+		return 0
+	}
+	return early / steady
+}
+
+// String renders the profile compactly.
+func (p FlowProfile) String() string {
+	kind := "VBR"
+	if p.CBR {
+		kind = "CBR"
+	}
+	return fmt.Sprintf("%s pkts=%d meanSize=%.0fB sizeCV=%.2f ia=%.0fms iaCV=%.2f frag=%.0f%% burst=%.2f rate=%.0fKbps",
+		kind, p.Packets, p.MeanSize, p.SizeCV, p.MeanInterarrival*1000, p.InterarrivalCV,
+		p.FragShare*100, p.BurstRatio, p.AvgRateBps/1000)
+}
+
+// Comparison is the paper's headline side-by-side of the two players for
+// one pair run.
+type Comparison struct {
+	Set       int
+	ClassName string
+	Real, WMP FlowProfile
+}
+
+// Compare profiles both flows of a pair run.
+func Compare(run *PairRun) Comparison {
+	return Comparison{
+		Set:       run.Set,
+		ClassName: run.Class.String(),
+		Real:      ProfileFlow(run.RealFlow),
+		WMP:       ProfileFlow(run.WMPFlow),
+	}
+}

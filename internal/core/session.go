@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"turbulence/internal/capture"
+	"turbulence/internal/eventsim"
+	"turbulence/internal/inet"
+	"turbulence/internal/media"
+	"turbulence/internal/probe"
+	"turbulence/internal/tracker"
+)
+
+// Port conventions for experiment sessions on the client.
+const (
+	WMPCtlPort  = 4001
+	WMPDataPort = 4002
+	RDTCtlPort  = 5001
+	RDTDataPort = 5002
+)
+
+// PairRun is the result of the paper's unit experiment: one clip pair
+// (identical content, both formats) streamed simultaneously from its site
+// to the client, with full instrumentation.
+type PairRun struct {
+	Set   int
+	Class media.Class
+	Site  SiteProfile
+
+	// Application-layer reports from the two instrumented players.
+	WMP  *tracker.Report
+	Real *tracker.Report
+
+	// Network-layer capture at the client NIC (inbound only).
+	Trace    *capture.Trace
+	WMPFlow  *capture.FlowTrace
+	RealFlow *capture.FlowTrace
+
+	// Network-conditions checks run around the experiment, per the
+	// methodology (§2.D: "Before and after each run, ping and tracert
+	// were run").
+	PingBefore, PingAfter *probe.PingReport
+	Route                 *probe.TraceReport
+}
+
+// Clips returns the pair's clips (Real, WindowsMedia).
+func (r *PairRun) Clips() (media.Clip, media.Clip) {
+	set, _ := media.FindSet(r.Set)
+	p := set.Pairs[r.Class]
+	return p.Real, p.WindowsMedia
+}
+
+// Options select ablation variants of the pair experiment (DESIGN.md §4).
+// The zero value is the faithful reproduction.
+type Options struct {
+	// WMSUnitCap bounds the WMS data-unit payload; sub-MTU values
+	// eliminate fragmentation ("what if WMS packetised like RealServer").
+	WMSUnitCap int
+	// UncappedBurst removes the bottleneck cap on Real's buffering burst.
+	UncappedBurst bool
+	// DisableInterleave delivers WMP units to the application as they
+	// arrive rather than in one-second batches.
+	DisableInterleave bool
+	// Sequential streams the two formats one after the other instead of
+	// simultaneously (methodology ablation).
+	Sequential bool
+	// BottleneckBps overrides the site's server-access bandwidth for the
+	// constrained-bandwidth experiments the paper's future work proposes
+	// (0 = the site's faithful value).
+	BottleneckBps float64
+	// EnableScaling turns on both stacks' media scaling (loss-feedback
+	// stream thinning), the capability §VI says both players have. The
+	// faithful reproduction leaves it off: the paper measured typical
+	// uncongested conditions where scaling never engages.
+	EnableScaling bool
+}
+
+// RunPair executes one paired experiment on a fresh testbed. The seed
+// fixes every random draw, so a (seed, set, class) triple is exactly
+// reproducible.
+func RunPair(seed int64, set int, class media.Class) (*PairRun, error) {
+	return RunPairWith(seed, set, class, Options{})
+}
+
+// RunPairWith is RunPair with ablation options.
+func RunPairWith(seed int64, set int, class media.Class, opts Options) (*PairRun, error) {
+	clipSet, ok := media.FindSet(set)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown data set %d", set)
+	}
+	pair, ok := clipSet.Pairs[class]
+	if !ok {
+		return nil, fmt.Errorf("core: set %d has no %v pair", set, class)
+	}
+	var tbOpts []TestbedOption
+	if opts.BottleneckBps > 0 {
+		tbOpts = append(tbOpts, WithBottleneck(set, opts.BottleneckBps))
+	}
+	tb := NewTestbed(seed, tbOpts...)
+	site := tb.Site(set)
+	run := &PairRun{Set: set, Class: class, Site: site.Profile}
+	if opts.WMSUnitCap > 0 {
+		site.WMS.SetUnitCap(opts.WMSUnitCap)
+	}
+	if opts.UncappedBurst {
+		site.RDT.SetUncappedBurst(true)
+	}
+	if opts.EnableScaling {
+		site.WMS.EnableScaling(true)
+		site.RDT.EnableScaling(true)
+	}
+
+	sniff := capture.Attach(tb.Client)
+	sniff.RecvOnly = true
+
+	// Pre-run network checks.
+	pingBefore := probe.StartPing(tb.Client, site.Profile.Addr, probe.PingOptions{Count: 10, Interval: 200 * time.Millisecond, ID: 100}, nil)
+	tracer := probe.StartTrace(tb.Client, site.Profile.Addr, probe.TraceOptions{ID: 101}, nil)
+
+	// Start both players simultaneously once the checks have had a
+	// moment, mirroring the methodology.
+	const checksLead = 5 * time.Second
+	var wmpDone, realDone bool
+	startWMP := func() {
+		mt := tracker.StartMediaTracker(tb.Client, site.WMS, pair.WindowsMedia.Name(), WMPCtlPort, WMPDataPort,
+			func(rep *tracker.Report) {
+				run.WMP = rep
+				wmpDone = true
+			})
+		if opts.DisableInterleave {
+			mt.Player().DisableInterleave()
+		}
+	}
+	startReal := func() {
+		tracker.StartRealTracker(tb.Client, site.RDT, pair.Real.Name(), RDTCtlPort, RDTDataPort,
+			func(rep *tracker.Report) { run.Real = rep; realDone = true })
+	}
+	tb.Net.Sched.After(checksLead, "session.startPair", func(eventsim.Time) {
+		if opts.Sequential {
+			// Methodology ablation: WMP first, then Real.
+			tracker.StartMediaTracker(tb.Client, site.WMS, pair.WindowsMedia.Name(), WMPCtlPort, WMPDataPort,
+				func(rep *tracker.Report) {
+					run.WMP = rep
+					wmpDone = true
+					startReal()
+				})
+			return
+		}
+		startWMP()
+		startReal()
+	})
+
+	// Post-run ping, fired once both players finish.
+	var pingAfter *probe.Pinger
+	horizon := checksLead + clipSet.Duration + 3*time.Minute
+	if opts.Sequential {
+		horizon += clipSet.Duration + 3*time.Minute
+	}
+	stopWatch := tb.Net.Sched.Ticker(time.Second, "session.watch", func(now eventsim.Time) bool {
+		if wmpDone && realDone && pingAfter == nil {
+			pingAfter = probe.StartPing(tb.Client, site.Profile.Addr, probe.PingOptions{Count: 10, Interval: 200 * time.Millisecond, ID: 102}, nil)
+			return false
+		}
+		return true
+	})
+	if err := tb.Net.Run(eventsim.Time(horizon)); err != nil {
+		return nil, err
+	}
+	stopWatch()
+	if !wmpDone || !realDone {
+		return nil, fmt.Errorf("core: pair %d/%v did not complete within horizon (wmp=%t real=%t)", set, class, wmpDone, realDone)
+	}
+
+	run.PingBefore = pingBefore.Report()
+	if pingAfter != nil {
+		run.PingAfter = pingAfter.Report()
+	}
+	run.Route = tracer.Report()
+	run.Trace = sniff.Trace()
+	run.WMPFlow = run.Trace.FlowTo(WMPDataPort)
+	run.RealFlow = run.Trace.FlowTo(RDTDataPort)
+	if run.WMPFlow == nil || run.RealFlow == nil {
+		return nil, fmt.Errorf("core: pair %d/%v missing data flows in capture", set, class)
+	}
+	return run, nil
+}
+
+// PairKey identifies one pair experiment.
+type PairKey struct {
+	Set   int
+	Class media.Class
+}
+
+// AllPairs lists the 13 pair experiments of Table 1 in order.
+func AllPairs() []PairKey {
+	var out []PairKey
+	for _, s := range media.Library() {
+		for _, c := range s.Classes() {
+			out = append(out, PairKey{Set: s.Set, Class: c})
+		}
+	}
+	return out
+}
+
+// seedFor derives a per-pair seed from a base seed so runs are independent
+// but reproducible.
+func seedFor(base int64, k PairKey) int64 {
+	return base*1000003 + int64(k.Set)*101 + int64(k.Class)*13
+}
+
+// RunAll executes every Table 1 pair experiment. It is the workhorse
+// behind the all-data-set figures (3, 5, 7, 9, 11, 14, 15).
+func RunAll(baseSeed int64) ([]*PairRun, error) {
+	var out []*PairRun
+	for _, k := range AllPairs() {
+		run, err := RunPair(seedFor(baseSeed, k), k.Set, k.Class)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, run)
+	}
+	return out, nil
+}
+
+// RunSubset executes the listed pair experiments only; figure generators
+// that need a single set use this to stay fast.
+func RunSubset(baseSeed int64, keys []PairKey) ([]*PairRun, error) {
+	var out []*PairRun
+	for _, k := range keys {
+		run, err := RunPair(seedFor(baseSeed, k), k.Set, k.Class)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, run)
+	}
+	return out, nil
+}
+
+// DataEndpointWMP returns the client data endpoint for MediaPlayer flows.
+func DataEndpointWMP() inet.Endpoint {
+	return inet.Endpoint{Addr: ClientAddr, Port: WMPDataPort}
+}
+
+// DataEndpointReal returns the client data endpoint for RealPlayer flows.
+func DataEndpointReal() inet.Endpoint {
+	return inet.Endpoint{Addr: ClientAddr, Port: RDTDataPort}
+}

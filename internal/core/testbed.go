@@ -1,0 +1,167 @@
+// Package core assembles the substrates into the paper's experiment: a WPI
+// client PC streaming identical content simultaneously in both formats
+// from six Internet server sites, instrumented by MediaTracker,
+// RealTracker, a packet sniffer, ping and tracert. It also implements the
+// paper's analytical contribution — the characterisation of streaming
+// "turbulence" (per-flow packet size/interarrival/fragmentation/burst
+// structure) — and the Section IV synthetic flow generator fitted from
+// measured distributions.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"turbulence/internal/inet"
+	"turbulence/internal/media"
+	"turbulence/internal/netsim"
+	"turbulence/internal/rdt"
+	"turbulence/internal/wms"
+)
+
+// ClientAddr is the measurement client (a WPI campus address, as in the
+// paper).
+var ClientAddr = inet.MakeAddr(130, 215, 10, 5)
+
+// SiteProfile describes one server site's network path, calibrated so the
+// probe CDFs reproduce Figures 1-2 (median RTT ~40 ms, max ~160 ms, most
+// paths 15-20 hops) and the bottlenecks reproduce Figure 11's buffering
+// ratios.
+type SiteProfile struct {
+	Set        int
+	Addr       inet.Addr
+	Hops       int           // router hops client<->site
+	BaseRTT    time.Duration // propagation-only round trip
+	Bottleneck float64       // server-side access bandwidth, bits/second
+}
+
+// Sites returns the six server sites matching Table 1's data sets.
+func Sites() []SiteProfile {
+	return []SiteProfile{
+		{Set: 1, Addr: inet.MakeAddr(207, 46, 1, 9), Hops: 16, BaseRTT: 33 * time.Millisecond, Bottleneck: 900e3},
+		{Set: 2, Addr: inet.MakeAddr(209, 247, 2, 7), Hops: 15, BaseRTT: 27 * time.Millisecond, Bottleneck: 900e3},
+		{Set: 3, Addr: inet.MakeAddr(64, 28, 3, 11), Hops: 18, BaseRTT: 37 * time.Millisecond, Bottleneck: 950e3},
+		{Set: 4, Addr: inet.MakeAddr(216, 52, 4, 15), Hops: 19, BaseRTT: 45 * time.Millisecond, Bottleneck: 850e3},
+		{Set: 5, Addr: inet.MakeAddr(204, 202, 5, 19), Hops: 17, BaseRTT: 33 * time.Millisecond, Bottleneck: 900e3},
+		{Set: 6, Addr: inet.MakeAddr(63, 241, 6, 23), Hops: 22, BaseRTT: 88 * time.Millisecond, Bottleneck: 1.45e6},
+	}
+}
+
+// SiteFor returns the profile serving a data set.
+func SiteFor(set int) (SiteProfile, bool) {
+	for _, s := range Sites() {
+		if s.Set == set {
+			return s, true
+		}
+	}
+	return SiteProfile{}, false
+}
+
+// Path-shape constants. The client sits on a 10 Mbps campus LAN (the
+// paper's PC has a PCI 10 Mbps NIC); intermediate hops are fast backbone
+// links; the final hop carries the site's bottleneck bandwidth.
+const (
+	campusBandwidth   = 10e6
+	backboneBandwidth = 45e6 // T3-class backbone links
+	hopJitterMax      = 400 * time.Microsecond
+	hopSpikeProb      = 0.005
+	hopSpikeMax       = 55 * time.Millisecond
+	hopLoss           = 0.0001
+)
+
+// HopSpecs expands a site profile into per-hop specs for the
+// client-to-site direction.
+func (p SiteProfile) HopSpecs() []netsim.HopSpec {
+	perHop := time.Duration(int64(p.BaseRTT) / 2 / int64(p.Hops))
+	specs := make([]netsim.HopSpec, p.Hops)
+	for i := range specs {
+		bw := backboneBandwidth
+		switch i {
+		case 0:
+			bw = campusBandwidth
+		case p.Hops - 1:
+			bw = p.Bottleneck
+		}
+		specs[i] = netsim.HopSpec{
+			Addr:      inet.MakeAddr(10, byte(p.Set), byte(i/250), byte(i%250+1)),
+			Bandwidth: bw,
+			PropDelay: perHop,
+			JitterMax: hopJitterMax,
+			SpikeProb: hopSpikeProb,
+			SpikeMax:  hopSpikeMax,
+			Loss:      hopLoss,
+		}
+	}
+	return specs
+}
+
+// Site is one instantiated server site: a host running both stacks, since
+// the paper selected sites where the two servers were co-located.
+type Site struct {
+	Profile SiteProfile
+	Host    *netsim.Host
+	WMS     *wms.Server
+	RDT     *rdt.Server
+}
+
+// Testbed is the full experimental apparatus.
+type Testbed struct {
+	Net    *netsim.Network
+	Client *netsim.Host
+	Sites  map[int]*Site
+}
+
+// TestbedOption adjusts site profiles at construction time (e.g. for the
+// constrained-bandwidth future-work experiments).
+type TestbedOption func(*SiteProfile)
+
+// WithBottleneck overrides one site's server-access bandwidth.
+func WithBottleneck(set int, bps float64) TestbedOption {
+	return func(p *SiteProfile) {
+		if p.Set == set {
+			p.Bottleneck = bps
+		}
+	}
+}
+
+// NewTestbed builds the network, client, all six sites, and registers
+// every Table 1 clip at its site's servers.
+func NewTestbed(seed int64, opts ...TestbedOption) *Testbed {
+	n := netsim.New(seed)
+	client := n.AddHost(ClientAddr)
+	tb := &Testbed{Net: n, Client: client, Sites: make(map[int]*Site)}
+	for _, prof := range Sites() {
+		for _, opt := range opts {
+			opt(&prof)
+		}
+		host := n.AddHost(prof.Addr)
+		n.ConnectDuplex(ClientAddr, prof.Addr, prof.HopSpecs())
+		site := &Site{
+			Profile: prof,
+			Host:    host,
+			WMS:     wms.NewServer(host),
+			RDT:     rdt.NewServer(host),
+		}
+		tb.Sites[prof.Set] = site
+	}
+	for _, set := range media.Library() {
+		site := tb.Sites[set.Set]
+		for _, clip := range set.Clips() {
+			if clip.Format == media.WindowsMedia {
+				site.WMS.Register(clip.Name(), clip)
+			} else {
+				site.RDT.Register(clip.Name(), clip)
+			}
+		}
+	}
+	return tb
+}
+
+// Site returns the site serving a data set.
+func (tb *Testbed) Site(set int) *Site {
+	s, ok := tb.Sites[set]
+	if !ok {
+		panic(fmt.Sprintf("core: no site for set %d", set))
+	}
+	return s
+}

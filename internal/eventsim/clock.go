@@ -1,0 +1,67 @@
+// Package eventsim provides the discrete-event simulation engine that the
+// turbulence network and player models run on: a virtual clock, an event
+// scheduler backed by a binary heap, and deterministic random number
+// utilities. Everything in the repository that "takes time" is an event on a
+// Scheduler; no wall-clock time is ever consulted, so runs are exactly
+// reproducible for a given seed.
+package eventsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a point in simulated time, measured as a Duration since the start
+// of the simulation. The zero Time is the simulation epoch.
+type Time time.Duration
+
+// Duration re-exports time.Duration for call-site clarity.
+type Duration = time.Duration
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds reports t as floating-point seconds since the epoch.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+// Before reports whether t is strictly earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t Time) After(u Time) bool { return t > u }
+
+// String formats the time like "12.345s".
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Since is a convenience for now.Sub(start) that reads like time.Since.
+func Since(now, start Time) Duration { return now.Sub(start) }
+
+// Clock exposes the current simulated time. The Scheduler implements Clock;
+// components hold a Clock so tests can substitute a fixed time.
+type Clock interface {
+	// Now returns the current simulated time.
+	Now() Time
+}
+
+// FixedClock is a Clock pinned to a single instant, for tests.
+type FixedClock Time
+
+// Now implements Clock.
+func (c FixedClock) Now() Time { return Time(c) }
+
+// At builds a Time from floating-point seconds since the epoch.
+func At(seconds float64) Time {
+	return Time(time.Duration(seconds * float64(time.Second)))
+}
+
+// CheckNonNegative panics if d is negative; schedule distances must not go
+// backwards in time. It returns d so it can be used inline.
+func CheckNonNegative(d Duration) Duration {
+	if d < 0 {
+		panic(fmt.Sprintf("eventsim: negative duration %v", d))
+	}
+	return d
+}

@@ -1,0 +1,168 @@
+package eventsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	for i := 0; i < 10; i++ {
+		if NewRNG(42).Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical first draws")
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	root := NewRNG(7)
+	a := root.Split("alpha")
+	b := root.Split("beta")
+	collisions := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			collisions++
+		}
+	}
+	if collisions > 2 {
+		t.Fatalf("split streams look correlated: %d equal draws", collisions)
+	}
+	// Same label from identically-seeded parents gives the same stream.
+	p1, p2 := NewRNG(9), NewRNG(9)
+	c1, c2 := p1.Split("x"), p2.Split("x")
+	for i := 0; i < 50; i++ {
+		if c1.Float64() != c2.Float64() {
+			t.Fatal("identical parents+label diverged")
+		}
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	g := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		v := g.Uniform(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Uniform(2,5) = %v out of range", v)
+		}
+	}
+	// Swapped bounds are tolerated.
+	v := g.Uniform(5, 2)
+	if v < 2 || v >= 5 {
+		t.Fatalf("Uniform(5,2) = %v out of range", v)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	g := NewRNG(2)
+	const n = 20000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := g.Normal(10, 3)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-10) > 0.1 {
+		t.Fatalf("mean %v, want ~10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-3) > 0.1 {
+		t.Fatalf("stddev %v, want ~3", math.Sqrt(variance))
+	}
+}
+
+func TestTruncNormalBounds(t *testing.T) {
+	g := NewRNG(3)
+	for i := 0; i < 2000; i++ {
+		v := g.TruncNormal(0, 10, -1, 1)
+		if v < -1 || v > 1 {
+			t.Fatalf("TruncNormal out of bounds: %v", v)
+		}
+	}
+	// Impossible bounds fall back to clamped mean.
+	v := g.TruncNormal(100, 0.0001, -1, 1)
+	if v != 1 {
+		t.Fatalf("fallback clamp = %v, want 1", v)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	g := NewRNG(4)
+	const n = 20000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += g.Exp(5)
+	}
+	if mean := sum / n; math.Abs(mean-5) > 0.2 {
+		t.Fatalf("Exp mean %v, want ~5", mean)
+	}
+	if g.Exp(0) != 0 || g.Exp(-1) != 0 {
+		t.Fatal("nonpositive mean should yield 0")
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	g := NewRNG(5)
+	for i := 0; i < 2000; i++ {
+		v := g.Pareto(1.2, 1, 100)
+		if v < 1 || v > 100+1e-9 {
+			t.Fatalf("Pareto out of bounds: %v", v)
+		}
+	}
+	if g.Pareto(0, 1, 10) != 1 || g.Pareto(1, 0, 10) != 0 || g.Pareto(1, 5, 5) != 5 {
+		t.Fatal("degenerate Pareto parameters should return lo")
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	g := NewRNG(6)
+	if g.Bernoulli(0) {
+		t.Fatal("p=0 returned true")
+	}
+	if !g.Bernoulli(1) {
+		t.Fatal("p=1 returned false")
+	}
+	hits := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if g.Bernoulli(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.25) > 0.02 {
+		t.Fatalf("Bernoulli(0.25) frequency %v", frac)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	g := NewRNG(8)
+	p := g.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestJitterRange(t *testing.T) {
+	g := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		v := g.Jitter(100, 0.1)
+		if v < 90 || v > 110 {
+			t.Fatalf("Jitter out of range: %v", v)
+		}
+	}
+}

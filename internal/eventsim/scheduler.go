@@ -1,0 +1,195 @@
+package eventsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Event is a unit of scheduled work. The callback runs exactly once, at the
+// event's due time, unless the event is cancelled first.
+type Event struct {
+	when     Time
+	seq      uint64 // tiebreak: FIFO among events at the same instant
+	index    int    // heap index; -1 once removed
+	callback func(now Time)
+	name     string
+}
+
+// When returns the simulated time the event is due.
+func (e *Event) When() Time { return e.when }
+
+// Name returns the diagnostic label given at scheduling time.
+func (e *Event) Name() string { return e.name }
+
+// Cancelled reports whether the event has been removed from its scheduler
+// (either cancelled or already fired).
+func (e *Event) Cancelled() bool { return e.index < 0 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// ErrStopped is returned by Run when the simulation was halted by Stop
+// rather than by draining the event queue or reaching the horizon.
+var ErrStopped = errors.New("eventsim: stopped")
+
+// Scheduler is a single-threaded discrete-event scheduler. It is not safe
+// for concurrent use; all model code runs inside event callbacks on one
+// goroutine, which is what makes runs deterministic.
+type Scheduler struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+	fired   uint64
+}
+
+// NewScheduler returns a scheduler positioned at the epoch.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now implements Clock.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Len reports the number of pending events.
+func (s *Scheduler) Len() int { return len(s.queue) }
+
+// Fired reports how many events have run so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// At schedules fn to run at absolute time when. Scheduling in the past
+// (before Now) panics: the simulation cannot rewind.
+func (s *Scheduler) At(when Time, name string, fn func(now Time)) *Event {
+	if when < s.now {
+		panic(fmt.Sprintf("eventsim: scheduling %q at %v, before now %v", name, when, s.now))
+	}
+	e := &Event{when: when, seq: s.seq, callback: fn, name: name}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current time.
+func (s *Scheduler) After(d Duration, name string, fn func(now Time)) *Event {
+	CheckNonNegative(d)
+	return s.At(s.now.Add(d), name, fn)
+}
+
+// Cancel removes a pending event. Cancelling an event that already fired or
+// was already cancelled is a no-op.
+func (s *Scheduler) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&s.queue, e.index)
+	e.callback = nil
+}
+
+// Step runs the single earliest pending event, advancing the clock to its
+// due time. It reports false if the queue was empty.
+func (s *Scheduler) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*Event)
+	s.now = e.when
+	s.fired++
+	cb := e.callback
+	e.callback = nil
+	if cb != nil {
+		cb(s.now)
+	}
+	return true
+}
+
+// Run executes events until the queue drains or the clock passes horizon
+// (horizon <= 0 means no horizon). It returns ErrStopped if Stop was called
+// from inside a callback.
+func (s *Scheduler) Run(horizon Time) error {
+	s.stopped = false
+	for len(s.queue) > 0 {
+		if s.stopped {
+			return ErrStopped
+		}
+		if horizon > 0 && s.queue[0].when > horizon {
+			s.now = horizon
+			return nil
+		}
+		s.Step()
+	}
+	if horizon > 0 && s.now < horizon {
+		s.now = horizon
+	}
+	return nil
+}
+
+// RunUntilIdle executes events until none remain, with no horizon.
+func (s *Scheduler) RunUntilIdle() error { return s.Run(0) }
+
+// Stop halts Run after the currently executing event returns.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Advance moves the clock forward by d without running events, panicking if
+// doing so would skip over a pending event. It exists for tests that need
+// to position the clock between events.
+func (s *Scheduler) Advance(d Duration) {
+	CheckNonNegative(d)
+	target := s.now.Add(d)
+	if len(s.queue) > 0 && s.queue[0].when < target {
+		panic(fmt.Sprintf("eventsim: Advance(%v) would skip event %q at %v", d, s.queue[0].name, s.queue[0].when))
+	}
+	s.now = target
+}
+
+// Ticker invokes fn every interval starting at the next interval boundary
+// from now, until the returned stop function is called or fn returns false.
+func (s *Scheduler) Ticker(interval Duration, name string, fn func(now Time) bool) (stop func()) {
+	if interval <= 0 {
+		panic("eventsim: Ticker interval must be positive")
+	}
+	var ev *Event
+	stopped := false
+	var tick func(now Time)
+	tick = func(now Time) {
+		if stopped {
+			return
+		}
+		if !fn(now) {
+			stopped = true
+			return
+		}
+		ev = s.After(interval, name, tick)
+	}
+	ev = s.After(interval, name, tick)
+	return func() {
+		stopped = true
+		s.Cancel(ev)
+	}
+}

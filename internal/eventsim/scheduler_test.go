@@ -1,0 +1,325 @@
+package eventsim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSchedulerRunsInTimeOrder(t *testing.T) {
+	s := NewScheduler()
+	var got []Time
+	for _, sec := range []float64{3, 1, 2, 0.5, 2.5} {
+		s.At(At(sec), "e", func(now Time) { got = append(got, now) })
+	}
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("fired %d events, want 5", len(got))
+	}
+	if s.Now() != At(3) {
+		t.Fatalf("final clock %v, want 3s", s.Now())
+	}
+}
+
+func TestSchedulerFIFOAtSameInstant(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(At(1), "same", func(Time) { order = append(order, i) })
+	}
+	s.RunUntilIdle()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestSchedulerPastPanics(t *testing.T) {
+	s := NewScheduler()
+	s.At(At(1), "x", func(Time) {})
+	s.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.At(At(0.5), "past", func(Time) {})
+}
+
+func TestSchedulerCancel(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	e := s.At(At(1), "x", func(Time) { fired = true })
+	s.Cancel(e)
+	s.Cancel(e) // double cancel is a no-op
+	s.Cancel(nil)
+	s.RunUntilIdle()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+}
+
+func TestSchedulerCancelFromCallback(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	var victim *Event
+	s.At(At(1), "killer", func(Time) { s.Cancel(victim) })
+	victim = s.At(At(2), "victim", func(Time) { fired = true })
+	s.RunUntilIdle()
+	if fired {
+		t.Fatal("victim fired despite cancellation from earlier event")
+	}
+}
+
+func TestSchedulerHorizon(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(At(float64(i)), "e", func(Time) { count++ })
+	}
+	if err := s.Run(At(5)); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Fatalf("fired %d events before horizon, want 5", count)
+	}
+	if s.Now() != At(5) {
+		t.Fatalf("clock %v, want horizon 5s", s.Now())
+	}
+	if s.Len() != 5 {
+		t.Fatalf("%d events pending, want 5", s.Len())
+	}
+}
+
+func TestSchedulerHorizonAdvancesIdleClock(t *testing.T) {
+	s := NewScheduler()
+	if err := s.Run(At(7)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() != At(7) {
+		t.Fatalf("idle run left clock at %v, want 7s", s.Now())
+	}
+}
+
+func TestSchedulerStop(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(At(float64(i)), "e", func(Time) {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	if err := s.RunUntilIdle(); err != ErrStopped {
+		t.Fatalf("Run returned %v, want ErrStopped", err)
+	}
+	if count != 3 {
+		t.Fatalf("fired %d events, want 3", count)
+	}
+}
+
+func TestSchedulerAfterAndAdvance(t *testing.T) {
+	s := NewScheduler()
+	s.After(2*time.Second, "later", func(Time) {})
+	s.Advance(time.Second)
+	if s.Now() != At(1) {
+		t.Fatalf("clock %v after Advance, want 1s", s.Now())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance over a pending event did not panic")
+		}
+	}()
+	s.Advance(5 * time.Second)
+}
+
+func TestSchedulerReentrantScheduling(t *testing.T) {
+	// Events scheduled from inside callbacks at the current instant run in
+	// the same pass, after already-queued same-instant events.
+	s := NewScheduler()
+	var order []string
+	s.At(At(1), "a", func(now Time) {
+		order = append(order, "a")
+		s.At(now, "c", func(Time) { order = append(order, "c") })
+	})
+	s.At(At(1), "b", func(Time) { order = append(order, "b") })
+	s.RunUntilIdle()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := NewScheduler()
+	var ticks []Time
+	s.Ticker(time.Second, "tick", func(now Time) bool {
+		ticks = append(ticks, now)
+		return len(ticks) < 4
+	})
+	s.RunUntilIdle()
+	if len(ticks) != 4 {
+		t.Fatalf("got %d ticks, want 4", len(ticks))
+	}
+	for i, tk := range ticks {
+		if want := At(float64(i + 1)); tk != want {
+			t.Fatalf("tick %d at %v, want %v", i, tk, want)
+		}
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	s := NewScheduler()
+	n := 0
+	stop := s.Ticker(time.Second, "tick", func(Time) bool { n++; return true })
+	s.At(At(2.5), "stopper", func(Time) { stop() })
+	if err := s.Run(At(10)); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("ticker fired %d times, want 2", n)
+	}
+}
+
+func TestTickerZeroIntervalPanics(t *testing.T) {
+	s := NewScheduler()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero interval did not panic")
+		}
+	}()
+	s.Ticker(0, "bad", func(Time) bool { return true })
+}
+
+// Property: for any batch of scheduled offsets, firing order is a stable
+// sort by time.
+func TestSchedulerOrderingProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		s := NewScheduler()
+		type rec struct {
+			at  Time
+			idx int
+		}
+		var fired []rec
+		for i, off := range offsets {
+			i := i
+			at := Time(time.Duration(off) * time.Millisecond)
+			s.At(at, "p", func(now Time) { fired = append(fired, rec{now, i}) })
+		}
+		s.RunUntilIdle()
+		if len(fired) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i].at < fired[i-1].at {
+				return false
+			}
+			if fired[i].at == fired[i-1].at && fired[i].idx < fired[i-1].idx {
+				return false // FIFO violated
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	a := At(1.5)
+	b := a.Add(500 * time.Millisecond)
+	if b != At(2) {
+		t.Fatalf("Add: %v", b)
+	}
+	if d := b.Sub(a); d != 500*time.Millisecond {
+		t.Fatalf("Sub: %v", d)
+	}
+	if !a.Before(b) || !b.After(a) {
+		t.Fatal("Before/After inconsistent")
+	}
+	if a.Seconds() != 1.5 {
+		t.Fatalf("Seconds: %v", a.Seconds())
+	}
+	if got := Since(b, a); got != 500*time.Millisecond {
+		t.Fatalf("Since: %v", got)
+	}
+	if FixedClock(a).Now() != a {
+		t.Fatal("FixedClock")
+	}
+}
+
+func TestCheckNonNegative(t *testing.T) {
+	if CheckNonNegative(time.Second) != time.Second {
+		t.Fatal("positive duration altered")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative duration did not panic")
+		}
+	}()
+	CheckNonNegative(-time.Second)
+}
+
+func TestSchedulerFiredCounter(t *testing.T) {
+	s := NewScheduler()
+	for i := 0; i < 7; i++ {
+		s.After(time.Duration(i)*time.Millisecond, "e", func(Time) {})
+	}
+	s.RunUntilIdle()
+	if s.Fired() != 7 {
+		t.Fatalf("Fired()=%d, want 7", s.Fired())
+	}
+}
+
+func TestEventAccessors(t *testing.T) {
+	s := NewScheduler()
+	e := s.At(At(3), "named", func(Time) {})
+	if e.When() != At(3) {
+		t.Fatalf("When=%v", e.When())
+	}
+	if e.Name() != "named" {
+		t.Fatalf("Name=%q", e.Name())
+	}
+	if e.Cancelled() {
+		t.Fatal("fresh event reports cancelled")
+	}
+}
+
+func TestHeapInterfaceDirect(t *testing.T) {
+	// Exercise Push/Pop via the heap interface with random data to cover the
+	// slice bookkeeping (index maintenance on Swap).
+	r := rand.New(rand.NewSource(1))
+	s := NewScheduler()
+	events := make([]*Event, 0, 64)
+	for i := 0; i < 64; i++ {
+		e := s.At(Time(time.Duration(r.Intn(1000))*time.Millisecond), "h", func(Time) {})
+		events = append(events, e)
+	}
+	// Cancel a random half; indices must stay consistent.
+	for _, i := range r.Perm(64)[:32] {
+		s.Cancel(events[i])
+	}
+	if s.Len() != 32 {
+		t.Fatalf("Len=%d after cancelling half, want 32", s.Len())
+	}
+	s.RunUntilIdle()
+	if s.Len() != 0 {
+		t.Fatalf("queue not drained: %d", s.Len())
+	}
+}

@@ -1,0 +1,538 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"turbulence/internal/stats"
+)
+
+// sharedCtx caches pair runs across the test file, like a real analysis
+// session would.
+var sharedCtx = NewContext(2002)
+
+func mustRun(t *testing.T, id string) *Result {
+	t.Helper()
+	res, err := Run(sharedCtx, id)
+	if err != nil {
+		t.Fatalf("experiment %s: %v", id, err)
+	}
+	if res.ID != id || res.Title == "" {
+		t.Fatalf("experiment %s: malformed result", id)
+	}
+	return res
+}
+
+func series(t *testing.T, res *Result, name string) []stats.Point {
+	t.Helper()
+	for _, s := range res.Series {
+		if s.Name == name || strings.HasPrefix(s.Name, name) {
+			return s.Points
+		}
+	}
+	t.Fatalf("%s: series %q missing (have %v)", res.ID, name, seriesNames(res))
+	return nil
+}
+
+func seriesNames(res *Result) []string {
+	var out []string
+	for _, s := range res.Series {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1",
+		"fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07",
+		"fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+		"sec4", "ext-scaling", "ext-tcp",
+		"ablation-nofrag", "ablation-uncapped", "ablation-nointerleave", "ablation-sequential",
+	}
+	for _, id := range want {
+		if _, ok := Lookup(id); !ok {
+			t.Fatalf("experiment %s not registered", id)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Fatalf("registry has %d entries, want %d: %v", len(IDs()), len(want), IDs())
+	}
+	if _, err := Run(sharedCtx, "bogus"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	res := mustRun(t, "table1")
+	if len(res.Rows) != 13 {
+		t.Fatalf("rows=%d, want 13 pairs", len(res.Rows))
+	}
+	joined := res.String()
+	// Exact Table 1 rates must appear, as measured by the trackers.
+	for _, rate := range []string{"284.0/323.1", "36.0/49.8", "636.9/731.3", "22.0/39.0"} {
+		if !strings.Contains(joined, rate) {
+			t.Fatalf("Table 1 rate %s missing from:\n%s", rate, joined)
+		}
+	}
+	for _, note := range res.Notes {
+		if strings.Contains(note, "MISMATCH") {
+			t.Fatalf("table1 mismatch note: %s", note)
+		}
+	}
+}
+
+func TestFig01RTT(t *testing.T) {
+	res := mustRun(t, "fig01")
+	cdf := series(t, res, "RTT")
+	if len(cdf) < 20 {
+		t.Fatalf("RTT CDF too small: %d", len(cdf))
+	}
+	median := stats.InverseCDF(cdf, 0.5)
+	if median < 25 || median > 70 {
+		t.Fatalf("median RTT=%v ms, paper ~40", median)
+	}
+	max := cdf[len(cdf)-1].X
+	if max < 60 || max > 200 {
+		t.Fatalf("max RTT=%v ms, paper ~160", max)
+	}
+	if cdf[0].X < 25 {
+		t.Fatalf("min RTT=%v ms below plausible floor", cdf[0].X)
+	}
+}
+
+func TestFig02Hops(t *testing.T) {
+	res := mustRun(t, "fig02")
+	cdf := series(t, res, "hops")
+	lo, hi := cdf[0].X, cdf[len(cdf)-1].X
+	if lo < 10 || hi > 30 {
+		t.Fatalf("hop range [%v,%v] outside Figure 2 axis", lo, hi)
+	}
+	// Most paths within 15-20 hops.
+	within := stats.CDFAt(cdf, 20) - stats.CDFAt(cdf, 14.99)
+	if within < 0.5 {
+		t.Fatalf("mass in 15-20 hops=%v, paper: most", within)
+	}
+}
+
+func TestFig03PlaybackVsEncoding(t *testing.T) {
+	res := mustRun(t, "fig03")
+	real_ := series(t, res, "RealPlayer")
+	wmp := series(t, res, "MediaPlayer")
+	if len(real_) != 13 || len(wmp) != 13 {
+		t.Fatalf("points: real=%d wmp=%d", len(real_), len(wmp))
+	}
+	// WMP tracks y=x; Real sits above it.
+	for _, p := range wmp {
+		if r := p.Y / p.X; r < 0.8 || r > 1.35 {
+			t.Fatalf("WMP playback/encoding=%v at %v Kbps", r, p.X)
+		}
+	}
+	above := 0
+	for _, p := range real_ {
+		if p.Y > p.X*1.02 {
+			above++
+		}
+	}
+	if above < 11 {
+		t.Fatalf("only %d/13 Real clips play back above encoding rate", above)
+	}
+	// Polynomial fit series present.
+	series(t, res, "Poly(RealPlayer)")
+	series(t, res, "Poly(MediaPlayer)")
+}
+
+func TestFig04SequenceWindow(t *testing.T) {
+	res := mustRun(t, "fig04")
+	real_ := series(t, res, "Real Player")
+	wmp := series(t, res, "Windows Media Player")
+	if len(real_) == 0 || len(wmp) == 0 {
+		t.Fatal("empty windows")
+	}
+	// WMP sequence numbers advance faster than Real's per unit time in
+	// the window because of fragment trains (paper Fig 4: ~40 vs ~35
+	// packets in the second; exact counts vary).
+	if len(wmp) < 15 {
+		t.Fatalf("WMP packets in 1 s window=%d, want >= 15 (fragment trains)", len(wmp))
+	}
+	hasGroupNote := false
+	for _, n := range res.Notes {
+		if strings.Contains(n, "groups of") {
+			hasGroupNote = true
+		}
+	}
+	if !hasGroupNote {
+		t.Fatalf("constant-group-size note missing: %v", res.Notes)
+	}
+}
+
+func TestFig05Fragmentation(t *testing.T) {
+	res := mustRun(t, "fig05")
+	pts := series(t, res, "MediaPlayer")
+	if len(pts) != 13 {
+		t.Fatalf("points=%d", len(pts))
+	}
+	for _, p := range pts {
+		switch {
+		case p.X < 100:
+			if p.Y != 0 {
+				t.Fatalf("fragmentation %v%% below 100 Kbps", p.Y)
+			}
+		case p.X >= 240 && p.X <= 360:
+			if p.Y < 55 || p.Y > 72 {
+				t.Fatalf("fragmentation %v%% at %v Kbps, paper ~66%%", p.Y, p.X)
+			}
+		case p.X > 500:
+			if p.Y < 75 || p.Y > 92 {
+				t.Fatalf("fragmentation %v%% at top rate, paper ~80%%+", p.Y)
+			}
+		}
+	}
+	// Fragmentation increases with rate overall.
+	slope, _, err := stats.LinearFit(pts)
+	if err != nil || slope <= 0 {
+		t.Fatalf("fragmentation not increasing with rate: slope=%v err=%v", slope, err)
+	}
+}
+
+func TestFig06PacketSizePDF(t *testing.T) {
+	res := mustRun(t, "fig06")
+	wmp := series(t, res, "Windows Media Player")
+	real_ := series(t, res, "Real Player")
+	peak := func(pts []stats.Point) float64 {
+		best := 0.0
+		for _, p := range pts {
+			if p.Y > best {
+				best = p.Y
+			}
+		}
+		return best
+	}
+	if peak(wmp) < 2*peak(real_) {
+		t.Fatalf("WMP peak density %.2f should dwarf Real's %.2f", peak(wmp), peak(real_))
+	}
+	// WMP mass concentrated in the 800-1000B band per the note.
+	found := false
+	for _, n := range res.Notes {
+		if strings.Contains(n, "800-1000B") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("800-1000B note missing")
+	}
+}
+
+func TestFig07NormalizedSizes(t *testing.T) {
+	res := mustRun(t, "fig07")
+	wmp := series(t, res, "Windows Media")
+	real_ := series(t, res, "Real Player")
+	mass := func(pts []stats.Point, lo, hi float64) float64 {
+		sum := 0.0
+		for _, p := range pts {
+			if p.X >= lo && p.X <= hi {
+				sum += p.Y
+			}
+		}
+		return sum
+	}
+	if m := mass(wmp, 0.85, 1.15); m < 0.55 {
+		t.Fatalf("WMP normalized mass near 1.0 = %.2f, want concentrated", m)
+	}
+	if m := mass(real_, 0.85, 1.15); m > 0.75 {
+		t.Fatalf("Real normalized mass near 1.0 = %.2f, want spread", m)
+	}
+	if m := mass(real_, 0.55, 1.9); m < 0.9 {
+		t.Fatalf("Real mass in 0.6-1.8 range = %.2f", m)
+	}
+}
+
+func TestFig08InterarrivalPDF(t *testing.T) {
+	res := mustRun(t, "fig08")
+	wmp := series(t, res, "Windows Media Player")
+	var wmpPeak float64
+	for _, p := range wmp {
+		if p.Y > wmpPeak {
+			wmpPeak = p.Y
+		}
+	}
+	if wmpPeak < 0.5 {
+		t.Fatalf("WMP interarrival peak=%.2f, want a dominant constant interval", wmpPeak)
+	}
+	real_ := series(t, res, "Real Player")
+	var realPeak float64
+	for _, p := range real_ {
+		if p.Y > realPeak {
+			realPeak = p.Y
+		}
+	}
+	if realPeak > 0.6*wmpPeak {
+		t.Fatalf("Real interarrival peak=%.2f vs WMP %.2f: Real should be flatter", realPeak, wmpPeak)
+	}
+}
+
+func TestFig09NormalizedInterarrivalCDF(t *testing.T) {
+	res := mustRun(t, "fig09")
+	wmp := series(t, res, "Windows Media Player")
+	real_ := series(t, res, "Real Player")
+	// WMP: steep step at 1.0 — the CDF jumps across [0.9, 1.1].
+	wmpJump := stats.CDFAt(wmp, 1.1) - stats.CDFAt(wmp, 0.9)
+	if wmpJump < 0.6 {
+		t.Fatalf("WMP CDF jump across 1.0=%.2f, want steep (paper Fig 9)", wmpJump)
+	}
+	realJump := stats.CDFAt(real_, 1.1) - stats.CDFAt(real_, 0.9)
+	if realJump > 0.6*wmpJump {
+		t.Fatalf("Real CDF jump=%.2f vs WMP %.2f, want gradual", realJump, wmpJump)
+	}
+}
+
+func TestFig10BandwidthTimeline(t *testing.T) {
+	res := mustRun(t, "fig10")
+	if len(res.Series) != 4 {
+		t.Fatalf("series=%d, want 4 (R-h, M-h, R-l, M-l)", len(res.Series))
+	}
+	// Real streams end earlier than WMP streams per the notes.
+	count := 0
+	for _, n := range res.Notes {
+		if strings.Contains(n, "Real stream lasted") {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Fatalf("duration notes=%d", count)
+	}
+}
+
+func TestFig11BufferingRatio(t *testing.T) {
+	res := mustRun(t, "fig11")
+	pts := series(t, res, "Real")
+	if len(pts) != 13 {
+		t.Fatalf("points=%d", len(pts))
+	}
+	for _, p := range pts {
+		if p.X < 56 && p.Y < 2.2 {
+			t.Fatalf("low-rate ratio %.2f at %.0fK, paper ~3", p.Y, p.X)
+		}
+		if p.X > 500 && (p.Y < 0.8 || p.Y > 1.4) {
+			t.Fatalf("very-high ratio %.2f at %.0fK, paper ~1", p.Y, p.X)
+		}
+	}
+	// Declining trend with encoding rate.
+	slope, _, err := stats.LinearFit(pts)
+	if err != nil || slope >= 0 {
+		t.Fatalf("buffering ratio should decline with rate: slope=%v", slope)
+	}
+}
+
+func TestFig12Interleaving(t *testing.T) {
+	res := mustRun(t, "fig12")
+	osPts := series(t, res, "Transport Layer Packets")
+	appPts := series(t, res, "Application Layer Packets")
+	if len(osPts) < 20 || len(appPts) < 20 {
+		t.Fatalf("window points: os=%d app=%d", len(osPts), len(appPts))
+	}
+	// App deliveries cluster into few instants; OS deliveries into many.
+	distinct := func(pts []stats.Point) int {
+		seen := map[float64]bool{}
+		for _, p := range pts {
+			seen[p.X] = true
+		}
+		return len(seen)
+	}
+	if distinct(appPts) >= distinct(osPts)/3 {
+		t.Fatalf("app instants=%d vs os instants=%d: batching invisible", distinct(appPts), distinct(osPts))
+	}
+}
+
+func TestFig13FrameRateTimeline(t *testing.T) {
+	res := mustRun(t, "fig13")
+	if len(res.Series) != 4 {
+		t.Fatalf("series=%d", len(res.Series))
+	}
+	// Identify the low WMP series (39.0K) and check its plateau at 13.
+	var wmpLow, realLow []stats.Point
+	for _, s := range res.Series {
+		if strings.Contains(s.Name, "Windows") && strings.Contains(s.Name, "39.0K") {
+			wmpLow = s.Points
+		}
+		if strings.Contains(s.Name, "Real") && strings.Contains(s.Name, "22.0K") {
+			realLow = s.Points
+		}
+	}
+	if wmpLow == nil || realLow == nil {
+		t.Fatalf("low-rate series missing: %v", seriesNames(res))
+	}
+	if m := steadyMean(wmpLow); math.Abs(m-13) > 1.5 {
+		t.Fatalf("WMP low plateau=%.1f, want 13 (paper Fig 13)", m)
+	}
+	if m := steadyMean(realLow); m < 17 {
+		t.Fatalf("Real low plateau=%.1f, want ~19", m)
+	}
+}
+
+func steadyMean(pts []stats.Point) float64 {
+	if len(pts) < 10 {
+		return 0
+	}
+	var ys []float64
+	for _, p := range pts[2 : len(pts)-2] {
+		ys = append(ys, p.Y)
+	}
+	return stats.Mean(ys)
+}
+
+func TestFig14And15FrameRates(t *testing.T) {
+	for _, id := range []string{"fig14", "fig15"} {
+		res := mustRun(t, id)
+		if len(res.Rows) < 5 {
+			t.Fatalf("%s: class rows=%d", id, len(res.Rows))
+		}
+		real_ := series(t, res, "Real Media")
+		wmp := series(t, res, "Windows Media")
+		if len(real_) != 13 || len(wmp) != 13 {
+			t.Fatalf("%s: points", id)
+		}
+		// Class means: Real low > WMP low; both high classes ~25.
+		var lowNote string
+		for _, n := range res.Notes {
+			if strings.Contains(n, "low-rate mean fps") {
+				lowNote = n
+			}
+		}
+		if lowNote == "" {
+			t.Fatalf("%s: low-rate note missing", id)
+		}
+	}
+	// Quantitative check on fig14's underlying points.
+	res := mustRun(t, "fig14")
+	real_ := series(t, res, "Real Media")
+	wmp := series(t, res, "Windows Media")
+	lowMean := func(pts []stats.Point) float64 {
+		var ys []float64
+		for _, p := range pts {
+			if p.X < 110 {
+				ys = append(ys, p.Y)
+			}
+		}
+		return stats.Mean(ys)
+	}
+	if lowMean(real_) <= lowMean(wmp) {
+		t.Fatalf("low-rate fps: real=%.1f should beat wmp=%.1f", lowMean(real_), lowMean(wmp))
+	}
+}
+
+func TestSec4Generator(t *testing.T) {
+	res := mustRun(t, "sec4")
+	if len(res.Rows) != 4 { // measured+generated for Real and WMP
+		t.Fatalf("rows=%d", len(res.Rows))
+	}
+	// Each pair of rows: CBR flag must agree between measured and
+	// generated.
+	for i := 0; i < len(res.Rows); i += 2 {
+		if res.Rows[i][6] != res.Rows[i+1][6] {
+			t.Fatalf("CBR flag diverges: %v vs %v", res.Rows[i], res.Rows[i+1])
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	nofrag := mustRun(t, "ablation-nofrag")
+	// Capped variant's frag share cell must be 0.
+	if got := nofrag.Rows[1][1]; got != "0.0%" {
+		t.Fatalf("capped frag share=%q", got)
+	}
+	if base := nofrag.Rows[0][1]; base == "0.0%" {
+		t.Fatalf("baseline lost its fragmentation")
+	}
+
+	uncapped := mustRun(t, "ablation-uncapped")
+	parse := func(s string) float64 {
+		var v float64
+		if _, err := fmtSscan(s, &v); err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		return v
+	}
+	baseRatio := parse(uncapped.Rows[0][1])
+	freeRatio := parse(uncapped.Rows[1][1])
+	if baseRatio > 1.4 {
+		t.Fatalf("capped ratio=%v, want ~1", baseRatio)
+	}
+	if freeRatio < baseRatio+0.2 {
+		t.Fatalf("uncapped ratio=%v should exceed capped=%v", freeRatio, baseRatio)
+	}
+
+	noil := mustRun(t, "ablation-nointerleave")
+	baseInstants := parse(noil.Rows[0][1])
+	directInstants := parse(noil.Rows[1][1])
+	if directInstants < 3*baseInstants {
+		t.Fatalf("direct delivery instants=%v vs interleaved=%v", directInstants, baseInstants)
+	}
+
+	seq := mustRun(t, "ablation-sequential")
+	if len(seq.Rows) != 4 {
+		t.Fatalf("sequential rows=%d", len(seq.Rows))
+	}
+}
+
+func TestExtScaling(t *testing.T) {
+	res := mustRun(t, "ext-scaling")
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows=%d", len(res.Rows))
+	}
+	parse := func(s string) float64 {
+		var v float64
+		if _, err := fmtSscan(s, &v); err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		return v
+	}
+	// Rows: off/Real, off/WMP, on/Real, on/WMP; loss column index 2.
+	offWMP, onWMP := parse(res.Rows[1][2]), parse(res.Rows[3][2])
+	if offWMP < 30 {
+		t.Fatalf("unscaled WMP loss=%v%%, bottleneck not binding", offWMP)
+	}
+	if onWMP > offWMP/2 {
+		t.Fatalf("scaling did not help WMP: %v%% vs %v%%", onWMP, offWMP)
+	}
+	offReal, onReal := parse(res.Rows[0][2]), parse(res.Rows[2][2])
+	if onReal >= offReal && offReal > 0.5 {
+		t.Fatalf("scaling did not help Real: %v%% vs %v%%", onReal, offReal)
+	}
+}
+
+func TestExtTCP(t *testing.T) {
+	res := mustRun(t, "ext-tcp")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows=%d", len(res.Rows))
+	}
+	parse := func(s string) float64 {
+		var v float64
+		if _, err := fmtSscan(s, &v); err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		return v
+	}
+	udpCV, tcpCV := parse(res.Rows[0][2]), parse(res.Rows[1][2])
+	if tcpCV < 3*udpCV {
+		t.Fatalf("TCP should be far burstier: cv %v vs %v", tcpCV, udpCV)
+	}
+	udpGap, tcpGap := parse(res.Rows[0][4]), parse(res.Rows[1][4])
+	if tcpGap < 2*udpGap {
+		t.Fatalf("TCP stalls should dominate: gap %v vs %v ms", tcpGap, udpGap)
+	}
+	// TCP never fragments; WMS over UDP does.
+	if res.Rows[1][5] != "0.0%" {
+		t.Fatalf("TCP fragmented: %v", res.Rows[1][5])
+	}
+	if res.Rows[0][5] == "0.0%" {
+		t.Fatal("UDP/WMS lost its fragmentation")
+	}
+}
+
+// fmtSscan parses the leading float of a table cell.
+func fmtSscan(s string, v *float64) (int, error) {
+	return fmt.Sscan(strings.TrimSuffix(s, "%"), v)
+}

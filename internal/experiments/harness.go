@@ -1,0 +1,180 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation from the simulated testbed. Each experiment is a registered
+// generator producing a Result: tabular rows, plottable series, or both,
+// in the same units and with the same reductions the paper used. The
+// cmd/turbulence binary prints Results; bench_test.go wraps the same
+// generators; EXPERIMENTS.md records paper-versus-measured values.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"turbulence/internal/core"
+	"turbulence/internal/media"
+	"turbulence/internal/stats"
+)
+
+// Series is one named curve of a figure.
+type Series struct {
+	Name   string
+	Points []stats.Point
+}
+
+// Result is the regenerated artifact for one experiment.
+type Result struct {
+	ID    string
+	Title string
+
+	// Tabular part.
+	Columns []string
+	Rows    [][]string
+
+	// Figure part.
+	Series []Series
+
+	// Headline observations, used for quick comparison against the paper.
+	Notes []string
+}
+
+// AddNote appends a formatted observation.
+func (r *Result) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render prints the result as aligned text.
+func (r *Result) Render(w *strings.Builder) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	if len(r.Columns) > 0 {
+		widths := make([]int, len(r.Columns))
+		for i, c := range r.Columns {
+			widths[i] = len(c)
+		}
+		for _, row := range r.Rows {
+			for i, cell := range row {
+				if i < len(widths) && len(cell) > widths[i] {
+					widths[i] = len(cell)
+				}
+			}
+		}
+		for i, c := range r.Columns {
+			fmt.Fprintf(w, "%-*s  ", widths[i], c)
+		}
+		w.WriteString("\n")
+		for _, row := range r.Rows {
+			for i, cell := range row {
+				fmt.Fprintf(w, "%-*s  ", widths[i], cell)
+			}
+			w.WriteString("\n")
+		}
+	}
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "series %s (%d points)\n", s.Name, len(s.Points))
+		for _, p := range s.Points {
+			fmt.Fprintf(w, "  %g\t%g\n", p.X, p.Y)
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// String renders the result.
+func (r *Result) String() string {
+	var b strings.Builder
+	r.Render(&b)
+	return b.String()
+}
+
+// Context caches pair runs so one invocation of several experiments runs
+// each Table 1 pair at most once.
+type Context struct {
+	Seed int64
+	runs map[core.PairKey]*core.PairRun
+}
+
+// NewContext creates a run cache for the given base seed.
+func NewContext(seed int64) *Context {
+	return &Context{Seed: seed, runs: make(map[core.PairKey]*core.PairRun)}
+}
+
+// Pair returns the (cached) run for one pair experiment.
+func (c *Context) Pair(set int, class media.Class) (*core.PairRun, error) {
+	k := core.PairKey{Set: set, Class: class}
+	if r, ok := c.runs[k]; ok {
+		return r, nil
+	}
+	r, err := core.RunPair(c.pairSeed(k), set, class)
+	if err != nil {
+		return nil, err
+	}
+	c.runs[k] = r
+	return r, nil
+}
+
+func (c *Context) pairSeed(k core.PairKey) int64 {
+	return c.Seed*1000003 + int64(k.Set)*101 + int64(k.Class)*13
+}
+
+// All returns runs for every Table 1 pair.
+func (c *Context) All() ([]*core.PairRun, error) {
+	var out []*core.PairRun
+	for _, k := range core.AllPairs() {
+		r, err := c.Pair(k.Set, k.Class)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Generator produces one experiment's Result.
+type Generator func(*Context) (*Result, error)
+
+// Experiment is one registry entry.
+type Experiment struct {
+	ID       string
+	Title    string
+	Generate Generator
+}
+
+var registry = map[string]Experiment{}
+
+func register(id, title string, g Generator) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = Experiment{ID: id, Title: title, Generate: g}
+}
+
+// Lookup returns a registered experiment.
+func Lookup(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// IDs lists registered experiment ids in order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(ctx *Context, id string) (*Result, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return e.Generate(ctx)
+}
+
+// fmtF renders a float compactly for table cells.
+func fmtF(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+func fmtPct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

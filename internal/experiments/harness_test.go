@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"turbulence/internal/media"
+	"turbulence/internal/stats"
+)
+
+func TestContextCachesRuns(t *testing.T) {
+	ctx := NewContext(55)
+	a, err := ctx.Pair(3, media.Low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ctx.Pair(3, media.Low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("context re-ran a cached pair")
+	}
+}
+
+func TestContextDistinctSeedsDistinctRuns(t *testing.T) {
+	a, err := NewContext(1).Pair(3, media.Low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewContext(2).Pair(3, media.Low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Trace.Len() == b.Trace.Len() {
+		// Lengths can collide; compare a timestamp too.
+		same := true
+		for i := 0; i < a.Trace.Len() && i < b.Trace.Len(); i++ {
+			if a.Trace.Records[i].At != b.Trace.Records[i].At {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestResultRendering(t *testing.T) {
+	r := &Result{
+		ID:      "demo",
+		Title:   "Demo result",
+		Columns: []string{"a", "long-column"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Series:  []Series{{Name: "curve", Points: []stats.Point{{X: 1, Y: 2}}}},
+	}
+	r.AddNote("observation %d", 42)
+	out := r.String()
+	for _, want := range []string{"demo", "Demo result", "long-column", "333", "curve", "observation 42"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDownsampleCDF(t *testing.T) {
+	var cdf []stats.Point
+	for i := 0; i < 1000; i++ {
+		cdf = append(cdf, stats.Point{X: float64(i), Y: float64(i+1) / 1000})
+	}
+	ds := downsampleCDF(cdf, 50)
+	if len(ds) != 50 {
+		t.Fatalf("len=%d", len(ds))
+	}
+	if ds[0] != cdf[0] || ds[len(ds)-1] != cdf[len(cdf)-1] {
+		t.Fatal("endpoints not preserved")
+	}
+	for i := 1; i < len(ds); i++ {
+		if ds[i].X <= ds[i-1].X {
+			t.Fatal("downsample broke monotonicity")
+		}
+	}
+	// Short series pass through untouched.
+	short := cdf[:10]
+	if got := downsampleCDF(short, 50); len(got) != 10 {
+		t.Fatalf("short series resampled: %d", len(got))
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	register("table1", "dup", nil)
+}
+
+func TestFormattingHelpers(t *testing.T) {
+	if fmtF(1.26) != "1.3" {
+		t.Fatalf("fmtF=%q", fmtF(1.26))
+	}
+	if fmtPct(0.666) != "66.6%" {
+		t.Fatalf("fmtPct=%q", fmtPct(0.666))
+	}
+	if fmtInt(7) != "7.0" {
+		t.Fatalf("fmtInt=%q", fmtInt(7))
+	}
+}

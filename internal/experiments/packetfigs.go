@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"time"
+
+	"turbulence/internal/media"
+	"turbulence/internal/stats"
+)
+
+func init() {
+	register("fig04", "Figure 4: packet arrivals vs time (data set 5 high pair)", fig04)
+	register("fig05", "Figure 5: MediaPlayer IP fragmentation vs encoded rate", fig05)
+	register("fig06", "Figure 6: PDF of packet size (data set 1 low pair)", fig06)
+	register("fig07", "Figure 7: PDF of normalized packet size (all data sets)", fig07)
+	register("fig08", "Figure 8: PDF of packet interarrival times (data set 1 low pair)", fig08)
+	register("fig09", "Figure 9: CDF of normalized packet interarrival times (all data sets)", fig09)
+}
+
+// fig04 shows a one-second window of packet arrivals at t~30 s for the
+// data set 5 high pair: MediaPlayer's fragment-train staircase against
+// RealPlayer's even spread.
+func fig04(ctx *Context) (*Result, error) {
+	run, err := ctx.Pair(5, media.High)
+	if err != nil {
+		return nil, err
+	}
+	rc, wc := run.Clips()
+	from, to := 30*time.Second, 31*time.Second
+	res := &Result{
+		ID:    "fig04",
+		Title: "Packet arrivals vs time (sequence number over one second)",
+		Series: []Series{
+			{Name: seriesName("Real Player", rc), Points: run.RealFlow.SequencePoints(from, to)},
+			{Name: seriesName("Windows Media Player", wc), Points: run.WMPFlow.SequencePoints(from, to)},
+		},
+	}
+	// The WMP window decomposes into groups of a constant packet count.
+	trains := run.WMPFlow.Window(from, to).TrainLengths()
+	constant := len(trains) > 0
+	for _, n := range trains {
+		if n != trains[0] {
+			constant = false
+		}
+	}
+	if constant && len(trains) > 0 {
+		res.AddNote("WMP arrives in groups of %d packets (1 UDP + %d fragments), constant per group (paper §3.C)", trains[0], trains[0]-1)
+	}
+	res.AddNote("window %v-%v; Real packets=%d, WMP packets=%d", from, to,
+		len(res.Series[0].Points), len(res.Series[1].Points))
+	return res, nil
+}
+
+// fig05 plots the continuation-fragment share of each MediaPlayer flow
+// against its encoding rate (paper: 0 below 100 Kbps, ~66% at 300 Kbps,
+// up to ~80%+ at the top rate). Real flows are checked to be fragment
+// free.
+func fig05(ctx *Context) (*Result, error) {
+	runs, err := ctx.All()
+	if err != nil {
+		return nil, err
+	}
+	var pts []stats.Point
+	realFrags := 0
+	for _, run := range runs {
+		_, wc := run.Clips()
+		share := run.WMPFlow.Fragmentation().ContinuationShare()
+		pts = append(pts, stats.Point{X: wc.EncodedKbps, Y: share * 100})
+		realFrags += run.RealFlow.Fragmentation().AnyFragment
+	}
+	res := &Result{
+		ID:     "fig05",
+		Title:  "MediaPlayer IP fragmentation (%) vs encoded rate (Kbps)",
+		Series: []Series{{Name: "MediaPlayer", Points: pts}},
+	}
+	var sub100, at300, top []float64
+	for _, p := range pts {
+		switch {
+		case p.X < 100:
+			sub100 = append(sub100, p.Y)
+		case p.X >= 240 && p.X <= 360:
+			at300 = append(at300, p.Y)
+		case p.X > 500:
+			top = append(top, p.Y)
+		}
+	}
+	res.AddNote("below 100 Kbps: %.1f%% fragments (paper: 0%%)", stats.Mean(sub100))
+	res.AddNote("around 300 Kbps: %.1f%% fragments (paper: ~66%%)", stats.Mean(at300))
+	res.AddNote("top rate: %.1f%% fragments (paper: up to ~80%%)", stats.Mean(top))
+	res.AddNote("Real flows contained %d fragments across all runs (paper: none)", realFrags)
+	return res, nil
+}
+
+// fig06 is the packet-size PDF of the data set 1 low pair, 50-byte bins.
+func fig06(ctx *Context) (*Result, error) {
+	run, err := ctx.Pair(1, media.Low)
+	if err != nil {
+		return nil, err
+	}
+	rc, wc := run.Clips()
+	res := &Result{
+		ID:    "fig06",
+		Title: "PDF of packet size (bytes), data set 1 low pair",
+		Series: []Series{
+			{Name: seriesName("Real Player", rc), Points: stats.PDF(run.RealFlow.PacketSizes(), 0, 1600, 32)},
+			{Name: seriesName("Windows Media Player", wc), Points: stats.PDF(run.WMPFlow.PacketSizes(), 0, 1600, 32)},
+		},
+	}
+	// Paper: over 80% of WMP packets between 800 and 1000 bytes.
+	h := stats.NewHistogram(0, 1600, 32)
+	h.AddAll(run.WMPFlow.PacketSizes())
+	res.AddNote("WMP mass in 800-1000B band: %s (paper: >80%%)", fmtPct(h.MassIn(800, 1000)))
+	_, peak := h.PeakBin()
+	res.AddNote("WMP peak-bin mass %s; Real spreads with no single peak (paper §3.D)", fmtPct(peak))
+	return res, nil
+}
+
+// fig07 aggregates normalized packet sizes (per-clip mean = 1) over all
+// data sets (paper: WMP concentrated at 1.0; Real spread ~0.6-1.8).
+func fig07(ctx *Context) (*Result, error) {
+	runs, err := ctx.All()
+	if err != nil {
+		return nil, err
+	}
+	var realNorm, wmpNorm []float64
+	for _, run := range runs {
+		realNorm = append(realNorm, stats.Normalize(run.RealFlow.PacketSizes())...)
+		wmpNorm = append(wmpNorm, stats.Normalize(run.WMPFlow.PacketSizes())...)
+	}
+	res := &Result{
+		ID:    "fig07",
+		Title: "PDF of normalized packet size (all data sets)",
+		Series: []Series{
+			{Name: "Real Player", Points: stats.PDF(realNorm, 0, 2, 40)},
+			{Name: "Windows Media", Points: stats.PDF(wmpNorm, 0, 2, 40)},
+		},
+	}
+	rh := stats.NewHistogram(0, 2, 40)
+	rh.AddAll(realNorm)
+	res.AddNote("Real mass in 0.6-1.8: %s (paper: spread over that range)", fmtPct(rh.MassIn(0.6, 1.8)))
+	wh := stats.NewHistogram(0, 2, 40)
+	wh.AddAll(wmpNorm)
+	res.AddNote("WMP mass in 0.85-1.15: %s (paper: concentrated at the mean)", fmtPct(wh.MassIn(0.85, 1.15)))
+	_, rPeak := rh.PeakBin()
+	_, wPeak := wh.PeakBin()
+	res.AddNote("peak bin density: WMP %s vs Real %s", fmtPct(wPeak), fmtPct(rPeak))
+	return res, nil
+}
+
+// fig08 is the interarrival PDF of the data set 1 low pair, 10 ms bins
+// over 0-0.2 s.
+func fig08(ctx *Context) (*Result, error) {
+	run, err := ctx.Pair(1, media.Low)
+	if err != nil {
+		return nil, err
+	}
+	rc, wc := run.Clips()
+	res := &Result{
+		ID:    "fig08",
+		Title: "PDF of packet interarrival time (s), data set 1 low pair",
+		Series: []Series{
+			{Name: seriesName("Real Player", rc), Points: stats.PDF(run.RealFlow.Interarrivals(), 0, 0.2, 20)},
+			{Name: seriesName("Windows Media Player", wc), Points: stats.PDF(run.WMPFlow.Interarrivals(), 0, 0.2, 20)},
+		},
+	}
+	ws := stats.Summarize(run.WMPFlow.Interarrivals())
+	rs := stats.Summarize(run.RealFlow.Interarrivals())
+	res.AddNote("WMP interarrival CV=%.2f (approximately constant); Real CV=%.2f (wide range) — paper §3.E",
+		stats.Ratio(ws.StdDev, ws.Mean), stats.Ratio(rs.StdDev, rs.Mean))
+	return res, nil
+}
+
+// fig09 is the CDF of normalized interarrival times over all data sets,
+// with MediaPlayer fragment trains collapsed to their first packet exactly
+// as the paper prescribes.
+func fig09(ctx *Context) (*Result, error) {
+	runs, err := ctx.All()
+	if err != nil {
+		return nil, err
+	}
+	var realNorm, wmpNorm []float64
+	for _, run := range runs {
+		realNorm = append(realNorm, stats.Normalize(run.RealFlow.GroupInterarrivals())...)
+		wmpNorm = append(wmpNorm, stats.Normalize(run.WMPFlow.GroupInterarrivals())...)
+	}
+	res := &Result{
+		ID:    "fig09",
+		Title: "CDF of normalized packet interarrival time (all data sets)",
+		Series: []Series{
+			{Name: "Real Player", Points: downsampleCDF(stats.CDF(realNorm), 200)},
+			{Name: "Windows Media Player", Points: downsampleCDF(stats.CDF(wmpNorm), 200)},
+		},
+	}
+	// Steepness at the mean: mass within 10% of normalized 1.0.
+	res.AddNote("WMP mass within [0.9,1.1]: %s (paper: steep step at 1)", fmtPct(massNear1(wmpNorm)))
+	res.AddNote("Real mass within [0.9,1.1]: %s (paper: gradual slope)", fmtPct(massNear1(realNorm)))
+	return res, nil
+}
+
+func massNear1(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range xs {
+		if v >= 0.9 && v <= 1.1 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// downsampleCDF thins a CDF series for readable output while keeping the
+// endpoints.
+func downsampleCDF(cdf []stats.Point, max int) []stats.Point {
+	if len(cdf) <= max {
+		return cdf
+	}
+	out := make([]stats.Point, 0, max)
+	step := float64(len(cdf)-1) / float64(max-1)
+	for i := 0; i < max; i++ {
+		out = append(out, cdf[int(float64(i)*step)])
+	}
+	out[len(out)-1] = cdf[len(cdf)-1]
+	return out
+}

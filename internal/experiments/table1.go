@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+
+	"turbulence/internal/media"
+)
+
+func init() {
+	register("table1", "Table 1: experiment data sets (encoded rates captured by the trackers)", table1)
+}
+
+// table1 regenerates the paper's Table 1: for every data set and class,
+// the Real and MediaPlayer encoded rates as *measured by the instrumented
+// players*, not as read from the clip library — the whole point of the
+// paper's table is that the trackers captured the true encoding rates.
+func table1(ctx *Context) (*Result, error) {
+	res := &Result{
+		ID:      "table1",
+		Title:   "Experiment data sets",
+		Columns: []string{"Set", "Pair", "Encode (Kbps)", "Clip Info", "Length"},
+	}
+	runs, err := ctx.All()
+	if err != nil {
+		return nil, err
+	}
+	for _, run := range runs {
+		set, _ := media.FindSet(run.Set)
+		label := fmt.Sprintf("R-%s/M-%s", run.Class.Suffix(), run.Class.Suffix())
+		rates := fmt.Sprintf("%.1f/%.1f", run.Real.EncodedKbps(), run.WMP.EncodedKbps())
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%d", run.Set),
+			label,
+			rates,
+			set.Content.String(),
+			fmt.Sprintf("%d:%02d", int(set.Duration.Minutes()), int(set.Duration.Seconds())%60),
+		})
+	}
+	// The paper's §3.B observation about Table 1.
+	lowerEverywhere := true
+	for _, run := range runs {
+		if run.Real.EncodedKbps() >= run.WMP.EncodedKbps() {
+			lowerEverywhere = false
+		}
+	}
+	if lowerEverywhere {
+		res.AddNote("Real encodes below MediaPlayer for every advertised rate (paper §3.B)")
+	} else {
+		res.AddNote("MISMATCH: some Real clip encoded at or above its MediaPlayer pair")
+	}
+	res.AddNote("26 clips in 6 sets; measured rates come from DESCRIBE responses captured by the trackers")
+	return res, nil
+}

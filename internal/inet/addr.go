@@ -1,0 +1,84 @@
+// Package inet implements the wire-format substrate of the reproduction:
+// byte-accurate IPv4 and UDP header codecs, internet checksums, and RFC 791
+// fragmentation and reassembly.
+//
+// The paper's most network-visible finding is that Windows MediaPlayer
+// servers hand application frames larger than the path MTU to the OS, which
+// then emits trains of IP fragments (one 1514-byte wire packet per MTU of
+// payload plus a remainder), while RealServer packetises below the MTU and
+// never fragments. To make those findings *emergent* rather than painted
+// on, the simulated hosts serialise real IPv4/UDP datagrams and the
+// simulated IP layer fragments them exactly as RFC 791 prescribes.
+package inet
+
+import (
+	"fmt"
+)
+
+// Addr is an IPv4 address. It is a value type usable as a map key, in the
+// spirit of gopacket's fixed-size Endpoint.
+type Addr [4]byte
+
+// MakeAddr assembles an address from four octets.
+func MakeAddr(a, b, c, d byte) Addr { return Addr{a, b, c, d} }
+
+// String renders dotted-quad notation.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// IsZero reports whether the address is the unspecified 0.0.0.0.
+func (a Addr) IsZero() bool { return a == Addr{} }
+
+// ParseAddr parses dotted-quad notation.
+func ParseAddr(s string) (Addr, error) {
+	var a Addr
+	var fields [4]int
+	n, err := fmt.Sscanf(s, "%d.%d.%d.%d", &fields[0], &fields[1], &fields[2], &fields[3])
+	if err != nil || n != 4 {
+		return a, fmt.Errorf("inet: bad address %q", s)
+	}
+	for i, f := range fields {
+		if f < 0 || f > 255 {
+			return a, fmt.Errorf("inet: octet %d out of range in %q", f, s)
+		}
+		a[i] = byte(f)
+	}
+	return a, nil
+}
+
+// Port is a UDP port number.
+type Port uint16
+
+// Endpoint is an (address, port) pair.
+type Endpoint struct {
+	Addr Addr
+	Port Port
+}
+
+// String renders "a.b.c.d:port".
+func (e Endpoint) String() string { return fmt.Sprintf("%s:%d", e.Addr, e.Port) }
+
+// Flow identifies a unidirectional UDP flow by its endpoints, in the spirit
+// of gopacket's Flow. It is comparable and usable as a map key, which the
+// capture analysis uses to split traces per player.
+type Flow struct {
+	Src, Dst Endpoint
+}
+
+// Reverse returns the flow in the opposite direction.
+func (f Flow) Reverse() Flow { return Flow{Src: f.Dst, Dst: f.Src} }
+
+// String renders "src -> dst".
+func (f Flow) String() string { return fmt.Sprintf("%s -> %s", f.Src, f.Dst) }
+
+// Well-known ports used across the reproduction. The 2002 players used
+// server-chosen UDP data ports; we pin conventional values so traces are
+// self-describing.
+const (
+	PortMMSData  Port = 1755 // Windows Media (MMS) data channel
+	PortRDTData  Port = 6970 // RealNetworks RDT data channel
+	PortMMSCtl   Port = 1756 // simulated MMS control channel
+	PortRTSPCtl  Port = 554  // RTSP control channel
+	PortICMPEcho Port = 7    // echo-style probe port used by internal/probe
+)

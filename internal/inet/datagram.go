@@ -1,0 +1,113 @@
+package inet
+
+import (
+	"fmt"
+)
+
+// Datagram is a fully-formed IPv4 packet: header plus IP payload bytes. It
+// is the unit handed to the simulated network. Wire() adds the Ethernet
+// framing overhead that a sniffer (and the paper's figures) would observe.
+type Datagram struct {
+	Header  IPv4Header
+	Payload []byte // IP payload (e.g. UDP header + application data)
+}
+
+// Len returns the IP-level length (header + payload).
+func (d *Datagram) Len() int { return IPv4HeaderLen + len(d.Payload) }
+
+// WireLen returns the on-the-wire length including Ethernet framing; a full
+// 1500-byte IP packet reads 1514 here, matching the paper's traces.
+func (d *Datagram) WireLen() int { return d.Len() + EthernetOverhead }
+
+// Marshal serialises the datagram to IP wire bytes (header checksum
+// included, no Ethernet framing).
+func (d *Datagram) Marshal() ([]byte, error) {
+	if d.Len() > 0xFFFF {
+		return nil, ErrPayloadRange
+	}
+	d.Header.TotalLen = uint16(d.Len())
+	hb := d.Header.Marshal()
+	return append(hb, d.Payload...), nil
+}
+
+// ParseDatagram decodes IP wire bytes into a Datagram. The payload is
+// copied so the caller may reuse b.
+func ParseDatagram(b []byte) (*Datagram, error) {
+	h, payload, err := ParseIPv4(b)
+	if err != nil {
+		return nil, err
+	}
+	return &Datagram{Header: h, Payload: append([]byte(nil), payload...)}, nil
+}
+
+// String summarises the datagram.
+func (d *Datagram) String() string {
+	return fmt.Sprintf("%s payload=%dB", d.Header.String(), len(d.Payload))
+}
+
+// DefaultTTL is the initial TTL hosts assign, matching Windows 2000's 128.
+const DefaultTTL = 128
+
+// BuildUDP assembles a complete UDP/IPv4 datagram carrying payload from src
+// to dst. id is the IP identification value (the sending host's counter).
+func BuildUDP(src, dst Endpoint, id uint16, payload []byte) (*Datagram, error) {
+	udp, err := MarshalUDP(src, dst, payload)
+	if err != nil {
+		return nil, err
+	}
+	d := &Datagram{
+		Header: IPv4Header{
+			ID:       id,
+			TTL:      DefaultTTL,
+			Protocol: ProtoUDP,
+			Src:      src.Addr,
+			Dst:      dst.Addr,
+		},
+		Payload: udp,
+	}
+	if d.Len() > 0xFFFF {
+		return nil, ErrPayloadRange
+	}
+	d.Header.TotalLen = uint16(d.Len())
+	return d, nil
+}
+
+// UDP extracts the UDP header and application payload from the datagram.
+// It fails on fragments (offset > 0 has no UDP header) — reassemble first.
+func (d *Datagram) UDP() (UDPHeader, []byte, error) {
+	if d.Header.Protocol != ProtoUDP {
+		return UDPHeader{}, nil, fmt.Errorf("inet: protocol %d is not UDP", d.Header.Protocol)
+	}
+	if d.Header.FragOff != 0 {
+		return UDPHeader{}, nil, ErrBadFragment
+	}
+	return ParseUDP(d.Header.Src, d.Header.Dst, d.Payload)
+}
+
+// FlowOf returns the transport flow of the datagram, usable only on
+// unfragmented datagrams or first fragments (where the transport header is
+// present). For non-first fragments it returns ok=false; the capture
+// analysis associates those with their train via the IP ID. Both UDP and
+// TCP carry their ports in the first four transport bytes.
+func (d *Datagram) FlowOf() (Flow, bool) {
+	if d.Header.Protocol != ProtoUDP && d.Header.Protocol != ProtoTCP {
+		return Flow{}, false
+	}
+	if d.Header.FragOff != 0 || len(d.Payload) < UDPHeaderLen {
+		return Flow{}, false
+	}
+	// Ports sit in the first 4 bytes of both transport headers; no
+	// checksum needed just to identify the flow.
+	sp := Port(uint16(d.Payload[0])<<8 | uint16(d.Payload[1]))
+	dp := Port(uint16(d.Payload[2])<<8 | uint16(d.Payload[3]))
+	return Flow{
+		Src: Endpoint{Addr: d.Header.Src, Port: sp},
+		Dst: Endpoint{Addr: d.Header.Dst, Port: dp},
+	}, true
+}
+
+// Clone returns a deep copy of the datagram; the network layer clones before
+// mutating TTLs so captured packets stay immutable.
+func (d *Datagram) Clone() *Datagram {
+	return &Datagram{Header: d.Header, Payload: append([]byte(nil), d.Payload...)}
+}

@@ -1,0 +1,170 @@
+package inet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Fragment splits a datagram into MTU-sized fragments per RFC 791. The
+// first fragment carries the UDP header (so its ports remain parseable);
+// every fragment shares the original IP ID; offsets are in 8-byte units;
+// all fragments except the last have the MoreFragments flag set.
+//
+// A datagram that already fits within the MTU is returned unchanged (as a
+// single-element slice, not copied). A datagram with DontFragment set that
+// exceeds the MTU returns an error — the simulated hosts never set DF on
+// media traffic, matching 2002 behaviour where PMTUD was commonly off for
+// UDP streaming.
+func Fragment(d *Datagram, mtu int) ([]*Datagram, error) {
+	if mtu < IPv4HeaderLen+8 {
+		return nil, fmt.Errorf("inet: mtu %d too small to fragment", mtu)
+	}
+	if d.Len() <= mtu {
+		return []*Datagram{d}, nil
+	}
+	if d.Header.DontFragment() {
+		return nil, fmt.Errorf("inet: datagram %d bytes exceeds mtu %d with DF set", d.Len(), mtu)
+	}
+	// Payload bytes per fragment must be a multiple of 8 (offset units).
+	chunk := (mtu - IPv4HeaderLen) &^ 7
+	var out []*Datagram
+	for off := 0; off < len(d.Payload); off += chunk {
+		end := off + chunk
+		last := false
+		if end >= len(d.Payload) {
+			end = len(d.Payload)
+			last = true
+		}
+		h := d.Header
+		h.FragOff = uint16(off / 8)
+		if last {
+			h.Flags &^= FlagMoreFrags
+		} else {
+			h.Flags |= FlagMoreFrags
+		}
+		frag := &Datagram{Header: h, Payload: append([]byte(nil), d.Payload[off:end]...)}
+		frag.Header.TotalLen = uint16(frag.Len())
+		out = append(out, frag)
+	}
+	return out, nil
+}
+
+// FragmentTrainLen predicts how many wire packets a UDP payload of the given
+// size produces at the given MTU, without building the datagram. The
+// experiment code uses it to cross-check observed fragment trains.
+func FragmentTrainLen(udpPayload, mtu int) int {
+	total := IPv4HeaderLen + UDPHeaderLen + udpPayload
+	if total <= mtu {
+		return 1
+	}
+	chunk := (mtu - IPv4HeaderLen) &^ 7
+	ipPayload := UDPHeaderLen + udpPayload
+	n := ipPayload / chunk
+	if ipPayload%chunk != 0 {
+		n++
+	}
+	return n
+}
+
+// reassemblyKey identifies one datagram's fragment set.
+type reassemblyKey struct {
+	src, dst Addr
+	proto    byte
+	id       uint16
+}
+
+type reassemblyBuf struct {
+	frags   []*Datagram
+	gotLast bool
+}
+
+// Reassembler collects fragments and reconstitutes original datagrams, as
+// the receiving host's IP layer does. It is the component that makes a lost
+// fragment discard the whole application frame — the goodput hazard the
+// paper highlights (§3.C, citing [FF99]).
+type Reassembler struct {
+	pending map[reassemblyKey]*reassemblyBuf
+	// Completed counts successfully reassembled datagrams; Discarded counts
+	// datagrams flushed while incomplete.
+	Completed, Discarded int
+}
+
+// NewReassembler returns an empty reassembler.
+func NewReassembler() *Reassembler {
+	return &Reassembler{pending: make(map[reassemblyKey]*reassemblyBuf)}
+}
+
+// PendingDatagrams reports how many datagrams are partially assembled.
+func (r *Reassembler) PendingDatagrams() int { return len(r.pending) }
+
+// Add offers one received datagram. If it is not a fragment it is returned
+// immediately. If it completes a fragment set, the reassembled datagram is
+// returned. Otherwise nil is returned and the fragment is buffered.
+func (r *Reassembler) Add(d *Datagram) (*Datagram, error) {
+	if !d.Header.IsFragment() {
+		return d, nil
+	}
+	key := reassemblyKey{src: d.Header.Src, dst: d.Header.Dst, proto: d.Header.Protocol, id: d.Header.ID}
+	buf := r.pending[key]
+	if buf == nil {
+		buf = &reassemblyBuf{}
+		r.pending[key] = buf
+	}
+	buf.frags = append(buf.frags, d)
+	if !d.Header.MoreFragments() {
+		buf.gotLast = true
+	}
+	if !buf.gotLast {
+		return nil, nil
+	}
+	whole, ok := tryAssemble(buf.frags)
+	if !ok {
+		return nil, nil // still missing a middle fragment
+	}
+	delete(r.pending, key)
+	r.Completed++
+	return whole, nil
+}
+
+// FlushIncomplete drops all partially assembled datagrams (e.g. at end of
+// trace or on a reassembly timeout) and returns how many were discarded.
+func (r *Reassembler) FlushIncomplete() int {
+	n := len(r.pending)
+	r.pending = make(map[reassemblyKey]*reassemblyBuf)
+	r.Discarded += n
+	return n
+}
+
+// tryAssemble attempts to splice a fragment list into the original
+// datagram. It requires a contiguous byte range starting at offset 0 and
+// ending at a fragment without MF.
+func tryAssemble(frags []*Datagram) (*Datagram, bool) {
+	sorted := append([]*Datagram(nil), frags...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].Header.FragOff < sorted[j].Header.FragOff
+	})
+	var payload []byte
+	next := 0
+	for i, f := range sorted {
+		off := int(f.Header.FragOff) * 8
+		if off != next {
+			return nil, false // gap (or overlap, which we treat as corrupt)
+		}
+		payload = append(payload, f.Payload...)
+		next = off + len(f.Payload)
+		last := i == len(sorted)-1
+		if f.Header.MoreFragments() == last {
+			// MF set on the final fragment, or cleared mid-train: corrupt.
+			return nil, false
+		}
+	}
+	h := sorted[0].Header
+	h.FragOff = 0
+	h.Flags &^= FlagMoreFrags
+	whole := &Datagram{Header: h, Payload: payload}
+	if whole.Len() > 0xFFFF {
+		return nil, false
+	}
+	whole.Header.TotalLen = uint16(whole.Len())
+	return whole, true
+}

@@ -1,0 +1,338 @@
+package inet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func buildTestUDP(t testing.TB, payloadLen int) *Datagram {
+	t.Helper()
+	payload := make([]byte, payloadLen)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	d, err := BuildUDP(srcEP, dstEP, 0x1234, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestFragmentSmallPacketUntouched(t *testing.T) {
+	d := buildTestUDP(t, 500)
+	frags, err := Fragment(d, DefaultMTU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 1 || frags[0] != d {
+		t.Fatal("small datagram should pass through unfragmented")
+	}
+}
+
+func TestFragmentTrainShape(t *testing.T) {
+	// A 3000-byte application frame at 250 Kbps-style encoding: the paper
+	// observes trains of 1514-byte wire packets plus a remainder.
+	d := buildTestUDP(t, 3000)
+	frags, err := Fragment(d, DefaultMTU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 3 {
+		t.Fatalf("train length=%d, want 3", len(frags))
+	}
+	// All but the last are full MTU (1514 on the wire), same size.
+	for i, f := range frags[:len(frags)-1] {
+		if f.WireLen() != MaxWirePacket {
+			t.Fatalf("fragment %d wire len=%d, want %d", i, f.WireLen(), MaxWirePacket)
+		}
+		if !f.Header.MoreFragments() {
+			t.Fatalf("fragment %d missing MF", i)
+		}
+	}
+	last := frags[len(frags)-1]
+	if last.Header.MoreFragments() {
+		t.Fatal("last fragment has MF set")
+	}
+	if last.WireLen() >= MaxWirePacket {
+		t.Fatal("last fragment should be the remainder")
+	}
+	// First fragment carries the UDP header and parseable ports.
+	if flow, ok := frags[0].FlowOf(); !ok || flow.Src.Port != srcEP.Port {
+		t.Fatal("first fragment lost the UDP ports")
+	}
+	// Non-first fragments have no UDP header.
+	if _, ok := frags[1].FlowOf(); ok {
+		t.Fatal("middle fragment claims a flow")
+	}
+	// Offsets are 8-byte aligned and contiguous.
+	next := 0
+	for _, f := range frags {
+		if int(f.Header.FragOff)*8 != next {
+			t.Fatalf("offset gap at %d", f.Header.FragOff)
+		}
+		next += len(f.Payload)
+	}
+	// All fragments share the IP ID.
+	for _, f := range frags {
+		if f.Header.ID != 0x1234 {
+			t.Fatal("fragment train lost its IP ID")
+		}
+	}
+}
+
+func TestFragmentReassembleIdentity(t *testing.T) {
+	d := buildTestUDP(t, 9000)
+	orig := append([]byte(nil), d.Payload...)
+	frags, err := Fragment(d, DefaultMTU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReassembler()
+	var whole *Datagram
+	for i, f := range frags {
+		got, err := r.Add(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < len(frags)-1 && got != nil {
+			t.Fatal("reassembled before last fragment")
+		}
+		whole = got
+	}
+	if whole == nil {
+		t.Fatal("no datagram reassembled")
+	}
+	if !bytes.Equal(whole.Payload, orig) {
+		t.Fatal("reassembled payload differs")
+	}
+	if whole.Header.IsFragment() {
+		t.Fatal("reassembled datagram still flagged as fragment")
+	}
+	if _, appData, err := whole.UDP(); err != nil || len(appData) != 9000 {
+		t.Fatalf("UDP extract after reassembly: %v len=%d", err, len(appData))
+	}
+	if r.Completed != 1 {
+		t.Fatalf("Completed=%d", r.Completed)
+	}
+}
+
+func TestReassembleOutOfOrder(t *testing.T) {
+	d := buildTestUDP(t, 5000)
+	orig := append([]byte(nil), d.Payload...)
+	frags, _ := Fragment(d, DefaultMTU)
+	if len(frags) < 3 {
+		t.Fatalf("need >=3 fragments, got %d", len(frags))
+	}
+	// Deliver in reverse.
+	r := NewReassembler()
+	var whole *Datagram
+	for i := len(frags) - 1; i >= 0; i-- {
+		got, err := r.Add(frags[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != nil {
+			whole = got
+		}
+	}
+	if whole == nil || !bytes.Equal(whole.Payload, orig) {
+		t.Fatal("out-of-order reassembly failed")
+	}
+}
+
+func TestReassembleMissingFragmentDiscards(t *testing.T) {
+	d := buildTestUDP(t, 5000)
+	frags, _ := Fragment(d, DefaultMTU)
+	r := NewReassembler()
+	// Drop a middle fragment: the datagram must never complete.
+	for i, f := range frags {
+		if i == 1 {
+			continue
+		}
+		got, err := r.Add(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != nil {
+			t.Fatal("completed despite missing fragment")
+		}
+	}
+	if r.PendingDatagrams() != 1 {
+		t.Fatalf("pending=%d", r.PendingDatagrams())
+	}
+	if n := r.FlushIncomplete(); n != 1 {
+		t.Fatalf("flushed=%d", n)
+	}
+	if r.Discarded != 1 || r.PendingDatagrams() != 0 {
+		t.Fatal("discard accounting wrong")
+	}
+}
+
+func TestReassemblerPassesWholeDatagrams(t *testing.T) {
+	d := buildTestUDP(t, 100)
+	r := NewReassembler()
+	got, err := r.Add(d)
+	if err != nil || got != d {
+		t.Fatalf("whole datagram not passed through: %v %v", got, err)
+	}
+}
+
+func TestInterleavedTrains(t *testing.T) {
+	// Two datagrams with different IDs fragment and interleave on the wire;
+	// both must reassemble correctly.
+	p1 := make([]byte, 4000)
+	p2 := make([]byte, 4000)
+	for i := range p1 {
+		p1[i], p2[i] = 0xAA, 0x55
+	}
+	d1, _ := BuildUDP(srcEP, dstEP, 1, p1)
+	d2, _ := BuildUDP(srcEP, dstEP, 2, p2)
+	f1, _ := Fragment(d1, DefaultMTU)
+	f2, _ := Fragment(d2, DefaultMTU)
+	r := NewReassembler()
+	var done []*Datagram
+	for i := 0; i < len(f1) || i < len(f2); i++ {
+		for _, fs := range [][]*Datagram{f1, f2} {
+			if i < len(fs) {
+				if got, err := r.Add(fs[i]); err != nil {
+					t.Fatal(err)
+				} else if got != nil {
+					done = append(done, got)
+				}
+			}
+		}
+	}
+	if len(done) != 2 {
+		t.Fatalf("reassembled %d datagrams, want 2", len(done))
+	}
+	if r.Completed != 2 {
+		t.Fatalf("Completed=%d", r.Completed)
+	}
+}
+
+func TestFragmentDFError(t *testing.T) {
+	d := buildTestUDP(t, 3000)
+	d.Header.Flags |= FlagDontFragment
+	if _, err := Fragment(d, DefaultMTU); err == nil {
+		t.Fatal("DF oversize datagram fragmented")
+	}
+}
+
+func TestFragmentTinyMTUError(t *testing.T) {
+	d := buildTestUDP(t, 100)
+	if _, err := Fragment(d, 20); err == nil {
+		t.Fatal("absurd MTU accepted")
+	}
+}
+
+func TestFragmentTrainLen(t *testing.T) {
+	cases := []struct {
+		payload, want int
+	}{
+		{100, 1},
+		{1472, 1}, // exactly fits: 20+8+1472 = 1500
+		{1473, 2}, // one byte over
+		{3000, 3}, // ~paper's 250 Kbps case
+		{9000, 7}, // ~637-731 Kbps very high rate case
+		{0, 1},
+	}
+	for _, c := range cases {
+		if got := FragmentTrainLen(c.payload, DefaultMTU); got != c.want {
+			t.Fatalf("FragmentTrainLen(%d)=%d, want %d", c.payload, got, c.want)
+		}
+	}
+}
+
+// Property: fragmentation at any sane MTU followed by reassembly is the
+// identity on the payload, offsets stay 8-byte aligned, and every fragment
+// respects the MTU.
+func TestFragmentReassemblyProperty(t *testing.T) {
+	f := func(sizeSeed uint16, mtuSeed uint8) bool {
+		payloadLen := int(sizeSeed)%20000 + 1
+		mtu := 576 + int(mtuSeed)*4 // classic minimum up to ~1596
+		payload := make([]byte, payloadLen)
+		for i := range payload {
+			payload[i] = byte(i * 31)
+		}
+		d, err := BuildUDP(srcEP, dstEP, sizeSeed, payload)
+		if err != nil {
+			return false
+		}
+		frags, err := Fragment(d, mtu)
+		if err != nil {
+			return false
+		}
+		r := NewReassembler()
+		var whole *Datagram
+		for _, fr := range frags {
+			if fr.Len() > mtu {
+				return false
+			}
+			if fr.Header.FragOff != 0 && int(fr.Header.FragOff)*8%8 != 0 {
+				return false
+			}
+			got, err := r.Add(fr)
+			if err != nil {
+				return false
+			}
+			if got != nil {
+				whole = got
+			}
+		}
+		if whole == nil {
+			return false
+		}
+		_, appData, err := whole.UDP()
+		return err == nil && bytes.Equal(appData, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDatagramMarshalParseRoundTrip(t *testing.T) {
+	d := buildTestUDP(t, 333)
+	b, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseDatagram(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Payload, d.Payload) || got.Header.ID != d.Header.ID {
+		t.Fatal("datagram round trip mismatch")
+	}
+	if got.String() == "" || d.WireLen() != d.Len()+EthernetOverhead {
+		t.Fatal("accessors")
+	}
+}
+
+func TestDatagramClone(t *testing.T) {
+	d := buildTestUDP(t, 10)
+	c := d.Clone()
+	c.Payload[0] ^= 0xFF
+	c.Header.TTL--
+	if d.Payload[0] == c.Payload[0] || d.Header.TTL == c.Header.TTL {
+		t.Fatal("clone shares state")
+	}
+}
+
+func TestUDPExtractErrors(t *testing.T) {
+	d := buildTestUDP(t, 2000)
+	frags, _ := Fragment(d, DefaultMTU)
+	if _, _, err := frags[1].UDP(); err != ErrBadFragment {
+		t.Fatalf("UDP on fragment: %v", err)
+	}
+	notUDP := &Datagram{Header: IPv4Header{Protocol: ProtoICMP}}
+	if _, _, err := notUDP.UDP(); err == nil {
+		t.Fatal("UDP on ICMP datagram accepted")
+	}
+}
+
+func TestBuildUDPTooBig(t *testing.T) {
+	if _, err := BuildUDP(srcEP, dstEP, 1, make([]byte, 70000)); err == nil {
+		t.Fatal("oversize UDP build accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package inet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ICMP message types used by the probe tooling (a subset of RFC 792
+// sufficient for ping and tracert, the two tools the paper's methodology
+// runs before and after every experiment).
+const (
+	ICMPEchoReply    byte = 0
+	ICMPEchoRequest  byte = 8
+	ICMPTimeExceeded byte = 11
+	ICMPDestUnreach  byte = 3
+	icmpHeaderLen         = 8
+)
+
+// ICMPMessage is a parsed ICMP header plus payload. For TimeExceeded and
+// DestUnreach, Payload carries the leading bytes of the offending datagram
+// (IP header + 8 bytes), exactly as real routers return, which is how
+// tracert matches replies to probes.
+type ICMPMessage struct {
+	Type, Code byte
+	ID, Seq    uint16
+	Payload    []byte
+}
+
+// MarshalICMP serialises the message with its checksum.
+func MarshalICMP(m ICMPMessage) []byte {
+	b := make([]byte, icmpHeaderLen+len(m.Payload))
+	b[0] = m.Type
+	b[1] = m.Code
+	binary.BigEndian.PutUint16(b[4:], m.ID)
+	binary.BigEndian.PutUint16(b[6:], m.Seq)
+	copy(b[icmpHeaderLen:], m.Payload)
+	binary.BigEndian.PutUint16(b[2:], Checksum(b))
+	return b
+}
+
+// ParseICMP decodes and checksum-verifies an ICMP message.
+func ParseICMP(b []byte) (ICMPMessage, error) {
+	var m ICMPMessage
+	if len(b) < icmpHeaderLen {
+		return m, ErrShortHeader
+	}
+	if Checksum(b) != 0 {
+		return m, ErrBadChecksum
+	}
+	m.Type = b[0]
+	m.Code = b[1]
+	m.ID = binary.BigEndian.Uint16(b[4:])
+	m.Seq = binary.BigEndian.Uint16(b[6:])
+	m.Payload = append([]byte(nil), b[icmpHeaderLen:]...)
+	return m, nil
+}
+
+// BuildICMP assembles a complete ICMP/IPv4 datagram.
+func BuildICMP(src, dst Addr, ttl byte, id uint16, m ICMPMessage) *Datagram {
+	d := &Datagram{
+		Header: IPv4Header{
+			ID:       id,
+			TTL:      ttl,
+			Protocol: ProtoICMP,
+			Src:      src,
+			Dst:      dst,
+		},
+		Payload: MarshalICMP(m),
+	}
+	d.Header.TotalLen = uint16(d.Len())
+	return d
+}
+
+// QuoteDatagram returns the ICMP error payload for an offending datagram:
+// its IP header plus the first 8 payload bytes (RFC 792).
+func QuoteDatagram(d *Datagram) []byte {
+	b, err := d.Marshal()
+	if err != nil {
+		return nil
+	}
+	n := IPv4HeaderLen + 8
+	if n > len(b) {
+		n = len(b)
+	}
+	return append([]byte(nil), b[:n]...)
+}
+
+// String summarises the message.
+func (m ICMPMessage) String() string {
+	name := map[byte]string{
+		ICMPEchoReply:    "echo-reply",
+		ICMPEchoRequest:  "echo-request",
+		ICMPTimeExceeded: "time-exceeded",
+		ICMPDestUnreach:  "dest-unreach",
+	}[m.Type]
+	if name == "" {
+		name = fmt.Sprintf("type-%d", m.Type)
+	}
+	return fmt.Sprintf("ICMP %s id=%d seq=%d", name, m.ID, m.Seq)
+}

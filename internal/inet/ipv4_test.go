@@ -1,0 +1,236 @@
+package inet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	srcEP = Endpoint{Addr: MakeAddr(130, 215, 10, 5), Port: 4000}
+	dstEP = Endpoint{Addr: MakeAddr(207, 46, 1, 9), Port: PortMMSData}
+)
+
+func TestAddrStringParse(t *testing.T) {
+	a := MakeAddr(130, 215, 10, 5)
+	if a.String() != "130.215.10.5" {
+		t.Fatalf("String=%q", a.String())
+	}
+	got, err := ParseAddr("130.215.10.5")
+	if err != nil || got != a {
+		t.Fatalf("ParseAddr=%v,%v", got, err)
+	}
+	if _, err := ParseAddr("300.1.1.1"); err == nil {
+		t.Fatal("out-of-range octet accepted")
+	}
+	if _, err := ParseAddr("nonsense"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if !(Addr{}).IsZero() || a.IsZero() {
+		t.Fatal("IsZero wrong")
+	}
+}
+
+func TestEndpointFlowStrings(t *testing.T) {
+	f := Flow{Src: srcEP, Dst: dstEP}
+	if f.String() != "130.215.10.5:4000 -> 207.46.1.9:1755" {
+		t.Fatalf("Flow.String=%q", f.String())
+	}
+	r := f.Reverse()
+	if r.Src != dstEP || r.Dst != srcEP {
+		t.Fatal("Reverse wrong")
+	}
+	if r.Reverse() != f {
+		t.Fatal("double reverse is not identity")
+	}
+}
+
+func TestIPv4HeaderRoundTrip(t *testing.T) {
+	h := IPv4Header{
+		TOS: 0, TotalLen: 100, ID: 0xBEEF, TTL: 64,
+		Protocol: ProtoUDP,
+		Src:      srcEP.Addr, Dst: dstEP.Addr,
+	}
+	b := h.Marshal()
+	if len(b) != IPv4HeaderLen {
+		t.Fatalf("marshal len=%d", len(b))
+	}
+	padded := append(b, make([]byte, 80)...) // payload space for TotalLen
+	got, payload, err := ParseIPv4(padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != h.ID || got.TTL != h.TTL || got.Protocol != h.Protocol ||
+		got.Src != h.Src || got.Dst != h.Dst || got.TotalLen != h.TotalLen {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, h)
+	}
+	if len(payload) != 80 {
+		t.Fatalf("payload len=%d", len(payload))
+	}
+}
+
+func TestIPv4ChecksumDetectsCorruption(t *testing.T) {
+	h := IPv4Header{TotalLen: 20, ID: 7, TTL: 10, Protocol: ProtoUDP, Src: srcEP.Addr, Dst: dstEP.Addr}
+	b := h.Marshal()
+	b[8] ^= 0xFF // flip TTL bits
+	if _, _, err := ParseIPv4(b); err != ErrBadChecksum {
+		t.Fatalf("corruption not detected: %v", err)
+	}
+}
+
+func TestIPv4ParseErrors(t *testing.T) {
+	if _, _, err := ParseIPv4(make([]byte, 10)); err != ErrShortHeader {
+		t.Fatalf("short: %v", err)
+	}
+	bad := make([]byte, 20)
+	bad[0] = 0x60 // IPv6 version nibble
+	if _, _, err := ParseIPv4(bad); err != ErrBadVersion {
+		t.Fatalf("version: %v", err)
+	}
+	h := IPv4Header{TotalLen: 999, TTL: 1, Protocol: ProtoUDP}
+	b := h.Marshal()
+	if _, _, err := ParseIPv4(b); err != ErrBadLength {
+		t.Fatalf("length: %v", err)
+	}
+}
+
+func TestFragmentFlagsAndPredicates(t *testing.T) {
+	h := IPv4Header{Flags: FlagMoreFrags, FragOff: 0}
+	if !h.IsFragment() || !h.MoreFragments() {
+		t.Fatal("first fragment predicates")
+	}
+	h = IPv4Header{FragOff: 100}
+	if !h.IsFragment() {
+		t.Fatal("middle fragment predicate")
+	}
+	h = IPv4Header{}
+	if h.IsFragment() {
+		t.Fatal("whole datagram misidentified as fragment")
+	}
+	h = IPv4Header{Flags: FlagDontFragment}
+	if !h.DontFragment() || h.IsFragment() {
+		t.Fatal("DF predicates")
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example data.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if cs := Checksum(data); cs != ^uint16(0xddf2) {
+		t.Fatalf("checksum=%#04x", cs)
+	}
+	// Odd-length buffers pad with a zero byte.
+	odd := []byte{0x01}
+	if cs := Checksum(odd); cs != ^uint16(0x0100) {
+		t.Fatalf("odd checksum=%#04x", cs)
+	}
+}
+
+func TestHeaderRoundTripProperty(t *testing.T) {
+	f := func(id uint16, ttl, tos byte, payloadLen uint8) bool {
+		h := IPv4Header{
+			TOS: tos, ID: id, TTL: ttl, Protocol: ProtoUDP,
+			TotalLen: uint16(IPv4HeaderLen + int(payloadLen)),
+			Src:      srcEP.Addr, Dst: dstEP.Addr,
+		}
+		buf := append(h.Marshal(), make([]byte, int(payloadLen))...)
+		got, payload, err := ParseIPv4(buf)
+		if err != nil {
+			return false
+		}
+		return got.ID == id && got.TTL == ttl && got.TOS == tos && len(payload) == int(payloadLen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	payload := []byte("streaming media payload")
+	b, err := MarshalUDP(srcEP, dstEP, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, got, err := ParseUDP(srcEP.Addr, dstEP.Addr, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.SrcPort != srcEP.Port || h.DstPort != dstEP.Port {
+		t.Fatalf("ports %d->%d", h.SrcPort, h.DstPort)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload mismatch")
+	}
+	if int(h.Length) != UDPHeaderLen+len(payload) {
+		t.Fatalf("length=%d", h.Length)
+	}
+}
+
+func TestUDPChecksumDetectsCorruption(t *testing.T) {
+	b, _ := MarshalUDP(srcEP, dstEP, []byte("hello"))
+	b[len(b)-1] ^= 0x01
+	if _, _, err := ParseUDP(srcEP.Addr, dstEP.Addr, b); err != ErrBadChecksum {
+		t.Fatalf("corruption not detected: %v", err)
+	}
+	// Wrong pseudo-header (different src address) must also fail. Note a
+	// plain src/dst swap would pass: ones-complement addition commutes.
+	b2, _ := MarshalUDP(srcEP, dstEP, []byte("hello"))
+	other := MakeAddr(10, 0, 0, 99)
+	if _, _, err := ParseUDP(other, dstEP.Addr, b2); err != ErrBadChecksum {
+		t.Fatalf("pseudo-header not covered: %v", err)
+	}
+}
+
+func TestUDPParseErrors(t *testing.T) {
+	if _, _, err := ParseUDP(srcEP.Addr, dstEP.Addr, make([]byte, 4)); err != ErrShortHeader {
+		t.Fatalf("short: %v", err)
+	}
+	b, _ := MarshalUDP(srcEP, dstEP, []byte("x"))
+	b[4], b[5] = 0xFF, 0xFF // absurd length
+	if _, _, err := ParseUDP(srcEP.Addr, dstEP.Addr, b); err != ErrBadLength {
+		t.Fatalf("length: %v", err)
+	}
+}
+
+func TestUDPPayloadTooLarge(t *testing.T) {
+	if _, err := MarshalUDP(srcEP, dstEP, make([]byte, 0x10000)); err != ErrPayloadRange {
+		t.Fatalf("oversize payload: %v", err)
+	}
+}
+
+func TestUDPRoundTripProperty(t *testing.T) {
+	f := func(sp, dp uint16, payload []byte) bool {
+		if len(payload) > 60000 {
+			payload = payload[:60000]
+		}
+		s := Endpoint{Addr: srcEP.Addr, Port: Port(sp)}
+		d := Endpoint{Addr: dstEP.Addr, Port: Port(dp)}
+		b, err := MarshalUDP(s, d, payload)
+		if err != nil {
+			return false
+		}
+		h, got, err := ParseUDP(s.Addr, d.Addr, b)
+		if err != nil {
+			return false
+		}
+		return h.SrcPort == Port(sp) && h.DstPort == Port(dp) && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderStrings(t *testing.T) {
+	h := IPv4Header{Src: srcEP.Addr, Dst: dstEP.Addr, Protocol: ProtoUDP, TotalLen: 48, ID: 1, TTL: 9}
+	if h.String() == "" {
+		t.Fatal("empty header string")
+	}
+	h.Flags = FlagMoreFrags
+	if got := h.String(); got == "" || !h.IsFragment() {
+		t.Fatalf("fragment string=%q", got)
+	}
+	u := UDPHeader{SrcPort: 1, DstPort: 2, Length: 16}
+	if u.String() != "UDP 1 -> 2 len=16" {
+		t.Fatalf("udp string=%q", u.String())
+	}
+}

@@ -1,0 +1,92 @@
+package inet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestTCPRoundTrip(t *testing.T) {
+	h := TCPHeader{Seq: 1000, Ack: 2000, Flags: TCPAck | TCPPsh, Window: 65535}
+	payload := []byte("segment data")
+	d, err := BuildTCP(srcEP, dstEP, 42, h, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Header.Protocol != ProtoTCP {
+		t.Fatal("protocol")
+	}
+	got, data, err := ParseTCP(d.Header.Src, d.Header.Dst, d.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 1000 || got.Ack != 2000 || got.Window != 65535 {
+		t.Fatalf("header: %+v", got)
+	}
+	if got.SrcPort != srcEP.Port || got.DstPort != dstEP.Port {
+		t.Fatal("ports")
+	}
+	if !got.HasFlag(TCPAck) || !got.HasFlag(TCPPsh) || got.HasFlag(TCPSyn) {
+		t.Fatal("flags")
+	}
+	if !bytes.Equal(data, payload) {
+		t.Fatal("payload")
+	}
+}
+
+func TestTCPChecksumDetectsCorruption(t *testing.T) {
+	seg, _ := MarshalTCP(srcEP.Addr, dstEP.Addr, TCPHeader{SrcPort: 1, DstPort: 2, Seq: 7}, []byte("x"))
+	seg[4] ^= 0xFF
+	if _, _, err := ParseTCP(srcEP.Addr, dstEP.Addr, seg); err != ErrBadChecksum {
+		t.Fatalf("corruption: %v", err)
+	}
+	// Different address in the pseudo-header fails too.
+	seg2, _ := MarshalTCP(srcEP.Addr, dstEP.Addr, TCPHeader{SrcPort: 1, DstPort: 2}, nil)
+	if _, _, err := ParseTCP(MakeAddr(9, 9, 9, 9), dstEP.Addr, seg2); err != ErrBadChecksum {
+		t.Fatalf("pseudo-header: %v", err)
+	}
+}
+
+func TestTCPParseErrors(t *testing.T) {
+	if _, _, err := ParseTCP(srcEP.Addr, dstEP.Addr, make([]byte, 10)); err != ErrShortHeader {
+		t.Fatalf("short: %v", err)
+	}
+	seg, _ := MarshalTCP(srcEP.Addr, dstEP.Addr, TCPHeader{}, nil)
+	seg[12] = 6 << 4 // claim options
+	if _, _, err := ParseTCP(srcEP.Addr, dstEP.Addr, seg); err == nil {
+		t.Fatal("options accepted")
+	}
+	if _, err := MarshalTCP(srcEP.Addr, dstEP.Addr, TCPHeader{}, make([]byte, 0x10000)); err != ErrPayloadRange {
+		t.Fatal("oversize")
+	}
+}
+
+func TestTCPString(t *testing.T) {
+	h := TCPHeader{SrcPort: 80, DstPort: 1000, Flags: TCPSyn | TCPAck, Seq: 5}
+	s := h.String()
+	if s == "" || !bytes.Contains([]byte(s), []byte("SA")) {
+		t.Fatalf("String=%q", s)
+	}
+}
+
+func TestTCPRoundTripProperty(t *testing.T) {
+	f := func(seq, ack uint32, flags byte, win uint16, payload []byte) bool {
+		if len(payload) > 60000 {
+			payload = payload[:60000]
+		}
+		h := TCPHeader{Seq: seq, Ack: ack, Flags: flags, Window: win}
+		seg, err := MarshalTCP(srcEP.Addr, dstEP.Addr, h, payload)
+		if err != nil {
+			return false
+		}
+		got, data, err := ParseTCP(srcEP.Addr, dstEP.Addr, seg)
+		if err != nil {
+			return false
+		}
+		return got.Seq == seq && got.Ack == ack && got.Flags == flags &&
+			got.Window == win && bytes.Equal(data, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,246 @@
+// Package media models the video content the paper streamed: the 26 clips
+// of Table 1 (six server sites, identical content encoded in both RealVideo
+// and Windows Media formats at paired data rates), and a deterministic
+// synthetic frame generator that gives the simulated servers realistic
+// per-frame payloads to packetise.
+package media
+
+import (
+	"fmt"
+	"time"
+
+	"turbulence/internal/eventsim"
+)
+
+// Format distinguishes the two commercial encodings.
+type Format int
+
+const (
+	// Real is RealNetworks RealVideo.
+	Real Format = iota
+	// WindowsMedia is Microsoft Windows Media Video.
+	WindowsMedia
+)
+
+// String names the format as the paper abbreviates it.
+func (f Format) String() string {
+	if f == Real {
+		return "Real"
+	}
+	return "WindowsMedia"
+}
+
+// Letter returns the Table 1 prefix ("R" or "M").
+func (f Format) Letter() string {
+	if f == Real {
+		return "R"
+	}
+	return "M"
+}
+
+// Class is the paper's advertised-rate grouping: low (~56 Kbps modem
+// class), high (~300 Kbps broadband class) and very high (~600 Kbps).
+type Class int
+
+const (
+	Low Class = iota
+	High
+	VeryHigh
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Low:
+		return "low"
+	case High:
+		return "high"
+	default:
+		return "very-high"
+	}
+}
+
+// Suffix returns the Table 1 suffix ("l", "h", "v").
+func (c Class) Suffix() string {
+	switch c {
+	case Low:
+		return "l"
+	case High:
+		return "h"
+	default:
+		return "v"
+	}
+}
+
+// AdvertisedKbps is the connection bandwidth the Web page label implies.
+func (c Class) AdvertisedKbps() float64 {
+	switch c {
+	case Low:
+		return 56
+	case High:
+		return 300
+	default:
+		return 600
+	}
+}
+
+// Content is the clip's subject category from Table 1.
+type Content int
+
+const (
+	Sports Content = iota
+	Commercial
+	MusicTV
+	News
+	Movie
+)
+
+// String names the content category.
+func (c Content) String() string {
+	switch c {
+	case Sports:
+		return "Sports"
+	case Commercial:
+		return "Commercial"
+	case MusicTV:
+		return "Music TV"
+	case News:
+		return "News"
+	default:
+		return "Movie clip"
+	}
+}
+
+// Clip describes one encoded video clip.
+type Clip struct {
+	Set         int // data set number, 1-6
+	Format      Format
+	Class       Class
+	Content     Content
+	EncodedKbps float64 // actual encoded data rate captured by the trackers
+	Duration    time.Duration
+}
+
+// Name returns the Table 1 identifier, e.g. "R-h" or "M-v", qualified with
+// the set number: "1/R-h".
+func (c Clip) Name() string {
+	return fmt.Sprintf("%d/%s-%s", c.Set, c.Format.Letter(), c.Class.Suffix())
+}
+
+// EncodedBps returns the encoding rate in bits per second.
+func (c Clip) EncodedBps() float64 { return c.EncodedKbps * 1000 }
+
+// FrameRate returns the clip's encoded frame rate in frames/second.
+//
+// The ladder reproduces the paper's §3.H finding: both players reach
+// full-motion 25 fps at high rates, but at low encoding rates RealVideo
+// sacrifices spatial quality to keep the frame rate high (~19 fps) while
+// Windows Media keeps frame quality and drops to ~13 fps (the paper's
+// Figure 13 shows exactly 13 fps for the low-rate MediaPlayer clip).
+func (c Clip) FrameRate() float64 {
+	enc := c.EncodedKbps
+	if c.Format == WindowsMedia {
+		switch {
+		case enc < 60:
+			return 13
+		case enc < 150:
+			return 18
+		default:
+			return 25
+		}
+	}
+	switch {
+	case enc < 60:
+		return 19
+	case enc < 150:
+		return 22
+	default:
+		return 25
+	}
+}
+
+// TotalFrames returns the number of frames in the clip.
+func (c Clip) TotalFrames() int {
+	return int(c.Duration.Seconds() * c.FrameRate())
+}
+
+// MeanFrameBytes returns the average encoded frame size implied by the
+// data rate and frame rate.
+func (c Clip) MeanFrameBytes() int {
+	return int(c.EncodedBps() / c.FrameRate() / 8)
+}
+
+// Frame is one encoded video frame.
+type Frame struct {
+	Index int
+	// PTS is the frame's presentation time from clip start.
+	PTS time.Duration
+	// Bytes is the encoded size.
+	Bytes int
+	// Key marks intra-coded frames (larger, heading each GOP).
+	Key bool
+}
+
+// GOPSize is the keyframe interval used by the synthetic encoder.
+const GOPSize = 30
+
+// Frames deterministically generates the clip's frame sequence. Windows
+// Media output is near-constant (the paper finds WMP traffic essentially
+// CBR); RealVideo output varies frame-to-frame with large keyframes (the
+// paper finds Real packet sizes spread 0.6-1.8x the mean). The generator is
+// seeded by the clip identity so every run sees identical content.
+func (c Clip) Frames() []Frame {
+	n := c.TotalFrames()
+	mean := float64(c.MeanFrameBytes())
+	rng := eventsim.NewRNG(clipSeed(c))
+	frames := make([]Frame, n)
+	frameDur := time.Duration(float64(time.Second) / c.FrameRate())
+	for i := range frames {
+		key := i%GOPSize == 0
+		var size float64
+		if c.Format == WindowsMedia {
+			// Tight CBR: +-3% jitter around the mean, keyframes only
+			// slightly larger; the server's pacer smooths the rest.
+			size = rng.TruncNormal(mean, mean*0.03, mean*0.9, mean*1.1)
+			if key {
+				size *= 1.05
+			}
+		} else {
+			// VBR: keyframes ~2.2x mean, delta frames spread widely.
+			if key {
+				size = rng.TruncNormal(mean*2.2, mean*0.3, mean*1.6, mean*3)
+			} else {
+				size = rng.TruncNormal(mean*0.92, mean*0.25, mean*0.45, mean*1.8)
+			}
+		}
+		if size < 64 {
+			size = 64
+		}
+		frames[i] = Frame{
+			Index: i,
+			PTS:   time.Duration(i) * frameDur,
+			Bytes: int(size),
+			Key:   key,
+		}
+	}
+	return frames
+}
+
+// clipSeed derives a stable seed from the clip identity.
+func clipSeed(c Clip) int64 {
+	h := int64(1469598103934665603)
+	mix := func(v int64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(int64(c.Set))
+	mix(int64(c.Format))
+	mix(int64(c.Class))
+	mix(int64(c.EncodedKbps * 10))
+	return h
+}
+
+// String describes the clip.
+func (c Clip) String() string {
+	return fmt.Sprintf("%s %s %.1f Kbps %v %s", c.Name(), c.Content, c.EncodedKbps, c.Duration, c.Format)
+}

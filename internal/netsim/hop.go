@@ -1,0 +1,137 @@
+// Package netsim is the discrete-event network substrate the reproduction
+// streams over. It models what the paper's testbed provided physically: a
+// client PC on a 10 Mbps campus LAN, an Internet path of 13-25 router hops
+// to each video server site, with propagation delay, per-hop FIFO queueing,
+// serialization at link bandwidth, background-traffic jitter, and rare
+// loss (the paper reports ~0% ping loss with a few observed drops).
+//
+// Hosts exchange real inet.Datagrams: the sending host's IP layer fragments
+// at its MTU (the mechanism behind the paper's MediaPlayer findings) and
+// the receiving host reassembles. Router hops decrement TTL and return
+// ICMP time-exceeded errors, which is what makes tracert work.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"turbulence/internal/eventsim"
+	"turbulence/internal/inet"
+)
+
+// HopSpec describes one router hop of a path.
+type HopSpec struct {
+	Addr      inet.Addr     // router address reported to traceroute
+	Bandwidth float64       // link bits/second leaving this hop
+	PropDelay time.Duration // propagation to the next hop (or host)
+	JitterMax time.Duration // uniform extra queueing delay from cross traffic
+	SpikeProb float64       // probability of a heavy-tailed jitter spike
+	SpikeMax  time.Duration // upper bound of a spike
+	Loss      float64       // independent drop probability at this hop
+	Corrupt   float64       // probability of flipping a payload byte in transit
+	QueueLen  int           // max datagrams queued awaiting serialization (0 = default)
+}
+
+// DefaultQueueLen is used when a HopSpec leaves QueueLen zero; generous
+// enough that drops come from the Loss model under typical conditions, as
+// in the paper's uncongested runs.
+const DefaultQueueLen = 100
+
+// hopState is the runtime state of a unidirectional hop.
+type hopState struct {
+	spec HopSpec
+	// busyUntil is when the output link finishes serialising the last
+	// accepted datagram.
+	busyUntil eventsim.Time
+	// lastExit preserves FIFO ordering downstream of jitter draws.
+	lastExit eventsim.Time
+	// queued counts datagrams accepted but not yet fully serialised.
+	queued int
+
+	// Counters for diagnostics and the congestion experiments.
+	Forwarded   uint64
+	DroppedLoss uint64
+	DroppedFull uint64
+	TTLExpired  uint64
+}
+
+// transmissionDelay returns the serialization time of wireBytes at bps.
+func transmissionDelay(wireBytes int, bps float64) time.Duration {
+	if bps <= 0 {
+		return 0
+	}
+	sec := float64(wireBytes*8) / bps
+	return time.Duration(sec * float64(time.Second))
+}
+
+// queueCap returns the effective queue limit.
+func (h *hopState) queueCap() int {
+	if h.spec.QueueLen > 0 {
+		return h.spec.QueueLen
+	}
+	return DefaultQueueLen
+}
+
+func (h *hopState) String() string {
+	return fmt.Sprintf("hop %s bw=%.0f prop=%v loss=%.4f", h.spec.Addr, h.spec.Bandwidth, h.spec.PropDelay, h.spec.Loss)
+}
+
+// Path is a unidirectional chain of hops between two hosts. Reverse paths
+// are separate Path values with their own queue state.
+type Path struct {
+	src, dst inet.Addr
+	hops     []*hopState
+}
+
+// Hops returns the number of router hops on the path.
+func (p *Path) Hops() int { return len(p.hops) }
+
+// HopAddrs lists the router addresses in order.
+func (p *Path) HopAddrs() []inet.Addr {
+	out := make([]inet.Addr, len(p.hops))
+	for i, h := range p.hops {
+		out[i] = h.spec.Addr
+	}
+	return out
+}
+
+// BasePropagation sums the propagation delays of the path — the floor of
+// the one-way delay, excluding queueing and serialization.
+func (p *Path) BasePropagation() time.Duration {
+	var d time.Duration
+	for _, h := range p.hops {
+		d += h.spec.PropDelay
+	}
+	return d
+}
+
+// Bottleneck returns the lowest hop bandwidth in bits/second.
+func (p *Path) Bottleneck() float64 {
+	if len(p.hops) == 0 {
+		return 0
+	}
+	min := p.hops[0].spec.Bandwidth
+	for _, h := range p.hops {
+		if h.spec.Bandwidth > 0 && (min <= 0 || h.spec.Bandwidth < min) {
+			min = h.spec.Bandwidth
+		}
+	}
+	return min
+}
+
+// Stats aggregates hop counters for reporting.
+type PathStats struct {
+	Forwarded, DroppedLoss, DroppedFull, TTLExpired uint64
+}
+
+// Stats sums the counters across hops.
+func (p *Path) Stats() PathStats {
+	var s PathStats
+	for _, h := range p.hops {
+		s.Forwarded += h.Forwarded
+		s.DroppedLoss += h.DroppedLoss
+		s.DroppedFull += h.DroppedFull
+		s.TTLExpired += h.TTLExpired
+	}
+	return s
+}

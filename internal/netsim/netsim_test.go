@@ -1,0 +1,475 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"turbulence/internal/eventsim"
+	"turbulence/internal/inet"
+)
+
+var (
+	clientAddr = inet.MakeAddr(130, 215, 10, 5)
+	serverAddr = inet.MakeAddr(207, 46, 1, 9)
+)
+
+// lanSpecs builds a short low-jitter path for deterministic timing tests.
+func lanSpecs(hops int, prop time.Duration, bw float64) []HopSpec {
+	specs := make([]HopSpec, hops)
+	for i := range specs {
+		specs[i] = HopSpec{
+			Addr:      inet.MakeAddr(10, 0, 1, byte(i+1)),
+			Bandwidth: bw,
+			PropDelay: prop,
+		}
+	}
+	return specs
+}
+
+func newTestNet(t *testing.T, hops int) (*Network, *Host, *Host) {
+	t.Helper()
+	n := New(1)
+	c := n.AddHost(clientAddr)
+	s := n.AddHost(serverAddr)
+	n.ConnectDuplex(clientAddr, serverAddr, lanSpecs(hops, time.Millisecond, 10e6))
+	return n, c, s
+}
+
+func TestUDPDelivery(t *testing.T) {
+	n, c, s := newTestNet(t, 3)
+	var got []byte
+	var from inet.Endpoint
+	s.BindUDP(inet.PortMMSData, func(now eventsim.Time, f inet.Endpoint, p []byte) {
+		got = append([]byte(nil), p...)
+		from = f
+	})
+	payload := []byte("hello streaming world")
+	wire, err := c.SendUDP(4000, inet.Endpoint{Addr: serverAddr, Port: inet.PortMMSData}, payload)
+	if err != nil || wire != 1 {
+		t.Fatalf("send: %d %v", wire, err)
+	}
+	n.Run(0)
+	if string(got) != string(payload) {
+		t.Fatalf("payload = %q", got)
+	}
+	if from.Addr != clientAddr || from.Port != 4000 {
+		t.Fatalf("from = %v", from)
+	}
+	if s.ReceivedUDP != 1 || c.SentDatagrams != 1 {
+		t.Fatalf("counters: %d %d", s.ReceivedUDP, c.SentDatagrams)
+	}
+}
+
+func TestDeliveryLatencyMatchesPath(t *testing.T) {
+	n, c, s := newTestNet(t, 4) // 4 hops x 1ms prop, 10 Mbps
+	var deliveredAt eventsim.Time
+	s.BindUDP(1, func(now eventsim.Time, _ inet.Endpoint, _ []byte) { deliveredAt = now })
+	c.SendUDP(2, inet.Endpoint{Addr: serverAddr, Port: 1}, make([]byte, 972)) // 1000B IP, 1014B wire
+	n.Run(0)
+	prop := 4 * time.Millisecond
+	ser := 4 * transmissionDelay(1014, 10e6) // store-and-forward at each hop
+	want := eventsim.Time(prop + ser)
+	if deliveredAt != want {
+		t.Fatalf("delivered at %v, want %v", deliveredAt, want)
+	}
+}
+
+func TestFragmentationOnSend(t *testing.T) {
+	n, c, s := newTestNet(t, 2)
+	var recvLen int
+	s.BindUDP(9, func(_ eventsim.Time, _ inet.Endpoint, p []byte) { recvLen = len(p) })
+	// A 4000-byte application frame exceeds the 1500 MTU: 3 wire packets.
+	wire, err := c.SendUDP(9, inet.Endpoint{Addr: serverAddr, Port: 9}, make([]byte, 4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wire != 3 {
+		t.Fatalf("wire packets = %d, want 3", wire)
+	}
+	n.Run(0)
+	if recvLen != 4000 {
+		t.Fatalf("reassembled %d bytes", recvLen)
+	}
+	if s.ReceivedDatagrams != 3 || s.ReceivedUDP != 1 {
+		t.Fatalf("datagrams=%d udp=%d", s.ReceivedDatagrams, s.ReceivedUDP)
+	}
+}
+
+func TestTapSeesWireFragments(t *testing.T) {
+	n, c, s := newTestNet(t, 2)
+	s.BindUDP(9, func(eventsim.Time, inet.Endpoint, []byte) {})
+	var sends, recvs, frags int
+	c.Tap(func(_ eventsim.Time, dir Direction, d *inet.Datagram) {
+		if dir == Send {
+			sends++
+		}
+	})
+	s.Tap(func(_ eventsim.Time, dir Direction, d *inet.Datagram) {
+		if dir == Recv {
+			recvs++
+			if d.Header.IsFragment() {
+				frags++
+			}
+		}
+	})
+	c.SendUDP(9, inet.Endpoint{Addr: serverAddr, Port: 9}, make([]byte, 4000))
+	n.Run(0)
+	if sends != 3 || recvs != 3 {
+		t.Fatalf("tap counts send=%d recv=%d", sends, recvs)
+	}
+	if frags != 3 { // all three carry fragment flags/offsets
+		t.Fatalf("fragment count=%d", frags)
+	}
+}
+
+func TestLossDropsPackets(t *testing.T) {
+	n := New(2)
+	c := n.AddHost(clientAddr)
+	s := n.AddHost(serverAddr)
+	specs := lanSpecs(2, time.Millisecond, 10e6)
+	specs[1].Loss = 1.0 // everything dies at hop 2
+	n.ConnectDuplex(clientAddr, serverAddr, specs)
+	got := 0
+	s.BindUDP(9, func(eventsim.Time, inet.Endpoint, []byte) { got++ })
+	for i := 0; i < 10; i++ {
+		c.SendUDP(9, inet.Endpoint{Addr: serverAddr, Port: 9}, []byte("x"))
+	}
+	n.Run(0)
+	if got != 0 {
+		t.Fatalf("received %d through a 100%% loss hop", got)
+	}
+	p := n.PathBetween(clientAddr, serverAddr)
+	if st := p.Stats(); st.DroppedLoss != 10 {
+		t.Fatalf("loss counter=%d", st.DroppedLoss)
+	}
+}
+
+func TestQueueOverflowDrops(t *testing.T) {
+	n := New(3)
+	c := n.AddHost(clientAddr)
+	s := n.AddHost(serverAddr)
+	specs := []HopSpec{{
+		Addr:      inet.MakeAddr(10, 0, 1, 1),
+		Bandwidth: 64e3, // slow modem-class link
+		PropDelay: time.Millisecond,
+		QueueLen:  2,
+	}}
+	n.ConnectDuplex(clientAddr, serverAddr, specs)
+	got := 0
+	s.BindUDP(9, func(eventsim.Time, inet.Endpoint, []byte) { got++ })
+	// Burst 20 packets instantaneously: at most queue+inflight survive.
+	for i := 0; i < 20; i++ {
+		c.SendUDP(9, inet.Endpoint{Addr: serverAddr, Port: 9}, make([]byte, 500))
+	}
+	n.Run(0)
+	p := n.PathBetween(clientAddr, serverAddr)
+	st := p.Stats()
+	if st.DroppedFull == 0 {
+		t.Fatal("no queue drops on overloaded bottleneck")
+	}
+	if got+int(st.DroppedFull) != 20 {
+		t.Fatalf("accounting: got=%d dropped=%d", got, st.DroppedFull)
+	}
+}
+
+func TestFIFOOrderingUnderJitter(t *testing.T) {
+	n := New(4)
+	c := n.AddHost(clientAddr)
+	s := n.AddHost(serverAddr)
+	specs := lanSpecs(5, time.Millisecond, 10e6)
+	for i := range specs {
+		specs[i].JitterMax = 5 * time.Millisecond
+		specs[i].SpikeProb = 0.2
+		specs[i].SpikeMax = 50 * time.Millisecond
+	}
+	n.ConnectDuplex(clientAddr, serverAddr, specs)
+	var seqs []int
+	s.BindUDP(9, func(_ eventsim.Time, _ inet.Endpoint, p []byte) { seqs = append(seqs, int(p[0])) })
+	for i := 0; i < 100; i++ {
+		i := i
+		n.Sched.At(eventsim.At(float64(i)*0.001), "send", func(eventsim.Time) {
+			c.SendUDP(9, inet.Endpoint{Addr: serverAddr, Port: 9}, []byte{byte(i)})
+		})
+	}
+	n.Run(0)
+	if len(seqs) != 100 {
+		t.Fatalf("received %d", len(seqs))
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] < seqs[i-1] {
+			t.Fatalf("reordering at %d: %v", i, seqs[i-1:i+1])
+		}
+	}
+}
+
+func TestICMPEchoAutoReply(t *testing.T) {
+	n, c, _ := newTestNet(t, 3)
+	var reply *inet.ICMPMessage
+	var replyAt eventsim.Time
+	c.OnICMP(func(now eventsim.Time, from inet.Addr, m inet.ICMPMessage) {
+		if from == serverAddr && m.Type == inet.ICMPEchoReply {
+			mm := m
+			reply = &mm
+			replyAt = now
+		}
+	})
+	c.SendICMP(serverAddr, inet.DefaultTTL, inet.ICMPMessage{Type: inet.ICMPEchoRequest, ID: 42, Seq: 7})
+	n.Run(0)
+	if reply == nil {
+		t.Fatal("no echo reply")
+	}
+	if reply.ID != 42 || reply.Seq != 7 {
+		t.Fatalf("reply %+v", reply)
+	}
+	if replyAt < eventsim.At(0.006) { // >= 2 x 3 hops x 1ms
+		t.Fatalf("reply too fast: %v", replyAt)
+	}
+}
+
+func TestTTLExpiryReturnsTimeExceeded(t *testing.T) {
+	n, c, _ := newTestNet(t, 4)
+	var from inet.Addr
+	var gotType byte
+	c.OnICMP(func(_ eventsim.Time, f inet.Addr, m inet.ICMPMessage) {
+		from = f
+		gotType = m.Type
+	})
+	// TTL=2 expires at the second router.
+	c.SendICMP(serverAddr, 2, inet.ICMPMessage{Type: inet.ICMPEchoRequest, ID: 1, Seq: 1})
+	n.Run(0)
+	if gotType != inet.ICMPTimeExceeded {
+		t.Fatalf("got type %d", gotType)
+	}
+	want := inet.MakeAddr(10, 0, 1, 2)
+	if from != want {
+		t.Fatalf("time-exceeded from %s, want %s", from, want)
+	}
+	p := n.PathBetween(clientAddr, serverAddr)
+	if st := p.Stats(); st.TTLExpired != 1 {
+		t.Fatalf("TTLExpired=%d", st.TTLExpired)
+	}
+}
+
+func TestUnroutableCounted(t *testing.T) {
+	n := New(5)
+	c := n.AddHost(clientAddr)
+	c.SendUDP(1, inet.Endpoint{Addr: inet.MakeAddr(1, 2, 3, 4), Port: 5}, []byte("x"))
+	n.Run(0)
+	if c.Unroutable != 1 {
+		t.Fatalf("Unroutable=%d", c.Unroutable)
+	}
+}
+
+func TestUnboundPortCounted(t *testing.T) {
+	n, c, s := newTestNet(t, 2)
+	c.SendUDP(1, inet.Endpoint{Addr: serverAddr, Port: 12345}, []byte("x"))
+	n.Run(0)
+	if s.UndeliveredPort != 1 {
+		t.Fatalf("UndeliveredPort=%d", s.UndeliveredPort)
+	}
+	s.BindUDP(12345, func(eventsim.Time, inet.Endpoint, []byte) {})
+	s.UnbindUDP(12345)
+	c.SendUDP(1, inet.Endpoint{Addr: serverAddr, Port: 12345}, []byte("x"))
+	n.Run(0)
+	if s.UndeliveredPort != 2 {
+		t.Fatalf("UndeliveredPort=%d after unbind", s.UndeliveredPort)
+	}
+}
+
+func TestPathAccessors(t *testing.T) {
+	n, _, _ := newTestNet(t, 6)
+	p := n.PathBetween(clientAddr, serverAddr)
+	if p.Hops() != 6 {
+		t.Fatalf("Hops=%d", p.Hops())
+	}
+	if len(p.HopAddrs()) != 6 {
+		t.Fatal("HopAddrs")
+	}
+	if p.BasePropagation() != 6*time.Millisecond {
+		t.Fatalf("BasePropagation=%v", p.BasePropagation())
+	}
+	if p.Bottleneck() != 10e6 {
+		t.Fatalf("Bottleneck=%v", p.Bottleneck())
+	}
+	rev := n.PathBetween(serverAddr, clientAddr)
+	if rev == nil || rev.Hops() != 6 {
+		t.Fatal("reverse path missing")
+	}
+	// Reverse path hop order is mirrored.
+	f, r := p.HopAddrs(), rev.HopAddrs()
+	for i := range f {
+		if f[i] != r[len(r)-1-i] {
+			t.Fatal("reverse path not mirrored")
+		}
+	}
+}
+
+func TestDuplicateHostPanics(t *testing.T) {
+	n := New(1)
+	n.AddHost(clientAddr)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate host did not panic")
+		}
+	}()
+	n.AddHost(clientAddr)
+}
+
+func TestSelfConnectPanics(t *testing.T) {
+	n := New(1)
+	n.AddHost(clientAddr)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self connect did not panic")
+		}
+	}()
+	n.ConnectDuplex(clientAddr, clientAddr, lanSpecs(1, time.Millisecond, 1e6))
+}
+
+func TestSetMTU(t *testing.T) {
+	n, c, s := newTestNet(t, 2)
+	c.SetMTU(576)
+	if c.MTU() != 576 {
+		t.Fatal("MTU not set")
+	}
+	recvd := 0
+	s.BindUDP(9, func(eventsim.Time, inet.Endpoint, []byte) { recvd++ })
+	wire, err := c.SendUDP(9, inet.Endpoint{Addr: serverAddr, Port: 9}, make([]byte, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wire < 4 {
+		t.Fatalf("wire=%d at mtu 576, want >=4", wire)
+	}
+	n.Run(0)
+	if recvd != 1 {
+		t.Fatal("not reassembled at small MTU")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("absurd MTU accepted")
+		}
+	}()
+	c.SetMTU(10)
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []eventsim.Time {
+		n := New(99)
+		c := n.AddHost(clientAddr)
+		s := n.AddHost(serverAddr)
+		specs := lanSpecs(8, 2*time.Millisecond, 10e6)
+		for i := range specs {
+			specs[i].JitterMax = 3 * time.Millisecond
+			specs[i].Loss = 0.01
+		}
+		n.ConnectDuplex(clientAddr, serverAddr, specs)
+		var arrivals []eventsim.Time
+		s.BindUDP(9, func(now eventsim.Time, _ inet.Endpoint, _ []byte) { arrivals = append(arrivals, now) })
+		for i := 0; i < 50; i++ {
+			i := i
+			n.Sched.At(eventsim.At(float64(i)*0.01), "send", func(eventsim.Time) {
+				c.SendUDP(9, inet.Endpoint{Addr: serverAddr, Port: 9}, make([]byte, 700))
+			})
+		}
+		n.Run(0)
+		return arrivals
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different packet counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestHostAfterConvenience(t *testing.T) {
+	n, c, _ := newTestNet(t, 1)
+	fired := false
+	c.After(time.Second, "x", func(eventsim.Time) { fired = true })
+	n.Run(0)
+	if !fired {
+		t.Fatal("After did not fire")
+	}
+	if c.Network() != n {
+		t.Fatal("Network accessor")
+	}
+	if c.Addr() != clientAddr {
+		t.Fatal("Addr accessor")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Send.String() != "send" || Recv.String() != "recv" {
+		t.Fatal("Direction strings")
+	}
+}
+
+func TestHopString(t *testing.T) {
+	h := &hopState{spec: HopSpec{Addr: inet.MakeAddr(1, 2, 3, 4), Bandwidth: 1e6, PropDelay: time.Millisecond}}
+	if h.String() == "" {
+		t.Fatal("empty hop string")
+	}
+}
+
+func TestCorruptionCaughtByChecksums(t *testing.T) {
+	n := New(6)
+	c := n.AddHost(clientAddr)
+	s := n.AddHost(serverAddr)
+	specs := []HopSpec{{
+		Addr:      inet.MakeAddr(10, 0, 1, 1),
+		Bandwidth: 10e6,
+		PropDelay: time.Millisecond,
+		Corrupt:   0.5, // flip a byte in half the packets
+	}}
+	n.ConnectDuplex(clientAddr, serverAddr, specs)
+	delivered := 0
+	s.BindUDP(9, func(eventsim.Time, inet.Endpoint, []byte) { delivered++ })
+	const sent = 200
+	for i := 0; i < sent; i++ {
+		i := i
+		n.Sched.At(eventsim.At(float64(i)*0.01), "send", func(eventsim.Time) {
+			c.SendUDP(9, inet.Endpoint{Addr: serverAddr, Port: 9}, make([]byte, 400))
+		})
+	}
+	n.Run(0)
+	if s.ChecksumErrors == 0 {
+		t.Fatal("no checksum errors despite heavy corruption")
+	}
+	if delivered+int(s.ChecksumErrors) != sent {
+		t.Fatalf("accounting: delivered=%d checksumErrors=%d sent=%d",
+			delivered, s.ChecksumErrors, sent)
+	}
+	// No corrupted payload ever reached the application.
+	if delivered == 0 || delivered == sent {
+		t.Fatalf("delivered=%d of %d; corruption model inert", delivered, sent)
+	}
+}
+
+func TestCorruptionOfFragmentKillsDatagram(t *testing.T) {
+	// A flipped byte in any fragment must discard the whole application
+	// frame: the UDP checksum covers the reassembled datagram.
+	n := New(7)
+	c := n.AddHost(clientAddr)
+	s := n.AddHost(serverAddr)
+	specs := []HopSpec{{
+		Addr:      inet.MakeAddr(10, 0, 1, 1),
+		Bandwidth: 10e6,
+		PropDelay: time.Millisecond,
+		Corrupt:   1.0, // every wire packet corrupted
+	}}
+	n.ConnectDuplex(clientAddr, serverAddr, specs)
+	delivered := 0
+	s.BindUDP(9, func(eventsim.Time, inet.Endpoint, []byte) { delivered++ })
+	c.SendUDP(9, inet.Endpoint{Addr: serverAddr, Port: 9}, make([]byte, 4000)) // 3 fragments
+	n.Run(0)
+	if delivered != 0 {
+		t.Fatal("corrupted fragmented datagram delivered")
+	}
+	if s.ChecksumErrors != 1 {
+		t.Fatalf("ChecksumErrors=%d, want 1 (one reassembled datagram rejected)", s.ChecksumErrors)
+	}
+}

@@ -1,0 +1,196 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"turbulence/internal/eventsim"
+	"turbulence/internal/inet"
+)
+
+// Network owns the scheduler, the hosts and the directed paths between
+// them. All model code runs on the network's single event loop.
+type Network struct {
+	Sched *eventsim.Scheduler
+	rng   *eventsim.RNG
+	hosts map[inet.Addr]*Host
+	paths map[route]*Path
+}
+
+type route struct{ src, dst inet.Addr }
+
+// New creates an empty network with a deterministic RNG.
+func New(seed int64) *Network {
+	return &Network{
+		Sched: eventsim.NewScheduler(),
+		rng:   eventsim.NewRNG(seed),
+		hosts: make(map[inet.Addr]*Host),
+		paths: make(map[route]*Path),
+	}
+}
+
+// RNG exposes the network's root random stream so models can Split from it.
+func (n *Network) RNG() *eventsim.RNG { return n.rng }
+
+// Now returns the current simulated time.
+func (n *Network) Now() eventsim.Time { return n.Sched.Now() }
+
+// AddHost creates and registers a host.
+func (n *Network) AddHost(addr inet.Addr) *Host {
+	if _, dup := n.hosts[addr]; dup {
+		panic(fmt.Sprintf("netsim: duplicate host %s", addr))
+	}
+	h := newHost(n, addr)
+	n.hosts[addr] = h
+	return h
+}
+
+// Host returns the registered host for addr, or nil.
+func (n *Network) Host(addr inet.Addr) *Host { return n.hosts[addr] }
+
+// ConnectDuplex installs a forward path from a to b using specs, and a
+// mirrored reverse path with independent queue state, as real duplex links
+// have. The reverse path traverses the same router addresses in opposite
+// order.
+func (n *Network) ConnectDuplex(a, b inet.Addr, specs []HopSpec) (*Path, *Path) {
+	fwd := n.connect(a, b, specs)
+	rev := make([]HopSpec, len(specs))
+	for i := range specs {
+		rev[i] = specs[len(specs)-1-i]
+	}
+	back := n.connect(b, a, rev)
+	return fwd, back
+}
+
+func (n *Network) connect(src, dst inet.Addr, specs []HopSpec) *Path {
+	if src == dst {
+		panic("netsim: cannot connect a host to itself")
+	}
+	p := &Path{src: src, dst: dst}
+	for _, s := range specs {
+		spec := s
+		p.hops = append(p.hops, &hopState{spec: spec})
+	}
+	n.paths[route{src, dst}] = p
+	return p
+}
+
+// PathBetween returns the installed directed path, or nil.
+func (n *Network) PathBetween(src, dst inet.Addr) *Path {
+	return n.paths[route{src, dst}]
+}
+
+// send injects a datagram from its source host into the network. Datagrams
+// to unknown destinations or without a path are dropped silently, as a real
+// network drops unroutable traffic (counted on the host).
+func (n *Network) send(d *inet.Datagram, now eventsim.Time) bool {
+	p := n.paths[route{d.Header.Src, d.Header.Dst}]
+	if p == nil {
+		return false
+	}
+	n.forward(p, 0, d, now)
+	return true
+}
+
+// forward advances d through hop i of p, scheduling its arrival at the next
+// hop (or final delivery).
+func (n *Network) forward(p *Path, i int, d *inet.Datagram, now eventsim.Time) {
+	hop := p.hops[i]
+	// Random early loss from the hop's loss model.
+	if hop.spec.Loss > 0 && n.rng.Bernoulli(hop.spec.Loss) {
+		hop.DroppedLoss++
+		return
+	}
+	// Drop-tail queue.
+	if hop.queued >= hop.queueCap() {
+		hop.DroppedFull++
+		return
+	}
+	// TTL handling: the router discards and reports expiry.
+	if d.Header.TTL <= 1 {
+		hop.TTLExpired++
+		n.returnTimeExceeded(p, i, d, now)
+		return
+	}
+	d.Header.TTL--
+
+	// Bit corruption in transit: flip one payload byte. The receiving
+	// host's transport checksums are what catch this.
+	if hop.spec.Corrupt > 0 && len(d.Payload) > 0 && n.rng.Bernoulli(hop.spec.Corrupt) {
+		d.Payload[n.rng.Intn(len(d.Payload))] ^= 1 << n.rng.Intn(8)
+	}
+
+	hop.queued++
+	ser := transmissionDelay(d.WireLen(), hop.spec.Bandwidth)
+	start := now
+	if hop.busyUntil > start {
+		start = hop.busyUntil
+	}
+	departure := start.Add(ser)
+	hop.busyUntil = departure
+	n.Sched.At(departure, "hop.dequeue", func(eventsim.Time) { hop.queued-- })
+
+	// Propagation plus cross-traffic jitter; FIFO order is preserved.
+	delay := hop.spec.PropDelay + n.drawJitter(hop.spec)
+	arrival := departure.Add(delay)
+	if arrival < hop.lastExit {
+		arrival = hop.lastExit
+	}
+	hop.lastExit = arrival
+	hop.Forwarded++
+
+	if i == len(p.hops)-1 {
+		dst := n.hosts[p.dst]
+		if dst == nil {
+			return
+		}
+		n.Sched.At(arrival, "host.deliver", func(t eventsim.Time) { dst.deliver(d, t) })
+		return
+	}
+	n.Sched.At(arrival, "hop.forward", func(t eventsim.Time) { n.forward(p, i+1, d, t) })
+}
+
+// drawJitter samples the hop's cross-traffic delay model: a uniform
+// component plus occasional heavy-tailed spikes.
+func (n *Network) drawJitter(s HopSpec) time.Duration {
+	var j time.Duration
+	if s.JitterMax > 0 {
+		j = time.Duration(n.rng.Uniform(0, float64(s.JitterMax)))
+	}
+	if s.SpikeProb > 0 && s.SpikeMax > s.JitterMax && n.rng.Bernoulli(s.SpikeProb) {
+		// Heavy-tailed cross-traffic spikes: floor at an eighth of the
+		// cap so spikes are genuinely disruptive, with a Pareto tail.
+		lo := float64(s.SpikeMax) / 8
+		if min := float64(s.JitterMax + 1); lo < min {
+			lo = min
+		}
+		j += time.Duration(n.rng.Pareto(1.2, lo, float64(s.SpikeMax)))
+	}
+	return j
+}
+
+// returnTimeExceeded emits the ICMP error a router sends when TTL expires,
+// delivering it back to the source after the accumulated upstream
+// propagation delay (error packets skip detailed queue modelling).
+func (n *Network) returnTimeExceeded(p *Path, i int, d *inet.Datagram, now eventsim.Time) {
+	src := n.hosts[p.src]
+	if src == nil {
+		return
+	}
+	var back time.Duration
+	for k := 0; k <= i; k++ {
+		back += p.hops[k].spec.PropDelay
+		back += time.Duration(n.rng.Uniform(0, float64(p.hops[k].spec.JitterMax)))
+	}
+	msg := inet.ICMPMessage{
+		Type:    inet.ICMPTimeExceeded,
+		Payload: inet.QuoteDatagram(d),
+	}
+	reply := inet.BuildICMP(p.hops[i].spec.Addr, p.src, inet.DefaultTTL, 0, msg)
+	n.Sched.At(now.Add(back), "icmp.time-exceeded", func(t eventsim.Time) {
+		src.deliver(reply, t)
+	})
+}
+
+// Run drives the simulation until the horizon (0 = until idle).
+func (n *Network) Run(horizon eventsim.Time) error { return n.Sched.Run(horizon) }

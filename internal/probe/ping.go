@@ -1,0 +1,205 @@
+// Package probe reimplements the two network-conditions tools the paper's
+// methodology runs before and after every experiment: ping (RTT and loss,
+// feeding the Figure 1 CDF) and tracert (hop discovery, feeding the
+// Figure 2 CDF). Both operate over the simulated network's real ICMP path:
+// echo requests answered by the destination host, and TTL-limited probes
+// answered by routers with time-exceeded errors.
+package probe
+
+import (
+	"fmt"
+	"time"
+
+	"turbulence/internal/eventsim"
+	"turbulence/internal/inet"
+	"turbulence/internal/netsim"
+	"turbulence/internal/stats"
+)
+
+// PingEcho is one echo exchange.
+type PingEcho struct {
+	Seq  int
+	RTT  time.Duration
+	Lost bool
+}
+
+// PingReport summarises a ping run, like the tool's closing statistics.
+type PingReport struct {
+	Target         inet.Addr
+	Sent, Received int
+	Echoes         []PingEcho
+	MinRTT, MaxRTT time.Duration
+	AvgRTT         time.Duration
+}
+
+// LossRate returns the fraction of unanswered probes.
+func (r *PingReport) LossRate() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return float64(r.Sent-r.Received) / float64(r.Sent)
+}
+
+// RTTSeconds returns the successful RTT samples in seconds, ready for the
+// Figure 1 CDF.
+func (r *PingReport) RTTSeconds() []float64 {
+	var out []float64
+	for _, e := range r.Echoes {
+		if !e.Lost {
+			out = append(out, e.RTT.Seconds())
+		}
+	}
+	return out
+}
+
+// RTTMillis returns the successful RTT samples in milliseconds.
+func (r *PingReport) RTTMillis() []float64 {
+	out := r.RTTSeconds()
+	for i := range out {
+		out[i] *= 1000
+	}
+	return out
+}
+
+// String renders a ping-style summary line.
+func (r *PingReport) String() string {
+	return fmt.Sprintf("ping %s: %d sent, %d received, %.1f%% loss, rtt min/avg/max = %v/%v/%v",
+		r.Target, r.Sent, r.Received, r.LossRate()*100, r.MinRTT, r.AvgRTT, r.MaxRTT)
+}
+
+// PingOptions configures a ping run.
+type PingOptions struct {
+	Count    int           // echo requests to send (default 10)
+	Interval time.Duration // spacing between requests (default 1s)
+	Timeout  time.Duration // per-echo reply deadline (default 2s)
+	ID       uint16        // ICMP identifier; pick distinct IDs per prober
+}
+
+func (o *PingOptions) defaults() {
+	if o.Count <= 0 {
+		o.Count = 10
+	}
+	if o.Interval <= 0 {
+		o.Interval = time.Second
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Second
+	}
+}
+
+// Pinger runs an asynchronous ping session on the event loop.
+type Pinger struct {
+	host   *netsim.Host
+	target inet.Addr
+	opts   PingOptions
+	report PingReport
+
+	sentAt   map[uint16]eventsim.Time
+	answered map[uint16]bool
+	done     func(*PingReport)
+	pending  int
+	finished bool
+}
+
+// StartPing begins a ping session; done (optional) fires when every echo
+// has been answered or timed out. The report is also available from
+// Report after the network run completes.
+func StartPing(h *netsim.Host, target inet.Addr, opts PingOptions, done func(*PingReport)) *Pinger {
+	opts.defaults()
+	p := &Pinger{
+		host:     h,
+		target:   target,
+		opts:     opts,
+		sentAt:   make(map[uint16]eventsim.Time),
+		answered: make(map[uint16]bool),
+		done:     done,
+	}
+	p.report.Target = target
+	h.OnICMP(p.onICMP)
+	for i := 0; i < opts.Count; i++ {
+		seq := uint16(i + 1)
+		delay := time.Duration(i) * opts.Interval
+		h.After(delay, "ping.send", func(now eventsim.Time) { p.send(seq, now) })
+	}
+	p.pending = opts.Count
+	return p
+}
+
+func (p *Pinger) send(seq uint16, now eventsim.Time) {
+	p.sentAt[seq] = now
+	p.report.Sent++
+	p.host.SendICMP(p.target, inet.DefaultTTL, inet.ICMPMessage{
+		Type: inet.ICMPEchoRequest, ID: p.opts.ID, Seq: seq,
+		Payload: make([]byte, 32), // classic ping payload size
+	})
+	p.host.After(p.opts.Timeout, "ping.timeout", func(eventsim.Time) { p.expire(seq) })
+}
+
+func (p *Pinger) onICMP(now eventsim.Time, from inet.Addr, m inet.ICMPMessage) {
+	if m.Type != inet.ICMPEchoReply || m.ID != p.opts.ID || from != p.target {
+		return
+	}
+	if p.answered[m.Seq] {
+		return // duplicate
+	}
+	sent, ok := p.sentAt[m.Seq]
+	if !ok {
+		return
+	}
+	p.answered[m.Seq] = true
+	rtt := now.Sub(sent)
+	p.report.Received++
+	p.report.Echoes = append(p.report.Echoes, PingEcho{Seq: int(m.Seq), RTT: rtt})
+	p.settle()
+}
+
+func (p *Pinger) expire(seq uint16) {
+	if p.answered[seq] {
+		return
+	}
+	p.answered[seq] = true
+	p.report.Echoes = append(p.report.Echoes, PingEcho{Seq: int(seq), Lost: true})
+	p.settle()
+}
+
+func (p *Pinger) settle() {
+	p.pending--
+	if p.pending > 0 || p.finished {
+		return
+	}
+	p.finished = true
+	var sum time.Duration
+	n := 0
+	for _, e := range p.report.Echoes {
+		if e.Lost {
+			continue
+		}
+		if n == 0 || e.RTT < p.report.MinRTT {
+			p.report.MinRTT = e.RTT
+		}
+		if e.RTT > p.report.MaxRTT {
+			p.report.MaxRTT = e.RTT
+		}
+		sum += e.RTT
+		n++
+	}
+	if n > 0 {
+		p.report.AvgRTT = sum / time.Duration(n)
+	}
+	if p.done != nil {
+		p.done(&p.report)
+	}
+}
+
+// Report returns the (possibly still filling) report.
+func (p *Pinger) Report() *PingReport { return &p.report }
+
+// RTTCDF builds the Figure 1 curve from a collection of reports: the
+// empirical CDF of all successful RTTs across runs, in milliseconds.
+func RTTCDF(reports []*PingReport) []stats.Point {
+	var all []float64
+	for _, r := range reports {
+		all = append(all, r.RTTMillis()...)
+	}
+	return stats.CDF(all)
+}

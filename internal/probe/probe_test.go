@@ -1,0 +1,253 @@
+package probe
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"turbulence/internal/inet"
+	"turbulence/internal/netsim"
+	"turbulence/internal/stats"
+)
+
+var (
+	clientAddr = inet.MakeAddr(130, 215, 10, 5)
+	serverAddr = inet.MakeAddr(207, 46, 1, 9)
+)
+
+func buildNet(t *testing.T, hops int, prop time.Duration, loss float64) (*netsim.Network, *netsim.Host) {
+	t.Helper()
+	n := netsim.New(7)
+	c := n.AddHost(clientAddr)
+	n.AddHost(serverAddr)
+	specs := make([]netsim.HopSpec, hops)
+	for i := range specs {
+		specs[i] = netsim.HopSpec{
+			Addr:      inet.MakeAddr(10, 0, 2, byte(i+1)),
+			Bandwidth: 10e6,
+			PropDelay: prop,
+			Loss:      loss,
+		}
+	}
+	n.ConnectDuplex(clientAddr, serverAddr, specs)
+	return n, c
+}
+
+func TestPingMeasuresRTT(t *testing.T) {
+	n, c := buildNet(t, 5, 4*time.Millisecond, 0)
+	var got *PingReport
+	StartPing(c, serverAddr, PingOptions{Count: 10, ID: 1}, func(r *PingReport) { got = r })
+	n.Run(0)
+	if got == nil {
+		t.Fatal("ping never completed")
+	}
+	if got.Sent != 10 || got.Received != 10 {
+		t.Fatalf("sent=%d received=%d", got.Sent, got.Received)
+	}
+	if got.LossRate() != 0 {
+		t.Fatalf("loss=%v", got.LossRate())
+	}
+	// RTT floor: 2 x 5 hops x 4 ms = 40 ms, plus serialization.
+	if got.MinRTT < 40*time.Millisecond || got.MinRTT > 50*time.Millisecond {
+		t.Fatalf("MinRTT=%v", got.MinRTT)
+	}
+	if got.AvgRTT < got.MinRTT || got.MaxRTT < got.AvgRTT {
+		t.Fatal("RTT ordering broken")
+	}
+	if len(got.RTTSeconds()) != 10 || len(got.RTTMillis()) != 10 {
+		t.Fatal("RTT samples")
+	}
+	if !strings.Contains(got.String(), "10 received") {
+		t.Fatalf("String=%q", got.String())
+	}
+}
+
+func TestPingCountsLoss(t *testing.T) {
+	n, c := buildNet(t, 2, time.Millisecond, 0.25) // heavy loss per hop
+	var got *PingReport
+	StartPing(c, serverAddr, PingOptions{Count: 40, Interval: 100 * time.Millisecond, ID: 2},
+		func(r *PingReport) { got = r })
+	n.Run(0)
+	if got == nil {
+		t.Fatal("ping never completed")
+	}
+	if got.Received == 0 || got.Received == got.Sent {
+		t.Fatalf("expected partial loss, got %d/%d", got.Received, got.Sent)
+	}
+	lost := 0
+	for _, e := range got.Echoes {
+		if e.Lost {
+			lost++
+		}
+	}
+	if lost != got.Sent-got.Received {
+		t.Fatalf("echo bookkeeping: lost=%d", lost)
+	}
+}
+
+func TestPingUnreachableTarget(t *testing.T) {
+	n := netsim.New(1)
+	c := n.AddHost(clientAddr)
+	var got *PingReport
+	StartPing(c, serverAddr, PingOptions{Count: 3, ID: 3}, func(r *PingReport) { got = r })
+	n.Run(0)
+	if got == nil {
+		t.Fatal("ping never settled")
+	}
+	if got.Received != 0 || got.LossRate() != 1 {
+		t.Fatalf("unreachable: %+v", got)
+	}
+}
+
+func TestConcurrentPingersDistinctIDs(t *testing.T) {
+	n, c := buildNet(t, 3, 2*time.Millisecond, 0)
+	a := StartPing(c, serverAddr, PingOptions{Count: 5, ID: 10}, nil)
+	b := StartPing(c, serverAddr, PingOptions{Count: 5, ID: 11}, nil)
+	n.Run(0)
+	if a.Report().Received != 5 || b.Report().Received != 5 {
+		t.Fatalf("concurrent pingers interfered: %d %d", a.Report().Received, b.Report().Received)
+	}
+}
+
+func TestTracertDiscoversRoute(t *testing.T) {
+	n, c := buildNet(t, 6, 3*time.Millisecond, 0)
+	var got *TraceReport
+	StartTrace(c, serverAddr, TraceOptions{ID: 4}, func(r *TraceReport) { got = r })
+	n.Run(0)
+	if got == nil {
+		t.Fatal("trace never completed")
+	}
+	if !got.Reached {
+		t.Fatal("destination not reached")
+	}
+	if got.HopCount() != 6 {
+		t.Fatalf("HopCount=%d, want 6", got.HopCount())
+	}
+	// Rows: 6 routers + the destination.
+	if len(got.Hops) != 7 {
+		t.Fatalf("rows=%d", len(got.Hops))
+	}
+	for i := 0; i < 6; i++ {
+		want := inet.MakeAddr(10, 0, 2, byte(i+1))
+		if got.Hops[i].Addr != want {
+			t.Fatalf("hop %d = %s, want %s", i+1, got.Hops[i].Addr, want)
+		}
+		if got.Hops[i].RTT <= 0 {
+			t.Fatalf("hop %d rtt=%v", i+1, got.Hops[i].RTT)
+		}
+	}
+	if got.Hops[6].Addr != serverAddr {
+		t.Fatalf("final row=%s", got.Hops[6].Addr)
+	}
+	// RTTs grow with depth (monotone within jitter-free network).
+	for i := 1; i < len(got.Hops); i++ {
+		if got.Hops[i].RTT < got.Hops[i-1].RTT {
+			t.Fatalf("RTT shrank at hop %d", i+1)
+		}
+	}
+	if !strings.Contains(got.String(), "tracert") {
+		t.Fatal("String")
+	}
+}
+
+func TestTracertMaxTTL(t *testing.T) {
+	n, c := buildNet(t, 10, time.Millisecond, 0)
+	var got *TraceReport
+	StartTrace(c, serverAddr, TraceOptions{MaxTTL: 4, ID: 5}, func(r *TraceReport) { got = r })
+	n.Run(0)
+	if got == nil {
+		t.Fatal("trace never completed")
+	}
+	if got.Reached {
+		t.Fatal("reached through MaxTTL 4 on a 10-hop path")
+	}
+	if got.HopCount() != 4 || len(got.Hops) != 4 {
+		t.Fatalf("rows=%d", len(got.Hops))
+	}
+}
+
+func TestTracertUnreachableTimesOut(t *testing.T) {
+	n := netsim.New(1)
+	c := n.AddHost(clientAddr)
+	var got *TraceReport
+	StartTrace(c, serverAddr, TraceOptions{MaxTTL: 3, Timeout: 100 * time.Millisecond, ID: 6},
+		func(r *TraceReport) { got = r })
+	n.Run(0)
+	if got == nil {
+		t.Fatal("trace never settled")
+	}
+	if got.Reached || len(got.Hops) != 3 {
+		t.Fatalf("%+v", got)
+	}
+	for _, h := range got.Hops {
+		if !h.Timeout {
+			t.Fatal("phantom responder")
+		}
+	}
+	if !strings.Contains(got.String(), "timed out") {
+		t.Fatal("timeout rows missing from output")
+	}
+}
+
+func TestPingAndTraceConcurrently(t *testing.T) {
+	// The methodology runs ping and tracert around each experiment; they
+	// must not cross-match each other's replies.
+	n, c := buildNet(t, 4, 2*time.Millisecond, 0)
+	p := StartPing(c, serverAddr, PingOptions{Count: 8, ID: 21}, nil)
+	tr := StartTrace(c, serverAddr, TraceOptions{ID: 22}, nil)
+	n.Run(0)
+	if p.Report().Received != 8 {
+		t.Fatalf("ping received=%d", p.Report().Received)
+	}
+	if !tr.Report().Reached || tr.Report().HopCount() != 4 {
+		t.Fatalf("trace: %+v", tr.Report())
+	}
+}
+
+func TestRTTAndHopsCDFs(t *testing.T) {
+	n, c := buildNet(t, 5, 4*time.Millisecond, 0)
+	p := StartPing(c, serverAddr, PingOptions{Count: 20, ID: 30}, nil)
+	tr := StartTrace(c, serverAddr, TraceOptions{ID: 31}, nil)
+	n.Run(0)
+	rttCDF := RTTCDF([]*PingReport{p.Report()})
+	if len(rttCDF) == 0 {
+		t.Fatal("empty RTT CDF")
+	}
+	if last := rttCDF[len(rttCDF)-1]; last.Y != 1 {
+		t.Fatalf("CDF mass=%v", last.Y)
+	}
+	// All RTTs above the 40 ms propagation floor.
+	if rttCDF[0].X < 40 {
+		t.Fatalf("min RTT %v ms below floor", rttCDF[0].X)
+	}
+	hopsCDF := HopsCDF([]*TraceReport{tr.Report()})
+	if len(hopsCDF) != 1 || hopsCDF[0].X != 5 {
+		t.Fatalf("hops CDF=%v", hopsCDF)
+	}
+	if stats.CDFAt(hopsCDF, 5) != 1 {
+		t.Fatal("hops CDF mass")
+	}
+}
+
+func TestQuotedEchoIDs(t *testing.T) {
+	if _, _, ok := quotedEchoIDs(nil); ok {
+		t.Fatal("empty quote accepted")
+	}
+	if _, _, ok := quotedEchoIDs(make([]byte, 10)); ok {
+		t.Fatal("short quote accepted")
+	}
+	// Non-ICMP quote rejected.
+	d, _ := inet.BuildUDP(
+		inet.Endpoint{Addr: clientAddr, Port: 1},
+		inet.Endpoint{Addr: serverAddr, Port: 2}, 1, make([]byte, 16))
+	if _, _, ok := quotedEchoIDs(inet.QuoteDatagram(d)); ok {
+		t.Fatal("UDP quote accepted as echo")
+	}
+	// Genuine echo quote round-trips the IDs.
+	echo := inet.BuildICMP(clientAddr, serverAddr, 3, 1,
+		inet.ICMPMessage{Type: inet.ICMPEchoRequest, ID: 77, Seq: 9, Payload: make([]byte, 32)})
+	id, seq, ok := quotedEchoIDs(inet.QuoteDatagram(echo))
+	if !ok || id != 77 || seq != 9 {
+		t.Fatalf("quote ids: %d %d %t", id, seq, ok)
+	}
+}

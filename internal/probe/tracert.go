@@ -1,0 +1,187 @@
+package probe
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"turbulence/internal/eventsim"
+	"turbulence/internal/inet"
+	"turbulence/internal/netsim"
+	"turbulence/internal/stats"
+)
+
+// TraceHop is one row of a traceroute: the router that answered at a TTL.
+type TraceHop struct {
+	TTL     int
+	Addr    inet.Addr
+	RTT     time.Duration
+	Timeout bool
+}
+
+// TraceReport is a completed route discovery, like tracert output.
+type TraceReport struct {
+	Target  inet.Addr
+	Hops    []TraceHop
+	Reached bool
+}
+
+// HopCount returns the number of router hops to the destination: the TTL at
+// which the destination itself answered minus the destination's own hop.
+// If the destination was never reached it returns the probed depth.
+func (r *TraceReport) HopCount() int {
+	if r.Reached {
+		// The final answering TTL is the destination; routers are one fewer.
+		return len(r.Hops) - 1
+	}
+	return len(r.Hops)
+}
+
+// String renders tracert-style rows.
+func (r *TraceReport) String() string {
+	s := fmt.Sprintf("tracert to %s (%d hops, reached=%t)\n", r.Target, r.HopCount(), r.Reached)
+	for _, h := range r.Hops {
+		if h.Timeout {
+			s += fmt.Sprintf("%3d  *  request timed out\n", h.TTL)
+			continue
+		}
+		s += fmt.Sprintf("%3d  %-15s  %.1f ms\n", h.TTL, h.Addr, float64(h.RTT)/float64(time.Millisecond))
+	}
+	return s
+}
+
+// TraceOptions configures a traceroute.
+type TraceOptions struct {
+	MaxTTL  int           // probe depth limit (default 30, like tracert)
+	Timeout time.Duration // per-probe deadline (default 2s)
+	ID      uint16        // ICMP identifier
+}
+
+func (o *TraceOptions) defaults() {
+	if o.MaxTTL <= 0 {
+		o.MaxTTL = 30
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Second
+	}
+}
+
+// Tracer runs an asynchronous traceroute on the event loop, probing one TTL
+// at a time as the Windows tracert does.
+type Tracer struct {
+	host   *netsim.Host
+	target inet.Addr
+	opts   TraceOptions
+	report TraceReport
+	done   func(*TraceReport)
+
+	ttl      int
+	seq      uint16
+	sentAt   eventsim.Time
+	settled  bool
+	finished bool
+}
+
+// StartTrace begins a route discovery; done (optional) fires at completion.
+func StartTrace(h *netsim.Host, target inet.Addr, opts TraceOptions, done func(*TraceReport)) *Tracer {
+	opts.defaults()
+	t := &Tracer{host: h, target: target, opts: opts, done: done}
+	t.report.Target = target
+	h.OnICMP(t.onICMP)
+	t.host.After(0, "tracert.start", func(now eventsim.Time) { t.probe(now) })
+	return t
+}
+
+func (t *Tracer) probe(now eventsim.Time) {
+	if t.finished {
+		return
+	}
+	t.ttl++
+	t.seq++
+	t.settled = false
+	t.sentAt = now
+	seq := t.seq
+	t.host.SendICMP(t.target, byte(t.ttl), inet.ICMPMessage{
+		Type: inet.ICMPEchoRequest, ID: t.opts.ID, Seq: seq,
+		Payload: make([]byte, 32),
+	})
+	t.host.After(t.opts.Timeout, "tracert.timeout", func(now eventsim.Time) {
+		if t.finished || t.settled || t.seq != seq {
+			return
+		}
+		t.settled = true
+		t.report.Hops = append(t.report.Hops, TraceHop{TTL: t.ttl, Timeout: true})
+		t.advance(now)
+	})
+}
+
+func (t *Tracer) onICMP(now eventsim.Time, from inet.Addr, m inet.ICMPMessage) {
+	if t.finished || t.settled {
+		return
+	}
+	switch m.Type {
+	case inet.ICMPTimeExceeded:
+		// Match via the quoted original datagram: its ICMP header carries
+		// our ID and the current sequence number.
+		id, seq, ok := quotedEchoIDs(m.Payload)
+		if !ok || id != t.opts.ID || seq != t.seq {
+			return
+		}
+		t.settled = true
+		t.report.Hops = append(t.report.Hops, TraceHop{TTL: t.ttl, Addr: from, RTT: now.Sub(t.sentAt)})
+		t.advance(now)
+	case inet.ICMPEchoReply:
+		if m.ID != t.opts.ID || m.Seq != t.seq || from != t.target {
+			return
+		}
+		t.settled = true
+		t.report.Hops = append(t.report.Hops, TraceHop{TTL: t.ttl, Addr: from, RTT: now.Sub(t.sentAt)})
+		t.report.Reached = true
+		t.finish()
+	}
+}
+
+func (t *Tracer) advance(now eventsim.Time) {
+	if t.ttl >= t.opts.MaxTTL {
+		t.finish()
+		return
+	}
+	t.probe(now)
+}
+
+func (t *Tracer) finish() {
+	if t.finished {
+		return
+	}
+	t.finished = true
+	if t.done != nil {
+		t.done(&t.report)
+	}
+}
+
+// Report returns the (possibly still filling) report.
+func (t *Tracer) Report() *TraceReport { return &t.report }
+
+// quotedEchoIDs extracts the ICMP ID and sequence from the quoted datagram
+// inside a time-exceeded payload (IP header + first 8 transport bytes).
+func quotedEchoIDs(quote []byte) (id, seq uint16, ok bool) {
+	need := inet.IPv4HeaderLen + 8
+	if len(quote) < need {
+		return 0, 0, false
+	}
+	if quote[9] != inet.ProtoICMP {
+		return 0, 0, false
+	}
+	icmp := quote[inet.IPv4HeaderLen:]
+	return binary.BigEndian.Uint16(icmp[4:]), binary.BigEndian.Uint16(icmp[6:]), true
+}
+
+// HopsCDF builds the Figure 2 curve: the empirical CDF of hop counts
+// across trace reports.
+func HopsCDF(reports []*TraceReport) []stats.Point {
+	var all []float64
+	for _, r := range reports {
+		all = append(all, float64(r.HopCount()))
+	}
+	return stats.CDF(all)
+}

@@ -1,0 +1,540 @@
+package rdt
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"turbulence/internal/eventsim"
+	"turbulence/internal/inet"
+	"turbulence/internal/netsim"
+	"turbulence/internal/segment"
+)
+
+// State is the player lifecycle.
+type State int
+
+const (
+	// Idle: created, not started.
+	Idle State = iota
+	// Describing: DESCRIBE exchange in progress.
+	Describing
+	// SettingUp: SETUP exchange / probe train in progress.
+	SettingUp
+	// Buffering: PLAY accepted, filling the delay buffer.
+	Buffering
+	// Playing: playout clock running.
+	Playing
+	// Done: finished or aborted.
+	Done
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Idle:
+		return "idle"
+	case Describing:
+		return "describing"
+	case SettingUp:
+		return "setting-up"
+	case Buffering:
+		return "buffering"
+	case Playing:
+		return "playing"
+	default:
+		return "done"
+	}
+}
+
+// Preroll is the delay buffer RealPlayer fills before starting playout.
+// The same media depth as the MediaPlayer model — but the buffering burst
+// fills it roughly three times faster, so RealPlayer starts sooner (paper
+// §3.F).
+const Preroll = 5 * time.Second
+
+// probeTimeout bounds how long the client waits for the SETUP probe train.
+const probeTimeout = 2 * time.Second
+
+// nakDelay batches gap detections before requesting retransmission.
+const nakDelay = 120 * time.Millisecond
+
+// handshakeRetry is the control retransmit interval.
+const handshakeRetry = 2 * time.Second
+
+// maxRetries bounds control retransmissions.
+const maxRetries = 5
+
+// Meta is the stream description RealTracker records.
+type Meta struct {
+	EncodedBps  float64
+	FrameRate   float64
+	Duration    time.Duration
+	TotalFrames int
+}
+
+// PlayerEvents are the observation hooks RealTracker attaches (mirroring
+// the MediaTracker hooks; RealPlayer has no interleave stage, so
+// application delivery coincides with OS delivery — the paper notes it
+// could not gather application packets in RealTracker).
+type PlayerEvents struct {
+	OSPacket     func(now eventsim.Time, seq uint32, wirePackets int)
+	SecondPlayed func(now eventsim.Time, second int, played, expected int)
+	StateChange  func(now eventsim.Time, s State)
+	Done         func(now eventsim.Time)
+}
+
+// Player is the RealOne Player model.
+type Player struct {
+	host     *netsim.Host
+	server   inet.Addr
+	clipRef  string
+	ctlPort  inet.Port
+	dataPort inet.Port
+	events   PlayerEvents
+
+	state State
+	meta  Meta
+	cseq  int
+
+	probeTimes []eventsim.Time
+	probeDone  bool
+	// BandwidthEstimate is the packet-train bottleneck estimate sent in
+	// the PLAY request's Bandwidth header (bits/second).
+	BandwidthEstimate float64
+
+	asm      *segment.Assembler
+	nextSeq  uint32
+	missing  map[uint32]bool
+	nakArmed bool
+	endSeq   uint32
+	sawEnd   bool
+
+	stopPlay   func()
+	playSecond int
+	retries    int
+
+	// Reception-report interval accounting for media scaling.
+	stopReport func()
+	rpLastRecv int
+	rpLastMiss int
+
+	// Stats RealTracker reads.
+	PacketsReceived  int
+	PacketsLost      int
+	PacketsRecovered int
+	BytesReceived    int
+	FramesPlayed     int
+	FramesExpected   int
+	StartedAt        eventsim.Time
+	PlayBeganAt      eventsim.Time
+	FinishedAt       eventsim.Time
+}
+
+// NewPlayer prepares a RealPlayer on host for rtsp://server/clipRef.
+func NewPlayer(host *netsim.Host, server inet.Addr, clipRef string, ctlPort, dataPort inet.Port, ev PlayerEvents) *Player {
+	return &Player{
+		host:     host,
+		server:   server,
+		clipRef:  clipRef,
+		ctlPort:  ctlPort,
+		dataPort: dataPort,
+		events:   ev,
+		asm:      segment.NewAssembler(),
+		missing:  make(map[uint32]bool),
+	}
+}
+
+// State returns the lifecycle state.
+func (p *Player) State() State { return p.state }
+
+// Meta returns the described stream parameters.
+func (p *Player) Meta() Meta { return p.meta }
+
+// URL returns the clip's RTSP URL.
+func (p *Player) URL() string { return fmt.Sprintf("rtsp://%s/%s", p.server, p.clipRef) }
+
+// Start begins the session.
+func (p *Player) Start() {
+	if p.state != Idle {
+		panic(fmt.Sprintf("rdt: Start in state %v", p.state))
+	}
+	p.host.BindUDP(p.ctlPort, p.onControl)
+	p.host.BindUDP(p.dataPort, p.onData)
+	p.StartedAt = p.host.Now()
+	p.setState(Describing)
+	p.sendDescribe()
+}
+
+func (p *Player) setState(s State) {
+	if p.state == s {
+		return
+	}
+	p.state = s
+	if p.events.StateChange != nil {
+		p.events.StateChange(p.host.Now(), s)
+	}
+}
+
+func (p *Player) serverCtl() inet.Endpoint {
+	return inet.Endpoint{Addr: p.server, Port: inet.PortRTSPCtl}
+}
+
+func (p *Player) request(method string, headers map[string]string) {
+	p.cseq++
+	p.host.SendUDP(p.ctlPort, p.serverCtl(), MarshalRequest(Request{
+		Method: method, URL: p.URL(), CSeq: p.cseq, Headers: headers,
+	}))
+}
+
+func (p *Player) sendDescribe() {
+	if p.state != Describing {
+		return
+	}
+	if p.retries >= maxRetries {
+		p.abort()
+		return
+	}
+	p.retries++
+	p.request(MethodDescribe, nil)
+	p.host.After(handshakeRetry, "rdt.describeRetry", func(eventsim.Time) { p.sendDescribe() })
+}
+
+func (p *Player) sendSetup() {
+	if p.state != SettingUp || p.probeDone {
+		return
+	}
+	if p.retries >= maxRetries {
+		p.abort()
+		return
+	}
+	p.retries++
+	p.request(MethodSetup, map[string]string{
+		"Client-Port": strconv.Itoa(int(p.dataPort)),
+	})
+	p.host.After(handshakeRetry, "rdt.setupRetry", func(eventsim.Time) { p.sendSetup() })
+}
+
+func (p *Player) sendPlay() {
+	if p.state != SettingUp || !p.probeDone {
+		return
+	}
+	if p.retries >= maxRetries {
+		p.abort()
+		return
+	}
+	p.retries++
+	p.request(MethodPlay, map[string]string{
+		"Bandwidth": strconv.Itoa(int(p.BandwidthEstimate)),
+	})
+	p.host.After(handshakeRetry, "rdt.playRetry", func(eventsim.Time) { p.sendPlay() })
+}
+
+func (p *Player) onControl(now eventsim.Time, from inet.Endpoint, payload []byte) {
+	if from.Addr != p.server || IsRequest(payload) {
+		return
+	}
+	resp, err := ParseResponse(payload)
+	if err != nil {
+		return
+	}
+	switch p.state {
+	case Describing:
+		if resp.Status != 200 {
+			p.abort()
+			return
+		}
+		p.meta = Meta{
+			EncodedBps:  float64(resp.IntHeader("Encoded-Rate", 0)),
+			FrameRate:   resp.FloatHeader("Frame-Rate", 0),
+			Duration:    time.Duration(resp.IntHeader("Duration-Ms", 0)) * time.Millisecond,
+			TotalFrames: resp.IntHeader("Total-Frames", 0),
+		}
+		p.retries = 0
+		p.setState(SettingUp)
+		p.sendSetup()
+	case SettingUp:
+		if resp.Status != 200 {
+			p.abort()
+			return
+		}
+		if resp.Header("Transport") != "" && !p.probeDone {
+			// SETUP accepted: the probe train is on its way. Fall back to
+			// PLAY even if some probes are lost.
+			p.host.After(probeTimeout, "rdt.probeTimeout", func(eventsim.Time) {
+				p.finishProbe()
+			})
+		}
+		// A bare 200 with no Transport is the PLAY acknowledgement.
+		if resp.Header("Transport") == "" && p.probeDone {
+			p.setState(Buffering)
+		}
+	}
+}
+
+// finishProbe computes the packet-train dispersion estimate and issues
+// PLAY.
+func (p *Player) finishProbe() {
+	if p.probeDone || p.state != SettingUp {
+		return
+	}
+	p.probeDone = true
+	if len(p.probeTimes) >= 2 {
+		first := p.probeTimes[0]
+		last := p.probeTimes[len(p.probeTimes)-1]
+		gaps := len(p.probeTimes) - 1
+		wireBits := float64(gaps * (1 + 2 + ProbeBytes + inet.UDPHeaderLen + inet.IPv4HeaderLen + inet.EthernetOverhead) * 8)
+		if d := last.Sub(first).Seconds(); d > 0 {
+			p.BandwidthEstimate = wireBits / d
+		}
+	}
+	p.retries = 0
+	p.sendPlay()
+}
+
+func (p *Player) onData(now eventsim.Time, from inet.Endpoint, payload []byte) {
+	if from.Addr != p.server || p.state == Done || p.state == Idle {
+		return
+	}
+	kind, err := PacketKind(payload)
+	if err != nil {
+		return
+	}
+	switch kind {
+	case KindProbe:
+		if idx, err := ParseProbe(payload); err == nil && p.state == SettingUp && !p.probeDone {
+			p.probeTimes = append(p.probeTimes, now)
+			if idx == ProbeTrainLen-1 {
+				p.finishProbe()
+			}
+		}
+	case KindData:
+		p.onMediaPacket(now, payload)
+	case KindEnd:
+		if final, err := ParseEnd(payload); err == nil {
+			p.onEnd(final)
+		}
+	}
+}
+
+// ReportInterval is how often the client sends reception-quality reports.
+const ReportInterval = 2 * time.Second
+
+// startReporting begins the periodic loss reports once data flows.
+func (p *Player) startReporting() {
+	if p.stopReport != nil {
+		return
+	}
+	missedSoFar := func() int {
+		// Recovered packets no longer count as missing; report the gross
+		// gap count seen this interval via received+missing deltas.
+		return len(p.missing) + p.PacketsRecovered
+	}
+	p.stopReport = p.host.Network().Sched.Ticker(ReportInterval, "rdt.report", func(eventsim.Time) bool {
+		if p.state != Buffering && p.state != Playing {
+			return false
+		}
+		recvDelta := p.PacketsReceived - p.rpLastRecv
+		missDelta := missedSoFar() - p.rpLastMiss
+		if missDelta < 0 {
+			missDelta = 0
+		}
+		p.rpLastRecv = p.PacketsReceived
+		p.rpLastMiss = missedSoFar()
+		permille := 0
+		if total := recvDelta + missDelta; total > 0 {
+			permille = missDelta * 1000 / total
+		}
+		p.request(MethodReport, map[string]string{"Loss": strconv.Itoa(permille)})
+		return true
+	})
+}
+
+func (p *Player) onMediaPacket(now eventsim.Time, payload []byte) {
+	h, segPayload, err := ParseData(payload)
+	if err != nil {
+		return
+	}
+	if p.state == SettingUp {
+		// Data can outrun the PLAY 200 on a lossy control channel.
+		p.setState(Buffering)
+	}
+	if p.state == Buffering || p.state == Playing {
+		p.startReporting()
+	}
+	if h.Seq >= p.nextSeq {
+		for s := p.nextSeq; s < h.Seq; s++ {
+			p.missing[s] = true
+		}
+		if h.Seq > p.nextSeq {
+			p.armNAK()
+		}
+		p.nextSeq = h.Seq + 1
+	} else {
+		// Out-of-window packet: a retransmission if we NAK'd it.
+		if p.missing[h.Seq] {
+			delete(p.missing, h.Seq)
+			p.PacketsRecovered++
+		} else {
+			return // duplicate
+		}
+	}
+	p.PacketsReceived++
+	p.BytesReceived += len(payload)
+	if p.events.OSPacket != nil {
+		p.events.OSPacket(now, h.Seq, 1)
+	}
+	segs, err := segment.DecodeList(segPayload)
+	if err != nil {
+		return
+	}
+	for _, s := range segs {
+		p.asm.Add(s)
+	}
+	p.maybeStartPlayout(now)
+}
+
+// armNAK schedules a batched retransmission request.
+func (p *Player) armNAK() {
+	if p.nakArmed {
+		return
+	}
+	p.nakArmed = true
+	p.host.After(nakDelay, "rdt.nak", func(eventsim.Time) {
+		p.nakArmed = false
+		if p.state == Done || len(p.missing) == 0 {
+			return
+		}
+		seqs := make([]uint32, 0, len(p.missing))
+		for s := range p.missing {
+			seqs = append(seqs, s)
+		}
+		p.request(MethodNAK, map[string]string{"Seqs": FormatSeqList(seqs)})
+	})
+}
+
+func (p *Player) onEnd(finalSeq uint32) {
+	if p.sawEnd {
+		return
+	}
+	p.sawEnd = true
+	p.endSeq = finalSeq
+	for s := p.nextSeq; s < finalSeq; s++ {
+		p.missing[s] = true
+	}
+	if len(p.missing) > 0 {
+		p.armNAK()
+	}
+	// Whatever is still missing after the grace window is lost for good.
+	p.host.After(2*time.Second, "rdt.lossSettle", func(eventsim.Time) {
+		p.PacketsLost = len(p.missing)
+	})
+	p.maybeStartPlayout(p.host.Now())
+}
+
+// bufferedMedia estimates buffered content from completed frames.
+func (p *Player) bufferedMedia() time.Duration {
+	if p.meta.FrameRate == 0 {
+		return 0
+	}
+	sec := float64(p.asm.CompletedFrames) / p.meta.FrameRate
+	return time.Duration(sec * float64(time.Second))
+}
+
+func (p *Player) maybeStartPlayout(now eventsim.Time) {
+	if p.state != Buffering {
+		return
+	}
+	if p.bufferedMedia() < Preroll && !p.sawEnd {
+		return
+	}
+	p.PlayBeganAt = now
+	p.setState(Playing)
+	p.stopPlay = p.host.Network().Sched.Ticker(time.Second, "rdt.playclock", func(now eventsim.Time) bool {
+		return p.playOneSecond(now)
+	})
+}
+
+func (p *Player) playOneSecond(now eventsim.Time) bool {
+	if p.state != Playing {
+		return false
+	}
+	fps := p.meta.FrameRate
+	from := int(float64(p.playSecond) * fps)
+	to := int(float64(p.playSecond+1) * fps)
+	if total := p.meta.TotalFrames; to > total {
+		to = total
+	}
+	played := 0
+	for f := from; f < to; f++ {
+		if p.asm.Complete(uint32(f)) {
+			played++
+		}
+		p.asm.Drop(uint32(f))
+	}
+	p.FramesPlayed += played
+	p.FramesExpected += to - from
+	if p.events.SecondPlayed != nil {
+		p.events.SecondPlayed(now, p.playSecond, played, to-from)
+	}
+	p.playSecond++
+	if float64(p.playSecond) >= p.meta.Duration.Seconds() || from >= to {
+		p.finish(now)
+		return false
+	}
+	return true
+}
+
+func (p *Player) finish(now eventsim.Time) {
+	if p.state == Done {
+		return
+	}
+	p.FinishedAt = now
+	p.setState(Done)
+	p.request(MethodTeardown, nil)
+	p.teardown()
+	if p.events.Done != nil {
+		p.events.Done(now)
+	}
+}
+
+func (p *Player) abort() {
+	if p.state == Done {
+		return
+	}
+	p.FinishedAt = p.host.Now()
+	p.setState(Done)
+	p.teardown()
+	if p.events.Done != nil {
+		p.events.Done(p.host.Now())
+	}
+}
+
+func (p *Player) teardown() {
+	if p.stopPlay != nil {
+		p.stopPlay()
+	}
+	if p.stopReport != nil {
+		p.stopReport()
+	}
+	p.host.UnbindUDP(p.ctlPort)
+	p.host.UnbindUDP(p.dataPort)
+}
+
+// LossRate reports the fraction of data packets neither received nor
+// recovered.
+func (p *Player) LossRate() float64 {
+	total := p.PacketsReceived + p.PacketsLost
+	if total == 0 {
+		return 0
+	}
+	return float64(p.PacketsLost) / float64(total)
+}
+
+// AchievedFPS reports the mean played frame rate.
+func (p *Player) AchievedFPS() float64 {
+	if p.playSecond == 0 {
+		return 0
+	}
+	return float64(p.FramesPlayed) / float64(p.playSecond)
+}

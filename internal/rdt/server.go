@@ -1,0 +1,424 @@
+package rdt
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"turbulence/internal/eventsim"
+	"turbulence/internal/inet"
+	"turbulence/internal/media"
+	"turbulence/internal/netsim"
+	"turbulence/internal/scaling"
+	"turbulence/internal/segment"
+)
+
+// Tuning constants for the RealServer behavioural model. Values are chosen
+// so the emergent traffic reproduces the paper's Figures 6-11; DESIGN.md
+// records the calibration reasoning.
+const (
+	// MaxBufferRatio caps the buffering burst at three times the playout
+	// rate (paper §3.F: "RealPlayer can buffer at up to three times the
+	// playout rate").
+	MaxBufferRatio = 3.0
+	// ShareFactor is the fraction of the client-reported bottleneck
+	// bandwidth the buffering burst may claim; the rest is headroom for
+	// concurrent traffic (the paired MediaPlayer stream in the paper's
+	// methodology).
+	ShareFactor = 0.45
+	// PlayOverhead is the post-burst pacing rate relative to the encoding
+	// rate: protocol overhead plus resends make RealPlayer consume
+	// slightly more than its encoding rate (paper §3.B, Figure 3).
+	PlayOverhead = 1.05
+	// BufferAheadTarget is how much media the burst pushes ahead of real
+	// time before the server settles to the playout rate; with the
+	// rate-dependent burst ratios this yields the paper's ~20 s (low rate)
+	// to ~40+ s (high rate) burst durations.
+	BufferAheadTarget = 30 * time.Second
+	// MaxPayload keeps every RDT packet below the path MTU — the reason
+	// the paper finds zero IP fragments in RealPlayer traces.
+	MaxPayload = 1400
+	// ResendWindow is how many recent packets the server retains for NAK
+	// retransmission.
+	ResendWindow = 512
+	// PacingJitter is the +-fraction applied to packet pacing gaps,
+	// producing the wide interarrival spread of Figures 8-9.
+	PacingJitter = 0.35
+)
+
+// PacketSizeMean returns the target mean RDT payload for an encoding rate:
+// larger packets at higher rates, always well under the MTU.
+func PacketSizeMean(encodedBps float64) float64 {
+	mu := 500 + 0.6*(encodedBps/1000)
+	if mu < 450 {
+		mu = 450
+	}
+	if mu > 1000 {
+		mu = 1000
+	}
+	return mu
+}
+
+// BurstRate computes the buffering-phase send rate for an encoding rate
+// and a client-reported bottleneck estimate: up to MaxBufferRatio x the
+// encoding rate, capped by the share of the bottleneck the burst may take
+// (paper Figure 11's declining ratio).
+func BurstRate(encodedBps, bottleneckBps float64) float64 {
+	rate := MaxBufferRatio * encodedBps
+	if bottleneckBps > 0 {
+		if cap_ := ShareFactor * bottleneckBps; cap_ < rate {
+			rate = cap_
+		}
+	}
+	if min := PlayOverhead * encodedBps; rate < min {
+		rate = min
+	}
+	return rate
+}
+
+// Server is a RealServer host: RTSP control on port 554, RDT data to the
+// client's chosen port.
+type Server struct {
+	host  *netsim.Host
+	rng   *eventsim.RNG
+	clips map[string]media.Clip
+
+	sessions map[inet.Endpoint]*session
+
+	// uncappedBurst ignores the client's bottleneck estimate — the
+	// ablation that shows Figure 11's ratio decline comes from the
+	// bottleneck cap, not from the encoding rate itself.
+	uncappedBurst bool
+
+	// scalingOn enables SureStream-style thinning driven by REPORT
+	// messages (the §VI media-scaling extension).
+	scalingOn bool
+
+	// Counters.
+	Described, Setup, Played, TornDown, NAKsReceived, Resent int
+	// ThinSteps counts scaling level increases across sessions.
+	ThinSteps int
+}
+
+type session struct {
+	srv            *Server
+	ctl            inet.Endpoint // client control endpoint
+	data           inet.Endpoint // client data endpoint
+	clip           media.Clip
+	cutter         *segment.Cutter
+	rng            *eventsim.RNG
+	started        eventsim.Time
+	seq            uint32
+	burstBps       float64
+	playBps        float64
+	sentMediaBytes float64
+	ctrl           scaling.Controller
+	rateFactor     float64 // pacing-rate multiplier from media scaling
+	byteFrac       [scaling.MaxLevel + 1]float64
+	resend         map[uint32][]byte
+	resendQ        []uint32
+	playing        bool
+	done           bool
+	nextSend       *eventsim.Event
+}
+
+// NewServer attaches a RealServer to the host.
+func NewServer(host *netsim.Host) *Server {
+	s := &Server{
+		host:     host,
+		rng:      host.Network().RNG().Split("rdt.server"),
+		clips:    make(map[string]media.Clip),
+		sessions: make(map[inet.Endpoint]*session),
+	}
+	host.BindUDP(inet.PortRTSPCtl, s.onControl)
+	return s
+}
+
+// Register serves a clip under rtsp://<host>/<ref>.
+func (s *Server) Register(ref string, clip media.Clip) { s.clips[ref] = clip }
+
+// SetUncappedBurst disables the bottleneck cap on the buffering burst (an
+// ablation hook; see DESIGN.md §4).
+func (s *Server) SetUncappedBurst(on bool) { s.uncappedBurst = on }
+
+// EnableScaling turns on SureStream-style thinning: the server reacts to
+// REPORTed loss by dropping delta frames, reducing its offered rate.
+func (s *Server) EnableScaling(on bool) { s.scalingOn = on }
+
+// Host returns the server's host.
+func (s *Server) Host() *netsim.Host { return s.host }
+
+// ActiveSessions reports streams in flight.
+func (s *Server) ActiveSessions() int { return len(s.sessions) }
+
+// clipRefFromURL extracts the clip reference from an rtsp:// URL.
+func clipRefFromURL(url string) string {
+	trimmed := strings.TrimPrefix(url, "rtsp://")
+	if i := strings.IndexByte(trimmed, '/'); i >= 0 {
+		return trimmed[i+1:]
+	}
+	return trimmed
+}
+
+func (s *Server) reply(to inet.Endpoint, resp Response) {
+	s.host.SendUDP(inet.PortRTSPCtl, to, MarshalResponse(resp))
+}
+
+func (s *Server) onControl(now eventsim.Time, from inet.Endpoint, payload []byte) {
+	if !IsRequest(payload) {
+		return
+	}
+	req, err := ParseRequest(payload)
+	if err != nil {
+		return
+	}
+	switch req.Method {
+	case MethodDescribe:
+		s.handleDescribe(from, req)
+	case MethodSetup:
+		s.handleSetup(now, from, req)
+	case MethodPlay:
+		s.handlePlay(now, from, req)
+	case MethodTeardown:
+		s.handleTeardown(from, req)
+	case MethodNAK:
+		s.handleNAK(from, req)
+	case MethodReport:
+		s.handleReport(from, req)
+	default:
+		s.reply(from, Response{Status: 455, CSeq: req.CSeq})
+	}
+}
+
+func (s *Server) handleDescribe(from inet.Endpoint, req Request) {
+	s.Described++
+	clip, ok := s.clips[clipRefFromURL(req.URL)]
+	if !ok {
+		s.reply(from, Response{Status: 404, CSeq: req.CSeq})
+		return
+	}
+	s.reply(from, Response{Status: 200, CSeq: req.CSeq, Headers: map[string]string{
+		"Encoded-Rate": strconv.Itoa(int(clip.EncodedBps())),
+		"Frame-Rate":   fmt.Sprintf("%.3f", clip.FrameRate()),
+		"Duration-Ms":  strconv.Itoa(int(clip.Duration / time.Millisecond)),
+		"Total-Frames": strconv.Itoa(clip.TotalFrames()),
+	}})
+}
+
+// handleSetup creates the session and fires the bandwidth-probe train at
+// the client's data port: ProbeTrainLen back-to-back packets whose
+// dispersion at the bottleneck lets the client estimate path capacity
+// (RealPlayer's "bandwidth detection").
+func (s *Server) handleSetup(now eventsim.Time, from inet.Endpoint, req Request) {
+	clip, ok := s.clips[clipRefFromURL(req.URL)]
+	if !ok {
+		s.reply(from, Response{Status: 404, CSeq: req.CSeq})
+		return
+	}
+	port := req.IntHeader("Client-Port", 0)
+	if port <= 0 || port > 0xFFFF {
+		s.reply(from, Response{Status: 455, CSeq: req.CSeq})
+		return
+	}
+	s.Setup++
+	dataEP := inet.Endpoint{Addr: from.Addr, Port: inet.Port(port)}
+	if old := s.sessions[from]; old != nil {
+		old.stop()
+	}
+	sess := &session{
+		srv:    s,
+		ctl:    from,
+		data:   dataEP,
+		clip:   clip,
+		rng:    s.rng.Split("session/" + from.String() + "/" + clip.Name()),
+		resend: make(map[uint32][]byte),
+	}
+	s.sessions[from] = sess
+	s.reply(from, Response{Status: 200, CSeq: req.CSeq, Headers: map[string]string{
+		"Transport": fmt.Sprintf("x-real-rdt/udp;client_port=%d", port),
+	}})
+	for i := 0; i < ProbeTrainLen; i++ {
+		s.host.SendUDP(inet.PortRDTData, dataEP, MarshalProbe(i))
+	}
+}
+
+func (s *Server) handlePlay(now eventsim.Time, from inet.Endpoint, req Request) {
+	sess := s.sessions[from]
+	if sess == nil {
+		s.reply(from, Response{Status: 455, CSeq: req.CSeq})
+		return
+	}
+	s.reply(from, Response{Status: 200, CSeq: req.CSeq})
+	if sess.playing {
+		return // duplicate PLAY (client retry); stream already running
+	}
+	s.Played++
+	bottleneck := float64(req.IntHeader("Bandwidth", 0))
+	if s.uncappedBurst {
+		bottleneck = 0
+	}
+	sess.start(now, bottleneck)
+}
+
+func (s *Server) handleTeardown(from inet.Endpoint, req Request) {
+	s.TornDown++
+	if sess := s.sessions[from]; sess != nil {
+		sess.stop()
+	}
+	s.reply(from, Response{Status: 200, CSeq: req.CSeq})
+}
+
+// handleNAK retransmits requested packets from the resend window, marked
+// with FlagRetrans.
+func (s *Server) handleNAK(from inet.Endpoint, req Request) {
+	sess := s.sessions[from]
+	if sess == nil {
+		return
+	}
+	s.NAKsReceived++
+	for _, seq := range ParseSeqList(req.Header("Seqs")) {
+		if pkt, ok := sess.resend[seq]; ok {
+			resent := append([]byte(nil), pkt...)
+			resent[9] |= FlagRetrans
+			s.host.SendUDP(inet.PortRDTData, sess.data, resent)
+			s.Resent++
+		}
+	}
+}
+
+// handleReport applies media scaling from a reception-quality report:
+// thinning filters frames and scales the pacing rate by the level's byte
+// fraction so the offered bit rate actually falls.
+func (s *Server) handleReport(from inet.Endpoint, req Request) {
+	if !s.scalingOn {
+		return
+	}
+	sess := s.sessions[from]
+	if sess == nil || sess.cutter == nil {
+		return
+	}
+	before := sess.ctrl.Level()
+	level := sess.ctrl.Report(req.IntHeader("Loss", 0))
+	if level > before {
+		s.ThinSteps++
+	}
+	if level == scaling.Full {
+		sess.cutter.SetFilter(nil)
+		sess.rateFactor = 1
+		return
+	}
+	sess.cutter.SetFilter(level.Admit)
+	sess.rateFactor = sess.byteFrac[level]
+	if sess.rateFactor < 0.05 {
+		sess.rateFactor = 0.05
+	}
+}
+
+// start launches the pacing loop for a session.
+func (sess *session) start(now eventsim.Time, bottleneckBps float64) {
+	frames := sess.clip.Frames()
+	sizes := make([]int, len(frames))
+	keys := make([]bool, len(frames))
+	for i, f := range frames {
+		sizes[i] = f.Bytes
+		keys[i] = f.Key
+	}
+	sess.cutter = segment.NewCutter(sizes, keys)
+	sess.started = now
+	sess.playing = true
+	sess.rateFactor = 1
+	sess.byteFrac = scaling.ByteFractions(sizes, keys)
+	enc := sess.clip.EncodedBps()
+	sess.burstBps = BurstRate(enc, bottleneckBps)
+	sess.playBps = PlayOverhead * enc
+	sess.sendNext(now)
+}
+
+// currentRate selects burst or playout pacing: the burst runs until the
+// transmitted media leads real time by BufferAheadTarget.
+func (sess *session) currentRate(now eventsim.Time) float64 {
+	encBytesPerSec := sess.clip.EncodedBps() / 8
+	mediaSent := time.Duration(sess.sentMediaBytes / encBytesPerSec * float64(time.Second))
+	elapsed := now.Sub(sess.started)
+	rate := sess.playBps
+	if mediaSent < elapsed+BufferAheadTarget {
+		rate = sess.burstBps
+	}
+	return rate * sess.rateFactor
+}
+
+// sendNext emits one variable-size packet and schedules its successor.
+func (sess *session) sendNext(now eventsim.Time) {
+	if sess.done {
+		return
+	}
+	if sess.cutter.Done() {
+		sess.finish()
+		return
+	}
+	mu := PacketSizeMean(sess.clip.EncodedBps())
+	size := sess.rng.TruncNormal(mu, 0.3*mu, 0.5*mu, 1.9*mu)
+	if size > MaxPayload {
+		size = MaxPayload
+	}
+	segs := sess.cutter.Next(int(size))
+	payload := segment.EncodeList(segs)
+	encBytesPerSec := sess.clip.EncodedBps() / 8
+	tsMs := uint32(sess.sentMediaBytes / encBytesPerSec * 1000)
+	pkt := MarshalData(DataHeader{Seq: sess.seq, TSms: tsMs}, payload)
+	sess.srv.host.SendUDP(inet.PortRDTData, sess.data, pkt)
+	sess.remember(sess.seq, pkt)
+	sess.seq++
+	for _, sg := range segs {
+		sess.sentMediaBytes += float64(sg.Length)
+	}
+
+	rate := sess.currentRate(now)
+	gapSec := float64(len(pkt)*8) / rate
+	gapSec = sess.rng.Jitter(gapSec, PacingJitter)
+	sess.nextSend = sess.srv.host.After(time.Duration(gapSec*float64(time.Second)), "rdt.send",
+		func(t eventsim.Time) { sess.sendNext(t) })
+}
+
+// remember retains the packet for NAK retransmission, evicting beyond the
+// window.
+func (sess *session) remember(seq uint32, pkt []byte) {
+	sess.resend[seq] = pkt
+	sess.resendQ = append(sess.resendQ, seq)
+	if len(sess.resendQ) > ResendWindow {
+		old := sess.resendQ[0]
+		sess.resendQ = sess.resendQ[1:]
+		delete(sess.resend, old)
+	}
+}
+
+// finish sends the end-of-stream marker (thrice, for loss robustness) and
+// keeps the session alive briefly for trailing NAKs.
+func (sess *session) finish() {
+	if sess.done {
+		return
+	}
+	final := sess.seq
+	for i := 0; i < 3; i++ {
+		delay := time.Duration(i) * 200 * time.Millisecond
+		sess.srv.host.After(delay, "rdt.end", func(eventsim.Time) {
+			if !sess.done {
+				sess.srv.host.SendUDP(inet.PortRDTData, sess.data, MarshalEnd(final))
+			}
+		})
+	}
+	// Grace period for final NAK exchanges, then drop the session.
+	sess.srv.host.After(5*time.Second, "rdt.sessionReap", func(eventsim.Time) { sess.stop() })
+}
+
+func (sess *session) stop() {
+	if sess.done {
+		return
+	}
+	sess.done = true
+	if sess.nextSend != nil {
+		sess.srv.host.Network().Sched.Cancel(sess.nextSend)
+	}
+	delete(sess.srv.sessions, sess.ctl)
+}

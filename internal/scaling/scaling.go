@@ -1,0 +1,131 @@
+// Package scaling implements the media-scaling capability the paper's
+// future-work section attributes to both commercial players ("capabilities
+// that employ media scaling to reduce application level data rates in the
+// presence of reduced bandwidth", §VI): a loss-feedback controller that
+// selects a stream-thinning level, and the frame-admission rule each
+// server's packetiser applies at that level.
+//
+// Thinning preserves decodability by dropping only delta frames first:
+// level 1 halves the delta-frame rate, level 2 sends keyframes only. Both
+// 2002 stacks used this family of techniques (Windows Media "intelligent
+// streaming" thinned to keyframes; RealSystem's SureStream switched down
+// its encoding ladder).
+package scaling
+
+// Level is the degree of stream thinning.
+type Level int
+
+const (
+	// Full sends every frame.
+	Full Level = iota
+	// HalfDelta sends keyframes plus every other delta frame.
+	HalfDelta
+	// KeyOnly sends keyframes only.
+	KeyOnly
+)
+
+// MaxLevel is the strongest thinning available.
+const MaxLevel = KeyOnly
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case Full:
+		return "full"
+	case HalfDelta:
+		return "half-delta"
+	default:
+		return "key-only"
+	}
+}
+
+// Admit reports whether a frame passes the thinning filter at this level.
+func (l Level) Admit(frameIndex int, key bool) bool {
+	switch l {
+	case Full:
+		return true
+	case HalfDelta:
+		return key || frameIndex%2 == 0
+	default:
+		return key
+	}
+}
+
+// Controller thresholds: step down when reported loss exceeds
+// DownThreshold permille; step back up after UpAfterClean consecutive
+// clean reports.
+const (
+	DownThreshold = 40 // 4% loss
+	UpAfterClean  = 3
+)
+
+// Controller turns periodic loss reports into a thinning level with
+// hysteresis, so a single clean interval does not bounce the quality back
+// into a congested path.
+type Controller struct {
+	level Level
+	clean int
+
+	// Steps counts level changes, for diagnostics and tests.
+	StepsDown, StepsUp int
+}
+
+// Level returns the current thinning level.
+func (c *Controller) Level() Level { return c.level }
+
+// Report feeds one feedback interval's loss (in permille of packets) and
+// returns the possibly-updated level.
+func (c *Controller) Report(lossPermille int) Level {
+	switch {
+	case lossPermille > DownThreshold:
+		c.clean = 0
+		if c.level < MaxLevel {
+			c.level++
+			c.StepsDown++
+		}
+	case lossPermille == 0:
+		c.clean++
+		if c.clean >= UpAfterClean && c.level > Full {
+			c.level--
+			c.StepsUp++
+			c.clean = 0
+		}
+	default:
+		// Mild loss: hold the line.
+		c.clean = 0
+	}
+	return c.level
+}
+
+// ByteFractions precomputes, for each level, the fraction of the clip's
+// bytes that level admits. Servers scale their pacing rate by the active
+// level's fraction so thinning reduces the *offered bit rate*, not just
+// the total bytes.
+func ByteFractions(sizes []int, keys []bool) [MaxLevel + 1]float64 {
+	var admitted [MaxLevel + 1]float64
+	var total float64
+	for i, sz := range sizes {
+		key := keys != nil && keys[i]
+		total += float64(sz)
+		for l := Full; l <= MaxLevel; l++ {
+			if l.Admit(i, key) {
+				admitted[l] += float64(sz)
+			}
+		}
+	}
+	if total == 0 {
+		return [MaxLevel + 1]float64{1, 1, 1}
+	}
+	for l := range admitted {
+		admitted[l] /= total
+	}
+	return admitted
+}
+
+// Permille converts a loss count out of a total into the report unit.
+func Permille(lost, total int) int {
+	if total <= 0 {
+		return 0
+	}
+	return lost * 1000 / total
+}

@@ -1,0 +1,160 @@
+package scaling
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLevelAdmit(t *testing.T) {
+	// Full admits everything.
+	for i := 0; i < 10; i++ {
+		if !Full.Admit(i, i%5 == 0) {
+			t.Fatal("Full rejected a frame")
+		}
+	}
+	// HalfDelta admits keys and even indices.
+	if !HalfDelta.Admit(3, true) || !HalfDelta.Admit(4, false) {
+		t.Fatal("HalfDelta rejected an admissible frame")
+	}
+	if HalfDelta.Admit(3, false) {
+		t.Fatal("HalfDelta admitted an odd delta frame")
+	}
+	// KeyOnly admits keys only.
+	if !KeyOnly.Admit(7, true) || KeyOnly.Admit(8, false) {
+		t.Fatal("KeyOnly admission wrong")
+	}
+}
+
+func TestLevelAdmitMonotone(t *testing.T) {
+	// Stronger levels never admit a frame a weaker level rejects.
+	f := func(idx uint16, key bool) bool {
+		i := int(idx)
+		if KeyOnly.Admit(i, key) && !HalfDelta.Admit(i, key) {
+			return false
+		}
+		if HalfDelta.Admit(i, key) && !Full.Admit(i, key) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestControllerStepsDownOnLoss(t *testing.T) {
+	var c Controller
+	if c.Level() != Full {
+		t.Fatal("controller should start at Full")
+	}
+	c.Report(100) // 10% loss
+	if c.Level() != HalfDelta {
+		t.Fatalf("level=%v after heavy loss", c.Level())
+	}
+	c.Report(100)
+	if c.Level() != KeyOnly {
+		t.Fatalf("level=%v after second heavy loss", c.Level())
+	}
+	c.Report(999)
+	if c.Level() != KeyOnly {
+		t.Fatal("level exceeded MaxLevel")
+	}
+	if c.StepsDown != 2 {
+		t.Fatalf("StepsDown=%d", c.StepsDown)
+	}
+}
+
+func TestControllerRecoversSlowly(t *testing.T) {
+	var c Controller
+	c.Report(100)
+	c.Report(100) // at KeyOnly
+	// Two clean reports are not enough.
+	c.Report(0)
+	c.Report(0)
+	if c.Level() != KeyOnly {
+		t.Fatalf("recovered too eagerly: %v", c.Level())
+	}
+	c.Report(0) // third clean: step up
+	if c.Level() != HalfDelta {
+		t.Fatalf("level=%v after 3 clean reports", c.Level())
+	}
+	// Mild loss resets the clean streak without stepping down.
+	c.Report(10)
+	c.Report(0)
+	c.Report(0)
+	if c.Level() != HalfDelta {
+		t.Fatalf("mild loss handling wrong: %v", c.Level())
+	}
+	c.Report(0)
+	if c.Level() != Full {
+		t.Fatalf("never recovered: %v", c.Level())
+	}
+	if c.StepsUp != 2 {
+		t.Fatalf("StepsUp=%d", c.StepsUp)
+	}
+}
+
+func TestControllerNeverBelowFull(t *testing.T) {
+	var c Controller
+	for i := 0; i < 10; i++ {
+		c.Report(0)
+	}
+	if c.Level() != Full {
+		t.Fatalf("level=%v", c.Level())
+	}
+}
+
+func TestPermille(t *testing.T) {
+	if Permille(5, 100) != 50 {
+		t.Fatal("Permille")
+	}
+	if Permille(0, 0) != 0 || Permille(3, 0) != 0 {
+		t.Fatal("Permille zero total")
+	}
+	if Permille(100, 100) != 1000 {
+		t.Fatal("Permille full loss")
+	}
+}
+
+func TestLevelStrings(t *testing.T) {
+	for _, l := range []Level{Full, HalfDelta, KeyOnly} {
+		if l.String() == "" {
+			t.Fatal("level string")
+		}
+	}
+}
+
+func TestByteFractions(t *testing.T) {
+	// 10 frames of 100 B, keyframes at 0 and 5.
+	sizes := make([]int, 10)
+	keys := make([]bool, 10)
+	for i := range sizes {
+		sizes[i] = 100
+		keys[i] = i == 0 || i == 5
+	}
+	f := ByteFractions(sizes, keys)
+	if f[Full] != 1 {
+		t.Fatalf("full fraction=%v", f[Full])
+	}
+	// HalfDelta admits keys (0,5) plus even indices: 0,2,4,5,6,8 = 6/10.
+	if f[HalfDelta] != 0.6 {
+		t.Fatalf("half fraction=%v", f[HalfDelta])
+	}
+	if f[KeyOnly] != 0.2 {
+		t.Fatalf("key fraction=%v", f[KeyOnly])
+	}
+	// Fractions are monotone nonincreasing with level.
+	if !(f[Full] >= f[HalfDelta] && f[HalfDelta] >= f[KeyOnly]) {
+		t.Fatalf("fractions not monotone: %v", f)
+	}
+	// Nil keys: no keyframes, KeyOnly admits nothing.
+	fn := ByteFractions([]int{10, 10}, nil)
+	if fn[KeyOnly] != 0 || fn[HalfDelta] != 0.5 {
+		t.Fatalf("nil keys: %v", fn)
+	}
+	// Empty input degrades to all-ones.
+	fe := ByteFractions(nil, nil)
+	if fe[Full] != 1 || fe[KeyOnly] != 1 {
+		t.Fatalf("empty: %v", fe)
+	}
+}

@@ -1,0 +1,102 @@
+package segment
+
+import (
+	"testing"
+)
+
+func TestCutterFilterSkipsFrames(t *testing.T) {
+	sizes := []int{100, 200, 300, 400}
+	keys := []bool{true, false, true, false}
+	c := NewCutter(sizes, keys)
+	// Admit keyframes only.
+	c.SetFilter(func(idx int, key bool) bool { return key })
+	var got []uint32
+	for !c.Done() {
+		for _, s := range c.Next(1000) {
+			got = append(got, s.FrameIndex)
+		}
+	}
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("filtered frames: %v", got)
+	}
+	if c.SkippedFrames != 2 {
+		t.Fatalf("SkippedFrames=%d", c.SkippedFrames)
+	}
+}
+
+func TestCutterFilterNeverSplitsMidFrame(t *testing.T) {
+	sizes := []int{1000, 1000}
+	c := NewCutter(sizes, nil)
+	// Start cutting frame 0, then install a filter that rejects it; the
+	// already-started frame must still complete.
+	segs := c.Next(300)
+	if len(segs) != 1 || segs[0].FrameIndex != 0 {
+		t.Fatalf("first cut: %v", segs)
+	}
+	c.SetFilter(func(idx int, key bool) bool { return idx != 0 })
+	var rest []Segment
+	for !c.Done() {
+		rest = append(rest, c.Next(400)...)
+	}
+	// Frame 0's remaining 700 bytes must appear with a Last flag.
+	var frame0Bytes int
+	sawLast0 := false
+	for _, s := range rest {
+		if s.FrameIndex == 0 {
+			frame0Bytes += int(s.Length)
+			if s.Last {
+				sawLast0 = true
+			}
+		}
+	}
+	if frame0Bytes != 700 || !sawLast0 {
+		t.Fatalf("mid-frame filter corrupted frame 0: bytes=%d last=%t", frame0Bytes, sawLast0)
+	}
+}
+
+func TestCutterFilterClear(t *testing.T) {
+	sizes := []int{100, 100, 100}
+	c := NewCutter(sizes, nil)
+	c.SetFilter(func(int, bool) bool { return false })
+	if !c.Done() {
+		t.Fatal("all-reject filter should exhaust the cutter")
+	}
+	// A fresh cutter with the filter cleared emits everything.
+	c2 := NewCutter(sizes, nil)
+	c2.SetFilter(func(int, bool) bool { return false })
+	c2.SetFilter(nil)
+	total := 0
+	for !c2.Done() {
+		for _, s := range c2.Next(1000) {
+			total += int(s.Length)
+		}
+	}
+	if total != 300 {
+		t.Fatalf("cleared filter total=%d", total)
+	}
+}
+
+func TestCutterFilteredAssembly(t *testing.T) {
+	// Filtered streams still reassemble cleanly: admitted frames complete,
+	// skipped frames never appear.
+	sizes := make([]int, 30)
+	keys := make([]bool, 30)
+	for i := range sizes {
+		sizes[i] = 500 + i*13
+		keys[i] = i%10 == 0
+	}
+	c := NewCutter(sizes, keys)
+	c.SetFilter(func(idx int, key bool) bool { return key || idx%2 == 0 })
+	a := NewAssembler()
+	for !c.Done() {
+		for _, s := range c.Next(700) {
+			a.Add(s)
+		}
+	}
+	for i := range sizes {
+		admitted := keys[i] || i%2 == 0
+		if a.Complete(uint32(i)) != admitted {
+			t.Fatalf("frame %d completeness=%t, admitted=%t", i, a.Complete(uint32(i)), admitted)
+		}
+	}
+}

@@ -1,0 +1,303 @@
+// Package segment defines the application-layer framing shared by the two
+// simulated streaming stacks: encoded video frames are cut into segments,
+// segments are packed into protocol data packets (large ASF-style data
+// units for Windows Media, sub-MTU variable packets for Real), and the
+// receiving player reassembles segments back into frames to drive playback
+// and the frame-rate statistics the trackers record.
+package segment
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Segment is a contiguous byte range of one encoded frame.
+type Segment struct {
+	FrameIndex uint32
+	Offset     uint16 // byte offset within the frame
+	Length     uint16 // bytes carried (header does not carry the bytes themselves; packets carry opaque payload)
+	Key        bool   // frame is a keyframe
+	Last       bool   // segment ends the frame (Offset+Length == frame size)
+}
+
+// headerLen is the wire size of one segment descriptor.
+const headerLen = 10
+
+// Flag bits.
+const (
+	flagKey  = 0x01
+	flagLast = 0x02
+)
+
+// ErrCorrupt reports an undecodable segment list.
+var ErrCorrupt = errors.New("segment: corrupt segment list")
+
+// EncodeList serialises segment descriptors followed by a synthetic payload
+// of the summed segment lengths. The payload bytes are generated (not real
+// video), but their count is exact, which is all the network cares about.
+//
+//	list := count(u16) descriptor*count padding[sum(Length)]
+func EncodeList(segs []Segment) []byte {
+	total := 0
+	for _, s := range segs {
+		total += int(s.Length)
+	}
+	out := make([]byte, 2+headerLen*len(segs)+total)
+	binary.BigEndian.PutUint16(out[0:], uint16(len(segs)))
+	off := 2
+	for _, s := range segs {
+		binary.BigEndian.PutUint32(out[off:], s.FrameIndex)
+		binary.BigEndian.PutUint16(out[off+4:], s.Offset)
+		binary.BigEndian.PutUint16(out[off+6:], s.Length)
+		var flags byte
+		if s.Key {
+			flags |= flagKey
+		}
+		if s.Last {
+			flags |= flagLast
+		}
+		out[off+8] = flags
+		out[off+9] = 0 // reserved
+		off += headerLen
+	}
+	// Deterministic filler so traces are reproducible byte-for-byte.
+	for i := off; i < len(out); i++ {
+		out[i] = byte(i * 131)
+	}
+	return out
+}
+
+// DecodeList parses an encoded segment list, returning the descriptors.
+func DecodeList(b []byte) ([]Segment, error) {
+	if len(b) < 2 {
+		return nil, ErrCorrupt
+	}
+	n := int(binary.BigEndian.Uint16(b[0:]))
+	off := 2
+	segs := make([]Segment, 0, n)
+	total := 0
+	for i := 0; i < n; i++ {
+		if off+headerLen > len(b) {
+			return nil, ErrCorrupt
+		}
+		s := Segment{
+			FrameIndex: binary.BigEndian.Uint32(b[off:]),
+			Offset:     binary.BigEndian.Uint16(b[off+4:]),
+			Length:     binary.BigEndian.Uint16(b[off+6:]),
+			Key:        b[off+8]&flagKey != 0,
+			Last:       b[off+8]&flagLast != 0,
+		}
+		segs = append(segs, s)
+		total += int(s.Length)
+		off += headerLen
+	}
+	if off+total != len(b) {
+		return nil, ErrCorrupt
+	}
+	return segs, nil
+}
+
+// ListWireSize predicts the encoded size of a list without building it.
+func ListWireSize(segs []Segment) int {
+	total := 2 + headerLen*len(segs)
+	for _, s := range segs {
+		total += int(s.Length)
+	}
+	return total
+}
+
+// Cutter slices a sequence of frame sizes into segments on demand. It is
+// the server-side packetiser core: both stacks pull segments up to a byte
+// budget per outgoing packet.
+type Cutter struct {
+	sizes []int // frame sizes in bytes
+	keys  []bool
+	frame int // current frame index
+	off   int // offset within current frame
+	// filter, when set, decides whether each frame is emitted at all;
+	// media-scaling servers install one to thin the stream under loss.
+	// It is consulted only at frame boundaries, never mid-frame.
+	filter func(frameIndex int, key bool) bool
+	// SkippedFrames counts frames the filter suppressed.
+	SkippedFrames int
+}
+
+// SetFilter installs (or clears, with nil) the frame-admission filter.
+// Frames already partially emitted are always finished.
+func (c *Cutter) SetFilter(f func(frameIndex int, key bool) bool) { c.filter = f }
+
+// skipFiltered advances past frames the filter rejects. Only applies at
+// frame boundaries (off == 0).
+func (c *Cutter) skipFiltered() {
+	if c.filter == nil || c.off != 0 {
+		return
+	}
+	for c.frame < len(c.sizes) {
+		key := false
+		if c.keys != nil {
+			key = c.keys[c.frame]
+		}
+		if c.filter(c.frame, key) {
+			return
+		}
+		c.frame++
+		c.SkippedFrames++
+	}
+}
+
+// NewCutter builds a cutter over the clip's frame sizes and key flags.
+func NewCutter(sizes []int, keys []bool) *Cutter {
+	if keys != nil && len(keys) != len(sizes) {
+		panic("segment: sizes/keys length mismatch")
+	}
+	return &Cutter{sizes: sizes, keys: keys}
+}
+
+// Done reports whether all frames have been cut.
+func (c *Cutter) Done() bool {
+	c.skipFiltered()
+	return c.frame >= len(c.sizes)
+}
+
+// FramesCut reports how many frames have been fully emitted.
+func (c *Cutter) FramesCut() int { return c.frame }
+
+// BytesRemaining reports the bytes not yet emitted.
+func (c *Cutter) BytesRemaining() int {
+	if c.Done() {
+		return 0
+	}
+	total := c.sizes[c.frame] - c.off
+	for i := c.frame + 1; i < len(c.sizes); i++ {
+		total += c.sizes[i]
+	}
+	return total
+}
+
+// Next cuts up to budget payload bytes into segments, advancing through
+// frames (and past filtered-out frames). It returns fewer bytes only when
+// the clip is exhausted. A zero budget returns nil.
+func (c *Cutter) Next(budget int) []Segment {
+	var out []Segment
+	for budget > 0 && !c.Done() {
+		c.skipFiltered()
+		if c.frame >= len(c.sizes) {
+			break
+		}
+		remain := c.sizes[c.frame] - c.off
+		take := remain
+		if take > budget {
+			take = budget
+		}
+		if take > 0xFFFF {
+			take = 0xFFFF
+		}
+		key := false
+		if c.keys != nil {
+			key = c.keys[c.frame]
+		}
+		out = append(out, Segment{
+			FrameIndex: uint32(c.frame),
+			Offset:     uint16(c.off),
+			Length:     uint16(take),
+			Key:        key,
+			Last:       c.off+take == c.sizes[c.frame],
+		})
+		c.off += take
+		budget -= take
+		if c.off == c.sizes[c.frame] {
+			c.frame++
+			c.off = 0
+		}
+	}
+	return out
+}
+
+// Assembler tracks frame completeness on the receiving side: a frame is
+// complete once every byte from offset 0 through its Last segment has
+// arrived (segments may arrive out of order; duplicates are tolerated).
+type Assembler struct {
+	frames map[uint32]*frameState
+	// CompletedFrames counts frames fully received.
+	CompletedFrames int
+}
+
+type frameState struct {
+	got      map[uint16]uint16 // offset -> length of received runs
+	expected int               // frame size, known once the Last segment arrives
+	received int               // distinct bytes received
+	complete bool
+	key      bool
+}
+
+// NewAssembler returns an empty assembler.
+func NewAssembler() *Assembler {
+	return &Assembler{frames: make(map[uint32]*frameState)}
+}
+
+// Add records one received segment and reports whether it completed its
+// frame.
+func (a *Assembler) Add(s Segment) bool {
+	fs := a.frames[s.FrameIndex]
+	if fs == nil {
+		fs = &frameState{got: make(map[uint16]uint16)}
+		a.frames[s.FrameIndex] = fs
+	}
+	if fs.complete {
+		return false
+	}
+	if s.Key {
+		fs.key = true
+	}
+	if prev, dup := fs.got[s.Offset]; !dup || prev < s.Length {
+		if dup {
+			fs.received -= int(prev)
+		}
+		fs.got[s.Offset] = s.Length
+		fs.received += int(s.Length)
+	}
+	if s.Last {
+		fs.expected = int(s.Offset) + int(s.Length)
+	}
+	if fs.expected > 0 && fs.received >= fs.expected && contiguous(fs.got, fs.expected) {
+		fs.complete = true
+		a.CompletedFrames++
+		return true
+	}
+	return false
+}
+
+// Complete reports whether the frame has fully arrived.
+func (a *Assembler) Complete(frameIndex uint32) bool {
+	fs := a.frames[frameIndex]
+	return fs != nil && fs.complete
+}
+
+// Partial reports whether some but not all of the frame arrived.
+func (a *Assembler) Partial(frameIndex uint32) bool {
+	fs := a.frames[frameIndex]
+	return fs != nil && !fs.complete && fs.received > 0
+}
+
+// Drop forgets a frame's state (players discard frames past their playout
+// deadline to bound memory).
+func (a *Assembler) Drop(frameIndex uint32) { delete(a.frames, frameIndex) }
+
+// contiguous verifies the received runs cover [0, expected) without gaps.
+func contiguous(got map[uint16]uint16, expected int) bool {
+	next := 0
+	for next < expected {
+		l, ok := got[uint16(next)]
+		if !ok || l == 0 {
+			return false
+		}
+		next += int(l)
+	}
+	return true
+}
+
+// String describes the assembler for diagnostics.
+func (a *Assembler) String() string {
+	return fmt.Sprintf("assembler: %d frames tracked, %d complete", len(a.frames), a.CompletedFrames)
+}

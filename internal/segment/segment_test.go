@@ -1,0 +1,267 @@
+package segment
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	segs := []Segment{
+		{FrameIndex: 0, Offset: 0, Length: 500, Key: true},
+		{FrameIndex: 0, Offset: 500, Length: 300, Last: true},
+		{FrameIndex: 1, Offset: 0, Length: 200, Last: true},
+	}
+	b := EncodeList(segs)
+	if len(b) != ListWireSize(segs) {
+		t.Fatalf("wire size %d, predicted %d", len(b), ListWireSize(segs))
+	}
+	got, err := DecodeList(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(segs) {
+		t.Fatalf("count=%d", len(got))
+	}
+	for i := range segs {
+		if got[i] != segs[i] {
+			t.Fatalf("segment %d: %+v != %+v", i, got[i], segs[i])
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := DecodeList(nil); err != ErrCorrupt {
+		t.Fatalf("nil: %v", err)
+	}
+	if _, err := DecodeList([]byte{0, 5}); err != ErrCorrupt {
+		t.Fatalf("short: %v", err)
+	}
+	b := EncodeList([]Segment{{FrameIndex: 1, Length: 100, Last: true}})
+	if _, err := DecodeList(b[:len(b)-1]); err != ErrCorrupt {
+		t.Fatalf("truncated payload: %v", err)
+	}
+	if _, err := DecodeList(append(b, 0)); err != ErrCorrupt {
+		t.Fatalf("trailing garbage: %v", err)
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var segs []Segment
+		for i, v := range raw {
+			if i >= 20 {
+				break
+			}
+			segs = append(segs, Segment{
+				FrameIndex: uint32(i),
+				Offset:     v % 1000,
+				Length:     v%1400 + 1,
+				Key:        v%3 == 0,
+				Last:       v%2 == 0,
+			})
+		}
+		got, err := DecodeList(EncodeList(segs))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(segs) {
+			return false
+		}
+		for i := range segs {
+			if got[i] != segs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCutterWalksFrames(t *testing.T) {
+	sizes := []int{1000, 500, 1500}
+	keys := []bool{true, false, false}
+	c := NewCutter(sizes, keys)
+	if c.BytesRemaining() != 3000 {
+		t.Fatalf("remaining=%d", c.BytesRemaining())
+	}
+	// Budget 800: first segment cuts frame 0 partially.
+	segs := c.Next(800)
+	if len(segs) != 1 || segs[0].Length != 800 || segs[0].Last || !segs[0].Key {
+		t.Fatalf("first cut: %+v", segs)
+	}
+	// Budget 800: finishes frame 0 (200), all of frame 1 (500), then 100 of
+	// frame 2 — the cutter fills the whole budget.
+	segs = c.Next(800)
+	if len(segs) != 3 {
+		t.Fatalf("second cut: %+v", segs)
+	}
+	if segs[0].FrameIndex != 0 || segs[0].Offset != 800 || segs[0].Length != 200 || !segs[0].Last {
+		t.Fatalf("finish frame 0: %+v", segs[0])
+	}
+	if segs[1].FrameIndex != 1 || segs[1].Length != 500 || !segs[1].Last || segs[1].Key {
+		t.Fatalf("frame 1: %+v", segs[1])
+	}
+	if segs[2].FrameIndex != 2 || segs[2].Length != 100 || segs[2].Last {
+		t.Fatalf("frame 2 partial: %+v", segs[2])
+	}
+	if c.FramesCut() != 2 {
+		t.Fatalf("FramesCut=%d", c.FramesCut())
+	}
+	// Drain the remaining 1400 bytes of frame 2.
+	segs = c.Next(10000)
+	if len(segs) != 1 || segs[0].Length != 1400 || !segs[0].Last {
+		t.Fatalf("drain: %+v", segs)
+	}
+	if !c.Done() || c.BytesRemaining() != 0 {
+		t.Fatal("not done after drain")
+	}
+	if c.Next(100) != nil {
+		t.Fatal("cut past end")
+	}
+}
+
+func TestCutterZeroBudget(t *testing.T) {
+	c := NewCutter([]int{100}, nil)
+	if c.Next(0) != nil {
+		t.Fatal("zero budget produced segments")
+	}
+}
+
+func TestCutterMismatchedKeysPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewCutter([]int{1, 2}, []bool{true})
+}
+
+func TestAssemblerInOrder(t *testing.T) {
+	a := NewAssembler()
+	if a.Add(Segment{FrameIndex: 0, Offset: 0, Length: 500}) {
+		t.Fatal("incomplete frame reported complete")
+	}
+	if !a.Partial(0) || a.Complete(0) {
+		t.Fatal("partial state")
+	}
+	if !a.Add(Segment{FrameIndex: 0, Offset: 500, Length: 500, Last: true}) {
+		t.Fatal("completion not reported")
+	}
+	if !a.Complete(0) || a.Partial(0) {
+		t.Fatal("complete state")
+	}
+	if a.CompletedFrames != 1 {
+		t.Fatalf("CompletedFrames=%d", a.CompletedFrames)
+	}
+}
+
+func TestAssemblerOutOfOrderAndDuplicates(t *testing.T) {
+	a := NewAssembler()
+	a.Add(Segment{FrameIndex: 3, Offset: 600, Length: 400, Last: true})
+	a.Add(Segment{FrameIndex: 3, Offset: 600, Length: 400, Last: true}) // dup
+	if a.Complete(3) {
+		t.Fatal("complete with a gap")
+	}
+	a.Add(Segment{FrameIndex: 3, Offset: 0, Length: 600})
+	if !a.Complete(3) {
+		t.Fatal("out-of-order completion failed")
+	}
+	if a.CompletedFrames != 1 {
+		t.Fatalf("duplicate inflated count: %d", a.CompletedFrames)
+	}
+	// Adding to a complete frame is a no-op.
+	if a.Add(Segment{FrameIndex: 3, Offset: 0, Length: 600}) {
+		t.Fatal("re-completed")
+	}
+}
+
+func TestAssemblerGapNeverCompletes(t *testing.T) {
+	a := NewAssembler()
+	a.Add(Segment{FrameIndex: 1, Offset: 0, Length: 100})
+	a.Add(Segment{FrameIndex: 1, Offset: 300, Length: 100, Last: true})
+	if a.Complete(1) {
+		t.Fatal("hole ignored")
+	}
+	// Filling the hole completes.
+	a.Add(Segment{FrameIndex: 1, Offset: 100, Length: 200})
+	if !a.Complete(1) {
+		t.Fatal("filled hole not detected")
+	}
+}
+
+func TestAssemblerDrop(t *testing.T) {
+	a := NewAssembler()
+	a.Add(Segment{FrameIndex: 5, Offset: 0, Length: 10})
+	a.Drop(5)
+	if a.Partial(5) {
+		t.Fatal("dropped frame still tracked")
+	}
+	if a.String() == "" {
+		t.Fatal("String")
+	}
+}
+
+// Property: cutting random frame sizes with random budgets and reassembling
+// every segment completes every frame.
+func TestCutterAssemblerRoundTripProperty(t *testing.T) {
+	f := func(rawSizes []uint16, budgetSeed uint8) bool {
+		var sizes []int
+		for i, v := range rawSizes {
+			if i >= 30 {
+				break
+			}
+			sizes = append(sizes, int(v%5000)+1)
+		}
+		if len(sizes) == 0 {
+			return true
+		}
+		budget := int(budgetSeed)%1400 + 64
+		c := NewCutter(sizes, nil)
+		a := NewAssembler()
+		for !c.Done() {
+			for _, s := range c.Next(budget) {
+				a.Add(s)
+			}
+		}
+		if c.FramesCut() != len(sizes) {
+			return false
+		}
+		for i := range sizes {
+			if !a.Complete(uint32(i)) {
+				return false
+			}
+		}
+		return a.CompletedFrames == len(sizes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: encode/decode through the wire preserves cutter output.
+func TestCutterWireProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		sizes := make([]int, int(n)%10+1)
+		for i := range sizes {
+			sizes[i] = (i+1)*700 + 13
+		}
+		c := NewCutter(sizes, nil)
+		a := NewAssembler()
+		for !c.Done() {
+			segs := c.Next(1200)
+			decoded, err := DecodeList(EncodeList(segs))
+			if err != nil {
+				return false
+			}
+			for _, s := range decoded {
+				a.Add(s)
+			}
+		}
+		return a.CompletedFrames == len(sizes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram is a fixed-width binned count of a sample, the substrate for the
+// paper's PDF figures. Bin i covers [Lo + i*Width, Lo + (i+1)*Width); values
+// outside [Lo, Hi) are clamped into the first/last bin so no mass is lost.
+type Histogram struct {
+	Lo, Hi float64
+	Width  float64
+	Counts []int
+	Total  int
+}
+
+// NewHistogram builds an empty histogram over [lo,hi) with the given number
+// of bins. It panics on a non-positive bin count or an empty range, which
+// are always programming errors in the analysis pipeline.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic(fmt.Sprintf("stats: histogram bins must be positive, got %d", bins))
+	}
+	if hi <= lo {
+		panic(fmt.Sprintf("stats: histogram range [%v,%v) is empty", lo, hi))
+	}
+	return &Histogram{
+		Lo:     lo,
+		Hi:     hi,
+		Width:  (hi - lo) / float64(bins),
+		Counts: make([]int, bins),
+	}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int(math.Floor((x - h.Lo) / h.Width))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.Total++
+}
+
+// AddAll records every observation in xs.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.Width
+}
+
+// Fraction returns the share of all observations that landed in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.Total)
+}
+
+// PeakBin returns the index of the most populated bin (lowest index wins
+// ties) and its fraction of the total mass.
+func (h *Histogram) PeakBin() (int, float64) {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return best, h.Fraction(best)
+}
+
+// MassIn returns the fraction of observations whose bin centers lie within
+// [lo, hi].
+func (h *Histogram) MassIn(lo, hi float64) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	n := 0
+	for i, c := range h.Counts {
+		if center := h.BinCenter(i); center >= lo && center <= hi {
+			n += c
+		}
+	}
+	return float64(n) / float64(h.Total)
+}
+
+// Point is one (X, Y) sample of a curve; the experiment harness emits series
+// of Points for every figure.
+type Point struct {
+	X, Y float64
+}
+
+// PDF returns the histogram as a probability density series: for each bin, X
+// is the bin center and Y is the *fraction of observations* in the bin, the
+// same convention the paper's "Probability Density" axes use (mass per bin,
+// not mass per unit). Empty leading/trailing bins are retained so series
+// from different flows align.
+func (h *Histogram) PDF() []Point {
+	out := make([]Point, len(h.Counts))
+	for i := range h.Counts {
+		out[i] = Point{X: h.BinCenter(i), Y: h.Fraction(i)}
+	}
+	return out
+}
+
+// PDF computes a probability-density series directly from a sample.
+func PDF(xs []float64, lo, hi float64, bins int) []Point {
+	h := NewHistogram(lo, hi, bins)
+	h.AddAll(xs)
+	return h.PDF()
+}
+
+// CDF returns the empirical cumulative distribution of xs as a step series:
+// for each distinct sorted value v, the fraction of observations <= v. This
+// matches the paper's CDF figures (1, 2, 9). An empty sample returns nil.
+func CDF(xs []float64) []Point {
+	n := len(xs)
+	if n == 0 {
+		return nil
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	out := make([]Point, 0, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && s[j] == s[i] {
+			j++
+		}
+		out = append(out, Point{X: s[i], Y: float64(j) / float64(n)})
+		i = j
+	}
+	return out
+}
+
+// CDFAt evaluates an empirical CDF series at x (fraction of mass <= x).
+func CDFAt(cdf []Point, x float64) float64 {
+	y := 0.0
+	for _, p := range cdf {
+		if p.X <= x {
+			y = p.Y
+		} else {
+			break
+		}
+	}
+	return y
+}
+
+// InverseCDF returns the smallest x whose cumulative mass reaches q. It is
+// the sampling primitive for the Section IV flow generator, which draws
+// packet sizes and interarrivals from measured distributions.
+func InverseCDF(cdf []Point, q float64) float64 {
+	if len(cdf) == 0 {
+		return 0
+	}
+	for _, p := range cdf {
+		if p.Y >= q {
+			return p.X
+		}
+	}
+	return cdf[len(cdf)-1].X
+}

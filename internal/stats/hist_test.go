@@ -1,0 +1,208 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.AddAll([]float64{0.5, 1.5, 1.6, 9.9})
+	if h.Total != 4 {
+		t.Fatalf("Total=%d", h.Total)
+	}
+	if h.Counts[0] != 1 || h.Counts[1] != 2 || h.Counts[9] != 1 {
+		t.Fatalf("Counts=%v", h.Counts)
+	}
+	if c := h.BinCenter(1); c != 1.5 {
+		t.Fatalf("BinCenter(1)=%v", c)
+	}
+	if f := h.Fraction(1); f != 0.5 {
+		t.Fatalf("Fraction=%v", f)
+	}
+	bin, frac := h.PeakBin()
+	if bin != 1 || frac != 0.5 {
+		t.Fatalf("PeakBin=%d,%v", bin, frac)
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(-100)
+	h.Add(100)
+	h.Add(10) // exactly hi clamps into last bin
+	if h.Counts[0] != 1 || h.Counts[4] != 2 {
+		t.Fatalf("clamping wrong: %v", h.Counts)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 10, 0) },
+		func() { NewHistogram(5, 5, 3) },
+		func() { NewHistogram(5, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHistogramMassIn(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	h.AddAll([]float64{5, 15, 25, 35, 45})
+	if m := h.MassIn(10, 40); !almostEqual(m, 0.6, 1e-12) {
+		t.Fatalf("MassIn=%v", m)
+	}
+	empty := NewHistogram(0, 1, 1)
+	if empty.MassIn(0, 1) != 0 {
+		t.Fatal("empty MassIn should be 0")
+	}
+	if empty.Fraction(0) != 0 {
+		t.Fatal("empty Fraction should be 0")
+	}
+}
+
+func TestPDFMassSumsToOne(t *testing.T) {
+	pts := PDF([]float64{1, 2, 3, 4, 5, 2, 3, 3}, 0, 10, 20)
+	sum := 0.0
+	for _, p := range pts {
+		sum += p.Y
+	}
+	if !almostEqual(sum, 1, 1e-12) {
+		t.Fatalf("PDF mass=%v", sum)
+	}
+	if len(pts) != 20 {
+		t.Fatalf("PDF bins=%d", len(pts))
+	}
+}
+
+func TestPDFMassProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, math.Mod(math.Abs(v), 100))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		sum := 0.0
+		for _, p := range PDF(xs, 0, 100, 17) {
+			sum += p.Y
+		}
+		return almostEqual(sum, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFProperties(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	cdf := CDF(xs)
+	// Monotone nondecreasing in both X and Y, final Y exactly 1.
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].X <= cdf[i-1].X {
+			t.Fatalf("CDF X not increasing at %d: %v", i, cdf)
+		}
+		if cdf[i].Y < cdf[i-1].Y {
+			t.Fatalf("CDF Y decreasing at %d: %v", i, cdf)
+		}
+	}
+	if last := cdf[len(cdf)-1].Y; last != 1 {
+		t.Fatalf("CDF final mass=%v", last)
+	}
+	// Duplicates collapse: 1 appears twice, so the first step is 2/8.
+	if cdf[0].X != 1 || cdf[0].Y != 0.25 {
+		t.Fatalf("first step=%+v", cdf[0])
+	}
+	if CDF(nil) != nil {
+		t.Fatal("empty CDF should be nil")
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		cdf := CDF(xs)
+		if len(xs) == 0 {
+			return cdf == nil
+		}
+		for i := 1; i < len(cdf); i++ {
+			if cdf[i].X <= cdf[i-1].X || cdf[i].Y < cdf[i-1].Y {
+				return false
+			}
+		}
+		return almostEqual(cdf[len(cdf)-1].Y, 1, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	cdf := CDF([]float64{1, 2, 3, 4})
+	if y := CDFAt(cdf, 0); y != 0 {
+		t.Fatalf("CDFAt(0)=%v", y)
+	}
+	if y := CDFAt(cdf, 2); y != 0.5 {
+		t.Fatalf("CDFAt(2)=%v", y)
+	}
+	if y := CDFAt(cdf, 2.5); y != 0.5 {
+		t.Fatalf("CDFAt(2.5)=%v", y)
+	}
+	if y := CDFAt(cdf, 99); y != 1 {
+		t.Fatalf("CDFAt(99)=%v", y)
+	}
+}
+
+func TestInverseCDF(t *testing.T) {
+	cdf := CDF([]float64{10, 20, 30, 40})
+	if x := InverseCDF(cdf, 0.1); x != 10 {
+		t.Fatalf("InverseCDF(0.1)=%v", x)
+	}
+	if x := InverseCDF(cdf, 0.5); x != 20 {
+		t.Fatalf("InverseCDF(0.5)=%v", x)
+	}
+	if x := InverseCDF(cdf, 1); x != 40 {
+		t.Fatalf("InverseCDF(1)=%v", x)
+	}
+	if InverseCDF(nil, 0.5) != 0 {
+		t.Fatal("empty InverseCDF")
+	}
+}
+
+// Round trip: sampling via InverseCDF over uniform quantiles reproduces the
+// original empirical distribution.
+func TestInverseCDFRoundTrip(t *testing.T) {
+	xs := []float64{1, 1, 2, 5, 5, 5, 9, 12}
+	cdf := CDF(xs)
+	var resampled []float64
+	n := 4000
+	for i := 0; i < n; i++ {
+		q := (float64(i) + 0.5) / float64(n)
+		resampled = append(resampled, InverseCDF(cdf, q))
+	}
+	sort.Float64s(resampled)
+	// The resampled median and quartiles must match the source values.
+	if m := Median(resampled); m != 5 {
+		t.Fatalf("resampled median=%v", m)
+	}
+	if q := Quantile(resampled, 0.1); q != 1 {
+		t.Fatalf("resampled q10=%v", q)
+	}
+}

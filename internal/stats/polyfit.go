@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Poly is a polynomial with Coeffs[i] the coefficient of x^i.
+type Poly struct {
+	Coeffs []float64
+}
+
+// Eval evaluates the polynomial at x using Horner's rule.
+func (p Poly) Eval(x float64) float64 {
+	y := 0.0
+	for i := len(p.Coeffs) - 1; i >= 0; i-- {
+		y = y*x + p.Coeffs[i]
+	}
+	return y
+}
+
+// Degree returns the nominal degree (len-1); trailing zero coefficients are
+// not trimmed.
+func (p Poly) Degree() int { return len(p.Coeffs) - 1 }
+
+// String renders the polynomial like "1.5 + 2x + 0.25x^2".
+func (p Poly) String() string {
+	if len(p.Coeffs) == 0 {
+		return "0"
+	}
+	s := ""
+	for i, c := range p.Coeffs {
+		term := ""
+		switch i {
+		case 0:
+			term = fmt.Sprintf("%.6g", c)
+		case 1:
+			term = fmt.Sprintf("%.6gx", c)
+		default:
+			term = fmt.Sprintf("%.6gx^%d", c, i)
+		}
+		if i > 0 {
+			s += " + "
+		}
+		s += term
+	}
+	return s
+}
+
+// ErrSingular is returned when the normal equations are not solvable, e.g.
+// when there are fewer distinct x values than coefficients.
+var ErrSingular = errors.New("stats: singular system in polynomial fit")
+
+// PolyFit computes the least-squares polynomial of the given degree through
+// the points, by solving the normal equations with Gaussian elimination and
+// partial pivoting. The paper's Figure 3 uses degree-2 ("second order
+// polynomial trend curves"); the system is tiny so exact solving is fine.
+func PolyFit(pts []Point, degree int) (Poly, error) {
+	if degree < 0 {
+		return Poly{}, errors.New("stats: negative degree")
+	}
+	n := degree + 1
+	if len(pts) < n {
+		return Poly{}, fmt.Errorf("stats: need at least %d points for degree %d, have %d", n, degree, len(pts))
+	}
+	// Normal equations: A^T A c = A^T y with A the Vandermonde matrix.
+	// m[i][j] = sum x^(i+j), rhs[i] = sum y * x^i.
+	powSums := make([]float64, 2*n-1)
+	rhs := make([]float64, n)
+	for _, p := range pts {
+		xp := 1.0
+		for k := 0; k < len(powSums); k++ {
+			powSums[k] += xp
+			if k < n {
+				rhs[k] += p.Y * xp
+			}
+			xp *= p.X
+		}
+	}
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n+1)
+		for j := 0; j < n; j++ {
+			m[i][j] = powSums[i+j]
+		}
+		m[i][n] = rhs[i]
+	}
+	coeffs, err := solve(m)
+	if err != nil {
+		return Poly{}, err
+	}
+	return Poly{Coeffs: coeffs}, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting on an augmented
+// matrix (n rows, n+1 columns) and returns the solution vector.
+func solve(m [][]float64) ([]float64, error) {
+	n := len(m)
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = m[i][n] / m[i][i]
+	}
+	return out, nil
+}
+
+// RMSE reports the root-mean-square error of the fit over pts.
+func RMSE(p Poly, pts []Point) float64 {
+	if len(pts) == 0 {
+		return 0
+	}
+	var ss float64
+	for _, pt := range pts {
+		d := p.Eval(pt.X) - pt.Y
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(pts)))
+}
+
+// LinearFit is a convenience wrapper returning slope and intercept of the
+// least-squares line through pts.
+func LinearFit(pts []Point) (slope, intercept float64, err error) {
+	p, err := PolyFit(pts, 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	return p.Coeffs[1], p.Coeffs[0], nil
+}

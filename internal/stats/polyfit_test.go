@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPolyEvalAndString(t *testing.T) {
+	p := Poly{Coeffs: []float64{1, 2, 3}} // 1 + 2x + 3x^2
+	if y := p.Eval(2); y != 17 {
+		t.Fatalf("Eval=%v", y)
+	}
+	if p.Degree() != 2 {
+		t.Fatalf("Degree=%d", p.Degree())
+	}
+	if s := p.String(); s != "1 + 2x + 3x^2" {
+		t.Fatalf("String=%q", s)
+	}
+	if (Poly{}).String() != "0" {
+		t.Fatal("empty poly string")
+	}
+	if (Poly{}).Eval(5) != 0 {
+		t.Fatal("empty poly eval")
+	}
+}
+
+func TestPolyFitExactQuadratic(t *testing.T) {
+	// y = 3 - 2x + 0.5x^2 sampled exactly must be recovered exactly.
+	truth := Poly{Coeffs: []float64{3, -2, 0.5}}
+	var pts []Point
+	for x := -5.0; x <= 5; x++ {
+		pts = append(pts, Point{X: x, Y: truth.Eval(x)})
+	}
+	got, err := PolyFit(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range truth.Coeffs {
+		if !almostEqual(got.Coeffs[i], c, 1e-8) {
+			t.Fatalf("coeff %d = %v, want %v", i, got.Coeffs[i], c)
+		}
+	}
+	if r := RMSE(got, pts); r > 1e-8 {
+		t.Fatalf("RMSE=%v", r)
+	}
+}
+
+func TestPolyFitLeastSquares(t *testing.T) {
+	// Noisy line: fit must land near the true slope/intercept.
+	pts := []Point{{0, 1.1}, {1, 2.9}, {2, 5.2}, {3, 6.8}, {4, 9.1}}
+	slope, intercept, err := LinearFit(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope-2) > 0.1 || math.Abs(intercept-1) > 0.25 {
+		t.Fatalf("slope=%v intercept=%v", slope, intercept)
+	}
+}
+
+func TestPolyFitErrors(t *testing.T) {
+	if _, err := PolyFit([]Point{{1, 1}}, 2); err == nil {
+		t.Fatal("too few points should error")
+	}
+	if _, err := PolyFit([]Point{{1, 1}, {1, 2}, {1, 3}}, 2); err != ErrSingular {
+		t.Fatalf("repeated x should be singular, got %v", err)
+	}
+	if _, err := PolyFit([]Point{{1, 1}}, -1); err == nil {
+		t.Fatal("negative degree should error")
+	}
+}
+
+func TestPolyFitDegreeZero(t *testing.T) {
+	p, err := PolyFit([]Point{{0, 2}, {1, 4}, {2, 6}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(p.Coeffs[0], 4, 1e-9) {
+		t.Fatalf("constant fit=%v, want mean 4", p.Coeffs[0])
+	}
+}
+
+// Property: fitting points generated from a random quadratic recovers it.
+func TestPolyFitRecoveryProperty(t *testing.T) {
+	f := func(a, b, c int8) bool {
+		truth := Poly{Coeffs: []float64{float64(a), float64(b), float64(c)}}
+		var pts []Point
+		for x := 0.0; x < 8; x++ {
+			pts = append(pts, Point{X: x, Y: truth.Eval(x)})
+		}
+		got, err := PolyFit(pts, 2)
+		if err != nil {
+			return false
+		}
+		for i := range truth.Coeffs {
+			if !almostEqual(got.Coeffs[i], truth.Coeffs[i], 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMSEEmpty(t *testing.T) {
+	if RMSE(Poly{Coeffs: []float64{1}}, nil) != 0 {
+		t.Fatal("empty RMSE should be 0")
+	}
+}

@@ -1,0 +1,130 @@
+// Package stats implements the statistical machinery the paper's analysis
+// section relies on: probability density functions (Figures 6-8),
+// cumulative density functions (Figures 1, 2, 9), per-clip normalisation
+// (Figures 7, 9), second-order polynomial trend fitting (Figure 3), summary
+// statistics with standard error bars (Figures 14, 15), and bandwidth /
+// frame-rate time series bucketing (Figures 10, 12, 13).
+//
+// Everything operates on plain float64 slices so the capture and tracker
+// packages can feed their measurements in directly.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds the usual moments of a sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64 // unbiased (n-1) sample variance
+	StdDev   float64
+	StdErr   float64 // standard error of the mean
+	Min      float64
+	Max      float64
+	Sum      float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	for _, x := range xs {
+		s.Sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = s.Sum / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Variance = ss / float64(s.N-1)
+		s.StdDev = math.Sqrt(s.Variance)
+		s.StdErr = s.StdDev / math.Sqrt(float64(s.N))
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Median returns the sample median (average of middle pair for even n).
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Quantile returns the q-th sample quantile (0 <= q <= 1) using linear
+// interpolation between order statistics.
+func Quantile(xs []float64, q float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return s[n-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Normalize divides every element by the sample mean, as the paper does for
+// "normalized packet size" (Figure 7) and "normalized interarrival time"
+// (Figure 9). A zero-mean sample is returned unchanged (copied).
+func Normalize(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	m := Mean(xs)
+	if m == 0 {
+		return out
+	}
+	for i := range out {
+		out[i] /= m
+	}
+	return out
+}
+
+// Ratio returns a/b guarding against a zero denominator.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

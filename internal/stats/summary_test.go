@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Fatalf("N=%d", s.N)
+	}
+	if s.Mean != 5 {
+		t.Fatalf("Mean=%v", s.Mean)
+	}
+	if !almostEqual(s.Variance, 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance=%v", s.Variance)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("Min/Max=%v/%v", s.Min, s.Max)
+	}
+	if !almostEqual(s.StdErr, s.StdDev/math.Sqrt(8), 1e-12) {
+		t.Fatalf("StdErr=%v", s.StdErr)
+	}
+	if s.Sum != 40 {
+		t.Fatalf("Sum=%v", s.Sum)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	z := Summarize(nil)
+	if z.N != 0 || z.Mean != 0 || z.StdDev != 0 {
+		t.Fatalf("empty summary not zero: %+v", z)
+	}
+	one := Summarize([]float64{3})
+	if one.Mean != 3 || one.Variance != 0 || one.StdErr != 0 {
+		t.Fatalf("single-sample summary wrong: %+v", one)
+	}
+}
+
+func TestMedianAndQuantile(t *testing.T) {
+	if m := Median([]float64{5, 1, 3}); m != 3 {
+		t.Fatalf("odd median=%v", m)
+	}
+	if m := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("even median=%v", m)
+	}
+	if Median(nil) != 0 {
+		t.Fatal("empty median")
+	}
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if q := Quantile(xs, 0.5); q != 5 {
+		t.Fatalf("q50=%v", q)
+	}
+	if q := Quantile(xs, 0); q != 0 {
+		t.Fatalf("q0=%v", q)
+	}
+	if q := Quantile(xs, 1); q != 10 {
+		t.Fatalf("q1=%v", q)
+	}
+	if q := Quantile(xs, 0.25); !almostEqual(q, 2.5, 1e-12) {
+		t.Fatalf("q25=%v", q)
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile")
+	}
+}
+
+func TestQuantileUnsortedInputUnchanged(t *testing.T) {
+	xs := []float64{9, 1, 5}
+	_ = Quantile(xs, 0.5)
+	if xs[0] != 9 || xs[1] != 1 || xs[2] != 5 {
+		t.Fatal("Quantile mutated its input")
+	}
+	_ = Median(xs)
+	if xs[0] != 9 {
+		t.Fatal("Median mutated its input")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out := Normalize([]float64{1, 2, 3})
+	if !almostEqual(Mean(out), 1, 1e-12) {
+		t.Fatalf("normalized mean=%v", Mean(out))
+	}
+	if !almostEqual(out[0], 0.5, 1e-12) || !almostEqual(out[2], 1.5, 1e-12) {
+		t.Fatalf("normalized=%v", out)
+	}
+	// Zero-mean samples are returned unchanged.
+	z := Normalize([]float64{-1, 1})
+	if z[0] != -1 || z[1] != 1 {
+		t.Fatalf("zero-mean normalize=%v", z)
+	}
+	in := []float64{2, 4}
+	_ = Normalize(in)
+	if in[0] != 2 {
+		t.Fatal("Normalize mutated input")
+	}
+}
+
+func TestNormalizeMeanIsOneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e6 {
+				xs = append(xs, math.Abs(v)+1) // strictly positive sample
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		return almostEqual(Mean(Normalize(xs)), 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 2) != 3 {
+		t.Fatal("ratio")
+	}
+	if Ratio(6, 0) != 0 {
+		t.Fatal("zero denominator should yield 0")
+	}
+}

@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"fmt"
+	"time"
+)
+
+// Sample is one timestamped measurement (timestamp relative to the start of
+// a flow or run).
+type Sample struct {
+	At    time.Duration
+	Value float64
+}
+
+// TimeSeries accumulates timestamped measurements and reduces them into
+// fixed-width buckets. It backs the paper's bandwidth-versus-time
+// (Figure 10) and frame-rate-versus-time (Figure 13) plots.
+type TimeSeries struct {
+	samples []Sample
+}
+
+// Add records a measurement at the given offset.
+func (ts *TimeSeries) Add(at time.Duration, v float64) {
+	ts.samples = append(ts.samples, Sample{At: at, Value: v})
+}
+
+// Len reports the number of raw samples.
+func (ts *TimeSeries) Len() int { return len(ts.samples) }
+
+// Samples returns the raw samples (not a copy; callers must not mutate).
+func (ts *TimeSeries) Samples() []Sample { return ts.samples }
+
+// Span returns the timestamp of the last sample, or zero when empty.
+func (ts *TimeSeries) Span() time.Duration {
+	if len(ts.samples) == 0 {
+		return 0
+	}
+	max := ts.samples[0].At
+	for _, s := range ts.samples {
+		if s.At > max {
+			max = s.At
+		}
+	}
+	return max
+}
+
+// Bucket is one reduced interval of a time series.
+type Bucket struct {
+	Start time.Duration // inclusive start of the interval
+	Sum   float64
+	Count int
+}
+
+// Mean returns the bucket's average value, or 0 for an empty bucket.
+func (b Bucket) Mean() float64 {
+	if b.Count == 0 {
+		return 0
+	}
+	return b.Sum / float64(b.Count)
+}
+
+// Buckets reduces the series into consecutive width-sized intervals covering
+// [0, Span]. Empty intervals are included with zero sums so rate plots show
+// silence as zero rather than skipping time.
+func (ts *TimeSeries) Buckets(width time.Duration) []Bucket {
+	if width <= 0 {
+		panic(fmt.Sprintf("stats: bucket width must be positive, got %v", width))
+	}
+	span := ts.Span()
+	n := int(span/width) + 1
+	if len(ts.samples) == 0 {
+		return nil
+	}
+	out := make([]Bucket, n)
+	for i := range out {
+		out[i].Start = time.Duration(i) * width
+	}
+	for _, s := range ts.samples {
+		i := int(s.At / width)
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		out[i].Sum += s.Value
+		out[i].Count++
+	}
+	return out
+}
+
+// RateSeries converts the series into a rate-per-second curve: each bucket's
+// summed value divided by the bucket width in seconds. Feeding per-packet
+// byte counts yields bytes/second; the caller scales to bits as needed.
+func (ts *TimeSeries) RateSeries(width time.Duration) []Point {
+	bs := ts.Buckets(width)
+	out := make([]Point, len(bs))
+	sec := width.Seconds()
+	for i, b := range bs {
+		out[i] = Point{X: b.Start.Seconds(), Y: b.Sum / sec}
+	}
+	return out
+}
+
+// MeanSeries converts the series into a bucket-mean curve, used for
+// frame-rate-over-time plots where samples are already rates.
+func (ts *TimeSeries) MeanSeries(width time.Duration) []Point {
+	bs := ts.Buckets(width)
+	out := make([]Point, len(bs))
+	for i, b := range bs {
+		out[i] = Point{X: b.Start.Seconds(), Y: b.Mean()}
+	}
+	return out
+}
+
+// WindowMean returns the mean of samples with At in [from, to).
+func (ts *TimeSeries) WindowMean(from, to time.Duration) float64 {
+	sum, n := 0.0, 0
+	for _, s := range ts.samples {
+		if s.At >= from && s.At < to {
+			sum += s.Value
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// WindowSum returns the sum of samples with At in [from, to).
+func (ts *TimeSeries) WindowSum(from, to time.Duration) float64 {
+	sum := 0.0
+	for _, s := range ts.samples {
+		if s.At >= from && s.At < to {
+			sum += s.Value
+		}
+	}
+	return sum
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func sec(f float64) time.Duration { return time.Duration(f * float64(time.Second)) }
+
+func TestTimeSeriesBuckets(t *testing.T) {
+	var ts TimeSeries
+	ts.Add(sec(0.1), 10)
+	ts.Add(sec(0.9), 20)
+	ts.Add(sec(1.5), 30)
+	ts.Add(sec(3.2), 40)
+	bs := ts.Buckets(time.Second)
+	if len(bs) != 4 {
+		t.Fatalf("buckets=%d, want 4", len(bs))
+	}
+	if bs[0].Sum != 30 || bs[0].Count != 2 {
+		t.Fatalf("bucket0=%+v", bs[0])
+	}
+	if bs[1].Sum != 30 || bs[1].Count != 1 {
+		t.Fatalf("bucket1=%+v", bs[1])
+	}
+	if bs[2].Sum != 0 || bs[2].Count != 0 {
+		t.Fatalf("empty bucket2=%+v", bs[2])
+	}
+	if bs[3].Sum != 40 {
+		t.Fatalf("bucket3=%+v", bs[3])
+	}
+	if bs[1].Start != time.Second {
+		t.Fatalf("bucket1 start=%v", bs[1].Start)
+	}
+}
+
+func TestBucketMean(t *testing.T) {
+	b := Bucket{Sum: 30, Count: 3}
+	if b.Mean() != 10 {
+		t.Fatalf("Mean=%v", b.Mean())
+	}
+	if (Bucket{}).Mean() != 0 {
+		t.Fatal("empty bucket mean")
+	}
+}
+
+func TestRateSeries(t *testing.T) {
+	var ts TimeSeries
+	// 1000 "bytes" in second 0, 500 in second 1.
+	ts.Add(sec(0.2), 400)
+	ts.Add(sec(0.7), 600)
+	ts.Add(sec(1.1), 500)
+	rs := ts.RateSeries(time.Second)
+	if len(rs) != 2 {
+		t.Fatalf("rate points=%d", len(rs))
+	}
+	if rs[0].Y != 1000 || rs[1].Y != 500 {
+		t.Fatalf("rates=%v", rs)
+	}
+	if rs[0].X != 0 || rs[1].X != 1 {
+		t.Fatalf("rate X=%v", rs)
+	}
+}
+
+func TestMeanSeries(t *testing.T) {
+	var ts TimeSeries
+	ts.Add(sec(0.1), 10)
+	ts.Add(sec(0.2), 20)
+	ts.Add(sec(1.1), 30)
+	ms := ts.MeanSeries(time.Second)
+	if ms[0].Y != 15 || ms[1].Y != 30 {
+		t.Fatalf("means=%v", ms)
+	}
+}
+
+func TestWindowMeanSum(t *testing.T) {
+	var ts TimeSeries
+	for i := 0; i < 10; i++ {
+		ts.Add(time.Duration(i)*time.Second, float64(i))
+	}
+	if m := ts.WindowMean(sec(2), sec(5)); m != 3 {
+		t.Fatalf("WindowMean=%v", m)
+	}
+	if s := ts.WindowSum(sec(2), sec(5)); s != 9 {
+		t.Fatalf("WindowSum=%v", s)
+	}
+	if m := ts.WindowMean(sec(100), sec(200)); m != 0 {
+		t.Fatalf("empty window mean=%v", m)
+	}
+}
+
+func TestTimeSeriesEmpty(t *testing.T) {
+	var ts TimeSeries
+	if ts.Span() != 0 || ts.Len() != 0 {
+		t.Fatal("empty series span/len")
+	}
+	if ts.Buckets(time.Second) != nil {
+		t.Fatal("empty series buckets should be nil")
+	}
+}
+
+func TestBucketsPanicOnZeroWidth(t *testing.T) {
+	var ts TimeSeries
+	ts.Add(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero width did not panic")
+		}
+	}()
+	ts.Buckets(0)
+}
+
+func TestSamplesAccessor(t *testing.T) {
+	var ts TimeSeries
+	ts.Add(sec(1), 5)
+	ss := ts.Samples()
+	if len(ss) != 1 || ss[0].Value != 5 || ss[0].At != sec(1) {
+		t.Fatalf("Samples=%v", ss)
+	}
+}

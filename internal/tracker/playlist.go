@@ -1,0 +1,100 @@
+package tracker
+
+import (
+	"time"
+
+	"turbulence/internal/eventsim"
+	"turbulence/internal/media"
+	"turbulence/internal/netsim"
+	"turbulence/internal/rdt"
+	"turbulence/internal/wms"
+)
+
+// PlaylistEntry names one clip to play and which stack plays it.
+type PlaylistEntry struct {
+	ClipRef string
+	Format  media.Format
+}
+
+// Playlist automates sequential playback of multiple clips, as both
+// MediaTracker and RealTracker supported ("a customized play list to
+// automatic playback of multiple video clips", paper §2.B). Entries run
+// back to back with a settling gap between them.
+type Playlist struct {
+	host       *netsim.Host
+	wmsServer  *wms.Server
+	rdtServer  *rdt.Server
+	entries    []PlaylistEntry
+	gap        time.Duration
+	reports    []*Report
+	onComplete func([]*Report)
+	next       int
+	running    bool
+}
+
+// DefaultGap separates consecutive playlist entries.
+const DefaultGap = 2 * time.Second
+
+// Playlist port assignments; sequential playback reuses one pair per stack.
+const (
+	playlistWMSCtl  = 4100
+	playlistWMSData = 4101
+	playlistRDTCtl  = 5100
+	playlistRDTData = 5101
+)
+
+// NewPlaylist builds a playlist. Servers may be nil if no entry uses that
+// stack.
+func NewPlaylist(host *netsim.Host, wmsSrv *wms.Server, rdtSrv *rdt.Server, entries []PlaylistEntry, onComplete func([]*Report)) *Playlist {
+	return &Playlist{
+		host:       host,
+		wmsServer:  wmsSrv,
+		rdtServer:  rdtSrv,
+		entries:    entries,
+		gap:        DefaultGap,
+		onComplete: onComplete,
+	}
+}
+
+// SetGap overrides the inter-entry gap.
+func (p *Playlist) SetGap(d time.Duration) { p.gap = d }
+
+// Reports returns the accumulated reports.
+func (p *Playlist) Reports() []*Report { return p.reports }
+
+// Start begins the playlist.
+func (p *Playlist) Start() {
+	if p.running {
+		panic("tracker: playlist already running")
+	}
+	p.running = true
+	p.playNext()
+}
+
+func (p *Playlist) playNext() {
+	if p.next >= len(p.entries) {
+		p.running = false
+		if p.onComplete != nil {
+			p.onComplete(p.reports)
+		}
+		return
+	}
+	entry := p.entries[p.next]
+	p.next++
+	done := func(r *Report) {
+		p.reports = append(p.reports, r)
+		p.host.After(p.gap, "playlist.gap", func(eventsim.Time) { p.playNext() })
+	}
+	switch entry.Format {
+	case media.WindowsMedia:
+		if p.wmsServer == nil {
+			panic("tracker: playlist entry needs a WMS server")
+		}
+		StartMediaTracker(p.host, p.wmsServer, entry.ClipRef, playlistWMSCtl, playlistWMSData, done)
+	default:
+		if p.rdtServer == nil {
+			panic("tracker: playlist entry needs a RealServer")
+		}
+		StartRealTracker(p.host, p.rdtServer, entry.ClipRef, playlistRDTCtl, playlistRDTData, done)
+	}
+}

@@ -1,0 +1,423 @@
+package wms
+
+import (
+	"fmt"
+	"time"
+
+	"turbulence/internal/eventsim"
+	"turbulence/internal/inet"
+	"turbulence/internal/netsim"
+	"turbulence/internal/segment"
+)
+
+// State is the player lifecycle.
+type State int
+
+const (
+	// Idle: created, not started.
+	Idle State = iota
+	// Connecting: control handshake in progress.
+	Connecting
+	// Buffering: receiving data, playout not yet started.
+	Buffering
+	// Playing: playout clock running.
+	Playing
+	// Done: clip finished (or aborted).
+	Done
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Idle:
+		return "idle"
+	case Connecting:
+		return "connecting"
+	case Buffering:
+		return "buffering"
+	case Playing:
+		return "playing"
+	default:
+		return "done"
+	}
+}
+
+// Preroll is the delay buffer MediaPlayer fills before starting playout.
+// Because the WMS server streams at exactly the playout rate, the user
+// waits approximately this long (paper §3.F: with equal buffer sizes,
+// MediaPlayer starts later than RealPlayer).
+const Preroll = 5 * time.Second
+
+// InterleaveFlush is the application delivery period: the client delivers
+// received data units to the application in one batch per second —
+// Figure 12's "groups of 10, once per second" at the nominal 100 ms tick.
+const InterleaveFlush = time.Second
+
+// PlayerEvents are the observation hooks MediaTracker attaches.
+type PlayerEvents struct {
+	// OSPacket fires when the OS hands the client a data unit (after IP
+	// reassembly) — Figure 12's network/transport-layer series.
+	OSPacket func(now eventsim.Time, seq uint32, wireUnits int)
+	// AppPacket fires when the interleave buffer delivers a unit to the
+	// application — Figure 12's application-layer series.
+	AppPacket func(now eventsim.Time, seq uint32)
+	// SecondPlayed fires once per played second with the achieved and
+	// encoded frame counts — the Figure 13 series.
+	SecondPlayed func(now eventsim.Time, second int, played, expected int)
+	// StateChange fires on lifecycle transitions.
+	StateChange func(now eventsim.Time, s State)
+	// Done fires when the session completes.
+	Done func(now eventsim.Time)
+}
+
+// Player is the MediaPlayer model: control handshake, interleaved
+// delivery, delay buffer and playout clock.
+type Player struct {
+	host     *netsim.Host
+	server   inet.Addr
+	clipRef  string
+	ctlPort  inet.Port
+	dataPort inet.Port
+	events   PlayerEvents
+
+	state State
+	meta  DescribeResp
+
+	asm          *segment.Assembler
+	interleave   []uint32 // unit seqs awaiting app delivery
+	noInterleave bool
+	stopFlush    func()
+	stopPlay     func()
+
+	nextSeq    uint32
+	playSecond int
+	retries    int
+
+	// Feedback interval accounting for media scaling.
+	stopFeedback func()
+	fbLastRecv   int
+	fbLastLost   int
+
+	// Stats MediaTracker reads.
+	UnitsReceived  int
+	UnitsLost      int
+	BytesReceived  int
+	FramesPlayed   int
+	FramesExpected int
+	StartedAt      eventsim.Time
+	PlayBeganAt    eventsim.Time
+	FinishedAt     eventsim.Time
+}
+
+// handshakeRetry is the control-message retransmit interval.
+const handshakeRetry = 2 * time.Second
+
+// maxRetries bounds control retransmissions before aborting.
+const maxRetries = 5
+
+// NewPlayer prepares a player on host for the given server and clip.
+// ctlPort/dataPort must be unique per concurrent player on the host.
+func NewPlayer(host *netsim.Host, server inet.Addr, clipRef string, ctlPort, dataPort inet.Port, ev PlayerEvents) *Player {
+	return &Player{
+		host:     host,
+		server:   server,
+		clipRef:  clipRef,
+		ctlPort:  ctlPort,
+		dataPort: dataPort,
+		events:   ev,
+		asm:      segment.NewAssembler(),
+	}
+}
+
+// State returns the current lifecycle state.
+func (p *Player) State() State { return p.state }
+
+// DisableInterleave makes the client deliver units to the application as
+// they arrive instead of in once-per-second batches — the ablation that
+// flattens Figure 12's application-layer staircase. Call before data
+// starts flowing.
+func (p *Player) DisableInterleave() { p.noInterleave = true }
+
+// Meta returns the described stream parameters (valid once buffering).
+func (p *Player) Meta() DescribeResp { return p.meta }
+
+// Start begins the session.
+func (p *Player) Start() {
+	if p.state != Idle {
+		panic(fmt.Sprintf("wms: Start in state %v", p.state))
+	}
+	p.host.BindUDP(p.ctlPort, p.onControl)
+	p.host.BindUDP(p.dataPort, p.onData)
+	p.StartedAt = p.host.Now()
+	p.setState(Connecting)
+	p.sendDescribe()
+}
+
+func (p *Player) setState(s State) {
+	if p.state == s {
+		return
+	}
+	p.state = s
+	if p.events.StateChange != nil {
+		p.events.StateChange(p.host.Now(), s)
+	}
+}
+
+func (p *Player) serverCtl() inet.Endpoint {
+	return inet.Endpoint{Addr: p.server, Port: inet.PortMMSCtl}
+}
+
+func (p *Player) sendDescribe() {
+	if p.state != Connecting || p.meta.OK {
+		return
+	}
+	if p.retries >= maxRetries {
+		p.abort()
+		return
+	}
+	p.retries++
+	p.host.SendUDP(p.ctlPort, p.serverCtl(), MarshalDescribe(Describe{ClipRef: p.clipRef}))
+	p.host.After(handshakeRetry, "wms.describeRetry", func(eventsim.Time) { p.sendDescribe() })
+}
+
+func (p *Player) sendPlay() {
+	if p.state != Connecting {
+		return
+	}
+	if p.retries >= maxRetries {
+		p.abort()
+		return
+	}
+	p.retries++
+	p.host.SendUDP(p.ctlPort, p.serverCtl(), MarshalPlay(Play{ClipRef: p.clipRef, DataPort: uint16(p.dataPort)}))
+	p.host.After(handshakeRetry, "wms.playRetry", func(eventsim.Time) { p.sendPlay() })
+}
+
+func (p *Player) onControl(now eventsim.Time, from inet.Endpoint, payload []byte) {
+	if from.Addr != p.server {
+		return
+	}
+	t, err := MsgType(payload)
+	if err != nil {
+		return
+	}
+	switch t {
+	case MsgDescribeResp:
+		m, err := ParseDescribeResp(payload)
+		if err != nil || p.meta.OK {
+			return
+		}
+		if !m.OK {
+			p.abort()
+			return
+		}
+		p.meta = m
+		p.retries = 0
+		p.sendPlay()
+	case MsgPlayResp:
+		m, err := ParsePlayResp(payload)
+		if err != nil || p.state != Connecting {
+			return
+		}
+		if !m.OK {
+			p.abort()
+			return
+		}
+		p.beginBuffering(now)
+	}
+}
+
+// FeedbackInterval is how often the client reports reception quality to
+// the server (media-scaling input).
+const FeedbackInterval = 2 * time.Second
+
+func (p *Player) beginBuffering(now eventsim.Time) {
+	p.setState(Buffering)
+	p.stopFeedback = p.host.Network().Sched.Ticker(FeedbackInterval, "wms.feedback", func(eventsim.Time) bool {
+		if p.state != Buffering && p.state != Playing {
+			return false
+		}
+		recvDelta := p.UnitsReceived - p.fbLastRecv
+		lostDelta := p.UnitsLost - p.fbLastLost
+		p.fbLastRecv = p.UnitsReceived
+		p.fbLastLost = p.UnitsLost
+		permille := 0
+		if total := recvDelta + lostDelta; total > 0 {
+			permille = lostDelta * 1000 / total
+		}
+		p.host.SendUDP(p.ctlPort, p.serverCtl(), MarshalFeedback(Feedback{LossPermille: uint16(permille)}))
+		return true
+	})
+	if p.noInterleave {
+		return
+	}
+	p.stopFlush = p.host.Network().Sched.Ticker(InterleaveFlush, "wms.interleave", func(now eventsim.Time) bool {
+		p.flushInterleave(now)
+		return p.state == Buffering || p.state == Playing
+	})
+}
+
+func (p *Player) onData(now eventsim.Time, from inet.Endpoint, payload []byte) {
+	if from.Addr != p.server || (p.state != Buffering && p.state != Playing) {
+		return
+	}
+	h, segPayload, err := ParseData(payload)
+	if err != nil {
+		return
+	}
+	// Sequence accounting: gaps are lost units (WMP has no retransmission;
+	// interleaving only disperses the damage).
+	if h.Seq > p.nextSeq {
+		p.UnitsLost += int(h.Seq - p.nextSeq)
+	}
+	if h.Seq >= p.nextSeq {
+		p.nextSeq = h.Seq + 1
+	}
+	p.UnitsReceived++
+	p.BytesReceived += len(payload)
+	if p.events.OSPacket != nil {
+		p.events.OSPacket(now, h.Seq, 1)
+	}
+	segs, err := segment.DecodeList(segPayload)
+	if err != nil {
+		return
+	}
+	for _, s := range segs {
+		p.asm.Add(s)
+	}
+	if p.noInterleave {
+		if p.events.AppPacket != nil {
+			p.events.AppPacket(now, h.Seq)
+		}
+	} else {
+		p.interleave = append(p.interleave, h.Seq)
+	}
+	p.maybeStartPlayout(now)
+}
+
+// flushInterleave delivers queued units to the application layer in a
+// batch.
+func (p *Player) flushInterleave(now eventsim.Time) {
+	for _, seq := range p.interleave {
+		if p.events.AppPacket != nil {
+			p.events.AppPacket(now, seq)
+		}
+	}
+	p.interleave = p.interleave[:0]
+}
+
+// bufferedMedia estimates how much media is in the delay buffer: completed
+// frames convert to seconds at the encoded frame rate.
+func (p *Player) bufferedMedia() time.Duration {
+	if p.meta.FrameMilli == 0 {
+		return 0
+	}
+	sec := float64(p.asm.CompletedFrames) / p.meta.FrameRate()
+	return time.Duration(sec * float64(time.Second))
+}
+
+func (p *Player) maybeStartPlayout(now eventsim.Time) {
+	if p.state != Buffering {
+		return
+	}
+	if p.bufferedMedia() < Preroll && p.asm.CompletedFrames < int(p.meta.TotalFrames) {
+		return
+	}
+	p.PlayBeganAt = now
+	p.setState(Playing)
+	p.stopPlay = p.host.Network().Sched.Ticker(time.Second, "wms.playclock", func(now eventsim.Time) bool {
+		return p.playOneSecond(now)
+	})
+}
+
+// playOneSecond advances the playout clock, counting frames that arrived
+// complete in time.
+func (p *Player) playOneSecond(now eventsim.Time) bool {
+	if p.state != Playing {
+		return false
+	}
+	fps := p.meta.FrameRate()
+	from := int(float64(p.playSecond) * fps)
+	to := int(float64(p.playSecond+1) * fps)
+	if total := int(p.meta.TotalFrames); to > total {
+		to = total
+	}
+	played := 0
+	for f := from; f < to; f++ {
+		if p.asm.Complete(uint32(f)) {
+			played++
+		}
+		p.asm.Drop(uint32(f))
+	}
+	p.FramesPlayed += played
+	p.FramesExpected += to - from
+	if p.events.SecondPlayed != nil {
+		p.events.SecondPlayed(now, p.playSecond, played, to-from)
+	}
+	p.playSecond++
+	if float64(p.playSecond) >= p.meta.Duration().Seconds() || from >= to {
+		p.finish(now)
+		return false
+	}
+	return true
+}
+
+func (p *Player) finish(now eventsim.Time) {
+	if p.state == Done {
+		return
+	}
+	p.FinishedAt = now
+	p.setState(Done)
+	p.teardown()
+	p.host.SendUDP(p.ctlPort, p.serverCtl(), MarshalStop(Stop{}))
+	if p.events.Done != nil {
+		p.events.Done(now)
+	}
+}
+
+func (p *Player) abort() {
+	if p.state == Done {
+		return
+	}
+	p.FinishedAt = p.host.Now()
+	p.setState(Done)
+	p.teardown()
+	if p.events.Done != nil {
+		p.events.Done(p.host.Now())
+	}
+}
+
+func (p *Player) teardown() {
+	if p.stopFlush != nil {
+		p.stopFlush()
+	}
+	if p.stopPlay != nil {
+		p.stopPlay()
+	}
+	if p.stopFeedback != nil {
+		p.stopFeedback()
+	}
+	p.host.UnbindUDP(p.ctlPort)
+	p.host.UnbindUDP(p.dataPort)
+}
+
+// LossRate reports the fraction of data units lost.
+func (p *Player) LossRate() float64 {
+	total := p.UnitsReceived + p.UnitsLost
+	if total == 0 {
+		return 0
+	}
+	return float64(p.UnitsLost) / float64(total)
+}
+
+// AchievedFPS reports the mean played frame rate.
+func (p *Player) AchievedFPS() float64 {
+	if p.PlayBeganAt == 0 && p.FramesPlayed == 0 {
+		return 0
+	}
+	secs := float64(p.playSecond)
+	if secs == 0 {
+		return 0
+	}
+	return float64(p.FramesPlayed) / secs
+}

@@ -1,0 +1,147 @@
+package turbulence
+
+import (
+	"time"
+
+	"turbulence/internal/capture"
+	"turbulence/internal/core"
+	"turbulence/internal/eventsim"
+	"turbulence/internal/experiments"
+	"turbulence/internal/inet"
+	"turbulence/internal/media"
+	"turbulence/internal/stats"
+)
+
+// Re-exported domain types. These aliases are the supported public
+// surface; internal packages may evolve behind them.
+type (
+	// Clip is one encoded video clip from the Table 1 library.
+	Clip = media.Clip
+	// ClipSet is one Table 1 data set (same content, both formats).
+	ClipSet = media.ClipSet
+	// Format distinguishes RealVideo from Windows Media.
+	Format = media.Format
+	// Class is the advertised-rate grouping (low/high/very-high).
+	Class = media.Class
+
+	// PairRun is one paired streaming experiment's full result.
+	PairRun = core.PairRun
+	// Options selects ablation variants of the experiment.
+	Options = core.Options
+	// FlowProfile is the turbulence characterisation of one flow.
+	FlowProfile = core.FlowProfile
+	// FlowModel is the Section IV fitted synthetic-flow generator.
+	FlowModel = core.FlowModel
+	// Comparison pairs the two players' profiles for one run.
+	Comparison = core.Comparison
+	// SiteProfile describes one server site's network path.
+	SiteProfile = core.SiteProfile
+	// Testbed is the full simulated apparatus.
+	Testbed = core.Testbed
+
+	// Trace is a packet capture; FlowTrace is one flow's slice of it.
+	Trace = capture.Trace
+	// FlowTrace is the per-flow view of a Trace.
+	FlowTrace = capture.FlowTrace
+	// Filter is a compiled display-filter expression.
+	Filter = capture.Filter
+
+	// Point is one (x, y) sample of a series.
+	Point = stats.Point
+
+	// Result is a regenerated paper table/figure.
+	Result = experiments.Result
+	// ExperimentContext caches pair runs across experiments.
+	ExperimentContext = experiments.Context
+
+	// RNG is the deterministic random stream used by generators.
+	RNG = eventsim.RNG
+
+	// Flow identifies a unidirectional UDP flow.
+	Flow = inet.Flow
+	// Endpoint is an (address, port) pair.
+	Endpoint = inet.Endpoint
+	// Addr is an IPv4 address.
+	Addr = inet.Addr
+	// Port is a UDP port number.
+	Port = inet.Port
+)
+
+// Format and class constants.
+const (
+	Real         = media.Real
+	WindowsMedia = media.WindowsMedia
+	Low          = media.Low
+	High         = media.High
+	VeryHigh     = media.VeryHigh
+)
+
+// Library returns the paper's Table 1 clip library (6 sets, 26 clips).
+func Library() []ClipSet { return media.Library() }
+
+// AllClips flattens the library.
+func AllClips() []Clip { return media.AllClips() }
+
+// FindClip locates a clip by set number, format and class.
+func FindClip(set int, f Format, class Class) (Clip, bool) {
+	return media.FindClip(set, f, class)
+}
+
+// Sites returns the six simulated server sites.
+func Sites() []SiteProfile { return core.Sites() }
+
+// NewTestbed builds the full apparatus (client, six sites, all clips
+// registered) for callers that script their own sessions.
+func NewTestbed(seed int64) *Testbed { return core.NewTestbed(seed) }
+
+// RunPair executes the paper's unit experiment: the given set's clip pair
+// of the given class streamed simultaneously in both formats, fully
+// instrumented. Deterministic in seed.
+func RunPair(seed int64, set int, class Class) (*PairRun, error) {
+	return core.RunPair(seed, set, class)
+}
+
+// RunPairWith is RunPair with ablation options.
+func RunPairWith(seed int64, set int, class Class, opts Options) (*PairRun, error) {
+	return core.RunPairWith(seed, set, class, opts)
+}
+
+// RunAll executes all 13 Table 1 pair experiments.
+func RunAll(seed int64) ([]*PairRun, error) { return core.RunAll(seed) }
+
+// ProfileFlow computes the turbulence profile of a captured flow.
+func ProfileFlow(ft *FlowTrace) FlowProfile { return core.ProfileFlow(ft) }
+
+// Compare profiles both flows of a pair run.
+func Compare(run *PairRun) Comparison { return core.Compare(run) }
+
+// FitModel extracts a Section IV flow model from a captured flow.
+func FitModel(ft *FlowTrace) FlowModel { return core.FitModel(ft) }
+
+// NewRNG returns a deterministic random stream.
+func NewRNG(seed int64) *RNG { return eventsim.NewRNG(seed) }
+
+// CompileFilter compiles an Ethereal-style display filter, e.g.
+// "udp.port == 1755 && ip.contfrag".
+func CompileFilter(expr string) (*Filter, error) { return capture.Compile(expr) }
+
+// NewExperimentContext creates a cached run context for regenerating
+// paper artifacts.
+func NewExperimentContext(seed int64) *ExperimentContext {
+	return experiments.NewContext(seed)
+}
+
+// ExperimentIDs lists every regenerable table/figure id.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one paper table/figure by id ("table1",
+// "fig01".."fig15", "sec4", "ablation-*").
+func RunExperiment(ctx *ExperimentContext, id string) (*Result, error) {
+	return experiments.Run(ctx, id)
+}
+
+// GenerateFlow synthesises a flow trace from a fitted model — the paper's
+// Section IV simulation recipe.
+func GenerateFlow(m FlowModel, rng *RNG, duration time.Duration, flow Flow) *Trace {
+	return m.Generate(rng, duration, flow)
+}
