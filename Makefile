@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test vet bench bench-quick clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full benchmark sweep in benchstat-compatible format. Writes the run to
+# BENCH_current.txt (gitignored) so it can be diffed against the committed
+# baseline in BENCH_baseline.json:
+#
+#	make bench
+#	benchstat <(scripts/bench.sh baseline) BENCH_current.txt
+bench:
+	scripts/bench.sh | tee BENCH_current.txt
+
+# The three hot-path benchmarks only, one iteration — a fast smoke signal.
+bench-quick:
+	$(GO) test -run=NONE -bench='BenchmarkPairRun$$|BenchmarkProfileFlow$$|BenchmarkFilterMatch$$' -benchmem -benchtime=2x .
+
+clean:
+	rm -f BENCH_current.txt
+	$(GO) clean ./...

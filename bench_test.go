@@ -71,6 +71,34 @@ func BenchmarkPairRun(b *testing.B) {
 	}
 }
 
+// BenchmarkRunAllSequential regenerates all 13 Table 1 pair experiments on
+// one core — the workload behind every all-data-set figure.
+func BenchmarkRunAllSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs, err := turbulence.RunAll(2002)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(runs) != 13 {
+			b.Fatalf("got %d runs", len(runs))
+		}
+	}
+}
+
+// BenchmarkRunAllParallel is the same workload fanned out across all
+// cores; results are byte-identical to the sequential run.
+func BenchmarkRunAllParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs, err := turbulence.RunAllParallel(2002, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(runs) != 13 {
+			b.Fatalf("got %d runs", len(runs))
+		}
+	}
+}
+
 // BenchmarkFlowGeneration measures the Section IV synthetic generator
 // alone: one 60-second flow per iteration from a pre-fitted model.
 func BenchmarkFlowGeneration(b *testing.B) {

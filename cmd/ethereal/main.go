@@ -122,8 +122,8 @@ func dumpCmd(args []string) {
 		tr = filt.Apply(tr)
 	}
 	n := 0
-	for i := range tr.Records {
-		fmt.Println(tr.Records[i].String())
+	for i := 0; i < tr.Len(); i++ {
+		fmt.Println(tr.At(i).String())
 		n++
 		if *limit > 0 && n >= *limit {
 			fmt.Printf("... (%d more)\n", tr.Len()-n)

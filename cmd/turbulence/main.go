@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	turbulence [-seed N] [-experiment id] [-list] [-points]
+//	turbulence [-seed N] [-experiment id] [-parallel N] [-list] [-points]
 //
 // With no -experiment it runs everything, printing each artifact's rows,
 // series summaries and headline notes. -points includes full series data
-// (suitable for piping into a plotting tool).
+// (suitable for piping into a plotting tool). -parallel fans independent
+// pair runs out across a worker pool (0, the default, uses every core);
+// output is byte-identical to -parallel 1, just faster.
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 func main() {
 	seed := flag.Int64("seed", 2002, "base random seed (runs are deterministic per seed)")
 	experiment := flag.String("experiment", "", "run a single experiment id (default: all)")
+	parallel := flag.Int("parallel", 0, "worker pool size for independent pair runs (1 = sequential, 0 = all cores); results are identical either way")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	points := flag.Bool("points", false, "print full series point data")
 	csvDir := flag.String("csv", "", "also write each experiment's series/rows as CSV files into this directory")
@@ -44,7 +47,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	ctx := turbulence.NewExperimentContext(*seed)
+	ctx := turbulence.NewExperimentContext(*seed).SetParallel(*parallel)
 	for _, id := range ids {
 		res, err := turbulence.RunExperiment(ctx, id)
 		if err != nil {

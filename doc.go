@@ -17,6 +17,18 @@
 // Every run is seeded: identical (seed, set, class) triples produce
 // byte-identical traces.
 //
+// # Concurrency model
+//
+// Each simulation run is strictly single-threaded: one Scheduler owns one
+// testbed, and all model code executes inside event callbacks on that
+// scheduler's goroutine, which is what makes runs deterministic.
+// Parallelism lives one level up — independent pair runs (different seeds,
+// private testbeds, no shared mutable state) fan out across a worker pool
+// via RunAllParallel, core.RunPairs, or an experiment context's
+// SetParallel. Because every pair is seeded by core.SeedFor regardless of
+// which worker executes it, parallel output is byte-identical to
+// sequential output; only wall-clock time changes.
+//
 // # Layout
 //
 // The facade re-exports the pieces most programs need. The full substrate

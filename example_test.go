@@ -34,8 +34,8 @@ func ExampleCompileFilter() {
 	}
 	sub := fullFragments.Apply(run.Trace)
 	fmt.Printf("matched MTU-sized continuation fragments: %t\n", sub.Len() > 0)
-	for i := range sub.Records {
-		if !sub.Records[i].IsContinuationFragment() || sub.Records[i].WireLen != 1514 {
+	for i := 0; i < sub.Len(); i++ {
+		if !sub.At(i).IsContinuationFragment() || sub.At(i).WireLen != 1514 {
 			fmt.Println("filter leaked a non-matching record")
 		}
 	}

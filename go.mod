@@ -1,0 +1,3 @@
+module turbulence
+
+go 1.24

@@ -1,0 +1,85 @@
+package capture
+
+import (
+	"testing"
+	"time"
+
+	"turbulence/internal/inet"
+	"turbulence/internal/netsim"
+)
+
+// TestSnifferAppendAllocs is the allocation-regression guard for the
+// capture hot path: once the record store has capacity, recording one wire
+// packet (parse + append) must not allocate — no eager serialisation, no
+// per-record copies.
+func TestSnifferAppendAllocs(t *testing.T) {
+	d, err := inet.BuildUDP(srvEP, cliEP, 7, make([]byte, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &Trace{}
+	tr.Grow(1 << 16)
+	at := time.Duration(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		at += time.Millisecond
+		tr.Append(parseRecord(at, netsim.Recv, d))
+	})
+	if allocs > 0 {
+		t.Fatalf("sniffer append path allocates %.2f times per record, want 0", allocs)
+	}
+}
+
+// TestFilterViewSharesStorage asserts Filter returns a view, not a copy:
+// mutating a record through the view must be visible in the parent.
+func TestFilterViewSharesStorage(t *testing.T) {
+	tr := &Trace{}
+	for i := 0; i < 10; i++ {
+		tr.Append(mkRecord(t, float64(i), 100, uint16(i)))
+	}
+	sub := tr.Filter(func(r *Record) bool { return r.IPID%2 == 0 })
+	if sub.Len() != 5 {
+		t.Fatalf("filtered len=%d, want 5", sub.Len())
+	}
+	sub.At(0).WireLen = 9999
+	if tr.At(0).WireLen != 9999 {
+		t.Fatal("Filter copied records instead of sharing parent storage")
+	}
+	// Views of views still resolve to the root storage.
+	subsub := sub.Filter(func(r *Record) bool { return r.IPID >= 4 })
+	if subsub.Len() != 3 {
+		t.Fatalf("nested view len=%d, want 3", subsub.Len())
+	}
+	subsub.At(0).WireLen = 4444
+	if tr.At(4).WireLen != 4444 {
+		t.Fatal("nested view does not alias root storage")
+	}
+}
+
+// TestCountIf asserts counting matches filtering without materialising a
+// sub-trace.
+func TestCountIf(t *testing.T) {
+	tr := &Trace{}
+	for i := 0; i < 20; i++ {
+		tr.Append(mkRecord(t, float64(i), 100+i, uint16(i)))
+	}
+	big := func(r *Record) bool { return r.PayloadLen >= 110 }
+	if got, want := tr.CountIf(big), tr.Filter(big).Len(); got != want {
+		t.Fatalf("CountIf=%d, Filter.Len=%d", got, want)
+	}
+	if got := tr.CountIf(func(*Record) bool { return false }); got != 0 {
+		t.Fatalf("CountIf(false)=%d", got)
+	}
+}
+
+// TestAppendToViewPanics locks in that views are read-only.
+func TestAppendToViewPanics(t *testing.T) {
+	tr := &Trace{}
+	tr.Append(mkRecord(t, 0, 100, 1))
+	view := tr.Filter(func(*Record) bool { return true })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Append on a view did not panic")
+		}
+	}()
+	view.Append(mkRecord(t, 1, 100, 2))
+}

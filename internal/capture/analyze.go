@@ -11,10 +11,32 @@ import (
 // FlowTrace is the slice of a trace belonging to one UDP flow, with
 // continuation fragments attributed to the flow via their IP ID (a sniffer
 // sees no ports on non-first fragments; the paper's Ethereal resolved them
-// the same way).
+// the same way). It is an index-based view over the parent trace's record
+// storage: extracting flows copies indices, never records.
 type FlowTrace struct {
-	Flow    inet.Flow
-	Records []Record
+	Flow inet.Flow
+
+	owner *Trace
+	idx   []int32
+}
+
+// Len reports the number of wire packets in the flow.
+func (f *FlowTrace) Len() int { return len(f.idx) }
+
+// At returns the i-th wire packet of the flow; the pointer aliases the
+// parent trace's storage.
+func (f *FlowTrace) At(i int) *Record { return &f.owner.recs[f.idx[i]] }
+
+// Where returns the sub-flow of packets for which keep returns true, as a
+// view sharing the same storage.
+func (f *FlowTrace) Where(keep func(*Record) bool) *FlowTrace {
+	idx := make([]int32, 0, len(f.idx))
+	for _, i := range f.idx {
+		if keep(&f.owner.recs[i]) {
+			idx = append(idx, i)
+		}
+	}
+	return &FlowTrace{Flow: f.Flow, owner: f.owner, idx: idx}
 }
 
 // SplitFlows partitions received UDP records into flows. Records are
@@ -25,11 +47,13 @@ func (t *Trace) SplitFlows() []*FlowTrace {
 		src, dst inet.Addr
 		id       uint16
 	}
+	owner := t.owner()
 	byFlow := make(map[inet.Flow]*FlowTrace)
 	var order []inet.Flow
 	trains := make(map[trainKey]inet.Flow)
-	for i := range t.Records {
-		r := &t.Records[i]
+	n := t.Len()
+	for i := 0; i < n; i++ {
+		r := t.At(i)
 		if r.Proto != inet.ProtoUDP && r.Proto != inet.ProtoTCP {
 			continue
 		}
@@ -48,11 +72,11 @@ func (t *Trace) SplitFlows() []*FlowTrace {
 		}
 		ft := byFlow[flow]
 		if ft == nil {
-			ft = &FlowTrace{Flow: flow}
+			ft = &FlowTrace{Flow: flow, owner: owner}
 			byFlow[flow] = ft
 			order = append(order, flow)
 		}
-		ft.Records = append(ft.Records, *r)
+		ft.idx = append(ft.idx, t.storageIndex(i))
 	}
 	out := make([]*FlowTrace, 0, len(order))
 	for _, f := range order {
@@ -72,27 +96,25 @@ func (t *Trace) FlowTo(dstPort inet.Port) *FlowTrace {
 	return nil
 }
 
-// Len reports the number of wire packets in the flow.
-func (f *FlowTrace) Len() int { return len(f.Records) }
-
 // PacketSizes returns the wire sizes in bytes of every packet, the sample
 // behind the paper's Figure 6/7 PDFs.
 func (f *FlowTrace) PacketSizes() []float64 {
-	out := make([]float64, len(f.Records))
-	for i := range f.Records {
-		out[i] = float64(f.Records[i].WireLen)
+	out := make([]float64, f.Len())
+	for i := range out {
+		out[i] = float64(f.At(i).WireLen)
 	}
 	return out
 }
 
 // Interarrivals returns successive packet spacing in seconds (Figure 8).
 func (f *FlowTrace) Interarrivals() []float64 {
-	if len(f.Records) < 2 {
+	n := f.Len()
+	if n < 2 {
 		return nil
 	}
-	out := make([]float64, 0, len(f.Records)-1)
-	for i := 1; i < len(f.Records); i++ {
-		out = append(out, (f.Records[i].At - f.Records[i-1].At).Seconds())
+	out := make([]float64, 0, n-1)
+	for i := 1; i < n; i++ {
+		out = append(out, (f.At(i).At - f.At(i-1).At).Seconds())
 	}
 	return out
 }
@@ -103,9 +125,10 @@ func (f *FlowTrace) Interarrivals() []float64 {
 // Figure 9 "to remove the noise caused by the IP fragments".
 func (f *FlowTrace) GroupInterarrivals() []float64 {
 	var firsts []time.Duration
-	for i := range f.Records {
-		if f.Records[i].FragOff == 0 { // whole datagram or first fragment
-			firsts = append(firsts, f.Records[i].At)
+	n := f.Len()
+	for i := 0; i < n; i++ {
+		if f.At(i).FragOff == 0 { // whole datagram or first fragment
+			firsts = append(firsts, f.At(i).At)
 		}
 	}
 	if len(firsts) < 2 {
@@ -138,9 +161,9 @@ func (s FragmentStats) ContinuationShare() float64 {
 // Fragmentation computes the flow's fragment statistics.
 func (f *FlowTrace) Fragmentation() FragmentStats {
 	var s FragmentStats
-	s.Packets = len(f.Records)
-	for i := range f.Records {
-		r := &f.Records[i]
+	s.Packets = f.Len()
+	for i := 0; i < s.Packets; i++ {
+		r := f.At(i)
 		if r.FragOff == 0 {
 			s.Datagrams++
 		} else {
@@ -157,8 +180,9 @@ func (f *FlowTrace) Fragmentation() FragmentStats {
 // given bucket width (Figure 10 uses one-second buckets).
 func (f *FlowTrace) BandwidthSeries(bucket time.Duration) []stats.Point {
 	var ts stats.TimeSeries
-	for i := range f.Records {
-		ts.Add(f.Records[i].At, float64(f.Records[i].WireLen*8))
+	n := f.Len()
+	for i := 0; i < n; i++ {
+		ts.Add(f.At(i).At, float64(f.At(i).WireLen*8))
 	}
 	return ts.RateSeries(bucket)
 }
@@ -166,14 +190,15 @@ func (f *FlowTrace) BandwidthSeries(bucket time.Duration) []stats.Point {
 // AverageRate returns the flow's mean throughput in bits/second across its
 // active duration (first to last packet).
 func (f *FlowTrace) AverageRate() float64 {
-	if len(f.Records) < 2 {
+	n := f.Len()
+	if n < 2 {
 		return 0
 	}
 	var bits float64
-	for i := range f.Records {
-		bits += float64(f.Records[i].WireLen * 8)
+	for i := 0; i < n; i++ {
+		bits += float64(f.At(i).WireLen * 8)
 	}
-	span := (f.Records[len(f.Records)-1].At - f.Records[0].At).Seconds()
+	span := (f.At(n-1).At - f.At(0).At).Seconds()
 	if span <= 0 {
 		return 0
 	}
@@ -185,8 +210,9 @@ func (f *FlowTrace) AverageRate() float64 {
 // at the first packet of the flow so concurrent flows can be overlaid.
 func (f *FlowTrace) SequencePoints(from, to time.Duration) []stats.Point {
 	var out []stats.Point
-	for i := range f.Records {
-		at := f.Records[i].At
+	n := f.Len()
+	for i := 0; i < n; i++ {
+		at := f.At(i).At
 		if at >= from && at < to {
 			out = append(out, stats.Point{X: at.Seconds(), Y: float64(i)})
 		}
@@ -199,8 +225,9 @@ func (f *FlowTrace) SequencePoints(from, to time.Duration) []stats.Point {
 func (f *FlowTrace) TrainLengths() []int {
 	var out []int
 	count := 0
-	for i := range f.Records {
-		if f.Records[i].FragOff == 0 {
+	n := f.Len()
+	for i := 0; i < n; i++ {
+		if f.At(i).FragOff == 0 {
 			if count > 0 {
 				out = append(out, count)
 			}
@@ -215,23 +242,19 @@ func (f *FlowTrace) TrainLengths() []int {
 	return out
 }
 
-// Window narrows the flow trace to records in [from, to).
+// Window narrows the flow trace to records in [from, to), as a view over
+// the same storage.
 func (f *FlowTrace) Window(from, to time.Duration) *FlowTrace {
-	out := &FlowTrace{Flow: f.Flow}
-	for i := range f.Records {
-		if at := f.Records[i].At; at >= from && at < to {
-			out.Records = append(out.Records, f.Records[i])
-		}
-	}
-	return out
+	return f.Where(func(r *Record) bool { return r.At >= from && r.At < to })
 }
 
 // DistinctSizes returns the sorted distinct wire sizes and their counts;
 // useful to assert the CBR "all packets the same size" property.
 func (f *FlowTrace) DistinctSizes() ([]int, []int) {
 	counts := make(map[int]int)
-	for i := range f.Records {
-		counts[f.Records[i].WireLen]++
+	n := f.Len()
+	for i := 0; i < n; i++ {
+		counts[f.At(i).WireLen]++
 	}
 	sizes := make([]int, 0, len(counts))
 	for sz := range counts {

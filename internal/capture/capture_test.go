@@ -287,8 +287,8 @@ func TestTraceFileRoundTrip(t *testing.T) {
 	if got.Len() != tr.Len() {
 		t.Fatalf("round trip len=%d, want %d", got.Len(), tr.Len())
 	}
-	for i := range tr.Records {
-		a, b := &tr.Records[i], &got.Records[i]
+	for i := 0; i < tr.Len(); i++ {
+		a, b := tr.At(i), got.At(i)
 		if a.At != b.At || a.WireLen != b.WireLen || a.IPID != b.IPID ||
 			a.FragOff != b.FragOff || a.HasPorts != b.HasPorts || a.Dir != b.Dir {
 			t.Fatalf("record %d mismatch:\n%+v\n%+v", i, a, b)
@@ -405,8 +405,8 @@ func TestTCPRecordsAnalyzable(t *testing.T) {
 	if ft.Flow.Src != srvEP || ft.Flow.Dst != cliEP {
 		t.Fatalf("flow=%v", ft.Flow)
 	}
-	if ft.Records[0].PayloadLen != 1460 {
-		t.Fatalf("payload len=%d", ft.Records[0].PayloadLen)
+	if ft.At(0).PayloadLen != 1460 {
+		t.Fatalf("payload len=%d", ft.At(0).PayloadLen)
 	}
 	// File round trip preserves TCP records.
 	var buf bytes.Buffer

@@ -17,8 +17,9 @@ import (
 	"turbulence/internal/stats"
 )
 
-// Record is one captured wire packet, pre-parsed for analysis. CapLen
-// bytes of the original datagram are retained for file round trips.
+// Record is one captured wire packet, pre-parsed for analysis. The original
+// datagram is retained by reference; its wire bytes are serialised lazily,
+// only when a trace-file writer asks for them.
 type Record struct {
 	At      time.Duration // capture time relative to the trace epoch
 	Dir     netsim.Direction
@@ -38,8 +39,10 @@ type Record struct {
 	SrcPort, DstPort inet.Port
 	PayloadLen       int // UDP payload bytes in this wire packet
 
-	// Raw holds the captured datagram bytes for serialisation.
-	Raw []byte
+	// dgram is the captured datagram, serialised on demand. It is nil for
+	// synthetic records (e.g. from the Section IV flow generator), which
+	// have no wire bytes.
+	dgram *inet.Datagram
 }
 
 // IsFragment reports whether the record is any fragment of a larger
@@ -61,6 +64,24 @@ func (r *Record) Flow() (inet.Flow, bool) {
 		Src: inet.Endpoint{Addr: r.Src, Port: r.SrcPort},
 		Dst: inet.Endpoint{Addr: r.Dst, Port: r.DstPort},
 	}, true
+}
+
+// Raw serialises the captured datagram to IP wire bytes. It returns nil for
+// synthetic records.
+func (r *Record) Raw() []byte { return r.AppendRaw(nil) }
+
+// AppendRaw appends the captured datagram's wire bytes to dst, returning
+// the extended slice; trace writers reuse one scratch buffer across records
+// this way. Synthetic records append nothing.
+func (r *Record) AppendRaw(dst []byte) []byte {
+	if r.dgram == nil {
+		return dst
+	}
+	b, err := r.dgram.AppendMarshal(dst)
+	if err != nil {
+		return dst
+	}
+	return b
 }
 
 // String renders a one-line packet summary in the spirit of a sniffer's
@@ -87,35 +108,108 @@ func (r *Record) String() string {
 		r.At.Seconds(), r.Dir, proto, r.Src, r.Dst, r.WireLen, ports, frag)
 }
 
-// Trace is an ordered sequence of captured packets.
+// Trace is an ordered sequence of captured packets. A Trace is either an
+// owner (it holds the record storage) or a view produced by Filter/Recv: an
+// index list over an owner's records, sharing storage instead of copying
+// it. Both kinds answer the full read-only analysis API.
 type Trace struct {
-	Records []Record
+	recs   []Record
+	parent *Trace  // non-nil for views; always the owning trace
+	idx    []int32 // view positions within parent.recs
 }
 
 // Len reports the number of captured packets.
-func (t *Trace) Len() int { return len(t.Records) }
+func (t *Trace) Len() int {
+	if t.parent != nil {
+		return len(t.idx)
+	}
+	return len(t.recs)
+}
+
+// At returns the i-th record. Views resolve through to the parent's
+// storage, so the pointer is stable and shared with the owner.
+func (t *Trace) At(i int) *Record {
+	if t.parent != nil {
+		return &t.parent.recs[t.idx[i]]
+	}
+	return &t.recs[i]
+}
 
 // Duration returns the timestamp of the last record.
 func (t *Trace) Duration() time.Duration {
-	if len(t.Records) == 0 {
+	n := t.Len()
+	if n == 0 {
 		return 0
 	}
-	return t.Records[len(t.Records)-1].At
+	return t.At(n - 1).At
 }
 
 // Append adds a record, keeping the trace usable as a streaming sink.
-func (t *Trace) Append(r Record) { t.Records = append(t.Records, r) }
+// Appending to a view panics: views are read-only.
+func (t *Trace) Append(r Record) {
+	if t.parent != nil {
+		panic("capture: Append on a trace view")
+	}
+	t.recs = append(t.recs, r)
+}
 
-// Filter returns a new Trace containing the records for which keep returns
-// true.
+// Grow preallocates capacity for at least n additional records, so
+// streaming sinks that know their order of magnitude avoid repeated
+// re-allocation of the record store.
+func (t *Trace) Grow(n int) {
+	if t.parent != nil {
+		panic("capture: Grow on a trace view")
+	}
+	if free := cap(t.recs) - len(t.recs); free < n {
+		recs := make([]Record, len(t.recs), len(t.recs)+n)
+		copy(recs, t.recs)
+		t.recs = recs
+	}
+}
+
+// owner returns the trace holding the backing storage (itself, unless this
+// trace is a view).
+func (t *Trace) owner() *Trace {
+	if t.parent != nil {
+		return t.parent
+	}
+	return t
+}
+
+// storageIndex maps position i in this trace to an index in the owner's
+// record storage.
+func (t *Trace) storageIndex(i int) int32 {
+	if t.parent != nil {
+		return t.idx[i]
+	}
+	return int32(i)
+}
+
+// Filter returns the sub-trace of records for which keep returns true, as a
+// view sharing this trace's storage. The index is preallocated to the
+// input length, so one pass suffices.
 func (t *Trace) Filter(keep func(*Record) bool) *Trace {
-	out := &Trace{}
-	for i := range t.Records {
-		if keep(&t.Records[i]) {
-			out.Records = append(out.Records, t.Records[i])
+	n := t.Len()
+	idx := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		if keep(t.At(i)) {
+			idx = append(idx, t.storageIndex(i))
 		}
 	}
-	return out
+	return &Trace{parent: t.owner(), idx: idx}
+}
+
+// CountIf reports how many records match keep, without materialising a
+// sub-trace.
+func (t *Trace) CountIf(keep func(*Record) bool) int {
+	n := t.Len()
+	count := 0
+	for i := 0; i < n; i++ {
+		if keep(t.At(i)) {
+			count++
+		}
+	}
+	return count
 }
 
 // Recv returns only received packets — the direction the paper analyses,
@@ -124,7 +218,9 @@ func (t *Trace) Recv() *Trace {
 	return t.Filter(func(r *Record) bool { return r.Dir == netsim.Recv })
 }
 
-// parseRecord builds a Record from a wire datagram.
+// parseRecord builds a Record from a wire datagram. The datagram is
+// retained by reference (it is immutable once captured); serialisation is
+// deferred until a writer needs the bytes.
 func parseRecord(at time.Duration, dir netsim.Direction, d *inet.Datagram) Record {
 	r := Record{
 		At:       at,
@@ -137,6 +233,7 @@ func parseRecord(at time.Duration, dir netsim.Direction, d *inet.Datagram) Recor
 		FragOff:  d.Header.FragOff,
 		MoreFrag: d.Header.MoreFragments(),
 		IPLen:    d.Len(),
+		dgram:    d,
 	}
 	if f, ok := d.FlowOf(); ok {
 		r.HasPorts = true
@@ -152,11 +249,13 @@ func parseRecord(at time.Duration, dir netsim.Direction, d *inet.Datagram) Recor
 		// bandwidth; ports resolved later via the IP ID.
 		r.PayloadLen = len(d.Payload)
 	}
-	if b, err := d.Marshal(); err == nil {
-		r.Raw = b
-	}
 	return r
 }
+
+// snifferPrealloc sizes the initial record store; a full paired streaming
+// run captures tens of thousands of packets, so starting at a few thousand
+// skips the noisy early growth steps without burdening short tests.
+const snifferPrealloc = 4096
 
 // Sniffer taps a host NIC and accumulates a Trace, timestamping records
 // relative to the moment it was attached (the paper starts Ethereal as each
@@ -171,6 +270,7 @@ type Sniffer struct {
 // Attach starts capturing at h's NIC.
 func Attach(h *netsim.Host) *Sniffer {
 	s := &Sniffer{epoch: h.Now()}
+	s.trace.Grow(snifferPrealloc)
 	h.Tap(func(now eventsim.Time, dir netsim.Direction, d *inet.Datagram) {
 		if s.RecvOnly && dir != netsim.Recv {
 			return

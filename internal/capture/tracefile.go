@@ -33,8 +33,9 @@ var (
 
 // Writer streams records to a trace file.
 type Writer struct {
-	w   *bufio.Writer
-	err error
+	w       *bufio.Writer
+	scratch []byte // reused per-record serialisation buffer
+	err     error
 }
 
 // NewWriter writes the file header and returns a record writer.
@@ -51,12 +52,16 @@ func NewWriter(w io.Writer) (*Writer, error) {
 	return &Writer{w: bw}, nil
 }
 
-// WriteRecord appends one record.
+// WriteRecord appends one record, serialising the captured datagram into
+// the writer's scratch buffer (this is the only place wire bytes are
+// materialised).
 func (w *Writer) WriteRecord(r *Record) error {
 	if w.err != nil {
 		return w.err
 	}
-	capLen := len(r.Raw)
+	w.scratch = r.AppendRaw(w.scratch[:0])
+	raw := w.scratch
+	capLen := len(raw)
 	if capLen > 0xFFFF {
 		capLen = 0xFFFF
 	}
@@ -69,17 +74,18 @@ func (w *Writer) WriteRecord(r *Record) error {
 		w.err = err
 		return err
 	}
-	if _, err := w.w.Write(r.Raw[:capLen]); err != nil {
+	if _, err := w.w.Write(raw[:capLen]); err != nil {
 		w.err = err
 		return err
 	}
 	return nil
 }
 
-// WriteTrace writes every record of t.
+// WriteTrace writes every record of t (views write their visible subset).
 func (w *Writer) WriteTrace(t *Trace) error {
-	for i := range t.Records {
-		if err := w.WriteRecord(&t.Records[i]); err != nil {
+	n := t.Len()
+	for i := 0; i < n; i++ {
+		if err := w.WriteRecord(t.At(i)); err != nil {
 			return err
 		}
 	}

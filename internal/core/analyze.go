@@ -100,9 +100,9 @@ func ProfileFlow(ft *capture.FlowTrace) FlowProfile {
 // firstPacketSizes returns wire sizes of datagram-initial packets.
 func firstPacketSizes(ft *capture.FlowTrace) []float64 {
 	var out []float64
-	for i := range ft.Records {
-		if ft.Records[i].FragOff == 0 {
-			out = append(out, float64(ft.Records[i].WireLen))
+	for i, n := 0, ft.Len(); i < n; i++ {
+		if r := ft.At(i); r.FragOff == 0 {
+			out = append(out, float64(r.WireLen))
 		}
 	}
 	return out
@@ -113,15 +113,16 @@ func burstRatio(ft *capture.FlowTrace) float64 {
 	if ft.Len() < 2 {
 		return 0
 	}
-	start := ft.Records[0].At
-	end := ft.Records[ft.Len()-1].At
+	start := ft.At(0).At
+	end := ft.At(ft.Len() - 1).At
 	span := end - start
 	if span <= burstWindow*2 {
 		return 1
 	}
 	var ts stats.TimeSeries
-	for i := range ft.Records {
-		ts.Add(ft.Records[i].At-start, float64(ft.Records[i].WireLen*8))
+	for i, n := 0, ft.Len(); i < n; i++ {
+		r := ft.At(i)
+		ts.Add(r.At-start, float64(r.WireLen*8))
 	}
 	early := ts.WindowSum(0, burstWindow) / burstWindow.Seconds()
 	tailStart := time.Duration(float64(span) * (1 - steadyTail))

@@ -207,8 +207,8 @@ func TestRunPairDeterminism(t *testing.T) {
 	if a.Trace.Len() != b.Trace.Len() {
 		t.Fatalf("trace lengths differ: %d vs %d", a.Trace.Len(), b.Trace.Len())
 	}
-	for i := range a.Trace.Records {
-		ra, rb := a.Trace.Records[i], b.Trace.Records[i]
+	for i := 0; i < a.Trace.Len(); i++ {
+		ra, rb := a.Trace.At(i), b.Trace.At(i)
 		if ra.At != rb.At || ra.WireLen != rb.WireLen {
 			t.Fatalf("record %d differs", i)
 		}
@@ -322,11 +322,11 @@ func earlyRate(ft *capture.FlowTrace) float64 {
 	if ft.Len() == 0 {
 		return 0
 	}
-	start := ft.Records[0].At
+	start := ft.At(0).At
 	var bits float64
-	for i := range ft.Records {
-		if ft.Records[i].At-start <= 8*time.Second {
-			bits += float64(ft.Records[i].WireLen * 8)
+	for i, n := 0, ft.Len(); i < n; i++ {
+		if r := ft.At(i); r.At-start <= 8*time.Second {
+			bits += float64(r.WireLen * 8)
 		}
 	}
 	return bits / 8
@@ -349,7 +349,7 @@ func TestRunSubset(t *testing.T) {
 		t.Fatalf("subset: %d runs", len(runs))
 	}
 	// Subset results equal standalone runs with the derived seeds.
-	solo, err := RunPair(seedFor(12, keys[0]), 2, media.Low)
+	solo, err := RunPair(SeedFor(12, keys[0]), 2, media.Low)
 	if err != nil {
 		t.Fatal(err)
 	}

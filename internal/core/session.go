@@ -2,6 +2,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"turbulence/internal/capture"
@@ -203,38 +206,81 @@ func AllPairs() []PairKey {
 	return out
 }
 
-// seedFor derives a per-pair seed from a base seed so runs are independent
-// but reproducible.
-func seedFor(base int64, k PairKey) int64 {
+// SeedFor derives a per-pair seed from a base seed so runs are independent
+// but reproducible. Every execution path — sequential or parallel — seeds
+// a pair experiment through this one function, which is what makes the two
+// paths byte-identical.
+func SeedFor(base int64, k PairKey) int64 {
 	return base*1000003 + int64(k.Set)*101 + int64(k.Class)*13
 }
 
-// RunAll executes every Table 1 pair experiment. It is the workhorse
-// behind the all-data-set figures (3, 5, 7, 9, 11, 14, 15).
-func RunAll(baseSeed int64) ([]*PairRun, error) {
-	var out []*PairRun
-	for _, k := range AllPairs() {
-		run, err := RunPair(seedFor(baseSeed, k), k.Set, k.Class)
+// RunPairs executes the listed pair experiments, fanning out across up to
+// workers goroutines (workers <= 1 runs sequentially on the calling
+// goroutine; workers == 0 uses GOMAXPROCS). Each run owns a private
+// single-threaded Scheduler and testbed seeded via SeedFor, so every run
+// is bit-for-bit identical to its sequential counterpart, and results come
+// back in key order regardless of completion order. On error the first
+// failure (in key order) is reported.
+func RunPairs(baseSeed int64, keys []PairKey, workers int) ([]*PairRun, error) {
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	out := make([]*PairRun, len(keys))
+	if workers <= 1 {
+		for i, k := range keys {
+			run, err := RunPair(SeedFor(baseSeed, k), k.Set, k.Class)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = run
+		}
+		return out, nil
+	}
+	errs := make([]error, len(keys))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(keys) {
+					return
+				}
+				k := keys[i]
+				out[i], errs[i] = RunPair(SeedFor(baseSeed, k), k.Set, k.Class)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, run)
 	}
 	return out, nil
+}
+
+// RunAll executes every Table 1 pair experiment sequentially. It is the
+// workhorse behind the all-data-set figures (3, 5, 7, 9, 11, 14, 15).
+func RunAll(baseSeed int64) ([]*PairRun, error) {
+	return RunPairs(baseSeed, AllPairs(), 1)
+}
+
+// RunAllParallel is RunAll with the pair runs fanned out across a worker
+// pool; output is deterministic and identical to RunAll.
+func RunAllParallel(baseSeed int64, workers int) ([]*PairRun, error) {
+	return RunPairs(baseSeed, AllPairs(), workers)
 }
 
 // RunSubset executes the listed pair experiments only; figure generators
 // that need a single set use this to stay fast.
 func RunSubset(baseSeed int64, keys []PairKey) ([]*PairRun, error) {
-	var out []*PairRun
-	for _, k := range keys {
-		run, err := RunPair(seedFor(baseSeed, k), k.Set, k.Class)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, run)
-	}
-	return out, nil
+	return RunPairs(baseSeed, keys, 1)
 }
 
 // DataEndpointWMP returns the client data endpoint for MediaPlayer flows.

@@ -1,9 +1,11 @@
 // Package eventsim provides the discrete-event simulation engine that the
 // turbulence network and player models run on: a virtual clock, an event
-// scheduler backed by a binary heap, and deterministic random number
+// scheduler backed by a pooled 4-ary heap, and deterministic random number
 // utilities. Everything in the repository that "takes time" is an event on a
 // Scheduler; no wall-clock time is ever consulted, so runs are exactly
-// reproducible for a given seed.
+// reproducible for a given seed. Each Scheduler is single-threaded;
+// concurrency lives one level up, where independent experiment runs each
+// own a private Scheduler and fan out across OS threads.
 package eventsim
 
 import (

@@ -1,58 +1,58 @@
 package eventsim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 )
 
 // Event is a unit of scheduled work. The callback runs exactly once, at the
-// event's due time, unless the event is cancelled first.
+// event's due time, unless the event is cancelled first. Events are owned
+// and recycled by their Scheduler; model code holds Timer handles, never
+// bare events.
 type Event struct {
-	when     Time
-	seq      uint64 // tiebreak: FIFO among events at the same instant
-	index    int    // heap index; -1 once removed
-	callback func(now Time)
-	name     string
+	when  Time
+	seq   uint64 // tiebreak: FIFO among events at the same instant
+	index int32  // heap index; -1 once removed
+	gen   uint32 // incremented on every recycle; validates Timer handles
+	name  string
+
+	// Exactly one of fn / afn is set. The afn+arg form lets hot paths
+	// schedule work without allocating a closure per event.
+	fn  func(now Time)
+	afn func(now Time, arg any)
+	arg any
 }
 
-// When returns the simulated time the event is due.
-func (e *Event) When() Time { return e.when }
+// Timer is a cancellable handle to a scheduled event. The zero Timer is
+// valid and behaves as an already-fired event. Because events are pooled,
+// the handle carries the generation it was issued at: a stale handle
+// (fired or cancelled event, possibly recycled since) is detected and
+// ignored rather than cancelling an unrelated event.
+type Timer struct {
+	e   *Event
+	gen uint32
+}
 
-// Name returns the diagnostic label given at scheduling time.
-func (e *Event) Name() string { return e.name }
+// Cancelled reports whether the timer's event is no longer pending (fired,
+// cancelled, or never scheduled).
+func (t Timer) Cancelled() bool { return t.e == nil || t.e.gen != t.gen }
 
-// Cancelled reports whether the event has been removed from its scheduler
-// (either cancelled or already fired).
-func (e *Event) Cancelled() bool { return e.index < 0 }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+// When returns the simulated time the event is due (zero if no longer
+// pending).
+func (t Timer) When() Time {
+	if t.Cancelled() {
+		return 0
 	}
-	return h[i].seq < h[j].seq
+	return t.e.when
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+
+// Name returns the diagnostic label given at scheduling time ("" if no
+// longer pending).
+func (t Timer) Name() string {
+	if t.Cancelled() {
+		return ""
+	}
+	return t.e.name
 }
 
 // ErrStopped is returned by Run when the simulation was halted by Stop
@@ -61,10 +61,18 @@ var ErrStopped = errors.New("eventsim: stopped")
 
 // Scheduler is a single-threaded discrete-event scheduler. It is not safe
 // for concurrent use; all model code runs inside event callbacks on one
-// goroutine, which is what makes runs deterministic.
+// goroutine, which is what makes runs deterministic. (Concurrency in this
+// repository happens one level up: independent experiment runs each own a
+// private Scheduler and fan out across OS threads.)
+//
+// The pending queue is a 4-ary heap: shallower than a binary heap, so the
+// common churn of scheduling and firing touches fewer cache lines per
+// operation. Fired and cancelled events return to a free list, making the
+// steady-state schedule/fire cycle allocation-free.
 type Scheduler struct {
 	now     Time
-	queue   eventHeap
+	queue   []*Event
+	free    []*Event
 	seq     uint64
 	stopped bool
 	fired   uint64
@@ -84,32 +92,82 @@ func (s *Scheduler) Len() int { return len(s.queue) }
 // Fired reports how many events have run so far.
 func (s *Scheduler) Fired() uint64 { return s.fired }
 
-// At schedules fn to run at absolute time when. Scheduling in the past
-// (before Now) panics: the simulation cannot rewind.
-func (s *Scheduler) At(when Time, name string, fn func(now Time)) *Event {
-	if when < s.now {
-		panic(fmt.Sprintf("eventsim: scheduling %q at %v, before now %v", name, when, s.now))
+// alloc takes an event from the free list, refilling it in batches so cold
+// starts amortise to one allocation per 64 events.
+func (s *Scheduler) alloc() *Event {
+	if len(s.free) == 0 {
+		batch := make([]Event, 64)
+		for i := range batch {
+			s.free = append(s.free, &batch[i])
+		}
 	}
-	e := &Event{when: when, seq: s.seq, callback: fn, name: name}
-	s.seq++
-	heap.Push(&s.queue, e)
+	e := s.free[len(s.free)-1]
+	s.free = s.free[:len(s.free)-1]
 	return e
 }
 
+// release invalidates outstanding Timer handles to e and returns it to the
+// free list.
+func (s *Scheduler) release(e *Event) {
+	e.gen++
+	e.index = -1
+	e.name = ""
+	e.fn = nil
+	e.afn = nil
+	e.arg = nil
+	s.free = append(s.free, e)
+}
+
+func (s *Scheduler) schedule(when Time, name string, fn func(now Time), afn func(now Time, arg any), arg any) Timer {
+	if when < s.now {
+		panic(fmt.Sprintf("eventsim: scheduling %q at %v, before now %v", name, when, s.now))
+	}
+	e := s.alloc()
+	e.when = when
+	e.seq = s.seq
+	e.name = name
+	e.fn = fn
+	e.afn = afn
+	e.arg = arg
+	s.seq++
+	s.push(e)
+	return Timer{e: e, gen: e.gen}
+}
+
+// At schedules fn to run at absolute time when. Scheduling in the past
+// (before Now) panics: the simulation cannot rewind.
+func (s *Scheduler) At(when Time, name string, fn func(now Time)) Timer {
+	return s.schedule(when, name, fn, nil, nil)
+}
+
 // After schedules fn to run d after the current time.
-func (s *Scheduler) After(d Duration, name string, fn func(now Time)) *Event {
+func (s *Scheduler) After(d Duration, name string, fn func(now Time)) Timer {
 	CheckNonNegative(d)
 	return s.At(s.now.Add(d), name, fn)
 }
 
-// Cancel removes a pending event. Cancelling an event that already fired or
-// was already cancelled is a no-op.
-func (s *Scheduler) Cancel(e *Event) {
-	if e == nil || e.index < 0 {
+// AtArg schedules fn(now, arg) at absolute time when. Passing context via
+// arg instead of closing over it keeps hot paths free of per-event closure
+// allocations; fn should be a static function.
+func (s *Scheduler) AtArg(when Time, name string, fn func(now Time, arg any), arg any) Timer {
+	return s.schedule(when, name, nil, fn, arg)
+}
+
+// AfterArg schedules fn(now, arg) to run d after the current time.
+func (s *Scheduler) AfterArg(d Duration, name string, fn func(now Time, arg any), arg any) Timer {
+	CheckNonNegative(d)
+	return s.AtArg(s.now.Add(d), name, fn, arg)
+}
+
+// Cancel removes a pending event. Cancelling a timer whose event already
+// fired or was already cancelled is a no-op, even if the underlying event
+// has since been recycled for other work.
+func (s *Scheduler) Cancel(t Timer) {
+	if t.Cancelled() {
 		return
 	}
-	heap.Remove(&s.queue, e.index)
-	e.callback = nil
+	s.remove(int(t.e.index))
+	s.release(t.e)
 }
 
 // Step runs the single earliest pending event, advancing the clock to its
@@ -118,13 +176,15 @@ func (s *Scheduler) Step() bool {
 	if len(s.queue) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.queue).(*Event)
+	e := s.popMin()
 	s.now = e.when
 	s.fired++
-	cb := e.callback
-	e.callback = nil
-	if cb != nil {
-		cb(s.now)
+	fn, afn, arg := e.fn, e.afn, e.arg
+	s.release(e)
+	if afn != nil {
+		afn(s.now, arg)
+	} else if fn != nil {
+		fn(s.now)
 	}
 	return true
 }
@@ -174,7 +234,7 @@ func (s *Scheduler) Ticker(interval Duration, name string, fn func(now Time) boo
 	if interval <= 0 {
 		panic("eventsim: Ticker interval must be positive")
 	}
-	var ev *Event
+	var tm Timer
 	stopped := false
 	var tick func(now Time)
 	tick = func(now Time) {
@@ -185,11 +245,105 @@ func (s *Scheduler) Ticker(interval Duration, name string, fn func(now Time) boo
 			stopped = true
 			return
 		}
-		ev = s.After(interval, name, tick)
+		tm = s.After(interval, name, tick)
 	}
-	ev = s.After(interval, name, tick)
+	tm = s.After(interval, name, tick)
 	return func() {
 		stopped = true
-		s.Cancel(ev)
+		s.Cancel(tm)
 	}
+}
+
+// --- 4-ary heap on s.queue, ordered by (when, seq) ---
+
+func eventLess(a, b *Event) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+func (s *Scheduler) push(e *Event) {
+	e.index = int32(len(s.queue))
+	s.queue = append(s.queue, e)
+	s.siftUp(len(s.queue) - 1)
+}
+
+func (s *Scheduler) popMin() *Event {
+	q := s.queue
+	e := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[0].index = 0
+	q[n] = nil
+	s.queue = q[:n]
+	if n > 0 {
+		s.siftDown(0)
+	}
+	e.index = -1
+	return e
+}
+
+// remove deletes the event at heap position i.
+func (s *Scheduler) remove(i int) {
+	q := s.queue
+	n := len(q) - 1
+	e := q[i]
+	if i != n {
+		q[i] = q[n]
+		q[i].index = int32(i)
+	}
+	q[n] = nil
+	s.queue = q[:n]
+	if i < n {
+		s.siftDown(i)
+		s.siftUp(i)
+	}
+	e.index = -1
+}
+
+func (s *Scheduler) siftUp(i int) {
+	q := s.queue
+	e := q[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !eventLess(e, q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		q[i].index = int32(i)
+		i = parent
+	}
+	q[i] = e
+	e.index = int32(i)
+}
+
+func (s *Scheduler) siftDown(i int) {
+	q := s.queue
+	n := len(q)
+	e := q[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if eventLess(q[c], q[min]) {
+				min = c
+			}
+		}
+		if !eventLess(q[min], e) {
+			break
+		}
+		q[i] = q[min]
+		q[i].index = int32(i)
+		i = min
+	}
+	q[i] = e
+	e.index = int32(i)
 }

@@ -60,8 +60,8 @@ func TestSchedulerCancel(t *testing.T) {
 	fired := false
 	e := s.At(At(1), "x", func(Time) { fired = true })
 	s.Cancel(e)
-	s.Cancel(e) // double cancel is a no-op
-	s.Cancel(nil)
+	s.Cancel(e)       // double cancel is a no-op
+	s.Cancel(Timer{}) // zero handle is a no-op
 	s.RunUntilIdle()
 	if fired {
 		t.Fatal("cancelled event fired")
@@ -74,7 +74,7 @@ func TestSchedulerCancel(t *testing.T) {
 func TestSchedulerCancelFromCallback(t *testing.T) {
 	s := NewScheduler()
 	fired := false
-	var victim *Event
+	var victim Timer
 	s.At(At(1), "killer", func(Time) { s.Cancel(victim) })
 	victim = s.At(At(2), "victim", func(Time) { fired = true })
 	s.RunUntilIdle()
@@ -241,6 +241,54 @@ func TestSchedulerOrderingProperty(t *testing.T) {
 	}
 }
 
+func TestStaleTimerDoesNotCancelRecycledEvent(t *testing.T) {
+	// Events are pooled: after a timer's event fires, the Event object may
+	// be reissued for unrelated work. A stale handle must not cancel it.
+	s := NewScheduler()
+	first := s.At(At(1), "first", func(Time) {})
+	s.RunUntilIdle() // first fires; its Event returns to the pool
+	fired := false
+	s.At(At(2), "second", func(Time) { fired = true })
+	s.Cancel(first) // stale: must be a no-op even if the Event was recycled
+	s.RunUntilIdle()
+	if !fired {
+		t.Fatal("stale Cancel killed a recycled event")
+	}
+	if !first.Cancelled() {
+		t.Fatal("fired timer does not report cancelled")
+	}
+}
+
+func TestAtArg(t *testing.T) {
+	s := NewScheduler()
+	got := 0
+	bump := func(_ Time, arg any) { *arg.(*int) += 2 }
+	s.AtArg(At(1), "arg", bump, &got)
+	s.AfterArg(2*time.Second, "arg", bump, &got)
+	s.RunUntilIdle()
+	if got != 4 {
+		t.Fatalf("arg callbacks produced %d, want 4", got)
+	}
+}
+
+func TestSchedulerSteadyStateAllocFree(t *testing.T) {
+	// Once the pool is warm, a schedule/fire cycle must not allocate.
+	s := NewScheduler()
+	var tick func(now Time)
+	n := 0
+	tick = func(now Time) {
+		if n++; n < 100 {
+			s.After(time.Millisecond, "tick", tick)
+		}
+	}
+	s.After(time.Millisecond, "tick", tick)
+	s.Step() // warm the pool
+	allocs := testing.AllocsPerRun(50, func() { s.Step() })
+	if allocs > 0 {
+		t.Fatalf("steady-state Step allocates %.1f times per event, want 0", allocs)
+	}
+}
+
 func TestTimeHelpers(t *testing.T) {
 	a := At(1.5)
 	b := a.Add(500 * time.Millisecond)
@@ -301,12 +349,12 @@ func TestEventAccessors(t *testing.T) {
 	}
 }
 
-func TestHeapInterfaceDirect(t *testing.T) {
-	// Exercise Push/Pop via the heap interface with random data to cover the
-	// slice bookkeeping (index maintenance on Swap).
+func TestHeapRandomCancel(t *testing.T) {
+	// Exercise push/pop/remove on the 4-ary heap with random data to cover
+	// the slice bookkeeping (index maintenance on removal).
 	r := rand.New(rand.NewSource(1))
 	s := NewScheduler()
-	events := make([]*Event, 0, 64)
+	events := make([]Timer, 0, 64)
 	for i := 0; i < 64; i++ {
 		e := s.At(Time(time.Duration(r.Intn(1000))*time.Millisecond), "h", func(Time) {})
 		events = append(events, e)

@@ -145,13 +145,7 @@ func (e errTCP) Error() string { return string(e) }
 // dataOnly strips pure-ACK segments so the comparison covers media
 // delivery, not control chatter.
 func dataOnly(ft *capture.FlowTrace) *capture.FlowTrace {
-	out := &capture.FlowTrace{Flow: ft.Flow}
-	for i := range ft.Records {
-		if ft.Records[i].PayloadLen > 0 {
-			out.Records = append(out.Records, ft.Records[i])
-		}
-	}
-	return out
+	return ft.Where(func(r *capture.Record) bool { return r.PayloadLen > 0 })
 }
 
 // rateCV is the coefficient of variation of the one-second delivery rate
@@ -175,8 +169,8 @@ func rateCV(ft *capture.FlowTrace) float64 {
 // longestGap returns the maximum spacing between consecutive deliveries.
 func longestGap(ft *capture.FlowTrace) time.Duration {
 	var max time.Duration
-	for i := 1; i < len(ft.Records); i++ {
-		if gap := ft.Records[i].At - ft.Records[i-1].At; gap > max {
+	for i := 1; i < ft.Len(); i++ {
+		if gap := ft.At(i).At - ft.At(i-1).At; gap > max {
 			max = gap
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"turbulence/internal/core"
 	"turbulence/internal/media"
@@ -88,45 +89,96 @@ func (r *Result) String() string {
 }
 
 // Context caches pair runs so one invocation of several experiments runs
-// each Table 1 pair at most once.
+// each Table 1 pair at most once. With SetParallel, cache misses in All
+// fan out across a worker pool of independent single-threaded schedulers;
+// because every run is seeded via core.SeedFor regardless of which worker
+// executes it, the cached results — and every figure derived from them —
+// are byte-identical to a sequential regeneration.
 type Context struct {
-	Seed int64
-	runs map[core.PairKey]*core.PairRun
+	Seed    int64
+	workers int
+
+	// runMu serialises cache-miss execution so concurrent callers never
+	// duplicate a multi-second pair simulation; mu guards only the map.
+	runMu sync.Mutex
+	mu    sync.Mutex
+	runs  map[core.PairKey]*core.PairRun
 }
 
 // NewContext creates a run cache for the given base seed.
 func NewContext(seed int64) *Context {
-	return &Context{Seed: seed, runs: make(map[core.PairKey]*core.PairRun)}
+	return &Context{Seed: seed, workers: 1, runs: make(map[core.PairKey]*core.PairRun)}
+}
+
+// SetParallel sets the worker-pool size used when All must execute several
+// uncached pair runs (1 = sequential, 0 = GOMAXPROCS). Results are
+// unaffected; only wall-clock time changes.
+func (c *Context) SetParallel(workers int) *Context {
+	if workers < 0 {
+		workers = 1
+	}
+	c.workers = workers
+	return c
 }
 
 // Pair returns the (cached) run for one pair experiment.
 func (c *Context) Pair(set int, class media.Class) (*core.PairRun, error) {
 	k := core.PairKey{Set: set, Class: class}
-	if r, ok := c.runs[k]; ok {
+	c.mu.Lock()
+	r, ok := c.runs[k]
+	c.mu.Unlock()
+	if ok {
 		return r, nil
 	}
-	r, err := core.RunPair(c.pairSeed(k), set, class)
+	c.runMu.Lock()
+	defer c.runMu.Unlock()
+	c.mu.Lock()
+	r, ok = c.runs[k]
+	c.mu.Unlock()
+	if ok { // another caller filled it while we waited
+		return r, nil
+	}
+	r, err := core.RunPair(core.SeedFor(c.Seed, k), set, class)
 	if err != nil {
 		return nil, err
 	}
+	c.mu.Lock()
 	c.runs[k] = r
+	c.mu.Unlock()
 	return r, nil
 }
 
-func (c *Context) pairSeed(k core.PairKey) int64 {
-	return c.Seed*1000003 + int64(k.Set)*101 + int64(k.Class)*13
-}
-
-// All returns runs for every Table 1 pair.
+// All returns runs for every Table 1 pair, in Table 1 order. Uncached
+// pairs execute on the context's worker pool.
 func (c *Context) All() ([]*core.PairRun, error) {
-	var out []*core.PairRun
-	for _, k := range core.AllPairs() {
-		r, err := c.Pair(k.Set, k.Class)
+	keys := core.AllPairs()
+	c.runMu.Lock()
+	defer c.runMu.Unlock()
+	c.mu.Lock()
+	var missing []core.PairKey
+	for _, k := range keys {
+		if _, ok := c.runs[k]; !ok {
+			missing = append(missing, k)
+		}
+	}
+	c.mu.Unlock()
+	if len(missing) > 0 {
+		runs, err := core.RunPairs(c.Seed, missing, c.workers)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, r)
+		c.mu.Lock()
+		for i, k := range missing {
+			c.runs[k] = runs[i]
+		}
+		c.mu.Unlock()
 	}
+	out := make([]*core.PairRun, len(keys))
+	c.mu.Lock()
+	for i, k := range keys {
+		out[i] = c.runs[k]
+	}
+	c.mu.Unlock()
 	return out, nil
 }
 

@@ -36,7 +36,7 @@ func TestContextDistinctSeedsDistinctRuns(t *testing.T) {
 		// Lengths can collide; compare a timestamp too.
 		same := true
 		for i := 0; i < a.Trace.Len() && i < b.Trace.Len(); i++ {
-			if a.Trace.Records[i].At != b.Trace.Records[i].At {
+			if a.Trace.At(i).At != b.Trace.At(i).At {
 				same = false
 				break
 			}

@@ -107,7 +107,7 @@ func flowSpan(ft *capture.FlowTrace) time.Duration {
 	if ft.Len() < 2 {
 		return 0
 	}
-	return ft.Records[ft.Len()-1].At - ft.Records[0].At
+	return ft.At(ft.Len()-1).At - ft.At(0).At
 }
 
 // BufferPlayRatio is the Figure 11 metric for one Real flow: throughput
@@ -118,11 +118,11 @@ func BufferPlayRatio(ft *capture.FlowTrace, encodedBps float64) float64 {
 		return 0
 	}
 	const window = 8 * time.Second
-	start := ft.Records[0].At
+	start := ft.At(0).At
 	var bits float64
-	for i := range ft.Records {
-		if ft.Records[i].At-start <= window {
-			bits += float64(ft.Records[i].WireLen * 8)
+	for i, n := 0, ft.Len(); i < n; i++ {
+		if r := ft.At(i); r.At-start <= window {
+			bits += float64(r.WireLen * 8)
 		}
 	}
 	return bits / window.Seconds() / encodedBps

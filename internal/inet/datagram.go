@@ -22,12 +22,21 @@ func (d *Datagram) WireLen() int { return d.Len() + EthernetOverhead }
 // Marshal serialises the datagram to IP wire bytes (header checksum
 // included, no Ethernet framing).
 func (d *Datagram) Marshal() ([]byte, error) {
+	return d.AppendMarshal(nil)
+}
+
+// AppendMarshal serialises the datagram to IP wire bytes appended to dst,
+// returning the extended slice. Trace writers reuse one scratch buffer
+// across records this way.
+func (d *Datagram) AppendMarshal(dst []byte) ([]byte, error) {
 	if d.Len() > 0xFFFF {
-		return nil, ErrPayloadRange
+		return dst, ErrPayloadRange
 	}
 	d.Header.TotalLen = uint16(d.Len())
-	hb := d.Header.Marshal()
-	return append(hb, d.Payload...), nil
+	n := len(dst)
+	dst = append(dst, make([]byte, IPv4HeaderLen)...)
+	d.Header.MarshalTo(dst[n:])
+	return append(dst, d.Payload...), nil
 }
 
 // ParseDatagram decodes IP wire bytes into a Datagram. The payload is

@@ -27,7 +27,7 @@ func Fragment(d *Datagram, mtu int) ([]*Datagram, error) {
 	}
 	// Payload bytes per fragment must be a multiple of 8 (offset units).
 	chunk := (mtu - IPv4HeaderLen) &^ 7
-	var out []*Datagram
+	out := make([]*Datagram, 0, (len(d.Payload)+chunk-1)/chunk)
 	for off := 0; off < len(d.Payload); off += chunk {
 		end := off + chunk
 		last := false
@@ -42,7 +42,10 @@ func Fragment(d *Datagram, mtu int) ([]*Datagram, error) {
 		} else {
 			h.Flags |= FlagMoreFrags
 		}
-		frag := &Datagram{Header: h, Payload: append([]byte(nil), d.Payload[off:end]...)}
+		// Fragments share the parent payload: the ranges are disjoint, and
+		// every consumer (hops, taps, reassembly) either reads or mutates
+		// only its own range, so no copy is needed.
+		frag := &Datagram{Header: h, Payload: d.Payload[off:end:end]}
 		frag.Header.TotalLen = uint16(frag.Len())
 		out = append(out, frag)
 	}
@@ -139,11 +142,14 @@ func (r *Reassembler) FlushIncomplete() int {
 // datagram. It requires a contiguous byte range starting at offset 0 and
 // ending at a fragment without MF.
 func tryAssemble(frags []*Datagram) (*Datagram, bool) {
-	sorted := append([]*Datagram(nil), frags...)
+	// Sorting in place is fine: the buffer is private to the reassembler
+	// and fragment order within a pending set carries no meaning.
+	sorted := frags
 	sort.Slice(sorted, func(i, j int) bool {
 		return sorted[i].Header.FragOff < sorted[j].Header.FragOff
 	})
-	var payload []byte
+	tail := sorted[len(sorted)-1]
+	payload := make([]byte, 0, int(tail.Header.FragOff)*8+len(tail.Payload))
 	next := 0
 	for i, f := range sorted {
 		off := int(f.Header.FragOff) * 8

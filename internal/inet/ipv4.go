@@ -65,6 +65,15 @@ func (h *IPv4Header) PayloadLen() int { return int(h.TotalLen) - IPv4HeaderLen }
 // header checksum.
 func (h *IPv4Header) Marshal() []byte {
 	b := make([]byte, IPv4HeaderLen)
+	h.MarshalTo(b)
+	return b
+}
+
+// MarshalTo serialises the header into b, which must hold at least
+// IPv4HeaderLen bytes, computing the header checksum. Callers that manage
+// their own buffers use this to serialise without allocating.
+func (h *IPv4Header) MarshalTo(b []byte) {
+	b = b[:IPv4HeaderLen]
 	b[0] = 0x45 // version 4, IHL 5 words
 	b[1] = h.TOS
 	binary.BigEndian.PutUint16(b[2:], h.TotalLen)
@@ -73,13 +82,12 @@ func (h *IPv4Header) Marshal() []byte {
 	binary.BigEndian.PutUint16(b[6:], flagsOff)
 	b[8] = h.TTL
 	b[9] = h.Protocol
-	// checksum at [10:12] computed over the header with the field zeroed
+	b[10], b[11] = 0, 0 // checksum computed over the header with the field zeroed
 	copy(b[12:16], h.Src[:])
 	copy(b[16:20], h.Dst[:])
 	cs := Checksum(b)
 	binary.BigEndian.PutUint16(b[10:], cs)
 	h.Checksum = cs
-	return b
 }
 
 // Errors returned by the parsers.
@@ -125,8 +133,11 @@ func ParseIPv4(b []byte) (IPv4Header, []byte, error) {
 
 // Checksum computes the RFC 1071 internet checksum of b. Verifying a buffer
 // that already contains its checksum yields 0.
-func Checksum(b []byte) uint16 {
-	var sum uint32
+func Checksum(b []byte) uint16 { return checksumWithInitial(0, b) }
+
+// checksumWithInitial folds b into a running 16-bit one's-complement sum
+// (e.g. a pre-summed pseudo-header) and finalises it.
+func checksumWithInitial(sum uint32, b []byte) uint16 {
 	for i := 0; i+1 < len(b); i += 2 {
 		sum += uint32(binary.BigEndian.Uint16(b[i:]))
 	}

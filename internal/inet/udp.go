@@ -57,15 +57,17 @@ func ParseUDP(srcAddr, dstAddr Addr, b []byte) (UDPHeader, []byte, error) {
 }
 
 // udpChecksum computes the UDP checksum including the IPv4 pseudo-header.
-// Verifying a buffer containing its checksum yields 0.
+// Verifying a buffer containing its checksum yields 0. The pseudo-header is
+// summed in place rather than materialised, keeping the per-datagram path
+// allocation-free.
 func udpChecksum(src, dst Addr, udp []byte) uint16 {
-	pseudo := make([]byte, 12, 12+len(udp)+1)
-	copy(pseudo[0:4], src[:])
-	copy(pseudo[4:8], dst[:])
-	pseudo[9] = ProtoUDP
-	binary.BigEndian.PutUint16(pseudo[10:], uint16(len(udp)))
-	buf := append(pseudo, udp...)
-	return Checksum(buf)
+	sum := uint32(src[0])<<8 | uint32(src[1])
+	sum += uint32(src[2])<<8 | uint32(src[3])
+	sum += uint32(dst[0])<<8 | uint32(dst[1])
+	sum += uint32(dst[2])<<8 | uint32(dst[3])
+	sum += uint32(ProtoUDP)
+	sum += uint32(uint16(len(udp)))
+	return checksumWithInitial(sum, udp)
 }
 
 // String summarises the header.

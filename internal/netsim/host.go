@@ -174,13 +174,20 @@ func (h *Host) SendICMP(dst inet.Addr, ttl byte, msg inet.ICMPMessage) {
 	h.transmit(d, h.net.Now())
 }
 
-// transmit runs taps and injects into the network.
+// transmit runs taps and injects into the network. The network mutates the
+// datagram in transit (TTL, corruption), so it gets a private clone — but
+// only when a tap retains a view of the original; untapped hosts (the
+// servers, on the streaming hot path) hand over ownership directly.
 func (h *Host) transmit(d *inet.Datagram, now eventsim.Time) {
 	for _, tap := range h.taps {
 		tap(now, Send, d)
 	}
 	h.SentDatagrams++
-	if !h.net.send(d.Clone(), now) {
+	send := d
+	if len(h.taps) > 0 {
+		send = d.Clone()
+	}
+	if !h.net.send(send, now) {
 		h.Unroutable++
 	}
 }
@@ -233,6 +240,12 @@ func (h *Host) deliver(d *inet.Datagram, now eventsim.Time) {
 
 // After schedules fn on the shared event loop, a convenience for model code
 // holding only a Host.
-func (h *Host) After(d time.Duration, name string, fn func(now eventsim.Time)) *eventsim.Event {
+func (h *Host) After(d time.Duration, name string, fn func(now eventsim.Time)) eventsim.Timer {
 	return h.net.Sched.After(d, name, fn)
+}
+
+// AfterArg is After with the closure-free static-callback form, for model
+// code that schedules on a per-packet cadence.
+func (h *Host) AfterArg(d time.Duration, name string, fn func(now eventsim.Time, arg any), arg any) eventsim.Timer {
+	return h.net.Sched.AfterArg(d, name, fn, arg)
 }

@@ -15,6 +15,59 @@ type Network struct {
 	rng   *eventsim.RNG
 	hosts map[inet.Addr]*Host
 	paths map[route]*Path
+
+	// freeTransit recycles the per-packet forwarding state so the steady
+	// streaming path does not allocate per hop traversal.
+	freeTransit []*transit
+}
+
+// transit is one datagram's journey along a path: the state threaded
+// through the per-hop forwarding events. Pooled on the Network.
+type transit struct {
+	n   *Network
+	p   *Path
+	d   *inet.Datagram
+	hop int
+}
+
+func (n *Network) newTransit(p *Path, d *inet.Datagram) *transit {
+	if len(n.freeTransit) == 0 {
+		return &transit{n: n, p: p, d: d}
+	}
+	t := n.freeTransit[len(n.freeTransit)-1]
+	n.freeTransit = n.freeTransit[:len(n.freeTransit)-1]
+	t.p = p
+	t.d = d
+	t.hop = 0
+	return t
+}
+
+func (n *Network) releaseTransit(t *transit) {
+	t.p = nil
+	t.d = nil
+	n.freeTransit = append(n.freeTransit, t)
+}
+
+// forwardStep and deliverStep are the static event callbacks of the
+// forwarding hot path; passing the transit as the event argument avoids a
+// closure allocation per hop per packet.
+func forwardStep(now eventsim.Time, arg any) {
+	t := arg.(*transit)
+	t.n.forward(t, now)
+}
+
+func deliverStep(now eventsim.Time, arg any) {
+	t := arg.(*transit)
+	dst := t.n.hosts[t.p.dst]
+	d := t.d
+	t.n.releaseTransit(t)
+	dst.deliver(d, now)
+}
+
+// hopDequeue frees one queue slot at a hop; the hop itself is the event
+// argument.
+func hopDequeue(_ eventsim.Time, arg any) {
+	arg.(*hopState).queued--
 }
 
 type route struct{ src, dst inet.Addr }
@@ -88,28 +141,32 @@ func (n *Network) send(d *inet.Datagram, now eventsim.Time) bool {
 	if p == nil {
 		return false
 	}
-	n.forward(p, 0, d, now)
+	n.forward(n.newTransit(p, d), now)
 	return true
 }
 
-// forward advances d through hop i of p, scheduling its arrival at the next
-// hop (or final delivery).
-func (n *Network) forward(p *Path, i int, d *inet.Datagram, now eventsim.Time) {
+// forward advances t's datagram through its current hop, scheduling its
+// arrival at the next hop (or final delivery).
+func (n *Network) forward(t *transit, now eventsim.Time) {
+	p, i, d := t.p, t.hop, t.d
 	hop := p.hops[i]
 	// Random early loss from the hop's loss model.
 	if hop.spec.Loss > 0 && n.rng.Bernoulli(hop.spec.Loss) {
 		hop.DroppedLoss++
+		n.releaseTransit(t)
 		return
 	}
 	// Drop-tail queue.
 	if hop.queued >= hop.queueCap() {
 		hop.DroppedFull++
+		n.releaseTransit(t)
 		return
 	}
 	// TTL handling: the router discards and reports expiry.
 	if d.Header.TTL <= 1 {
 		hop.TTLExpired++
 		n.returnTimeExceeded(p, i, d, now)
+		n.releaseTransit(t)
 		return
 	}
 	d.Header.TTL--
@@ -128,7 +185,7 @@ func (n *Network) forward(p *Path, i int, d *inet.Datagram, now eventsim.Time) {
 	}
 	departure := start.Add(ser)
 	hop.busyUntil = departure
-	n.Sched.At(departure, "hop.dequeue", func(eventsim.Time) { hop.queued-- })
+	n.Sched.AtArg(departure, "hop.dequeue", hopDequeue, hop)
 
 	// Propagation plus cross-traffic jitter; FIFO order is preserved.
 	delay := hop.spec.PropDelay + n.drawJitter(hop.spec)
@@ -140,14 +197,15 @@ func (n *Network) forward(p *Path, i int, d *inet.Datagram, now eventsim.Time) {
 	hop.Forwarded++
 
 	if i == len(p.hops)-1 {
-		dst := n.hosts[p.dst]
-		if dst == nil {
+		if n.hosts[p.dst] == nil {
+			n.releaseTransit(t)
 			return
 		}
-		n.Sched.At(arrival, "host.deliver", func(t eventsim.Time) { dst.deliver(d, t) })
+		n.Sched.AtArg(arrival, "host.deliver", deliverStep, t)
 		return
 	}
-	n.Sched.At(arrival, "hop.forward", func(t eventsim.Time) { n.forward(p, i+1, d, t) })
+	t.hop = i + 1
+	n.Sched.AtArg(arrival, "hop.forward", forwardStep, t)
 }
 
 // drawJitter samples the hop's cross-traffic delay model: a uniform

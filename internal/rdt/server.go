@@ -120,7 +120,7 @@ type session struct {
 	resendQ        []uint32
 	playing        bool
 	done           bool
-	nextSend       *eventsim.Event
+	nextSend       eventsim.Timer
 }
 
 // NewServer attaches a RealServer to the host.
@@ -348,6 +348,11 @@ func (sess *session) currentRate(now eventsim.Time) float64 {
 	return rate * sess.rateFactor
 }
 
+// sendNextStep is the static event callback of the per-packet send timer;
+// passing the session as the event argument keeps the pacing loop free of
+// per-packet closure allocations.
+func sendNextStep(now eventsim.Time, arg any) { arg.(*session).sendNext(now) }
+
 // sendNext emits one variable-size packet and schedules its successor.
 func (sess *session) sendNext(now eventsim.Time) {
 	if sess.done {
@@ -377,8 +382,8 @@ func (sess *session) sendNext(now eventsim.Time) {
 	rate := sess.currentRate(now)
 	gapSec := float64(len(pkt)*8) / rate
 	gapSec = sess.rng.Jitter(gapSec, PacingJitter)
-	sess.nextSend = sess.srv.host.After(time.Duration(gapSec*float64(time.Second)), "rdt.send",
-		func(t eventsim.Time) { sess.sendNext(t) })
+	sess.nextSend = sess.srv.host.AfterArg(time.Duration(gapSec*float64(time.Second)), "rdt.send",
+		sendNextStep, sess)
 }
 
 // remember retains the packet for NAK retransmission, evicting beyond the
@@ -417,8 +422,6 @@ func (sess *session) stop() {
 		return
 	}
 	sess.done = true
-	if sess.nextSend != nil {
-		sess.srv.host.Network().Sched.Cancel(sess.nextSend)
-	}
+	sess.srv.host.Network().Sched.Cancel(sess.nextSend)
 	delete(sess.srv.sessions, sess.ctl)
 }

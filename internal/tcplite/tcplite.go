@@ -144,7 +144,7 @@ type Conn struct {
 	rto       time.Duration
 	srtt      time.Duration
 	rttvar    time.Duration
-	rtoTimer  *eventsim.Event
+	rtoTimer  eventsim.Timer
 	rttSeq    uint32
 	rttSentAt eventsim.Time
 	sentFin   bool
@@ -361,18 +361,19 @@ func (c *Conn) trySend(now eventsim.Time) {
 }
 
 func (c *Conn) armRTO(now eventsim.Time) {
-	if c.rtoTimer != nil && !c.rtoTimer.Cancelled() {
+	if !c.rtoTimer.Cancelled() {
 		return
 	}
-	c.rtoTimer = c.stack.host.After(c.rto, "tcp.rto", func(t eventsim.Time) { c.onRTO(t) })
+	c.rtoTimer = c.stack.host.AfterArg(c.rto, "tcp.rto", onRTOStep, c)
 }
 
 func (c *Conn) cancelRTO() {
-	if c.rtoTimer != nil {
-		c.stack.host.Network().Sched.Cancel(c.rtoTimer)
-		c.rtoTimer = nil
-	}
+	c.stack.host.Network().Sched.Cancel(c.rtoTimer)
+	c.rtoTimer = eventsim.Timer{}
 }
+
+// onRTOStep is the static event callback of the RTO timer.
+func onRTOStep(now eventsim.Time, arg any) { arg.(*Conn).onRTO(now) }
 
 // onRTO fires when the oldest unacked segment times out: retransmit it,
 // collapse the window, back off the timer.
@@ -395,7 +396,7 @@ func (c *Conn) onRTO(now eventsim.Time) {
 	}
 	c.rttSeq = 0 // Karn: invalidate the outstanding sample
 	c.retransmitFirst(now)
-	c.rtoTimer = nil
+	c.rtoTimer = eventsim.Timer{}
 	c.armRTO(now)
 }
 

@@ -1,0 +1,25 @@
+#!/bin/sh
+# bench.sh — run the performance-tracked benchmarks in benchstat-compatible
+# format (standard `go test -bench` output is what benchstat consumes).
+#
+# Usage:
+#   scripts/bench.sh            run the tracked benchmarks (5 iterations each)
+#   scripts/bench.sh baseline   print the committed baseline (BENCH_baseline.json)
+#                               re-rendered as benchstat-compatible lines
+#
+# Compare a fresh run against the baseline:
+#   scripts/bench.sh > BENCH_current.txt
+#   benchstat <(scripts/bench.sh baseline) BENCH_current.txt
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TRACKED='BenchmarkPairRun$|BenchmarkProfileFlow$|BenchmarkFilterMatch$|BenchmarkRunAllSequential$|BenchmarkRunAllParallel$'
+
+if [ "${1:-}" = "baseline" ]; then
+    # Render BENCH_baseline.json as benchstat input. The JSON is a flat
+    # {name: {ns_per_op, bytes_per_op, allocs_per_op}} map.
+    exec go run ./scripts/benchjson
+fi
+
+exec go test -run=NONE -bench="$TRACKED" -benchmem -benchtime=5x -count=1 .

@@ -1,0 +1,47 @@
+// Command benchjson re-renders BENCH_baseline.json as benchstat-compatible
+// benchmark lines, so the committed baseline can feed straight into
+// `benchstat <(scripts/bench.sh baseline) BENCH_current.txt`.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type baseline struct {
+	Goos       string           `json:"goos"`
+	Goarch     string           `json:"goarch"`
+	CPU        string           `json:"cpu"`
+	Benchmarks map[string]entry `json:"benchmarks"`
+}
+
+func main() {
+	raw, err := os.ReadFile("BENCH_baseline.json")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	var b baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("goos: %s\ngoarch: %s\npkg: turbulence\ncpu: %s\n", b.Goos, b.Goarch, b.CPU)
+	names := make([]string, 0, len(b.Benchmarks))
+	for name := range b.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e := b.Benchmarks[name]
+		fmt.Printf("%s \t1\t%.0f ns/op\t%d B/op\t%d allocs/op\n", name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+	}
+}

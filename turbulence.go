@@ -106,8 +106,16 @@ func RunPairWith(seed int64, set int, class Class, opts Options) (*PairRun, erro
 	return core.RunPairWith(seed, set, class, opts)
 }
 
-// RunAll executes all 13 Table 1 pair experiments.
+// RunAll executes all 13 Table 1 pair experiments sequentially.
 func RunAll(seed int64) ([]*PairRun, error) { return core.RunAll(seed) }
+
+// RunAllParallel executes all 13 Table 1 pair experiments on a worker pool
+// (workers == 0 uses every core). Each run owns a private single-threaded
+// scheduler seeded exactly as in RunAll, so the results — traces included —
+// are byte-identical to the sequential path; only wall-clock time differs.
+func RunAllParallel(seed int64, workers int) ([]*PairRun, error) {
+	return core.RunAllParallel(seed, workers)
+}
 
 // ProfileFlow computes the turbulence profile of a captured flow.
 func ProfileFlow(ft *FlowTrace) FlowProfile { return core.ProfileFlow(ft) }

@@ -84,8 +84,8 @@ func TestPublicAPIFilter(t *testing.T) {
 	if sub.Len() == 0 {
 		t.Fatal("filter matched nothing")
 	}
-	for i := range sub.Records {
-		if sub.Records[i].IsFragment() {
+	for i := 0; i < sub.Len(); i++ {
+		if sub.At(i).IsFragment() {
 			t.Fatal("filter leaked a fragment")
 		}
 	}
