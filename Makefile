@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench bench-quick clean
+.PHONY: all build test vet lint check bench bench-quick clean
 
 all: build vet test
 
@@ -13,9 +13,22 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Tier-1 hygiene: gofmt cleanliness plus go vet. Fails listing any file
+# gofmt would rewrite.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+
+# The full local gate: what CI would run.
+check: build lint test
+
 # Full benchmark sweep in benchstat-compatible format. Writes the run to
 # BENCH_current.txt (gitignored) so it can be diffed against the committed
-# baseline in BENCH_baseline.json:
+# baseline in BENCH_baseline.json (or the netem record in BENCH_netem.json
+# via `scripts/bench.sh netem`):
 #
 #	make bench
 #	benchstat <(scripts/bench.sh baseline) BENCH_current.txt

@@ -71,6 +71,33 @@ func BenchmarkPairRun(b *testing.B) {
 	}
 }
 
+// BenchmarkPairRunNetem is BenchmarkPairRun through the netem scenario
+// layer: once under paper-baseline (whose models are all defaults, so
+// allocs/op must equal BenchmarkPairRun exactly — the zero-cost guarantee)
+// and once under an impaired scenario (whose only alloc growth is the
+// fixed per-testbed model construction; steady-state forwarding stays
+// allocation-free, pinned by netsim's TestForwardSteadyStateAllocFree).
+func BenchmarkPairRunNetem(b *testing.B) {
+	for _, name := range []string{"paper-baseline", "lossy-wifi"} {
+		sc, err := turbulence.FindScenario(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				run, err := turbulence.RunPairWith(2002, 2, turbulence.High,
+					turbulence.Options{Scenario: sc})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if run.Trace.Len() == 0 {
+					b.Fatal("empty trace")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRunAllSequential regenerates all 13 Table 1 pair experiments on
 // one core — the workload behind every all-data-set figure.
 func BenchmarkRunAllSequential(b *testing.B) {

@@ -3,13 +3,19 @@
 //
 // Usage:
 //
-//	turbulence [-seed N] [-experiment id] [-parallel N] [-list] [-points]
+//	turbulence [-seed N] [-experiment id] [-parallel N] [-scenario name] [-list] [-list-scenarios] [-points]
 //
 // With no -experiment it runs everything, printing each artifact's rows,
 // series summaries and headline notes. -points includes full series data
 // (suitable for piping into a plotting tool). -parallel fans independent
 // pair runs out across a worker pool (0, the default, uses every core);
 // output is byte-identical to -parallel 1, just faster.
+//
+// -scenario streams every Table 1 pair run under a named netem scenario
+// (bursty loss, time-varying bandwidth, AQM, cross traffic), regenerating
+// the whole evaluation as a what-if under impaired network conditions;
+// -list-scenarios enumerates the library. Identical seed and scenario
+// reproduce identical output at any -parallel setting.
 package main
 
 import (
@@ -25,7 +31,9 @@ func main() {
 	seed := flag.Int64("seed", 2002, "base random seed (runs are deterministic per seed)")
 	experiment := flag.String("experiment", "", "run a single experiment id (default: all)")
 	parallel := flag.Int("parallel", 0, "worker pool size for independent pair runs (1 = sequential, 0 = all cores); results are identical either way")
+	scenario := flag.String("scenario", "", "stream the pair runs under a named netem scenario (see -list-scenarios)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	listScenarios := flag.Bool("list-scenarios", false, "list netem scenario names and exit")
 	points := flag.Bool("points", false, "print full series point data")
 	csvDir := flag.String("csv", "", "also write each experiment's series/rows as CSV files into this directory")
 	flag.Parse()
@@ -33,6 +41,12 @@ func main() {
 	if *list {
 		for _, id := range turbulence.ExperimentIDs() {
 			fmt.Println(id)
+		}
+		return
+	}
+	if *listScenarios {
+		for _, sc := range turbulence.Scenarios() {
+			fmt.Printf("%-18s %s\n", sc.Name, sc.Description)
 		}
 		return
 	}
@@ -48,6 +62,14 @@ func main() {
 		}
 	}
 	ctx := turbulence.NewExperimentContext(*seed).SetParallel(*parallel)
+	if *scenario != "" {
+		sc, err := turbulence.FindScenario(*scenario)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "turbulence:", err)
+			os.Exit(1)
+		}
+		ctx.SetScenario(sc)
+	}
 	for _, id := range ids {
 		res, err := turbulence.RunExperiment(ctx, id)
 		if err != nil {

@@ -17,6 +17,32 @@
 // Every run is seeded: identical (seed, set, class) triples produce
 // byte-identical traces.
 //
+// # Network scenarios
+//
+// The paper measured one testbed path under typical conditions; the netem
+// layer generalises that into a streaming-under-impairment laboratory.
+// Every hop of every site path accepts pluggable models — loss processes
+// (Bernoulli, bursty Gilbert–Elliott), bandwidth profiles (constant, step
+// schedules, sinusoids, replayed traces), delay jitter (uniform+spike,
+// truncated normal), queue disciplines (DropTail, RED) and cross-traffic
+// injectors (exponential and Pareto on/off, Poisson) that consume link
+// capacity without materialising packets. A Scenario names a recipe of
+// per-hop impairments ("lossy-wifi", "dsl", "cable", "congested-peering",
+// "transatlantic", "brownout", "flash-crowd", "trace-wireless"; see
+// ScenarioNames), and "paper-baseline" reproduces the faithful testbed
+// byte for byte:
+//
+//	sc, _ := turbulence.FindScenario("lossy-wifi")
+//	run, _ := turbulence.RunPairWith(2002, 1, turbulence.High,
+//		turbulence.Options{Scenario: sc})
+//	fmt.Println(run.Downlink) // model loss vs queue overflow vs AQM drops
+//
+// RunScenarioMatrix streams every clip pair under every scenario with
+// common random numbers, and cmd/turbulence regenerates the whole
+// evaluation under a scenario via -scenario. Scenario runs are exactly as
+// deterministic as faithful ones: identical seed and scenario produce
+// byte-identical output, sequentially or on a worker pool.
+//
 // # Concurrency model
 //
 // Each simulation run is strictly single-threaded: one Scheduler owns one
@@ -33,9 +59,10 @@
 //
 // The facade re-exports the pieces most programs need. The full substrate
 // lives under internal/: eventsim (discrete-event engine), stats, inet
-// (IPv4/UDP codecs + fragmentation), netsim (links, hops, hosts), capture
-// (sniffer, trace files, display filters), media (Table 1 clip library),
-// wms and rdt (the two player stacks), tracker (instrumented players),
-// probe (ping/tracert), core (testbed + analysis + generator), and
-// experiments (one generator per paper table/figure).
+// (IPv4/UDP codecs + fragmentation), netem (impairment models + scenario
+// library), netsim (links, hops, hosts), capture (sniffer, trace files,
+// display filters), media (Table 1 clip library), wms and rdt (the two
+// player stacks), tracker (instrumented players), probe (ping/tracert),
+// core (testbed + analysis + generator), and experiments (one generator
+// per paper table/figure).
 package turbulence

@@ -1,0 +1,56 @@
+// Scenarios tours the netem impairment laboratory: the set 1 high pair
+// streamed under every named network scenario — bursty wifi loss,
+// DSL/cable last miles, a congested peering point with RED, mid-session
+// brownouts, flash-crowd load, a replayed wireless trace — plus a custom
+// scenario built inline from the netem model kit. Each row shows how the
+// same two players weather different network weather, with the drop
+// breakdown separating link loss from queue overflow and AQM early drops.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"turbulence"
+)
+
+func main() {
+	// A custom scenario composes directly from the model kit: a bursty
+	// microwave interferer on the client access link.
+	turbulence.RegisterScenario(&turbulence.Scenario{
+		Name:        "microwave-oven",
+		Description: "2.4 GHz interference: periodic deep loss bursts on the access link",
+		Hop: turbulence.ForRole(turbulence.RoleAccess, turbulence.Impairment{
+			Loss: func() turbulence.LossModel { return turbulence.GEFromBurst(0.04, 40, 0.8) },
+		}),
+		HorizonSlack: time.Minute,
+	})
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "scenario\tReal loss%\tReal fps\tWMP loss%\tWMP fps\tlink drops\tqueue drops\taqm drops")
+	for _, sc := range turbulence.Scenarios() {
+		run, err := turbulence.RunPairWith(4001, 1, turbulence.High, turbulence.Options{Scenario: sc})
+		if err != nil {
+			log.Fatal(err)
+		}
+		d := run.Downlink
+		fmt.Fprintf(w, "%s\t%.2f\t%.1f\t%.2f\t%.1f\t%d\t%d\t%d\n",
+			sc.Name, run.Real.LossRate()*100, run.Real.AvgFPS,
+			run.WMP.LossRate()*100, run.WMP.AvgFPS,
+			d.DroppedLoss, d.DroppedFull, d.DroppedAQM)
+	}
+	w.Flush()
+
+	fmt.Println("\nObservations:")
+	fmt.Println("  - paper-baseline reproduces the faithful testbed byte for byte; every")
+	fmt.Println("    other row is the same seed re-streamed under different conditions.")
+	fmt.Println("  - Link loss splits the players: RealPlayer's NAK recovery repairs even")
+	fmt.Println("    the microwave fades, while WMP — no recovery, and whole packets lost")
+	fmt.Println("    per dropped fragment — wears every percent of it as frame damage.")
+	fmt.Println("  - Bandwidth dips (brownout, flash-crowd) surface as queue-overflow")
+	fmt.Println("    drops at the bottleneck FIFO, not link loss: the drop breakdown")
+	fmt.Println("    separates the causes that a raw loss rate conflates.")
+}

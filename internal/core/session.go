@@ -11,6 +11,8 @@ import (
 	"turbulence/internal/eventsim"
 	"turbulence/internal/inet"
 	"turbulence/internal/media"
+	"turbulence/internal/netem"
+	"turbulence/internal/netsim"
 	"turbulence/internal/probe"
 	"turbulence/internal/tracker"
 )
@@ -45,6 +47,17 @@ type PairRun struct {
 	// were run").
 	PingBefore, PingAfter *probe.PingReport
 	Route                 *probe.TraceReport
+
+	// Scenario names the netem scenario the run streamed under ("" = the
+	// faithful testbed).
+	Scenario string
+
+	// Path drop breakdowns, collected from the hop counters after the
+	// run: Downlink is the site-to-client direction (the media flows),
+	// Uplink the client-to-site control direction. The three drop causes
+	// stay separate so model loss is distinguishable from AQM early drops
+	// and queue overflow in every report.
+	Downlink, Uplink netsim.PathStats
 }
 
 // Clips returns the pair's clips (Real, WindowsMedia).
@@ -77,6 +90,11 @@ type Options struct {
 	// faithful reproduction leaves it off: the paper measured typical
 	// uncongested conditions where scaling never engages.
 	EnableScaling bool
+	// Scenario streams the pair under a netem scenario: every site path's
+	// hops are impaired by role (bursty loss, time-varying bandwidth,
+	// AQM, cross traffic). Nil — and the built-in "paper-baseline" —
+	// reproduce the faithful testbed byte for byte.
+	Scenario *netem.Scenario
 }
 
 // RunPair executes one paired experiment on a fresh testbed. The seed
@@ -100,9 +118,15 @@ func RunPairWith(seed int64, set int, class media.Class, opts Options) (*PairRun
 	if opts.BottleneckBps > 0 {
 		tbOpts = append(tbOpts, WithBottleneck(set, opts.BottleneckBps))
 	}
+	if opts.Scenario != nil {
+		tbOpts = append(tbOpts, WithScenario(opts.Scenario))
+	}
 	tb := NewTestbed(seed, tbOpts...)
 	site := tb.Site(set)
 	run := &PairRun{Set: set, Class: class, Site: site.Profile}
+	if opts.Scenario != nil {
+		run.Scenario = opts.Scenario.Name
+	}
 	if opts.WMSUnitCap > 0 {
 		site.WMS.SetUnitCap(opts.WMSUnitCap)
 	}
@@ -156,7 +180,7 @@ func RunPairWith(seed int64, set int, class media.Class, opts Options) (*PairRun
 
 	// Post-run ping, fired once both players finish.
 	var pingAfter *probe.Pinger
-	horizon := checksLead + clipSet.Duration + 3*time.Minute
+	horizon := checksLead + clipSet.Duration + 3*time.Minute + opts.Scenario.Slack()
 	if opts.Sequential {
 		horizon += clipSet.Duration + 3*time.Minute
 	}
@@ -181,6 +205,12 @@ func RunPairWith(seed int64, set int, class media.Class, opts Options) (*PairRun
 	}
 	run.Route = tracer.Report()
 	run.Trace = sniff.Trace()
+	if p := tb.Net.PathBetween(site.Profile.Addr, ClientAddr); p != nil {
+		run.Downlink = p.Stats()
+	}
+	if p := tb.Net.PathBetween(ClientAddr, site.Profile.Addr); p != nil {
+		run.Uplink = p.Stats()
+	}
 	run.WMPFlow = run.Trace.FlowTo(WMPDataPort)
 	run.RealFlow = run.Trace.FlowTo(RDTDataPort)
 	if run.WMPFlow == nil || run.RealFlow == nil {
@@ -222,6 +252,14 @@ func SeedFor(base int64, k PairKey) int64 {
 // back in key order regardless of completion order. On error the first
 // failure (in key order) is reported.
 func RunPairs(baseSeed int64, keys []PairKey, workers int) ([]*PairRun, error) {
+	return RunPairsWith(baseSeed, keys, Options{}, workers)
+}
+
+// RunPairsWith is RunPairs with shared ablation/scenario options applied
+// to every run. Because each run is seeded by SeedFor regardless of which
+// worker executes it, output is byte-identical for any workers value —
+// scenarios included.
+func RunPairsWith(baseSeed int64, keys []PairKey, opts Options, workers int) ([]*PairRun, error) {
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -231,7 +269,7 @@ func RunPairs(baseSeed int64, keys []PairKey, workers int) ([]*PairRun, error) {
 	out := make([]*PairRun, len(keys))
 	if workers <= 1 {
 		for i, k := range keys {
-			run, err := RunPair(SeedFor(baseSeed, k), k.Set, k.Class)
+			run, err := RunPairWith(SeedFor(baseSeed, k), k.Set, k.Class, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -252,7 +290,7 @@ func RunPairs(baseSeed int64, keys []PairKey, workers int) ([]*PairRun, error) {
 					return
 				}
 				k := keys[i]
-				out[i], errs[i] = RunPair(SeedFor(baseSeed, k), k.Set, k.Class)
+				out[i], errs[i] = RunPairWith(SeedFor(baseSeed, k), k.Set, k.Class, opts)
 			}
 		}()
 	}
@@ -261,6 +299,31 @@ func RunPairs(baseSeed int64, keys []PairKey, workers int) ([]*PairRun, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	return out, nil
+}
+
+// ScenarioRuns couples one scenario with its pair-run results, in key
+// order.
+type ScenarioRuns struct {
+	Scenario *netem.Scenario
+	Runs     []*PairRun
+}
+
+// RunScenarioMatrix streams every listed clip pair under every listed
+// scenario: the what-if laboratory the netem layer enables. All scenarios
+// share the same base seed (common random numbers), so differences between
+// scenario rows reflect the impairments, not sampling noise. Each
+// (scenario, pair) run is seeded via SeedFor and owns a private testbed,
+// so the matrix is deterministic for any workers value.
+func RunScenarioMatrix(baseSeed int64, keys []PairKey, scenarios []*netem.Scenario, workers int) ([]ScenarioRuns, error) {
+	out := make([]ScenarioRuns, len(scenarios))
+	for i, sc := range scenarios {
+		runs, err := RunPairsWith(baseSeed, keys, Options{Scenario: sc}, workers)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+		out[i] = ScenarioRuns{Scenario: sc, Runs: runs}
 	}
 	return out, nil
 }

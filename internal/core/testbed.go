@@ -14,6 +14,7 @@ import (
 
 	"turbulence/internal/inet"
 	"turbulence/internal/media"
+	"turbulence/internal/netem"
 	"turbulence/internal/netsim"
 	"turbulence/internal/rdt"
 	"turbulence/internal/wms"
@@ -33,6 +34,10 @@ type SiteProfile struct {
 	Hops       int           // router hops client<->site
 	BaseRTT    time.Duration // propagation-only round trip
 	Bottleneck float64       // server-side access bandwidth, bits/second
+
+	// Scenario impairs the path's hops by role (nil = the faithful
+	// testbed). Installed via WithScenario at testbed construction.
+	Scenario *netem.Scenario
 }
 
 // Sites returns the six server sites matching Table 1's data sets.
@@ -70,17 +75,24 @@ const (
 )
 
 // HopSpecs expands a site profile into per-hop specs for the
-// client-to-site direction.
+// client-to-site direction, applying the profile's scenario (if any) by
+// hop role: hop 0 is the client access link, the final hop the server-side
+// bottleneck, everything between backbone transit. ConnectDuplex mirrors
+// the specs for the reverse direction, so a role stays attached to the
+// same router both ways while each direction builds private model state.
 func (p SiteProfile) HopSpecs() []netsim.HopSpec {
 	perHop := time.Duration(int64(p.BaseRTT) / 2 / int64(p.Hops))
 	specs := make([]netsim.HopSpec, p.Hops)
 	for i := range specs {
 		bw := backboneBandwidth
+		role := netem.RoleBackbone
 		switch i {
 		case 0:
 			bw = campusBandwidth
+			role = netem.RoleAccess
 		case p.Hops - 1:
 			bw = p.Bottleneck
+			role = netem.RoleBottleneck
 		}
 		specs[i] = netsim.HopSpec{
 			Addr:      inet.MakeAddr(10, byte(p.Set), byte(i/250), byte(i%250+1)),
@@ -90,6 +102,7 @@ func (p SiteProfile) HopSpecs() []netsim.HopSpec {
 			SpikeProb: hopSpikeProb,
 			SpikeMax:  hopSpikeMax,
 			Loss:      hopLoss,
+			Impair:    p.Scenario.Impair(role, i, p.Hops),
 		}
 	}
 	return specs
@@ -122,6 +135,15 @@ func WithBottleneck(set int, bps float64) TestbedOption {
 			p.Bottleneck = bps
 		}
 	}
+}
+
+// WithScenario installs a netem scenario on every site path: each hop's
+// impairment is chosen by the scenario from the hop's role (client access,
+// backbone transit, server-side bottleneck). A nil scenario — and the
+// built-in "paper-baseline" — leaves the testbed byte-identical to the
+// faithful reproduction.
+func WithScenario(sc *netem.Scenario) TestbedOption {
+	return func(p *SiteProfile) { p.Scenario = sc }
 }
 
 // NewTestbed builds the network, client, all six sites, and registers

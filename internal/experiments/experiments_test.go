@@ -50,6 +50,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07",
 		"fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
 		"sec4", "ext-scaling", "ext-tcp",
+		"ext-netem-loss", "ext-netem-bandwidth", "ext-netem-scenarios",
 		"ablation-nofrag", "ablation-uncapped", "ablation-nointerleave", "ablation-sequential",
 	}
 	for _, id := range want {

@@ -14,6 +14,8 @@ import (
 
 	"turbulence/internal/core"
 	"turbulence/internal/media"
+	"turbulence/internal/netem"
+	"turbulence/internal/netsim"
 	"turbulence/internal/stats"
 )
 
@@ -98,6 +100,12 @@ type Context struct {
 	Seed    int64
 	workers int
 
+	// scenario, when set, streams every cached Table 1 pair run under a
+	// netem scenario, turning the whole regenerated evaluation into a
+	// what-if under impaired network conditions. Experiments that build
+	// their own testbeds (ablations, extensions) are unaffected.
+	scenario *netem.Scenario
+
 	// runMu serialises cache-miss execution so concurrent callers never
 	// duplicate a multi-second pair simulation; mu guards only the map.
 	runMu sync.Mutex
@@ -121,6 +129,28 @@ func (c *Context) SetParallel(workers int) *Context {
 	return c
 }
 
+// SetScenario streams the context's Table 1 pair runs under a netem
+// scenario. Must be called before the first run executes; the cache is
+// keyed by pair only, so mixing scenarios within one context is not
+// supported. Results stay deterministic for any SetParallel value.
+func (c *Context) SetScenario(sc *netem.Scenario) *Context {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.runs) > 0 {
+		panic("experiments: SetScenario after runs are cached")
+	}
+	c.scenario = sc
+	return c
+}
+
+// Scenario returns the context's installed scenario (nil = faithful).
+func (c *Context) Scenario() *netem.Scenario { return c.scenario }
+
+// options builds the run options the context applies to cached pair runs.
+func (c *Context) options() core.Options {
+	return core.Options{Scenario: c.scenario}
+}
+
 // Pair returns the (cached) run for one pair experiment.
 func (c *Context) Pair(set int, class media.Class) (*core.PairRun, error) {
 	k := core.PairKey{Set: set, Class: class}
@@ -138,7 +168,7 @@ func (c *Context) Pair(set int, class media.Class) (*core.PairRun, error) {
 	if ok { // another caller filled it while we waited
 		return r, nil
 	}
-	r, err := core.RunPair(core.SeedFor(c.Seed, k), set, class)
+	r, err := core.RunPairWith(core.SeedFor(c.Seed, k), set, class, c.options())
 	if err != nil {
 		return nil, err
 	}
@@ -163,7 +193,7 @@ func (c *Context) All() ([]*core.PairRun, error) {
 	}
 	c.mu.Unlock()
 	if len(missing) > 0 {
-		runs, err := core.RunPairs(c.Seed, missing, c.workers)
+		runs, err := core.RunPairsWith(c.Seed, missing, c.options(), c.workers)
 		if err != nil {
 			return nil, err
 		}
@@ -217,13 +247,48 @@ func IDs() []string {
 	return out
 }
 
-// Run executes one experiment by id.
+// Run executes one experiment by id. Every report gains a path-drop
+// breakdown note covering the context's cached pair runs, so model loss
+// (the links' loss processes) stays distinguishable from AQM early drops
+// and queue overflow in whatever the experiment measured.
 func Run(ctx *Context, id string) (*Result, error) {
 	e, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
 	}
-	return e.Generate(ctx)
+	res, err := e.Generate(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if note, ok := ctx.dropNote(); ok {
+		res.AddNote("%s", note)
+	}
+	return res, nil
+}
+
+// dropNote summarises the drop breakdown across the context's cached pair
+// runs. Summation over the cache map is order-independent, so the note is
+// deterministic for a given set of executed runs.
+func (c *Context) dropNote() (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.runs) == 0 {
+		return "", false
+	}
+	var down, up netsim.PathStats
+	for _, r := range c.runs {
+		down.Add(r.Downlink)
+		up.Add(r.Uplink)
+	}
+	label := ""
+	if c.scenario != nil {
+		label = fmt.Sprintf(" under scenario %q", c.scenario.Name)
+	}
+	return fmt.Sprintf(
+		"path drops across %d pair runs%s — downlink: %d model-loss, %d queue-overflow, %d aqm-early, %d ttl (%d forwarded); uplink: %d model-loss, %d queue-overflow, %d aqm-early, %d ttl (%d forwarded)",
+		len(c.runs), label,
+		down.DroppedLoss, down.DroppedFull, down.DroppedAQM, down.TTLExpired, down.Forwarded,
+		up.DroppedLoss, up.DroppedFull, up.DroppedAQM, up.TTLExpired, up.Forwarded), true
 }
 
 // fmtF renders a float compactly for table cells.

@@ -1,0 +1,130 @@
+package netem
+
+import (
+	"math"
+	"time"
+
+	"turbulence/internal/eventsim"
+)
+
+// minBandwidth floors every profile so a misconfigured schedule can never
+// stall the link entirely (transmissionDelay at 0 bps would be instant,
+// not infinite, which would be the wrong failure mode anyway).
+const minBandwidth = 1e3
+
+// Constant is a fixed-rate profile in bits/second.
+type Constant float64
+
+// BandwidthAt implements BandwidthProfile.
+func (c Constant) BandwidthAt(eventsim.Time) float64 {
+	return clampBW(float64(c))
+}
+
+// Scaled multiplies the hop's nominal bandwidth by a fixed factor; use it
+// with Impairment.Bandwidth to derate a link without knowing its absolute
+// rate.
+func Scaled(factor float64) func(baseBps float64) BandwidthProfile {
+	return func(base float64) BandwidthProfile { return Constant(base * factor) }
+}
+
+// Step is one segment boundary of a StepSchedule.
+type Step struct {
+	At  time.Duration // simulated time the new rate takes effect
+	Bps float64
+}
+
+// StepSchedule is a piecewise-constant rate profile: Initial until the
+// first change, then each Step's rate from its time onward. Changes must
+// be time-ascending.
+type StepSchedule struct {
+	Initial float64
+	Changes []Step
+
+	idx int // first change not yet in effect; cached for O(1) forward scans
+}
+
+// NewStepSchedule builds a schedule; changes must be in ascending order.
+func NewStepSchedule(initial float64, changes ...Step) *StepSchedule {
+	for i := 1; i < len(changes); i++ {
+		if changes[i].At < changes[i-1].At {
+			panic("netem: StepSchedule changes out of order")
+		}
+	}
+	return &StepSchedule{Initial: initial, Changes: changes}
+}
+
+// BandwidthAt implements BandwidthProfile. Calls with non-decreasing now
+// advance a cached cursor; a backwards call rescans from the start.
+func (s *StepSchedule) BandwidthAt(now eventsim.Time) float64 {
+	if s.idx > 0 && eventsim.Time(s.Changes[s.idx-1].At) > now {
+		s.idx = 0 // time went backwards (fresh run reusing the profile)
+	}
+	for s.idx < len(s.Changes) && eventsim.Time(s.Changes[s.idx].At) <= now {
+		s.idx++
+	}
+	if s.idx == 0 {
+		return clampBW(s.Initial)
+	}
+	return clampBW(s.Changes[s.idx-1].Bps)
+}
+
+// Sinusoid oscillates around a base rate: base + amplitude*sin(2πt/period
+// + phase). Models diurnal-style or oscillatory congestion at the scale of
+// a streaming session.
+type Sinusoid struct {
+	Base, Amplitude float64
+	Period          time.Duration
+	Phase           float64 // radians
+}
+
+// BandwidthAt implements BandwidthProfile.
+func (s Sinusoid) BandwidthAt(now eventsim.Time) float64 {
+	if s.Period <= 0 {
+		return clampBW(s.Base)
+	}
+	omega := 2 * math.Pi * float64(now) / float64(s.Period)
+	return clampBW(s.Base + s.Amplitude*math.Sin(omega+s.Phase))
+}
+
+// ScaledSinusoid builds a sinusoid profile relative to the hop's nominal
+// bandwidth: mean base*meanFactor, swing base*swingFactor.
+func ScaledSinusoid(meanFactor, swingFactor float64, period time.Duration) func(baseBps float64) BandwidthProfile {
+	return func(base float64) BandwidthProfile {
+		return Sinusoid{Base: base * meanFactor, Amplitude: base * swingFactor, Period: period}
+	}
+}
+
+// TraceProfile replays recorded bandwidth samples at a fixed interval —
+// the hook for driving a hop from a real-world throughput trace. With Loop
+// set the trace repeats; otherwise the last sample holds.
+type TraceProfile struct {
+	Interval time.Duration
+	Samples  []float64
+	Loop     bool
+}
+
+// BandwidthAt implements BandwidthProfile.
+func (t *TraceProfile) BandwidthAt(now eventsim.Time) float64 {
+	if len(t.Samples) == 0 || t.Interval <= 0 {
+		return minBandwidth
+	}
+	i := int(time.Duration(now) / t.Interval)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(t.Samples) {
+		if t.Loop {
+			i %= len(t.Samples)
+		} else {
+			i = len(t.Samples) - 1
+		}
+	}
+	return clampBW(t.Samples[i])
+}
+
+func clampBW(bps float64) float64 {
+	if bps < minBandwidth {
+		return minBandwidth
+	}
+	return bps
+}

@@ -1,0 +1,190 @@
+package netem
+
+import (
+	"time"
+
+	"turbulence/internal/eventsim"
+)
+
+// OnOffCBR is a single background source alternating between exponential
+// On periods, during which it offers Rate bits/second to the link, and
+// exponential Off periods of silence — the standard Markov-modulated
+// fluid model of an interfering constant-bit-rate flow (another streaming
+// session, a periodic backup) sharing the hop.
+type OnOffCBR struct {
+	Rate    float64 // bits/second while On
+	OnMean  time.Duration
+	OffMean time.Duration
+
+	started bool
+	on      bool
+	until   eventsim.Time
+}
+
+// MeanLoadBits returns the source's long-run offered rate in bits/second.
+func (c *OnOffCBR) MeanLoadBits() float64 {
+	tot := c.OnMean + c.OffMean
+	if tot <= 0 {
+		return c.Rate
+	}
+	return c.Rate * float64(c.OnMean) / float64(tot)
+}
+
+// BitsBetween implements CrossTraffic.
+func (c *OnOffCBR) BitsBetween(rng *eventsim.RNG, from, to eventsim.Time) float64 {
+	if !c.started {
+		c.started = true
+		c.on = true // sources begin mid-activity; the first period is On
+		c.until = from.Add(expDur(rng, c.OnMean))
+	}
+	var bits float64
+	cur := from
+	for cur < to {
+		end := c.until
+		if end > to {
+			end = to
+		}
+		if c.on {
+			bits += c.Rate * end.Sub(cur).Seconds()
+		}
+		cur = end
+		if cur >= c.until {
+			c.on = !c.on
+			mean := c.OffMean
+			if c.on {
+				mean = c.OnMean
+			}
+			c.until = cur.Add(expDur(rng, mean))
+		}
+	}
+	return bits
+}
+
+// Poisson models an aggregate of background packets arriving as a Poisson
+// process with fixed packet size — smooth, memoryless cross traffic, the
+// limiting mix of many thin independent flows.
+type Poisson struct {
+	PacketsPerSec float64
+	PacketBytes   int
+
+	started bool
+	next    eventsim.Time
+}
+
+// BitsBetween implements CrossTraffic.
+func (p *Poisson) BitsBetween(rng *eventsim.RNG, from, to eventsim.Time) float64 {
+	if p.PacketsPerSec <= 0 || p.PacketBytes <= 0 {
+		return 0
+	}
+	gapMean := time.Duration(float64(time.Second) / p.PacketsPerSec)
+	if !p.started {
+		p.started = true
+		p.next = from.Add(expDur(rng, gapMean))
+	}
+	var bits float64
+	for p.next <= to {
+		bits += float64(8 * p.PacketBytes)
+		p.next = p.next.Add(expDur(rng, gapMean))
+	}
+	return bits
+}
+
+// ParetoOnOff aggregates several independent On/Off sources whose period
+// lengths are heavy-tailed (bounded Pareto) — the classical construction
+// of self-similar background traffic (Willinger et al.): long-range burst
+// correlation that a single exponential source cannot produce.
+type ParetoOnOff struct {
+	Sources int
+	Rate    float64 // bits/second per source while On
+	OnMean  time.Duration
+	OffMean time.Duration
+	Alpha   float64 // tail index, 1 < Alpha < 2 for self-similarity
+
+	state []onOffState
+}
+
+type onOffState struct {
+	started bool
+	on      bool
+	until   eventsim.Time
+}
+
+// MeanLoadBits returns the aggregate's long-run offered rate.
+func (p *ParetoOnOff) MeanLoadBits() float64 {
+	tot := p.OnMean + p.OffMean
+	if tot <= 0 {
+		return float64(p.Sources) * p.Rate
+	}
+	return float64(p.Sources) * p.Rate * float64(p.OnMean) / float64(tot)
+}
+
+// BitsBetween implements CrossTraffic.
+func (p *ParetoOnOff) BitsBetween(rng *eventsim.RNG, from, to eventsim.Time) float64 {
+	if p.Sources <= 0 {
+		return 0
+	}
+	if p.state == nil {
+		p.state = make([]onOffState, p.Sources)
+	}
+	alpha := p.Alpha
+	if alpha <= 1 {
+		alpha = 1.5
+	}
+	var bits float64
+	for i := range p.state {
+		s := &p.state[i]
+		if !s.started {
+			s.started = true
+			s.on = i%2 == 0 // stagger initial phases across sources
+			s.until = from.Add(paretoDur(rng, alpha, p.onOffMean(s.on)))
+		}
+		cur := from
+		for cur < to {
+			end := s.until
+			if end > to {
+				end = to
+			}
+			if s.on {
+				bits += p.Rate * end.Sub(cur).Seconds()
+			}
+			cur = end
+			if cur >= s.until {
+				s.on = !s.on
+				s.until = cur.Add(paretoDur(rng, alpha, p.onOffMean(s.on)))
+			}
+		}
+	}
+	return bits
+}
+
+func (p *ParetoOnOff) onOffMean(on bool) time.Duration {
+	if on {
+		return p.OnMean
+	}
+	return p.OffMean
+}
+
+// expDur draws an exponential duration with the given mean, floored at a
+// microsecond so period state machines always advance.
+func expDur(rng *eventsim.RNG, mean time.Duration) time.Duration {
+	d := time.Duration(rng.Exp(float64(mean)))
+	if d < time.Microsecond {
+		d = time.Microsecond
+	}
+	return d
+}
+
+// paretoDur draws a bounded-Pareto duration whose mean approximates mean:
+// for shape alpha the unbounded Pareto mean is alpha*lo/(alpha-1), so
+// lo = mean*(alpha-1)/alpha, with the tail truncated at 1000x lo.
+func paretoDur(rng *eventsim.RNG, alpha float64, mean time.Duration) time.Duration {
+	if mean <= 0 {
+		return time.Microsecond
+	}
+	lo := float64(mean) * (alpha - 1) / alpha
+	d := time.Duration(rng.Pareto(alpha, lo, 1000*lo))
+	if d < time.Microsecond {
+		d = time.Microsecond
+	}
+	return d
+}

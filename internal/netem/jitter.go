@@ -1,0 +1,55 @@
+package netem
+
+import (
+	"time"
+
+	"turbulence/internal/eventsim"
+)
+
+// UniformSpike is the seed testbed's jitter process as an explicit model:
+// a uniform component in [0, Max) plus occasional heavy-tailed Pareto
+// spikes — rare cross-traffic bursts that floor at an eighth of the spike
+// cap so they are genuinely disruptive.
+type UniformSpike struct {
+	Max       time.Duration // uniform component upper bound
+	SpikeProb float64       // probability of a heavy-tailed spike
+	SpikeMax  time.Duration // spike upper bound; must exceed Max to fire
+}
+
+// Draw implements DelayJitter.
+func (u UniformSpike) Draw(rng *eventsim.RNG) time.Duration {
+	var j time.Duration
+	if u.Max > 0 {
+		j = time.Duration(rng.Uniform(0, float64(u.Max)))
+	}
+	if u.SpikeProb > 0 && u.SpikeMax > u.Max && rng.Bernoulli(u.SpikeProb) {
+		lo := float64(u.SpikeMax) / 8
+		if min := float64(u.Max + 1); lo < min {
+			lo = min
+		}
+		j += time.Duration(rng.Pareto(1.2, lo, float64(u.SpikeMax)))
+	}
+	return j
+}
+
+// TruncNormal draws jitter from a Gaussian clamped to [Min, Max] — the
+// bell-shaped queueing delay of a persistently but moderately loaded
+// router, as opposed to UniformSpike's mostly-idle-with-bursts shape.
+type TruncNormal struct {
+	Mean, StdDev time.Duration
+	Min, Max     time.Duration
+}
+
+// Draw implements DelayJitter.
+func (t TruncNormal) Draw(rng *eventsim.RNG) time.Duration {
+	lo := t.Min
+	if lo < 0 {
+		lo = 0
+	}
+	hi := t.Max
+	if hi < lo {
+		hi = lo
+	}
+	v := rng.TruncNormal(float64(t.Mean), float64(t.StdDev), float64(lo), float64(hi))
+	return time.Duration(v)
+}

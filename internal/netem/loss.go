@@ -1,0 +1,90 @@
+package netem
+
+import (
+	"fmt"
+
+	"turbulence/internal/eventsim"
+)
+
+// Bernoulli drops each packet independently with fixed probability — the
+// seed testbed's loss process, now available as an explicit model.
+type Bernoulli float64
+
+// Drop implements LossModel.
+func (p Bernoulli) Drop(rng *eventsim.RNG) bool {
+	return rng.Bernoulli(float64(p))
+}
+
+// GilbertElliott is the classic two-state Markov loss channel: a Good
+// state with rare loss and a Bad state with heavy loss, with per-packet
+// transition probabilities between them. It produces the bursty,
+// correlated loss real Internet paths (and especially wireless links)
+// exhibit, which independent Bernoulli drops cannot: the same average loss
+// rate concentrated into bursts defeats packet-level recovery far more
+// effectively.
+type GilbertElliott struct {
+	// PGB and PBG are the per-packet transition probabilities
+	// Good->Bad and Bad->Good.
+	PGB, PBG float64
+	// LossGood and LossBad are the drop probabilities within each state.
+	LossGood, LossBad float64
+
+	bad bool
+}
+
+// NewGilbertElliott builds a chain that starts in the Good state.
+func NewGilbertElliott(pgb, pbg, lossGood, lossBad float64) *GilbertElliott {
+	return &GilbertElliott{PGB: pgb, PBG: pbg, LossGood: lossGood, LossBad: lossBad}
+}
+
+// GEFromBurst builds a Gilbert–Elliott chain from operational parameters:
+// the long-run average loss rate, the mean loss-burst length in packets
+// (the expected Bad-state sojourn), and the loss probability while Bad.
+// The Good state is lossless. Requires 0 < avgLoss < lossBad and
+// burstLen >= 1; a violation panics rather than silently simulating a
+// different loss rate than the caller asked for.
+func GEFromBurst(avgLoss, burstLen, lossBad float64) *GilbertElliott {
+	if avgLoss <= 0 || lossBad <= 0 || avgLoss >= lossBad {
+		panic(fmt.Sprintf("netem: GEFromBurst needs 0 < avgLoss < lossBad, got avgLoss=%g lossBad=%g", avgLoss, lossBad))
+	}
+	if burstLen < 1 {
+		burstLen = 1
+	}
+	pbg := 1 / burstLen
+	// Stationary Bad-state share piB satisfies piB*lossBad = avgLoss;
+	// piB = pgb/(pgb+pbg) gives pgb = pbg*piB/(1-piB).
+	piB := avgLoss / lossBad
+	pgb := pbg * piB / (1 - piB)
+	return NewGilbertElliott(pgb, pbg, 0, lossBad)
+}
+
+// Drop implements LossModel: advance the channel state, then draw loss
+// from the state's rate.
+func (g *GilbertElliott) Drop(rng *eventsim.RNG) bool {
+	if g.bad {
+		if rng.Bernoulli(g.PBG) {
+			g.bad = false
+		}
+	} else if rng.Bernoulli(g.PGB) {
+		g.bad = true
+	}
+	p := g.LossGood
+	if g.bad {
+		p = g.LossBad
+	}
+	return rng.Bernoulli(p)
+}
+
+// Stationary returns the chain's long-run average loss rate, the value the
+// empirical drop fraction converges to over many packets.
+func (g *GilbertElliott) Stationary() float64 {
+	denom := g.PGB + g.PBG
+	if denom <= 0 {
+		if g.bad {
+			return g.LossBad
+		}
+		return g.LossGood
+	}
+	piBad := g.PGB / denom
+	return piBad*g.LossBad + (1-piBad)*g.LossGood
+}

@@ -1,0 +1,134 @@
+// Package netem provides pluggable per-hop network impairment models for
+// the netsim substrate: loss processes, time-varying bandwidth profiles,
+// delay-jitter distributions, active queue management, and cross-traffic
+// injectors that consume link capacity without materialising packets. The
+// paper measured streaming turbulence over real Internet paths whose
+// conditions fluctuate; netem is what lets the simulated testbed reproduce
+// those dynamics — bursty loss, queue buildup, bandwidth brownouts —
+// instead of the seed's fixed bandwidth / independent loss / uniform
+// jitter hops.
+//
+// Models carry per-hop mutable state (a Gilbert–Elliott chain remembers
+// its channel state, RED its average queue), so hops never share model
+// instances: an Impairment is a bundle of factories, and every
+// unidirectional hop builds its own private set at connect time. All
+// randomness flows through the simulation's deterministic RNG, passed in
+// by the caller, so a seed fixes every draw and scenario runs are exactly
+// reproducible — sequentially or on a worker pool.
+//
+// On top of the models, the package ships a registry of named Scenarios
+// (paper-baseline, dsl, cable, lossy-wifi, congested-peering,
+// transatlantic, ...) describing how a whole path is impaired by hop role.
+package netem
+
+import (
+	"time"
+
+	"turbulence/internal/eventsim"
+)
+
+// LossModel decides whether a packet arriving at a hop is dropped by the
+// link's loss process (as opposed to queue overflow, which the hop's queue
+// handles).
+type LossModel interface {
+	// Drop reports whether the current packet is lost. Implementations
+	// advance their internal state exactly once per call.
+	Drop(rng *eventsim.RNG) bool
+}
+
+// BandwidthProfile yields the hop's output-link rate over simulated time.
+type BandwidthProfile interface {
+	// BandwidthAt returns the link rate in bits/second at time now. Calls
+	// are made with non-decreasing now within one simulation run.
+	BandwidthAt(now eventsim.Time) float64
+}
+
+// DelayJitter samples the extra per-packet queueing delay a hop adds on
+// top of its fixed propagation delay.
+type DelayJitter interface {
+	// Draw samples one packet's jitter. Must be non-negative.
+	Draw(rng *eventsim.RNG) time.Duration
+}
+
+// Queue is the hop's active-queue-management policy, consulted after the
+// physical FIFO limit check: a packet that fits may still be dropped early
+// (RED), which is how real routers signal congestion before overflow.
+type Queue interface {
+	// Admit reports whether a packet may enter a queue currently holding
+	// queued datagrams out of a physical limit. Returning false is an
+	// early (AQM) drop, counted separately from overflow.
+	Admit(rng *eventsim.RNG, queued, limit int) bool
+}
+
+// CrossTraffic models background load sharing a hop's output link. Rather
+// than materialising competing packets, implementations report the
+// background bits offered to the link over an interval; the hop converts
+// that into a capacity share and slows foreground serialization
+// accordingly, so queue buildup and drops emerge from the same FIFO the
+// foreground traffic uses.
+type CrossTraffic interface {
+	// BitsBetween returns the background bits offered during (from, to].
+	// Calls are made with non-decreasing, non-overlapping intervals;
+	// implementations advance internal state (on/off periods, arrival
+	// clocks) up to to.
+	BitsBetween(rng *eventsim.RNG, from, to eventsim.Time) float64
+}
+
+// HopModels bundles the built model instances of one unidirectional hop.
+// Nil fields leave that aspect of the hop on its spec-driven default
+// behaviour.
+type HopModels struct {
+	Loss      LossModel
+	Bandwidth BandwidthProfile
+	Jitter    DelayJitter
+	Queue     Queue
+	Cross     CrossTraffic
+}
+
+// Impairment describes how to impair one hop: a bundle of model factories.
+// Fields are factories, not instances, because models are stateful and
+// every unidirectional hop (forward and reverse directions included) needs
+// a private copy. Nil factories keep the hop's default behaviour.
+type Impairment struct {
+	// Loss builds the hop's loss process.
+	Loss func() LossModel
+	// Bandwidth builds the hop's rate profile around the hop's nominal
+	// (spec) bandwidth, so profiles can scale or modulate whatever the
+	// path provides rather than hard-coding absolute rates.
+	Bandwidth func(baseBps float64) BandwidthProfile
+	// Jitter builds the hop's delay-jitter distribution.
+	Jitter func() DelayJitter
+	// Queue builds the hop's AQM policy for a FIFO of the given physical
+	// limit.
+	Queue func(limit int) Queue
+	// Cross builds the hop's background-traffic injector.
+	Cross func() CrossTraffic
+}
+
+// Zero reports whether the impairment changes nothing.
+func (im Impairment) Zero() bool {
+	return im.Loss == nil && im.Bandwidth == nil && im.Jitter == nil &&
+		im.Queue == nil && im.Cross == nil
+}
+
+// Build instantiates fresh models for one hop. baseBps is the hop's
+// nominal bandwidth; limit its physical queue capacity.
+func (im Impairment) Build(baseBps float64, limit int) HopModels {
+	var m HopModels
+	if im.Loss != nil {
+		m.Loss = im.Loss()
+	}
+	if im.Bandwidth != nil {
+		m.Bandwidth = im.Bandwidth(baseBps)
+	}
+	if im.Jitter != nil {
+		m.Jitter = im.Jitter()
+	}
+	if im.Queue != nil {
+		m.Queue = im.Queue(limit)
+	}
+	if im.Cross != nil {
+		m.Cross = im.Cross()
+	}
+	return m
+}

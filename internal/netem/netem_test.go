@@ -1,0 +1,340 @@
+package netem
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"turbulence/internal/eventsim"
+)
+
+func TestBernoulliExtremes(t *testing.T) {
+	rng := eventsim.NewRNG(1)
+	if Bernoulli(0).Drop(rng) {
+		t.Fatal("p=0 dropped a packet")
+	}
+	if !Bernoulli(1).Drop(rng) {
+		t.Fatal("p=1 admitted a packet")
+	}
+	const n, p = 200000, 0.03
+	drops := 0
+	for i := 0; i < n; i++ {
+		if Bernoulli(p).Drop(rng) {
+			drops++
+		}
+	}
+	if got := float64(drops) / n; math.Abs(got-p) > 0.005 {
+		t.Fatalf("empirical loss %.4f, want ~%.4f", got, p)
+	}
+}
+
+// TestGilbertElliottStationaryConvergence pins the cross-seed determinism
+// requirement for the bursty loss model: over a long run the empirical
+// drop rate converges to the chain's stationary loss probability.
+func TestGilbertElliottStationaryConvergence(t *testing.T) {
+	for _, seed := range []int64{1, 2002, 77} {
+		rng := eventsim.NewRNG(seed)
+		g := GEFromBurst(0.02, 8, 0.3)
+		if got := g.Stationary(); math.Abs(got-0.02) > 1e-9 {
+			t.Fatalf("GEFromBurst stationary %.6f, want 0.02", got)
+		}
+		const n = 400000
+		drops := 0
+		for i := 0; i < n; i++ {
+			if g.Drop(rng) {
+				drops++
+			}
+		}
+		got := float64(drops) / n
+		if math.Abs(got-g.Stationary()) > 0.004 {
+			t.Fatalf("seed %d: empirical loss %.4f, stationary %.4f", seed, got, g.Stationary())
+		}
+	}
+}
+
+func TestGEFromBurstRejectsBadCalibration(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("avgLoss >= lossBad did not panic")
+		}
+	}()
+	GEFromBurst(0.3, 5, 0.2)
+}
+
+// TestGilbertElliottBurstiness verifies the point of the model: at equal
+// average loss, GE concentrates drops into longer consecutive runs than
+// the independent process.
+func TestGilbertElliottBurstiness(t *testing.T) {
+	const n = 500000
+	meanBurst := func(drop func() bool) float64 {
+		bursts, inBurst, length, total := 0, false, 0, 0
+		for i := 0; i < n; i++ {
+			if drop() {
+				if !inBurst {
+					bursts++
+					inBurst = true
+					length = 0
+				}
+				length++
+				total++
+			} else if inBurst {
+				inBurst = false
+			}
+		}
+		_ = length
+		if bursts == 0 {
+			return 0
+		}
+		return float64(total) / float64(bursts)
+	}
+	rngGE := eventsim.NewRNG(5)
+	ge := GEFromBurst(0.02, 8, 0.3)
+	rngBer := eventsim.NewRNG(5)
+	ber := Bernoulli(0.02)
+	geBurst := meanBurst(func() bool { return ge.Drop(rngGE) })
+	berBurst := meanBurst(func() bool { return ber.Drop(rngBer) })
+	if geBurst <= berBurst*1.2 {
+		t.Fatalf("GE mean burst %.2f not clearly above Bernoulli %.2f", geBurst, berBurst)
+	}
+}
+
+func TestConstantAndScaled(t *testing.T) {
+	if got := Constant(5e6).BandwidthAt(0); got != 5e6 {
+		t.Fatalf("Constant = %g", got)
+	}
+	if got := Constant(0).BandwidthAt(0); got != minBandwidth {
+		t.Fatalf("zero rate not clamped: %g", got)
+	}
+	p := Scaled(0.5)(10e6)
+	if got := p.BandwidthAt(eventsim.At(100)); got != 5e6 {
+		t.Fatalf("Scaled = %g", got)
+	}
+}
+
+func TestStepSchedule(t *testing.T) {
+	s := NewStepSchedule(1e6,
+		Step{At: 10 * time.Second, Bps: 5e5},
+		Step{At: 20 * time.Second, Bps: 2e6})
+	cases := []struct {
+		at   float64
+		want float64
+	}{{0, 1e6}, {9.99, 1e6}, {10, 5e5}, {15, 5e5}, {20, 2e6}, {1000, 2e6}}
+	for _, c := range cases {
+		if got := s.BandwidthAt(eventsim.At(c.at)); got != c.want {
+			t.Fatalf("at %gs: %g, want %g", c.at, got, c.want)
+		}
+	}
+	// A backwards query (profile reused from time zero) rescans correctly.
+	if got := s.BandwidthAt(eventsim.At(5)); got != 1e6 {
+		t.Fatalf("backwards query: %g, want 1e6", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order changes did not panic")
+		}
+	}()
+	NewStepSchedule(1, Step{At: 2 * time.Second}, Step{At: time.Second})
+}
+
+func TestSinusoid(t *testing.T) {
+	s := Sinusoid{Base: 1e6, Amplitude: 4e5, Period: 40 * time.Second}
+	if got := s.BandwidthAt(0); math.Abs(got-1e6) > 1 {
+		t.Fatalf("at 0: %g", got)
+	}
+	if got := s.BandwidthAt(eventsim.At(10)); math.Abs(got-1.4e6) > 1 {
+		t.Fatalf("at quarter period: %g", got)
+	}
+	if got := s.BandwidthAt(eventsim.At(30)); math.Abs(got-6e5) > 1 {
+		t.Fatalf("at three quarters: %g", got)
+	}
+	deep := Sinusoid{Base: 1e3, Amplitude: 1e6, Period: 40 * time.Second}
+	if got := deep.BandwidthAt(eventsim.At(30)); got != minBandwidth {
+		t.Fatalf("trough not clamped: %g", got)
+	}
+}
+
+func TestTraceProfile(t *testing.T) {
+	tr := &TraceProfile{Interval: 5 * time.Second, Samples: []float64{1e6, 2e6, 3e6}}
+	if got := tr.BandwidthAt(eventsim.At(4)); got != 1e6 {
+		t.Fatalf("sample 0: %g", got)
+	}
+	if got := tr.BandwidthAt(eventsim.At(7)); got != 2e6 {
+		t.Fatalf("sample 1: %g", got)
+	}
+	if got := tr.BandwidthAt(eventsim.At(100)); got != 3e6 {
+		t.Fatalf("hold last: %g", got)
+	}
+	tr.Loop = true
+	if got := tr.BandwidthAt(eventsim.At(16)); got != 1e6 {
+		t.Fatalf("loop: %g", got)
+	}
+}
+
+func TestUniformSpikeBounds(t *testing.T) {
+	rng := eventsim.NewRNG(9)
+	plain := UniformSpike{Max: 2 * time.Millisecond}
+	for i := 0; i < 10000; i++ {
+		j := plain.Draw(rng)
+		if j < 0 || j >= 2*time.Millisecond {
+			t.Fatalf("uniform jitter %v out of [0, 2ms)", j)
+		}
+	}
+	spiky := UniformSpike{Max: 2 * time.Millisecond, SpikeProb: 0.2, SpikeMax: 30 * time.Millisecond}
+	sawSpike := false
+	for i := 0; i < 10000; i++ {
+		j := spiky.Draw(rng)
+		if j < 0 || j > 32*time.Millisecond {
+			t.Fatalf("spiky jitter %v out of range", j)
+		}
+		if j > 2*time.Millisecond {
+			sawSpike = true
+		}
+	}
+	if !sawSpike {
+		t.Fatal("no spikes observed at 20% spike probability")
+	}
+}
+
+func TestTruncNormalBounds(t *testing.T) {
+	rng := eventsim.NewRNG(11)
+	tn := TruncNormal{Mean: 8 * time.Millisecond, StdDev: 3 * time.Millisecond,
+		Min: time.Millisecond, Max: 30 * time.Millisecond}
+	var sum time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		j := tn.Draw(rng)
+		if j < time.Millisecond || j > 30*time.Millisecond {
+			t.Fatalf("trunc-normal jitter %v out of [1ms, 30ms]", j)
+		}
+		sum += j
+	}
+	mean := sum / n
+	if mean < 7*time.Millisecond || mean > 9*time.Millisecond {
+		t.Fatalf("trunc-normal mean %v, want ~8ms", mean)
+	}
+}
+
+func TestDropTailAdmitsEverything(t *testing.T) {
+	rng := eventsim.NewRNG(1)
+	q := DropTail{}
+	for queued := 0; queued < 100; queued++ {
+		if !q.Admit(rng, queued, 100) {
+			t.Fatalf("DropTail refused at %d/100", queued)
+		}
+	}
+}
+
+func TestREDRegimes(t *testing.T) {
+	rng := eventsim.NewRNG(3)
+	r := NewRED(5, 15, 0.1, 0.2)
+	// Empty queue: always admit.
+	for i := 0; i < 100; i++ {
+		if !r.Admit(rng, 0, 100) {
+			t.Fatal("RED dropped below MinTh")
+		}
+	}
+	// Saturated queue drives the average over MaxTh: certain drop.
+	for i := 0; i < 200; i++ {
+		r.Admit(rng, 60, 100)
+	}
+	if r.AvgQueue() < r.MaxTh {
+		t.Fatalf("average %.1f did not cross MaxTh", r.AvgQueue())
+	}
+	if r.Admit(rng, 60, 100) {
+		t.Fatal("RED admitted above MaxTh")
+	}
+	// Intermediate occupancy: some but not all packets admitted.
+	r2 := NewRED(5, 15, 0.5, 1) // weight 1 pins avg to the instantaneous queue
+	admits, drops := 0, 0
+	for i := 0; i < 2000; i++ {
+		if r2.Admit(rng, 10, 100) {
+			admits++
+		} else {
+			drops++
+		}
+	}
+	if admits == 0 || drops == 0 {
+		t.Fatalf("RED between thresholds: admits=%d drops=%d, want both", admits, drops)
+	}
+}
+
+func TestOnOffCBRLongRunShare(t *testing.T) {
+	rng := eventsim.NewRNG(21)
+	c := &OnOffCBR{Rate: 1e6, OnMean: 2 * time.Second, OffMean: 6 * time.Second}
+	const horizon = 4000.0 // seconds
+	var bits float64
+	step := 50 * time.Millisecond
+	for at := eventsim.Time(0); at < eventsim.At(horizon); at = at.Add(step) {
+		bits += c.BitsBetween(rng, at, at.Add(step))
+	}
+	want := c.MeanLoadBits() * horizon
+	if math.Abs(bits-want)/want > 0.15 {
+		t.Fatalf("on/off CBR delivered %.3g bits, want ~%.3g", bits, want)
+	}
+}
+
+func TestPoissonLongRunRate(t *testing.T) {
+	rng := eventsim.NewRNG(22)
+	p := &Poisson{PacketsPerSec: 200, PacketBytes: 500}
+	const horizon = 500.0
+	var bits float64
+	step := 20 * time.Millisecond
+	for at := eventsim.Time(0); at < eventsim.At(horizon); at = at.Add(step) {
+		bits += p.BitsBetween(rng, at, at.Add(step))
+	}
+	want := 200.0 * 500 * 8 * horizon
+	if math.Abs(bits-want)/want > 0.1 {
+		t.Fatalf("poisson delivered %.3g bits, want ~%.3g", bits, want)
+	}
+}
+
+func TestParetoOnOffAggregate(t *testing.T) {
+	rng := eventsim.NewRNG(23)
+	p := &ParetoOnOff{Sources: 4, Rate: 1e6, Alpha: 1.5,
+		OnMean: 2 * time.Second, OffMean: 6 * time.Second}
+	const horizon = 4000.0
+	var bits float64
+	step := 50 * time.Millisecond
+	for at := eventsim.Time(0); at < eventsim.At(horizon); at = at.Add(step) {
+		b := p.BitsBetween(rng, at, at.Add(step))
+		if b < 0 {
+			t.Fatalf("negative bits %g", b)
+		}
+		if max := float64(p.Sources) * p.Rate * step.Seconds() * 1.01; b > max {
+			t.Fatalf("interval bits %g exceed aggregate capacity %g", b, max)
+		}
+		bits += b
+	}
+	// Heavy-tailed periods converge slowly; just require the long-run load
+	// to be in the right regime around the nominal 25% duty cycle.
+	want := p.MeanLoadBits() * horizon
+	if bits < want*0.5 || bits > want*1.6 {
+		t.Fatalf("pareto aggregate delivered %.3g bits, want within [0.5, 1.6]x of %.3g", bits, want)
+	}
+}
+
+func TestImpairmentBuild(t *testing.T) {
+	var zero Impairment
+	if !zero.Zero() {
+		t.Fatal("zero Impairment not Zero")
+	}
+	if m := zero.Build(1e6, 100); m.Loss != nil || m.Bandwidth != nil || m.Jitter != nil ||
+		m.Queue != nil || m.Cross != nil {
+		t.Fatal("zero Impairment built models")
+	}
+	im := Impairment{
+		Loss:      func() LossModel { return GEFromBurst(0.02, 8, 0.3) },
+		Bandwidth: Scaled(0.5),
+		Queue:     func(limit int) Queue { return NewRED(float64(limit)/10, float64(limit)/2, 0.1, 0.02) },
+	}
+	if im.Zero() {
+		t.Fatal("non-zero Impairment reported Zero")
+	}
+	a, b := im.Build(2e6, 100), im.Build(2e6, 100)
+	if a.Loss == b.Loss {
+		t.Fatal("Build shared a stateful loss model between hops")
+	}
+	if got := a.Bandwidth.BandwidthAt(0); got != 1e6 {
+		t.Fatalf("scaled bandwidth %g, want 1e6", got)
+	}
+}

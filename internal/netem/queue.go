@@ -1,0 +1,70 @@
+package netem
+
+import "turbulence/internal/eventsim"
+
+// DropTail admits every packet the physical FIFO can hold — the classic
+// (and the seed testbed's) queue discipline. Overflow drops are handled by
+// the hop's limit check before the policy is consulted.
+type DropTail struct{}
+
+// Admit implements Queue.
+func (DropTail) Admit(*eventsim.RNG, int, int) bool { return true }
+
+// RED is Random Early Detection (Floyd & Jacobson 1993): the router
+// tracks an EWMA of its queue occupancy and probabilistically drops
+// arrivals once the average crosses MinTh, with the drop probability
+// rising to MaxP at MaxTh and certain drop beyond. Early drops signal
+// congestion to responsive flows before the queue overflows; against the
+// paper's unresponsive streaming flows they act as a burst-smearing loss
+// process tied to queue buildup.
+type RED struct {
+	MinTh, MaxTh float64 // thresholds on the average queue, in packets
+	MaxP         float64 // drop probability at MaxTh
+	Weight       float64 // EWMA weight per arrival (typically 0.002-0.05)
+
+	avg   float64
+	count int // packets since the last early drop
+}
+
+// NewRED builds a RED policy with the given thresholds; weight defaults to
+// 0.02 if non-positive.
+func NewRED(minTh, maxTh, maxP, weight float64) *RED {
+	if weight <= 0 {
+		weight = 0.02
+	}
+	if maxTh <= minTh {
+		maxTh = minTh + 1
+	}
+	return &RED{MinTh: minTh, MaxTh: maxTh, MaxP: maxP, Weight: weight}
+}
+
+// AvgQueue exposes the current average occupancy estimate.
+func (r *RED) AvgQueue() float64 { return r.avg }
+
+// Admit implements Queue.
+func (r *RED) Admit(rng *eventsim.RNG, queued, limit int) bool {
+	r.avg += r.Weight * (float64(queued) - r.avg)
+	switch {
+	case r.avg < r.MinTh:
+		r.count = 0
+		return true
+	case r.avg >= r.MaxTh:
+		r.count = 0
+		return false
+	}
+	pb := r.MaxP * (r.avg - r.MinTh) / (r.MaxTh - r.MinTh)
+	// Spread drops out: scale by the run of admissions since the last
+	// drop, as in the original gentle-RED recommendation.
+	pa := pb
+	if d := 1 - float64(r.count)*pb; d > pb {
+		pa = pb / d
+	} else {
+		pa = 1
+	}
+	r.count++
+	if rng.Bernoulli(pa) {
+		r.count = 0
+		return false
+	}
+	return true
+}

@@ -1,0 +1,127 @@
+package netem
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// HopRole classifies a hop's position within a client<->site path, the
+// granularity at which scenarios describe impairments. Roles are assigned
+// in the client-to-site direction and stay attached to the same router on
+// the mirrored reverse path, as a real path's last mile stays the last
+// mile in both directions.
+type HopRole int
+
+const (
+	// RoleAccess is the client-side access hop (the campus LAN link).
+	RoleAccess HopRole = iota
+	// RoleBackbone is an intermediate transit hop.
+	RoleBackbone
+	// RoleBottleneck is the server-side access hop, the path bottleneck in
+	// the paper's testbed.
+	RoleBottleneck
+)
+
+// String names the role.
+func (r HopRole) String() string {
+	switch r {
+	case RoleAccess:
+		return "access"
+	case RoleBottleneck:
+		return "bottleneck"
+	default:
+		return "backbone"
+	}
+}
+
+// Scenario is a named, reusable recipe of per-hop impairments. A Scenario
+// value holds only factories, never model state, so one Scenario serves
+// any number of concurrent runs.
+type Scenario struct {
+	Name        string
+	Description string
+
+	// Hop returns the impairment for one hop, given its role, index and
+	// the path's hop count. Called once per hop per path at testbed
+	// construction; a zero Impairment leaves the hop faithful.
+	Hop func(role HopRole, index, pathHops int) Impairment
+
+	// HorizonSlack extends the experiment watchdog horizon, for scenarios
+	// whose impairments stretch streaming (congestion episodes, heavy
+	// loss).
+	HorizonSlack time.Duration
+}
+
+// Impair is a nil-safe accessor for the scenario's hop recipe.
+func (s *Scenario) Impair(role HopRole, index, pathHops int) Impairment {
+	if s == nil || s.Hop == nil {
+		return Impairment{}
+	}
+	return s.Hop(role, index, pathHops)
+}
+
+// Slack is a nil-safe accessor for HorizonSlack.
+func (s *Scenario) Slack() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.HorizonSlack
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]*Scenario{}
+)
+
+// Register adds a scenario to the library; duplicate names panic, as with
+// experiment ids.
+func Register(s *Scenario) {
+	if s == nil || s.Name == "" {
+		panic("netem: Register of unnamed scenario")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[s.Name]; dup {
+		panic("netem: duplicate scenario " + s.Name)
+	}
+	registry[s.Name] = s
+}
+
+// Find returns the named scenario.
+func Find(name string) (*Scenario, error) {
+	regMu.RLock()
+	s, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		// Names re-locks; the RLock must be released first (a nested RLock
+		// deadlocks against a waiting writer).
+		return nil, fmt.Errorf("netem: unknown scenario %q (have %v)", name, Names())
+	}
+	return s, nil
+}
+
+// Names lists registered scenario names in sorted order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns the registered scenarios ordered by name.
+func All() []*Scenario {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]*Scenario, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,100 @@
+package netem
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScenarioRegistry(t *testing.T) {
+	names := Names()
+	for _, want := range []string{
+		"paper-baseline", "dsl", "cable", "lossy-wifi",
+		"congested-peering", "transatlantic", "brownout", "flash-crowd",
+		"trace-wireless",
+	} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("builtin scenario %q not registered (have %v)", want, names)
+		}
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+	}
+	if len(All()) != len(names) {
+		t.Fatalf("All returned %d scenarios, Names %d", len(All()), len(names))
+	}
+
+	if _, err := Find("no-such-scenario"); err == nil ||
+		!strings.Contains(err.Error(), "no-such-scenario") {
+		t.Fatalf("Find unknown: err = %v", err)
+	}
+	s, err := Find("lossy-wifi")
+	if err != nil || s.Name != "lossy-wifi" {
+		t.Fatalf("Find lossy-wifi: %v, %v", s, err)
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	Register(&Scenario{Name: "test-dup-probe"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register(&Scenario{Name: "test-dup-probe"})
+}
+
+// TestBuiltinsBuildEverywhere instantiates every builtin scenario's
+// impairments for every hop of a representative path, catching factory
+// panics and shared-state mistakes at registration level.
+func TestBuiltinsBuildEverywhere(t *testing.T) {
+	const hops = 16
+	for _, sc := range All() {
+		if strings.HasPrefix(sc.Name, "test-") {
+			continue
+		}
+		for i := 0; i < hops; i++ {
+			role := RoleBackbone
+			switch i {
+			case 0:
+				role = RoleAccess
+			case hops - 1:
+				role = RoleBottleneck
+			}
+			im := sc.Impair(role, i, hops)
+			m := im.Build(900e3, 100)
+			if im.Zero() {
+				continue
+			}
+			if m.Bandwidth != nil && m.Bandwidth.BandwidthAt(0) < minBandwidth {
+				t.Fatalf("%s hop %d: bandwidth below floor", sc.Name, i)
+			}
+		}
+		if sc.Name == "paper-baseline" {
+			for i := 0; i < hops; i++ {
+				if !sc.Impair(RoleBackbone, i, hops).Zero() {
+					t.Fatal("paper-baseline impairs a hop")
+				}
+			}
+		}
+	}
+}
+
+// TestScenarioImpairNilSafe covers the nil accessors used when no
+// scenario is installed.
+func TestScenarioImpairNilSafe(t *testing.T) {
+	var s *Scenario
+	if !s.Impair(RoleAccess, 0, 10).Zero() {
+		t.Fatal("nil scenario impaired a hop")
+	}
+	if s.Slack() != 0 {
+		t.Fatal("nil scenario has slack")
+	}
+}

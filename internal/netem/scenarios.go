@@ -1,0 +1,167 @@
+package netem
+
+import (
+	"math"
+	"time"
+)
+
+// The built-in scenario library. Every scenario is calibrated against the
+// Table 1 workload: the heaviest pair (set 6 very-high, ~1.37 Mbps
+// combined) must still stream to completion, so impairments create
+// turbulence — loss bursts, queue buildup, rate dips — without starving a
+// session outright.
+func init() {
+	Register(&Scenario{
+		Name: "paper-baseline",
+		Description: "The paper's testbed unchanged: fixed bandwidths, independent " +
+			"rare loss, uniform jitter with Pareto spikes. Byte-identical to running " +
+			"with no scenario at all.",
+		Hop: func(HopRole, int, int) Impairment { return Impairment{} },
+	})
+
+	Register(&Scenario{
+		Name: "dsl",
+		Description: "Client behind a 1.536 Mbps interleaved DSL line: the access hop " +
+			"is derated to DSL rate with the interleaver's bell-shaped latency jitter " +
+			"and rare line-code errors.",
+		Hop: ForRole(RoleAccess, Impairment{
+			Bandwidth: func(base float64) BandwidthProfile {
+				return Constant(math.Min(base, 1.536e6))
+			},
+			Jitter: func() DelayJitter {
+				return TruncNormal{Mean: 8 * time.Millisecond, StdDev: 3 * time.Millisecond,
+					Min: time.Millisecond, Max: 30 * time.Millisecond}
+			},
+			Loss: func() LossModel { return Bernoulli(0.0005) },
+		}),
+	})
+
+	Register(&Scenario{
+		Name: "cable",
+		Description: "Client on a 4 Mbps DOCSIS cable modem sharing the plant with " +
+			"bursty neighbours: heavy-tailed on/off cross traffic plus short error " +
+			"bursts from plant noise.",
+		Hop: ForRole(RoleAccess, Impairment{
+			Bandwidth: func(float64) BandwidthProfile { return Constant(4e6) },
+			Cross: func() CrossTraffic {
+				return &ParetoOnOff{Sources: 4, Rate: 600e3, Alpha: 1.5,
+					OnMean: 2 * time.Second, OffMean: 6 * time.Second}
+			},
+			Loss: func() LossModel { return GEFromBurst(0.003, 5, 0.2) },
+		}),
+	})
+
+	Register(&Scenario{
+		Name: "lossy-wifi",
+		Description: "Client on an early 802.11b link: bursty Gilbert-Elliott loss " +
+			"(2% average concentrated in ~8-packet fade bursts) and contention jitter " +
+			"with occasional long spikes.",
+		Hop: ForRole(RoleAccess, Impairment{
+			Loss: func() LossModel { return GEFromBurst(0.02, 8, 0.3) },
+			Jitter: func() DelayJitter {
+				return UniformSpike{Max: 2 * time.Millisecond, SpikeProb: 0.01,
+					SpikeMax: 30 * time.Millisecond}
+			},
+		}),
+		HorizonSlack: 30 * time.Second,
+	})
+
+	Register(&Scenario{
+		Name: "congested-peering",
+		Description: "A mid-path peering point runs hot: self-similar cross traffic " +
+			"episodically fills the 45 Mbps link, RED sheds load as queues build, and " +
+			"transit jitter grows.",
+		Hop: func(r HopRole, index, pathHops int) Impairment {
+			if r != RoleBackbone || index != pathHops/2 {
+				return Impairment{}
+			}
+			return Impairment{
+				Cross: func() CrossTraffic {
+					return &ParetoOnOff{Sources: 8, Rate: 5.5e6, Alpha: 1.5,
+						OnMean: 3 * time.Second, OffMean: 7 * time.Second}
+				},
+				Queue: func(limit int) Queue {
+					return NewRED(float64(limit)/20, float64(limit)/3, 0.1, 0.02)
+				},
+				Jitter: func() DelayJitter {
+					return TruncNormal{Mean: time.Millisecond, StdDev: time.Millisecond,
+						Max: 10 * time.Millisecond}
+				},
+			}
+		},
+		HorizonSlack: time.Minute,
+	})
+
+	Register(&Scenario{
+		Name: "transatlantic",
+		Description: "Every transit hop behaves like a long-haul segment: bell-shaped " +
+			"queueing jitter on each backbone hop inflates and spreads the RTT, with " +
+			"mild correlated loss from distant congestion.",
+		Hop: ForRole(RoleBackbone, Impairment{
+			Jitter: func() DelayJitter {
+				return TruncNormal{Mean: 3 * time.Millisecond, StdDev: 2 * time.Millisecond,
+					Max: 20 * time.Millisecond}
+			},
+			Loss: func() LossModel { return GEFromBurst(0.002, 4, 0.15) },
+		}),
+		HorizonSlack: 30 * time.Second,
+	})
+
+	Register(&Scenario{
+		Name: "brownout",
+		Description: "The server-side bottleneck browns out mid-session: at t=60s its " +
+			"rate steps down to 45% of nominal for 30 seconds, then recovers — a route " +
+			"change onto a congested backup path and back.",
+		Hop: ForRole(RoleBottleneck, Impairment{
+			Bandwidth: func(base float64) BandwidthProfile {
+				return NewStepSchedule(base,
+					Step{At: 60 * time.Second, Bps: base * 0.45},
+					Step{At: 90 * time.Second, Bps: base})
+			},
+		}),
+		HorizonSlack: time.Minute,
+	})
+
+	Register(&Scenario{
+		Name: "flash-crowd",
+		Description: "The server site rides a popularity wave: its access rate " +
+			"oscillates (+-30% around nominal, 50s period) under other viewers' " +
+			"load, with a Poisson haze of request traffic on the same link.",
+		Hop: ForRole(RoleBottleneck, Impairment{
+			Bandwidth: ScaledSinusoid(1.0, 0.3, 50*time.Second),
+			Cross: func() CrossTraffic {
+				return &Poisson{PacketsPerSec: 30, PacketBytes: 400}
+			},
+		}),
+		HorizonSlack: time.Minute,
+	})
+
+	Register(&Scenario{
+		Name: "trace-wireless",
+		Description: "The access link replays a recorded wireless throughput trace " +
+			"(5s samples, looped) with fade-correlated loss — the template for " +
+			"driving a hop from real-world measurements.",
+		Hop: ForRole(RoleAccess, Impairment{
+			Bandwidth: func(float64) BandwidthProfile {
+				return &TraceProfile{Interval: 5 * time.Second, Loop: true, Samples: []float64{
+					2.2e6, 1.9e6, 1.4e6, 1.7e6, 2.4e6, 1.1e6, 0.8e6, 1.5e6,
+					2.0e6, 2.3e6, 1.2e6, 0.9e6, 1.6e6, 2.1e6, 1.8e6, 1.0e6,
+				}}
+			},
+			Loss: func() LossModel { return GEFromBurst(0.008, 6, 0.25) },
+		}),
+		HorizonSlack: time.Minute,
+	})
+}
+
+// ForRole builds a Scenario.Hop function applying one impairment to every
+// hop of the given role and leaving the rest faithful — the common shape
+// of both the built-in library and custom user scenarios.
+func ForRole(r HopRole, im Impairment) func(HopRole, int, int) Impairment {
+	return func(hr HopRole, _, _ int) Impairment {
+		if hr != r {
+			return Impairment{}
+		}
+		return im
+	}
+}

@@ -9,6 +9,12 @@
 // at its MTU (the mechanism behind the paper's MediaPlayer findings) and
 // the receiving host reassembles. Router hops decrement TTL and return
 // ICMP time-exceeded errors, which is what makes tracert work.
+//
+// Hops are impairable: a HopSpec may carry a netem.Impairment whose models
+// replace the spec's fixed loss/bandwidth/jitter processes and add AQM and
+// cross-traffic on top — the mechanism behind the scenario library's
+// bursty, time-varying network conditions. Unimpaired hops run the exact
+// legacy code path, draw for draw.
 package netsim
 
 import (
@@ -17,12 +23,13 @@ import (
 
 	"turbulence/internal/eventsim"
 	"turbulence/internal/inet"
+	"turbulence/internal/netem"
 )
 
 // HopSpec describes one router hop of a path.
 type HopSpec struct {
 	Addr      inet.Addr     // router address reported to traceroute
-	Bandwidth float64       // link bits/second leaving this hop
+	Bandwidth float64       // nominal link bits/second leaving this hop
 	PropDelay time.Duration // propagation to the next hop (or host)
 	JitterMax time.Duration // uniform extra queueing delay from cross traffic
 	SpikeProb float64       // probability of a heavy-tailed jitter spike
@@ -30,6 +37,13 @@ type HopSpec struct {
 	Loss      float64       // independent drop probability at this hop
 	Corrupt   float64       // probability of flipping a payload byte in transit
 	QueueLen  int           // max datagrams queued awaiting serialization (0 = default)
+
+	// Impair plugs netem models into the hop. Zero (no factories) keeps
+	// the spec-driven fields above as the hop's behaviour; each non-nil
+	// factory overrides its aspect. Factories are instantiated per
+	// unidirectional hop at connect time, so duplex directions never share
+	// model state.
+	Impair netem.Impairment
 }
 
 // DefaultQueueLen is used when a HopSpec leaves QueueLen zero; generous
@@ -37,9 +51,18 @@ type HopSpec struct {
 // in the paper's uncongested runs.
 const DefaultQueueLen = 100
 
+// maxCrossLoad caps the link share cross traffic may consume, so
+// background load can brown a link out (down to 2% of capacity) but never
+// wedge it entirely.
+const maxCrossLoad = 0.98
+
 // hopState is the runtime state of a unidirectional hop.
 type hopState struct {
 	spec HopSpec
+	// models holds the hop's instantiated netem models; nil fields fall
+	// back to the spec-driven legacy behaviour, keeping unimpaired hops
+	// allocation- and draw-identical to the pre-netem code.
+	models netem.HopModels
 	// busyUntil is when the output link finishes serialising the last
 	// accepted datagram.
 	busyUntil eventsim.Time
@@ -48,11 +71,29 @@ type hopState struct {
 	// queued counts datagrams accepted but not yet fully serialised.
 	queued int
 
-	// Counters for diagnostics and the congestion experiments.
+	// Cross-traffic fluid state: the last integration time and the load
+	// share computed for that step.
+	crossInit bool
+	crossAt   eventsim.Time
+	crossLoad float64
+
+	// Counters for diagnostics and the congestion experiments. DroppedAQM
+	// counts early drops by the queue policy (RED), distinct from
+	// DroppedFull (physical FIFO overflow) and DroppedLoss (link loss
+	// process).
 	Forwarded   uint64
 	DroppedLoss uint64
 	DroppedFull uint64
+	DroppedAQM  uint64
 	TTLExpired  uint64
+}
+
+// newHopState instantiates one unidirectional hop, building private netem
+// model instances from the spec's impairment factories.
+func newHopState(spec HopSpec) *hopState {
+	h := &hopState{spec: spec}
+	h.models = spec.Impair.Build(spec.Bandwidth, h.queueCap())
+	return h
 }
 
 // transmissionDelay returns the serialization time of wireBytes at bps.
@@ -70,6 +111,79 @@ func (h *hopState) queueCap() int {
 		return h.spec.QueueLen
 	}
 	return DefaultQueueLen
+}
+
+// dropByLoss runs the hop's loss process for one packet.
+func (h *hopState) dropByLoss(rng *eventsim.RNG) bool {
+	if h.models.Loss != nil {
+		return h.models.Loss.Drop(rng)
+	}
+	return h.spec.Loss > 0 && rng.Bernoulli(h.spec.Loss)
+}
+
+// admit consults the hop's AQM policy after the physical limit check.
+func (h *hopState) admit(rng *eventsim.RNG) bool {
+	if h.models.Queue == nil {
+		return true
+	}
+	return h.models.Queue.Admit(rng, h.queued, h.queueCap())
+}
+
+// bandwidthAt returns the hop's current output rate, after the bandwidth
+// profile and the cross-traffic capacity share.
+func (h *hopState) bandwidthAt(rng *eventsim.RNG, now eventsim.Time) float64 {
+	bw := h.spec.Bandwidth
+	if h.models.Bandwidth != nil {
+		bw = h.models.Bandwidth.BandwidthAt(now)
+	}
+	if h.models.Cross != nil {
+		bw *= 1 - h.crossShare(rng, now, bw)
+	}
+	return bw
+}
+
+// crossShare integrates the hop's background traffic up to now and returns
+// the link share it consumes, as a fluid approximation: the bits offered
+// over the last integration step, normalised by link capacity and capped
+// at maxCrossLoad. Foreground packets then serialise at the residual rate,
+// so queue buildup and overflow drops emerge in the same FIFO the
+// foreground uses.
+func (h *hopState) crossShare(rng *eventsim.RNG, now eventsim.Time, bw float64) float64 {
+	if !h.crossInit {
+		h.crossInit = true
+		h.crossAt = now
+		return 0
+	}
+	if now <= h.crossAt {
+		return h.crossLoad
+	}
+	bits := h.models.Cross.BitsBetween(rng, h.crossAt, now)
+	dt := now.Sub(h.crossAt).Seconds()
+	load := 0.0
+	if bw > 0 && dt > 0 {
+		load = bits / (bw * dt)
+	}
+	if load > maxCrossLoad {
+		load = maxCrossLoad
+	}
+	h.crossAt = now
+	h.crossLoad = load
+	return load
+}
+
+// drawJitter samples the hop's per-packet extra delay: the netem model if
+// one is installed, otherwise the spec's uniform-plus-spike process (the
+// legacy cross-traffic stand-in, the same sampler netem.UniformSpike
+// models — a stack value, so the fallback stays allocation-free).
+func (h *hopState) drawJitter(rng *eventsim.RNG) time.Duration {
+	if h.models.Jitter != nil {
+		return h.models.Jitter.Draw(rng)
+	}
+	return netem.UniformSpike{
+		Max:       h.spec.JitterMax,
+		SpikeProb: h.spec.SpikeProb,
+		SpikeMax:  h.spec.SpikeMax,
+	}.Draw(rng)
 }
 
 func (h *hopState) String() string {
@@ -105,7 +219,7 @@ func (p *Path) BasePropagation() time.Duration {
 	return d
 }
 
-// Bottleneck returns the lowest hop bandwidth in bits/second.
+// Bottleneck returns the lowest nominal hop bandwidth in bits/second.
 func (p *Path) Bottleneck() float64 {
 	if len(p.hops) == 0 {
 		return 0
@@ -119,19 +233,57 @@ func (p *Path) Bottleneck() float64 {
 	return min
 }
 
-// Stats aggregates hop counters for reporting.
+// PathStats aggregates hop counters for reporting. The three drop causes
+// stay separate so model loss (the link's loss process), AQM early drops
+// and queue overflow are distinguishable in every report.
 type PathStats struct {
-	Forwarded, DroppedLoss, DroppedFull, TTLExpired uint64
+	Forwarded, DroppedLoss, DroppedFull, DroppedAQM, TTLExpired uint64
+}
+
+// Dropped sums every drop cause.
+func (s PathStats) Dropped() uint64 {
+	return s.DroppedLoss + s.DroppedFull + s.DroppedAQM
+}
+
+// Add accumulates another stats value.
+func (s *PathStats) Add(o PathStats) {
+	s.Forwarded += o.Forwarded
+	s.DroppedLoss += o.DroppedLoss
+	s.DroppedFull += o.DroppedFull
+	s.DroppedAQM += o.DroppedAQM
+	s.TTLExpired += o.TTLExpired
 }
 
 // Stats sums the counters across hops.
 func (p *Path) Stats() PathStats {
 	var s PathStats
 	for _, h := range p.hops {
-		s.Forwarded += h.Forwarded
-		s.DroppedLoss += h.DroppedLoss
-		s.DroppedFull += h.DroppedFull
-		s.TTLExpired += h.TTLExpired
+		s.Add(h.stats())
 	}
 	return s
+}
+
+func (h *hopState) stats() PathStats {
+	return PathStats{
+		Forwarded:   h.Forwarded,
+		DroppedLoss: h.DroppedLoss,
+		DroppedFull: h.DroppedFull,
+		DroppedAQM:  h.DroppedAQM,
+		TTLExpired:  h.TTLExpired,
+	}
+}
+
+// HopCounters is one hop's counter snapshot, for per-hop breakdowns.
+type HopCounters struct {
+	Addr inet.Addr
+	PathStats
+}
+
+// HopStats returns per-hop counter snapshots in path order.
+func (p *Path) HopStats() []HopCounters {
+	out := make([]HopCounters, len(p.hops))
+	for i, h := range p.hops {
+		out[i] = HopCounters{Addr: h.spec.Addr, PathStats: h.stats()}
+	}
+	return out
 }

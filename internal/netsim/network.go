@@ -121,8 +121,7 @@ func (n *Network) connect(src, dst inet.Addr, specs []HopSpec) *Path {
 	}
 	p := &Path{src: src, dst: dst}
 	for _, s := range specs {
-		spec := s
-		p.hops = append(p.hops, &hopState{spec: spec})
+		p.hops = append(p.hops, newHopState(s))
 	}
 	n.paths[route{src, dst}] = p
 	return p
@@ -146,19 +145,27 @@ func (n *Network) send(d *inet.Datagram, now eventsim.Time) bool {
 }
 
 // forward advances t's datagram through its current hop, scheduling its
-// arrival at the next hop (or final delivery).
+// arrival at the next hop (or final delivery). Each stage delegates to the
+// hop's netem models when installed and to the spec-driven legacy
+// behaviour otherwise; either way the path is allocation-free per packet.
 func (n *Network) forward(t *transit, now eventsim.Time) {
 	p, i, d := t.p, t.hop, t.d
 	hop := p.hops[i]
-	// Random early loss from the hop's loss model.
-	if hop.spec.Loss > 0 && n.rng.Bernoulli(hop.spec.Loss) {
+	// Random early loss from the hop's loss process.
+	if hop.dropByLoss(n.rng) {
 		hop.DroppedLoss++
 		n.releaseTransit(t)
 		return
 	}
-	// Drop-tail queue.
+	// Drop-tail: physical FIFO overflow.
 	if hop.queued >= hop.queueCap() {
 		hop.DroppedFull++
+		n.releaseTransit(t)
+		return
+	}
+	// Active queue management: the policy may shed load before overflow.
+	if !hop.admit(n.rng) {
+		hop.DroppedAQM++
 		n.releaseTransit(t)
 		return
 	}
@@ -178,7 +185,7 @@ func (n *Network) forward(t *transit, now eventsim.Time) {
 	}
 
 	hop.queued++
-	ser := transmissionDelay(d.WireLen(), hop.spec.Bandwidth)
+	ser := transmissionDelay(d.WireLen(), hop.bandwidthAt(n.rng, now))
 	start := now
 	if hop.busyUntil > start {
 		start = hop.busyUntil
@@ -188,7 +195,7 @@ func (n *Network) forward(t *transit, now eventsim.Time) {
 	n.Sched.AtArg(departure, "hop.dequeue", hopDequeue, hop)
 
 	// Propagation plus cross-traffic jitter; FIFO order is preserved.
-	delay := hop.spec.PropDelay + n.drawJitter(hop.spec)
+	delay := hop.spec.PropDelay + hop.drawJitter(n.rng)
 	arrival := departure.Add(delay)
 	if arrival < hop.lastExit {
 		arrival = hop.lastExit
@@ -206,25 +213,6 @@ func (n *Network) forward(t *transit, now eventsim.Time) {
 	}
 	t.hop = i + 1
 	n.Sched.AtArg(arrival, "hop.forward", forwardStep, t)
-}
-
-// drawJitter samples the hop's cross-traffic delay model: a uniform
-// component plus occasional heavy-tailed spikes.
-func (n *Network) drawJitter(s HopSpec) time.Duration {
-	var j time.Duration
-	if s.JitterMax > 0 {
-		j = time.Duration(n.rng.Uniform(0, float64(s.JitterMax)))
-	}
-	if s.SpikeProb > 0 && s.SpikeMax > s.JitterMax && n.rng.Bernoulli(s.SpikeProb) {
-		// Heavy-tailed cross-traffic spikes: floor at an eighth of the
-		// cap so spikes are genuinely disruptive, with a Pareto tail.
-		lo := float64(s.SpikeMax) / 8
-		if min := float64(s.JitterMax + 1); lo < min {
-			lo = min
-		}
-		j += time.Duration(n.rng.Pareto(1.2, lo, float64(s.SpikeMax)))
-	}
-	return j
 }
 
 // returnTimeExceeded emits the ICMP error a router sends when TTL expires,

@@ -2,6 +2,7 @@ package rdt
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"time"
 
@@ -409,6 +410,10 @@ func (p *Player) armNAK() {
 		for s := range p.missing {
 			seqs = append(seqs, s)
 		}
+		// Sort the batch: map iteration order would otherwise leak into
+		// the NAK wire format and the server's retransmission order,
+		// breaking run-to-run determinism under bursty loss.
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
 		p.request(MethodNAK, map[string]string{"Seqs": FormatSeqList(seqs)})
 	})
 }

@@ -1,11 +1,15 @@
 #!/bin/sh
 # bench.sh — run the performance-tracked benchmarks in benchstat-compatible
 # format (standard `go test -bench` output is what benchstat consumes).
+# Lint (gofmt -l + go vet, i.e. `make lint`) runs first so tracked numbers
+# are never recorded from an unhygienic tree; its output goes to stderr to
+# keep stdout benchstat-clean.
 #
 # Usage:
 #   scripts/bench.sh            run the tracked benchmarks (5 iterations each)
 #   scripts/bench.sh baseline   print the committed baseline (BENCH_baseline.json)
 #                               re-rendered as benchstat-compatible lines
+#   scripts/bench.sh netem      same for the netem record (BENCH_netem.json)
 #
 # Compare a fresh run against the baseline:
 #   scripts/bench.sh > BENCH_current.txt
@@ -14,12 +18,19 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-TRACKED='BenchmarkPairRun$|BenchmarkProfileFlow$|BenchmarkFilterMatch$|BenchmarkRunAllSequential$|BenchmarkRunAllParallel$'
+TRACKED='BenchmarkPairRun$|BenchmarkPairRunNetem|BenchmarkProfileFlow$|BenchmarkFilterMatch$|BenchmarkRunAllSequential$|BenchmarkRunAllParallel$'
 
-if [ "${1:-}" = "baseline" ]; then
-    # Render BENCH_baseline.json as benchstat input. The JSON is a flat
+case "${1:-}" in
+baseline)
+    # Render a committed record as benchstat input. The JSON is a flat
     # {name: {ns_per_op, bytes_per_op, allocs_per_op}} map.
     exec go run ./scripts/benchjson
-fi
+    ;;
+netem)
+    exec go run ./scripts/benchjson BENCH_netem.json
+    ;;
+esac
+
+make lint 1>&2
 
 exec go test -run=NONE -bench="$TRACKED" -benchmem -benchtime=5x -count=1 .

@@ -1,5 +1,7 @@
-// Command benchjson re-renders BENCH_baseline.json as benchstat-compatible
-// benchmark lines, so the committed baseline can feed straight into
+// Command benchjson re-renders a committed benchmark record
+// (BENCH_baseline.json by default, or the file named as the first
+// argument, e.g. BENCH_netem.json) as benchstat-compatible benchmark
+// lines, so a committed record can feed straight into
 // `benchstat <(scripts/bench.sh baseline) BENCH_current.txt`.
 package main
 
@@ -24,7 +26,11 @@ type baseline struct {
 }
 
 func main() {
-	raw, err := os.ReadFile("BENCH_baseline.json")
+	file := "BENCH_baseline.json"
+	if len(os.Args) > 1 {
+		file = os.Args[1]
+	}
+	raw, err := os.ReadFile(file)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)

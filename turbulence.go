@@ -9,6 +9,8 @@ import (
 	"turbulence/internal/experiments"
 	"turbulence/internal/inet"
 	"turbulence/internal/media"
+	"turbulence/internal/netem"
+	"turbulence/internal/netsim"
 	"turbulence/internal/stats"
 )
 
@@ -38,6 +40,29 @@ type (
 	SiteProfile = core.SiteProfile
 	// Testbed is the full simulated apparatus.
 	Testbed = core.Testbed
+	// PairKey identifies one pair experiment (set, class).
+	PairKey = core.PairKey
+	// ScenarioRuns couples one scenario with its pair-run results.
+	ScenarioRuns = core.ScenarioRuns
+
+	// Scenario is a named netem recipe of per-hop impairments (bursty
+	// loss, time-varying bandwidth, AQM, cross traffic).
+	Scenario = netem.Scenario
+	// Impairment bundles netem model factories for one hop.
+	Impairment = netem.Impairment
+	// HopRole classifies a hop (access, backbone, bottleneck) for
+	// scenario recipes.
+	HopRole = netem.HopRole
+	// LossModel, BandwidthProfile, DelayJitter, Queue and CrossTraffic
+	// are the netem model interfaces, for custom scenarios.
+	LossModel        = netem.LossModel
+	BandwidthProfile = netem.BandwidthProfile
+	DelayJitter      = netem.DelayJitter
+	Queue            = netem.Queue
+	CrossTraffic     = netem.CrossTraffic
+	// PathStats is a path's drop breakdown (model loss vs queue overflow
+	// vs AQM early drops vs TTL expiry).
+	PathStats = netsim.PathStats
 
 	// Trace is a packet capture; FlowTrace is one flow's slice of it.
 	Trace = capture.Trace
@@ -115,6 +140,51 @@ func RunAll(seed int64) ([]*PairRun, error) { return core.RunAll(seed) }
 // are byte-identical to the sequential path; only wall-clock time differs.
 func RunAllParallel(seed int64, workers int) ([]*PairRun, error) {
 	return core.RunAllParallel(seed, workers)
+}
+
+// AllPairs lists the 13 Table 1 pair experiments in order.
+func AllPairs() []PairKey { return core.AllPairs() }
+
+// Scenarios lists the registered netem scenarios ordered by name.
+func Scenarios() []*Scenario { return netem.All() }
+
+// ScenarioNames lists the registered scenario names in sorted order.
+func ScenarioNames() []string { return netem.Names() }
+
+// FindScenario resolves a named scenario from the library
+// ("paper-baseline", "dsl", "cable", "lossy-wifi", "congested-peering",
+// "transatlantic", "brownout", "flash-crowd", "trace-wireless", plus any
+// registered by the embedding program).
+func FindScenario(name string) (*Scenario, error) { return netem.Find(name) }
+
+// RegisterScenario adds a custom scenario to the library; duplicate names
+// panic.
+func RegisterScenario(s *Scenario) { netem.Register(s) }
+
+// Hop role constants for scenario recipes.
+const (
+	RoleAccess     = netem.RoleAccess
+	RoleBackbone   = netem.RoleBackbone
+	RoleBottleneck = netem.RoleBottleneck
+)
+
+// ForRole builds a Scenario.Hop function applying one impairment to every
+// hop of the given role.
+func ForRole(r HopRole, im Impairment) func(HopRole, int, int) Impairment {
+	return netem.ForRole(r, im)
+}
+
+// GEFromBurst builds a bursty Gilbert–Elliott loss model from its average
+// loss rate, mean burst length (packets) and in-burst loss probability.
+func GEFromBurst(avgLoss, burstLen, lossBad float64) LossModel {
+	return netem.GEFromBurst(avgLoss, burstLen, lossBad)
+}
+
+// RunScenarioMatrix streams every listed clip pair under every listed
+// scenario on a worker pool (workers == 0 uses every core), with common
+// random numbers across scenarios. Deterministic for any workers value.
+func RunScenarioMatrix(seed int64, keys []PairKey, scenarios []*Scenario, workers int) ([]ScenarioRuns, error) {
+	return core.RunScenarioMatrix(seed, keys, scenarios, workers)
 }
 
 // ProfileFlow computes the turbulence profile of a captured flow.
