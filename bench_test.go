@@ -126,6 +126,33 @@ func BenchmarkRunAllParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkPlanStream measures the Plan/Runner engine end to end on the
+// paper's full sweep: 13 pair cells declared by the default Plan, fanned
+// across all cores, streamed in completion order with raw traces dropped
+// after profiling — the bounded-memory shape huge matrices run in.
+func BenchmarkPlanStream(b *testing.B) {
+	plan := turbulence.NewPlan(2002)
+	runner := turbulence.NewRunner(
+		turbulence.WithWorkers(0),
+		turbulence.WithTraceRetention(turbulence.DropTracesAfterProfile),
+	)
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for res := range runner.Seq(plan) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+			if res.Comparison == nil || res.Run.Trace != nil {
+				b.Fatal("retention contract violated")
+			}
+			n++
+		}
+		if n != plan.Size() {
+			b.Fatalf("streamed %d cells, want %d", n, plan.Size())
+		}
+	}
+}
+
 // BenchmarkFlowGeneration measures the Section IV synthetic generator
 // alone: one 60-second flow per iteration from a pre-fitted model.
 func BenchmarkFlowGeneration(b *testing.B) {

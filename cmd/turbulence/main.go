@@ -3,25 +3,45 @@
 //
 // Usage:
 //
-//	turbulence [-seed N] [-experiment id] [-parallel N] [-scenario name] [-list] [-list-scenarios] [-points]
+//	turbulence [-seed N] [-experiment id] [-parallel N] [-scenario name]
+//	           [-shard i/n] [-progress] [-json] [-csv dir] [-points]
+//	           [-list] [-list-scenarios]
 //
 // With no -experiment it runs everything, printing each artifact's rows,
 // series summaries and headline notes. -points includes full series data
-// (suitable for piping into a plotting tool). -parallel fans independent
-// pair runs out across a worker pool (0, the default, uses every core);
-// output is byte-identical to -parallel 1, just faster.
+// (suitable for piping into a plotting tool); -json emits the same
+// artifacts as one machine-readable JSON array (rows, series, notes)
+// instead of text. -parallel fans independent pair runs out across a
+// worker pool (0, the default, uses every core); output is byte-identical
+// to -parallel 1, just faster.
 //
 // -scenario streams every Table 1 pair run under a named netem scenario
 // (bursty loss, time-varying bandwidth, AQM, cross traffic), regenerating
 // the whole evaluation as a what-if under impaired network conditions;
 // -list-scenarios enumerates the library. Identical seed and scenario
 // reproduce identical output at any -parallel setting.
+//
+// -shard i/n deterministically carves the experiment list into n strided
+// slices and runs only the i-th (0-based), so n processes or machines
+// regenerate the full evaluation in parallel with no coordination:
+//
+//	turbulence -shard 0/3 & turbulence -shard 1/3 & turbulence -shard 2/3
+//
+// -progress reports each completed pair run on stderr while experiments
+// regenerate. Interrupting (ctrl-C) cancels in-flight simulation promptly
+// — mid-run, between events — and exits after the current bookkeeping.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
 
 	"turbulence"
@@ -32,6 +52,9 @@ func main() {
 	experiment := flag.String("experiment", "", "run a single experiment id (default: all)")
 	parallel := flag.Int("parallel", 0, "worker pool size for independent pair runs (1 = sequential, 0 = all cores); results are identical either way")
 	scenario := flag.String("scenario", "", "stream the pair runs under a named netem scenario (see -list-scenarios)")
+	shard := flag.String("shard", "", "run the i-th of n strided slices of the experiment list, as \"i/n\" (0-based); all shards together reproduce the full run")
+	progress := flag.Bool("progress", false, "report each completed pair run on stderr")
+	jsonOut := flag.Bool("json", false, "emit results as one machine-readable JSON array on stdout instead of text")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	listScenarios := flag.Bool("list-scenarios", false, "list netem scenario names and exit")
 	points := flag.Bool("points", false, "print full series point data")
@@ -55,13 +78,41 @@ func main() {
 	if *experiment != "" {
 		ids = []string{*experiment}
 	}
+	if *shard != "" {
+		var err error
+		if ids, err = shardIDs(ids, *shard); err != nil {
+			fmt.Fprintln(os.Stderr, "turbulence:", err)
+			os.Exit(2)
+		}
+	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "turbulence:", err)
 			os.Exit(1)
 		}
 	}
-	ctx := turbulence.NewExperimentContext(*seed).SetParallel(*parallel)
+
+	// Ctrl-C cancels in-flight simulation cooperatively (checked between
+	// simulation events); a second ctrl-C kills the process the hard way.
+	// The handler must unregister after the first signal, or NotifyContext
+	// would keep swallowing the later ones.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-sigCtx.Done()
+		stop()
+	}()
+
+	ctx := turbulence.NewExperimentContext(*seed).SetParallel(*parallel).SetCancel(sigCtx)
+	if *progress {
+		ctx.SetProgress(func(p turbulence.Progress) {
+			status := "ok"
+			if p.Err != nil {
+				status = "error: " + p.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "turbulence: run %d/%d %s %s\n", p.Done, p.Total, p.Key, status)
+		})
+	}
 	if *scenario != "" {
 		sc, err := turbulence.FindScenario(*scenario)
 		if err != nil {
@@ -70,13 +121,28 @@ func main() {
 		}
 		ctx.SetScenario(sc)
 	}
+	collected := []*turbulence.Result{} // non-nil: -json promises an array, never null
 	for _, id := range ids {
+		// An interrupt that landed during a cache-hit experiment (no
+		// Runner call to surface it) must still stop the sweep.
+		if sigCtx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "turbulence: interrupted")
+			os.Exit(130)
+		}
 		res, err := turbulence.RunExperiment(ctx, id)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "turbulence: interrupted")
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "turbulence: %s: %v\n", id, err)
 			os.Exit(1)
 		}
-		print_(res, *points)
+		if *jsonOut {
+			collected = append(collected, res)
+		} else {
+			print_(res, *points)
+		}
 		if *csvDir != "" {
 			if err := writeCSV(*csvDir, res); err != nil {
 				fmt.Fprintf(os.Stderr, "turbulence: %s: %v\n", id, err)
@@ -84,6 +150,34 @@ func main() {
 			}
 		}
 	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(collected); err != nil {
+			fmt.Fprintln(os.Stderr, "turbulence:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// shardIDs parses "i/n" and returns the strided slice {ids[j] : j%n == i},
+// mirroring Plan.Shard so the sharding story is one idea at both layers.
+func shardIDs(ids []string, spec string) ([]string, error) {
+	// strconv, not Sscanf: the whole spec must parse, so a typo like
+	// "1/34x" is rejected instead of silently running shard 1/3.
+	is, ns, ok := strings.Cut(spec, "/")
+	i, err1 := strconv.Atoi(is)
+	n, err2 := strconv.Atoi(ns)
+	if !ok || err1 != nil || err2 != nil || n <= 0 || i < 0 || i >= n {
+		return nil, fmt.Errorf("bad -shard %q (want \"i/n\" with 0 <= i < n)", spec)
+	}
+	var out []string
+	for j, id := range ids {
+		if j%n == i {
+			out = append(out, id)
+		}
+	}
+	return out, nil
 }
 
 // writeCSV emits one file per experiment: table rows first (if any), then
@@ -135,7 +229,7 @@ func print_(res *turbulence.Result, points bool) {
 			continue
 		}
 		first, last := s.Points[0], s.Points[len(s.Points)-1]
-		fmt.Fprintf(&b, "series %-40s  %d points, x:[%.3g..%.3g] y:[%.3g..%.3g]\n",
+		fmt.Fprintf(&b, "series %-40s  %d points, x:[%.3g..%.3g] y:[%s..%s]\n",
 			s.Name, len(s.Points), first.X, last.X, minY(s.Points), maxY(s.Points))
 	}
 	for _, n := range res.Notes {
@@ -145,22 +239,31 @@ func print_(res *turbulence.Result, points bool) {
 	fmt.Print(b.String())
 }
 
-func minY(pts []turbulence.Point) float64 {
-	m := pts[0].Y
+// minY and maxY summarise a series' y-range for the compact view. An empty
+// series — or one holding nothing but NaNs — has no extrema; rendering
+// "n/a" beats the ±Inf (or a panic on pts[0]) the naive fold produces.
+func minY(pts []turbulence.Point) string {
+	m := math.Inf(1)
 	for _, p := range pts {
 		if p.Y < m {
 			m = p.Y
 		}
 	}
-	return m
+	if math.IsInf(m, 1) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.3g", m)
 }
 
-func maxY(pts []turbulence.Point) float64 {
-	m := pts[0].Y
+func maxY(pts []turbulence.Point) string {
+	m := math.Inf(-1)
 	for _, p := range pts {
 		if p.Y > m {
 			m = p.Y
 		}
 	}
-	return m
+	if math.IsInf(m, -1) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.3g", m)
 }

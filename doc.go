@@ -8,14 +8,52 @@
 //
 // # Quick start
 //
-//	run, err := turbulence.RunPair(2002, 1, turbulence.High)
-//	if err != nil { ... }
-//	cmp := turbulence.Compare(run)
-//	fmt.Println("WMP:", cmp.WMP)   // CBR, fragmented at high rates
-//	fmt.Println("Real:", cmp.Real) // VBR, buffering burst, never fragments
+// A single experiment is RunPair; everything larger is a Plan executed by
+// a Runner. A Plan declares a run space — clip pairs × netem scenarios ×
+// ablation variants, plus a seed policy — without executing anything;
+// NewPlan(seed) alone declares the paper's full 13-pair sweep:
 //
-// Every run is seeded: identical (seed, set, class) triples produce
-// byte-identical traces.
+//	results, err := turbulence.NewRunner(turbulence.WithWorkers(0)).
+//		Run(turbulence.NewPlan(2002))
+//	if err != nil { ... }
+//	for _, res := range results {
+//		cmp := turbulence.Compare(res.Run)
+//		fmt.Println(res.Key, cmp.WMP, cmp.Real)
+//	}
+//
+// The Runner's functional options compose: WithWorkers(n) fans cells out
+// across a pool (0 = all cores), WithContext(ctx) makes the sweep
+// cancellable (checked between simulation events, so ctrl-C lands
+// mid-run), WithProgress(fn) observes each completion, and
+// WithTraceRetention(DropTracesAfterProfile) profiles then releases raw
+// captures so huge matrices stay in bounded memory. Results come back
+// collected in canonical order (Run) or streamed in completion order
+// (Stream, or Seq to range over):
+//
+//	plan := turbulence.NewPlan(2002).UnderScenarios(turbulence.Scenarios()...)
+//	r := turbulence.NewRunner(turbulence.WithWorkers(0),
+//		turbulence.WithTraceRetention(turbulence.DropTracesAfterProfile))
+//	for res := range r.Seq(plan) {
+//		fmt.Println(res.Key, res.Comparison.WMP.AvgRateBps)
+//	}
+//
+// Every run is seeded: identical plans produce byte-identical traces, for
+// any worker count. The pre-Plan entry points (RunAll, RunAllParallel,
+// RunScenarioMatrix, core's RunPairs...) remain as thin wrappers over the
+// same engine, pinned byte-identical by test, but new sweep code should
+// build Plans.
+//
+// # Sharding
+//
+// Plan.Shard(i, n) carves the i-th of n deterministic slices of the cell
+// space, so a huge matrix fans out across processes or machines with no
+// coordination beyond the (plan, i, n) triple; MergeRuns recombines the
+// shard outputs into exactly the unsharded result:
+//
+//	merged := turbulence.MergeRuns(shard0, shard1, shard2)
+//
+// cmd/turbulence exposes the same idea as -shard i/n. PERFORMANCE.md
+// documents the recipe end to end.
 //
 // # Network scenarios
 //
@@ -37,23 +75,27 @@
 //		turbulence.Options{Scenario: sc})
 //	fmt.Println(run.Downlink) // model loss vs queue overflow vs AQM drops
 //
-// RunScenarioMatrix streams every clip pair under every scenario with
-// common random numbers, and cmd/turbulence regenerates the whole
-// evaluation under a scenario via -scenario. Scenario runs are exactly as
-// deterministic as faithful ones: identical seed and scenario produce
-// byte-identical output, sequentially or on a worker pool.
+// A Plan's UnderScenarios axis streams every clip pair under every
+// scenario with common random numbers (the SeedCommon policy), so
+// differences between scenario rows reflect the impairments, not sampling
+// noise; cmd/turbulence regenerates the whole evaluation under a scenario
+// via -scenario.
 //
 // # Concurrency model
 //
 // Each simulation run is strictly single-threaded: one Scheduler owns one
 // testbed, and all model code executes inside event callbacks on that
 // scheduler's goroutine, which is what makes runs deterministic.
-// Parallelism lives one level up — independent pair runs (different seeds,
-// private testbeds, no shared mutable state) fan out across a worker pool
-// via RunAllParallel, core.RunPairs, or an experiment context's
-// SetParallel. Because every pair is seeded by core.SeedFor regardless of
-// which worker executes it, parallel output is byte-identical to
-// sequential output; only wall-clock time changes.
+// Parallelism lives one level up — the cells of a Plan are independent
+// (different seeds, private testbeds, no shared mutable state) and fan out
+// across the Runner's worker pool. Because every cell is seeded by
+// Plan.Seed (SeedFor under the default policy) regardless of which worker
+// executes it, parallel output is byte-identical to sequential output;
+// only wall-clock time changes. Cancellation is cooperative: the Runner's
+// context is polled between runs and, via the scheduler's interrupt seam,
+// between events inside a run, so a cancelled sweep stops promptly and
+// delivers only completed runs. An experiment Context is a thin cache over
+// the same Runner (SetParallel, SetCancel, SetProgress).
 //
 // # Layout
 //
@@ -63,6 +105,6 @@
 // library), netsim (links, hops, hosts), capture (sniffer, trace files,
 // display filters), media (Table 1 clip library), wms and rdt (the two
 // player stacks), tracker (instrumented players), probe (ping/tracert),
-// core (testbed + analysis + generator), and experiments (one generator
-// per paper table/figure).
+// core (testbed + analysis + generator + the Plan/Runner engine), and
+// experiments (one generator per paper table/figure).
 package turbulence

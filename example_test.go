@@ -72,3 +72,29 @@ func ExampleLibrary() {
 	// set 5: News, 4 clips
 	// set 6: Movie clip, 6 clips
 }
+
+// ExampleNewPlan declares a (scenario × pair × variant) run space and
+// shards it — all pure description, no simulation runs.
+func ExampleNewPlan() {
+	dsl, err := turbulence.FindScenario("dsl")
+	if err != nil {
+		panic(err)
+	}
+	// All 13 Table 1 pairs, faithful and DSL paths, two ablation points.
+	plan := turbulence.NewPlan(2002).
+		UnderScenarios(nil, dsl).
+		WithVariants(
+			turbulence.Variant{Name: "faithful"},
+			turbulence.Variant{Name: "nofrag", Opts: turbulence.Options{WMSUnitCap: 1400}},
+		)
+	fmt.Printf("cells: %d\n", plan.Size())
+	shard := plan.Shard(1, 4)
+	fmt.Printf("shard 1/4: %d cells, first %s\n", shard.Size(), shard.Keys()[0])
+	// A Runner would execute it:
+	//   results, err := turbulence.NewRunner(turbulence.WithWorkers(0)).Run(plan)
+	// and MergeRuns over every shard's results reassembles the matrix.
+
+	// Output:
+	// cells: 52
+	// shard 1/4: 13 cells, first faithful/set1/high
+}

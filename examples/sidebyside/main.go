@@ -13,10 +13,14 @@ import (
 )
 
 func main() {
-	runs, err := turbulence.RunAll(2002)
+	// The paper's full sweep is the default Plan; the Runner fans it out
+	// across every core with output byte-identical to a sequential run.
+	results, err := turbulence.NewRunner(turbulence.WithWorkers(0)).
+		Run(turbulence.NewPlan(2002))
 	if err != nil {
 		log.Fatal(err)
 	}
+	runs := turbulence.PairRuns(results)
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "set/class\tplayer\tenc Kbps\tavg bw Kbps\tfps\tmean pkt B\tfrag%\tstartup\tCBR")

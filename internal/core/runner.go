@@ -1,0 +1,279 @@
+package core
+
+import (
+	"context"
+	"iter"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// TraceRetention selects what a Runner keeps of each completed run.
+type TraceRetention int
+
+const (
+	// RetainTraces keeps every run's full packet capture and flow views —
+	// the default, and what the figure generators need.
+	RetainTraces TraceRetention = iota
+	// DropTracesAfterProfile profiles both flows (RunResult.Comparison),
+	// then releases the run's raw capture (Trace, WMPFlow, RealFlow set to
+	// nil). On huge matrices this bounds memory to the per-run working set
+	// plus a small summary per cell, instead of every packet ever sniffed.
+	DropTracesAfterProfile
+)
+
+// Progress is one completion notification delivered to a WithProgress
+// callback: cell Key finished (successfully or with Err) as the Done-th of
+// Total cells. Callbacks are serialised; they may be invoked from worker
+// goroutines but never concurrently.
+type Progress struct {
+	Done  int
+	Total int
+	Key   RunKey
+	Err   error
+}
+
+// RunResult is one executed Plan cell.
+type RunResult struct {
+	Key  RunKey
+	Seed int64
+
+	// Run is the full pair-run result (nil when Err is set, and stripped
+	// of raw traces under DropTracesAfterProfile).
+	Run *PairRun
+	// Comparison holds both flows' turbulence profiles, computed before
+	// the raw traces were dropped. Set only under DropTracesAfterProfile.
+	Comparison *Comparison
+
+	Err error
+}
+
+// Runner executes Plans. The zero configuration (NewRunner with no
+// options) runs sequentially with no cancellation, progress or trace
+// dropping — exactly the legacy sequential entry points. (A zero Runner
+// value also works; lacking the constructor's default it fans out across
+// all cores.) A Runner is stateless across calls and safe for concurrent
+// use; configuration is fixed at construction by functional options.
+type Runner struct {
+	workers   int
+	ctx       context.Context
+	progress  func(Progress)
+	retention TraceRetention
+}
+
+// context is the nil-safe accessor keeping the zero Runner usable.
+func (r *Runner) context() context.Context {
+	if r.ctx == nil {
+		return context.Background()
+	}
+	return r.ctx
+}
+
+// RunnerOption configures a Runner at construction.
+type RunnerOption func(*Runner)
+
+// WithWorkers sets the worker-pool size for independent cells: 1 runs
+// sequentially on the calling goroutine, 0 uses GOMAXPROCS. Because every
+// cell's seed comes from Plan.Seed regardless of which worker executes it,
+// results are byte-identical for any value; only wall-clock time changes.
+func WithWorkers(n int) RunnerOption {
+	return func(r *Runner) {
+		if n < 0 {
+			n = 1
+		}
+		r.workers = n
+	}
+}
+
+// WithContext installs a cancellation context. It is checked before each
+// cell starts and — via the scheduler's interrupt seam — between simulation
+// events inside each run, so cancelling aborts a sweep promptly even
+// mid-run. After cancellation a Runner delivers only the cells that had
+// already completed; Run additionally reports ctx.Err().
+func WithContext(ctx context.Context) RunnerOption {
+	return func(r *Runner) { r.ctx = ctx }
+}
+
+// WithProgress installs a completion callback, invoked serially after each
+// cell finishes — the hook behind live progress meters on long sweeps.
+func WithProgress(fn func(Progress)) RunnerOption {
+	return func(r *Runner) { r.progress = fn }
+}
+
+// WithTraceRetention selects what each completed run keeps (see
+// TraceRetention).
+func WithTraceRetention(tr TraceRetention) RunnerOption {
+	return func(r *Runner) { r.retention = tr }
+}
+
+// NewRunner builds a Runner from functional options.
+func NewRunner(opts ...RunnerOption) *Runner {
+	r := &Runner{workers: 1, ctx: context.Background()}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r
+}
+
+// execute runs every cell of the plan on the worker pool, delivering each
+// completed cell to emit exactly once. The progress callback is serialised
+// under a mutex; emit is NOT — it may be invoked from several workers at
+// once (and, for streaming, may block on the consumer without stalling the
+// other workers), so collectors must do their own locking. emit returning
+// false stops delivery. A cell error stops further cells from starting
+// (fail-fast; in-flight cells still finish and are delivered). Cells that
+// never started, or that were interrupted mid-simulation by cancellation,
+// are not emitted — completed work only.
+func (r *Runner) execute(p *Plan, emit func(RunResult) bool) {
+	ctx := r.context()
+	keys := p.Keys()
+	workers := r.workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+
+	var mu sync.Mutex
+	done := 0
+	var failed, stopped atomic.Bool
+	finish := func(res RunResult) bool {
+		if res.Err != nil {
+			failed.Store(true)
+		}
+		mu.Lock()
+		done++
+		if r.progress != nil {
+			r.progress(Progress{Done: done, Total: len(keys), Key: res.Key, Err: res.Err})
+		}
+		mu.Unlock()
+		if stopped.Load() {
+			return false
+		}
+		if !emit(res) {
+			stopped.Store(true)
+			return false
+		}
+		return true
+	}
+
+	runCell := func(k RunKey) bool {
+		if ctx.Err() != nil || failed.Load() {
+			return false
+		}
+		seed := p.Seed(k)
+		run, err := runPair(ctx, seed, k.Pair.Set, k.Pair.Class, p.optionsFor(k))
+		if err != nil && ctx.Err() != nil {
+			// Interrupted mid-simulation: not a completed cell.
+			return false
+		}
+		res := RunResult{Key: k, Seed: seed, Run: run, Err: err}
+		if err == nil && r.retention == DropTracesAfterProfile {
+			c := Compare(run)
+			res.Comparison = &c
+			run.Trace, run.WMPFlow, run.RealFlow = nil, nil, nil
+		}
+		return finish(res)
+	}
+
+	if workers <= 1 {
+		for _, k := range keys {
+			if !runCell(k) {
+				return
+			}
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(keys) {
+					return
+				}
+				if !runCell(keys[i]) {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Run executes the plan and collects every completed cell in canonical
+// plan order. The returned error is the context's error if the run was
+// cancelled, else the first collected cell error in canonical order, else
+// nil. On either kind of failure the sweep stops starting new cells
+// (in-flight ones finish) and the slice holds what completed — partial
+// results survive, and a failing sequential sweep aborts at the failure
+// exactly as the legacy path did.
+func (r *Runner) Run(p *Plan) ([]RunResult, error) {
+	var mu sync.Mutex
+	var out []RunResult
+	r.execute(p, func(res RunResult) bool {
+		mu.Lock()
+		out = append(out, res)
+		mu.Unlock()
+		return true
+	})
+	out = MergeRuns(out)
+	if err := r.context().Err(); err != nil {
+		return out, err
+	}
+	for _, res := range out {
+		if res.Err != nil {
+			return out, res.Err
+		}
+	}
+	return out, nil
+}
+
+// Stream executes the plan and delivers completed cells in completion
+// order on the returned channel, which closes when the sweep finishes or
+// the context is cancelled. Consumption is the backpressure: at most one
+// finished cell per worker is in flight, so huge sweeps never hold all
+// traces at once (pair with DropTracesAfterProfile to shrink even that).
+// Consumers that may abandon the channel early must install a cancellable
+// WithContext and cancel it, or workers block forever on the send.
+func (r *Runner) Stream(p *Plan) <-chan RunResult {
+	ch := make(chan RunResult)
+	done := r.context().Done()
+	go func() {
+		defer close(ch)
+		r.execute(p, func(res RunResult) bool {
+			select {
+			case ch <- res:
+				return true
+			case <-done:
+				return false
+			}
+		})
+	}()
+	return ch
+}
+
+// Seq is Stream as a range-over-func iterator: results arrive in
+// completion order, and breaking out of the loop cancels the remaining
+// work and returns once in-flight cells wind down.
+func (r *Runner) Seq(p *Plan) iter.Seq[RunResult] {
+	return func(yield func(RunResult) bool) {
+		ctx, cancel := context.WithCancel(r.context())
+		defer cancel()
+		sub := *r
+		sub.ctx = ctx
+		ch := sub.Stream(p)
+		for res := range ch {
+			if !yield(res) {
+				cancel()
+				for range ch { // release blocked workers
+				}
+				return
+			}
+		}
+	}
+}

@@ -1,10 +1,9 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"turbulence/internal/capture"
@@ -100,12 +99,35 @@ type Options struct {
 // RunPair executes one paired experiment on a fresh testbed. The seed
 // fixes every random draw, so a (seed, set, class) triple is exactly
 // reproducible.
+//
+// Deprecated-ish: RunPair remains fully supported, but new sweep code
+// should declare a Plan and execute it with a Runner, which adds
+// cancellation, progress, streaming and sharding for free.
 func RunPair(seed int64, set int, class media.Class) (*PairRun, error) {
 	return RunPairWith(seed, set, class, Options{})
 }
 
 // RunPairWith is RunPair with ablation options.
 func RunPairWith(seed int64, set int, class media.Class, opts Options) (*PairRun, error) {
+	return runPair(context.Background(), seed, set, class, opts)
+}
+
+// RunPairContext is RunPairWith under a cancellation context, for callers
+// that run one-off experiments (explicit literal seed, no Plan) but still
+// need ctrl-C to land mid-simulation. Identical ctx-less behaviour to
+// RunPairWith; on cancellation it returns ctx.Err() promptly.
+func RunPairContext(ctx context.Context, seed int64, set int, class media.Class, opts Options) (*PairRun, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return runPair(ctx, seed, set, class, opts)
+}
+
+// runPair is the single pair-experiment executor every entry point —
+// legacy or Runner — funnels through. The context is polled between
+// simulation events (the scheduler's interrupt seam), so a cancelled ctx
+// aborts the run promptly mid-stream and returns ctx.Err().
+func runPair(ctx context.Context, seed int64, set int, class media.Class, opts Options) (*PairRun, error) {
 	clipSet, ok := media.FindSet(set)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown data set %d", set)
@@ -149,32 +171,32 @@ func RunPairWith(seed int64, set int, class media.Class, opts Options) (*PairRun
 	// moment, mirroring the methodology.
 	const checksLead = 5 * time.Second
 	var wmpDone, realDone bool
-	startWMP := func() {
+	startReal := func() {
+		tracker.StartRealTracker(tb.Client, site.RDT, pair.Real.Name(), RDTCtlPort, RDTDataPort,
+			func(rep *tracker.Report) { run.Real = rep; realDone = true })
+	}
+	// startWMP honours the interleave ablation on every path — including
+	// the Sequential branch, so Sequential+DisableInterleave composes.
+	startWMP := func(onDone func()) {
 		mt := tracker.StartMediaTracker(tb.Client, site.WMS, pair.WindowsMedia.Name(), WMPCtlPort, WMPDataPort,
 			func(rep *tracker.Report) {
 				run.WMP = rep
 				wmpDone = true
+				if onDone != nil {
+					onDone()
+				}
 			})
 		if opts.DisableInterleave {
 			mt.Player().DisableInterleave()
 		}
 	}
-	startReal := func() {
-		tracker.StartRealTracker(tb.Client, site.RDT, pair.Real.Name(), RDTCtlPort, RDTDataPort,
-			func(rep *tracker.Report) { run.Real = rep; realDone = true })
-	}
 	tb.Net.Sched.After(checksLead, "session.startPair", func(eventsim.Time) {
 		if opts.Sequential {
 			// Methodology ablation: WMP first, then Real.
-			tracker.StartMediaTracker(tb.Client, site.WMS, pair.WindowsMedia.Name(), WMPCtlPort, WMPDataPort,
-				func(rep *tracker.Report) {
-					run.WMP = rep
-					wmpDone = true
-					startReal()
-				})
+			startWMP(startReal)
 			return
 		}
-		startWMP()
+		startWMP(nil)
 		startReal()
 	})
 
@@ -191,7 +213,13 @@ func RunPairWith(seed int64, set int, class media.Class, opts Options) (*PairRun
 		}
 		return true
 	})
+	if ctx != nil && ctx.Done() != nil {
+		tb.Net.Sched.SetInterrupt(func() bool { return ctx.Err() != nil })
+	}
 	if err := tb.Net.Run(eventsim.Time(horizon)); err != nil {
+		if errors.Is(err, eventsim.ErrInterrupted) {
+			return nil, ctx.Err()
+		}
 		return nil, err
 	}
 	stopWatch()
@@ -251,6 +279,9 @@ func SeedFor(base int64, k PairKey) int64 {
 // is bit-for-bit identical to its sequential counterpart, and results come
 // back in key order regardless of completion order. On error the first
 // failure (in key order) is reported.
+//
+// Deprecated-ish: kept as a thin wrapper over Plan + Runner, pinned
+// byte-identical by TestRunnerMatchesLegacyEntryPoints.
 func RunPairs(baseSeed int64, keys []PairKey, workers int) ([]*PairRun, error) {
 	return RunPairsWith(baseSeed, keys, Options{}, workers)
 }
@@ -259,48 +290,17 @@ func RunPairs(baseSeed int64, keys []PairKey, workers int) ([]*PairRun, error) {
 // to every run. Because each run is seeded by SeedFor regardless of which
 // worker executes it, output is byte-identical for any workers value —
 // scenarios included.
+//
+// Deprecated-ish: kept as a thin wrapper over Plan + Runner.
 func RunPairsWith(baseSeed int64, keys []PairKey, opts Options, workers int) ([]*PairRun, error) {
-	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if keys == nil {
+		keys = []PairKey{}
 	}
-	if workers > len(keys) {
-		workers = len(keys)
+	results, err := NewRunner(WithWorkers(workers)).Run(NewPlan(baseSeed).ForPairs(keys...).WithOptions(opts))
+	if err != nil {
+		return nil, err
 	}
-	out := make([]*PairRun, len(keys))
-	if workers <= 1 {
-		for i, k := range keys {
-			run, err := RunPairWith(SeedFor(baseSeed, k), k.Set, k.Class, opts)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = run
-		}
-		return out, nil
-	}
-	errs := make([]error, len(keys))
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(keys) {
-					return
-				}
-				k := keys[i]
-				out[i], errs[i] = RunPairWith(SeedFor(baseSeed, k), k.Set, k.Class, opts)
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return PairRuns(results), nil
 }
 
 // ScenarioRuns couples one scenario with its pair-run results, in key
@@ -316,14 +316,44 @@ type ScenarioRuns struct {
 // scenario rows reflect the impairments, not sampling noise. Each
 // (scenario, pair) run is seeded via SeedFor and owns a private testbed,
 // so the matrix is deterministic for any workers value.
+//
+// Deprecated-ish: kept as a thin wrapper over Plan + Runner; a Plan with
+// UnderScenarios additionally shards, streams, cancels and reports
+// progress.
 func RunScenarioMatrix(baseSeed int64, keys []PairKey, scenarios []*netem.Scenario, workers int) ([]ScenarioRuns, error) {
+	return NewRunner(WithWorkers(workers)).RunMatrix(baseSeed, keys, scenarios)
+}
+
+// RunMatrix executes the (pairs × scenarios) plan on r and groups the
+// results into one ScenarioRuns row per scenario — the matrix-shaped view
+// of a Runner sweep, honouring whatever workers/context/progress the
+// Runner carries.
+func (r *Runner) RunMatrix(baseSeed int64, keys []PairKey, scenarios []*netem.Scenario) ([]ScenarioRuns, error) {
+	if len(scenarios) == 0 {
+		return nil, nil
+	}
+	if keys == nil {
+		keys = []PairKey{}
+	}
+	plan := NewPlan(baseSeed).ForPairs(keys...).UnderScenarios(scenarios...)
+	results, err := r.Run(plan)
+	if err != nil {
+		// Attribute the first failure (canonical order — results are
+		// sorted) to its scenario, as the per-scenario engine did; a
+		// faithful (nil-scenario) row's error passes through unwrapped.
+		for _, res := range results {
+			if res.Err != nil {
+				if res.Key.Scenario != nil {
+					return nil, fmt.Errorf("scenario %s: %w", res.Key.Scenario.Name, res.Err)
+				}
+				break
+			}
+		}
+		return nil, err
+	}
 	out := make([]ScenarioRuns, len(scenarios))
 	for i, sc := range scenarios {
-		runs, err := RunPairsWith(baseSeed, keys, Options{Scenario: sc}, workers)
-		if err != nil {
-			return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
-		}
-		out[i] = ScenarioRuns{Scenario: sc, Runs: runs}
+		out[i] = ScenarioRuns{Scenario: sc, Runs: PairRuns(results[i*len(keys) : (i+1)*len(keys)])}
 	}
 	return out, nil
 }

@@ -59,6 +59,17 @@ func (t Timer) Name() string {
 // rather than by draining the event queue or reaching the horizon.
 var ErrStopped = errors.New("eventsim: stopped")
 
+// ErrInterrupted is returned by Run when the interrupt poll installed via
+// SetInterrupt reported true between events (typically: a context was
+// cancelled outside the simulation).
+var ErrInterrupted = errors.New("eventsim: interrupted")
+
+// interruptStride is how many events fire between interrupt polls. The
+// poll may be as costly as a context.Context.Err call, so it stays off the
+// per-event hot path; at simulation speed (millions of events per second of
+// wall clock) a poll every 2048 events still aborts within microseconds.
+const interruptStride = 2048
+
 // Scheduler is a single-threaded discrete-event scheduler. It is not safe
 // for concurrent use; all model code runs inside event callbacks on one
 // goroutine, which is what makes runs deterministic. (Concurrency in this
@@ -70,12 +81,13 @@ var ErrStopped = errors.New("eventsim: stopped")
 // operation. Fired and cancelled events return to a free list, making the
 // steady-state schedule/fire cycle allocation-free.
 type Scheduler struct {
-	now     Time
-	queue   []*Event
-	free    []*Event
-	seq     uint64
-	stopped bool
-	fired   uint64
+	now       Time
+	queue     []*Event
+	free      []*Event
+	seq       uint64
+	stopped   bool
+	fired     uint64
+	interrupt func() bool
 }
 
 // NewScheduler returns a scheduler positioned at the epoch.
@@ -189,14 +201,25 @@ func (s *Scheduler) Step() bool {
 	return true
 }
 
+// SetInterrupt installs a poll function Run consults between events, every
+// interruptStride firings. A true return aborts Run with ErrInterrupted,
+// leaving the pending queue intact. Pass nil to clear. This is the
+// cooperative-cancellation seam the Runner uses to abort a simulation
+// mid-run when its context is cancelled.
+func (s *Scheduler) SetInterrupt(fn func() bool) { s.interrupt = fn }
+
 // Run executes events until the queue drains or the clock passes horizon
 // (horizon <= 0 means no horizon). It returns ErrStopped if Stop was called
-// from inside a callback.
+// from inside a callback, and ErrInterrupted if an installed interrupt poll
+// fired.
 func (s *Scheduler) Run(horizon Time) error {
 	s.stopped = false
 	for len(s.queue) > 0 {
 		if s.stopped {
 			return ErrStopped
+		}
+		if s.interrupt != nil && s.fired%interruptStride == 0 && s.interrupt() {
+			return ErrInterrupted
 		}
 		if horizon > 0 && s.queue[0].when > horizon {
 			s.now = horizon

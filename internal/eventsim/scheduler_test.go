@@ -371,3 +371,34 @@ func TestHeapRandomCancel(t *testing.T) {
 		t.Fatalf("queue not drained: %d", s.Len())
 	}
 }
+
+// TestSchedulerInterrupt exercises the cooperative-cancellation seam: an
+// interrupt poll that trips mid-run aborts with ErrInterrupted after at
+// most interruptStride further events, leaving the rest of the queue
+// intact, and a cleared poll lets Run resume where it left off.
+func TestSchedulerInterrupt(t *testing.T) {
+	s := NewScheduler()
+	const total = 3 * interruptStride
+	fired := 0
+	for i := 0; i < total; i++ {
+		s.At(At(float64(i)), "e", func(now Time) { fired++ })
+	}
+	tripAt := interruptStride / 2
+	s.SetInterrupt(func() bool { return fired > tripAt })
+	if err := s.RunUntilIdle(); err != ErrInterrupted {
+		t.Fatalf("Run returned %v, want ErrInterrupted", err)
+	}
+	if fired <= tripAt || fired > tripAt+interruptStride {
+		t.Fatalf("interrupt after %d events, want within one stride past %d", fired, tripAt)
+	}
+	if s.Len() != total-fired {
+		t.Fatalf("pending queue %d, want %d", s.Len(), total-fired)
+	}
+	s.SetInterrupt(nil)
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != total {
+		t.Fatalf("resumed run fired %d, want %d", fired, total)
+	}
+}

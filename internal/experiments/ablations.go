@@ -22,7 +22,7 @@ func ablationNoFrag(ctx *Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	capped, err := core.RunPairWith(ctx.Seed+501, 1, media.High, core.Options{WMSUnitCap: 1400})
+	capped, err := ctx.RunOne(ctx.Seed+501, 1, media.High, core.Options{WMSUnitCap: 1400})
 	if err != nil {
 		return nil, err
 	}
@@ -51,7 +51,7 @@ func ablationUncapped(ctx *Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	uncapped, err := core.RunPairWith(ctx.Seed+502, 6, media.VeryHigh, core.Options{UncappedBurst: true})
+	uncapped, err := ctx.RunOne(ctx.Seed+502, 6, media.VeryHigh, core.Options{UncappedBurst: true})
 	if err != nil {
 		return nil, err
 	}
@@ -79,7 +79,7 @@ func ablationNoInterleave(ctx *Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	direct, err := core.RunPairWith(ctx.Seed+503, 5, media.High, core.Options{DisableInterleave: true})
+	direct, err := ctx.RunOne(ctx.Seed+503, 5, media.High, core.Options{DisableInterleave: true})
 	if err != nil {
 		return nil, err
 	}
@@ -111,7 +111,7 @@ func ablationSequential(ctx *Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	sequential, err := core.RunPairWith(ctx.Seed+504, 2, media.High, core.Options{Sequential: true})
+	sequential, err := ctx.RunOne(ctx.Seed+504, 2, media.High, core.Options{Sequential: true})
 	if err != nil {
 		return nil, err
 	}

@@ -67,7 +67,7 @@ func extNetemLoss(ctx *Context) (*Result, error) {
 	}
 	var outcomes []outcome
 	for _, v := range variants {
-		run, err := core.RunPairWith(ctx.Seed+801, 1, media.High, core.Options{Scenario: v.sc})
+		run, err := ctx.RunOne(ctx.Seed+801, 1, media.High, core.Options{Scenario: v.sc})
 		if err != nil {
 			return nil, err
 		}
@@ -131,7 +131,7 @@ func extNetemBandwidth(ctx *Context) (*Result, error) {
 	}
 	var cvs []float64
 	for _, v := range variants {
-		run, err := core.RunPairWith(ctx.Seed+802, 1, media.High, core.Options{Scenario: v.sc})
+		run, err := ctx.RunOne(ctx.Seed+802, 1, media.High, core.Options{Scenario: v.sc})
 		if err != nil {
 			return nil, err
 		}
@@ -178,7 +178,7 @@ func extNetemScenarios(ctx *Context) (*Result, error) {
 			scenarios = append(scenarios, sc)
 		}
 	}
-	rows, err := core.RunScenarioMatrix(ctx.Seed+803, keys, scenarios, ctx.workers)
+	rows, err := ctx.Matrix(ctx.Seed+803, keys, scenarios)
 	if err != nil {
 		return nil, err
 	}

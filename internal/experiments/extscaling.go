@@ -27,7 +27,7 @@ func extScaling(ctx *Context) (*Result, error) {
 	}
 	var realLoss, wmpLoss [2]float64
 	for i, v := range []variant{{"off (faithful)", false}, {"on", true}} {
-		run, err := core.RunPairWith(ctx.Seed+601, 1, media.High, core.Options{
+		run, err := ctx.RunOne(ctx.Seed+601, 1, media.High, core.Options{
 			BottleneckBps: 500e3,
 			EnableScaling: v.scaling,
 		})

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -90,15 +91,22 @@ func (r *Result) String() string {
 	return b.String()
 }
 
-// Context caches pair runs so one invocation of several experiments runs
-// each Table 1 pair at most once. With SetParallel, cache misses in All
-// fan out across a worker pool of independent single-threaded schedulers;
-// because every run is seeded via core.SeedFor regardless of which worker
-// executes it, the cached results — and every figure derived from them —
-// are byte-identical to a sequential regeneration.
+// Context is a thin cache over a core.Runner: it remembers each Table 1
+// pair run so one invocation of several experiments executes each pair at
+// most once, and delegates all execution — worker fan-out, cancellation,
+// progress — to the Plan/Runner engine. Because every run is seeded via
+// core.SeedFor regardless of execution shape, the cached results — and
+// every figure derived from them — are byte-identical to a sequential
+// regeneration.
 type Context struct {
 	Seed    int64
 	workers int
+
+	// cancel, when set, aborts in-flight pair runs when the context is
+	// cancelled (checked between simulation events); progress, when set,
+	// observes each completed pair run.
+	cancel   context.Context
+	progress func(core.Progress)
 
 	// scenario, when set, streams every cached Table 1 pair run under a
 	// netem scenario, turning the whole regenerated evaluation into a
@@ -129,6 +137,79 @@ func (c *Context) SetParallel(workers int) *Context {
 	return c
 }
 
+// SetCancel installs a cancellation context on the underlying Runner:
+// cancelling it makes in-flight pair runs abort promptly (between
+// simulation events) and cache-miss execution return its error. Completed
+// runs stay cached.
+func (c *Context) SetCancel(ctx context.Context) *Context {
+	c.cancel = ctx
+	return c
+}
+
+// SetProgress installs a completion callback on the underlying Runner,
+// invoked serially after each uncached pair run finishes.
+func (c *Context) SetProgress(fn func(core.Progress)) *Context {
+	c.progress = fn
+	return c
+}
+
+// runner assembles the Runner the context delegates execution to.
+func (c *Context) runner() *core.Runner {
+	opts := []core.RunnerOption{core.WithWorkers(c.workers)}
+	if c.cancel != nil {
+		opts = append(opts, core.WithContext(c.cancel))
+	}
+	if c.progress != nil {
+		opts = append(opts, core.WithProgress(c.progress))
+	}
+	return core.NewRunner(opts...)
+}
+
+// execute runs the listed uncached pairs through the Runner and caches
+// every run that completed — even when the sweep was cancelled partway,
+// honouring SetCancel's promise that completed runs stay cached — before
+// reporting the sweep's error.
+func (c *Context) execute(keys []core.PairKey) error {
+	// The scenario rides on the plan's scenario axis, not in variant
+	// options, so Progress keys (and run labels) carry it. Seeding is
+	// unaffected: SeedCommon derives from the pair alone either way.
+	plan := core.NewPlan(c.Seed).ForPairs(keys...)
+	if c.scenario != nil {
+		plan.UnderScenarios(c.scenario)
+	}
+	results, err := c.runner().Run(plan)
+	c.mu.Lock()
+	for _, res := range results {
+		if res.Err == nil && res.Run != nil {
+			c.runs[res.Key.Pair] = res.Run
+		}
+	}
+	c.mu.Unlock()
+	return err
+}
+
+// RunOne executes one uncached pair run with an explicit literal seed —
+// how ablations and extensions keep their runs off the Table 1 cache —
+// under the context's cancellation, so ctrl-C lands mid-simulation in
+// every experiment, not just the cached sweep. A completed run is
+// reported to SetProgress as a 1-of-1 sweep.
+func (c *Context) RunOne(seed int64, set int, class media.Class, opts core.Options) (*core.PairRun, error) {
+	run, err := core.RunPairContext(c.cancel, seed, set, class, opts)
+	interrupted := c.cancel != nil && c.cancel.Err() != nil
+	if c.progress != nil && !interrupted {
+		c.progress(core.Progress{Done: 1, Total: 1, Err: err,
+			Key: core.RunKey{Pair: core.PairKey{Set: set, Class: class}, Scenario: opts.Scenario}})
+	}
+	return run, err
+}
+
+// Matrix executes a (pairs × scenarios) sweep through the context's
+// Runner, honouring SetParallel, SetCancel and SetProgress. Output is
+// byte-identical to core.RunScenarioMatrix at the same seed.
+func (c *Context) Matrix(seed int64, keys []core.PairKey, scenarios []*netem.Scenario) ([]core.ScenarioRuns, error) {
+	return c.runner().RunMatrix(seed, keys, scenarios)
+}
+
 // SetScenario streams the context's Table 1 pair runs under a netem
 // scenario. Must be called before the first run executes; the cache is
 // keyed by pair only, so mixing scenarios within one context is not
@@ -145,11 +226,6 @@ func (c *Context) SetScenario(sc *netem.Scenario) *Context {
 
 // Scenario returns the context's installed scenario (nil = faithful).
 func (c *Context) Scenario() *netem.Scenario { return c.scenario }
-
-// options builds the run options the context applies to cached pair runs.
-func (c *Context) options() core.Options {
-	return core.Options{Scenario: c.scenario}
-}
 
 // Pair returns the (cached) run for one pair experiment.
 func (c *Context) Pair(set int, class media.Class) (*core.PairRun, error) {
@@ -168,12 +244,11 @@ func (c *Context) Pair(set int, class media.Class) (*core.PairRun, error) {
 	if ok { // another caller filled it while we waited
 		return r, nil
 	}
-	r, err := core.RunPairWith(core.SeedFor(c.Seed, k), set, class, c.options())
-	if err != nil {
+	if err := c.execute([]core.PairKey{k}); err != nil {
 		return nil, err
 	}
 	c.mu.Lock()
-	c.runs[k] = r
+	r = c.runs[k]
 	c.mu.Unlock()
 	return r, nil
 }
@@ -193,15 +268,9 @@ func (c *Context) All() ([]*core.PairRun, error) {
 	}
 	c.mu.Unlock()
 	if len(missing) > 0 {
-		runs, err := core.RunPairsWith(c.Seed, missing, c.options(), c.workers)
-		if err != nil {
+		if err := c.execute(missing); err != nil {
 			return nil, err
 		}
-		c.mu.Lock()
-		for i, k := range missing {
-			c.runs[k] = runs[i]
-		}
-		c.mu.Unlock()
 	}
 	out := make([]*core.PairRun, len(keys))
 	c.mu.Lock()

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
+	"turbulence/internal/core"
 	"turbulence/internal/media"
 	"turbulence/internal/stats"
 )
@@ -106,5 +108,35 @@ func TestFormattingHelpers(t *testing.T) {
 	}
 	if fmtInt(7) != "7.0" {
 		t.Fatalf("fmtInt=%q", fmtInt(7))
+	}
+}
+
+// TestContextCancelKeepsCompletedRuns pins SetCancel's promise: a sweep
+// cancelled partway reports the context error but keeps every completed
+// pair run cached, so a later All on the same context resumes instead of
+// re-simulating from scratch.
+func TestContextCancelKeepsCompletedRuns(t *testing.T) {
+	cctx, cancel := context.WithCancel(context.Background())
+	const stopAfter = 2
+	ctx := NewContext(55).SetCancel(cctx).SetProgress(func(p core.Progress) {
+		if p.Done == stopAfter {
+			cancel()
+		}
+	})
+	if _, err := ctx.All(); err != context.Canceled {
+		t.Fatalf("cancelled All returned %v", err)
+	}
+	ctx.mu.Lock()
+	cached := len(ctx.runs)
+	ctx.mu.Unlock()
+	if cached != stopAfter {
+		t.Fatalf("%d runs cached after cancel, want %d", cached, stopAfter)
+	}
+	// The cached pair must come back without touching the (still
+	// cancelled) runner.
+	k := core.AllPairs()[0]
+	run, err := ctx.Pair(k.Set, k.Class)
+	if err != nil || run == nil {
+		t.Fatalf("cached pair after cancel: %v, %v", run, err)
 	}
 }

@@ -10,6 +10,7 @@
 #   scripts/bench.sh baseline   print the committed baseline (BENCH_baseline.json)
 #                               re-rendered as benchstat-compatible lines
 #   scripts/bench.sh netem      same for the netem record (BENCH_netem.json)
+#   scripts/bench.sh plan       same for the Plan/Runner record (BENCH_plan.json)
 #
 # Compare a fresh run against the baseline:
 #   scripts/bench.sh > BENCH_current.txt
@@ -18,7 +19,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-TRACKED='BenchmarkPairRun$|BenchmarkPairRunNetem|BenchmarkProfileFlow$|BenchmarkFilterMatch$|BenchmarkRunAllSequential$|BenchmarkRunAllParallel$'
+TRACKED='BenchmarkPairRun$|BenchmarkPairRunNetem|BenchmarkProfileFlow$|BenchmarkFilterMatch$|BenchmarkRunAllSequential$|BenchmarkRunAllParallel$|BenchmarkPlanStream$'
 
 case "${1:-}" in
 baseline)
@@ -28,6 +29,9 @@ baseline)
     ;;
 netem)
     exec go run ./scripts/benchjson BENCH_netem.json
+    ;;
+plan)
+    exec go run ./scripts/benchjson BENCH_plan.json
     ;;
 esac
 

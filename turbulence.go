@@ -1,6 +1,7 @@
 package turbulence
 
 import (
+	"context"
 	"time"
 
 	"turbulence/internal/capture"
@@ -44,6 +45,28 @@ type (
 	PairKey = core.PairKey
 	// ScenarioRuns couples one scenario with its pair-run results.
 	ScenarioRuns = core.ScenarioRuns
+
+	// Plan declares an experiment run space — clip pairs × scenarios ×
+	// option variants plus a seed policy — without executing anything; it
+	// can be sized, enumerated and sharded for free.
+	Plan = core.Plan
+	// Runner executes Plans, configured by functional options
+	// (WithWorkers, WithContext, WithProgress, WithTraceRetention).
+	Runner = core.Runner
+	// RunnerOption configures a Runner at construction.
+	RunnerOption = core.RunnerOption
+	// RunKey identifies one cell of a Plan's run space.
+	RunKey = core.RunKey
+	// RunResult is one executed Plan cell.
+	RunResult = core.RunResult
+	// Variant is one named point on a Plan's ablation axis.
+	Variant = core.Variant
+	// SeedPolicy selects how a Plan derives per-cell seeds.
+	SeedPolicy = core.SeedPolicy
+	// TraceRetention selects what a Runner keeps of each completed run.
+	TraceRetention = core.TraceRetention
+	// Progress is one Runner completion notification.
+	Progress = core.Progress
 
 	// Scenario is a named netem recipe of per-hop impairments (bursty
 	// loss, time-varying bandwidth, AQM, cross traffic).
@@ -101,6 +124,56 @@ const (
 	VeryHigh     = media.VeryHigh
 )
 
+// Seed-policy and trace-retention constants for Plans and Runners.
+const (
+	// SeedCommon streams every scenario/variant cell of a pair under
+	// common random numbers (the legacy entry points' policy).
+	SeedCommon = core.SeedCommon
+	// SeedPerCell gives every cell an independent random stream.
+	SeedPerCell = core.SeedPerCell
+	// RetainTraces keeps each run's full packet capture (the default).
+	RetainTraces = core.RetainTraces
+	// DropTracesAfterProfile profiles each run's flows, then releases the
+	// raw capture to bound memory on huge matrices.
+	DropTracesAfterProfile = core.DropTracesAfterProfile
+)
+
+// NewPlan declares the paper's full evaluation sweep for a base seed: all
+// 13 Table 1 pairs on the faithful testbed with faithful options. Narrow
+// or widen the axes with ForPairs, UnderScenarios, WithVariants and
+// WithOptions, carve a deterministic 1/n slice with Shard, and execute
+// with a Runner.
+func NewPlan(baseSeed int64) *Plan { return core.NewPlan(baseSeed) }
+
+// NewRunner builds a Plan executor. With no options it runs sequentially
+// with no cancellation — exactly the legacy sequential entry points.
+func NewRunner(opts ...RunnerOption) *Runner { return core.NewRunner(opts...) }
+
+// WithWorkers sets the Runner's worker-pool size (1 = sequential, 0 = all
+// cores). Output is byte-identical for any value; only wall-clock changes.
+func WithWorkers(n int) RunnerOption { return core.WithWorkers(n) }
+
+// WithContext installs a cancellation context, checked before each run and
+// between simulation events inside each run, so cancelling (e.g. on
+// SIGINT) aborts a sweep promptly with only completed runs delivered.
+func WithContext(ctx context.Context) RunnerOption { return core.WithContext(ctx) }
+
+// WithProgress installs a serialised completion callback for live
+// progress on long sweeps.
+func WithProgress(fn func(Progress)) RunnerOption { return core.WithProgress(fn) }
+
+// WithTraceRetention selects what each completed run keeps (RetainTraces
+// or DropTracesAfterProfile).
+func WithTraceRetention(tr TraceRetention) RunnerOption { return core.WithTraceRetention(tr) }
+
+// MergeRuns recombines shard outputs of one Plan into the canonical plan
+// order, so n processes each running plan.Shard(i, n) reproduce the
+// unsharded sweep exactly.
+func MergeRuns(shards ...[]RunResult) []RunResult { return core.MergeRuns(shards...) }
+
+// PairRuns projects results onto their PairRun payloads, preserving order.
+func PairRuns(results []RunResult) []*PairRun { return core.PairRuns(results) }
+
 // Library returns the paper's Table 1 clip library (6 sets, 26 clips).
 func Library() []ClipSet { return media.Library() }
 
@@ -132,12 +205,20 @@ func RunPairWith(seed int64, set int, class Class, opts Options) (*PairRun, erro
 }
 
 // RunAll executes all 13 Table 1 pair experiments sequentially.
+//
+// Deprecated: RunAll remains supported as a thin wrapper over the Plan
+// engine (output pinned byte-identical by test); new sweep code should use
+// NewRunner().Run(NewPlan(seed)), which adds cancellation, progress,
+// streaming and sharding.
 func RunAll(seed int64) ([]*PairRun, error) { return core.RunAll(seed) }
 
 // RunAllParallel executes all 13 Table 1 pair experiments on a worker pool
 // (workers == 0 uses every core). Each run owns a private single-threaded
 // scheduler seeded exactly as in RunAll, so the results — traces included —
 // are byte-identical to the sequential path; only wall-clock time differs.
+//
+// Deprecated: thin wrapper over the Plan engine; new code should use
+// NewRunner(WithWorkers(workers)).Run(NewPlan(seed)).
 func RunAllParallel(seed int64, workers int) ([]*PairRun, error) {
 	return core.RunAllParallel(seed, workers)
 }
@@ -183,6 +264,12 @@ func GEFromBurst(avgLoss, burstLen, lossBad float64) LossModel {
 // RunScenarioMatrix streams every listed clip pair under every listed
 // scenario on a worker pool (workers == 0 uses every core), with common
 // random numbers across scenarios. Deterministic for any workers value.
+//
+// Deprecated: thin wrapper over the Plan engine (output pinned
+// byte-identical by test); new code should use
+// NewPlan(seed).ForPairs(keys...).UnderScenarios(scenarios...) with a
+// Runner, which additionally shards, streams, cancels and reports
+// progress.
 func RunScenarioMatrix(seed int64, keys []PairKey, scenarios []*Scenario, workers int) ([]ScenarioRuns, error) {
 	return core.RunScenarioMatrix(seed, keys, scenarios, workers)
 }
