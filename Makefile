@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint check bench bench-quick clean
+.PHONY: all build test vet lint check bench bench-quick bench-compare clean
 
 all: build vet test
 
@@ -39,6 +39,24 @@ bench:
 bench-quick:
 	$(GO) test -run=NONE -bench='BenchmarkPairRun$$|BenchmarkProfileFlow$$|BenchmarkFilterMatch$$' -benchmem -benchtime=2x .
 
+# Compare the last `make bench` run (BENCH_current.txt) against the
+# committed BENCH_*.json records: benchstat when it is installed, the
+# built-in benchjson comparer otherwise — either way the loop from "run
+# benchmarks" to "see the drift" closes without extra tooling.
+bench-compare:
+	@test -f BENCH_current.txt || { echo "run 'make bench' first (writes BENCH_current.txt)"; exit 1; }
+	@if command -v benchstat >/dev/null 2>&1; then \
+		sed -E 's/^(Benchmark[^ 	]*)-[0-9]+/\1/' BENCH_current.txt > .bench_current.tmp; \
+		for rec in baseline netem plan stream; do \
+			echo "== benchstat vs $$rec =="; \
+			scripts/bench.sh $$rec > .bench_record.tmp 2>/dev/null || continue; \
+			benchstat .bench_record.tmp .bench_current.tmp || true; \
+		done; \
+		rm -f .bench_record.tmp .bench_current.tmp; \
+	else \
+		$(GO) run ./scripts/benchjson compare BENCH_current.txt; \
+	fi
+
 clean:
-	rm -f BENCH_current.txt
+	rm -f BENCH_current.txt .bench_record.tmp .bench_current.tmp
 	$(GO) clean ./...

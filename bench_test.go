@@ -153,6 +153,36 @@ func BenchmarkPlanStream(b *testing.B) {
 	}
 }
 
+// BenchmarkPlanStreamOnline is BenchmarkPlanStream under StreamProfiles:
+// the same 13-pair sweep, but no run ever materialises a trace — captured
+// packets stream through online per-flow analyzers and the profiles come
+// back in RunResult.Comparison. The delta against BenchmarkPlanStream is
+// the whole point of online analysis: record storage, the payload arena
+// and the second profiling pass all disappear, and the network's wire
+// buffers recycle without capture ever pinning them.
+func BenchmarkPlanStreamOnline(b *testing.B) {
+	plan := turbulence.NewPlan(2002)
+	runner := turbulence.NewRunner(
+		turbulence.WithWorkers(0),
+		turbulence.WithTraceRetention(turbulence.StreamProfiles),
+	)
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for res := range runner.Seq(plan) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+			if res.Comparison == nil || res.Run.Trace != nil {
+				b.Fatal("retention contract violated")
+			}
+			n++
+		}
+		if n != plan.Size() {
+			b.Fatalf("streamed %d cells, want %d", n, plan.Size())
+		}
+	}
+}
+
 // BenchmarkFlowGeneration measures the Section IV synthetic generator
 // alone: one 60-second flow per iteration from a pre-fitted model.
 func BenchmarkFlowGeneration(b *testing.B) {

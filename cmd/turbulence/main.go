@@ -4,8 +4,8 @@
 // Usage:
 //
 //	turbulence [-seed N] [-experiment id] [-parallel N] [-scenario name]
-//	           [-shard i/n] [-progress] [-json] [-csv dir] [-points]
-//	           [-list] [-list-scenarios]
+//	           [-retention retain|drop|stream] [-shard i/n] [-progress]
+//	           [-json] [-csv dir] [-points] [-list] [-list-scenarios]
 //
 // With no -experiment it runs everything, printing each artifact's rows,
 // series summaries and headline notes. -points includes full series data
@@ -21,11 +21,22 @@
 // -list-scenarios enumerates the library. Identical seed and scenario
 // reproduce identical output at any -parallel setting.
 //
+// -retention selects what the shared pair-run sweep keeps per run:
+// "retain" (default) holds full packet captures and regenerates every
+// experiment; "drop" profiles then frees each trace; "stream" never
+// stores records at all — captured packets feed online analyzers and the
+// sweep runs in a few KB of analyzer state per worker. Under drop/stream
+// only the trace-free experiments regenerate (reports, probes, profiles);
+// with no -experiment the list narrows to them automatically.
+//
 // -shard i/n deterministically carves the experiment list into n strided
 // slices and runs only the i-th (0-based), so n processes or machines
 // regenerate the full evaluation in parallel with no coordination:
 //
 //	turbulence -shard 0/3 & turbulence -shard 1/3 & turbulence -shard 2/3
+//
+// Every result carries its scenario, seed and shard in the -json output,
+// so merged shard outputs are self-describing.
 //
 // -progress reports each completed pair run on stderr while experiments
 // regenerate. Interrupting (ctrl-C) cancels in-flight simulation promptly
@@ -51,6 +62,7 @@ func main() {
 	seed := flag.Int64("seed", 2002, "base random seed (runs are deterministic per seed)")
 	experiment := flag.String("experiment", "", "run a single experiment id (default: all)")
 	parallel := flag.Int("parallel", 0, "worker pool size for independent pair runs (1 = sequential, 0 = all cores); results are identical either way")
+	retention := flag.String("retention", "retain", "what the shared pair-run sweep keeps per run: retain (full packet captures, all experiments), drop (profile then free each trace), stream (never store records; online analyzers only, lowest memory). drop/stream regenerate only trace-free experiments (reports, probes, profiles)")
 	scenario := flag.String("scenario", "", "stream the pair runs under a named netem scenario (see -list-scenarios)")
 	shard := flag.String("shard", "", "run the i-th of n strided slices of the experiment list, as \"i/n\" (0-based); all shards together reproduce the full run")
 	progress := flag.Bool("progress", false, "report each completed pair run on stderr")
@@ -104,6 +116,21 @@ func main() {
 	}()
 
 	ctx := turbulence.NewExperimentContext(*seed).SetParallel(*parallel).SetCancel(sigCtx)
+	switch *retention {
+	case "retain":
+	case "drop":
+		ctx.SetRetention(turbulence.DropTracesAfterProfile)
+	case "stream":
+		ctx.SetRetention(turbulence.StreamProfiles)
+	default:
+		fmt.Fprintf(os.Stderr, "turbulence: bad -retention %q (want retain, drop or stream)\n", *retention)
+		os.Exit(2)
+	}
+	if *retention != "retain" && *experiment == "" {
+		// Running "everything" under reduced retention would fail on the
+		// first trace-bound experiment; restrict to the trace-free set.
+		ids = traceFreeIDs(ids)
+	}
 	if *progress {
 		ctx.SetProgress(func(p turbulence.Progress) {
 			status := "ok"
@@ -138,6 +165,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "turbulence: %s: %v\n", id, err)
 			os.Exit(1)
 		}
+		res.Shard = *shard
 		if *jsonOut {
 			collected = append(collected, res)
 		} else {
@@ -158,6 +186,18 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// traceFreeIDs filters the experiment list down to those that regenerate
+// without retained packet captures.
+func traceFreeIDs(ids []string) []string {
+	var out []string
+	for _, id := range ids {
+		if turbulence.ExperimentTraceFree(id) {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // shardIDs parses "i/n" and returns the strided slice {ids[j] : j%n == i},

@@ -25,17 +25,32 @@
 // across a pool (0 = all cores), WithContext(ctx) makes the sweep
 // cancellable (checked between simulation events, so ctrl-C lands
 // mid-run), WithProgress(fn) observes each completion, and
-// WithTraceRetention(DropTracesAfterProfile) profiles then releases raw
-// captures so huge matrices stay in bounded memory. Results come back
-// collected in canonical order (Run) or streamed in completion order
+// WithTraceRetention selects what each completed run keeps. Results come
+// back collected in canonical order (Run) or streamed in completion order
 // (Stream, or Seq to range over):
 //
 //	plan := turbulence.NewPlan(2002).UnderScenarios(turbulence.Scenarios()...)
 //	r := turbulence.NewRunner(turbulence.WithWorkers(0),
-//		turbulence.WithTraceRetention(turbulence.DropTracesAfterProfile))
+//		turbulence.WithTraceRetention(turbulence.StreamProfiles))
 //	for res := range r.Seq(plan) {
 //		fmt.Println(res.Key, res.Comparison.WMP.AvgRateBps)
 //	}
+//
+// # Trace retention
+//
+// Three retentions cover the memory/fidelity spectrum. RetainTraces (the
+// default) keeps every run's full packet capture — what the figure
+// generators need. DropTracesAfterProfile profiles both flows, then
+// releases the raw capture, bounding a sweep to O(workers × trace).
+// StreamProfiles never stores records at all: each captured packet
+// streams through online per-flow analyzers (capture.FlowDemux routing to
+// capture.FlowMetrics) and is gone, so a run's capture state is a few KB
+// of accumulators and RunResult.Comparison carries the profiles. The
+// online profiles are exactly equal to trace-derived ones — ProfileFlow
+// replays stored traces through the same accumulator — pinned across all
+// pairs, scenarios and worker counts by test. cmd/turbulence exposes the
+// choice as -retention {retain,drop,stream} (reduced retentions
+// regenerate the trace-free experiments: reports, probes, profiles).
 //
 // Every run is seeded: identical plans produce byte-identical traces, for
 // any worker count. The pre-Plan entry points (RunAll, RunAllParallel,
@@ -52,8 +67,12 @@
 //
 //	merged := turbulence.MergeRuns(shard0, shard1, shard2)
 //
-// cmd/turbulence exposes the same idea as -shard i/n. PERFORMANCE.md
-// documents the recipe end to end.
+// cmd/turbulence exposes the same idea as -shard i/n. For shards in
+// separate processes, WireRuns flattens results to identity + seed +
+// profiles, EncodeRunsGob/EncodeRunsJSON put them on a wire, and
+// MergeWireRuns reassembles shipped batches into canonical plan order —
+// with StreamProfiles retention that loop never materialises a trace
+// anywhere. PERFORMANCE.md documents the recipe end to end.
 //
 // # Network scenarios
 //

@@ -1,24 +1,30 @@
 package capture
 
 import (
+	"bytes"
 	"testing"
 	"time"
 
 	"turbulence/internal/inet"
 	"turbulence/internal/netsim"
+	"turbulence/internal/racecheck"
 )
 
 // TestSnifferAppendAllocs is the allocation-regression guard for the
-// capture hot path: once the record store has capacity, recording one wire
-// packet (parse + append) must not allocate — no eager serialisation, no
-// per-record copies.
+// capture hot path: once the record store and payload arena have capacity,
+// recording one wire packet (parse + columnar append + arena copy) must
+// not allocate.
 func TestSnifferAppendAllocs(t *testing.T) {
+	if racecheck.Enabled {
+		t.Skip("allocation pins are unreliable under -race")
+	}
 	d, err := inet.BuildUDP(srvEP, cliEP, 7, make([]byte, 512))
 	if err != nil {
 		t.Fatal(err)
 	}
 	tr := &Trace{}
 	tr.Grow(1 << 16)
+	tr.GrowBytes(1 << 20)
 	at := time.Duration(0)
 	allocs := testing.AllocsPerRun(1000, func() {
 		at += time.Millisecond
@@ -29,8 +35,9 @@ func TestSnifferAppendAllocs(t *testing.T) {
 	}
 }
 
-// TestFilterViewSharesStorage asserts Filter returns a view, not a copy:
-// mutating a record through the view must be visible in the parent.
+// TestFilterViewSharesStorage asserts Filter returns an index view over
+// the owner's columnar storage, not a copy: the view's wire payload bytes
+// alias the owner's arena, and nested views resolve to the root store.
 func TestFilterViewSharesStorage(t *testing.T) {
 	tr := &Trace{}
 	for i := 0; i < 10; i++ {
@@ -40,18 +47,61 @@ func TestFilterViewSharesStorage(t *testing.T) {
 	if sub.Len() != 5 {
 		t.Fatalf("filtered len=%d, want 5", sub.Len())
 	}
-	sub.At(0).WireLen = 9999
-	if tr.At(0).WireLen != 9999 {
-		t.Fatal("Filter copied records instead of sharing parent storage")
+	if &sub.At(0).Wire()[0] != &tr.At(0).Wire()[0] {
+		t.Fatal("Filter copied payload bytes instead of sharing the owner's arena")
 	}
 	// Views of views still resolve to the root storage.
 	subsub := sub.Filter(func(r *Record) bool { return r.IPID >= 4 })
 	if subsub.Len() != 3 {
 		t.Fatalf("nested view len=%d, want 3", subsub.Len())
 	}
-	subsub.At(0).WireLen = 4444
-	if tr.At(4).WireLen != 4444 {
+	if &subsub.At(0).Wire()[0] != &tr.At(4).Wire()[0] {
 		t.Fatal("nested view does not alias root storage")
+	}
+}
+
+// TestRecordRawRebuild asserts Raw rebuilds the exact wire bytes the
+// original datagram marshalled to, from columns plus arena — the contract
+// that lets the store drop datagram references entirely.
+func TestRecordRawRebuild(t *testing.T) {
+	d, err := inet.BuildUDP(srvEP, cliEP, 321, make([]byte, 700))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Header.TTL = 97 // as it would arrive after hops
+	want, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &Trace{}
+	tr.Append(parseRecord(time.Second, netsim.Recv, d))
+	if got := tr.At(0).Raw(); !bytes.Equal(got, want) {
+		t.Fatalf("Raw rebuilt %d bytes != marshalled %d bytes", len(got), len(want))
+	}
+	// Fragments rebuild too (offsets, MF flag, per-fragment checksums).
+	big, err := inet.BuildUDP(srvEP, cliEP, 322, make([]byte, 4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frags, err := inet.Fragment(big, inet.DefaultMTU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range frags {
+		want, err := f.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ftr := &Trace{}
+		ftr.Append(parseRecord(0, netsim.Recv, f))
+		if got := ftr.At(0).Raw(); !bytes.Equal(got, want) {
+			t.Fatalf("fragment %d: Raw rebuild differs", i)
+		}
+	}
+	// Synthetic records (no wire bytes) keep returning nil.
+	var synth Record
+	if synth.Raw() != nil {
+		t.Fatal("synthetic record produced wire bytes")
 	}
 }
 

@@ -11,8 +11,10 @@ import (
 // FlowTrace is the slice of a trace belonging to one UDP flow, with
 // continuation fragments attributed to the flow via their IP ID (a sniffer
 // sees no ports on non-first fragments; the paper's Ethereal resolved them
-// the same way). It is an index-based view over the parent trace's record
-// storage: extracting flows copies indices, never records.
+// the same way). It is an index-based view over the parent trace's
+// columnar record storage: extracting flows copies indices, never records,
+// and the metric reductions below scan the owning store's columns
+// directly.
 type FlowTrace struct {
 	Flow inet.Flow
 
@@ -23,16 +25,32 @@ type FlowTrace struct {
 // Len reports the number of wire packets in the flow.
 func (f *FlowTrace) Len() int { return len(f.idx) }
 
-// At returns the i-th wire packet of the flow; the pointer aliases the
+// At returns the i-th wire packet of the flow, materialised from the
 // parent trace's storage.
-func (f *FlowTrace) At(i int) *Record { return &f.owner.recs[f.idx[i]] }
+func (f *FlowTrace) At(i int) Record { return f.owner.st.record(int(f.idx[i])) }
+
+// Replay feeds the flow's records, in order, to an online analyzer — how
+// trace-derived metrics and capture-time metrics stay one code path.
+func (f *FlowTrace) Replay(t Tap) {
+	st := &f.owner.st
+	// One scratch record for the whole replay: records flow into a Tap
+	// interface call, so a loop-local value would escape and allocate per
+	// record.
+	var r Record
+	for _, i := range f.idx {
+		r = st.record(int(i))
+		t.Observe(&r)
+	}
+}
 
 // Where returns the sub-flow of packets for which keep returns true, as a
 // view sharing the same storage.
 func (f *FlowTrace) Where(keep func(*Record) bool) *FlowTrace {
 	idx := make([]int32, 0, len(f.idx))
+	var r Record
 	for _, i := range f.idx {
-		if keep(&f.owner.recs[i]) {
+		r = f.owner.st.record(int(i))
+		if keep(&r) {
 			idx = append(idx, i)
 		}
 	}
@@ -48,24 +66,29 @@ func (t *Trace) SplitFlows() []*FlowTrace {
 		id       uint16
 	}
 	owner := t.owner()
+	st := &owner.st
 	byFlow := make(map[inet.Flow]*FlowTrace)
 	var order []inet.Flow
 	trains := make(map[trainKey]inet.Flow)
 	n := t.Len()
 	for i := 0; i < n; i++ {
-		r := t.At(i)
-		if r.Proto != inet.ProtoUDP && r.Proto != inet.ProtoTCP {
+		si := t.storageIndex(i)
+		proto := st.proto[si]
+		if proto != inet.ProtoUDP && proto != inet.ProtoTCP {
 			continue
 		}
 		var flow inet.Flow
-		if r.HasPorts {
-			flow, _ = r.Flow()
-			if r.IsFragment() {
-				trains[trainKey{r.Src, r.Dst, r.IPID}] = flow
+		if st.meta[si]&metaHasPorts != 0 {
+			flow = inet.Flow{
+				Src: inet.Endpoint{Addr: st.src[si], Port: st.srcPort[si]},
+				Dst: inet.Endpoint{Addr: st.dst[si], Port: st.dstPort[si]},
+			}
+			if st.isFragment(int(si)) {
+				trains[trainKey{st.src[si], st.dst[si], st.ipid[si]}] = flow
 			}
 		} else {
 			var ok bool
-			flow, ok = trains[trainKey{r.Src, r.Dst, r.IPID}]
+			flow, ok = trains[trainKey{st.src[si], st.dst[si], st.ipid[si]}]
 			if !ok {
 				continue // orphan fragment; first never seen
 			}
@@ -76,7 +99,7 @@ func (t *Trace) SplitFlows() []*FlowTrace {
 			byFlow[flow] = ft
 			order = append(order, flow)
 		}
-		ft.idx = append(ft.idx, t.storageIndex(i))
+		ft.idx = append(ft.idx, si)
 	}
 	out := make([]*FlowTrace, 0, len(order))
 	for _, f := range order {
@@ -99,22 +122,24 @@ func (t *Trace) FlowTo(dstPort inet.Port) *FlowTrace {
 // PacketSizes returns the wire sizes in bytes of every packet, the sample
 // behind the paper's Figure 6/7 PDFs.
 func (f *FlowTrace) PacketSizes() []float64 {
-	out := make([]float64, f.Len())
-	for i := range out {
-		out[i] = float64(f.At(i).WireLen)
+	wire := f.owner.st.wireLen
+	out := make([]float64, len(f.idx))
+	for i, si := range f.idx {
+		out[i] = float64(wire[si])
 	}
 	return out
 }
 
 // Interarrivals returns successive packet spacing in seconds (Figure 8).
 func (f *FlowTrace) Interarrivals() []float64 {
-	n := f.Len()
+	n := len(f.idx)
 	if n < 2 {
 		return nil
 	}
+	at := f.owner.st.at
 	out := make([]float64, 0, n-1)
 	for i := 1; i < n; i++ {
-		out = append(out, (f.At(i).At - f.At(i-1).At).Seconds())
+		out = append(out, (at[f.idx[i]] - at[f.idx[i-1]]).Seconds())
 	}
 	return out
 }
@@ -124,11 +149,11 @@ func (f *FlowTrace) Interarrivals() []float64 {
 // paper uses exactly this reduction for high-rate MediaPlayer clips in
 // Figure 9 "to remove the noise caused by the IP fragments".
 func (f *FlowTrace) GroupInterarrivals() []float64 {
+	st := &f.owner.st
 	var firsts []time.Duration
-	n := f.Len()
-	for i := 0; i < n; i++ {
-		if f.At(i).FragOff == 0 { // whole datagram or first fragment
-			firsts = append(firsts, f.At(i).At)
+	for _, si := range f.idx {
+		if st.fragOff[si] == 0 { // whole datagram or first fragment
+			firsts = append(firsts, st.at[si])
 		}
 	}
 	if len(firsts) < 2 {
@@ -160,16 +185,16 @@ func (s FragmentStats) ContinuationShare() float64 {
 
 // Fragmentation computes the flow's fragment statistics.
 func (f *FlowTrace) Fragmentation() FragmentStats {
+	st := &f.owner.st
 	var s FragmentStats
-	s.Packets = f.Len()
-	for i := 0; i < s.Packets; i++ {
-		r := f.At(i)
-		if r.FragOff == 0 {
+	s.Packets = len(f.idx)
+	for _, si := range f.idx {
+		if st.fragOff[si] == 0 {
 			s.Datagrams++
 		} else {
 			s.Continuations++
 		}
-		if r.IsFragment() {
+		if st.isFragment(int(si)) {
 			s.AnyFragment++
 		}
 	}
@@ -179,10 +204,10 @@ func (f *FlowTrace) Fragmentation() FragmentStats {
 // BandwidthSeries reduces the flow into a bits-per-second curve with the
 // given bucket width (Figure 10 uses one-second buckets).
 func (f *FlowTrace) BandwidthSeries(bucket time.Duration) []stats.Point {
+	st := &f.owner.st
 	var ts stats.TimeSeries
-	n := f.Len()
-	for i := 0; i < n; i++ {
-		ts.Add(f.At(i).At, float64(f.At(i).WireLen*8))
+	for _, si := range f.idx {
+		ts.Add(st.at[si], float64(int(st.wireLen[si])*8))
 	}
 	return ts.RateSeries(bucket)
 }
@@ -190,15 +215,16 @@ func (f *FlowTrace) BandwidthSeries(bucket time.Duration) []stats.Point {
 // AverageRate returns the flow's mean throughput in bits/second across its
 // active duration (first to last packet).
 func (f *FlowTrace) AverageRate() float64 {
-	n := f.Len()
+	n := len(f.idx)
 	if n < 2 {
 		return 0
 	}
+	st := &f.owner.st
 	var bits float64
-	for i := 0; i < n; i++ {
-		bits += float64(f.At(i).WireLen * 8)
+	for _, si := range f.idx {
+		bits += float64(int(st.wireLen[si]) * 8)
 	}
-	span := (f.At(n-1).At - f.At(0).At).Seconds()
+	span := (st.at[f.idx[n-1]] - st.at[f.idx[0]]).Seconds()
 	if span <= 0 {
 		return 0
 	}
@@ -209,10 +235,10 @@ func (f *FlowTrace) AverageRate() float64 {
 // reproducing Figure 4's sequence-number-versus-time view. Indexing starts
 // at the first packet of the flow so concurrent flows can be overlaid.
 func (f *FlowTrace) SequencePoints(from, to time.Duration) []stats.Point {
+	st := &f.owner.st
 	var out []stats.Point
-	n := f.Len()
-	for i := 0; i < n; i++ {
-		at := f.At(i).At
+	for i, si := range f.idx {
+		at := st.at[si]
 		if at >= from && at < to {
 			out = append(out, stats.Point{X: at.Seconds(), Y: float64(i)})
 		}
@@ -223,11 +249,11 @@ func (f *FlowTrace) SequencePoints(from, to time.Duration) []stats.Point {
 // TrainLengths returns the wire-packet count of each datagram's fragment
 // train, in arrival order: 1 for unfragmented datagrams.
 func (f *FlowTrace) TrainLengths() []int {
+	st := &f.owner.st
 	var out []int
 	count := 0
-	n := f.Len()
-	for i := 0; i < n; i++ {
-		if f.At(i).FragOff == 0 {
+	for _, si := range f.idx {
+		if st.fragOff[si] == 0 {
 			if count > 0 {
 				out = append(out, count)
 			}
@@ -251,10 +277,10 @@ func (f *FlowTrace) Window(from, to time.Duration) *FlowTrace {
 // DistinctSizes returns the sorted distinct wire sizes and their counts;
 // useful to assert the CBR "all packets the same size" property.
 func (f *FlowTrace) DistinctSizes() ([]int, []int) {
+	wire := f.owner.st.wireLen
 	counts := make(map[int]int)
-	n := f.Len()
-	for i := 0; i < n; i++ {
-		counts[f.At(i).WireLen]++
+	for _, si := range f.idx {
+		counts[int(wire[si])]++
 	}
 	sizes := make([]int, 0, len(counts))
 	for sz := range counts {

@@ -135,7 +135,7 @@ func TestFilterDeMorganProperty(t *testing.T) {
 		a, b := compile(t, p[0]), compile(t, p[1])
 		for i := 0; i < tr.Len(); i++ {
 			r := tr.At(i)
-			if a.Match(r) != b.Match(r) {
+			if a.Match(&r) != b.Match(&r) {
 				t.Fatalf("De Morgan violated for %q vs %q on %v", p[0], p[1], r)
 			}
 		}

@@ -85,7 +85,8 @@ func (w *Writer) WriteRecord(r *Record) error {
 func (w *Writer) WriteTrace(t *Trace) error {
 	n := t.Len()
 	for i := 0; i < n; i++ {
-		if err := w.WriteRecord(t.At(i)); err != nil {
+		r := t.At(i)
+		if err := w.WriteRecord(&r); err != nil {
 			return err
 		}
 	}

@@ -2,10 +2,8 @@ package core
 
 import (
 	"fmt"
-	"time"
 
 	"turbulence/internal/capture"
-	"turbulence/internal/stats"
 )
 
 // FlowProfile is the turbulence characterisation of one streaming flow —
@@ -45,59 +43,50 @@ const (
 	cbrIACV   = 0.15
 )
 
-// burstWindow is the startup window used for the burst ratio; steadyTail
-// selects the steady-state sample at the end of the flow, past any
-// buffering burst.
-const (
-	burstWindow = 8 * time.Second
-	steadyTail  = 0.25 // final quarter of the flow
-)
-
-// ProfileFlow computes the turbulence profile of a captured flow.
+// ProfileFlow computes the turbulence profile of a captured flow by
+// replaying its records through the online analyzer — the same accumulator
+// a StreamProfiles sweep feeds at capture time. One code path computes the
+// profile in both worlds, which is what makes online and trace-derived
+// profiles exactly equal (pinned by TestStreamProfilesMatchTraceProfiles).
 func ProfileFlow(ft *capture.FlowTrace) FlowProfile {
+	var m capture.FlowMetrics
+	ft.Replay(&m)
+	return ProfileFromMetrics(&m)
+}
+
+// ProfileFromMetrics renders an online analyzer's accumulated state as a
+// FlowProfile.
+func ProfileFromMetrics(m *capture.FlowMetrics) FlowProfile {
 	var p FlowProfile
-	p.Packets = ft.Len()
+	p.Packets = m.Packets()
 	if p.Packets == 0 {
 		return p
 	}
-	fs := ft.Fragmentation()
+	fs := m.Fragmentation()
 	p.Datagrams = fs.Datagrams
 	p.FragShare = fs.ContinuationShare()
 	if fs.Datagrams > 0 {
 		p.MeanTrain = float64(fs.Packets) / float64(fs.Datagrams)
 	}
 
-	sizes := ft.PacketSizes()
-	ss := stats.Summarize(sizes)
-	p.MeanSize = ss.Mean
-	if ss.Mean > 0 {
-		p.SizeCV = ss.StdDev / ss.Mean
-	}
-	p.MaxWireSize = int(ss.Max)
+	p.MeanSize = m.Sizes().Mean()
+	p.SizeCV = m.Sizes().CV()
+	p.MaxWireSize = int(m.Sizes().Max)
 
-	ia := ft.GroupInterarrivals()
-	is := stats.Summarize(ia)
-	p.MeanInterarrival = is.Mean
-	if is.Mean > 0 {
-		p.InterarrivalCV = is.StdDev / is.Mean
-	}
+	p.MeanInterarrival = m.GroupInterarrivals().Mean()
+	p.InterarrivalCV = m.GroupInterarrivals().CV()
 
-	p.AvgRateBps = ft.AverageRate()
-	p.BurstRatio = burstRatio(ft)
+	p.AvgRateBps = m.AverageRate()
+	p.BurstRatio = m.BurstRatio()
 	// Classify: collapse trains first, as the paper does, so WMP's
 	// fragment bursts don't disguise its CBR pacing. Size regularity is
 	// judged on first-packets-of-train too.
-	firstSizes := firstPacketSizes(ft)
-	fss := stats.Summarize(firstSizes)
-	firstCV := 0.0
-	if fss.Mean > 0 {
-		firstCV = fss.StdDev / fss.Mean
-	}
-	p.CBR = firstCV <= cbrSizeCV && p.InterarrivalCV <= cbrIACV
+	p.CBR = m.FirstSizes().CV() <= cbrSizeCV && p.InterarrivalCV <= cbrIACV
 	return p
 }
 
-// firstPacketSizes returns wire sizes of datagram-initial packets.
+// firstPacketSizes returns wire sizes of datagram-initial packets — the
+// Section IV model fitter's sample.
 func firstPacketSizes(ft *capture.FlowTrace) []float64 {
 	var out []float64
 	for i, n := 0, ft.Len(); i < n; i++ {
@@ -106,31 +95,6 @@ func firstPacketSizes(ft *capture.FlowTrace) []float64 {
 		}
 	}
 	return out
-}
-
-// burstRatio compares startup throughput to steady-state throughput.
-func burstRatio(ft *capture.FlowTrace) float64 {
-	if ft.Len() < 2 {
-		return 0
-	}
-	start := ft.At(0).At
-	end := ft.At(ft.Len() - 1).At
-	span := end - start
-	if span <= burstWindow*2 {
-		return 1
-	}
-	var ts stats.TimeSeries
-	for i, n := 0, ft.Len(); i < n; i++ {
-		r := ft.At(i)
-		ts.Add(r.At-start, float64(r.WireLen*8))
-	}
-	early := ts.WindowSum(0, burstWindow) / burstWindow.Seconds()
-	tailStart := time.Duration(float64(span) * (1 - steadyTail))
-	steady := ts.WindowSum(tailStart, span) / (time.Duration(float64(span) * steadyTail)).Seconds()
-	if steady <= 0 {
-		return 0
-	}
-	return early / steady
 }
 
 // String renders the profile compactly.

@@ -9,8 +9,8 @@ import (
 )
 
 // recordsEqual compares two captured records field by field, including the
-// lazily-serialised wire bytes.
-func recordsEqual(a, b *capture.Record) bool {
+// wire bytes rebuilt from the columnar store.
+func recordsEqual(a, b capture.Record) bool {
 	if a.At != b.At || a.Dir != b.Dir || a.WireLen != b.WireLen ||
 		a.Src != b.Src || a.Dst != b.Dst || a.Proto != b.Proto ||
 		a.IPID != b.IPID || a.FragOff != b.FragOff || a.MoreFrag != b.MoreFrag ||

@@ -20,6 +20,16 @@ const (
 	// nil). On huge matrices this bounds memory to the per-run working set
 	// plus a small summary per cell, instead of every packet ever sniffed.
 	DropTracesAfterProfile
+	// StreamProfiles never stores records at all: each captured packet
+	// streams through online per-flow analyzers (capture.FlowDemux) at the
+	// client NIC and is gone, so a run's capture state is a few KB of
+	// accumulators instead of a trace. RunResult.Comparison carries the
+	// profiles — exactly equal to trace-derived ones, because ProfileFlow
+	// replays stored traces through the same analyzer — and Run keeps
+	// everything but Trace/WMPFlow/RealFlow. The shape matrix-scale sweeps
+	// run in: memory is O(workers × analyzer state), not O(workers ×
+	// trace).
+	StreamProfiles
 )
 
 // Progress is one completion notification delivered to a WithProgress
@@ -39,10 +49,12 @@ type RunResult struct {
 	Seed int64
 
 	// Run is the full pair-run result (nil when Err is set, and stripped
-	// of raw traces under DropTracesAfterProfile).
+	// of raw traces under DropTracesAfterProfile and StreamProfiles).
 	Run *PairRun
-	// Comparison holds both flows' turbulence profiles, computed before
-	// the raw traces were dropped. Set only under DropTracesAfterProfile.
+	// Comparison holds both flows' turbulence profiles: computed before
+	// the raw traces were dropped (DropTracesAfterProfile) or accumulated
+	// online at capture time (StreamProfiles). Nil under RetainTraces —
+	// call Compare on the retained run instead.
 	Comparison *Comparison
 
 	Err error
@@ -163,12 +175,12 @@ func (r *Runner) execute(p *Plan, emit func(RunResult) bool) {
 			return false
 		}
 		seed := p.Seed(k)
-		run, err := runPair(ctx, seed, k.Pair.Set, k.Pair.Class, p.optionsFor(k))
+		run, cmp, err := runPair(ctx, seed, k.Pair.Set, k.Pair.Class, p.optionsFor(k), r.retention == StreamProfiles)
 		if err != nil && ctx.Err() != nil {
 			// Interrupted mid-simulation: not a completed cell.
 			return false
 		}
-		res := RunResult{Key: k, Seed: seed, Run: run, Err: err}
+		res := RunResult{Key: k, Seed: seed, Run: run, Err: err, Comparison: cmp}
 		if err == nil && r.retention == DropTracesAfterProfile {
 			c := Compare(run)
 			res.Comparison = &c

@@ -109,7 +109,8 @@ func RunPair(seed int64, set int, class media.Class) (*PairRun, error) {
 
 // RunPairWith is RunPair with ablation options.
 func RunPairWith(seed int64, set int, class media.Class, opts Options) (*PairRun, error) {
-	return runPair(context.Background(), seed, set, class, opts)
+	run, _, err := runPair(context.Background(), seed, set, class, opts, false)
+	return run, err
 }
 
 // RunPairContext is RunPairWith under a cancellation context, for callers
@@ -120,21 +121,31 @@ func RunPairContext(ctx context.Context, seed int64, set int, class media.Class,
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return runPair(ctx, seed, set, class, opts)
+	run, _, err := runPair(ctx, seed, set, class, opts, false)
+	return run, err
 }
 
 // runPair is the single pair-experiment executor every entry point —
 // legacy or Runner — funnels through. The context is polled between
 // simulation events (the scheduler's interrupt seam), so a cancelled ctx
 // aborts the run promptly mid-stream and returns ctx.Err().
-func runPair(ctx context.Context, seed int64, set int, class media.Class, opts Options) (*PairRun, error) {
+//
+// With stream set (the Runner's StreamProfiles retention) the sniffer
+// stores nothing: each captured record streams through an online
+// flow-demultiplexing analyzer and is gone, the returned PairRun carries
+// no Trace or flow views, and both flows' profiles come back as a
+// Comparison computed from the analyzer state. Everything else — tracker
+// reports, probes, path stats — is identical, and the profiles themselves
+// are exactly equal to what profiling a retained trace yields, because
+// ProfileFlow replays stored traces through the same analyzer.
+func runPair(ctx context.Context, seed int64, set int, class media.Class, opts Options, stream bool) (*PairRun, *Comparison, error) {
 	clipSet, ok := media.FindSet(set)
 	if !ok {
-		return nil, fmt.Errorf("core: unknown data set %d", set)
+		return nil, nil, fmt.Errorf("core: unknown data set %d", set)
 	}
 	pair, ok := clipSet.Pairs[class]
 	if !ok {
-		return nil, fmt.Errorf("core: set %d has no %v pair", set, class)
+		return nil, nil, fmt.Errorf("core: set %d has no %v pair", set, class)
 	}
 	var tbOpts []TestbedOption
 	if opts.BottleneckBps > 0 {
@@ -162,6 +173,14 @@ func runPair(ctx context.Context, seed int64, set int, class media.Class, opts O
 
 	sniff := capture.Attach(tb.Client)
 	sniff.RecvOnly = true
+	var demux *capture.FlowDemux
+	if stream {
+		// Online analysis: records stream through the flow demultiplexer's
+		// per-flow accumulators and are never stored.
+		sniff.SetStore(false)
+		demux = capture.NewFlowDemux()
+		sniff.AddTap(demux)
+	}
 
 	// Pre-run network checks.
 	pingBefore := probe.StartPing(tb.Client, site.Profile.Addr, probe.PingOptions{Count: 10, Interval: 200 * time.Millisecond, ID: 100}, nil)
@@ -218,13 +237,13 @@ func runPair(ctx context.Context, seed int64, set int, class media.Class, opts O
 	}
 	if err := tb.Net.Run(eventsim.Time(horizon)); err != nil {
 		if errors.Is(err, eventsim.ErrInterrupted) {
-			return nil, ctx.Err()
+			return nil, nil, ctx.Err()
 		}
-		return nil, err
+		return nil, nil, err
 	}
 	stopWatch()
 	if !wmpDone || !realDone {
-		return nil, fmt.Errorf("core: pair %d/%v did not complete within horizon (wmp=%t real=%t)", set, class, wmpDone, realDone)
+		return nil, nil, fmt.Errorf("core: pair %d/%v did not complete within horizon (wmp=%t real=%t)", set, class, wmpDone, realDone)
 	}
 
 	run.PingBefore = pingBefore.Report()
@@ -232,19 +251,32 @@ func runPair(ctx context.Context, seed int64, set int, class media.Class, opts O
 		run.PingAfter = pingAfter.Report()
 	}
 	run.Route = tracer.Report()
-	run.Trace = sniff.Trace()
 	if p := tb.Net.PathBetween(site.Profile.Addr, ClientAddr); p != nil {
 		run.Downlink = p.Stats()
 	}
 	if p := tb.Net.PathBetween(ClientAddr, site.Profile.Addr); p != nil {
 		run.Uplink = p.Stats()
 	}
+	if stream {
+		wmp, real := demux.To(WMPDataPort), demux.To(RDTDataPort)
+		if wmp == nil || real == nil {
+			return nil, nil, fmt.Errorf("core: pair %d/%v missing data flows in capture", set, class)
+		}
+		cmp := &Comparison{
+			Set:       run.Set,
+			ClassName: run.Class.String(),
+			Real:      ProfileFromMetrics(real.Metrics),
+			WMP:       ProfileFromMetrics(wmp.Metrics),
+		}
+		return run, cmp, nil
+	}
+	run.Trace = sniff.Trace()
 	run.WMPFlow = run.Trace.FlowTo(WMPDataPort)
 	run.RealFlow = run.Trace.FlowTo(RDTDataPort)
 	if run.WMPFlow == nil || run.RealFlow == nil {
-		return nil, fmt.Errorf("core: pair %d/%v missing data flows in capture", set, class)
+		return nil, nil, fmt.Errorf("core: pair %d/%v missing data flows in capture", set, class)
 	}
-	return run, nil
+	return run, nil, nil
 }
 
 // PairKey identifies one pair experiment.

@@ -31,6 +31,14 @@ type Result struct {
 	ID    string
 	Title string
 
+	// Provenance metadata, so merged shard outputs are self-describing:
+	// Scenario names the netem scenario the context streamed under ("" =
+	// the faithful testbed), Seed is the base seed, and Shard is the
+	// "i/n" slice a sharded CLI invocation ran (set by cmd/turbulence).
+	Scenario string `json:",omitempty"`
+	Seed     int64  `json:",omitempty"`
+	Shard    string `json:",omitempty"`
+
 	// Tabular part.
 	Columns []string
 	Rows    [][]string
@@ -102,6 +110,13 @@ type Context struct {
 	Seed    int64
 	workers int
 
+	// retention selects what the cached Table 1 sweep keeps per run (see
+	// core.TraceRetention). Under DropTracesAfterProfile or StreamProfiles
+	// the cached runs carry no packet captures, so only trace-free
+	// experiments (reports, probes, profiles) can regenerate; Run rejects
+	// the others with a clear error instead of letting them crash.
+	retention core.TraceRetention
+
 	// cancel, when set, aborts in-flight pair runs when the context is
 	// cancelled (checked between simulation events); progress, when set,
 	// observes each completed pair run.
@@ -153,8 +168,29 @@ func (c *Context) SetProgress(fn func(core.Progress)) *Context {
 	return c
 }
 
-// runner assembles the Runner the context delegates execution to.
-func (c *Context) runner() *core.Runner {
+// SetRetention selects what the cached Table 1 sweep keeps of each pair
+// run (default core.RetainTraces). Must be called before the first run
+// executes. With StreamProfiles the sweep never materialises a trace —
+// records stream through online analyzers — so only trace-free
+// experiments can regenerate from this context; Run reports which.
+// One-off runs (RunOne) and Matrix sweeps are unaffected: their consumers
+// own their runs and retention.
+func (c *Context) SetRetention(tr core.TraceRetention) *Context {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.runs) > 0 {
+		panic("experiments: SetRetention after runs are cached")
+	}
+	c.retention = tr
+	return c
+}
+
+// Retention returns the context's Table 1 sweep retention.
+func (c *Context) Retention() core.TraceRetention { return c.retention }
+
+// runner assembles the Runner the context delegates execution to; extra
+// options (the cached sweep's retention) are appended last.
+func (c *Context) runner(extra ...core.RunnerOption) *core.Runner {
 	opts := []core.RunnerOption{core.WithWorkers(c.workers)}
 	if c.cancel != nil {
 		opts = append(opts, core.WithContext(c.cancel))
@@ -162,6 +198,7 @@ func (c *Context) runner() *core.Runner {
 	if c.progress != nil {
 		opts = append(opts, core.WithProgress(c.progress))
 	}
+	opts = append(opts, extra...)
 	return core.NewRunner(opts...)
 }
 
@@ -177,7 +214,7 @@ func (c *Context) execute(keys []core.PairKey) error {
 	if c.scenario != nil {
 		plan.UnderScenarios(c.scenario)
 	}
-	results, err := c.runner().Run(plan)
+	results, err := c.runner(core.WithTraceRetention(c.retention)).Run(plan)
 	c.mu.Lock()
 	for _, res := range results {
 		if res.Err == nil && res.Run != nil {
@@ -289,6 +326,9 @@ type Experiment struct {
 	ID       string
 	Title    string
 	Generate Generator
+	// TraceFree marks experiments that regenerate without retained packet
+	// captures (see registerTraceFree).
+	TraceFree bool
 }
 
 var registry = map[string]Experiment{}
@@ -298,6 +338,19 @@ func register(id, title string, g Generator) {
 		panic("experiments: duplicate id " + id)
 	}
 	registry[id] = Experiment{ID: id, Title: title, Generate: g}
+}
+
+// registerTraceFree registers an experiment whose reductions never touch
+// the cached runs' packet captures (tracker reports, probe logs and
+// profiles only), so it regenerates under any Table 1 sweep retention —
+// including StreamProfiles, where no trace ever exists. The flag is
+// declared here, at the registration site, so it lives next to the code
+// it describes.
+func registerTraceFree(id, title string, g Generator) {
+	register(id, title, g)
+	e := registry[id]
+	e.TraceFree = true
+	registry[id] = e
 }
 
 // Lookup returns a registered experiment.
@@ -316,6 +369,10 @@ func IDs() []string {
 	return out
 }
 
+// TraceFree reports whether the experiment regenerates without retained
+// packet captures (and therefore works under -retention drop/stream).
+func TraceFree(id string) bool { return registry[id].TraceFree }
+
 // Run executes one experiment by id. Every report gains a path-drop
 // breakdown note covering the context's cached pair runs, so model loss
 // (the links' loss processes) stays distinguishable from AQM early drops
@@ -325,10 +382,17 @@ func Run(ctx *Context, id string) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
 	}
+	if ctx.Retention() != core.RetainTraces && !e.TraceFree {
+		return nil, fmt.Errorf("experiments: %s reduces packet captures, which the context's trace retention discards; rerun with retained traces", id)
+	}
 	res, err := e.Generate(ctx)
 	if err != nil {
 		return nil, err
 	}
+	if sc := ctx.Scenario(); sc != nil {
+		res.Scenario = sc.Name
+	}
+	res.Seed = ctx.Seed
 	if note, ok := ctx.dropNote(); ok {
 		res.AddNote("%s", note)
 	}

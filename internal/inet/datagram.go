@@ -10,6 +10,11 @@ import (
 type Datagram struct {
 	Header  IPv4Header
 	Payload []byte // IP payload (e.g. UDP header + application data)
+
+	// owner is the pooled wire buffer backing Payload, nil for datagrams
+	// built outside a pool. Fragments of one datagram share the owner;
+	// see WireBuf.
+	owner *WireBuf
 }
 
 // Len returns the IP-level length (header + payload).

@@ -44,12 +44,24 @@ func Fragment(d *Datagram, mtu int) ([]*Datagram, error) {
 		}
 		// Fragments share the parent payload: the ranges are disjoint, and
 		// every consumer (hops, taps, reassembly) either reads or mutates
-		// only its own range, so no copy is needed.
-		frag := &Datagram{Header: h, Payload: d.Payload[off:end:end]}
+		// only its own range, so no copy is needed. They share the pooled
+		// owner too; the caller fixes its reference count to the train
+		// length.
+		frag := &Datagram{Header: h, Payload: d.Payload[off:end:end], owner: d.owner}
 		frag.Header.TotalLen = uint16(frag.Len())
 		out = append(out, frag)
 	}
 	return out, nil
+}
+
+// SetFragmentRefs points a fragment train's shared wire buffer at the
+// number of live fragments, so the buffer returns to its pool only when
+// the last fragment is dropped or reassembled. No-op for unpooled
+// datagrams.
+func SetFragmentRefs(frags []*Datagram) {
+	if len(frags) > 0 && frags[0].owner != nil {
+		frags[0].owner.refs = int32(len(frags))
+	}
 }
 
 // FragmentTrainLen predicts how many wire packets a UDP payload of the given
@@ -87,6 +99,10 @@ type reassemblyBuf struct {
 // paper highlights (§3.C, citing [FF99]).
 type Reassembler struct {
 	pending map[reassemblyKey]*reassemblyBuf
+	// pool, when set, supplies the assembled datagrams' payload buffers;
+	// the consumer (the host's delivery path) releases them after the
+	// transport handler returns.
+	pool *BufPool
 	// Completed counts successfully reassembled datagrams; Discarded counts
 	// datagrams flushed while incomplete.
 	Completed, Discarded int
@@ -95,6 +111,14 @@ type Reassembler struct {
 // NewReassembler returns an empty reassembler.
 func NewReassembler() *Reassembler {
 	return &Reassembler{pending: make(map[reassemblyKey]*reassemblyBuf)}
+}
+
+// NewReassemblerPooled is NewReassembler drawing assembled payloads from a
+// wire-buffer pool.
+func NewReassemblerPooled(p *BufPool) *Reassembler {
+	r := NewReassembler()
+	r.pool = p
+	return r
 }
 
 // PendingDatagrams reports how many datagrams are partially assembled.
@@ -120,11 +144,16 @@ func (r *Reassembler) Add(d *Datagram) (*Datagram, error) {
 	if !buf.gotLast {
 		return nil, nil
 	}
-	whole, ok := tryAssemble(buf.frags)
+	whole, ok := tryAssemble(buf.frags, r.pool)
 	if !ok {
 		return nil, nil // still missing a middle fragment
 	}
 	delete(r.pending, key)
+	// The fragments' bytes are spliced into the whole datagram; their
+	// shared wire buffer can recycle.
+	for _, f := range buf.frags {
+		f.Release()
+	}
 	r.Completed++
 	return whole, nil
 }
@@ -133,6 +162,11 @@ func (r *Reassembler) Add(d *Datagram) (*Datagram, error) {
 // trace or on a reassembly timeout) and returns how many were discarded.
 func (r *Reassembler) FlushIncomplete() int {
 	n := len(r.pending)
+	for _, buf := range r.pending {
+		for _, f := range buf.frags {
+			f.Release()
+		}
+	}
 	r.pending = make(map[reassemblyKey]*reassemblyBuf)
 	r.Discarded += n
 	return n
@@ -141,7 +175,7 @@ func (r *Reassembler) FlushIncomplete() int {
 // tryAssemble attempts to splice a fragment list into the original
 // datagram. It requires a contiguous byte range starting at offset 0 and
 // ending at a fragment without MF.
-func tryAssemble(frags []*Datagram) (*Datagram, bool) {
+func tryAssemble(frags []*Datagram, pool *BufPool) (*Datagram, bool) {
 	// Sorting in place is fine: the buffer is private to the reassembler
 	// and fragment order within a pending set carries no meaning.
 	sorted := frags
@@ -149,14 +183,15 @@ func tryAssemble(frags []*Datagram) (*Datagram, bool) {
 		return sorted[i].Header.FragOff < sorted[j].Header.FragOff
 	})
 	tail := sorted[len(sorted)-1]
-	payload := make([]byte, 0, int(tail.Header.FragOff)*8+len(tail.Payload))
+	size := int(tail.Header.FragOff)*8 + len(tail.Payload)
+	// Validate the byte range first, so a corrupt set never costs a
+	// buffer.
 	next := 0
 	for i, f := range sorted {
 		off := int(f.Header.FragOff) * 8
 		if off != next {
 			return nil, false // gap (or overlap, which we treat as corrupt)
 		}
-		payload = append(payload, f.Payload...)
 		next = off + len(f.Payload)
 		last := i == len(sorted)-1
 		if f.Header.MoreFragments() == last {
@@ -164,13 +199,27 @@ func tryAssemble(frags []*Datagram) (*Datagram, bool) {
 			return nil, false
 		}
 	}
+	if IPv4HeaderLen+size > 0xFFFF {
+		return nil, false
+	}
+	var payload []byte
+	var wb *WireBuf
+	if pool != nil {
+		wb = pool.get(size)
+		payload = wb.b
+	} else {
+		payload = make([]byte, 0, size)
+	}
+	for _, f := range sorted {
+		payload = append(payload, f.Payload...)
+	}
+	if wb != nil {
+		wb.b = payload
+	}
 	h := sorted[0].Header
 	h.FragOff = 0
 	h.Flags &^= FlagMoreFrags
-	whole := &Datagram{Header: h, Payload: payload}
-	if whole.Len() > 0xFFFF {
-		return nil, false
-	}
+	whole := &Datagram{Header: h, Payload: payload, owner: wb}
 	whole.Header.TotalLen = uint16(whole.Len())
 	return whole, true
 }

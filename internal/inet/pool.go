@@ -1,0 +1,109 @@
+package inet
+
+// WireBuf is a reference-counted wire-payload buffer. The UDP send path
+// builds each datagram's bytes into one; Fragment makes every fragment of
+// the datagram share it (their payloads are disjoint sub-slices), with the
+// reference count tracking how many fragments are still alive. When the
+// last fragment dies — dropped at a hop, unroutable, or consumed by the
+// receiving host's reassembly — the buffer returns to its pool and the
+// next send reuses it, which is what keeps steady-state streaming from
+// allocating per packet.
+//
+// Capture never holds a WireBuf reference: the sniffer copies payload
+// bytes into its own arena (or streams them through analyzers) inside the
+// tap call, before the network mutates or recycles anything.
+type WireBuf struct {
+	b    []byte
+	refs int32
+	pool *BufPool
+}
+
+// BufPool recycles WireBufs. A pool belongs to one single-threaded
+// simulation (the Network owns it); it is not safe for concurrent use.
+// The zero value is ready.
+type BufPool struct {
+	free []*WireBuf
+}
+
+// get returns a buffer with capacity for at least n bytes and one
+// reference. Capacities are rounded up to a power of two (min 1 KB), so a
+// mixed-size workload converges on a few size classes instead of churning
+// the free list with near-miss buffers.
+func (p *BufPool) get(n int) *WireBuf {
+	var wb *WireBuf
+	if last := len(p.free) - 1; last >= 0 {
+		wb = p.free[last]
+		p.free = p.free[:last]
+		if cap(wb.b) < n {
+			wb.b = make([]byte, 0, roundCap(n))
+		}
+	} else {
+		wb = &WireBuf{pool: p, b: make([]byte, 0, roundCap(n))}
+	}
+	wb.b = wb.b[:0]
+	wb.refs = 1
+	return wb
+}
+
+// roundCap rounds a requested capacity up to the next power of two, at
+// least 1 KB (UDP payloads are capped at 64 KB, so overshoot is bounded).
+func roundCap(n int) int {
+	c := 1 << 10
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// put returns a buffer to the free list.
+func (p *BufPool) put(wb *WireBuf) {
+	p.free = append(p.free, wb)
+}
+
+// Release drops the datagram's reference on its shared wire buffer, if it
+// has one; the buffer returns to its pool when the last sibling fragment
+// releases. Datagrams built outside a pool (ICMP, TCP, tests) have no
+// owner and Release is a no-op. Releasing the same datagram twice is a
+// bug; the owner pointer is cleared to make the second call harmless.
+func (d *Datagram) Release() {
+	wb := d.owner
+	if wb == nil {
+		return
+	}
+	d.owner = nil
+	wb.refs--
+	if wb.refs <= 0 && wb.pool != nil {
+		wb.pool.put(wb)
+	}
+}
+
+// BuildUDPPooled is BuildUDP with the marshalled bytes placed in a pooled
+// wire buffer: the caller (the host send path) must arrange for every
+// fragment of the returned datagram to be released exactly once.
+func BuildUDPPooled(p *BufPool, src, dst Endpoint, id uint16, payload []byte) (*Datagram, error) {
+	total := UDPHeaderLen + len(payload)
+	if IPv4HeaderLen+total > 0xFFFF {
+		return nil, ErrPayloadRange
+	}
+	wb := p.get(total)
+	var err error
+	wb.b, err = appendUDP(wb.b, src, dst, payload)
+	if err != nil {
+		wb.refs = 0
+		p.put(wb)
+		return nil, err
+	}
+	d := &Datagram{
+		Header: IPv4Header{
+			ID:       id,
+			TTL:      DefaultTTL,
+			Protocol: ProtoUDP,
+			Src:      src.Addr,
+			Dst:      dst.Addr,
+		},
+		Payload: wb.b,
+		owner:   wb,
+	}
+	d.Header.TotalLen = uint16(d.Len())
+	return d, nil
+}

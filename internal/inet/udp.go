@@ -16,11 +16,19 @@ type UDPHeader struct {
 // MarshalUDP serialises a UDP header plus payload, computing the checksum
 // with the pseudo-header for src/dst.
 func MarshalUDP(src, dst Endpoint, payload []byte) ([]byte, error) {
+	return appendUDP(nil, src, dst, payload)
+}
+
+// appendUDP is MarshalUDP into buf's spare capacity — the pooled send
+// path's allocation-free form.
+func appendUDP(buf []byte, src, dst Endpoint, payload []byte) ([]byte, error) {
 	total := UDPHeaderLen + len(payload)
 	if total > 0xFFFF {
-		return nil, ErrPayloadRange
+		return buf, ErrPayloadRange
 	}
-	b := make([]byte, total)
+	base := len(buf)
+	buf = append(buf, make([]byte, total)...)
+	b := buf[base:]
 	binary.BigEndian.PutUint16(b[0:], uint16(src.Port))
 	binary.BigEndian.PutUint16(b[2:], uint16(dst.Port))
 	binary.BigEndian.PutUint16(b[4:], uint16(total))
@@ -30,7 +38,7 @@ func MarshalUDP(src, dst Endpoint, payload []byte) ([]byte, error) {
 		cs = 0xFFFF // RFC 768: transmitted all-ones when computed zero
 	}
 	binary.BigEndian.PutUint16(b[6:], cs)
-	return b, nil
+	return buf, nil
 }
 
 // ParseUDP decodes a UDP header from b (the IP payload) and returns it with

@@ -28,7 +28,10 @@ func (d Direction) String() string {
 }
 
 // TapFunc observes wire datagrams at a host NIC. Taps must not mutate the
-// datagram; the host clones before delivering onward.
+// datagram, and must not retain it (or its payload) beyond the call: the
+// network mutates datagrams in transit and recycles their wire buffers
+// once delivery completes. Observers copy what they keep — the capture
+// layer's columnar arena is the canonical example.
 type TapFunc func(now eventsim.Time, dir Direction, d *inet.Datagram)
 
 // UDPHandler consumes a reassembled UDP payload addressed to a bound port.
@@ -70,7 +73,7 @@ func newHost(n *Network, addr inet.Addr) *Host {
 		net:         n,
 		addr:        addr,
 		mtu:         inet.DefaultMTU,
-		reasm:       inet.NewReassembler(),
+		reasm:       inet.NewReassemblerPooled(&n.pool),
 		udpHandlers: make(map[inet.Port]UDPHandler),
 	}
 }
@@ -151,16 +154,23 @@ func (h *Host) nextID() uint16 {
 // host MTU exactly as the OS IP layer does when handed an oversize
 // application frame. It returns the number of wire packets emitted (the
 // fragment train length), or an error if the datagram could not be built.
+//
+// The caller's payload is copied into a pooled wire buffer that recycles
+// once every fragment has been dropped or reassembled, so the payload
+// slice may be reused immediately and steady-state streaming does not
+// allocate per datagram.
 func (h *Host) SendUDP(srcPort inet.Port, dst inet.Endpoint, payload []byte) (int, error) {
 	src := inet.Endpoint{Addr: h.addr, Port: srcPort}
-	d, err := inet.BuildUDP(src, dst, h.nextID(), payload)
+	d, err := inet.BuildUDPPooled(&h.net.pool, src, dst, h.nextID(), payload)
 	if err != nil {
 		return 0, err
 	}
 	frags, err := inet.Fragment(d, h.mtu)
 	if err != nil {
+		d.Release()
 		return 0, err
 	}
+	inet.SetFragmentRefs(frags)
 	now := h.net.Now()
 	for _, f := range frags {
 		h.transmit(f, now)
@@ -174,34 +184,40 @@ func (h *Host) SendICMP(dst inet.Addr, ttl byte, msg inet.ICMPMessage) {
 	h.transmit(d, h.net.Now())
 }
 
-// transmit runs taps and injects into the network. The network mutates the
-// datagram in transit (TTL, corruption), so it gets a private clone — but
-// only when a tap retains a view of the original; untapped hosts (the
-// servers, on the streaming hot path) hand over ownership directly.
+// transmit runs taps and injects into the network. Taps observe the
+// datagram before the network mutates it in transit (TTL, corruption) and
+// must copy anything they keep within the call — the capture layer's
+// columnar store does exactly that — so no defensive clone is needed even
+// on tapped hosts.
 func (h *Host) transmit(d *inet.Datagram, now eventsim.Time) {
 	for _, tap := range h.taps {
 		tap(now, Send, d)
 	}
 	h.SentDatagrams++
-	send := d
-	if len(h.taps) > 0 {
-		send = d.Clone()
-	}
-	if !h.net.send(send, now) {
+	if !h.net.send(d, now) {
 		h.Unroutable++
+		d.Release()
 	}
 }
 
 // deliver is called by the network when a wire datagram arrives at the NIC.
+// Handlers (UDP, TCP, ICMP) receive payload views that are only valid for
+// the duration of the call: once delivery completes, the datagram's pooled
+// wire buffer may recycle.
 func (h *Host) deliver(d *inet.Datagram, now eventsim.Time) {
 	h.ReceivedDatagrams++
 	for _, tap := range h.taps {
 		tap(now, Recv, d)
 	}
 	whole, err := h.reasm.Add(d)
-	if err != nil || whole == nil {
+	if err != nil {
+		d.Release()
 		return
 	}
+	if whole == nil {
+		return // fragment buffered; the reassembler owns its reference now
+	}
+	defer whole.Release()
 	switch whole.Header.Protocol {
 	case inet.ProtoUDP:
 		udp, payload, err := whole.UDP()

@@ -19,6 +19,13 @@ type Network struct {
 	// freeTransit recycles the per-packet forwarding state so the steady
 	// streaming path does not allocate per hop traversal.
 	freeTransit []*transit
+
+	// pool recycles UDP wire-payload buffers across the whole simulation:
+	// a buffer returns when its datagram's last fragment is dropped or
+	// reassembled (capture copies what it keeps), so steady-state
+	// streaming reuses a small working set instead of allocating per
+	// packet.
+	pool inet.BufPool
 }
 
 // transit is one datagram's journey along a path: the state threaded
@@ -154,18 +161,21 @@ func (n *Network) forward(t *transit, now eventsim.Time) {
 	// Random early loss from the hop's loss process.
 	if hop.dropByLoss(n.rng) {
 		hop.DroppedLoss++
+		d.Release()
 		n.releaseTransit(t)
 		return
 	}
 	// Drop-tail: physical FIFO overflow.
 	if hop.queued >= hop.queueCap() {
 		hop.DroppedFull++
+		d.Release()
 		n.releaseTransit(t)
 		return
 	}
 	// Active queue management: the policy may shed load before overflow.
 	if !hop.admit(n.rng) {
 		hop.DroppedAQM++
+		d.Release()
 		n.releaseTransit(t)
 		return
 	}
@@ -173,6 +183,7 @@ func (n *Network) forward(t *transit, now eventsim.Time) {
 	if d.Header.TTL <= 1 {
 		hop.TTLExpired++
 		n.returnTimeExceeded(p, i, d, now)
+		d.Release()
 		n.releaseTransit(t)
 		return
 	}
@@ -205,6 +216,7 @@ func (n *Network) forward(t *transit, now eventsim.Time) {
 
 	if i == len(p.hops)-1 {
 		if n.hosts[p.dst] == nil {
+			d.Release()
 			n.releaseTransit(t)
 			return
 		}

@@ -1,0 +1,10 @@
+//go:build race
+
+// Package racecheck reports whether the race detector is compiled in, so
+// allocation-pin tests — whose counts the detector's instrumentation
+// inflates — can exclude themselves under `go test -race` while still
+// running everywhere else.
+package racecheck
+
+// Enabled is true when the build carries the race detector.
+const Enabled = true

@@ -92,7 +92,10 @@ type Player struct {
 	clipRef  string
 	ctlPort  inet.Port
 	dataPort inet.Port
-	events   PlayerEvents
+	// segScratch is the per-packet segment-decode buffer, reused so the
+	// receive path does not allocate per data packet.
+	segScratch []segment.Segment
+	events     PlayerEvents
 
 	state State
 	meta  Meta
@@ -385,10 +388,11 @@ func (p *Player) onMediaPacket(now eventsim.Time, payload []byte) {
 	if p.events.OSPacket != nil {
 		p.events.OSPacket(now, h.Seq, 1)
 	}
-	segs, err := segment.DecodeList(segPayload)
+	segs, err := segment.DecodeListInto(p.segScratch[:0], segPayload)
 	if err != nil {
 		return
 	}
+	p.segScratch = segs
 	for _, s := range segs {
 		p.asm.Add(s)
 	}

@@ -40,13 +40,22 @@ var ErrKind = errors.New("rdt: unexpected packet kind")
 
 // MarshalData encodes a media packet: header + encoded segment list.
 func MarshalData(h DataHeader, segPayload []byte) []byte {
-	b := make([]byte, dataHeaderLen, dataHeaderLen+len(segPayload))
+	return AppendData(nil, h, segPayload)
+}
+
+// AppendData is MarshalData appending into dst, returning the extended
+// slice; the send path builds packets into recycled resend-window buffers
+// this way.
+func AppendData(dst []byte, h DataHeader, segPayload []byte) []byte {
+	base := len(dst)
+	dst = append(dst, make([]byte, dataHeaderLen)...)
+	b := dst[base:]
 	b[0] = KindData
 	binary.BigEndian.PutUint32(b[1:], h.Seq)
 	binary.BigEndian.PutUint32(b[5:], h.TSms)
 	b[9] = h.Flags
 	b[10] = h.Stream
-	return append(b, segPayload...)
+	return append(dst, segPayload...)
 }
 
 // ParseData decodes a media packet.

@@ -121,6 +121,15 @@ type session struct {
 	playing        bool
 	done           bool
 	nextSend       eventsim.Timer
+
+	// enc is the per-packet segment-list scratch (copied into the data
+	// packet immediately); freePkts recycles data-packet buffers evicted
+	// from the resend window, so steady-state sending allocates only while
+	// the window is still filling. pktCap is the session's buffer size
+	// class, derived from its pacing draw's upper bound.
+	enc      []byte
+	freePkts [][]byte
+	pktCap   int
 }
 
 // NewServer attaches a RealServer to the host.
@@ -368,10 +377,32 @@ func (sess *session) sendNext(now eventsim.Time) {
 		size = MaxPayload
 	}
 	segs := sess.cutter.Next(int(size))
-	payload := segment.EncodeList(segs)
+	sess.enc = segment.AppendList(sess.enc[:0], segs)
 	encBytesPerSec := sess.clip.EncodedBps() / 8
 	tsMs := uint32(sess.sentMediaBytes / encBytesPerSec * 1000)
-	pkt := MarshalData(DataHeader{Seq: sess.seq, TSms: tsMs}, payload)
+	var buf []byte
+	if n := len(sess.freePkts); n > 0 {
+		buf = sess.freePkts[n-1][:0]
+		sess.freePkts = sess.freePkts[:n-1]
+	}
+	if need := dataHeaderLen + len(sess.enc); cap(buf) < need {
+		// One per-session size class sized off the pacing draw's upper
+		// bound, so every recycled buffer fits every packet and the window
+		// reaches a zero-allocation steady state without overshooting the
+		// session's actual packet sizes.
+		if sess.pktCap == 0 {
+			bound := int(1.9*PacketSizeMean(sess.clip.EncodedBps())) + 256
+			if bound > MaxPayload+256 {
+				bound = MaxPayload + 256
+			}
+			sess.pktCap = dataHeaderLen + bound
+		}
+		if need < sess.pktCap {
+			need = sess.pktCap
+		}
+		buf = make([]byte, 0, need)
+	}
+	pkt := AppendData(buf, DataHeader{Seq: sess.seq, TSms: tsMs}, sess.enc)
 	sess.srv.host.SendUDP(inet.PortRDTData, sess.data, pkt)
 	sess.remember(sess.seq, pkt)
 	sess.seq++
@@ -387,13 +418,18 @@ func (sess *session) sendNext(now eventsim.Time) {
 }
 
 // remember retains the packet for NAK retransmission, evicting beyond the
-// window.
+// window; evicted buffers are recycled for future data packets (the UDP
+// layer copies every send, so a recycled buffer is never aliased by an
+// in-flight packet).
 func (sess *session) remember(seq uint32, pkt []byte) {
 	sess.resend[seq] = pkt
 	sess.resendQ = append(sess.resendQ, seq)
 	if len(sess.resendQ) > ResendWindow {
 		old := sess.resendQ[0]
 		sess.resendQ = sess.resendQ[1:]
+		if buf, ok := sess.resend[old]; ok {
+			sess.freePkts = append(sess.freePkts, buf)
+		}
 		delete(sess.resend, old)
 	}
 }

@@ -39,11 +39,21 @@ var ErrCorrupt = errors.New("segment: corrupt segment list")
 //
 //	list := count(u16) descriptor*count padding[sum(Length)]
 func EncodeList(segs []Segment) []byte {
+	return AppendList(nil, segs)
+}
+
+// AppendList is EncodeList appending into dst, returning the extended
+// slice. The encoding is copied onward by the UDP layer, so senders on a
+// per-packet cadence reuse one scratch buffer (AppendList(scratch[:0], …))
+// and keep the encode step allocation-free.
+func AppendList(dst []byte, segs []Segment) []byte {
 	total := 0
 	for _, s := range segs {
 		total += int(s.Length)
 	}
-	out := make([]byte, 2+headerLen*len(segs)+total)
+	base := len(dst)
+	dst = append(dst, make([]byte, 2+headerLen*len(segs)+total)...)
+	out := dst[base:]
 	binary.BigEndian.PutUint16(out[0:], uint16(len(segs)))
 	off := 2
 	for _, s := range segs {
@@ -65,17 +75,24 @@ func EncodeList(segs []Segment) []byte {
 	for i := off; i < len(out); i++ {
 		out[i] = byte(i * 131)
 	}
-	return out
+	return dst
 }
 
 // DecodeList parses an encoded segment list, returning the descriptors.
 func DecodeList(b []byte) ([]Segment, error) {
+	return DecodeListInto(nil, b)
+}
+
+// DecodeListInto is DecodeList appending into dst — receivers on a
+// per-packet cadence decode into one reused scratch slice
+// (DecodeListInto(scratch[:0], b)) and stay allocation-free.
+func DecodeListInto(dst []Segment, b []byte) ([]Segment, error) {
 	if len(b) < 2 {
 		return nil, ErrCorrupt
 	}
 	n := int(binary.BigEndian.Uint16(b[0:]))
 	off := 2
-	segs := make([]Segment, 0, n)
+	segs := dst
 	total := 0
 	for i := 0; i < n; i++ {
 		if off+headerLen > len(b) {
@@ -121,6 +138,8 @@ type Cutter struct {
 	filter func(frameIndex int, key bool) bool
 	// SkippedFrames counts frames the filter suppressed.
 	SkippedFrames int
+	// scratch backs the slice Next returns, reused across calls.
+	scratch []Segment
 }
 
 // SetFilter installs (or clears, with nil) the frame-admission filter.
@@ -177,9 +196,11 @@ func (c *Cutter) BytesRemaining() int {
 
 // Next cuts up to budget payload bytes into segments, advancing through
 // frames (and past filtered-out frames). It returns fewer bytes only when
-// the clip is exhausted. A zero budget returns nil.
+// the clip is exhausted. A zero budget returns nil. The returned slice is
+// reused by the following Next call; callers that keep segments across
+// calls must copy them (appending the elements somewhere does).
 func (c *Cutter) Next(budget int) []Segment {
-	var out []Segment
+	out := c.scratch[:0]
 	for budget > 0 && !c.Done() {
 		c.skipFiltered()
 		if c.frame >= len(c.sizes) {
@@ -211,22 +232,37 @@ func (c *Cutter) Next(budget int) []Segment {
 			c.off = 0
 		}
 	}
+	c.scratch = out
+	if len(out) == 0 {
+		return nil
+	}
 	return out
 }
 
 // Assembler tracks frame completeness on the receiving side: a frame is
 // complete once every byte from offset 0 through its Last segment has
 // arrived (segments may arrive out of order; duplicates are tolerated).
+// Frame state dropped by the player recycles onto a free list, so the
+// steady playout loop (add segments, check, drop) does not allocate per
+// frame.
 type Assembler struct {
 	frames map[uint32]*frameState
+	free   []*frameState
 	// CompletedFrames counts frames fully received.
 	CompletedFrames int
 }
 
+// segRun is one received (offset, length) run; a frame rarely holds more
+// than a handful, so a small slice beats a map on both allocation and
+// scan cost.
+type segRun struct {
+	off, length uint16
+}
+
 type frameState struct {
-	got      map[uint16]uint16 // offset -> length of received runs
-	expected int               // frame size, known once the Last segment arrives
-	received int               // distinct bytes received
+	runs     []segRun // received runs, deduped by offset (max length wins)
+	expected int      // frame size, known once the Last segment arrives
+	received int      // distinct bytes received
 	complete bool
 	key      bool
 }
@@ -241,7 +277,15 @@ func NewAssembler() *Assembler {
 func (a *Assembler) Add(s Segment) bool {
 	fs := a.frames[s.FrameIndex]
 	if fs == nil {
-		fs = &frameState{got: make(map[uint16]uint16)}
+		if n := len(a.free); n > 0 {
+			fs = a.free[n-1]
+			a.free = a.free[:n-1]
+			fs.runs = fs.runs[:0]
+			fs.expected, fs.received = 0, 0
+			fs.complete, fs.key = false, false
+		} else {
+			fs = &frameState{}
+		}
 		a.frames[s.FrameIndex] = fs
 	}
 	if fs.complete {
@@ -250,17 +294,25 @@ func (a *Assembler) Add(s Segment) bool {
 	if s.Key {
 		fs.key = true
 	}
-	if prev, dup := fs.got[s.Offset]; !dup || prev < s.Length {
-		if dup {
-			fs.received -= int(prev)
+	dup := false
+	for i := range fs.runs {
+		if fs.runs[i].off == s.Offset {
+			dup = true
+			if fs.runs[i].length < s.Length {
+				fs.received += int(s.Length) - int(fs.runs[i].length)
+				fs.runs[i].length = s.Length
+			}
+			break
 		}
-		fs.got[s.Offset] = s.Length
+	}
+	if !dup {
+		fs.runs = append(fs.runs, segRun{off: s.Offset, length: s.Length})
 		fs.received += int(s.Length)
 	}
 	if s.Last {
 		fs.expected = int(s.Offset) + int(s.Length)
 	}
-	if fs.expected > 0 && fs.received >= fs.expected && contiguous(fs.got, fs.expected) {
+	if fs.expected > 0 && fs.received >= fs.expected && contiguous(fs.runs, fs.expected) {
 		fs.complete = true
 		a.CompletedFrames++
 		return true
@@ -281,15 +333,26 @@ func (a *Assembler) Partial(frameIndex uint32) bool {
 }
 
 // Drop forgets a frame's state (players discard frames past their playout
-// deadline to bound memory).
-func (a *Assembler) Drop(frameIndex uint32) { delete(a.frames, frameIndex) }
+// deadline to bound memory); the state recycles for a future frame.
+func (a *Assembler) Drop(frameIndex uint32) {
+	if fs := a.frames[frameIndex]; fs != nil {
+		a.free = append(a.free, fs)
+		delete(a.frames, frameIndex)
+	}
+}
 
 // contiguous verifies the received runs cover [0, expected) without gaps.
-func contiguous(got map[uint16]uint16, expected int) bool {
+func contiguous(runs []segRun, expected int) bool {
 	next := 0
 	for next < expected {
-		l, ok := got[uint16(next)]
-		if !ok || l == 0 {
+		l := uint16(0)
+		for i := range runs {
+			if int(runs[i].off) == next {
+				l = runs[i].length
+				break
+			}
+		}
+		if l == 0 {
 			return false
 		}
 		next += int(l)

@@ -1,0 +1,91 @@
+package stats
+
+import "math"
+
+// Welford is a streaming Summary: it accumulates the same moments one
+// sample at a time in O(1) state, so analyzers can characterise a flow at
+// capture time without materialising the sample slice. The mean is exposed
+// as Sum/N — the plain in-order accumulation Summarize performs — so means
+// over integer-valued samples (packet sizes, bit counts) match the batch
+// path bit for bit. The variance uses Welford's recurrence, whose result
+// can differ from the two-pass batch variance by floating-point rounding
+// in the last few ulps; everything built on Welford therefore uses it on
+// *both* the streaming and the replay path, keeping the two identical.
+type Welford struct {
+	N        int
+	Sum      float64
+	Min, Max float64
+
+	mean float64 // Welford running mean, used only by the M2 recurrence
+	m2   float64 // sum of squared deviations from the running mean
+}
+
+// Add folds one sample into the summary.
+func (w *Welford) Add(x float64) {
+	if w.N == 0 {
+		w.Min, w.Max = x, x
+	} else {
+		if x < w.Min {
+			w.Min = x
+		}
+		if x > w.Max {
+			w.Max = x
+		}
+	}
+	w.N++
+	w.Sum += x
+	d := x - w.mean
+	w.mean += d / float64(w.N)
+	w.m2 += d * (x - w.mean)
+}
+
+// Mean returns Sum/N, or 0 when empty.
+func (w *Welford) Mean() float64 {
+	if w.N == 0 {
+		return 0
+	}
+	return w.Sum / float64(w.N)
+}
+
+// Variance returns the unbiased (n-1) sample variance, or 0 for n < 2.
+func (w *Welford) Variance() float64 {
+	if w.N < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.N-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (w *Welford) StdErr() float64 {
+	if w.N < 2 {
+		return 0
+	}
+	return w.StdDev() / math.Sqrt(float64(w.N))
+}
+
+// CV returns the coefficient of variation (StdDev/Mean), or 0 when the
+// mean is not positive — the guard ProfileFlow applies.
+func (w *Welford) CV() float64 {
+	m := w.Mean()
+	if m <= 0 {
+		return 0
+	}
+	return w.StdDev() / m
+}
+
+// Summary renders the accumulated moments as a batch Summary value.
+func (w *Welford) Summary() Summary {
+	return Summary{
+		N:        w.N,
+		Mean:     w.Mean(),
+		Variance: w.Variance(),
+		StdDev:   w.StdDev(),
+		StdErr:   w.StdErr(),
+		Min:      w.Min,
+		Max:      w.Max,
+		Sum:      w.Sum,
+	}
+}

@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestWelfordMatchesSummarize checks the streaming summary against the
+// batch Summarize on assorted samples: the mean and sum must match exactly
+// (same in-order accumulation), the variance to tight relative tolerance.
+func TestWelfordMatchesSummarize(t *testing.T) {
+	cases := [][]float64{
+		{},
+		{42},
+		{1, 2, 3, 4, 5},
+		{1514, 1514, 1514, 1006, 1514, 590},
+		{0.001, 0.0012, 0.0009, 0.0011, 0.0010, 0.0013},
+		{-3, 7, -11, 1e6, 2.5, -0.0001},
+	}
+	for i, xs := range cases {
+		var w Welford
+		for _, x := range xs {
+			w.Add(x)
+		}
+		want := Summarize(xs)
+		got := w.Summary()
+		if got.N != want.N || got.Sum != want.Sum || got.Mean != want.Mean {
+			t.Errorf("case %d: N/Sum/Mean = %d/%v/%v, want %d/%v/%v",
+				i, got.N, got.Sum, got.Mean, want.N, want.Sum, want.Mean)
+		}
+		if got.Min != want.Min || got.Max != want.Max {
+			t.Errorf("case %d: Min/Max = %v/%v, want %v/%v", i, got.Min, got.Max, want.Min, want.Max)
+		}
+		if relDiff(got.Variance, want.Variance) > 1e-12 {
+			t.Errorf("case %d: Variance = %v, want %v", i, got.Variance, want.Variance)
+		}
+		if relDiff(got.StdDev, want.StdDev) > 1e-12 {
+			t.Errorf("case %d: StdDev = %v, want %v", i, got.StdDev, want.StdDev)
+		}
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}
+
+// TestWelfordIntegerMeansExact pins the bit-exactness contract for
+// integer-valued samples: Sum and Mean equal the batch path exactly, which
+// is what lets online packet-size means match trace-derived ones.
+func TestWelfordIntegerMeansExact(t *testing.T) {
+	var w Welford
+	xs := make([]float64, 0, 10000)
+	v := 1
+	for i := 0; i < 10000; i++ {
+		v = (v*48271 + 11) % 1513
+		x := float64(v + 1)
+		xs = append(xs, x)
+		w.Add(x)
+	}
+	s := Summarize(xs)
+	if w.Sum != s.Sum || w.Mean() != s.Mean {
+		t.Fatalf("integer sample drifted: sum %v vs %v, mean %v vs %v", w.Sum, s.Sum, w.Mean(), s.Mean)
+	}
+	if w.CV() == 0 {
+		t.Fatal("CV unexpectedly zero")
+	}
+}

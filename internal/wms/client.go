@@ -78,7 +78,10 @@ type Player struct {
 	clipRef  string
 	ctlPort  inet.Port
 	dataPort inet.Port
-	events   PlayerEvents
+	// segScratch is the per-packet segment-decode buffer, reused so the
+	// receive path does not allocate per data unit.
+	segScratch []segment.Segment
+	events     PlayerEvents
 
 	state State
 	meta  DescribeResp
@@ -278,10 +281,11 @@ func (p *Player) onData(now eventsim.Time, from inet.Endpoint, payload []byte) {
 	if p.events.OSPacket != nil {
 		p.events.OSPacket(now, h.Seq, 1)
 	}
-	segs, err := segment.DecodeList(segPayload)
+	segs, err := segment.DecodeListInto(p.segScratch[:0], segPayload)
 	if err != nil {
 		return
 	}
+	p.segScratch = segs
 	for _, s := range segs {
 		p.asm.Add(s)
 	}

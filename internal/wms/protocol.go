@@ -159,11 +159,20 @@ func MarshalStop(Stop) []byte { return []byte{MsgStop} }
 // MarshalData encodes a data unit: header plus the already-encoded segment
 // list payload.
 func MarshalData(h DataHeader, segPayload []byte) []byte {
-	b := make([]byte, DataHeaderLen, DataHeaderLen+len(segPayload))
+	return AppendData(nil, h, segPayload)
+}
+
+// AppendData is MarshalData appending into dst, returning the extended
+// slice; the send path reuses one scratch buffer per session this way (the
+// UDP layer copies the bytes onward).
+func AppendData(dst []byte, h DataHeader, segPayload []byte) []byte {
+	base := len(dst)
+	dst = append(dst, make([]byte, DataHeaderLen)...)
+	b := dst[base:]
 	b[0] = MsgData
 	binary.BigEndian.PutUint32(b[1:], h.Seq)
 	binary.BigEndian.PutUint32(b[5:], h.SentMs)
-	return append(b, segPayload...)
+	return append(dst, segPayload...)
 }
 
 // Feedback is the client's periodic reception-quality report; the server's

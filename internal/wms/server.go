@@ -71,6 +71,12 @@ type session struct {
 	done     bool
 	ctrl     scaling.Controller
 	byteFrac [scaling.MaxLevel + 1]float64
+
+	// enc and pkt are per-session scratch buffers for the segment-list
+	// encoding and data-unit framing; both are copied onward by the UDP
+	// layer, so reusing them keeps the per-packet send path free of
+	// allocations.
+	enc, pkt []byte
 }
 
 // NewServer attaches a WMS server to the host, listening on the MMS
@@ -216,10 +222,11 @@ func (sess *session) sendUnit(now eventsim.Time) bool {
 		sess.stop()
 		return false
 	}
-	payload := segment.EncodeList(segs)
+	sess.enc = segment.AppendList(sess.enc[:0], segs)
 	h := DataHeader{Seq: sess.seq, SentMs: uint32(time.Duration(now) / time.Millisecond)}
 	sess.seq++
-	sess.srv.host.SendUDP(inet.PortMMSData, sess.client, MarshalData(h, payload))
+	sess.pkt = AppendData(sess.pkt[:0], h, sess.enc)
+	sess.srv.host.SendUDP(inet.PortMMSData, sess.client, sess.pkt)
 	if sess.cutter.Done() {
 		sess.stop()
 		return false

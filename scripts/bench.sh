@@ -7,19 +7,22 @@
 #
 # Usage:
 #   scripts/bench.sh            run the tracked benchmarks (5 iterations each)
+#   scripts/bench.sh smoke      one iteration each, no lint — the CI
+#                               bench-smoke gate: benchmarks must still run
 #   scripts/bench.sh baseline   print the committed baseline (BENCH_baseline.json)
 #                               re-rendered as benchstat-compatible lines
 #   scripts/bench.sh netem      same for the netem record (BENCH_netem.json)
 #   scripts/bench.sh plan       same for the Plan/Runner record (BENCH_plan.json)
+#   scripts/bench.sh stream     same for the online-analysis record (BENCH_stream.json)
 #
-# Compare a fresh run against the baseline:
+# Compare a fresh run against the committed records:
 #   scripts/bench.sh > BENCH_current.txt
-#   benchstat <(scripts/bench.sh baseline) BENCH_current.txt
+#   make bench-compare          (benchstat if installed, else benchjson compare)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-TRACKED='BenchmarkPairRun$|BenchmarkPairRunNetem|BenchmarkProfileFlow$|BenchmarkFilterMatch$|BenchmarkRunAllSequential$|BenchmarkRunAllParallel$|BenchmarkPlanStream$'
+TRACKED='BenchmarkPairRun$|BenchmarkPairRunNetem|BenchmarkProfileFlow$|BenchmarkFilterMatch$|BenchmarkRunAllSequential$|BenchmarkRunAllParallel$|BenchmarkPlanStream$|BenchmarkPlanStreamOnline$'
 
 case "${1:-}" in
 baseline)
@@ -32,6 +35,12 @@ netem)
     ;;
 plan)
     exec go run ./scripts/benchjson BENCH_plan.json
+    ;;
+stream)
+    exec go run ./scripts/benchjson BENCH_stream.json
+    ;;
+smoke)
+    exec go test -run=NONE -bench="$TRACKED" -benchmem -benchtime=1x -count=1 .
     ;;
 esac
 

@@ -1,15 +1,28 @@
-// Command benchjson re-renders a committed benchmark record
+// Command benchjson works with the committed benchmark records.
+//
+// Render mode (default) re-renders a committed record
 // (BENCH_baseline.json by default, or the file named as the first
 // argument, e.g. BENCH_netem.json) as benchstat-compatible benchmark
 // lines, so a committed record can feed straight into
 // `benchstat <(scripts/bench.sh baseline) BENCH_current.txt`.
+//
+// Compare mode (`benchjson compare BENCH_current.txt [record.json...]`)
+// parses a fresh `go test -bench` output and prints it side by side with
+// every committed record that tracks the same benchmarks — the fallback
+// `make bench-compare` uses when benchstat is not installed. With no
+// records named it compares against every BENCH_*.json in the working
+// directory.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 type entry struct {
@@ -26,10 +39,27 @@ type baseline struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		if len(os.Args) < 3 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson compare BENCH_current.txt [record.json ...]")
+			os.Exit(2)
+		}
+		compare(os.Args[2], os.Args[3:])
+		return
+	}
 	file := "BENCH_baseline.json"
 	if len(os.Args) > 1 {
 		file = os.Args[1]
 	}
+	b := load(file)
+	fmt.Printf("goos: %s\ngoarch: %s\npkg: turbulence\ncpu: %s\n", b.Goos, b.Goarch, b.CPU)
+	for _, name := range sortedNames(b.Benchmarks) {
+		e := b.Benchmarks[name]
+		fmt.Printf("%s \t1\t%.0f ns/op\t%d B/op\t%d allocs/op\n", name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+	}
+}
+
+func load(file string) baseline {
 	raw, err := os.ReadFile(file)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -40,14 +70,106 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("goos: %s\ngoarch: %s\npkg: turbulence\ncpu: %s\n", b.Goos, b.Goarch, b.CPU)
-	names := make([]string, 0, len(b.Benchmarks))
-	for name := range b.Benchmarks {
+	return b
+}
+
+func sortedNames(m map[string]entry) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	for _, name := range names {
-		e := b.Benchmarks[name]
-		fmt.Printf("%s \t1\t%.0f ns/op\t%d B/op\t%d allocs/op\n", name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+	return names
+}
+
+// parseBench extracts {name: entry} from `go test -bench -benchmem`
+// output lines of the form
+//
+//	BenchmarkName-8   	5	  123456 ns/op	  7890 B/op	  12 allocs/op
+//
+// The trailing GOMAXPROCS suffix (-8) is stripped so names match the
+// committed records, which are recorded suffixless; sub-benchmark slashes
+// are kept.
+func parseBench(file string) map[string]entry {
+	f, err := os.Open(file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
 	}
+	defer f.Close()
+	out := make(map[string]entry)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		e := entry{}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsPerOp = v
+			case "B/op":
+				e.BytesPerOp = int64(v)
+			case "allocs/op":
+				e.AllocsPerOp = int64(v)
+			}
+		}
+		out[name] = e
+	}
+	return out
+}
+
+func compare(currentFile string, records []string) {
+	current := parseBench(currentFile)
+	if len(records) == 0 {
+		var err error
+		records, err = filepath.Glob("BENCH_*.json")
+		if err != nil || len(records) == 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: no BENCH_*.json records found")
+			os.Exit(1)
+		}
+		sort.Strings(records)
+	}
+	for _, rec := range records {
+		b := load(rec)
+		shared := make(map[string]entry)
+		for name, e := range b.Benchmarks {
+			if _, ok := current[name]; ok {
+				shared[name] = e
+			}
+		}
+		if len(shared) == 0 {
+			continue
+		}
+		fmt.Printf("== vs %s ==\n", rec)
+		fmt.Printf("%-34s %14s %9s %14s %9s %9s %9s\n",
+			"benchmark", "old ns/op", "old B/op", "new ns/op", "new B/op", "Δns/op", "ΔB/op")
+		for _, name := range sortedNames(shared) {
+			old, cur := shared[name], current[name]
+			fmt.Printf("%-34s %12.0fns %7.1fMB %12.0fns %7.1fMB %+8.1f%% %+8.1f%%\n",
+				name,
+				old.NsPerOp, float64(old.BytesPerOp)/1e6,
+				cur.NsPerOp, float64(cur.BytesPerOp)/1e6,
+				pct(cur.NsPerOp, old.NsPerOp), pct(float64(cur.BytesPerOp), float64(old.BytesPerOp)))
+		}
+		fmt.Println()
+	}
+}
+
+func pct(cur, old float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (cur - old) / old * 100
 }

@@ -2,6 +2,7 @@ package turbulence
 
 import (
 	"context"
+	"io"
 	"time"
 
 	"turbulence/internal/capture"
@@ -13,6 +14,7 @@ import (
 	"turbulence/internal/netem"
 	"turbulence/internal/netsim"
 	"turbulence/internal/stats"
+	"turbulence/internal/wire"
 )
 
 // Re-exported domain types. These aliases are the supported public
@@ -93,6 +95,15 @@ type (
 	FlowTrace = capture.FlowTrace
 	// Filter is a compiled display-filter expression.
 	Filter = capture.Filter
+	// Tap observes captured records online (zero-allocation, per packet).
+	Tap = capture.Tap
+	// FlowMetrics is the one-pass per-flow analyzer behind StreamProfiles.
+	FlowMetrics = capture.FlowMetrics
+	// FlowDemux routes captured records to per-flow analyzers online, with
+	// the same fragment-train attribution SplitFlows applies to traces.
+	FlowDemux = capture.FlowDemux
+	// FlowStream is one flow being analysed online by a FlowDemux.
+	FlowStream = capture.FlowStream
 
 	// Point is one (x, y) sample of a series.
 	Point = stats.Point
@@ -101,6 +112,11 @@ type (
 	Result = experiments.Result
 	// ExperimentContext caches pair runs across experiments.
 	ExperimentContext = experiments.Context
+
+	// WireRun is the transport shape of one executed Plan cell: identity,
+	// seed and turbulence profiles, no traces — what shard processes ship
+	// home (gob or JSON) for a collector to merge.
+	WireRun = wire.Run
 
 	// RNG is the deterministic random stream used by generators.
 	RNG = eventsim.RNG
@@ -136,6 +152,12 @@ const (
 	// DropTracesAfterProfile profiles each run's flows, then releases the
 	// raw capture to bound memory on huge matrices.
 	DropTracesAfterProfile = core.DropTracesAfterProfile
+	// StreamProfiles never stores records at all: captured packets stream
+	// through online per-flow analyzers and profiles come back in
+	// RunResult.Comparison, exactly equal to trace-derived ones. Sweeps
+	// run in O(workers × analyzer state) memory instead of O(workers ×
+	// trace).
+	StreamProfiles = core.StreamProfiles
 )
 
 // NewPlan declares the paper's full evaluation sweep for a base seed: all
@@ -170,6 +192,22 @@ func WithTraceRetention(tr TraceRetention) RunnerOption { return core.WithTraceR
 // order, so n processes each running plan.Shard(i, n) reproduce the
 // unsharded sweep exactly.
 func MergeRuns(shards ...[]RunResult) []RunResult { return core.MergeRuns(shards...) }
+
+// WireRuns flattens executed cells to their wire shape (profiles computed
+// from retained flows when the retention left no Comparison).
+func WireRuns(results []RunResult) []WireRun { return wire.FromResults(results) }
+
+// MergeWireRuns recombines shipped shard batches into canonical plan
+// order — MergeRuns for results that crossed a process boundary.
+func MergeWireRuns(batches ...[]WireRun) []WireRun { return wire.Merge(batches...) }
+
+// EncodeRunsJSON / DecodeRunsJSON and EncodeRunsGob / DecodeRunsGob move
+// wire batches across process boundaries (JSON for interoperability, gob
+// between Go processes).
+func EncodeRunsJSON(w io.Writer, runs []WireRun) error { return wire.WriteJSON(w, runs) }
+func DecodeRunsJSON(r io.Reader) ([]WireRun, error)    { return wire.ReadJSON(r) }
+func EncodeRunsGob(w io.Writer, runs []WireRun) error  { return wire.WriteGob(w, runs) }
+func DecodeRunsGob(r io.Reader) ([]WireRun, error)     { return wire.ReadGob(r) }
 
 // PairRuns projects results onto their PairRun payloads, preserving order.
 func PairRuns(results []RunResult) []*PairRun { return core.PairRuns(results) }
@@ -274,8 +312,18 @@ func RunScenarioMatrix(seed int64, keys []PairKey, scenarios []*Scenario, worker
 	return core.RunScenarioMatrix(seed, keys, scenarios, workers)
 }
 
-// ProfileFlow computes the turbulence profile of a captured flow.
+// ProfileFlow computes the turbulence profile of a captured flow (by
+// replaying it through the online analyzer — one code path for both
+// worlds).
 func ProfileFlow(ft *FlowTrace) FlowProfile { return core.ProfileFlow(ft) }
+
+// ProfileFromMetrics renders an online analyzer's state as a FlowProfile,
+// for custom Tap pipelines.
+func ProfileFromMetrics(m *FlowMetrics) FlowProfile { return core.ProfileFromMetrics(m) }
+
+// NewFlowDemux returns an online flow demultiplexer to attach to a
+// Sniffer via AddTap.
+func NewFlowDemux() *FlowDemux { return capture.NewFlowDemux() }
 
 // Compare profiles both flows of a pair run.
 func Compare(run *PairRun) Comparison { return core.Compare(run) }
@@ -298,6 +346,11 @@ func NewExperimentContext(seed int64) *ExperimentContext {
 
 // ExperimentIDs lists every regenerable table/figure id.
 func ExperimentIDs() []string { return experiments.IDs() }
+
+// ExperimentTraceFree reports whether an experiment regenerates without
+// retained packet captures — the set that works under the drop/stream
+// trace retentions.
+func ExperimentTraceFree(id string) bool { return experiments.TraceFree(id) }
 
 // RunExperiment regenerates one paper table/figure by id ("table1",
 // "fig01".."fig15", "sec4", "ablation-*").
