@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint check bench bench-quick bench-compare clean
+.PHONY: all build test vet lint check bench bench-quick bench-compare cover clean
 
 all: build vet test
 
@@ -13,14 +13,20 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Tier-1 hygiene: gofmt cleanliness plus go vet. Fails listing any file
-# gofmt would rewrite.
+# Tier-1 hygiene: gofmt cleanliness plus go vet, and shellcheck over the
+# repo's shell scripts when it is installed (CI runners ship it; local
+# trees without it just skip). Fails listing any file gofmt would rewrite.
 lint:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 	$(GO) vet ./...
+	@if command -v shellcheck >/dev/null 2>&1; then \
+		shellcheck scripts/*.sh; \
+	else \
+		echo "shellcheck not installed; skipping shell lint"; \
+	fi
 
 # The full local gate: what CI would run.
 check: build lint test
@@ -46,7 +52,7 @@ bench-quick:
 bench-compare:
 	@test -f BENCH_current.txt || { echo "run 'make bench' first (writes BENCH_current.txt)"; exit 1; }
 	@if command -v benchstat >/dev/null 2>&1; then \
-		sed -E 's/^(Benchmark[^ 	]*)-[0-9]+/\1/' BENCH_current.txt > .bench_current.tmp; \
+		sed -E 's/^(Benchmark[^[:space:]]+)-[0-9]+([[:space:]])/\1\2/' BENCH_current.txt > .bench_current.tmp; \
 		for rec in baseline netem plan stream; do \
 			echo "== benchstat vs $$rec =="; \
 			scripts/bench.sh $$rec > .bench_record.tmp 2>/dev/null || continue; \
@@ -57,6 +63,15 @@ bench-compare:
 		$(GO) run ./scripts/benchjson compare BENCH_current.txt; \
 	fi
 
+# Coverage for the distributed-sweep plumbing (the wire format and the
+# shard dispatcher — the layers whose bugs corrupt results silently).
+# Writes cover.out (gitignored); CI uploads it as a per-run artifact.
+cover:
+	$(GO) test -covermode=atomic -coverprofile=cover.out \
+		-coverpkg=./internal/wire/...,./internal/dispatch/... \
+		./internal/wire/... ./internal/dispatch/...
+	@$(GO) tool cover -func=cover.out | tail -n 1
+
 clean:
-	rm -f BENCH_current.txt .bench_record.tmp .bench_current.tmp
+	rm -f BENCH_current.txt .bench_record.tmp .bench_current.tmp cover.out
 	$(GO) clean ./...

@@ -6,6 +6,9 @@
 //	turbulence [-seed N] [-experiment id] [-parallel N] [-scenario name]
 //	           [-retention retain|drop|stream] [-shard i/n] [-progress]
 //	           [-json] [-csv dir] [-points] [-list] [-list-scenarios]
+//	turbulence -serve addr [-seed N] [-pairs list] [-scenario name]
+//	           [-serve-shards N] [-lease-ttl d]
+//	turbulence -work addr [-parallel N]
 //
 // With no -experiment it runs everything, printing each artifact's rows,
 // series summaries and headline notes. -points includes full series data
@@ -41,6 +44,22 @@
 // -progress reports each completed pair run on stderr while experiments
 // regenerate. Interrupting (ctrl-C) cancels in-flight simulation promptly
 // — mid-run, between events — and exits after the current bookkeeping.
+//
+// -serve and -work are the distributed counterpart of -shard: instead of
+// telling each process its slice up front, a coordinator (-serve) holds
+// the whole pair sweep as a lease-based shard queue and workers (-work,
+// any number, joining and leaving freely) pull shards, run them under
+// streaming retention, and ship the results back. Dead workers' leases
+// expire and their shards are re-issued, and the merged output — printed
+// as one JSON array of wire runs on the coordinator's stdout — is
+// byte-identical to the unsharded run. -pairs narrows the served sweep to
+// listed set/class pairs ("1/low,3/l,6/very-high"), -serve-shards sets the
+// lease granularity, -lease-ttl the dead-worker timeout. Ctrl-C drains
+// gracefully on both sides: the coordinator stops issuing leases and
+// reports what completed; a worker finishes and ships its current shard
+// first (a second ctrl-C aborts the simulation mid-run). -serve and -work
+// are mutually exclusive, and neither combines with -experiment or
+// -shard.
 package main
 
 import (
@@ -54,6 +73,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	"turbulence"
 )
@@ -71,7 +91,17 @@ func main() {
 	listScenarios := flag.Bool("list-scenarios", false, "list netem scenario names and exit")
 	points := flag.Bool("points", false, "print full series point data")
 	csvDir := flag.String("csv", "", "also write each experiment's series/rows as CSV files into this directory")
+	serve := flag.String("serve", "", "run a shard-dispatch coordinator on this address (host:port): workers pull shard leases of the pair sweep (-seed, -pairs, -scenario) and the merged wire runs print as JSON on stdout")
+	work := flag.String("work", "", "run a shard-dispatch worker against a coordinator at this address (host:port or http://host:port)")
+	pairsSpec := flag.String("pairs", "", "comma-separated clip pairs as set/class for the -serve sweep, e.g. \"1/low,3/l,6/very-high\" (default: all 13 Table 1 pairs)")
+	serveShards := flag.Int("serve-shards", 0, "-serve lease granularity: how many shard slices the plan is carved into (0 = one per cell, capped at 256)")
+	leaseTTL := flag.Duration("lease-ttl", 2*time.Minute, "-serve: how long a leased shard may stay unacknowledged before it is re-issued to another worker")
 	flag.Parse()
+
+	if err := modeConflicts(*serve, *work, *experiment, *shard, *pairsSpec, *scenario); err != nil {
+		fmt.Fprintln(os.Stderr, "turbulence:", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, id := range turbulence.ExperimentIDs() {
@@ -84,6 +114,13 @@ func main() {
 			fmt.Printf("%-18s %s\n", sc.Name, sc.Description)
 		}
 		return
+	}
+
+	if *serve != "" {
+		os.Exit(runServe(*serve, *seed, *pairsSpec, *scenario, *serveShards, *leaseTTL))
+	}
+	if *work != "" {
+		os.Exit(runWork(*work, *parallel))
 	}
 
 	ids := turbulence.ExperimentIDs()
@@ -116,15 +153,13 @@ func main() {
 	}()
 
 	ctx := turbulence.NewExperimentContext(*seed).SetParallel(*parallel).SetCancel(sigCtx)
-	switch *retention {
-	case "retain":
-	case "drop":
-		ctx.SetRetention(turbulence.DropTracesAfterProfile)
-	case "stream":
-		ctx.SetRetention(turbulence.StreamProfiles)
-	default:
-		fmt.Fprintf(os.Stderr, "turbulence: bad -retention %q (want retain, drop or stream)\n", *retention)
+	ret, err := parseRetention(*retention)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "turbulence:", err)
 		os.Exit(2)
+	}
+	if ret != turbulence.RetainTraces {
+		ctx.SetRetention(ret)
 	}
 	if *retention != "retain" && *experiment == "" {
 		// Running "everything" under reduced retention would fail on the
@@ -186,6 +221,166 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runServe is the -serve mode: coordinate a lease-based shard queue for
+// the pair sweep over HTTP, merge what workers ship back, and print the
+// canonical-order wire runs as one JSON array on stdout. Ctrl-C drains —
+// no further leases are issued, workers wind down, and whatever completed
+// still prints.
+func runServe(addr string, seed int64, pairsSpec, scenario string, shards int, ttl time.Duration) int {
+	keys, err := parsePairs(pairsSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "turbulence:", err)
+		return 2
+	}
+	plan := turbulence.NewPlan(seed)
+	if keys != nil {
+		plan.ForPairs(keys...)
+	}
+	if scenario != "" {
+		sc, err := turbulence.FindScenario(scenario)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "turbulence:", err)
+			return 1
+		}
+		plan.UnderScenarios(sc)
+	}
+	// The first ctrl-C drains; unregistering then lets a second one kill
+	// the process the hard way (NotifyContext would keep swallowing it).
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-sigCtx.Done()
+		stop()
+	}()
+	runs, err := turbulence.Serve(sigCtx, addr, plan,
+		turbulence.WithDispatchShards(shards),
+		turbulence.WithLeaseTTL(ttl),
+		turbulence.WithDispatchLogf(logf),
+	)
+	// Whatever was collected prints — a failed or interrupted sweep must
+	// not discard the cells workers already shipped.
+	if runs == nil {
+		runs = []turbulence.WireRun{} // the output promises an array, never null
+	}
+	if encErr := turbulence.EncodeRunsJSON(os.Stdout, runs); encErr != nil {
+		fmt.Fprintln(os.Stderr, "turbulence:", encErr)
+		return 1
+	}
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintf(os.Stderr, "turbulence: interrupted; %d of %d cells completed\n", len(runs), plan.Size())
+		return 130
+	default:
+		fmt.Fprintln(os.Stderr, "turbulence:", err)
+		return 1
+	}
+}
+
+// runWork is the -work mode: pull shard leases from a coordinator, run
+// each with a Runner under streaming retention, ship the results back.
+// The first ctrl-C drains (the current shard finishes and ships); a
+// second aborts the in-flight simulation and abandons the lease to
+// expiry.
+func runWork(addr string, parallel int) int {
+	drainCtx, drain := context.WithCancel(context.Background())
+	hardCtx, abort := context.WithCancel(context.Background())
+	defer drain()
+	defer abort()
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt)
+	defer signal.Stop(sigs)
+	go func() {
+		<-sigs
+		logf("turbulence: draining — finishing the current shard (ctrl-C again to abort it)")
+		drain()
+		<-sigs
+		abort()
+	}()
+	name, _ := os.Hostname()
+	if name == "" {
+		name = "worker"
+	}
+	done, err := turbulence.Work(drainCtx, addr,
+		turbulence.WithWorkerName(fmt.Sprintf("%s-%d", name, os.Getpid())),
+		turbulence.WithRunWorkers(parallel),
+		turbulence.WithRunContext(hardCtx),
+		turbulence.WithDispatchLogf(logf),
+	)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "turbulence: aborted after %d shards\n", done)
+			return 130
+		}
+		fmt.Fprintln(os.Stderr, "turbulence:", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "turbulence: worker done, %d shards completed\n", done)
+	return 0
+}
+
+// logf is the dispatcher's operational log line on stderr (stdout stays
+// reserved for the JSON results).
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}
+
+// modeConflicts enforces the -serve/-work mutual-exclusion rules: the two
+// modes exclude each other; both are whole-sweep services, so the
+// single-process slicing flags (-experiment, -shard) conflict with
+// either; and a worker's plan arrives in its lease grants, so the
+// plan-shaping flags (-pairs, -scenario) conflict with -work.
+func modeConflicts(serve, work, experiment, shard, pairs, scenario string) error {
+	switch {
+	case serve != "" && work != "":
+		return errors.New("-serve and -work are mutually exclusive")
+	case (serve != "" || work != "") && experiment != "":
+		return errors.New("-experiment does not combine with -serve/-work (the dispatched sweep is the pair matrix, not one experiment)")
+	case (serve != "" || work != "") && shard != "":
+		return errors.New("-shard does not combine with -serve/-work (the coordinator shards dynamically via leases)")
+	case work != "" && pairs != "":
+		return errors.New("-pairs does not combine with -work (the plan arrives in lease grants; set it on -serve)")
+	case work != "" && scenario != "":
+		return errors.New("-scenario does not combine with -work (the plan arrives in lease grants; set it on -serve)")
+	}
+	return nil
+}
+
+// parseRetention resolves the -retention flag strictly.
+func parseRetention(s string) (turbulence.TraceRetention, error) {
+	switch s {
+	case "retain":
+		return turbulence.RetainTraces, nil
+	case "drop":
+		return turbulence.DropTracesAfterProfile, nil
+	case "stream":
+		return turbulence.StreamProfiles, nil
+	}
+	return 0, fmt.Errorf("bad -retention %q (want retain, drop or stream)", s)
+}
+
+// parsePairs parses the -pairs spec: comma-separated set/class, class by
+// name or Table 1 suffix. Empty means the default (all pairs, returned as
+// nil). The whole spec must parse — a typo fails loudly instead of
+// silently shrinking the sweep.
+func parsePairs(spec string) ([]turbulence.PairKey, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []turbulence.PairKey
+	for _, field := range strings.Split(spec, ",") {
+		ss, cs, ok := strings.Cut(field, "/")
+		set, err := strconv.Atoi(ss)
+		class, cok := turbulence.ParseClass(cs)
+		if !ok || err != nil || !cok || set <= 0 {
+			return nil, fmt.Errorf("bad -pairs entry %q (want set/class, e.g. 1/low or 3/l)", field)
+		}
+		out = append(out, turbulence.PairKey{Set: set, Class: class})
+	}
+	return out, nil
 }
 
 // traceFreeIDs filters the experiment list down to those that regenerate

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"turbulence"
+)
+
+// TestShardIDsStrict pins the strict -shard parser: good specs slice the
+// id list stridedly, and every malformed spec is rejected rather than
+// silently misread.
+func TestShardIDsStrict(t *testing.T) {
+	ids := []string{"a", "b", "c", "d", "e"}
+	got, err := shardIDs(ids, "1/2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got, ",") != "b,d" {
+		t.Fatalf("shard 1/2 = %v", got)
+	}
+	got, err = shardIDs(ids, "0/1")
+	if err != nil || len(got) != 5 {
+		t.Fatalf("shard 0/1 = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "1", "1/", "/3", "2/2", "3/2", "-1/2", "1/0", "1/-2", "1/34x", "x/3", "1/3/5", "1 / 3"} {
+		if _, err := shardIDs(ids, bad); err == nil {
+			t.Errorf("shard spec %q accepted", bad)
+		}
+	}
+}
+
+// TestParseRetention pins the strict -retention values.
+func TestParseRetention(t *testing.T) {
+	cases := map[string]turbulence.TraceRetention{
+		"retain": turbulence.RetainTraces,
+		"drop":   turbulence.DropTracesAfterProfile,
+		"stream": turbulence.StreamProfiles,
+	}
+	for s, want := range cases {
+		got, err := parseRetention(s)
+		if err != nil || got != want {
+			t.Errorf("parseRetention(%q) = %v, %v", s, got, err)
+		}
+	}
+	for _, bad := range []string{"", "Retain", "keep", "streaming", "drop "} {
+		if _, err := parseRetention(bad); err == nil {
+			t.Errorf("retention %q accepted", bad)
+		}
+	}
+}
+
+// TestModeConflicts pins the -serve/-work mutual-exclusion rules.
+func TestModeConflicts(t *testing.T) {
+	ok := func(serve, work, experiment, shard, pairs, scenario string) {
+		t.Helper()
+		if err := modeConflicts(serve, work, experiment, shard, pairs, scenario); err != nil {
+			t.Errorf("unexpected conflict: %v", err)
+		}
+	}
+	bad := func(serve, work, experiment, shard, pairs, scenario, want string) {
+		t.Helper()
+		err := modeConflicts(serve, work, experiment, shard, pairs, scenario)
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("modeConflicts(%q,%q,%q,%q,%q,%q) = %v, want mention of %s",
+				serve, work, experiment, shard, pairs, scenario, err, want)
+		}
+	}
+	// The classic single-process modes stay unconstrained.
+	ok("", "", "table1", "1/3", "", "dsl")
+	// Either service mode alone is fine, serve with plan-shaping flags too.
+	ok(":8080", "", "", "", "1/low,3/l", "dsl")
+	ok("", "host:8080", "", "", "", "")
+	bad(":8080", "host:8080", "", "", "", "", "mutually exclusive")
+	bad(":8080", "", "table1", "", "", "", "-experiment")
+	bad("", "host:8080", "fig01", "", "", "", "-experiment")
+	bad(":8080", "", "", "0/2", "", "", "-shard")
+	bad("", "host:8080", "", "1/3", "", "", "-shard")
+	bad("", "host:8080", "", "", "1/low", "", "-pairs")
+	bad("", "host:8080", "", "", "", "dsl", "-scenario")
+}
+
+// TestParsePairs pins the -pairs parser: names and suffixes resolve, the
+// empty spec means the default axis, and typos fail loudly.
+func TestParsePairs(t *testing.T) {
+	keys, err := parsePairs("1/low,3/l,6/very-high,2/h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []turbulence.PairKey{
+		{Set: 1, Class: turbulence.Low},
+		{Set: 3, Class: turbulence.Low},
+		{Set: 6, Class: turbulence.VeryHigh},
+		{Set: 2, Class: turbulence.High},
+	}
+	if len(keys) != len(want) {
+		t.Fatalf("parsed %d keys, want %d", len(keys), len(want))
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("key %d = %v, want %v", i, keys[i], want[i])
+		}
+	}
+	if keys, err := parsePairs(""); err != nil || keys != nil {
+		t.Fatalf("empty spec = %v, %v (want nil, nil)", keys, err)
+	}
+	for _, bad := range []string{"1", "1/", "/low", "0/low", "-1/h", "1/medium", "one/low", "1/low,", "1/low 3/low"} {
+		if _, err := parsePairs(bad); err == nil {
+			t.Errorf("pairs spec %q accepted", bad)
+		}
+	}
+}

@@ -74,6 +74,26 @@
 // with StreamProfiles retention that loop never materialises a trace
 // anywhere. PERFORMANCE.md documents the recipe end to end.
 //
+// # Shard dispatcher
+//
+// Static sharding tells every worker its slice up front; the dispatcher
+// (internal/dispatch; facade Serve, Work, NewCoordinator) inverts that
+// into a pull model for fleets of unequal, unreliable machines. Serve
+// runs a coordinator holding the one unsharded Plan as a lease-based
+// shard queue over HTTP: workers pull a lease (shard coordinates plus
+// the PlanSpec, scenarios by name), run the slice under StreamProfiles
+// retention, and ship the gob-encoded results home with retry/backoff. A
+// dead worker's lease expires and its shard is re-issued; duplicate and
+// late completions are absorbed idempotently; envelopes carry a wire
+// version so mixed clusters fail loudly. The collector merges arriving
+// batches into canonical order, byte-identical to a single-process
+// Runner.Run — pinned by TestDispatchedSweepMatchesUnsharded (workers
+// die mid-lease and the output does not change) and re-proven over real
+// sockets by the CI dispatch-smoke job against a committed golden
+// digest. cmd/turbulence exposes both halves as -serve and -work, with
+// graceful ctrl-C drain on each; DispatchLoopback runs the identical
+// wire path in-process for tests and demos (examples/dispatch).
+//
 // # Network scenarios
 //
 // The paper measured one testbed path under typical conditions; the netem

@@ -154,6 +154,30 @@ func (p *Plan) Sharded() (shard, shards int) {
 	return p.shard, p.shards
 }
 
+// IsSharded reports whether the plan is a Shard slice of a larger plan.
+// Sharded() alone cannot tell Shard(0, 1) from the unsharded plan, and a
+// dispatcher must refuse to serve a slice as if it were the whole space.
+func (p *Plan) IsSharded() bool { return p.shards != 0 }
+
+// ShardSizes reports the cell count of each of the n strided shards of the
+// plan, with no key materialisation — the lease-aware iteration a
+// dispatcher needs: shards whose size is zero carry no work and need never
+// be issued as leases. Panics on a sharded plan (slicing a slice is not
+// meaningful) or n <= 0, mirroring Shard's contract.
+func (p *Plan) ShardSizes(n int) []int {
+	if n <= 0 {
+		panic(fmt.Sprintf("core: Plan.ShardSizes(%d) out of range", n))
+	}
+	if p.shards != 0 {
+		panic("core: Plan.ShardSizes of an already-sharded plan")
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = p.Shard(i, n).Size()
+	}
+	return out
+}
+
 // Size reports how many cells this plan executes (after sharding), with no
 // simulation cost.
 func (p *Plan) Size() int {

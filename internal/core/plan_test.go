@@ -97,6 +97,45 @@ func TestPlanShardPartitions(t *testing.T) {
 	plan.Shard(0, 2).Shard(0, 2)
 }
 
+// TestPlanShardSizes pins the lease-aware iteration: ShardSizes agrees
+// with materialised shard keys for every shard, reports zero-size shards
+// (the ones a dispatcher must never lease), and refuses sharded plans.
+func TestPlanShardSizes(t *testing.T) {
+	plan := NewPlan(3).UnderScenarios(nil, mustScenario(t, "dsl"))
+	for _, n := range []int{1, 3, 4, 7, 100} {
+		sizes := plan.ShardSizes(n)
+		if len(sizes) != n {
+			t.Fatalf("ShardSizes(%d) has %d entries", n, len(sizes))
+		}
+		sum := 0
+		for i, sz := range sizes {
+			if got := plan.Shard(i, n).Size(); got != sz {
+				t.Fatalf("shard %d/%d: ShardSizes says %d, Shard.Size says %d", i, n, sz, got)
+			}
+			sum += sz
+		}
+		if sum != plan.Size() {
+			t.Fatalf("ShardSizes(%d) sums to %d, want %d", n, sum, plan.Size())
+		}
+	}
+	if sizes := plan.ShardSizes(100); sizes[len(sizes)-1] != 0 {
+		t.Fatal("oversharded plan should have empty tail shards")
+	}
+	if plan.IsSharded() {
+		t.Fatal("unsharded plan reports IsSharded")
+	}
+	sh := plan.Shard(0, 2)
+	if !sh.IsSharded() {
+		t.Fatal("Shard(0,2) does not report IsSharded")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ShardSizes of a sharded plan did not panic")
+		}
+	}()
+	sh.ShardSizes(2)
+}
+
 // runsIdentical compares two pair runs byte for byte: capture, path
 // counters, tracker reports, profiles.
 func runsIdentical(t *testing.T, label string, a, b *PairRun) {

@@ -1,0 +1,417 @@
+// Package dispatch turns a Plan into a pull-based work queue: a
+// coordinator leases shards to workers over HTTP (or an in-process
+// loopback), collects each shard's wire-encoded results, and merges them
+// back into the canonical unsharded order.
+//
+// PR 3's Plan.Shard gave sweeps static fan-out: n processes, each told its
+// (i, n) up front. That shape wastes hardware the moment machines differ —
+// the fastest worker idles while the slowest grinds — and loses a shard
+// outright when a worker dies. The dispatcher inverts it: the coordinator
+// holds the one unsharded Plan, carves it into many more shards than
+// workers, and workers *pull*. Each lease grants one strided shard plus
+// the full PlanSpec; the worker reconstructs the plan locally, runs its
+// slice under StreamProfiles retention (O(analyzer-state) memory, no
+// traces), and ships the wire.Run batch home. Leases expire: a worker that
+// dies mid-shard simply stops renewing its claim, and the coordinator
+// re-issues the shard to the next puller. Because every cell's seed and
+// Index come from the Plan — not from which worker ran it or when — the
+// merged output is byte-identical to a single-process Runner.Run, no
+// matter how leases interleave, expire or duplicate.
+//
+// The pieces compose at three levels: Coordinator/Worker as library types
+// (any Queue transport), Handler/Client as the HTTP wire (gob envelopes
+// from internal/wire, versioned), and Serve/Work as the one-call entry
+// points cmd/turbulence exposes as -serve and -work. Loopback binds a
+// Client directly to a Coordinator's handler for tests and single-process
+// demos — the full wire path, no sockets.
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"turbulence/internal/core"
+	"turbulence/internal/wire"
+)
+
+// Queue is the coordinator API a worker pulls from: the Coordinator
+// itself, or a Client speaking the HTTP wire to a remote one.
+type Queue interface {
+	// Lease asks for a shard. The grant is exactly one of: work (LeaseID
+	// set), a wait hint (Wait set), or the drain signal (Done set).
+	Lease(worker string) (wire.LeaseGrant, error)
+	// Complete delivers a leased shard's results.
+	Complete(leaseID string, runs []wire.Run) error
+}
+
+// Config collects the dispatcher knobs; Options adjust it. One Config type
+// serves Coordinator, Worker and Client — each reads the fields that
+// concern it.
+type Config struct {
+	// Shards is the lease granularity: how many strided slices the plan is
+	// carved into. More shards than workers is the point — it is what lets
+	// fast machines pull more than their share. 0 means one shard per cell,
+	// capped at 256.
+	Shards int
+	// LeaseTTL is how long a shard stays claimed with no Complete before
+	// the coordinator assumes the worker died and re-issues it. It bounds
+	// how long a dead worker can stall a sweep, so it must comfortably
+	// exceed one shard's runtime. Default 2m.
+	LeaseTTL time.Duration
+	// Retry is the worker's poll interval while the queue has nothing
+	// leasable, and the client's backoff base for transport errors.
+	// Default 200ms.
+	Retry time.Duration
+	// MaxAttempts bounds consecutive transport failures before a Client
+	// call gives up. Default 8.
+	MaxAttempts int
+	// RequestTimeout bounds one HTTP round trip on the Client, so a
+	// partitioned coordinator (connected but blackholed) turns into a
+	// retriable error instead of a worker hung past every ctrl-C. Bodies
+	// are profiles, a few KB per cell, so the default 60s is generous.
+	RequestTimeout time.Duration
+	// RunWorkers is the worker's Runner pool size per shard (0 = all
+	// cores).
+	RunWorkers int
+	// RunContext hard-cancels in-flight simulation on a worker (the
+	// second ctrl-C). The context passed to Worker.Run only drains — the
+	// current shard still finishes and ships. Default: never.
+	RunContext context.Context
+	// Name identifies the worker in coordinator logs and status.
+	Name string
+	// Linger is how long Serve keeps answering after the sweep completes,
+	// so workers sleeping through a wait hint observe Done instead of a
+	// dead socket. Default 1s.
+	Linger time.Duration
+	// DrainGrace is how long Serve keeps accepting completions after a
+	// cancellation drain, so workers finishing their current shard (the
+	// graceful half of their own ctrl-C handling) can still land it
+	// before the socket dies. Default 15s.
+	DrainGrace time.Duration
+	// Logf receives progress lines (default: none).
+	Logf func(format string, args ...any)
+}
+
+// Option adjusts a Config.
+type Option func(*Config)
+
+// WithShards sets the lease granularity (see Config.Shards).
+func WithShards(n int) Option { return func(c *Config) { c.Shards = n } }
+
+// WithLeaseTTL sets the lease expiry (see Config.LeaseTTL).
+func WithLeaseTTL(d time.Duration) Option { return func(c *Config) { c.LeaseTTL = d } }
+
+// WithRetry sets the poll/backoff base interval.
+func WithRetry(d time.Duration) Option { return func(c *Config) { c.Retry = d } }
+
+// WithMaxAttempts bounds consecutive transport failures per client call.
+func WithMaxAttempts(n int) Option { return func(c *Config) { c.MaxAttempts = n } }
+
+// WithRequestTimeout bounds one client HTTP round trip.
+func WithRequestTimeout(d time.Duration) Option { return func(c *Config) { c.RequestTimeout = d } }
+
+// WithRunWorkers sets the per-shard Runner pool size (0 = all cores).
+func WithRunWorkers(n int) Option { return func(c *Config) { c.RunWorkers = n } }
+
+// WithRunContext installs the hard-cancel context for in-flight simulation.
+func WithRunContext(ctx context.Context) Option { return func(c *Config) { c.RunContext = ctx } }
+
+// WithName sets the worker identity used in logs and status.
+func WithName(name string) Option { return func(c *Config) { c.Name = name } }
+
+// WithLinger sets how long Serve answers after completion.
+func WithLinger(d time.Duration) Option { return func(c *Config) { c.Linger = d } }
+
+// WithDrainGrace sets how long Serve accepts completions after a drain.
+func WithDrainGrace(d time.Duration) Option { return func(c *Config) { c.DrainGrace = d } }
+
+// WithLogf installs a progress logger.
+func WithLogf(f func(format string, args ...any)) Option { return func(c *Config) { c.Logf = f } }
+
+func newConfig(opts []Option) Config {
+	c := Config{
+		LeaseTTL:       2 * time.Minute,
+		Retry:          200 * time.Millisecond,
+		MaxAttempts:    8,
+		RequestTimeout: time.Minute,
+		RunContext:     context.Background(),
+		Name:           "worker",
+		Linger:         time.Second,
+	}
+	for _, opt := range opts {
+		opt(&c)
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 2 * time.Minute
+	}
+	if c.Retry <= 0 {
+		c.Retry = 200 * time.Millisecond
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 8
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = time.Minute
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 15 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Coordinator serves one Plan as a lease-based shard queue and collects
+// the results — the queue and the collector are one state machine, because
+// a completion is exactly a lease resolution. All methods are safe for
+// concurrent use; it implements Queue directly, so in-process workers can
+// skip the wire entirely.
+type Coordinator struct {
+	cfg    Config
+	spec   wire.PlanSpec
+	shards int
+	sizes  []int
+
+	mu        sync.Mutex
+	pending   []int          // shard ids ready to lease, FIFO
+	leases    map[string]int // outstanding leaseID → shard
+	deadlines map[string]time.Time
+	issued    map[string]int // every leaseID ever granted → shard
+	done      []bool         // per shard
+	results   map[int][]wire.Run
+	remaining int // non-empty shards not yet completed
+	seq       int
+	draining  bool
+	finished  chan struct{} // closed when remaining hits 0
+}
+
+// New builds a coordinator for an unsharded plan. The plan is carved into
+// cfg.Shards strided slices; empty shards (more shards than cells) are
+// never issued — the lease-aware iteration Plan.ShardSizes provides.
+func New(plan *core.Plan, opts ...Option) (*Coordinator, error) {
+	if plan.IsSharded() {
+		return nil, errors.New("dispatch: coordinator needs the unsharded plan (shard coordinates travel in leases)")
+	}
+	cfg := newConfig(opts)
+	n := cfg.Shards
+	if n <= 0 {
+		n = plan.Size()
+		if n > 256 {
+			n = 256
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	c := &Coordinator{
+		cfg:       cfg,
+		spec:      wire.PlanSpecOf(plan),
+		shards:    n,
+		sizes:     plan.ShardSizes(n),
+		leases:    make(map[string]int),
+		deadlines: make(map[string]time.Time),
+		issued:    make(map[string]int),
+		done:      make([]bool, n),
+		results:   make(map[int][]wire.Run),
+		finished:  make(chan struct{}),
+	}
+	for shard, size := range c.sizes {
+		if size == 0 {
+			c.done[shard] = true
+			continue
+		}
+		c.pending = append(c.pending, shard)
+		c.remaining++
+	}
+	if c.remaining == 0 {
+		close(c.finished)
+	}
+	return c, nil
+}
+
+// expire requeues every outstanding lease whose deadline has passed.
+// Called with c.mu held. Expiry is lazy — checked on each Lease — which
+// keeps the coordinator timer-free and deterministic under test.
+func (c *Coordinator) expire(now time.Time) {
+	for id, deadline := range c.deadlines {
+		if now.Before(deadline) {
+			continue
+		}
+		shard := c.leases[id]
+		delete(c.leases, id)
+		delete(c.deadlines, id)
+		if !c.done[shard] {
+			c.pending = append(c.pending, shard)
+			c.cfg.Logf("dispatch: lease %s expired, requeueing shard %d/%d", id, shard, c.shards)
+		}
+	}
+}
+
+// Lease implements Queue: pop a pending shard, or tell the worker to wait
+// (work is leased out but could still expire back) or stop (sweep done or
+// draining). The error is always nil — it exists for the Queue interface,
+// where transports can fail.
+func (c *Coordinator) Lease(worker string) (wire.LeaseGrant, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expire(time.Now())
+	if c.draining || c.remaining == 0 {
+		return wire.LeaseGrant{Version: wire.Version, Done: true}, nil
+	}
+	// Pop the first pending shard that is still open: a shard can sit in
+	// pending and be done — its lease expired, it was requeued, and then
+	// the presumed-dead worker's late completion landed — and re-leasing
+	// it would re-run the whole slice for nothing.
+	shard := -1
+	for len(c.pending) > 0 {
+		s := c.pending[0]
+		c.pending = c.pending[1:]
+		if !c.done[s] {
+			shard = s
+			break
+		}
+	}
+	if shard < 0 {
+		return wire.LeaseGrant{Version: wire.Version, Wait: true, RetryMillis: c.cfg.Retry.Milliseconds()}, nil
+	}
+	c.seq++
+	id := fmt.Sprintf("lease-%d-shard-%d", c.seq, shard)
+	c.leases[id] = shard
+	c.deadlines[id] = time.Now().Add(c.cfg.LeaseTTL)
+	c.issued[id] = shard
+	c.cfg.Logf("dispatch: leased shard %d/%d (%d cells) to %s as %s", shard, c.shards, c.sizes[shard], worker, id)
+	return wire.LeaseGrant{
+		Version:   wire.Version,
+		LeaseID:   id,
+		Shard:     shard,
+		Shards:    c.shards,
+		Plan:      c.spec,
+		TTLMillis: c.cfg.LeaseTTL.Milliseconds(),
+	}, nil
+}
+
+// Complete implements Queue: resolve a lease with its shard's results.
+// Completions are idempotent — a worker that lost its lease to expiry may
+// still deliver, and whichever batch lands first wins; determinism makes
+// every batch for one shard identical, so "first wins" is not a race on
+// content. A batch is rejected (and the shard requeued) when it is short
+// without carrying a cell error to explain it, or when any run's Index
+// falls outside the shard — both are protocol violations, not transient
+// failures.
+func (c *Coordinator) Complete(leaseID string, runs []wire.Run) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	shard, ok := c.issued[leaseID]
+	if !ok {
+		return fmt.Errorf("dispatch: unknown lease %q", leaseID)
+	}
+	delete(c.leases, leaseID)
+	delete(c.deadlines, leaseID)
+	if c.done[shard] {
+		return nil // late duplicate of an expired-and-reissued lease
+	}
+	failed := false
+	for _, r := range runs {
+		if r.Index%c.shards != shard {
+			c.requeueLocked(shard)
+			return fmt.Errorf("dispatch: lease %s delivered cell %d, which is not in shard %d/%d", leaseID, r.Index, shard, c.shards)
+		}
+		if r.Err != "" {
+			failed = true
+		}
+	}
+	if len(runs) != c.sizes[shard] && !failed {
+		c.requeueLocked(shard)
+		return fmt.Errorf("dispatch: lease %s delivered %d runs for shard %d/%d, want %d", leaseID, len(runs), shard, c.shards, c.sizes[shard])
+	}
+	c.done[shard] = true
+	c.results[shard] = runs
+	c.remaining--
+	c.cfg.Logf("dispatch: shard %d/%d complete (%s), %d shards remaining", shard, c.shards, leaseID, c.remaining)
+	if c.remaining == 0 {
+		close(c.finished)
+	}
+	return nil
+}
+
+// requeueLocked puts a shard back at the head of the queue, unless it is
+// already queued (two rejected batches for one shard must not double-lease
+// it). Called with c.mu held.
+func (c *Coordinator) requeueLocked(shard int) {
+	for _, s := range c.pending {
+		if s == shard {
+			return
+		}
+	}
+	c.pending = append([]int{shard}, c.pending...)
+}
+
+// Collected returns the merge of every batch received so far in canonical
+// order — Wait's result shape, without waiting.
+func (c *Coordinator) Collected() []wire.Run {
+	c.mu.Lock()
+	batches := make([][]wire.Run, 0, len(c.results))
+	for _, b := range c.results {
+		batches = append(batches, b)
+	}
+	c.mu.Unlock()
+	return wire.Merge(batches...)
+}
+
+// Drain stops the coordinator from issuing further leases: every
+// subsequent Lease answers Done, so pulling workers wind down after their
+// current shard. Completions for already-issued leases are still accepted.
+func (c *Coordinator) Drain() {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+}
+
+// Done reports whether every shard has completed.
+func (c *Coordinator) Done() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.remaining == 0
+}
+
+// Counts reports the queue state: shards pending (leasable now), leased
+// out, and completed.
+func (c *Coordinator) Counts() (pending, leased, done int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expire(time.Now())
+	for _, d := range c.done {
+		if d {
+			done++
+		}
+	}
+	return len(c.pending), len(c.leases), done
+}
+
+// Wait blocks until every shard has completed or ctx is cancelled (which
+// drains the queue, so workers stop pulling), then returns the collected
+// results merged into the canonical unsharded order. The error is ctx's
+// on cancellation, else the first cell error in canonical order, else nil
+// — mirroring Runner.Run, so "distributed" and "in-process" report
+// failures the same way.
+func (c *Coordinator) Wait(ctx context.Context) ([]wire.Run, error) {
+	select {
+	case <-c.finished:
+	case <-ctx.Done():
+		c.Drain()
+	}
+	merged := c.Collected()
+	if err := ctx.Err(); err != nil {
+		return merged, err
+	}
+	for _, r := range merged {
+		if r.Err != "" {
+			return merged, fmt.Errorf("dispatch: cell %d (set %d/%s): %s", r.Index, r.Set, r.Class, r.Err)
+		}
+	}
+	return merged, nil
+}

@@ -1,0 +1,67 @@
+package dispatch
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"turbulence/internal/core"
+	"turbulence/internal/media"
+	"turbulence/internal/netem"
+	"turbulence/internal/wire"
+)
+
+// TestDispatchSmokeGoldenDigest pins the unsharded half of the CI
+// dispatch-smoke gate. The smoke job runs `turbulence -serve` + two
+// `-work` processes over localhost on exactly this plan and asserts the
+// merged JSON's sha256 equals testdata/dispatch_smoke.sha256; this test
+// asserts the committed digest IS the unsharded single-process output.
+// Together they close the loop: distributed == golden == unsharded, and
+// any engine change that shifts the sweep's bytes must re-bless the
+// golden here, not in CI.
+//
+// The plan must stay in lockstep with scripts/dispatch_smoke.sh:
+//
+//	-seed 7 -pairs 1/low,3/low,2/high,5/high -scenario dsl
+func TestDispatchSmokeGoldenDigest(t *testing.T) {
+	dsl, err := netem.Find("dsl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := core.NewPlan(7).
+		ForPairs(
+			core.PairKey{Set: 1, Class: media.Low},
+			core.PairKey{Set: 3, Class: media.Low},
+			core.PairKey{Set: 2, Class: media.High},
+			core.PairKey{Set: 5, Class: media.High},
+		).
+		UnderScenarios(dsl)
+	results, err := core.NewRunner(
+		core.WithWorkers(0),
+		core.WithTraceRetention(core.StreamProfiles),
+	).Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly the bytes `turbulence -serve` prints: one JSON array of
+	// wire runs in canonical order.
+	var buf bytes.Buffer
+	if err := wire.WriteJSON(&buf, wire.FromResults(results)); err != nil {
+		t.Fatal(err)
+	}
+	got := fmt.Sprintf("%x", sha256.Sum256(buf.Bytes()))
+
+	raw, err := os.ReadFile("../../testdata/dispatch_smoke.sha256")
+	if err != nil {
+		t.Fatalf("golden digest missing (recompute: see this test): %v", err)
+	}
+	want := strings.Fields(string(raw))[0]
+	if got != want {
+		t.Fatalf("unsharded smoke-plan digest %s, committed golden %s\n"+
+			"If the engine's output legitimately changed, re-bless with:\n"+
+			"  echo %s > testdata/dispatch_smoke.sha256", got, want, got)
+	}
+}

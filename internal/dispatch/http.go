@@ -1,0 +1,303 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"turbulence/internal/core"
+	"turbulence/internal/wire"
+)
+
+// The HTTP wire: two POSTs and a status probe.
+//
+//	POST /lease     gob wire.LeaseRequest  → gob wire.LeaseGrant
+//	POST /complete  EncodeRunsGob body     → gob wire.Ack
+//	                (lease id and version travel in headers, so the body
+//	                 is exactly the shard batch a shard process would
+//	                 have written to a file)
+//	GET  /status    → JSON {pending, leased, done, shards}
+const (
+	leaseHeader   = "X-Turbulence-Lease"
+	versionHeader = "X-Turbulence-Wire-Version"
+)
+
+// Handler exposes the coordinator over HTTP.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /lease", func(w http.ResponseWriter, r *http.Request) {
+		var req wire.LeaseRequest
+		if err := gob.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "dispatch: bad lease request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if req.Version != wire.Version {
+			http.Error(w, fmt.Sprintf("dispatch: wire version %d, coordinator speaks %d", req.Version, wire.Version), http.StatusBadRequest)
+			return
+		}
+		grant, err := c.Lease(req.Worker)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if err := gob.NewEncoder(w).Encode(grant); err != nil {
+			c.cfg.Logf("dispatch: encoding grant: %v", err)
+		}
+	})
+	mux.HandleFunc("POST /complete", func(w http.ResponseWriter, r *http.Request) {
+		ack := func(status int, err error) {
+			a := wire.Ack{Version: wire.Version, OK: err == nil}
+			if err != nil {
+				a.Err = err.Error()
+			}
+			w.WriteHeader(status)
+			if encErr := gob.NewEncoder(w).Encode(a); encErr != nil {
+				c.cfg.Logf("dispatch: encoding ack: %v", encErr)
+			}
+		}
+		if v, err := strconv.Atoi(r.Header.Get(versionHeader)); err != nil || v != wire.Version {
+			ack(http.StatusBadRequest, fmt.Errorf("dispatch: wire version %q, coordinator speaks %d", r.Header.Get(versionHeader), wire.Version))
+			return
+		}
+		leaseID := r.Header.Get(leaseHeader)
+		if leaseID == "" {
+			ack(http.StatusBadRequest, errors.New("dispatch: complete without "+leaseHeader+" header"))
+			return
+		}
+		runs, err := wire.ReadGob(r.Body)
+		if err != nil {
+			ack(http.StatusBadRequest, fmt.Errorf("dispatch: bad complete body: %w", err))
+			return
+		}
+		if err := c.Complete(leaseID, runs); err != nil {
+			ack(http.StatusConflict, err)
+			return
+		}
+		ack(http.StatusOK, nil)
+	})
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
+		pending, leased, done := c.Counts()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]int{
+			"pending": pending, "leased": leased, "done": done, "shards": c.shards,
+		})
+	})
+	return mux
+}
+
+// Client speaks the coordinator's HTTP wire and implements Queue. Calls
+// retry transient failures (transport errors, 5xx) with exponential
+// backoff up to MaxAttempts; 4xx/409 answers are protocol errors and fail
+// immediately.
+type Client struct {
+	base string
+	hc   *http.Client
+	cfg  Config
+}
+
+// NewClient builds a client for a coordinator at base ("http://host:port";
+// a bare "host:port" gets the scheme prepended). Relevant options:
+// WithRetry, WithMaxAttempts, WithRequestTimeout, WithLogf.
+func NewClient(base string, opts ...Option) *Client {
+	cfg := newConfig(opts)
+	return &Client{base: NormalizeBase(base), hc: &http.Client{Timeout: cfg.RequestTimeout}, cfg: cfg}
+}
+
+// NormalizeBase prepends http:// to a bare host:port, so -work addr and
+// -serve addr can share spelling.
+func NormalizeBase(base string) string {
+	if base == "" {
+		return base
+	}
+	for _, scheme := range []string{"http://", "https://"} {
+		if len(base) >= len(scheme) && base[:len(scheme)] == scheme {
+			return base
+		}
+	}
+	return "http://" + base
+}
+
+// post sends one request with retry/backoff, returning the final
+// response. A non-2xx status is returned (not retried) when the server
+// answered 4xx — the coordinator rejected the request and repeating it
+// cannot help.
+func (cl *Client) post(path string, header http.Header, body func() (io.Reader, error)) (*http.Response, error) {
+	backoff := cl.cfg.Retry
+	var lastErr error
+	for attempt := 0; attempt < cl.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			if backoff < 8*time.Second {
+				backoff *= 2
+			}
+		}
+		b, err := body()
+		if err != nil {
+			return nil, err
+		}
+		req, err := http.NewRequest(http.MethodPost, cl.base+path, b)
+		if err != nil {
+			return nil, err
+		}
+		for k, vs := range header {
+			req.Header[k] = vs
+		}
+		resp, err := cl.hc.Do(req)
+		if err != nil {
+			lastErr = err
+			cl.cfg.Logf("dispatch: %s %s attempt %d: %v", cl.cfg.Name, path, attempt+1, err)
+			continue
+		}
+		if resp.StatusCode >= 500 {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			lastErr = fmt.Errorf("dispatch: %s: %s", resp.Status, msg)
+			cl.cfg.Logf("dispatch: %s %s attempt %d: %v", cl.cfg.Name, path, attempt+1, lastErr)
+			continue
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("dispatch: %s unreachable after %d attempts: %w", cl.base+path, cl.cfg.MaxAttempts, lastErr)
+}
+
+// Lease implements Queue over the wire.
+func (cl *Client) Lease(worker string) (wire.LeaseGrant, error) {
+	resp, err := cl.post("/lease", nil, func() (io.Reader, error) {
+		return encodeGob(wire.LeaseRequest{Version: wire.Version, Worker: worker})
+	})
+	if err != nil {
+		return wire.LeaseGrant{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return wire.LeaseGrant{}, fmt.Errorf("dispatch: lease rejected: %s: %s", resp.Status, msg)
+	}
+	var grant wire.LeaseGrant
+	if err := gob.NewDecoder(resp.Body).Decode(&grant); err != nil {
+		return wire.LeaseGrant{}, fmt.Errorf("dispatch: bad grant: %w", err)
+	}
+	return grant, nil
+}
+
+// Complete implements Queue over the wire: the body is exactly
+// wire.WriteGob of the batch (EncodeRunsGob at the facade), identity in
+// headers.
+func (cl *Client) Complete(leaseID string, runs []wire.Run) error {
+	header := http.Header{
+		leaseHeader:   []string{leaseID},
+		versionHeader: []string{strconv.Itoa(wire.Version)},
+	}
+	resp, err := cl.post("/complete", header, func() (io.Reader, error) {
+		return encodeGobRuns(runs)
+	})
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var a wire.Ack
+	if err := gob.NewDecoder(resp.Body).Decode(&a); err != nil {
+		return fmt.Errorf("dispatch: bad ack (%s): %w", resp.Status, err)
+	}
+	if !a.OK {
+		return fmt.Errorf("dispatch: complete rejected: %s", a.Err)
+	}
+	return nil
+}
+
+// encodeGob / encodeGobRuns materialise a gob body. Encoding to a buffer
+// (not a pipe) keeps body() restartable for retries.
+func encodeGob(v any) (io.Reader, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return &buf, nil
+}
+
+func encodeGobRuns(runs []wire.Run) (io.Reader, error) {
+	var buf bytes.Buffer
+	if err := wire.WriteGob(&buf, runs); err != nil {
+		return nil, err
+	}
+	return &buf, nil
+}
+
+// Serve runs a coordinator for plan over HTTP on addr until the sweep
+// completes or ctx cancels (which drains: workers stop being issued
+// leases), then returns the merged results — the one-call server side of
+// the dispatcher, behind cmd/turbulence -serve. After completion the
+// server lingers briefly (Config.Linger) so workers sleeping through a
+// wait hint observe Done instead of a dead socket.
+func Serve(ctx context.Context, addr string, plan *core.Plan, opts ...Option) ([]wire.Run, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return ServeListener(ctx, ln, plan, opts...)
+}
+
+// ServeListener is Serve on an existing listener (tests use an ephemeral
+// port; Serve wraps it for the common addr case). The listener is closed
+// on return.
+func ServeListener(ctx context.Context, ln net.Listener, plan *core.Plan, opts ...Option) ([]wire.Run, error) {
+	c, err := New(plan, opts...)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	srv := &http.Server{Handler: c.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	c.cfg.Logf("dispatch: coordinator serving %d shards (%d cells) on %s", c.shards, plan.Size(), ln.Addr())
+	runs, waitErr := c.Wait(ctx)
+	if waitErr == nil {
+		// Completed: linger so the other workers' next poll sees Done.
+		t := time.NewTimer(c.cfg.Linger)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+		}
+		t.Stop()
+	} else {
+		// Drained mid-sweep: workers honouring their own graceful drain
+		// are finishing a shard right now — keep accepting completions
+		// until the outstanding leases resolve (or the grace runs out),
+		// then re-merge so those landed shards make it into the output.
+		deadline := time.Now().Add(c.cfg.DrainGrace)
+		for time.Now().Before(deadline) {
+			if _, leased, _ := c.Counts(); leased == 0 {
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		runs = c.Collected()
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	srv.Shutdown(shutCtx)
+	select {
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			c.cfg.Logf("dispatch: server: %v", err)
+		}
+	default:
+	}
+	return runs, waitErr
+}
+
+// Work runs one worker loop against a coordinator at base until the sweep
+// drains or ctx cancels — the one-call client side, behind cmd/turbulence
+// -work. Returns how many shards this worker completed.
+func Work(ctx context.Context, base string, opts ...Option) (int, error) {
+	cl := NewClient(base, opts...)
+	return NewWorker(cl, opts...).Run(ctx)
+}

@@ -1,0 +1,57 @@
+package dispatch
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+)
+
+// Loopback binds a Client directly to a coordinator's HTTP handler: every
+// round trip is served synchronously in-process, so the full wire path —
+// gob envelopes, headers, status codes, version checks — runs with no
+// sockets. Tests and single-process demos use it to drive coordinator +
+// workers exactly as a cluster would.
+func Loopback(c *Coordinator, opts ...Option) *Client {
+	cl := NewClient("http://loopback", opts...)
+	cl.hc = &http.Client{Transport: loopbackTransport{h: c.Handler()}}
+	return cl
+}
+
+type loopbackTransport struct{ h http.Handler }
+
+func (t loopbackTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := &memResponse{code: http.StatusOK, header: make(http.Header)}
+	t.h.ServeHTTP(rec, req)
+	return &http.Response{
+		Status:     http.StatusText(rec.code),
+		StatusCode: rec.code,
+		Proto:      req.Proto,
+		ProtoMajor: req.ProtoMajor,
+		ProtoMinor: req.ProtoMinor,
+		Header:     rec.header,
+		Body:       io.NopCloser(&rec.body),
+		Request:    req,
+	}, nil
+}
+
+// memResponse is the minimal in-memory http.ResponseWriter the loopback
+// needs (net/http/httptest is test-only; examples use the loopback too).
+type memResponse struct {
+	code   int
+	wrote  bool
+	header http.Header
+	body   bytes.Buffer
+}
+
+func (m *memResponse) Header() http.Header { return m.header }
+
+func (m *memResponse) WriteHeader(code int) {
+	if !m.wrote {
+		m.code, m.wrote = code, true
+	}
+}
+
+func (m *memResponse) Write(p []byte) (int, error) {
+	m.wrote = true
+	return m.body.Write(p)
+}

@@ -1,0 +1,124 @@
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"turbulence/internal/core"
+	"turbulence/internal/wire"
+)
+
+// Worker is the dumb half of the dispatcher: pull a lease, run the shard,
+// ship the results, repeat until the coordinator says Done. It holds no
+// state between shards — everything it needs to execute arrives in the
+// lease grant — which is what makes workers interchangeable and safe to
+// kill.
+type Worker struct {
+	q   Queue
+	cfg Config
+}
+
+// NewWorker builds a worker pulling from q. Relevant options: WithName,
+// WithRunWorkers, WithRetry, WithRunContext, WithLogf.
+func NewWorker(q Queue, opts ...Option) *Worker {
+	return &Worker{q: q, cfg: newConfig(opts)}
+}
+
+// Run pulls and executes shards until the coordinator reports Done,
+// returning how many shards this worker completed. Cancelling ctx drains
+// gracefully: the current shard still finishes and ships (bounded work —
+// one shard), no further leases are taken, and Run returns nil. Hard
+// cancellation is the RunContext option: when it fires, the in-flight
+// simulation aborts between events, the lease is abandoned to expiry, and
+// Run returns the context's error.
+//
+// Shards execute with core.Runner under StreamProfiles retention, so a
+// worker's memory is O(RunWorkers × analyzer state) — no trace is ever
+// materialised, however large the leased plan.
+func (w *Worker) Run(ctx context.Context) (completed int, err error) {
+	for {
+		// A fired RunContext is the abort signal wherever it is observed —
+		// mid-shard or between leases must exit the same way.
+		if err := w.cfg.RunContext.Err(); err != nil {
+			return completed, err
+		}
+		if ctx.Err() != nil {
+			w.cfg.Logf("dispatch: %s draining after %d shards", w.cfg.Name, completed)
+			return completed, nil
+		}
+		grant, err := w.q.Lease(w.cfg.Name)
+		if err != nil {
+			return completed, fmt.Errorf("dispatch: %s: lease: %w", w.cfg.Name, err)
+		}
+		switch {
+		case grant.Version != wire.Version:
+			return completed, fmt.Errorf("dispatch: %s: coordinator speaks wire version %d, this worker %d", w.cfg.Name, grant.Version, wire.Version)
+		case grant.Done:
+			w.cfg.Logf("dispatch: %s done after %d shards", w.cfg.Name, completed)
+			return completed, nil
+		case grant.Wait:
+			if !sleep(ctx, time.Duration(grant.RetryMillis)*time.Millisecond, w.cfg.Retry) {
+				return completed, nil
+			}
+			continue
+		}
+		runs, err := w.runShard(grant)
+		if err != nil {
+			return completed, err
+		}
+		if runs == nil {
+			// Hard-cancelled mid-simulation: abandon the lease (it will
+			// expire and requeue) and report why we stopped.
+			return completed, w.cfg.RunContext.Err()
+		}
+		if err := w.q.Complete(grant.LeaseID, runs); err != nil {
+			return completed, fmt.Errorf("dispatch: %s: complete %s: %w", w.cfg.Name, grant.LeaseID, err)
+		}
+		completed++
+	}
+}
+
+// runShard reconstructs the granted plan, executes the leased slice and
+// flattens the results to their wire shape. A nil, nil return means the
+// run was hard-cancelled mid-simulation.
+func (w *Worker) runShard(grant wire.LeaseGrant) ([]wire.Run, error) {
+	plan, err := grant.Plan.Plan()
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: %s: lease %s: %w", w.cfg.Name, grant.LeaseID, err)
+	}
+	shard := plan.Shard(grant.Shard, grant.Shards)
+	w.cfg.Logf("dispatch: %s running shard %d/%d (%d cells) as %s", w.cfg.Name, grant.Shard, grant.Shards, shard.Size(), grant.LeaseID)
+	runner := core.NewRunner(
+		core.WithWorkers(w.cfg.RunWorkers),
+		core.WithContext(w.cfg.RunContext),
+		core.WithTraceRetention(core.StreamProfiles),
+	)
+	// A cell error is a result, not a transport failure: the batch ships
+	// with the Err run inside (fail-fast leaves it short, which the
+	// coordinator accepts exactly because the error explains the gap), so
+	// the collector can surface *which* cell failed instead of leasing the
+	// poisoned shard forever. Hence Run's error is ignored here — it is
+	// already in the results.
+	results, _ := runner.Run(shard)
+	if w.cfg.RunContext.Err() != nil {
+		return nil, nil
+	}
+	return wire.FromResults(results), nil
+}
+
+// sleep waits for the coordinator's retry hint (or fallback when the hint
+// is absent), returning false if ctx cancelled first.
+func sleep(ctx context.Context, hint, fallback time.Duration) bool {
+	if hint <= 0 {
+		hint = fallback
+	}
+	t := time.NewTimer(hint)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -60,6 +60,17 @@ func (c Class) String() string {
 	}
 }
 
+// ParseClass resolves a class from its String name ("low", "high",
+// "very-high") or Table 1 suffix ("l", "h", "v").
+func ParseClass(s string) (Class, bool) {
+	for _, c := range []Class{Low, High, VeryHigh} {
+		if s == c.String() || s == c.Suffix() {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
 // Suffix returns the Table 1 suffix ("l", "h", "v").
 func (c Class) Suffix() string {
 	switch c {

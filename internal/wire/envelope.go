@@ -1,0 +1,209 @@
+package wire
+
+import (
+	"fmt"
+
+	"turbulence/internal/core"
+	"turbulence/internal/media"
+	"turbulence/internal/netem"
+)
+
+// Version is the wire-protocol version stamped on every dispatcher
+// envelope. A coordinator and its workers must agree exactly: the protocol
+// ships gob-encoded profile structs, so a silent field mismatch would
+// corrupt merged results rather than fail loudly. Bump it whenever
+// PlanSpec, LeaseGrant, Run or the profile shapes change incompatibly.
+const Version = 1
+
+// PairSpec is the wire shape of one clip-pair key. Class travels as the
+// Table 1 name ("low", "high", "very-high") so JSON stays readable.
+type PairSpec struct {
+	Set   int
+	Class string
+}
+
+// OptionsSpec is the wire shape of core.Options: every ablation field as
+// is, plus the netem scenario by name (scenarios carry model factories and
+// cannot cross a wire; both ends hold the same library).
+type OptionsSpec struct {
+	WMSUnitCap        int     `json:",omitempty"`
+	UncappedBurst     bool    `json:",omitempty"`
+	DisableInterleave bool    `json:",omitempty"`
+	Sequential        bool    `json:",omitempty"`
+	BottleneckBps     float64 `json:",omitempty"`
+	EnableScaling     bool    `json:",omitempty"`
+	Scenario          string  `json:",omitempty"` // "" = faithful testbed
+}
+
+// VariantSpec is the wire shape of one ablation-axis point.
+type VariantSpec struct {
+	Name string `json:",omitempty"`
+	Opts OptionsSpec
+}
+
+// PlanSpec is the wire shape of an unsharded core.Plan: the run-space axes
+// with scenarios by name, resolved to their defaults so the spec survives
+// encoders that collapse empty and nil slices (gob does). A worker
+// reconstructs the plan with Plan and shards it locally from its lease
+// grant, so PlanSpec never carries shard coordinates.
+type PlanSpec struct {
+	BaseSeed int64
+	// Pairs is the resolved pair axis (never empty).
+	Pairs []PairSpec
+	// ScenarioAxis records whether the plan declared a scenario axis: an
+	// axis containing only the faithful testbed is not the same plan as no
+	// axis at all (a declared axis overrides each variant's own scenario).
+	ScenarioAxis bool
+	// Scenarios is the scenario axis by name, "" = faithful testbed.
+	// Meaningful only when ScenarioAxis is set.
+	Scenarios []string `json:",omitempty"`
+	// Variants is the resolved ablation axis (never empty).
+	Variants []VariantSpec
+	// SeedPolicy is the plan's core.SeedPolicy.
+	SeedPolicy int
+}
+
+// PlanSpecOf flattens an unsharded plan to its wire shape. Panics on a
+// sharded plan — shard coordinates travel in the lease grant, not the
+// spec — mirroring Plan.Shard's own contract.
+func PlanSpecOf(p *core.Plan) PlanSpec {
+	if p.IsSharded() {
+		panic("wire: PlanSpecOf of a sharded plan")
+	}
+	spec := PlanSpec{BaseSeed: p.BaseSeed, SeedPolicy: int(p.Seeds)}
+	pairs := p.Pairs
+	if pairs == nil {
+		pairs = core.AllPairs()
+	}
+	for _, k := range pairs {
+		spec.Pairs = append(spec.Pairs, PairSpec{Set: k.Set, Class: k.Class.String()})
+	}
+	if len(p.Scenarios) > 0 {
+		spec.ScenarioAxis = true
+		for _, sc := range p.Scenarios {
+			name := ""
+			if sc != nil {
+				name = sc.Name
+			}
+			spec.Scenarios = append(spec.Scenarios, name)
+		}
+	}
+	variants := p.Variants
+	if len(variants) == 0 {
+		variants = []core.Variant{{}}
+	}
+	for _, v := range variants {
+		vs := VariantSpec{Name: v.Name, Opts: OptionsSpec{
+			WMSUnitCap:        v.Opts.WMSUnitCap,
+			UncappedBurst:     v.Opts.UncappedBurst,
+			DisableInterleave: v.Opts.DisableInterleave,
+			Sequential:        v.Opts.Sequential,
+			BottleneckBps:     v.Opts.BottleneckBps,
+			EnableScaling:     v.Opts.EnableScaling,
+		}}
+		if v.Opts.Scenario != nil {
+			vs.Opts.Scenario = v.Opts.Scenario.Name
+		}
+		spec.Variants = append(spec.Variants, vs)
+	}
+	return spec
+}
+
+// Plan reconstructs the core.Plan a spec describes, resolving scenario
+// names against the local library. The reconstruction is canonical-order
+// faithful: Keys, Index and Seed of every cell equal the original plan's,
+// which is what lets a worker execute a shard of a plan it never held.
+func (s PlanSpec) Plan() (*core.Plan, error) {
+	p := core.NewPlan(s.BaseSeed).WithSeedPolicy(core.SeedPolicy(s.SeedPolicy))
+	if len(s.Pairs) == 0 {
+		return nil, fmt.Errorf("wire: plan spec with no pairs")
+	}
+	var pairs []core.PairKey
+	for _, ps := range s.Pairs {
+		class, ok := media.ParseClass(ps.Class)
+		if !ok {
+			return nil, fmt.Errorf("wire: plan spec has unknown class %q", ps.Class)
+		}
+		pairs = append(pairs, core.PairKey{Set: ps.Set, Class: class})
+	}
+	p.ForPairs(pairs...)
+	if s.ScenarioAxis {
+		var scs []*netem.Scenario
+		for _, name := range s.Scenarios {
+			if name == "" {
+				scs = append(scs, nil)
+				continue
+			}
+			sc, err := netem.Find(name)
+			if err != nil {
+				return nil, fmt.Errorf("wire: plan spec: %w", err)
+			}
+			scs = append(scs, sc)
+		}
+		p.UnderScenarios(scs...)
+	}
+	if len(s.Variants) == 0 {
+		return nil, fmt.Errorf("wire: plan spec with no variants")
+	}
+	var variants []core.Variant
+	for _, vs := range s.Variants {
+		v := core.Variant{Name: vs.Name, Opts: core.Options{
+			WMSUnitCap:        vs.Opts.WMSUnitCap,
+			UncappedBurst:     vs.Opts.UncappedBurst,
+			DisableInterleave: vs.Opts.DisableInterleave,
+			Sequential:        vs.Opts.Sequential,
+			BottleneckBps:     vs.Opts.BottleneckBps,
+			EnableScaling:     vs.Opts.EnableScaling,
+		}}
+		if vs.Opts.Scenario != "" {
+			sc, err := netem.Find(vs.Opts.Scenario)
+			if err != nil {
+				return nil, fmt.Errorf("wire: plan spec: %w", err)
+			}
+			v.Opts.Scenario = sc
+		}
+		variants = append(variants, v)
+	}
+	p.WithVariants(variants...)
+	return p, nil
+}
+
+// LeaseRequest is a worker's pull: "give me a shard". Worker is a
+// free-form identity used in coordinator status and logs.
+type LeaseRequest struct {
+	Version int
+	Worker  string
+}
+
+// LeaseGrant is the coordinator's reply to a lease request. Exactly one of
+// the three shapes applies: a work grant (LeaseID != ""), a wait hint
+// (Wait set: nothing leasable right now, poll again after RetryMillis), or
+// the drain signal (Done set: the sweep is complete or draining, exit).
+type LeaseGrant struct {
+	Version int
+
+	// LeaseID names the lease for the matching Complete. "" when Wait or
+	// Done is set.
+	LeaseID string `json:",omitempty"`
+	// Shard/Shards are the strided slice to run: Plan().Shard(Shard, Shards).
+	Shard  int `json:",omitempty"`
+	Shards int `json:",omitempty"`
+	// Plan is the full unsharded run space the shard slices.
+	Plan PlanSpec
+	// TTLMillis is how long the coordinator holds the lease before
+	// assuming the worker died and re-issuing the shard.
+	TTLMillis int64 `json:",omitempty"`
+
+	Wait        bool  `json:",omitempty"`
+	RetryMillis int64 `json:",omitempty"`
+
+	Done bool `json:",omitempty"`
+}
+
+// Ack is the coordinator's reply to a Complete: accepted, or an error the
+// worker should not retry (version mismatch, unknown lease).
+type Ack struct {
+	Version int
+	OK      bool
+	Err     string `json:",omitempty"`
+}

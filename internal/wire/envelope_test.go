@@ -1,0 +1,90 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"turbulence/internal/core"
+	"turbulence/internal/media"
+	"turbulence/internal/netem"
+)
+
+// TestPlanSpecRoundTrip pins that a spec reconstructs a canonical-order
+// faithful plan — same size, same keys, same seeds — including the cases
+// encoders like to collapse: a scenario axis holding only the faithful
+// testbed, and variants carrying their own scenario options.
+func TestPlanSpecRoundTrip(t *testing.T) {
+	dsl, err := netem.Find("dsl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := map[string]*core.Plan{
+		"default": core.NewPlan(2002),
+		"full-axes": core.NewPlan(7).
+			ForPairs(core.PairKey{Set: 1, Class: media.Low}, core.PairKey{Set: 6, Class: media.VeryHigh}).
+			UnderScenarios(nil, dsl).
+			WithVariants(core.Variant{Name: "faithful"}, core.Variant{Name: "nofrag", Opts: core.Options{WMSUnitCap: 1400}}).
+			WithSeedPolicy(core.SeedPerCell),
+		"faithful-axis": core.NewPlan(7).
+			ForPairs(core.PairKey{Set: 1, Class: media.Low}).
+			UnderScenarios(nil).
+			WithOptions(core.Options{Scenario: dsl}),
+		"variant-scenario": core.NewPlan(7).
+			ForPairs(core.PairKey{Set: 1, Class: media.Low}).
+			WithOptions(core.Options{Scenario: dsl}),
+	}
+	for name, p := range plans {
+		// Cross the gob boundary, exactly as a lease grant does.
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(PlanSpecOf(p)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var spec PlanSpec
+		if err := gob.NewDecoder(&buf).Decode(&spec); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := spec.Plan()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		wantKeys, gotKeys := p.Keys(), got.Keys()
+		if len(gotKeys) != len(wantKeys) {
+			t.Fatalf("%s: %d keys, want %d", name, len(gotKeys), len(wantKeys))
+		}
+		for i := range wantKeys {
+			w, g := wantKeys[i], gotKeys[i]
+			if g.Index != w.Index || g.Pair != w.Pair || g.Variant.Name != w.Variant.Name ||
+				g.Variant.Opts != w.Variant.Opts || g.Scenario != w.Scenario {
+				t.Fatalf("%s: key %d differs: %+v vs %+v", name, i, g, w)
+			}
+			if got.Seed(g) != p.Seed(w) {
+				t.Fatalf("%s: key %d seed differs", name, i)
+			}
+		}
+	}
+}
+
+// TestPlanSpecRejects pins loud failures on specs the local library cannot
+// honour, and the sharded-plan panic.
+func TestPlanSpecRejects(t *testing.T) {
+	if _, err := (PlanSpec{Pairs: []PairSpec{{Set: 1, Class: "low"}}, Variants: []VariantSpec{{}},
+		ScenarioAxis: true, Scenarios: []string{"no-such-scenario"}}).Plan(); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if _, err := (PlanSpec{Pairs: []PairSpec{{Set: 1, Class: "medium-rare"}}, Variants: []VariantSpec{{}}}).Plan(); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+	if _, err := (PlanSpec{Variants: []VariantSpec{{}}}).Plan(); err == nil {
+		t.Fatal("empty pair axis accepted")
+	}
+	if _, err := (PlanSpec{Pairs: []PairSpec{{Set: 1, Class: "low"}}}).Plan(); err == nil {
+		t.Fatal("empty variant axis accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PlanSpecOf of a sharded plan did not panic")
+		}
+	}()
+	PlanSpecOf(core.NewPlan(1).Shard(0, 2))
+}

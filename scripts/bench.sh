@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # bench.sh — run the performance-tracked benchmarks in benchstat-compatible
 # format (standard `go test -bench` output is what benchstat consumes).
 # Lint (gofmt -l + go vet, i.e. `make lint`) runs first so tracked numbers
@@ -18,7 +18,11 @@
 # Compare a fresh run against the committed records:
 #   scripts/bench.sh > BENCH_current.txt
 #   make bench-compare          (benchstat if installed, else benchjson compare)
-set -eu
+#
+# pipefail matters here: the output is routinely piped (tee, benchstat,
+# sha256sum) and a failing `go test` must fail the pipeline, not vanish
+# behind a healthy consumer.
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
 

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# dispatch_smoke.sh — the distributed path's rot protection, mirroring what
+# bench-smoke does for benchmarks: launch a real coordinator and two real
+# workers over localhost sockets on a small fixed plan, and assert the
+# merged JSON digest equals the committed unsharded golden
+# (testdata/dispatch_smoke.sha256). TestDispatchSmokeGoldenDigest pins the
+# other half — golden == unsharded single-process output — so together:
+# distributed == golden == unsharded.
+#
+# The plan must stay in lockstep with that test:
+#   -seed 7 -pairs 1/low,3/low,2/high,5/high -scenario dsl
+#
+# Usage: scripts/dispatch_smoke.sh [port]   (default 18742)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+port="${1:-18742}"
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+
+digest() {
+    if command -v sha256sum >/dev/null 2>&1; then
+        sha256sum "$1" | cut -d' ' -f1
+    else
+        shasum -a 256 "$1" | cut -d' ' -f1
+    fi
+}
+
+go build -o "$out/turbulence" ./cmd/turbulence
+
+"$out/turbulence" -serve "127.0.0.1:$port" -seed 7 \
+    -pairs 1/low,3/low,2/high,5/high -scenario dsl -serve-shards 3 \
+    >"$out/merged.json" 2>"$out/serve.log" &
+serve_pid=$!
+sleep 1
+
+"$out/turbulence" -work "127.0.0.1:$port" -parallel 1 2>"$out/w1.log" &
+w1_pid=$!
+"$out/turbulence" -work "127.0.0.1:$port" -parallel 1 2>"$out/w2.log" &
+w2_pid=$!
+
+serve_rc=0
+wait "$serve_pid" || serve_rc=$?
+# A worker that sleeps through the coordinator's post-completion linger can
+# lose the race to its shutdown; the digest below is the actual gate.
+wait "$w1_pid" || true
+wait "$w2_pid" || true
+
+if [ "$serve_rc" -ne 0 ]; then
+    echo "dispatch smoke: coordinator failed (rc=$serve_rc)" >&2
+    sed 's/^/  serve: /' "$out/serve.log" >&2
+    sed 's/^/  w1: /' "$out/w1.log" >&2
+    sed 's/^/  w2: /' "$out/w2.log" >&2
+    exit 1
+fi
+
+want="$(cut -d' ' -f1 testdata/dispatch_smoke.sha256)"
+got="$(digest "$out/merged.json")"
+if [ "$got" != "$want" ]; then
+    echo "dispatch smoke: merged digest $got != committed golden $want" >&2
+    echo "(if the engine's output legitimately changed, re-bless via TestDispatchSmokeGoldenDigest)" >&2
+    sed 's/^/  serve: /' "$out/serve.log" >&2
+    exit 1
+fi
+
+shards1="$(grep -c 'running shard' "$out/w1.log" || true)"
+shards2="$(grep -c 'running shard' "$out/w2.log" || true)"
+echo "dispatch smoke ok: 2 workers ($shards1 + $shards2 shards), digest $got matches golden"

@@ -7,6 +7,7 @@ import (
 
 	"turbulence/internal/capture"
 	"turbulence/internal/core"
+	"turbulence/internal/dispatch"
 	"turbulence/internal/eventsim"
 	"turbulence/internal/experiments"
 	"turbulence/internal/inet"
@@ -117,6 +118,23 @@ type (
 	// seed and turbulence profiles, no traces — what shard processes ship
 	// home (gob or JSON) for a collector to merge.
 	WireRun = wire.Run
+	// PlanSpec is the transport shape of an unsharded Plan (scenarios by
+	// name) — what a dispatch lease grant carries to workers.
+	PlanSpec = wire.PlanSpec
+
+	// Coordinator serves a Plan as a lease-based shard queue over HTTP
+	// and collects the results (the -serve side of cmd/turbulence).
+	Coordinator = dispatch.Coordinator
+	// DispatchWorker pulls shard leases from a Coordinator, runs them
+	// under StreamProfiles retention and ships the results home (the
+	// -work side of cmd/turbulence).
+	DispatchWorker = dispatch.Worker
+	// DispatchClient speaks the coordinator's HTTP wire; it implements
+	// the same Queue interface as the Coordinator itself.
+	DispatchClient = dispatch.Client
+	// DispatchOption adjusts dispatcher knobs (shards, lease TTL, retry,
+	// per-shard run workers, logging).
+	DispatchOption = dispatch.Option
 
 	// RNG is the deterministic random stream used by generators.
 	RNG = eventsim.RNG
@@ -212,6 +230,58 @@ func DecodeRunsGob(r io.Reader) ([]WireRun, error)     { return wire.ReadGob(r) 
 // PairRuns projects results onto their PairRun payloads, preserving order.
 func PairRuns(results []RunResult) []*PairRun { return core.PairRuns(results) }
 
+// Serve runs a shard-dispatch coordinator for plan over HTTP on addr:
+// workers pull lease-based shards (POST /lease), run them, and ship
+// results home (POST /complete); dead workers' leases expire and their
+// shards are re-issued. Serve returns when every shard has completed —
+// with the results merged into the canonical unsharded order, identical
+// to a single-process Runner.Run — or when ctx cancels, which drains the
+// queue (workers wind down) and returns what completed.
+func Serve(ctx context.Context, addr string, plan *Plan, opts ...DispatchOption) ([]WireRun, error) {
+	return dispatch.Serve(ctx, addr, plan, opts...)
+}
+
+// Work runs one worker loop against a coordinator at base
+// ("host:port" or "http://host:port") until the sweep drains or ctx
+// cancels: pull a shard lease, execute it with a Runner under
+// StreamProfiles retention (O(analyzer-state) memory, no traces), ship
+// the wire-encoded results with retry/backoff, repeat. Returns how many
+// shards this worker completed.
+func Work(ctx context.Context, base string, opts ...DispatchOption) (int, error) {
+	return dispatch.Work(ctx, base, opts...)
+}
+
+// NewCoordinator builds the dispatch coordinator without binding it to a
+// socket — embedders can mount Handler on their own mux, or hand the
+// coordinator directly to in-process workers as their queue.
+func NewCoordinator(plan *Plan, opts ...DispatchOption) (*Coordinator, error) {
+	return dispatch.New(plan, opts...)
+}
+
+// NewDispatchWorker builds a worker pulling from q — a *DispatchClient
+// for remote coordinators, or a *Coordinator itself in process.
+func NewDispatchWorker(q dispatch.Queue, opts ...DispatchOption) *DispatchWorker {
+	return dispatch.NewWorker(q, opts...)
+}
+
+// DispatchLoopback binds a DispatchClient directly to a coordinator's
+// HTTP handler: the full wire path (gob envelopes, version checks) with
+// no sockets — for tests and single-process demos.
+func DispatchLoopback(c *Coordinator, opts ...DispatchOption) *DispatchClient {
+	return dispatch.Loopback(c, opts...)
+}
+
+// Dispatch knob constructors, re-exported for Serve/Work callers.
+func WithDispatchShards(n int) DispatchOption           { return dispatch.WithShards(n) }
+func WithLeaseTTL(d time.Duration) DispatchOption       { return dispatch.WithLeaseTTL(d) }
+func WithDispatchRetry(d time.Duration) DispatchOption  { return dispatch.WithRetry(d) }
+func WithRunWorkers(n int) DispatchOption               { return dispatch.WithRunWorkers(n) }
+func WithRunContext(ctx context.Context) DispatchOption { return dispatch.WithRunContext(ctx) }
+func WithWorkerName(name string) DispatchOption         { return dispatch.WithName(name) }
+func WithDispatchLogf(f func(format string, args ...any)) DispatchOption {
+	return dispatch.WithLogf(f)
+}
+
 // Library returns the paper's Table 1 clip library (6 sets, 26 clips).
 func Library() []ClipSet { return media.Library() }
 
@@ -222,6 +292,10 @@ func AllClips() []Clip { return media.AllClips() }
 func FindClip(set int, f Format, class Class) (Clip, bool) {
 	return media.FindClip(set, f, class)
 }
+
+// ParseClass resolves a class from its name ("low", "high", "very-high")
+// or Table 1 suffix ("l", "h", "v").
+func ParseClass(s string) (Class, bool) { return media.ParseClass(s) }
 
 // Sites returns the six simulated server sites.
 func Sites() []SiteProfile { return core.Sites() }
