@@ -7,7 +7,7 @@
 //	           [-retention retain|drop|stream] [-shard i/n] [-progress]
 //	           [-json] [-csv dir] [-points] [-list] [-list-scenarios]
 //	turbulence -serve addr [-seed N] [-pairs list] [-scenario name]
-//	           [-serve-shards N] [-lease-ttl d]
+//	           [-serve-shards N] [-lease-ttl d] [-checkpoint file]
 //	turbulence -work addr [-parallel N]
 //
 // With no -experiment it runs everything, printing each artifact's rows,
@@ -60,6 +60,16 @@
 // first (a second ctrl-C aborts the simulation mid-run). -serve and -work
 // are mutually exclusive, and neither combines with -experiment or
 // -shard.
+//
+// -checkpoint file journals every completed shard to file (fsync'd per
+// append), making the coordinator crash-safe: re-running the same -serve
+// command — same seed, pairs and scenario — with the same -checkpoint
+// path replays the journal and re-leases only the unfinished shards, and
+// the final output is byte-identical to an uninterrupted sweep. Workers
+// renew their leases with a heartbeat while a shard simulates, so a slow
+// shard is never double-run; only a worker that actually dies forfeits
+// its lease. A checkpoint written for a different sweep is refused rather
+// than mixed in.
 package main
 
 import (
@@ -95,10 +105,11 @@ func main() {
 	work := flag.String("work", "", "run a shard-dispatch worker against a coordinator at this address (host:port or http://host:port)")
 	pairsSpec := flag.String("pairs", "", "comma-separated clip pairs as set/class for the -serve sweep, e.g. \"1/low,3/l,6/very-high\" (default: all 13 Table 1 pairs)")
 	serveShards := flag.Int("serve-shards", 0, "-serve lease granularity: how many shard slices the plan is carved into (0 = one per cell, capped at 256)")
-	leaseTTL := flag.Duration("lease-ttl", 2*time.Minute, "-serve: how long a leased shard may stay unacknowledged before it is re-issued to another worker")
+	leaseTTL := flag.Duration("lease-ttl", 2*time.Minute, "-serve: how long a leased shard may stay unrenewed before it is re-issued to another worker (workers heartbeat while simulating)")
+	checkpoint := flag.String("checkpoint", "", "-serve: journal completed shards to this file; re-running with the same sweep flags and path resumes, re-leasing only unfinished shards")
 	flag.Parse()
 
-	if err := modeConflicts(*serve, *work, *experiment, *shard, *pairsSpec, *scenario); err != nil {
+	if err := modeConflicts(*serve, *work, *experiment, *shard, *pairsSpec, *scenario, *checkpoint); err != nil {
 		fmt.Fprintln(os.Stderr, "turbulence:", err)
 		os.Exit(2)
 	}
@@ -117,7 +128,7 @@ func main() {
 	}
 
 	if *serve != "" {
-		os.Exit(runServe(*serve, *seed, *pairsSpec, *scenario, *serveShards, *leaseTTL))
+		os.Exit(runServe(*serve, *seed, *pairsSpec, *scenario, *serveShards, *leaseTTL, *checkpoint))
 	}
 	if *work != "" {
 		os.Exit(runWork(*work, *parallel))
@@ -227,8 +238,9 @@ func main() {
 // the pair sweep over HTTP, merge what workers ship back, and print the
 // canonical-order wire runs as one JSON array on stdout. Ctrl-C drains —
 // no further leases are issued, workers wind down, and whatever completed
-// still prints.
-func runServe(addr string, seed int64, pairsSpec, scenario string, shards int, ttl time.Duration) int {
+// still prints. With -checkpoint, completions are journalled and a
+// re-run on the same path resumes the sweep instead of restarting it.
+func runServe(addr string, seed int64, pairsSpec, scenario string, shards int, ttl time.Duration, checkpoint string) int {
 	keys, err := parsePairs(pairsSpec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "turbulence:", err)
@@ -257,6 +269,7 @@ func runServe(addr string, seed int64, pairsSpec, scenario string, shards int, t
 	runs, err := turbulence.Serve(sigCtx, addr, plan,
 		turbulence.WithDispatchShards(shards),
 		turbulence.WithLeaseTTL(ttl),
+		turbulence.WithDispatchCheckpoint(checkpoint),
 		turbulence.WithDispatchLogf(logf),
 	)
 	// Whatever was collected prints — a failed or interrupted sweep must
@@ -331,9 +344,11 @@ func logf(format string, args ...any) {
 // modeConflicts enforces the -serve/-work mutual-exclusion rules: the two
 // modes exclude each other; both are whole-sweep services, so the
 // single-process slicing flags (-experiment, -shard) conflict with
-// either; and a worker's plan arrives in its lease grants, so the
-// plan-shaping flags (-pairs, -scenario) conflict with -work.
-func modeConflicts(serve, work, experiment, shard, pairs, scenario string) error {
+// either; a worker's plan arrives in its lease grants, so the
+// plan-shaping flags (-pairs, -scenario) conflict with -work; and the
+// checkpoint journal is coordinator state, so -checkpoint requires
+// -serve.
+func modeConflicts(serve, work, experiment, shard, pairs, scenario, checkpoint string) error {
 	switch {
 	case serve != "" && work != "":
 		return errors.New("-serve and -work are mutually exclusive")
@@ -345,6 +360,8 @@ func modeConflicts(serve, work, experiment, shard, pairs, scenario string) error
 		return errors.New("-pairs does not combine with -work (the plan arrives in lease grants; set it on -serve)")
 	case work != "" && scenario != "":
 		return errors.New("-scenario does not combine with -work (the plan arrives in lease grants; set it on -serve)")
+	case checkpoint != "" && serve == "":
+		return errors.New("-checkpoint requires -serve (the journal is coordinator state; workers are stateless)")
 	}
 	return nil
 }

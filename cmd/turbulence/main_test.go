@@ -52,32 +52,36 @@ func TestParseRetention(t *testing.T) {
 
 // TestModeConflicts pins the -serve/-work mutual-exclusion rules.
 func TestModeConflicts(t *testing.T) {
-	ok := func(serve, work, experiment, shard, pairs, scenario string) {
+	ok := func(serve, work, experiment, shard, pairs, scenario, checkpoint string) {
 		t.Helper()
-		if err := modeConflicts(serve, work, experiment, shard, pairs, scenario); err != nil {
+		if err := modeConflicts(serve, work, experiment, shard, pairs, scenario, checkpoint); err != nil {
 			t.Errorf("unexpected conflict: %v", err)
 		}
 	}
-	bad := func(serve, work, experiment, shard, pairs, scenario, want string) {
+	bad := func(serve, work, experiment, shard, pairs, scenario, checkpoint, want string) {
 		t.Helper()
-		err := modeConflicts(serve, work, experiment, shard, pairs, scenario)
+		err := modeConflicts(serve, work, experiment, shard, pairs, scenario, checkpoint)
 		if err == nil || !strings.Contains(err.Error(), want) {
-			t.Errorf("modeConflicts(%q,%q,%q,%q,%q,%q) = %v, want mention of %s",
-				serve, work, experiment, shard, pairs, scenario, err, want)
+			t.Errorf("modeConflicts(%q,%q,%q,%q,%q,%q,%q) = %v, want mention of %s",
+				serve, work, experiment, shard, pairs, scenario, checkpoint, err, want)
 		}
 	}
 	// The classic single-process modes stay unconstrained.
-	ok("", "", "table1", "1/3", "", "dsl")
-	// Either service mode alone is fine, serve with plan-shaping flags too.
-	ok(":8080", "", "", "", "1/low,3/l", "dsl")
-	ok("", "host:8080", "", "", "", "")
-	bad(":8080", "host:8080", "", "", "", "", "mutually exclusive")
-	bad(":8080", "", "table1", "", "", "", "-experiment")
-	bad("", "host:8080", "fig01", "", "", "", "-experiment")
-	bad(":8080", "", "", "0/2", "", "", "-shard")
-	bad("", "host:8080", "", "1/3", "", "", "-shard")
-	bad("", "host:8080", "", "", "1/low", "", "-pairs")
-	bad("", "host:8080", "", "", "", "dsl", "-scenario")
+	ok("", "", "table1", "1/3", "", "dsl", "")
+	// Either service mode alone is fine, serve with plan-shaping flags and
+	// a checkpoint too.
+	ok(":8080", "", "", "", "1/low,3/l", "dsl", "sweep.ckpt")
+	ok("", "host:8080", "", "", "", "", "")
+	bad(":8080", "host:8080", "", "", "", "", "", "mutually exclusive")
+	bad(":8080", "", "table1", "", "", "", "", "-experiment")
+	bad("", "host:8080", "fig01", "", "", "", "", "-experiment")
+	bad(":8080", "", "", "0/2", "", "", "", "-shard")
+	bad("", "host:8080", "", "1/3", "", "", "", "-shard")
+	bad("", "host:8080", "", "", "1/low", "", "", "-pairs")
+	bad("", "host:8080", "", "", "", "dsl", "", "-scenario")
+	// The journal is coordinator state: -checkpoint needs -serve.
+	bad("", "host:8080", "", "", "", "", "sweep.ckpt", "-checkpoint")
+	bad("", "", "", "", "", "", "sweep.ckpt", "-checkpoint")
 }
 
 // TestParsePairs pins the -pairs parser: names and suffixes resolve, the

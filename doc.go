@@ -94,6 +94,37 @@
 // graceful ctrl-C drain on each; DispatchLoopback runs the identical
 // wire path in-process for tests and demos (examples/dispatch).
 //
+// The dispatcher is fault-hardened end to end. Workers heartbeat their
+// lease (POST /renew) while a shard simulates, so LeaseTTL can sit far
+// below a slow shard's runtime without double-running it; a rejected
+// renewal means the lease is gone and the worker aborts the orphaned
+// shard mid-event instead of shipping a late duplicate. With
+// WithDispatchCheckpoint the coordinator journals every completed shard
+// (gob frames, fsync'd per append) and a crashed coordinator is rebuilt
+// with ResumeCoordinator — or by re-running -serve -checkpoint on the
+// same path — replaying the journal and re-leasing only the unfinished
+// shards; a journal for a different sweep is refused by plan digest.
+// Clients retry transient failures with jittered exponential backoff
+// under a MaxAttempts and WithDispatchRetryBudget budget, workers drain
+// rather than crash when the coordinator is unreachable, and a shard
+// that keeps striking out (lease expiries, undecodable or rejected
+// batches) is quarantined after WithMaxShardFailures strikes — parked
+// and reported in /status and the sweep error — instead of wedging the
+// queue. The crash-recovery recipe:
+//
+//	$ turbulence -serve :8080 -seed 2002 -checkpoint sweep.ckpt
+//	...coordinator dies mid-sweep (SIGKILL, OOM, power)...
+//	$ turbulence -serve :8080 -seed 2002 -checkpoint sweep.ckpt
+//	# resumes: replays the journal, re-leases only unfinished shards;
+//	# output identical to an uninterrupted run
+//
+// All of it is proven by a chaos harness (internal/dispatch/chaos): a
+// seeded fault-injecting transport — dropped and truncated requests,
+// duplicated deliveries, lost acks, truncated and reset response bodies,
+// latency — through which the end-to-end tests run entire sweeps,
+// killing the coordinator mid-sweep and resuming from its checkpoint,
+// and still pin the merged output byte-identical to the unsharded run.
+//
 // # Network scenarios
 //
 // The paper measured one testbed path under typical conditions; the netem

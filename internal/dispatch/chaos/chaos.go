@@ -1,0 +1,235 @@
+// Package chaos is the dispatcher's fault-injection harness: an
+// http.RoundTripper that wraps any transport and corrupts traffic the
+// ways real networks and dying machines do — dropped requests, injected
+// latency, 5xx answers, truncated request and response bodies, mid-body
+// connection resets, duplicated deliveries — driven by a seeded PRNG so a
+// failing run replays. The dispatcher's recovery machinery (client
+// retry/backoff with budget, idempotent completion, lease renewal and
+// expiry, checkpoint/resume) is only trustworthy because the end-to-end
+// tests run entire sweeps through this transport and still pin the merged
+// output byte-identical to an unsharded run.
+//
+// Fault decisions are drawn from one mutex-guarded rand.Rand in request
+// order, so a single-goroutine test sequence is exactly reproducible per
+// seed; with concurrent workers the interleaving (and so the fault
+// assignment) varies, but the dispatcher's guarantee under test is
+// precisely that output never depends on which requests were unlucky.
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Config sets per-fault probabilities (0..1). The zero value injects
+// nothing; Transport then is the identity.
+type Config struct {
+	// Seed keys the fault stream. Same seed + same request order = same
+	// faults.
+	Seed int64
+
+	// DropRequest vanishes the request: the server never sees it and the
+	// caller gets a transport error (a lost packet, a refused connect).
+	DropRequest float64
+	// TruncateRequest delivers only the first half of the request body,
+	// so the server decodes a torn gob mid-stream.
+	TruncateRequest float64
+	// DuplicateRequest delivers the request twice (a retried send whose
+	// first copy was not actually lost); the caller sees the second
+	// response. Exercises server-side idempotency.
+	DuplicateRequest float64
+	// ServerError lets the server handle the request, then discards its
+	// answer and reports 503 — the ack-was-lost case.
+	ServerError float64
+	// TruncateResponse cuts the response body in half with a clean EOF.
+	TruncateResponse float64
+	// ResetResponse errors the response body with ECONNRESET partway
+	// through.
+	ResetResponse float64
+
+	// Latency is the maximum injected delay per request (uniform in
+	// [0, Latency)); 0 disables. Keep it well under the client's request
+	// timeout or injected latency masquerades as unreachability.
+	Latency time.Duration
+}
+
+// Transport injects cfg's faults around next. Safe for concurrent use.
+type Transport struct {
+	next http.RoundTripper
+	cfg  Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// Counters tally injected faults, so tests can assert the harness
+	// actually bit (a chaos test whose probabilities never fired proves
+	// nothing). Read them only after traffic stops.
+	Dropped    int
+	Truncated  int
+	Duplicated int
+	Errored    int
+	Reset      int
+}
+
+// New wraps next in a fault-injecting transport. A nil next uses
+// http.DefaultTransport.
+func New(next http.RoundTripper, cfg Config) *Transport {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &Transport{next: next, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// decisions is one request's drawn fate. All draws happen in one locked
+// block in fixed order, keeping the stream stable regardless of which
+// faults are enabled.
+type decisions struct {
+	delay                                           time.Duration
+	drop, truncReq, dup, errAfter, truncResp, reset bool
+}
+
+func (t *Transport) draw() decisions {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var d decisions
+	if t.cfg.Latency > 0 {
+		d.delay = time.Duration(t.rng.Int63n(int64(t.cfg.Latency)))
+	}
+	d.drop = t.rng.Float64() < t.cfg.DropRequest
+	d.truncReq = t.rng.Float64() < t.cfg.TruncateRequest
+	d.dup = t.rng.Float64() < t.cfg.DuplicateRequest
+	d.errAfter = t.rng.Float64() < t.cfg.ServerError
+	d.truncResp = t.rng.Float64() < t.cfg.TruncateResponse
+	d.reset = t.rng.Float64() < t.cfg.ResetResponse
+	switch {
+	case d.drop:
+		t.Dropped++
+	case d.truncReq:
+		t.Truncated++
+	case d.dup:
+		t.Duplicated++
+	}
+	// Response-side tallies only count when the request side let the
+	// request through; adjusted in RoundTrip.
+	return d
+}
+
+// RoundTrip applies the drawn faults. Request-side faults are exclusive
+// (a dropped request cannot also be truncated); response-side faults
+// apply to whatever response came back.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := t.draw()
+	if d.delay > 0 {
+		time.Sleep(d.delay)
+	}
+	if d.drop {
+		drainClose(req.Body)
+		return nil, fmt.Errorf("chaos: request dropped: %w", syscall.ECONNREFUSED)
+	}
+
+	body, err := readAllClose(req.Body)
+	if err != nil {
+		return nil, err
+	}
+	send := body
+	if d.truncReq {
+		send = body[:len(body)/2]
+	}
+	resp, err := t.roundTrip(req, send)
+	if err != nil {
+		return nil, err
+	}
+	if d.dup && !d.truncReq {
+		// Deliver again; the caller sees the second answer.
+		drainClose(resp.Body)
+		resp, err = t.roundTrip(req, body)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if d.errAfter {
+		t.count(&t.Errored)
+		drainClose(resp.Body)
+		return synthetic(req, http.StatusServiceUnavailable, "chaos: injected server error"), nil
+	}
+	respBody, err := readAllClose(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case d.reset:
+		t.count(&t.Reset)
+		resp.Body = io.NopCloser(io.MultiReader(
+			bytes.NewReader(respBody[:len(respBody)/2]),
+			errReader{fmt.Errorf("chaos: %w", syscall.ECONNRESET)},
+		))
+	case d.truncResp:
+		t.count(&t.Truncated)
+		resp.Body = io.NopCloser(bytes.NewReader(respBody[:len(respBody)/2]))
+	default:
+		resp.Body = io.NopCloser(bytes.NewReader(respBody))
+	}
+	resp.ContentLength = -1
+	return resp, nil
+}
+
+// roundTrip re-sends req with the given body bytes through the wrapped
+// transport.
+func (t *Transport) roundTrip(req *http.Request, body []byte) (*http.Response, error) {
+	r := req.Clone(req.Context())
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	r.ContentLength = int64(len(body))
+	return t.next.RoundTrip(r)
+}
+
+func (t *Transport) count(field *int) {
+	t.mu.Lock()
+	*field++
+	t.mu.Unlock()
+}
+
+// Faults reports how many faults were injected in total.
+func (t *Transport) Faults() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.Dropped + t.Truncated + t.Duplicated + t.Errored + t.Reset
+}
+
+func synthetic(req *http.Request, code int, msg string) *http.Response {
+	return &http.Response{
+		Status:     http.StatusText(code),
+		StatusCode: code,
+		Proto:      req.Proto,
+		ProtoMajor: req.ProtoMajor,
+		ProtoMinor: req.ProtoMinor,
+		Header:     make(http.Header),
+		Body:       io.NopCloser(bytes.NewReader([]byte(msg))),
+		Request:    req,
+	}
+}
+
+type errReader struct{ err error }
+
+func (e errReader) Read([]byte) (int, error) { return 0, e.err }
+
+func readAllClose(rc io.ReadCloser) ([]byte, error) {
+	if rc == nil {
+		return nil, nil
+	}
+	defer rc.Close()
+	return io.ReadAll(rc)
+}
+
+func drainClose(rc io.ReadCloser) {
+	if rc != nil {
+		io.Copy(io.Discard, rc)
+		rc.Close()
+	}
+}

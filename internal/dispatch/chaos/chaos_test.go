@@ -1,0 +1,198 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"syscall"
+	"testing"
+)
+
+// stub is the innocent server behind the chaos transport: it records what
+// actually arrived and answers 200 with a fixed body.
+type stub struct {
+	mu     sync.Mutex
+	calls  int
+	bodies [][]byte
+	resp   []byte
+}
+
+func (s *stub) RoundTrip(req *http.Request) (*http.Response, error) {
+	b, err := io.ReadAll(req.Body)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.calls++
+	s.bodies = append(s.bodies, b)
+	s.mu.Unlock()
+	return &http.Response{
+		Status:     http.StatusText(http.StatusOK),
+		StatusCode: http.StatusOK,
+		Proto:      req.Proto,
+		ProtoMajor: req.ProtoMajor,
+		ProtoMinor: req.ProtoMinor,
+		Header:     make(http.Header),
+		Body:       io.NopCloser(bytes.NewReader(s.resp)),
+		Request:    req,
+	}, nil
+}
+
+func post(t *testing.T, tr *Transport, payload []byte) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, "http://victim/x", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr.RoundTrip(req)
+}
+
+var payload = []byte("0123456789abcdef")
+
+func TestDropRequestNeverReachesServer(t *testing.T) {
+	s := &stub{resp: []byte("ok")}
+	tr := New(s, Config{Seed: 1, DropRequest: 1})
+	resp, err := post(t, tr, payload)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("dropped request returned a response")
+	}
+	if !errors.Is(err, syscall.ECONNREFUSED) {
+		t.Fatalf("drop error: %v, want ECONNREFUSED", err)
+	}
+	if s.calls != 0 {
+		t.Fatalf("server saw %d calls for a dropped request", s.calls)
+	}
+	if tr.Dropped != 1 || tr.Faults() != 1 {
+		t.Fatalf("fault tally: dropped=%d total=%d", tr.Dropped, tr.Faults())
+	}
+}
+
+func TestTruncateRequestHalvesBody(t *testing.T) {
+	s := &stub{resp: []byte("ok")}
+	tr := New(s, Config{Seed: 1, TruncateRequest: 1})
+	resp, err := post(t, tr, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if s.calls != 1 || !bytes.Equal(s.bodies[0], payload[:len(payload)/2]) {
+		t.Fatalf("server saw %d calls, body %q; want half of %q", s.calls, s.bodies, payload)
+	}
+}
+
+func TestDuplicateRequestDeliversTwice(t *testing.T) {
+	s := &stub{resp: []byte("ok")}
+	tr := New(s, Config{Seed: 1, DuplicateRequest: 1})
+	resp, err := post(t, tr, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if s.calls != 2 {
+		t.Fatalf("server saw %d calls, want 2", s.calls)
+	}
+	for i, b := range s.bodies {
+		if !bytes.Equal(b, payload) {
+			t.Fatalf("delivery %d saw body %q, want the intact payload", i, b)
+		}
+	}
+	if !bytes.Equal(body, []byte("ok")) {
+		t.Fatalf("caller saw %q, want the second response", body)
+	}
+}
+
+func TestServerErrorAfterHandling(t *testing.T) {
+	s := &stub{resp: []byte("ok")}
+	tr := New(s, Config{Seed: 1, ServerError: 1})
+	resp, err := post(t, tr, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if s.calls != 1 {
+		t.Fatalf("server saw %d calls, want 1 — the 503 must hide a handled request", s.calls)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestTruncateResponseHalvesBody(t *testing.T) {
+	s := &stub{resp: []byte("a full response body")}
+	tr := New(s, Config{Seed: 1, TruncateResponse: 1})
+	resp, err := post(t, tr, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("truncated response must end cleanly, got %v", err)
+	}
+	if len(body) != len(s.resp)/2 {
+		t.Fatalf("caller read %d bytes, want %d", len(body), len(s.resp)/2)
+	}
+}
+
+func TestResetResponseErrorsMidBody(t *testing.T) {
+	s := &stub{resp: []byte("a full response body")}
+	tr := New(s, Config{Seed: 1, ResetResponse: 1})
+	resp, err := post(t, tr, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("read error %v, want ECONNRESET", err)
+	}
+	if len(body) != len(s.resp)/2 {
+		t.Fatalf("read %d bytes before the reset, want %d", len(body), len(s.resp)/2)
+	}
+}
+
+// TestSeededDeterminism pins the replay contract: the same seed over the
+// same request sequence draws the same faults, observation for
+// observation.
+func TestSeededDeterminism(t *testing.T) {
+	cfg := Config{
+		Seed:             99,
+		DropRequest:      0.3,
+		TruncateRequest:  0.2,
+		DuplicateRequest: 0.2,
+		ServerError:      0.2,
+		TruncateResponse: 0.2,
+		ResetResponse:    0.2,
+	}
+	trace := func() []string {
+		s := &stub{resp: []byte("a full response body")}
+		tr := New(s, cfg)
+		var out []string
+		for i := 0; i < 64; i++ {
+			resp, err := post(t, tr, payload)
+			if err != nil {
+				out = append(out, fmt.Sprintf("err:%v", err))
+				continue
+			}
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			out = append(out, fmt.Sprintf("status:%d body:%d readerr:%v", resp.StatusCode, len(body), rerr))
+		}
+		out = append(out, fmt.Sprintf("faults:%d calls:%d", tr.Faults(), s.calls))
+		return out
+	}
+	a, b := trace(), trace()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("observation %d diverged across replays:\n  %s\n  %s", i, a[i], b[i])
+		}
+	}
+	if a[len(a)-1] == "faults:0 calls:64" {
+		t.Fatal("no faults drawn at these probabilities — the harness is inert")
+	}
+}

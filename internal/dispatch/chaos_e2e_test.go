@@ -1,0 +1,200 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"turbulence/internal/dispatch/chaos"
+	"turbulence/internal/wire"
+)
+
+// chaosCfg is the fault mix for the recovery tests: every fault the
+// harness knows, all at once, with a seed so a failure replays.
+func chaosCfg(seed int64) chaos.Config {
+	return chaos.Config{
+		Seed:             seed,
+		DropRequest:      0.15,
+		TruncateRequest:  0.10,
+		DuplicateRequest: 0.10,
+		ServerError:      0.10,
+		TruncateResponse: 0.10,
+		ResetResponse:    0.10,
+		Latency:          3 * time.Millisecond,
+	}
+}
+
+// chaosWorkerOpts is the client/worker tuning that survives the fault
+// mix: fast retries with a deep attempt budget, and a heartbeat that
+// keeps leases alive across injected latency.
+func chaosWorkerOpts(name string, tr *chaos.Transport) []Option {
+	return []Option{
+		WithName(name),
+		WithTransport(tr),
+		WithRunWorkers(1),
+		WithRetry(5 * time.Millisecond),
+		WithMaxAttempts(50),
+		WithRetryBudget(30 * time.Second),
+		WithHeartbeat(40 * time.Millisecond),
+	}
+}
+
+// TestChaosCrashRecoveryMatchesUnsharded is this PR's headline pin: a full
+// sweep where everything goes wrong at once — every RPC travels through a
+// seeded fault injector (drops, truncations in both directions, duplicate
+// deliveries, lost acks, mid-body resets, latency), one worker takes a
+// lease and is killed without ever completing, and the coordinator itself
+// is killed mid-sweep and a fresh one resumed from its checkpoint journal
+// — and the merged output is still byte-identical to a single-process
+// Runner.Run. Recovery is not best-effort: it is exact.
+func TestChaosCrashRecoveryMatchesUnsharded(t *testing.T) {
+	plan := testPlan(t)
+	want := unshardedGob(t, plan)
+	ckpt := filepath.Join(t.TempDir(), "sweep.ckpt")
+
+	// Quarantine is disabled on both coordinators: chaos strikes shards at
+	// random (every truncated delivery is a strike), and a parked shard
+	// would — by design — be withheld from the merge, breaking the
+	// byte-identical pin this test exists to make.
+	coordOpts := func() []Option {
+		return []Option{
+			WithShards(6),
+			WithCheckpoint(ckpt),
+			WithLeaseTTL(800 * time.Millisecond),
+			WithRetry(5 * time.Millisecond),
+			WithMaxShardFailures(-1),
+		}
+	}
+
+	// --- Phase 1: the doomed coordinator. ---
+	c1, err := New(plan, coordOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A worker leases a shard and dies without completing, renewing, or
+	// saying goodbye.
+	doomed, err := c1.Lease("doomed")
+	if err != nil || doomed.LeaseID == "" {
+		t.Fatalf("doomed worker got no lease: %+v, %v", doomed, err)
+	}
+	// One live worker pulls through chaos until at least two shards land.
+	tr1 := chaos.New(LoopbackTransport(c1), chaosCfg(11))
+	ctx1, crash := context.WithCancel(context.Background())
+	var wg1 sync.WaitGroup
+	wg1.Add(1)
+	var err1 error
+	go func() {
+		defer wg1.Done()
+		w := NewWorker(Loopback(c1, chaosWorkerOpts("w1", tr1)...), chaosWorkerOpts("w1", tr1)...)
+		_, err1 = w.Run(ctx1)
+	}()
+	deadline := time.Now().Add(time.Minute)
+	for {
+		if _, _, done := c1.Counts(); done >= 2 {
+			crash() // SIGKILL, as far as c1's journal is concerned
+			break
+		}
+		if time.Now().After(deadline) {
+			crash()
+			t.Fatal("phase 1 never completed two shards under chaos")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	wg1.Wait()
+	if err1 != nil {
+		t.Fatalf("phase-1 worker: %v", err1)
+	}
+	_, _, done1 := c1.Counts()
+	// The doomed worker's lease is still outstanding (TTL 800ms, phase 1 is
+	// faster), so its shard cannot have completed: the crash is mid-sweep.
+	if done1 < 2 || done1 >= 6 {
+		t.Fatalf("crash happened with %d/6 shards done, want mid-sweep", done1)
+	}
+	// c1 is now abandoned — never Drained, never Closed — exactly as a
+	// SIGKILL would leave it. Its journal file holds the fsync'd frames.
+
+	// --- Phase 2: resume from the checkpoint. ---
+	// No WithShards here: the carve comes from the journal header.
+	c2, err := Resume(ckpt,
+		WithLeaseTTL(800*time.Millisecond),
+		WithRetry(5*time.Millisecond),
+		WithMaxShardFailures(-1),
+	)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	defer c2.Close()
+	if c2.Epoch() == c1.Epoch() {
+		t.Fatal("resumed coordinator reused the dead epoch")
+	}
+	if _, _, done2 := c2.Counts(); done2 != done1 {
+		t.Fatalf("resume replayed %d shards, journal held %d", done2, done1)
+	}
+	// The doomed worker finally delivers — to the wrong (new) coordinator.
+	// Its pre-crash lease ID is from a dead epoch and must be rejected;
+	// the shard will be re-run under a fresh lease instead.
+	if err := c2.Complete(doomed.LeaseID, batchFor(plan, doomed.Shard, doomed.Shards)); err == nil {
+		t.Fatal("resumed coordinator accepted a dead epoch's lease")
+	}
+
+	tr2 := chaos.New(LoopbackTransport(c2), chaosCfg(13))
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel2()
+	var wg2 sync.WaitGroup
+	errs := make([]error, 2)
+	for i := range errs {
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			name := fmt.Sprintf("r%d", i)
+			w := NewWorker(Loopback(c2, chaosWorkerOpts(name, tr2)...), chaosWorkerOpts(name, tr2)...)
+			_, errs[i] = w.Run(ctx2)
+		}()
+	}
+	merged, err := c2.Wait(ctx2)
+	if err != nil {
+		t.Fatalf("resumed sweep: %v", err)
+	}
+	wg2.Wait()
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("phase-2 worker %d: %v", i, e)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := wire.WriteGob(&buf, merged); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chaos + crash + resume changed the output (%d vs %d bytes)", buf.Len(), len(want))
+	}
+	// The harness must actually have bitten, or this test proved nothing.
+	if tr1.Faults()+tr2.Faults() == 0 {
+		t.Fatal("chaos transport injected no faults")
+	}
+	// The journal now holds every shard exactly once across both lifetimes.
+	h, recs, err := readJournal(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Shards != 6 {
+		t.Fatalf("journal header records %d shards, want 6", h.Shards)
+	}
+	seen := map[int]int{}
+	for _, rec := range recs {
+		seen[rec.Shard]++
+	}
+	if len(seen) != 6 {
+		t.Fatalf("journal covers %d distinct shards, want 6 (%v)", len(seen), seen)
+	}
+	for shard, n := range seen {
+		if n != 1 {
+			t.Fatalf("shard %d journalled %d times, want once", shard, n)
+		}
+	}
+}

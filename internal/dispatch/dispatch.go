@@ -28,8 +28,11 @@ package dispatch
 
 import (
 	"context"
+	cryptorand "crypto/rand"
 	"errors"
 	"fmt"
+	"net/http"
+	"os"
 	"sync"
 	"time"
 
@@ -43,9 +46,20 @@ type Queue interface {
 	// Lease asks for a shard. The grant is exactly one of: work (LeaseID
 	// set), a wait hint (Wait set), or the drain signal (Done set).
 	Lease(worker string) (wire.LeaseGrant, error)
+	// Renew extends a lease the worker is still executing. ErrLeaseLost
+	// (possibly wrapped) means the claim is gone — expired, resolved by
+	// another worker, or from a dead coordinator epoch — and the worker
+	// must abort the shard rather than ship a late duplicate.
+	Renew(leaseID, worker string) error
 	// Complete delivers a leased shard's results.
 	Complete(leaseID string, runs []wire.Run) error
 }
+
+// ErrLeaseLost is the renewal rejection: the lease no longer exists on
+// the coordinator. The holder's shard is orphaned — some other worker
+// owns it now (or already finished it) — so the only correct move is to
+// abort it and pull a fresh lease.
+var ErrLeaseLost = errors.New("dispatch: lease lost")
 
 // Config collects the dispatcher knobs; Options adjust it. One Config type
 // serves Coordinator, Worker and Client — each reads the fields that
@@ -68,6 +82,34 @@ type Config struct {
 	// MaxAttempts bounds consecutive transport failures before a Client
 	// call gives up. Default 8.
 	MaxAttempts int
+	// MaxElapsed is the client's retry budget: one call never spends
+	// longer than this across all attempts and backoff sleeps, however
+	// many attempts remain. It is what keeps a worker facing a flapping
+	// coordinator from hanging -work forever. Default 2m.
+	MaxElapsed time.Duration
+	// Heartbeat is the worker's lease-renewal interval while a shard is
+	// simulating. 0 derives it from the granted TTL (TTL/3), which is the
+	// right default: three missed beats before the claim lapses.
+	Heartbeat time.Duration
+	// Checkpoint is the coordinator's journal path. Empty disables
+	// checkpointing; otherwise every completed shard is appended (gob
+	// frames, fsync'd) and a coordinator restarted on the same path —
+	// or via Resume — replays it and re-leases only the unfinished
+	// shards.
+	Checkpoint string
+	// MaxShardFailures quarantines a shard after this many strikes
+	// (lease expiries, rejected or malformed batches): the shard is
+	// parked — reported in /status, no longer leased — instead of
+	// poisoning the queue forever. The sweep then finishes with an error
+	// naming the parked shards. Default 5; negative disables quarantine.
+	MaxShardFailures int
+	// MaxBodyBytes caps a request body on the coordinator's HTTP
+	// handlers; oversized bodies are rejected 413 before they can balloon
+	// memory. Default 64 MiB (profiles are a few KB per cell).
+	MaxBodyBytes int64
+	// Transport overrides the client's HTTP transport. Tests wrap the
+	// default in a fault-injecting chaos transport here.
+	Transport http.RoundTripper
 	// RequestTimeout bounds one HTTP round trip on the Client, so a
 	// partitioned coordinator (connected but blackholed) turns into a
 	// retriable error instead of a worker hung past every ctrl-C. Bodies
@@ -110,6 +152,24 @@ func WithRetry(d time.Duration) Option { return func(c *Config) { c.Retry = d } 
 // WithMaxAttempts bounds consecutive transport failures per client call.
 func WithMaxAttempts(n int) Option { return func(c *Config) { c.MaxAttempts = n } }
 
+// WithRetryBudget caps one client call's total elapsed retrying.
+func WithRetryBudget(d time.Duration) Option { return func(c *Config) { c.MaxElapsed = d } }
+
+// WithHeartbeat sets the worker's lease-renewal interval (0 = TTL/3).
+func WithHeartbeat(d time.Duration) Option { return func(c *Config) { c.Heartbeat = d } }
+
+// WithCheckpoint sets the coordinator's journal path (see Config.Checkpoint).
+func WithCheckpoint(path string) Option { return func(c *Config) { c.Checkpoint = path } }
+
+// WithMaxShardFailures sets the quarantine threshold (negative disables).
+func WithMaxShardFailures(n int) Option { return func(c *Config) { c.MaxShardFailures = n } }
+
+// WithMaxBodyBytes caps request bodies on the coordinator's handlers.
+func WithMaxBodyBytes(n int64) Option { return func(c *Config) { c.MaxBodyBytes = n } }
+
+// WithTransport overrides the client's HTTP transport (chaos tests).
+func WithTransport(rt http.RoundTripper) Option { return func(c *Config) { c.Transport = rt } }
+
 // WithRequestTimeout bounds one client HTTP round trip.
 func WithRequestTimeout(d time.Duration) Option { return func(c *Config) { c.RequestTimeout = d } }
 
@@ -133,13 +193,16 @@ func WithLogf(f func(format string, args ...any)) Option { return func(c *Config
 
 func newConfig(opts []Option) Config {
 	c := Config{
-		LeaseTTL:       2 * time.Minute,
-		Retry:          200 * time.Millisecond,
-		MaxAttempts:    8,
-		RequestTimeout: time.Minute,
-		RunContext:     context.Background(),
-		Name:           "worker",
-		Linger:         time.Second,
+		LeaseTTL:         2 * time.Minute,
+		Retry:            200 * time.Millisecond,
+		MaxAttempts:      8,
+		MaxElapsed:       2 * time.Minute,
+		RequestTimeout:   time.Minute,
+		RunContext:       context.Background(),
+		Name:             "worker",
+		Linger:           time.Second,
+		MaxShardFailures: 5,
+		MaxBodyBytes:     64 << 20,
 	}
 	for _, opt := range opts {
 		opt(&c)
@@ -153,11 +216,20 @@ func newConfig(opts []Option) Config {
 	if c.MaxAttempts <= 0 {
 		c.MaxAttempts = 8
 	}
+	if c.MaxElapsed <= 0 {
+		c.MaxElapsed = 2 * time.Minute
+	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = time.Minute
 	}
 	if c.DrainGrace <= 0 {
 		c.DrainGrace = 15 * time.Second
+	}
+	if c.MaxShardFailures == 0 {
+		c.MaxShardFailures = 5
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -175,29 +247,78 @@ type Coordinator struct {
 	spec   wire.PlanSpec
 	shards int
 	sizes  []int
+	epoch  string // random per-instance tag baked into lease IDs
 
-	mu        sync.Mutex
-	pending   []int          // shard ids ready to lease, FIFO
-	leases    map[string]int // outstanding leaseID → shard
-	deadlines map[string]time.Time
-	issued    map[string]int // every leaseID ever granted → shard
-	done      []bool         // per shard
-	results   map[int][]wire.Run
-	remaining int // non-empty shards not yet completed
-	seq       int
-	draining  bool
-	finished  chan struct{} // closed when remaining hits 0
+	mu          sync.Mutex
+	pending     []int          // shard ids ready to lease, FIFO
+	leases      map[string]int // outstanding leaseID → shard
+	deadlines   map[string]time.Time
+	issued      map[string]int // every leaseID ever granted → shard
+	done        []bool         // per shard
+	strikes     []int          // per shard: expiries + rejected batches
+	quarantined []bool         // per shard: parked after MaxShardFailures
+	results     map[int][]wire.Run
+	remaining   int // non-empty shards neither completed nor quarantined
+	seq         int
+	draining    bool
+	finished    chan struct{} // closed when remaining hits 0
+	journal     *journal      // nil when checkpointing is off
+}
+
+// newEpoch draws the coordinator instance's random lease-ID tag. Lease
+// IDs must never collide across coordinator lifetimes: a sequence number
+// alone resets on restart, so a resumed coordinator could re-issue an ID
+// a pre-crash worker still holds — and that worker's stale completion
+// would then be indistinguishable from the new holder's.
+func newEpoch() (string, error) {
+	var b [4]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("dispatch: cannot draw lease epoch: %w", err)
+	}
+	return fmt.Sprintf("%x", b), nil
 }
 
 // New builds a coordinator for an unsharded plan. The plan is carved into
 // cfg.Shards strided slices; empty shards (more shards than cells) are
 // never issued — the lease-aware iteration Plan.ShardSizes provides.
+//
+// With WithCheckpoint, completions are journalled to the named file; if
+// the file already holds a checkpoint for this exact plan (same
+// wire.PlanSpec digest), it is replayed and only the unfinished shards
+// are leased out — New on an existing checkpoint IS the resume path. A
+// journal for a different plan is refused rather than mixed in.
 func New(plan *core.Plan, opts ...Option) (*Coordinator, error) {
 	if plan.IsSharded() {
 		return nil, errors.New("dispatch: coordinator needs the unsharded plan (shard coordinates travel in leases)")
 	}
 	cfg := newConfig(opts)
+	spec := wire.PlanSpecOf(plan)
+
+	// An existing journal fixes the shard carve: completion frames index
+	// into it, so a resumed -serve-shards disagreement must not reshuffle
+	// which cells "shard 3" means.
+	var header *journalHeader
+	var replayed []journalComplete
+	if cfg.Checkpoint != "" {
+		if st, err := os.Stat(cfg.Checkpoint); err == nil && st.Size() > 0 {
+			h, done, err := readJournal(cfg.Checkpoint)
+			if err != nil {
+				return nil, err
+			}
+			if h.Digest != spec.Digest() {
+				return nil, fmt.Errorf("dispatch: checkpoint %s belongs to a different sweep (plan digest %.12s, this plan %.12s) — refusing to mix", cfg.Checkpoint, h.Digest, spec.Digest())
+			}
+			header, replayed = h, done
+		}
+	}
+
 	n := cfg.Shards
+	if header != nil {
+		if n > 0 && n != header.Shards {
+			cfg.Logf("dispatch: checkpoint %s was carved into %d shards; overriding the requested %d", cfg.Checkpoint, header.Shards, n)
+		}
+		n = header.Shards
+	}
 	if n <= 0 {
 		n = plan.Size()
 		if n > 256 {
@@ -207,17 +328,24 @@ func New(plan *core.Plan, opts ...Option) (*Coordinator, error) {
 	if n < 1 {
 		n = 1
 	}
+	epoch, err := newEpoch()
+	if err != nil {
+		return nil, err
+	}
 	c := &Coordinator{
-		cfg:       cfg,
-		spec:      wire.PlanSpecOf(plan),
-		shards:    n,
-		sizes:     plan.ShardSizes(n),
-		leases:    make(map[string]int),
-		deadlines: make(map[string]time.Time),
-		issued:    make(map[string]int),
-		done:      make([]bool, n),
-		results:   make(map[int][]wire.Run),
-		finished:  make(chan struct{}),
+		cfg:         cfg,
+		spec:        spec,
+		shards:      n,
+		sizes:       plan.ShardSizes(n),
+		epoch:       epoch,
+		leases:      make(map[string]int),
+		deadlines:   make(map[string]time.Time),
+		issued:      make(map[string]int),
+		done:        make([]bool, n),
+		strikes:     make([]int, n),
+		quarantined: make([]bool, n),
+		results:     make(map[int][]wire.Run),
+		finished:    make(chan struct{}),
 	}
 	for shard, size := range c.sizes {
 		if size == 0 {
@@ -227,15 +355,93 @@ func New(plan *core.Plan, opts ...Option) (*Coordinator, error) {
 		c.pending = append(c.pending, shard)
 		c.remaining++
 	}
+	for _, rec := range replayed {
+		if rec.Shard < 0 || rec.Shard >= n {
+			return nil, fmt.Errorf("dispatch: checkpoint %s records shard %d of %d — corrupt", cfg.Checkpoint, rec.Shard, n)
+		}
+		if c.done[rec.Shard] {
+			continue // duplicate frame; harmless, first wins
+		}
+		if err := c.validateBatch(rec.Shard, rec.Runs); err != nil {
+			return nil, fmt.Errorf("dispatch: checkpoint %s: %w", cfg.Checkpoint, err)
+		}
+		c.done[rec.Shard] = true
+		c.results[rec.Shard] = rec.Runs
+		c.remaining--
+	}
+	if len(replayed) > 0 {
+		// Drop replayed shards from pending.
+		open := c.pending[:0]
+		for _, s := range c.pending {
+			if !c.done[s] {
+				open = append(open, s)
+			}
+		}
+		c.pending = open
+		cfg.Logf("dispatch: resumed from %s: %d/%d shards already collected, %d to go", cfg.Checkpoint, n-c.remaining, n, c.remaining)
+	}
+	if cfg.Checkpoint != "" {
+		j, err := openJournal(cfg.Checkpoint, journalHeader{
+			Magic:   journalMagic,
+			Version: wire.Version,
+			Digest:  spec.Digest(),
+			Spec:    spec,
+			Shards:  n,
+		}, header == nil, cfg.Logf)
+		if err != nil {
+			return nil, err
+		}
+		c.journal = j
+	}
 	if c.remaining == 0 {
 		close(c.finished)
 	}
 	return c, nil
 }
 
+// Resume rebuilds a coordinator entirely from a checkpoint file: the plan
+// comes out of the journal's own PlanSpec, recorded completions are
+// replayed, and only the unfinished shards will be leased. It is New with
+// the journal as the source of truth — for the common restart where the
+// operator has the checkpoint path and nothing else.
+func Resume(path string, opts ...Option) (*Coordinator, error) {
+	h, _, err := readJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := h.Spec.Plan()
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: checkpoint %s: %w", path, err)
+	}
+	return New(plan, append(opts, WithCheckpoint(path))...)
+}
+
+// validateBatch applies the collector's protocol checks to a shard batch:
+// every cell inside the shard's stride, and no unexplained short count.
+// Called with c.mu held (or during construction, before concurrency).
+func (c *Coordinator) validateBatch(shard int, runs []wire.Run) error {
+	failed := false
+	for _, r := range runs {
+		if r.Index%c.shards != shard {
+			return fmt.Errorf("dispatch: batch delivered cell %d, which is not in shard %d/%d", r.Index, shard, c.shards)
+		}
+		if r.Err != "" {
+			failed = true
+		}
+	}
+	if len(runs) != c.sizes[shard] && !failed {
+		return fmt.Errorf("dispatch: batch delivered %d runs for shard %d/%d, want %d", len(runs), shard, c.shards, c.sizes[shard])
+	}
+	return nil
+}
+
 // expire requeues every outstanding lease whose deadline has passed.
 // Called with c.mu held. Expiry is lazy — checked on each Lease — which
-// keeps the coordinator timer-free and deterministic under test.
+// keeps the coordinator timer-free and deterministic under test. An
+// expiry is a strike against the shard: a worker renewing its lease
+// never expires, so lapsing means the holder died (or was partitioned
+// past the TTL), and a shard that keeps killing its holders is
+// eventually quarantined rather than re-leased forever.
 func (c *Coordinator) expire(now time.Time) {
 	for id, deadline := range c.deadlines {
 		if now.Before(deadline) {
@@ -244,10 +450,36 @@ func (c *Coordinator) expire(now time.Time) {
 		shard := c.leases[id]
 		delete(c.leases, id)
 		delete(c.deadlines, id)
-		if !c.done[shard] {
+		if !c.done[shard] && !c.quarantined[shard] {
 			c.pending = append(c.pending, shard)
 			c.cfg.Logf("dispatch: lease %s expired, requeueing shard %d/%d", id, shard, c.shards)
+			c.strikeLocked(shard)
 		}
+	}
+}
+
+// strikeLocked charges one failure against a shard and parks it once it
+// reaches the quarantine threshold: off the queue, reported in /status,
+// no longer counted against completion — so one poisoned shard cannot
+// wedge the whole sweep. Called with c.mu held.
+func (c *Coordinator) strikeLocked(shard int) {
+	c.strikes[shard]++
+	max := c.cfg.MaxShardFailures
+	if max < 0 || c.strikes[shard] < max || c.done[shard] || c.quarantined[shard] {
+		return
+	}
+	c.quarantined[shard] = true
+	open := c.pending[:0]
+	for _, s := range c.pending {
+		if s != shard {
+			open = append(open, s)
+		}
+	}
+	c.pending = open
+	c.remaining--
+	c.cfg.Logf("dispatch: shard %d/%d quarantined after %d failures — parked, see /status", shard, c.shards, c.strikes[shard])
+	if c.remaining == 0 {
+		close(c.finished)
 	}
 }
 
@@ -270,7 +502,7 @@ func (c *Coordinator) Lease(worker string) (wire.LeaseGrant, error) {
 	for len(c.pending) > 0 {
 		s := c.pending[0]
 		c.pending = c.pending[1:]
-		if !c.done[s] {
+		if !c.done[s] && !c.quarantined[s] {
 			shard = s
 			break
 		}
@@ -279,7 +511,7 @@ func (c *Coordinator) Lease(worker string) (wire.LeaseGrant, error) {
 		return wire.LeaseGrant{Version: wire.Version, Wait: true, RetryMillis: c.cfg.Retry.Milliseconds()}, nil
 	}
 	c.seq++
-	id := fmt.Sprintf("lease-%d-shard-%d", c.seq, shard)
+	id := fmt.Sprintf("lease-%s-%d-shard-%d", c.epoch, c.seq, shard)
 	c.leases[id] = shard
 	c.deadlines[id] = time.Now().Add(c.cfg.LeaseTTL)
 	c.issued[id] = shard
@@ -294,14 +526,64 @@ func (c *Coordinator) Lease(worker string) (wire.LeaseGrant, error) {
 	}, nil
 }
 
+// Renew implements Queue: push an outstanding lease's deadline out one
+// TTL, so a shard that legitimately outlives the lease is never
+// double-run while its worker still heartbeats. A lease that is gone —
+// expired and reissued, resolved, from a previous coordinator epoch, or
+// simply unknown — answers ErrLeaseLost: the worker's shard is orphaned
+// and must be aborted, not shipped.
+func (c *Coordinator) Renew(leaseID, worker string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expire(time.Now())
+	shard, ok := c.leases[leaseID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrLeaseLost, leaseID)
+	}
+	if c.done[shard] || c.quarantined[shard] {
+		// Someone else's batch already resolved the shard (or it was
+		// parked); renewing would only extend pointless work.
+		delete(c.leases, leaseID)
+		delete(c.deadlines, leaseID)
+		return fmt.Errorf("%w: shard %d already resolved", ErrLeaseLost, shard)
+	}
+	c.deadlines[leaseID] = time.Now().Add(c.cfg.LeaseTTL)
+	return nil
+}
+
+// Reject resolves a lease whose delivery could not even be decoded (a
+// malformed or truncated /complete body): the lease is released, the
+// shard requeued with a strike, and the worker may retry the same lease
+// with an intact body — the lease stays in issued, so a later good batch
+// still lands.
+func (c *Coordinator) Reject(leaseID string, reason error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	shard, ok := c.issued[leaseID]
+	if !ok {
+		return fmt.Errorf("dispatch: unknown lease %q", leaseID)
+	}
+	delete(c.leases, leaseID)
+	delete(c.deadlines, leaseID)
+	if c.done[shard] || c.quarantined[shard] {
+		return nil
+	}
+	c.cfg.Logf("dispatch: lease %s delivery rejected (%v), requeueing shard %d/%d", leaseID, reason, shard, c.shards)
+	c.requeueLocked(shard)
+	c.strikeLocked(shard)
+	return nil
+}
+
 // Complete implements Queue: resolve a lease with its shard's results.
 // Completions are idempotent — a worker that lost its lease to expiry may
 // still deliver, and whichever batch lands first wins; determinism makes
 // every batch for one shard identical, so "first wins" is not a race on
-// content. A batch is rejected (and the shard requeued) when it is short
-// without carrying a cell error to explain it, or when any run's Index
-// falls outside the shard — both are protocol violations, not transient
-// failures.
+// content. A batch is rejected (the shard requeued, with a strike) when
+// it is short without carrying a cell error to explain it, or when any
+// run's Index falls outside the shard — both are protocol violations, not
+// transient failures. An accepted batch is journalled (when checkpointing
+// is on) before it counts as done, so a coordinator crash after the ack
+// can never lose an acknowledged shard.
 func (c *Coordinator) Complete(leaseID string, runs []wire.Run) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -314,22 +596,22 @@ func (c *Coordinator) Complete(leaseID string, runs []wire.Run) error {
 	if c.done[shard] {
 		return nil // late duplicate of an expired-and-reissued lease
 	}
-	failed := false
-	for _, r := range runs {
-		if r.Index%c.shards != shard {
-			c.requeueLocked(shard)
-			return fmt.Errorf("dispatch: lease %s delivered cell %d, which is not in shard %d/%d", leaseID, r.Index, shard, c.shards)
-		}
-		if r.Err != "" {
-			failed = true
-		}
-	}
-	if len(runs) != c.sizes[shard] && !failed {
+	if err := c.validateBatch(shard, runs); err != nil {
 		c.requeueLocked(shard)
-		return fmt.Errorf("dispatch: lease %s delivered %d runs for shard %d/%d, want %d", leaseID, len(runs), shard, c.shards, c.sizes[shard])
+		c.strikeLocked(shard)
+		return fmt.Errorf("%s (lease %s)", err, leaseID)
 	}
+	c.journal.appendFrame(journalFrame{Complete: &journalComplete{Shard: shard, Runs: runs}})
 	c.done[shard] = true
 	c.results[shard] = runs
+	if c.quarantined[shard] {
+		// A parked shard's work arrived after all: unpark it. Its
+		// strike-out already removed it from remaining, so the count
+		// stays untouched.
+		c.quarantined[shard] = false
+		c.cfg.Logf("dispatch: quarantined shard %d/%d completed late (%s) — unparked", shard, c.shards, leaseID)
+		return nil
+	}
 	c.remaining--
 	c.cfg.Logf("dispatch: shard %d/%d complete (%s), %d shards remaining", shard, c.shards, leaseID, c.remaining)
 	if c.remaining == 0 {
@@ -392,6 +674,35 @@ func (c *Coordinator) Counts() (pending, leased, done int) {
 	return len(c.pending), len(c.leases), done
 }
 
+// Quarantined lists the parked shards — struck out MaxShardFailures
+// times and withdrawn from the queue — in ascending order.
+func (c *Coordinator) Quarantined() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []int
+	for s, q := range c.quarantined {
+		if q {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Epoch returns the coordinator instance's random lease-ID tag (visible
+// in /status, useful for telling a resumed coordinator from its
+// predecessor in logs).
+func (c *Coordinator) Epoch() string { return c.epoch }
+
+// Close releases the checkpoint journal's file handle. The coordinator
+// remains usable as a queue, but further completions are no longer
+// journalled; call it only when the sweep is over.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.journal.close()
+	c.journal = nil
+}
+
 // Wait blocks until every shard has completed or ctx is cancelled (which
 // drains the queue, so workers stop pulling), then returns the collected
 // results merged into the canonical unsharded order. The error is ctx's
@@ -407,6 +718,9 @@ func (c *Coordinator) Wait(ctx context.Context) ([]wire.Run, error) {
 	merged := c.Collected()
 	if err := ctx.Err(); err != nil {
 		return merged, err
+	}
+	if parked := c.Quarantined(); len(parked) > 0 {
+		return merged, fmt.Errorf("dispatch: %d shard(s) quarantined after repeated failures and withheld from the merge: %v (see /status)", len(parked), parked)
 	}
 	for _, r := range merged {
 		if r.Err != "" {

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"net/http"
 	"strconv"
@@ -17,25 +18,58 @@ import (
 	"turbulence/internal/wire"
 )
 
-// The HTTP wire: two POSTs and a status probe.
+// The HTTP wire: three POSTs and a status probe.
 //
 //	POST /lease     gob wire.LeaseRequest  → gob wire.LeaseGrant
+//	POST /renew     gob wire.RenewRequest  → gob wire.Ack
 //	POST /complete  EncodeRunsGob body     → gob wire.Ack
 //	                (lease id and version travel in headers, so the body
 //	                 is exactly the shard batch a shard process would
 //	                 have written to a file)
-//	GET  /status    → JSON {pending, leased, done, shards}
+//	GET  /status    → JSON StatusReport
+//
+// Rejections come in two flavours, told apart by the retriable header: a
+// body that would not decode may be transport corruption (a chaos-injected
+// truncation, a reset mid-stream), so the 4xx carries the header and the
+// client retries with a fresh copy; version mismatches, unknown leases and
+// oversized bodies are deterministic and fail fast without it. Request
+// bodies are capped (Config.MaxBodyBytes) before decoding, so an oversized
+// or malicious body is a clean 413, never a coordinator OOM.
 const (
-	leaseHeader   = "X-Turbulence-Lease"
-	versionHeader = "X-Turbulence-Wire-Version"
+	leaseHeader     = "X-Turbulence-Lease"
+	versionHeader   = "X-Turbulence-Wire-Version"
+	retriableHeader = "X-Turbulence-Retriable"
 )
+
+// ErrUnreachable marks a client call that exhausted its retry budget
+// without a conclusive answer. Workers treat it as "the coordinator is
+// gone": drain gracefully instead of crashing — the sweep's state lives
+// on the coordinator (and its checkpoint), not here.
+var ErrUnreachable = errors.New("dispatch: coordinator unreachable")
+
+// errTransient wraps response-parsing failures that a retry can plausibly
+// cure (a grant or ack body that did not decode — truncated or reset by
+// the network). Status-level retries (5xx, retriable 4xx) are handled
+// before parsing; this is the body-level counterpart.
+var errTransient = errors.New("dispatch: transient response error")
+
+// StatusReport is the GET /status body.
+type StatusReport struct {
+	Pending     int    `json:"pending"`
+	Leased      int    `json:"leased"`
+	Done        int    `json:"done"`
+	Shards      int    `json:"shards"`
+	Epoch       string `json:"epoch"`
+	Quarantined []int  `json:"quarantined,omitempty"`
+}
 
 // Handler exposes the coordinator over HTTP.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /lease", func(w http.ResponseWriter, r *http.Request) {
 		var req wire.LeaseRequest
-		if err := gob.NewDecoder(r.Body).Decode(&req); err != nil {
+		if err := gob.NewDecoder(http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes)).Decode(&req); err != nil {
+			w.Header().Set(retriableHeader, "1")
 			http.Error(w, "dispatch: bad lease request: "+err.Error(), http.StatusBadRequest)
 			return
 		}
@@ -51,6 +85,33 @@ func (c *Coordinator) Handler() http.Handler {
 		if err := gob.NewEncoder(w).Encode(grant); err != nil {
 			c.cfg.Logf("dispatch: encoding grant: %v", err)
 		}
+	})
+	mux.HandleFunc("POST /renew", func(w http.ResponseWriter, r *http.Request) {
+		ack := func(status int, err error) {
+			a := wire.Ack{Version: wire.Version, OK: err == nil}
+			if err != nil {
+				a.Err = err.Error()
+			}
+			w.WriteHeader(status)
+			if encErr := gob.NewEncoder(w).Encode(a); encErr != nil {
+				c.cfg.Logf("dispatch: encoding ack: %v", encErr)
+			}
+		}
+		var req wire.RenewRequest
+		if err := gob.NewDecoder(http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes)).Decode(&req); err != nil {
+			w.Header().Set(retriableHeader, "1")
+			ack(http.StatusBadRequest, fmt.Errorf("dispatch: bad renew request: %w", err))
+			return
+		}
+		if req.Version != wire.Version {
+			ack(http.StatusBadRequest, fmt.Errorf("dispatch: wire version %d, coordinator speaks %d", req.Version, wire.Version))
+			return
+		}
+		if err := c.Renew(req.LeaseID, req.Worker); err != nil {
+			ack(http.StatusConflict, err)
+			return
+		}
+		ack(http.StatusOK, nil)
 	})
 	mux.HandleFunc("POST /complete", func(w http.ResponseWriter, r *http.Request) {
 		ack := func(status int, err error) {
@@ -72,8 +133,23 @@ func (c *Coordinator) Handler() http.Handler {
 			ack(http.StatusBadRequest, errors.New("dispatch: complete without "+leaseHeader+" header"))
 			return
 		}
-		runs, err := wire.ReadGob(r.Body)
+		runs, err := wire.ReadGob(http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes))
 		if err != nil {
+			// The batch never decoded: requeue the shard (with a strike)
+			// so the work is not stranded behind a lease nobody can
+			// resolve. A truncated body may be the wire's fault — mark it
+			// retriable so the worker re-sends its intact copy; an
+			// oversized one is deterministic and is not.
+			var tooBig *http.MaxBytesError
+			oversized := errors.As(err, &tooBig)
+			if rejErr := c.Reject(leaseID, err); rejErr != nil {
+				err = fmt.Errorf("%v (%v)", err, rejErr)
+			}
+			if oversized {
+				ack(http.StatusRequestEntityTooLarge, fmt.Errorf("dispatch: complete body over %d bytes", c.cfg.MaxBodyBytes))
+				return
+			}
+			w.Header().Set(retriableHeader, "1")
 			ack(http.StatusBadRequest, fmt.Errorf("dispatch: bad complete body: %w", err))
 			return
 		}
@@ -86,17 +162,20 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
 		pending, leased, done := c.Counts()
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]int{
-			"pending": pending, "leased": leased, "done": done, "shards": c.shards,
+		json.NewEncoder(w).Encode(StatusReport{
+			Pending: pending, Leased: leased, Done: done,
+			Shards: c.shards, Epoch: c.epoch, Quarantined: c.Quarantined(),
 		})
 	})
 	return mux
 }
 
 // Client speaks the coordinator's HTTP wire and implements Queue. Calls
-// retry transient failures (transport errors, 5xx) with exponential
-// backoff up to MaxAttempts; 4xx/409 answers are protocol errors and fail
-// immediately.
+// retry transient failures — transport errors, 5xx, retriable-marked 4xx,
+// and response bodies that fail to decode — with jittered exponential
+// backoff, bounded by both MaxAttempts and the MaxElapsed budget, and
+// surface ErrUnreachable when the budget runs dry. Deterministic
+// rejections (version mismatch, unknown lease) fail immediately.
 type Client struct {
 	base string
 	hc   *http.Client
@@ -105,10 +184,12 @@ type Client struct {
 
 // NewClient builds a client for a coordinator at base ("http://host:port";
 // a bare "host:port" gets the scheme prepended). Relevant options:
-// WithRetry, WithMaxAttempts, WithRequestTimeout, WithLogf.
+// WithRetry, WithMaxAttempts, WithRetryBudget, WithRequestTimeout,
+// WithTransport, WithLogf.
 func NewClient(base string, opts ...Option) *Client {
 	cfg := newConfig(opts)
-	return &Client{base: NormalizeBase(base), hc: &http.Client{Timeout: cfg.RequestTimeout}, cfg: cfg}
+	hc := &http.Client{Timeout: cfg.RequestTimeout, Transport: cfg.Transport}
+	return &Client{base: NormalizeBase(base), hc: hc, cfg: cfg}
 }
 
 // NormalizeBase prepends http:// to a bare host:port, so -work addr and
@@ -125,27 +206,37 @@ func NormalizeBase(base string) string {
 	return "http://" + base
 }
 
-// post sends one request with retry/backoff, returning the final
-// response. A non-2xx status is returned (not retried) when the server
-// answered 4xx — the coordinator rejected the request and repeating it
-// cannot help.
-func (cl *Client) post(path string, header http.Header, body func() (io.Reader, error)) (*http.Response, error) {
+// call sends one request with retry/backoff and hands conclusive
+// responses to parse. Retried: transport errors, 5xx, 4xx carrying the
+// retriable header, and parse results wrapping errTransient (a body that
+// did not decode). The backoff doubles with equal jitter — half fixed,
+// half uniform random — so a fleet of workers facing one flapping
+// coordinator spreads its retries instead of synchronising into storms.
+// Both MaxAttempts and the MaxElapsed wall-clock budget bound the loop;
+// exhausting either yields an ErrUnreachable-wrapped error.
+func (cl *Client) call(path string, header http.Header, body func() (io.Reader, error), parse func(*http.Response) error) error {
 	backoff := cl.cfg.Retry
+	start := time.Now()
 	var lastErr error
-	for attempt := 0; attempt < cl.cfg.MaxAttempts; attempt++ {
-		if attempt > 0 {
-			time.Sleep(backoff)
+	attempts := 0
+	for ; attempts < cl.cfg.MaxAttempts; attempts++ {
+		if attempts > 0 {
+			d := backoff/2 + rand.N(backoff/2+1)
+			if time.Since(start)+d > cl.cfg.MaxElapsed {
+				break
+			}
+			time.Sleep(d)
 			if backoff < 8*time.Second {
 				backoff *= 2
 			}
 		}
 		b, err := body()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		req, err := http.NewRequest(http.MethodPost, cl.base+path, b)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for k, vs := range header {
 			req.Header[k] = vs
@@ -153,64 +244,92 @@ func (cl *Client) post(path string, header http.Header, body func() (io.Reader, 
 		resp, err := cl.hc.Do(req)
 		if err != nil {
 			lastErr = err
-			cl.cfg.Logf("dispatch: %s %s attempt %d: %v", cl.cfg.Name, path, attempt+1, err)
+			cl.cfg.Logf("dispatch: %s %s attempt %d: %v", cl.cfg.Name, path, attempts+1, err)
 			continue
 		}
-		if resp.StatusCode >= 500 {
+		if resp.StatusCode >= 500 || (resp.StatusCode >= 400 && resp.Header.Get(retriableHeader) != "") {
 			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 			resp.Body.Close()
 			lastErr = fmt.Errorf("dispatch: %s: %s", resp.Status, msg)
-			cl.cfg.Logf("dispatch: %s %s attempt %d: %v", cl.cfg.Name, path, attempt+1, lastErr)
+			cl.cfg.Logf("dispatch: %s %s attempt %d: %v", cl.cfg.Name, path, attempts+1, lastErr)
 			continue
 		}
-		return resp, nil
+		err = parse(resp)
+		resp.Body.Close()
+		if errors.Is(err, errTransient) {
+			lastErr = err
+			cl.cfg.Logf("dispatch: %s %s attempt %d: %v", cl.cfg.Name, path, attempts+1, err)
+			continue
+		}
+		return err
 	}
-	return nil, fmt.Errorf("dispatch: %s unreachable after %d attempts: %w", cl.base+path, cl.cfg.MaxAttempts, lastErr)
+	return fmt.Errorf("%w: %s after %d attempts in %v: %v", ErrUnreachable, cl.base+path, attempts, time.Since(start).Round(time.Millisecond), lastErr)
 }
 
 // Lease implements Queue over the wire.
 func (cl *Client) Lease(worker string) (wire.LeaseGrant, error) {
-	resp, err := cl.post("/lease", nil, func() (io.Reader, error) {
-		return encodeGob(wire.LeaseRequest{Version: wire.Version, Worker: worker})
-	})
+	var grant wire.LeaseGrant
+	err := cl.call("/lease", nil,
+		func() (io.Reader, error) {
+			return encodeGob(wire.LeaseRequest{Version: wire.Version, Worker: worker})
+		},
+		func(resp *http.Response) error {
+			if resp.StatusCode != http.StatusOK {
+				msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+				return fmt.Errorf("dispatch: lease rejected: %s: %s", resp.Status, msg)
+			}
+			if err := gob.NewDecoder(resp.Body).Decode(&grant); err != nil {
+				return fmt.Errorf("%w: bad grant: %v", errTransient, err)
+			}
+			return nil
+		})
 	if err != nil {
 		return wire.LeaseGrant{}, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return wire.LeaseGrant{}, fmt.Errorf("dispatch: lease rejected: %s: %s", resp.Status, msg)
-	}
-	var grant wire.LeaseGrant
-	if err := gob.NewDecoder(resp.Body).Decode(&grant); err != nil {
-		return wire.LeaseGrant{}, fmt.Errorf("dispatch: bad grant: %w", err)
 	}
 	return grant, nil
 }
 
+// Renew implements Queue over the wire. Any conclusive rejection is
+// reported as ErrLeaseLost: whatever the coordinator's reason, the claim
+// is not extendable and the shard must be aborted.
+func (cl *Client) Renew(leaseID, worker string) error {
+	return cl.call("/renew", nil,
+		func() (io.Reader, error) {
+			return encodeGob(wire.RenewRequest{Version: wire.Version, LeaseID: leaseID, Worker: worker})
+		},
+		func(resp *http.Response) error {
+			var a wire.Ack
+			if err := gob.NewDecoder(resp.Body).Decode(&a); err != nil {
+				return fmt.Errorf("%w: bad ack (%s): %v", errTransient, resp.Status, err)
+			}
+			if !a.OK {
+				return fmt.Errorf("%w: %s", ErrLeaseLost, a.Err)
+			}
+			return nil
+		})
+}
+
 // Complete implements Queue over the wire: the body is exactly
 // wire.WriteGob of the batch (EncodeRunsGob at the facade), identity in
-// headers.
+// headers. Retried deliveries of an already-accepted batch are absorbed
+// idempotently server-side, so a lost ack costs nothing.
 func (cl *Client) Complete(leaseID string, runs []wire.Run) error {
 	header := http.Header{
 		leaseHeader:   []string{leaseID},
 		versionHeader: []string{strconv.Itoa(wire.Version)},
 	}
-	resp, err := cl.post("/complete", header, func() (io.Reader, error) {
-		return encodeGobRuns(runs)
-	})
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	var a wire.Ack
-	if err := gob.NewDecoder(resp.Body).Decode(&a); err != nil {
-		return fmt.Errorf("dispatch: bad ack (%s): %w", resp.Status, err)
-	}
-	if !a.OK {
-		return fmt.Errorf("dispatch: complete rejected: %s", a.Err)
-	}
-	return nil
+	return cl.call("/complete", header,
+		func() (io.Reader, error) { return encodeGobRuns(runs) },
+		func(resp *http.Response) error {
+			var a wire.Ack
+			if err := gob.NewDecoder(resp.Body).Decode(&a); err != nil {
+				return fmt.Errorf("%w: bad ack (%s): %v", errTransient, resp.Status, err)
+			}
+			if !a.OK {
+				return fmt.Errorf("dispatch: complete rejected: %s", a.Err)
+			}
+			return nil
+		})
 }
 
 // encodeGob / encodeGobRuns materialise a gob body. Encoding to a buffer
@@ -254,10 +373,11 @@ func ServeListener(ctx context.Context, ln net.Listener, plan *core.Plan, opts .
 		ln.Close()
 		return nil, err
 	}
+	defer c.Close()
 	srv := &http.Server{Handler: c.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
-	c.cfg.Logf("dispatch: coordinator serving %d shards (%d cells) on %s", c.shards, plan.Size(), ln.Addr())
+	c.cfg.Logf("dispatch: coordinator serving %d shards (%d cells) on %s (epoch %s)", c.shards, plan.Size(), ln.Addr(), c.epoch)
 	runs, waitErr := c.Wait(ctx)
 	if waitErr == nil {
 		// Completed: linger so the other workers' next poll sees Done.

@@ -1,0 +1,187 @@
+package dispatch
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"turbulence/internal/wire"
+)
+
+// The checkpoint journal is the coordinator's crash insurance: an
+// append-only file of length-prefixed gob frames — one header naming the
+// sweep (PlanSpec, its digest, the shard carve), then one completion
+// frame per collected shard — fsync'd after every append. A coordinator
+// restarted with Resume (or New with the same WithCheckpoint path)
+// replays the journal, marks the recorded shards done, and re-leases only
+// the rest; because every frame holds the shard's full wire.Run batch,
+// the resumed merge is byte-identical to an uninterrupted run.
+//
+// Each frame is an independent gob stream behind a uint32 length prefix,
+// so appends from successive coordinator processes never share encoder
+// state (concatenated gob streams from independent encoders do not
+// decode). A crash mid-append leaves a torn tail — a short final frame —
+// which replay tolerates by stopping there: the unrecorded shard simply
+// re-runs. Anything else that does not decode is corruption and refuses
+// loudly rather than resuming a half-trusted sweep.
+
+// journalMagic guards against pointing -checkpoint at an arbitrary file.
+const journalMagic = "turbulence-checkpoint"
+
+// journalFrame is the one frame shape; exactly one field is set.
+type journalFrame struct {
+	Header   *journalHeader
+	Complete *journalComplete
+}
+
+// journalHeader is the first frame: which sweep this journal belongs to.
+type journalHeader struct {
+	Magic   string
+	Version int    // wire.Version at write time
+	Digest  string // Spec.Digest(), the refuse-to-mix key
+	Spec    wire.PlanSpec
+	Shards  int // the shard carve the completion frames index into
+}
+
+// journalComplete records one collected shard.
+type journalComplete struct {
+	Shard int
+	Runs  []wire.Run
+}
+
+// journal is the open append handle. Nil receiver = checkpointing off.
+type journal struct {
+	f    *os.File
+	dead bool // a failed append stops checkpointing (see append)
+	logf func(format string, args ...any)
+}
+
+// appendFrame writes one length-prefixed gob frame and fsyncs. On any
+// error the journal goes dead: the file may now hold a torn frame, and
+// appending more behind it would put valid frames after garbage — which
+// replay must treat as corruption. A dead journal only costs resume
+// coverage (later shards re-run after a crash); the live sweep proceeds.
+func (j *journal) appendFrame(fr journalFrame) {
+	if j == nil || j.dead {
+		return
+	}
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(fr); err != nil {
+		j.fail("encode", err)
+		return
+	}
+	var pre [4]byte
+	binary.BigEndian.PutUint32(pre[:], uint32(body.Len()))
+	if _, err := j.f.Write(pre[:]); err != nil {
+		j.fail("write", err)
+		return
+	}
+	if _, err := j.f.Write(body.Bytes()); err != nil {
+		j.fail("write", err)
+		return
+	}
+	if err := j.f.Sync(); err != nil {
+		j.fail("fsync", err)
+	}
+}
+
+func (j *journal) fail(op string, err error) {
+	j.dead = true
+	j.logf("dispatch: checkpoint %s failed, journalling disabled for this run: %v", op, err)
+}
+
+func (j *journal) close() {
+	if j != nil && j.f != nil {
+		j.f.Close()
+	}
+}
+
+// errTornTail distinguishes "file ends mid-frame" (a crash during append;
+// replay stops there) from corruption (refused).
+var errTornTail = errors.New("torn tail")
+
+// readFrame decodes the next frame. io.EOF = clean end; errTornTail = the
+// file ends inside a frame.
+func readFrame(r io.Reader) (journalFrame, error) {
+	var fr journalFrame
+	var pre [4]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		if err == io.EOF {
+			return fr, io.EOF
+		}
+		return fr, errTornTail
+	}
+	body := make([]byte, binary.BigEndian.Uint32(pre[:]))
+	if _, err := io.ReadFull(r, body); err != nil {
+		return fr, errTornTail
+	}
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&fr); err != nil {
+		return fr, fmt.Errorf("dispatch: corrupt checkpoint frame: %w", err)
+	}
+	return fr, nil
+}
+
+// readJournal replays an existing checkpoint file: header plus every
+// fully-written completion frame. A torn tail after at least one whole
+// frame is a crash artifact and tolerated; a file that does not even hold
+// a whole header, or holds frames that decode to garbage, is refused.
+func readJournal(path string) (*journalHeader, []journalComplete, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	r := io.Reader(f)
+	first, err := readFrame(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dispatch: checkpoint %s: unreadable header: %w", path, err)
+	}
+	h := first.Header
+	if h == nil || h.Magic != journalMagic {
+		return nil, nil, fmt.Errorf("dispatch: %s is not a turbulence checkpoint", path)
+	}
+	if h.Version != wire.Version {
+		return nil, nil, fmt.Errorf("dispatch: checkpoint %s was written by wire version %d, this build speaks %d", path, h.Version, wire.Version)
+	}
+	var done []journalComplete
+	for {
+		fr, err := readFrame(r)
+		if err == io.EOF {
+			return h, done, nil
+		}
+		if errors.Is(err, errTornTail) {
+			// Crash mid-append: everything before the tear is good.
+			return h, done, nil
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		if fr.Complete == nil {
+			return nil, nil, fmt.Errorf("dispatch: checkpoint %s: unexpected non-completion frame", path)
+		}
+		done = append(done, *fr.Complete)
+	}
+}
+
+// openJournal opens path for appending, creating it (with a header frame)
+// when absent or empty. When the file already holds a journal, the caller
+// has replayed it and vouches the header matches; the handle just appends.
+func openJournal(path string, h journalHeader, fresh bool, logf func(string, ...any)) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &journal{f: f, logf: logf}
+	if fresh {
+		j.appendFrame(journalFrame{Header: &h})
+		if j.dead {
+			f.Close()
+			return nil, fmt.Errorf("dispatch: cannot write checkpoint header to %s", path)
+		}
+	}
+	return j, nil
+}

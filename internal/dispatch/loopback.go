@@ -13,8 +13,18 @@ import (
 // workers exactly as a cluster would.
 func Loopback(c *Coordinator, opts ...Option) *Client {
 	cl := NewClient("http://loopback", opts...)
-	cl.hc = &http.Client{Transport: loopbackTransport{h: c.Handler()}}
+	if cl.hc.Transport == nil {
+		cl.hc.Transport = loopbackTransport{h: c.Handler()}
+	}
 	return cl
+}
+
+// LoopbackTransport exposes the coordinator's handler as a RoundTripper,
+// for callers that want to wrap it (the chaos harness injects faults
+// between a loopback client and its coordinator exactly this way) before
+// handing it back via WithTransport.
+func LoopbackTransport(c *Coordinator) http.RoundTripper {
+	return loopbackTransport{h: c.Handler()}
 }
 
 type loopbackTransport struct{ h http.Handler }

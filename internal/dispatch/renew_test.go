@@ -1,0 +1,276 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"turbulence/internal/wire"
+
+	"turbulence/internal/core"
+)
+
+// batchFor builds a protocol-valid batch for a shard: right indices,
+// right count (profiles don't matter to the queue).
+func batchFor(plan *core.Plan, shard, shards int) []wire.Run {
+	var runs []wire.Run
+	for _, k := range plan.Shard(shard, shards).Keys() {
+		runs = append(runs, wire.Run{Index: k.Index, Set: k.Pair.Set, Class: k.Pair.Class.String(),
+			Comparison: &core.Comparison{Set: k.Pair.Set}})
+	}
+	return runs
+}
+
+// TestRenewExtendsLease pins the renewal verb at the queue level: a lease
+// renewed within its TTL survives past the original deadline; a lease
+// left alone expires; renewing an expired, unknown or already-resolved
+// lease answers ErrLeaseLost.
+func TestRenewExtendsLease(t *testing.T) {
+	plan := testPlan(t)
+	c, err := New(plan, WithShards(2), WithLeaseTTL(60*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, _ := c.Lease("a")
+	g2, _ := c.Lease("b")
+	if g1.LeaseID == "" || g2.LeaseID == "" {
+		t.Fatalf("expected two grants: %+v / %+v", g1, g2)
+	}
+	if g1.TTLMillis <= 0 {
+		t.Fatalf("grant carries no TTL: %+v", g1)
+	}
+
+	// Heartbeat g1 across 4 TTL windows; leave g2 to lapse.
+	for i := 0; i < 8; i++ {
+		time.Sleep(30 * time.Millisecond)
+		if err := c.Renew(g1.LeaseID, "a"); err != nil {
+			t.Fatalf("renew %d: %v", i, err)
+		}
+	}
+	// g2 expired along the way (Renew's expiry scan requeued it).
+	if err := c.Renew(g2.LeaseID, "b"); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("renewing an expired lease: %v, want ErrLeaseLost", err)
+	}
+	if err := c.Renew(fmt.Sprintf("lease-%s-99-shard-0", c.epoch), "x"); !errors.Is(err, ErrLeaseLost) {
+		t.Fatal("renewing an unknown lease did not answer ErrLeaseLost")
+	}
+	// g1 is still live: completing it must land.
+	if err := c.Complete(g1.LeaseID, batchFor(plan, g1.Shard, g1.Shards)); err != nil {
+		t.Fatalf("completing a renewed lease: %v", err)
+	}
+	// Renewing a lease whose shard was resolved by someone else: lost.
+	g3, _ := c.Lease("c")
+	if g3.LeaseID == "" {
+		t.Fatalf("expected the requeued shard: %+v", g3)
+	}
+	g4, _ := c.Lease("d") // same shard could not be leased twice; d waits
+	if !g4.Wait {
+		t.Fatalf("expected wait: %+v", g4)
+	}
+	if err := c.Complete(g3.LeaseID, batchFor(plan, g3.Shard, g3.Shards)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRenewalPreventsDoubleRun is the long-shard acceptance pin: with
+// LeaseTTL far below the shard's runtime, the worker's heartbeat keeps
+// the one lease alive — the sweep completes with zero re-issued leases,
+// zero duplicate simulations, and output byte-identical to unsharded.
+// Before renewal existed, this exact shape double-ran the shard (the TTL
+// lapsed mid-simulation and a second worker pulled the re-issued lease).
+func TestRenewalPreventsDoubleRun(t *testing.T) {
+	plan := testPlan(t)
+	want := unshardedGob(t, plan)
+
+	// One shard holding all 6 cells: runtime is many multiples of the
+	// 250ms TTL. Heartbeat every 25ms = ten beats per window.
+	c, err := New(plan,
+		WithShards(1),
+		WithLeaseTTL(250*time.Millisecond),
+		WithRetry(10*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	const workers = 2
+	var wg sync.WaitGroup
+	completed := make([]int, workers)
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := NewWorker(Loopback(c),
+				WithName(fmt.Sprintf("w%d", i)),
+				WithRunWorkers(1),
+				WithRetry(10*time.Millisecond),
+				WithHeartbeat(25*time.Millisecond),
+			)
+			completed[i], errs[i] = w.Run(ctx)
+		}()
+	}
+	merged, err := c.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	total := 0
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+		total += completed[i]
+	}
+	if total != 1 {
+		t.Fatalf("workers completed %d shards, want exactly 1 (renewal must prevent the double run)", total)
+	}
+	if n := len(c.issued); n != 1 {
+		t.Fatalf("%d leases issued, want exactly 1 — the TTL lapsed despite renewal", n)
+	}
+	var buf bytes.Buffer
+	if err := wire.WriteGob(&buf, merged); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatal("renewed long-shard sweep differs from unsharded run")
+	}
+}
+
+// TestDrainStopsLeasing is the direct Drain unit (previously only
+// exercised through the end-to-end smoke): draining flips every
+// subsequent Lease to Done while completions for already-issued leases
+// still land and appear in the partial merge.
+func TestDrainStopsLeasing(t *testing.T) {
+	plan := testPlan(t)
+	c, err := New(plan, WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := c.Lease("a")
+	if g.LeaseID == "" {
+		t.Fatalf("expected a grant: %+v", g)
+	}
+	c.Drain()
+	if g2, _ := c.Lease("b"); !g2.Done {
+		t.Fatalf("lease after Drain: %+v, want Done", g2)
+	}
+	batch := batchFor(plan, g.Shard, g.Shards)
+	if err := c.Complete(g.LeaseID, batch); err != nil {
+		t.Fatalf("completion after Drain rejected: %v", err)
+	}
+	if got := c.Collected(); len(got) != len(batch) {
+		t.Fatalf("partial merge holds %d runs, want %d", len(got), len(batch))
+	}
+	if c.Done() {
+		t.Fatal("coordinator claims done with a shard never issued")
+	}
+}
+
+// TestWorkerHardAbort is the second-ctrl-C unit: cancelling RunContext
+// while a shard simulates aborts mid-run — no completion ships, Run
+// returns the context's error, and the abandoned lease expires back into
+// the queue for the next worker.
+func TestWorkerHardAbort(t *testing.T) {
+	plan := testPlan(t)
+	c, err := New(plan, WithShards(1), WithLeaseTTL(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hardCtx, abort := context.WithCancel(context.Background())
+	defer abort()
+	go func() {
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if _, leased, _ := c.Counts(); leased > 0 {
+				abort() // the second ctrl-C, observed mid-simulation
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	w := NewWorker(c, WithName("abortee"), WithRunWorkers(1), WithRunContext(hardCtx))
+	n, err := w.Run(context.Background())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("hard abort returned %v, want context.Canceled", err)
+	}
+	if n != 0 {
+		t.Fatalf("aborted worker claims %d completed shards", n)
+	}
+	if c.Done() {
+		t.Fatal("coordinator done despite the abort")
+	}
+	// The abandoned lease expires; the shard comes back.
+	time.Sleep(60 * time.Millisecond)
+	if g, _ := c.Lease("next"); g.LeaseID == "" {
+		t.Fatalf("abandoned shard not re-leasable: %+v", g)
+	}
+}
+
+// TestQuarantineParksPoisonedShard pins graceful degradation under a
+// persistently failing shard: after MaxShardFailures strikes the shard is
+// parked (reported by Quarantined, withheld from leasing), the rest of
+// the sweep completes, Wait names the parked shard in its error — and a
+// late good batch for it still unparks and completes the merge.
+func TestQuarantineParksPoisonedShard(t *testing.T) {
+	plan := testPlan(t)
+	c, err := New(plan, WithShards(2), WithMaxShardFailures(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two protocol-violating deliveries: strikes 1 and 2 → parked.
+	g1, _ := c.Lease("a")
+	if err := c.Complete(g1.LeaseID, nil); err == nil {
+		t.Fatal("short batch accepted")
+	}
+	g2, _ := c.Lease("a")
+	if g2.Shard != g1.Shard {
+		t.Fatalf("rejected shard not requeued first: %d vs %d", g2.Shard, g1.Shard)
+	}
+	if err := c.Complete(g2.LeaseID, nil); err == nil {
+		t.Fatal("short batch accepted")
+	}
+	parked := c.Quarantined()
+	if len(parked) != 1 || parked[0] != g1.Shard {
+		t.Fatalf("Quarantined() = %v, want [%d]", parked, g1.Shard)
+	}
+	// The parked shard is never leased again; the other shard is.
+	g3, _ := c.Lease("b")
+	if g3.LeaseID == "" || g3.Shard == g1.Shard {
+		t.Fatalf("quarantined shard re-leased: %+v", g3)
+	}
+	if err := c.Complete(g3.LeaseID, batchFor(plan, g3.Shard, g3.Shards)); err != nil {
+		t.Fatal(err)
+	}
+	// The sweep finishes — degraded, not wedged — and says why.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	merged, err := c.Wait(ctx)
+	if err == nil || !contains(err.Error(), "quarantined") {
+		t.Fatalf("Wait error does not name the quarantine: %v", err)
+	}
+	if len(merged) != c.sizes[g3.Shard] {
+		t.Fatalf("merged %d runs, want the healthy shard's %d", len(merged), c.sizes[g3.Shard])
+	}
+	// A late good batch unparks the shard and completes the merge.
+	if err := c.Complete(g2.LeaseID, batchFor(plan, g1.Shard, g1.Shards)); err != nil {
+		t.Fatalf("late good batch for a parked shard rejected: %v", err)
+	}
+	if len(c.Quarantined()) != 0 {
+		t.Fatal("shard still parked after a good batch")
+	}
+	if merged, err = c.Wait(ctx); err != nil {
+		t.Fatalf("Wait after unpark: %v", err)
+	}
+	if len(merged) != plan.Size() {
+		t.Fatalf("merged %d runs, want %d", len(merged), plan.Size())
+	}
+}
+
+func contains(s, sub string) bool { return bytes.Contains([]byte(s), []byte(sub)) }

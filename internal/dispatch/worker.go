@@ -2,7 +2,10 @@ package dispatch
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math/rand/v2"
+	"sync/atomic"
 	"time"
 
 	"turbulence/internal/core"
@@ -20,7 +23,7 @@ type Worker struct {
 }
 
 // NewWorker builds a worker pulling from q. Relevant options: WithName,
-// WithRunWorkers, WithRetry, WithRunContext, WithLogf.
+// WithRunWorkers, WithRetry, WithHeartbeat, WithRunContext, WithLogf.
 func NewWorker(q Queue, opts ...Option) *Worker {
 	return &Worker{q: q, cfg: newConfig(opts)}
 }
@@ -32,6 +35,20 @@ func NewWorker(q Queue, opts ...Option) *Worker {
 // cancellation is the RunContext option: when it fires, the in-flight
 // simulation aborts between events, the lease is abandoned to expiry, and
 // Run returns the context's error.
+//
+// While a shard simulates, a heartbeat goroutine renews its lease every
+// Heartbeat (default TTL/3), so the coordinator's LeaseTTL can stay tight
+// — fast detection of dead workers — without double-running shards that
+// legitimately outlive it. A rejected renewal means the lease is gone
+// (the coordinator restarted, or presumed us dead and re-issued the
+// shard): the worker aborts the orphaned simulation mid-event and pulls a
+// fresh lease instead of shipping a late duplicate.
+//
+// Failure is an input, not an exit: an unreachable coordinator (retry
+// budget exhausted) drains the worker — log, stop pulling, return nil —
+// and a rejected completion is logged and skipped, because the
+// coordinator requeues or quarantines the shard on its side. Only a
+// version-mismatched coordinator and the hard-cancel context are fatal.
 //
 // Shards execute with core.Runner under StreamProfiles retention, so a
 // worker's memory is O(RunWorkers × analyzer state) — no trace is ever
@@ -49,6 +66,10 @@ func (w *Worker) Run(ctx context.Context) (completed int, err error) {
 		}
 		grant, err := w.q.Lease(w.cfg.Name)
 		if err != nil {
+			if errors.Is(err, ErrUnreachable) {
+				w.cfg.Logf("dispatch: %s: coordinator unreachable, draining after %d shards: %v", w.cfg.Name, completed, err)
+				return completed, nil
+			}
 			return completed, fmt.Errorf("dispatch: %s: lease: %w", w.cfg.Name, err)
 		}
 		switch {
@@ -63,9 +84,16 @@ func (w *Worker) Run(ctx context.Context) (completed int, err error) {
 			}
 			continue
 		}
-		runs, err := w.runShard(grant)
+		runs, orphaned, err := w.runShard(grant)
 		if err != nil {
 			return completed, err
+		}
+		if orphaned {
+			// The lease was lost mid-run (coordinator restart, or it
+			// presumed us dead): the shard belongs to someone else now.
+			// Nothing to ship; pull fresh work.
+			w.cfg.Logf("dispatch: %s: lease %s lost mid-shard, aborted without shipping", w.cfg.Name, grant.LeaseID)
+			continue
 		}
 		if runs == nil {
 			// Hard-cancelled mid-simulation: abandon the lease (it will
@@ -73,25 +101,44 @@ func (w *Worker) Run(ctx context.Context) (completed int, err error) {
 			return completed, w.cfg.RunContext.Err()
 		}
 		if err := w.q.Complete(grant.LeaseID, runs); err != nil {
-			return completed, fmt.Errorf("dispatch: %s: complete %s: %w", w.cfg.Name, grant.LeaseID, err)
+			if errors.Is(err, ErrUnreachable) {
+				w.cfg.Logf("dispatch: %s: coordinator unreachable shipping %s, draining after %d shards: %v", w.cfg.Name, grant.LeaseID, completed, err)
+				return completed, nil
+			}
+			// A conclusive rejection (unknown lease after a coordinator
+			// restart, a quarantined shard): the work is lost but the
+			// queue is intact — the coordinator re-issues or parks the
+			// shard. Log and keep pulling rather than dying mid-fleet.
+			w.cfg.Logf("dispatch: %s: complete %s rejected, continuing: %v", w.cfg.Name, grant.LeaseID, err)
+			continue
 		}
 		completed++
 	}
 }
 
-// runShard reconstructs the granted plan, executes the leased slice and
-// flattens the results to their wire shape. A nil, nil return means the
-// run was hard-cancelled mid-simulation.
-func (w *Worker) runShard(grant wire.LeaseGrant) ([]wire.Run, error) {
+// runShard reconstructs the granted plan, executes the leased slice under
+// a renewal heartbeat, and flattens the results to their wire shape.
+// orphaned means the lease was lost mid-run and the shard aborted; a nil,
+// false, nil return means the run was hard-cancelled mid-simulation.
+func (w *Worker) runShard(grant wire.LeaseGrant) (runs []wire.Run, orphaned bool, err error) {
 	plan, err := grant.Plan.Plan()
 	if err != nil {
-		return nil, fmt.Errorf("dispatch: %s: lease %s: %w", w.cfg.Name, grant.LeaseID, err)
+		return nil, false, fmt.Errorf("dispatch: %s: lease %s: %w", w.cfg.Name, grant.LeaseID, err)
 	}
 	shard := plan.Shard(grant.Shard, grant.Shards)
 	w.cfg.Logf("dispatch: %s running shard %d/%d (%d cells) as %s", w.cfg.Name, grant.Shard, grant.Shards, shard.Size(), grant.LeaseID)
+
+	// The run context is a child of the hard-cancel context: either the
+	// operator's abort or a lost lease stops the simulation between
+	// events; the two are told apart afterwards by RunContext.Err.
+	runCtx, cancelRun := context.WithCancel(w.cfg.RunContext)
+	defer cancelRun()
+	var lost atomic.Bool
+	stopHeartbeat := w.heartbeat(grant, &lost, cancelRun)
+
 	runner := core.NewRunner(
 		core.WithWorkers(w.cfg.RunWorkers),
-		core.WithContext(w.cfg.RunContext),
+		core.WithContext(runCtx),
 		core.WithTraceRetention(core.StreamProfiles),
 	)
 	// A cell error is a result, not a transport failure: the batch ships
@@ -101,18 +148,78 @@ func (w *Worker) runShard(grant wire.LeaseGrant) ([]wire.Run, error) {
 	// poisoned shard forever. Hence Run's error is ignored here — it is
 	// already in the results.
 	results, _ := runner.Run(shard)
+	stopHeartbeat()
 	if w.cfg.RunContext.Err() != nil {
-		return nil, nil
+		return nil, false, nil
 	}
-	return wire.FromResults(results), nil
+	if lost.Load() {
+		return nil, true, nil
+	}
+	return wire.FromResults(results), false, nil
+}
+
+// heartbeat keeps grant's lease alive while the shard simulates: renew at
+// every interval tick, and on a conclusive ErrLeaseLost set lost and
+// cancel the run — the shard is orphaned and finishing it would only ship
+// a late duplicate. Transport trouble is not a verdict: the renew call
+// already retried under its budget, and the lease may still be honoured,
+// so the loop keeps beating until the lease is conclusively gone or the
+// shard ends. Returns a stop function (idempotent enough for one caller)
+// that waits for the goroutine to exit.
+func (w *Worker) heartbeat(grant wire.LeaseGrant, lost *atomic.Bool, cancelRun context.CancelFunc) (stop func()) {
+	ttl := time.Duration(grant.TTLMillis) * time.Millisecond
+	if ttl <= 0 {
+		return func() {}
+	}
+	interval := w.cfg.Heartbeat
+	if interval <= 0 {
+		interval = ttl / 3
+	}
+	if interval < 2*time.Millisecond {
+		interval = 2 * time.Millisecond
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+			}
+			err := w.q.Renew(grant.LeaseID, w.cfg.Name)
+			switch {
+			case err == nil:
+			case errors.Is(err, ErrLeaseLost):
+				w.cfg.Logf("dispatch: %s: renew %s: %v — aborting shard", w.cfg.Name, grant.LeaseID, err)
+				lost.Store(true)
+				cancelRun()
+				return
+			default:
+				// Unreachable or garbled: keep the simulation going and
+				// keep trying — if the lease really lapsed, the next
+				// conclusive answer (or the completion itself) settles it.
+				w.cfg.Logf("dispatch: %s: renew %s: %v", w.cfg.Name, grant.LeaseID, err)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
 }
 
 // sleep waits for the coordinator's retry hint (or fallback when the hint
-// is absent), returning false if ctx cancelled first.
+// is absent) plus up to 25% jitter — idle workers polling one coordinator
+// should not do so in lockstep — returning false if ctx cancelled first.
 func sleep(ctx context.Context, hint, fallback time.Duration) bool {
 	if hint <= 0 {
 		hint = fallback
 	}
+	hint += rand.N(hint/4 + 1)
 	t := time.NewTimer(hint)
 	defer t.Stop()
 	select {

@@ -1,6 +1,8 @@
 package wire
 
 import (
+	"crypto/sha256"
+	"encoding/json"
 	"fmt"
 
 	"turbulence/internal/core"
@@ -13,7 +15,10 @@ import (
 // ships gob-encoded profile structs, so a silent field mismatch would
 // corrupt merged results rather than fail loudly. Bump it whenever
 // PlanSpec, LeaseGrant, Run or the profile shapes change incompatibly.
-const Version = 1
+//
+// Version 2 added the lease-renewal verb (POST /renew, RenewRequest) and
+// the coordinator checkpoint journal keyed by PlanSpec.Digest.
+const Version = 2
 
 // PairSpec is the wire shape of one clip-pair key. Class travels as the
 // Table 1 name ("low", "high", "very-high") so JSON stays readable.
@@ -168,10 +173,38 @@ func (s PlanSpec) Plan() (*core.Plan, error) {
 	return p, nil
 }
 
+// Digest is the plan spec's content address: the hex sha256 of its JSON
+// encoding. The checkpoint journal stamps it in its header so a resumed
+// coordinator refuses to replay completions that belong to a different
+// sweep (different seed, pairs, scenarios or variants) instead of
+// silently mixing them. JSON rather than gob keeps the digest independent
+// of gob's stream-level type bookkeeping.
+func (s PlanSpec) Digest() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// PlanSpec is plain data (ints, strings, slices); Marshal cannot
+		// fail on it. Guard anyway so a future field keeps the invariant.
+		panic("wire: PlanSpec not marshalable: " + err.Error())
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(b))
+}
+
 // LeaseRequest is a worker's pull: "give me a shard". Worker is a
 // free-form identity used in coordinator status and logs.
 type LeaseRequest struct {
 	Version int
+	Worker  string
+}
+
+// RenewRequest is a worker's heartbeat for a lease it is still executing:
+// "extend my claim, the shard is slow but alive". The coordinator answers
+// with an Ack — OK pushes the deadline out one TTL; a rejection means the
+// lease is gone (expired and reissued, completed by someone else, or from
+// a dead coordinator epoch) and the worker must abort the now-orphaned
+// shard instead of shipping a late duplicate.
+type RenewRequest struct {
+	Version int
+	LeaseID string
 	Worker  string
 }
 

@@ -88,3 +88,68 @@ func TestPlanSpecRejects(t *testing.T) {
 	}()
 	PlanSpecOf(core.NewPlan(1).Shard(0, 2))
 }
+
+// TestPlanSpecDigest pins the checkpoint journal's refuse-to-mix key: the
+// digest is stable across encode/decode round trips of the same plan, and
+// any axis change — seed, pairs, scenarios, variants, seed policy — moves
+// it. A digest that collapsed two different sweeps would let a resumed
+// coordinator silently merge their results.
+func TestPlanSpecDigest(t *testing.T) {
+	dsl, err := netem.Find("dsl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := func() *core.Plan {
+		return core.NewPlan(7).
+			ForPairs(core.PairKey{Set: 1, Class: media.Low}).
+			UnderScenarios(nil, dsl)
+	}
+	want := PlanSpecOf(base()).Digest()
+	if want == "" || len(want) != 64 {
+		t.Fatalf("digest %q is not hex sha256", want)
+	}
+	if got := PlanSpecOf(base()).Digest(); got != want {
+		t.Fatalf("digest not stable: %s vs %s", got, want)
+	}
+	// Across the gob boundary, as Resume reads it back from the journal.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(PlanSpecOf(base())); err != nil {
+		t.Fatal(err)
+	}
+	var spec PlanSpec
+	if err := gob.NewDecoder(&buf).Decode(&spec); err != nil {
+		t.Fatal(err)
+	}
+	if got := spec.Digest(); got != want {
+		t.Fatalf("digest changed across gob round trip: %s vs %s", got, want)
+	}
+	different := map[string]*core.Plan{
+		"seed":      core.NewPlan(8).ForPairs(core.PairKey{Set: 1, Class: media.Low}).UnderScenarios(nil, dsl),
+		"pairs":     core.NewPlan(7).ForPairs(core.PairKey{Set: 2, Class: media.Low}).UnderScenarios(nil, dsl),
+		"scenarios": core.NewPlan(7).ForPairs(core.PairKey{Set: 1, Class: media.Low}).UnderScenarios(nil),
+		"variants":  base().WithVariants(core.Variant{Name: "nofrag", Opts: core.Options{WMSUnitCap: 1400}}),
+		"policy":    base().WithSeedPolicy(core.SeedPerCell),
+	}
+	for name, p := range different {
+		if got := PlanSpecOf(p).Digest(); got == want {
+			t.Fatalf("%s change did not move the digest", name)
+		}
+	}
+}
+
+// TestRenewRequestRoundTrip pins the renewal envelope across the gob
+// boundary, version and all.
+func TestRenewRequestRoundTrip(t *testing.T) {
+	in := RenewRequest{Version: Version, LeaseID: "lease-cafe-3-shard-5", Worker: "w1"}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+		t.Fatal(err)
+	}
+	var out RenewRequest
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip changed the request: %+v vs %+v", out, in)
+	}
+}

@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# chaos_smoke.sh — the crash-recovery story's rot protection, the violent
+# sibling of dispatch_smoke.sh: launch a real coordinator (with a
+# -checkpoint journal) and two real workers over localhost sockets, SIGKILL
+# the coordinator mid-sweep (taking one worker down with it), restart the
+# coordinator on the same journal and port — the surviving worker's retries
+# reconnect, a replacement worker joins — and assert the resumed run's
+# merged JSON digest equals the committed unsharded golden
+# (testdata/dispatch_smoke.sha256). Crash + resume must be invisible in the
+# output.
+#
+# The plan must stay in lockstep with TestDispatchSmokeGoldenDigest:
+#   -seed 7 -pairs 1/low,3/low,2/high,5/high -scenario dsl
+#
+# The kill is timed by polling GET /status until the journal provably
+# holds some-but-not-all shards. If the sweep outruns the window (fast
+# machine), the uninterrupted output still gates the digest — the job
+# degrades to dispatch_smoke, never to a flake.
+#
+# Usage: scripts/chaos_smoke.sh [port]   (default 18743)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+port="${1:-18743}"
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+
+digest() {
+    if command -v sha256sum >/dev/null 2>&1; then
+        sha256sum "$1" | cut -d' ' -f1
+    else
+        shasum -a 256 "$1" | cut -d' ' -f1
+    fi
+}
+
+dump_logs() {
+    for f in "$out"/*.log; do
+        sed "s|^|  $(basename "$f" .log): |" "$f" >&2
+    done
+}
+
+go build -o "$out/turbulence" ./cmd/turbulence
+
+serve=("$out/turbulence" -serve "127.0.0.1:$port" -seed 7
+    -pairs 1/low,3/low,2/high,5/high -scenario dsl -serve-shards 4
+    -lease-ttl 5s -checkpoint "$out/sweep.ckpt")
+
+"${serve[@]}" >"$out/merged_a.json" 2>"$out/serve_a.log" &
+serve_pid=$!
+sleep 1
+
+"$out/turbulence" -work "127.0.0.1:$port" -parallel 1 2>"$out/w1.log" &
+w1_pid=$!
+"$out/turbulence" -work "127.0.0.1:$port" -parallel 1 2>"$out/w2.log" &
+w2_pid=$!
+
+# Poll /status until the sweep is provably mid-flight: at least one shard
+# journalled, at least one still outstanding — then SIGKILL the
+# coordinator and the first worker. No SIGTERM, no drain: the journal's
+# fsync'd frames are the only thing the successor may rely on.
+killed=0
+for _ in $(seq 1 600); do
+    kill -0 "$serve_pid" 2>/dev/null || break
+    status="$(curl -fsS --max-time 1 "http://127.0.0.1:$port/status" 2>/dev/null || true)"
+    done_n="$(printf '%s' "$status" | grep -o '"done":[0-9]*' | cut -d: -f2 || true)"
+    if [ -n "$done_n" ] && [ "$done_n" -ge 1 ] && [ "$done_n" -lt 4 ]; then
+        kill -9 "$serve_pid" "$w1_pid" 2>/dev/null || true
+        killed=1
+        break
+    fi
+    sleep 0.05
+done
+
+if [ "$killed" -eq 1 ]; then
+    wait "$serve_pid" 2>/dev/null || true
+    wait "$w1_pid" 2>/dev/null || true
+
+    # Resume: same sweep flags, same checkpoint, same port. The surviving
+    # worker's retry/backoff finds the successor; a fresh worker replaces
+    # the dead one. The successor must replay the journal and re-lease
+    # only the unfinished shards.
+    "${serve[@]}" >"$out/merged.json" 2>"$out/serve_b.log" &
+    serve2_pid=$!
+    sleep 1
+    "$out/turbulence" -work "127.0.0.1:$port" -parallel 1 2>"$out/w3.log" &
+    w3_pid=$!
+
+    serve_rc=0
+    wait "$serve2_pid" || serve_rc=$?
+    wait "$w2_pid" || true
+    wait "$w3_pid" || true
+
+    if ! grep -q 'resumed from' "$out/serve_b.log"; then
+        echo "chaos smoke: resumed coordinator did not replay the checkpoint" >&2
+        dump_logs
+        exit 1
+    fi
+else
+    # The sweep completed (or the window expired) before a safe kill
+    # point; the uninterrupted output still gates the digest.
+    echo "chaos smoke: no mid-sweep kill window; gating the uninterrupted output" >&2
+    serve_rc=0
+    wait "$serve_pid" || serve_rc=$?
+    wait "$w1_pid" || true
+    wait "$w2_pid" || true
+    cp "$out/merged_a.json" "$out/merged.json"
+fi
+
+if [ "$serve_rc" -ne 0 ]; then
+    echo "chaos smoke: coordinator failed (rc=$serve_rc)" >&2
+    dump_logs
+    exit 1
+fi
+
+want="$(cut -d' ' -f1 testdata/dispatch_smoke.sha256)"
+got="$(digest "$out/merged.json")"
+if [ "$got" != "$want" ]; then
+    echo "chaos smoke: merged digest $got != committed golden $want" >&2
+    echo "(crash + resume must be invisible in the output; if the engine legitimately changed, re-bless via TestDispatchSmokeGoldenDigest)" >&2
+    dump_logs
+    exit 1
+fi
+
+if [ "$killed" -eq 1 ]; then
+    echo "chaos smoke ok: coordinator SIGKILLed at done=$done_n/4, resumed from checkpoint, digest $got matches golden"
+else
+    echo "chaos smoke ok (no kill window): digest $got matches golden"
+fi

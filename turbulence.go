@@ -258,6 +258,16 @@ func NewCoordinator(plan *Plan, opts ...DispatchOption) (*Coordinator, error) {
 	return dispatch.New(plan, opts...)
 }
 
+// ResumeCoordinator rebuilds a coordinator from a checkpoint journal
+// written by a previous run under WithDispatchCheckpoint: the plan comes
+// out of the journal itself, recorded shard completions are replayed, and
+// only the unfinished shards are leased out — so a crashed sweep picks up
+// where its last fsync left off instead of starting over. A journal for a
+// different sweep (plan digest mismatch) is refused.
+func ResumeCoordinator(path string, opts ...DispatchOption) (*Coordinator, error) {
+	return dispatch.Resume(path, opts...)
+}
+
 // NewDispatchWorker builds a worker pulling from q — a *DispatchClient
 // for remote coordinators, or a *Coordinator itself in process.
 func NewDispatchWorker(q dispatch.Queue, opts ...DispatchOption) *DispatchWorker {
@@ -281,6 +291,28 @@ func WithWorkerName(name string) DispatchOption         { return dispatch.WithNa
 func WithDispatchLogf(f func(format string, args ...any)) DispatchOption {
 	return dispatch.WithLogf(f)
 }
+
+// WithDispatchCheckpoint journals every completed shard to path (gob
+// frames, fsync'd) so a crashed coordinator can be rebuilt with
+// ResumeCoordinator — or by re-running Serve with the same path — and
+// re-lease only the unfinished shards.
+func WithDispatchCheckpoint(path string) DispatchOption { return dispatch.WithCheckpoint(path) }
+
+// WithDispatchHeartbeat sets a worker's lease-renewal interval while a
+// shard simulates (0 derives TTL/3 from the grant). Renewal is what lets
+// LeaseTTL sit far below a slow shard's runtime without double-running it.
+func WithDispatchHeartbeat(d time.Duration) DispatchOption { return dispatch.WithHeartbeat(d) }
+
+// WithDispatchRetryBudget caps one client call's total elapsed retrying:
+// past it the coordinator counts as unreachable and the worker drains
+// instead of hanging.
+func WithDispatchRetryBudget(d time.Duration) DispatchOption { return dispatch.WithRetryBudget(d) }
+
+// WithMaxShardFailures sets the coordinator's quarantine threshold: a
+// shard struck this many times (lease expiries, rejected or undecodable
+// batches) is parked and reported instead of poisoning the queue forever.
+// Negative disables quarantine.
+func WithMaxShardFailures(n int) DispatchOption { return dispatch.WithMaxShardFailures(n) }
 
 // Library returns the paper's Table 1 clip library (6 sets, 26 clips).
 func Library() []ClipSet { return media.Library() }
