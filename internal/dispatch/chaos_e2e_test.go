@@ -178,7 +178,7 @@ func TestChaosCrashRecoveryMatchesUnsharded(t *testing.T) {
 		t.Fatal("chaos transport injected no faults")
 	}
 	// The journal now holds every shard exactly once across both lifetimes.
-	h, recs, err := readJournal(ckpt)
+	h, recs, _, err := readJournal(ckpt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -253,10 +253,13 @@ type Coordinator struct {
 	pending     []int          // shard ids ready to lease, FIFO
 	leases      map[string]int // outstanding leaseID → shard
 	deadlines   map[string]time.Time
-	issued      map[string]int // every leaseID ever granted → shard
-	done        []bool         // per shard
-	strikes     []int          // per shard: expiries + rejected batches
-	quarantined []bool         // per shard: parked after MaxShardFailures
+	issued      map[string]int  // every leaseID ever granted → shard
+	rejected    map[string]bool // leases already struck for a bad delivery
+	done        []bool          // per shard
+	strikes     []int           // per shard: expiries + rejected batches
+	quarantined []bool          // per shard: parked after MaxShardFailures
+	committing  []bool          // per shard: journal append in flight
+	commitDone  *sync.Cond      // on mu; broadcast when a commit settles
 	results     map[int][]wire.Run
 	remaining   int // non-empty shards neither completed nor quarantined
 	seq         int
@@ -299,12 +302,14 @@ func New(plan *core.Plan, opts ...Option) (*Coordinator, error) {
 	// which cells "shard 3" means.
 	var header *journalHeader
 	var replayed []journalComplete
+	var journalEnd int64 // offset past the last whole frame (tear cut point)
 	if cfg.Checkpoint != "" {
 		if st, err := os.Stat(cfg.Checkpoint); err == nil && st.Size() > 0 {
-			h, done, err := readJournal(cfg.Checkpoint)
+			h, done, end, err := readJournal(cfg.Checkpoint)
 			if err != nil {
 				return nil, err
 			}
+			journalEnd = end
 			if h.Digest != spec.Digest() {
 				return nil, fmt.Errorf("dispatch: checkpoint %s belongs to a different sweep (plan digest %.12s, this plan %.12s) — refusing to mix", cfg.Checkpoint, h.Digest, spec.Digest())
 			}
@@ -341,12 +346,15 @@ func New(plan *core.Plan, opts ...Option) (*Coordinator, error) {
 		leases:      make(map[string]int),
 		deadlines:   make(map[string]time.Time),
 		issued:      make(map[string]int),
+		rejected:    make(map[string]bool),
 		done:        make([]bool, n),
 		strikes:     make([]int, n),
 		quarantined: make([]bool, n),
+		committing:  make([]bool, n),
 		results:     make(map[int][]wire.Run),
 		finished:    make(chan struct{}),
 	}
+	c.commitDone = sync.NewCond(&c.mu)
 	for shard, size := range c.sizes {
 		if size == 0 {
 			c.done[shard] = true
@@ -387,7 +395,7 @@ func New(plan *core.Plan, opts ...Option) (*Coordinator, error) {
 			Digest:  spec.Digest(),
 			Spec:    spec,
 			Shards:  n,
-		}, header == nil, cfg.Logf)
+		}, header == nil, journalEnd, cfg.Logf)
 		if err != nil {
 			return nil, err
 		}
@@ -405,7 +413,7 @@ func New(plan *core.Plan, opts ...Option) (*Coordinator, error) {
 // the journal as the source of truth — for the common restart where the
 // operator has the checkpoint path and nothing else.
 func Resume(path string, opts ...Option) (*Coordinator, error) {
-	h, _, err := readJournal(path)
+	h, _, _, err := readJournal(path)
 	if err != nil {
 		return nil, err
 	}
@@ -555,7 +563,9 @@ func (c *Coordinator) Renew(leaseID, worker string) error {
 // malformed or truncated /complete body): the lease is released, the
 // shard requeued with a strike, and the worker may retry the same lease
 // with an intact body — the lease stays in issued, so a later good batch
-// still lands.
+// still lands. One strike per lease: a duplicated delivery of the same
+// undecodable body (the chaos transport injects exactly this) must not
+// charge the shard twice for one failure and hurry it into quarantine.
 func (c *Coordinator) Reject(leaseID string, reason error) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -565,6 +575,10 @@ func (c *Coordinator) Reject(leaseID string, reason error) error {
 	}
 	delete(c.leases, leaseID)
 	delete(c.deadlines, leaseID)
+	if c.rejected[leaseID] {
+		return nil
+	}
+	c.rejected[leaseID] = true
 	if c.done[shard] || c.quarantined[shard] {
 		return nil
 	}
@@ -593,6 +607,12 @@ func (c *Coordinator) Complete(leaseID string, runs []wire.Run) error {
 	}
 	delete(c.leases, leaseID)
 	delete(c.deadlines, leaseID)
+	// A concurrent delivery for the same shard may be mid-journal-append;
+	// wait for it to settle so the done check below absorbs this one as a
+	// duplicate instead of double-committing the shard.
+	for c.committing[shard] {
+		c.commitDone.Wait()
+	}
 	if c.done[shard] {
 		return nil // late duplicate of an expired-and-reissued lease
 	}
@@ -601,7 +621,17 @@ func (c *Coordinator) Complete(leaseID string, runs []wire.Run) error {
 		c.strikeLocked(shard)
 		return fmt.Errorf("%s (lease %s)", err, leaseID)
 	}
-	c.journal.appendFrame(journalFrame{Complete: &journalComplete{Shard: shard, Runs: runs}})
+	// Journal outside c.mu — the append fsyncs, and a slow disk must not
+	// stall every /lease and /renew in the fleet behind it. committing
+	// marks the shard claimed meanwhile, and it only counts as done once
+	// the frame is durable, preserving the crash-after-ack guarantee.
+	j := c.journal
+	c.committing[shard] = true
+	c.mu.Unlock()
+	j.appendFrame(journalFrame{Complete: &journalComplete{Shard: shard, Runs: runs}})
+	c.mu.Lock()
+	c.committing[shard] = false
+	c.commitDone.Broadcast()
 	c.done[shard] = true
 	c.results[shard] = runs
 	if c.quarantined[shard] {

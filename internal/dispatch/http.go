@@ -289,9 +289,12 @@ func (cl *Client) Lease(worker string) (wire.LeaseGrant, error) {
 	return grant, nil
 }
 
-// Renew implements Queue over the wire. Any conclusive rejection is
-// reported as ErrLeaseLost: whatever the coordinator's reason, the claim
-// is not extendable and the shard must be aborted.
+// Renew implements Queue over the wire. Only the coordinator's 409 — its
+// lease-loss verdict — maps to ErrLeaseLost; any other conclusive
+// rejection (a wire-version mismatch) is the coordinator refusing to talk
+// to this worker at all, not a verdict on the claim, and reporting it as
+// lease loss would make a version-skewed worker abort healthy shards as
+// orphaned instead of surfacing the fatal mismatch.
 func (cl *Client) Renew(leaseID, worker string) error {
 	return cl.call("/renew", nil,
 		func() (io.Reader, error) {
@@ -302,10 +305,13 @@ func (cl *Client) Renew(leaseID, worker string) error {
 			if err := gob.NewDecoder(resp.Body).Decode(&a); err != nil {
 				return fmt.Errorf("%w: bad ack (%s): %v", errTransient, resp.Status, err)
 			}
-			if !a.OK {
+			if a.OK {
+				return nil
+			}
+			if resp.StatusCode == http.StatusConflict {
 				return fmt.Errorf("%w: %s", ErrLeaseLost, a.Err)
 			}
-			return nil
+			return fmt.Errorf("dispatch: renew rejected: %s", a.Err)
 		})
 }
 

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 
 	"turbulence/internal/wire"
 )
@@ -26,7 +27,10 @@ import (
 // state (concatenated gob streams from independent encoders do not
 // decode). A crash mid-append leaves a torn tail — a short final frame —
 // which replay tolerates by stopping there: the unrecorded shard simply
-// re-runs. Anything else that does not decode is corruption and refuses
+// re-runs. The resuming appender then truncates the tear before writing,
+// so new frames land behind the last whole one — never behind garbage,
+// which the next replay would misread as a frame length spanning into
+// them. Anything else that does not decode is corruption and refuses
 // loudly rather than resuming a half-trusted sweep.
 
 // journalMagic guards against pointing -checkpoint at an arbitrary file.
@@ -54,7 +58,10 @@ type journalComplete struct {
 }
 
 // journal is the open append handle. Nil receiver = checkpointing off.
+// Appends serialise on the journal's own mutex, not the coordinator's, so
+// an fsync to a slow disk never stalls lease and renew traffic.
 type journal struct {
+	mu   sync.Mutex
 	f    *os.File
 	dead bool // a failed append stops checkpointing (see append)
 	logf func(format string, args ...any)
@@ -66,7 +73,12 @@ type journal struct {
 // replay must treat as corruption. A dead journal only costs resume
 // coverage (later shards re-run after a crash); the live sweep proceeds.
 func (j *journal) appendFrame(fr journalFrame) {
-	if j == nil || j.dead {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.dead {
 		return
 	}
 	var body bytes.Buffer
@@ -95,7 +107,12 @@ func (j *journal) fail(op string, err error) {
 }
 
 func (j *journal) close() {
-	if j != nil && j.f != nil {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f != nil {
 		j.f.Close()
 	}
 }
@@ -125,52 +142,73 @@ func readFrame(r io.Reader) (journalFrame, error) {
 	return fr, nil
 }
 
+// countingReader tracks how many bytes have been consumed, so readJournal
+// can report where the last whole frame ends.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
+
 // readJournal replays an existing checkpoint file: header plus every
 // fully-written completion frame. A torn tail after at least one whole
 // frame is a crash artifact and tolerated; a file that does not even hold
 // a whole header, or holds frames that decode to garbage, is refused.
-func readJournal(path string) (*journalHeader, []journalComplete, error) {
+// end is the byte offset just past the last whole frame — the appender
+// truncates the file there before writing, so a tear never sits between
+// old frames and new ones.
+func readJournal(path string) (h *journalHeader, done []journalComplete, end int64, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	defer f.Close()
-	r := io.Reader(f)
-	first, err := readFrame(r)
+	cr := &countingReader{r: f}
+	first, err := readFrame(cr)
 	if err != nil {
-		return nil, nil, fmt.Errorf("dispatch: checkpoint %s: unreadable header: %w", path, err)
+		return nil, nil, 0, fmt.Errorf("dispatch: checkpoint %s: unreadable header: %w", path, err)
 	}
-	h := first.Header
+	h = first.Header
 	if h == nil || h.Magic != journalMagic {
-		return nil, nil, fmt.Errorf("dispatch: %s is not a turbulence checkpoint", path)
+		return nil, nil, 0, fmt.Errorf("dispatch: %s is not a turbulence checkpoint", path)
 	}
 	if h.Version != wire.Version {
-		return nil, nil, fmt.Errorf("dispatch: checkpoint %s was written by wire version %d, this build speaks %d", path, h.Version, wire.Version)
+		return nil, nil, 0, fmt.Errorf("dispatch: checkpoint %s was written by wire version %d, this build speaks %d", path, h.Version, wire.Version)
 	}
-	var done []journalComplete
+	end = cr.n
 	for {
-		fr, err := readFrame(r)
+		fr, err := readFrame(cr)
 		if err == io.EOF {
-			return h, done, nil
+			return h, done, end, nil
 		}
 		if errors.Is(err, errTornTail) {
 			// Crash mid-append: everything before the tear is good.
-			return h, done, nil
+			return h, done, end, nil
 		}
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 		if fr.Complete == nil {
-			return nil, nil, fmt.Errorf("dispatch: checkpoint %s: unexpected non-completion frame", path)
+			return nil, nil, 0, fmt.Errorf("dispatch: checkpoint %s: unexpected non-completion frame", path)
 		}
 		done = append(done, *fr.Complete)
+		end = cr.n
 	}
 }
 
 // openJournal opens path for appending, creating it (with a header frame)
 // when absent or empty. When the file already holds a journal, the caller
-// has replayed it and vouches the header matches; the handle just appends.
-func openJournal(path string, h journalHeader, fresh bool, logf func(string, ...any)) (*journal, error) {
+// has replayed it, vouches the header matches, and passes replay's end
+// offset; the file is truncated there first, so a torn tail from the
+// previous process's crash is cut rather than buried under new frames —
+// appending behind a tear would make the next replay read the tear's
+// partial length prefix as a frame spanning into the fresh completions.
+func openJournal(path string, h journalHeader, fresh bool, end int64, logf func(string, ...any)) (*journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
@@ -182,6 +220,11 @@ func openJournal(path string, h journalHeader, fresh bool, logf func(string, ...
 			f.Close()
 			return nil, fmt.Errorf("dispatch: cannot write checkpoint header to %s", path)
 		}
+		return j, nil
+	}
+	if err := f.Truncate(end); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("dispatch: cannot trim checkpoint %s to its last whole frame: %w", path, err)
 	}
 	return j, nil
 }

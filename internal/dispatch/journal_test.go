@@ -143,9 +143,26 @@ func TestCheckpointTornTailTolerated(t *testing.T) {
 	if err != nil {
 		t.Fatalf("torn tail refused: %v", err)
 	}
-	defer c2.Close()
 	if _, _, done := c2.Counts(); done != 1 {
 		t.Fatalf("replayed %d shards through the torn tail, want 1", done)
+	}
+
+	// Crash → resume → crash: the resumed coordinator appends behind the
+	// (truncated) tear; the next resume must replay both the old and the
+	// new completions, not read the tear as a frame spanning into them.
+	completeShards(t, c2, plan, 1)
+	c2.Close()
+	c3, err := New(plan, WithShards(3), WithCheckpoint(ckpt))
+	if err != nil {
+		t.Fatalf("journal unreadable after resume appended past a tear: %v", err)
+	}
+	defer c3.Close()
+	if _, _, done := c3.Counts(); done != 2 {
+		t.Fatalf("second resume replayed %d shards, want 2", done)
+	}
+	completeShards(t, c3, plan, 1)
+	if !c3.Done() {
+		t.Fatal("sweep not done after the last shard")
 	}
 }
 

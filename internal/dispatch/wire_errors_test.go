@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"strconv"
@@ -204,6 +205,77 @@ func TestWireRenewAndHeaderErrors(t *testing.T) {
 	}
 	if a := decodeAck(t, body); a.OK {
 		t.Fatal("complete with garbage version acked OK")
+	}
+}
+
+// TestRejectDuplicateOneStrike pins Reject's per-lease idempotency: the
+// chaos transport duplicates requests, so the same undecodable delivery
+// can reach the coordinator twice — one failure, one strike, not an
+// accelerated march into quarantine. The lease stays retryable: the
+// intact copy still lands.
+func TestRejectDuplicateOneStrike(t *testing.T) {
+	plan := testPlan(t)
+	c, err := New(plan, WithShards(2), WithMaxShardFailures(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := c.Lease("w")
+	if g.LeaseID == "" {
+		t.Fatalf("no lease: %+v", g)
+	}
+	reason := errors.New("unexpected EOF")
+	if err := c.Reject(g.LeaseID, reason); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Reject(g.LeaseID, reason); err != nil { // the duplicate
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	strikes := c.strikes[g.Shard]
+	c.mu.Unlock()
+	if strikes != 1 {
+		t.Fatalf("duplicate reject charged %d strikes, want 1", strikes)
+	}
+	if parked := c.Quarantined(); len(parked) != 0 {
+		t.Fatalf("duplicate reject quarantined shard %v", parked)
+	}
+	if err := c.Complete(g.LeaseID, batchFor(plan, g.Shard, g.Shards)); err != nil {
+		t.Fatalf("intact retry after rejects: %v", err)
+	}
+}
+
+// TestRenewVersionMismatchNotLeaseLost pins the client-side triage of a
+// conclusive renew rejection: only the coordinator's 409 lease-loss
+// verdict is ErrLeaseLost; a wire-version rejection (400) must surface as
+// its own fatal error, or a version-skewed worker would abort every
+// healthy shard as orphaned.
+func TestRenewVersionMismatchNotLeaseLost(t *testing.T) {
+	reject := func(w http.ResponseWriter, status int, msg string) {
+		w.WriteHeader(status)
+		gob.NewEncoder(w).Encode(wire.Ack{Version: wire.Version, OK: false, Err: msg})
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /renew", func(w http.ResponseWriter, r *http.Request) {
+		reject(w, http.StatusBadRequest, "dispatch: wire version 99, coordinator speaks 1")
+	})
+	cl := NewClient("http://loopback", WithTransport(loopbackTransport{h: mux}), WithMaxAttempts(1))
+	err := cl.Renew("lease-feed-1-shard-0", "w")
+	if err == nil {
+		t.Fatal("version-mismatch renew succeeded")
+	}
+	if errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("version mismatch reported as lease loss: %v", err)
+	}
+
+	// The real coordinator's unknown-lease 409 still maps to ErrLeaseLost.
+	plan := testPlan(t)
+	c, err := New(plan, WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl = Loopback(c, WithMaxAttempts(1))
+	if err := cl.Renew("lease-feed-1-shard-0", "w"); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("unknown-lease renew: %v, want ErrLeaseLost", err)
 	}
 }
 
