@@ -27,6 +27,13 @@ lint:
 	else \
 		echo "shellcheck not installed; skipping shell lint"; \
 	fi
+# internal/obs promises zero allocations on its hot paths; fmt verbs
+# allocate, so any fmt call in the package (tests aside) is a regression.
+	@hits=$$(grep -n 'fmt\.' internal/obs/*.go | grep -v '_test\.go:' || true); \
+	if [ -n "$$hits" ]; then \
+		echo "internal/obs must not use fmt (zero-alloc hot paths; use strconv):"; \
+		echo "$$hits"; exit 1; \
+	fi
 
 # The full local gate: what CI would run.
 check: build lint test

@@ -5,9 +5,10 @@
 //
 //	turbulence [-seed N] [-experiment id] [-parallel N] [-scenario name]
 //	           [-retention retain|drop|stream] [-shard i/n] [-progress]
+//	           [-metrics addr] [-pprof]
 //	           [-json] [-csv dir] [-points] [-list] [-list-scenarios]
 //	turbulence -serve addr [-seed N] [-pairs list] [-scenario name]
-//	           [-serve-shards N] [-lease-ttl d] [-checkpoint file]
+//	           [-serve-shards N] [-lease-ttl d] [-checkpoint file] [-pprof]
 //	turbulence -work addr [-parallel N]
 //
 // With no -experiment it runs everything, printing each artifact's rows,
@@ -45,6 +46,16 @@
 // regenerate. Interrupting (ctrl-C) cancels in-flight simulation promptly
 // — mid-run, between events — and exits after the current bookkeeping.
 //
+// -metrics addr serves a live Prometheus meter of the local sweep on
+// http://addr/metrics while experiments regenerate: cells completed and
+// their wall-time histogram, simulator event and timer counters, captured
+// packet volume, and netem drops by cause. It does not combine with
+// -serve or -work (the coordinator serves its own /metrics; workers
+// report through it). -pprof additionally mounts net/http/pprof under
+// /debug/pprof/ on that server — or, with -serve, on the coordinator's
+// mux — and is off by default because profiling endpoints expose
+// internals and cost CPU when scraped.
+//
 // -serve and -work are the distributed counterpart of -shard: instead of
 // telling each process its slice up front, a coordinator (-serve) holds
 // the whole pair sweep as a lease-based shard queue and workers (-work,
@@ -79,6 +90,9 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net"
+	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -107,9 +121,11 @@ func main() {
 	serveShards := flag.Int("serve-shards", 0, "-serve lease granularity: how many shard slices the plan is carved into (0 = one per cell, capped at 256)")
 	leaseTTL := flag.Duration("lease-ttl", 2*time.Minute, "-serve: how long a leased shard may stay unrenewed before it is re-issued to another worker (workers heartbeat while simulating)")
 	checkpoint := flag.String("checkpoint", "", "-serve: journal completed shards to this file; re-running with the same sweep flags and path resumes, re-leasing only unfinished shards")
+	metricsAddr := flag.String("metrics", "", "serve a live Prometheus meter of the local sweep on this address (host:port) at /metrics; the -serve coordinator has its own /metrics and does not combine with this")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the -metrics server or the -serve coordinator (off by default: profiling endpoints expose internals and cost CPU when scraped)")
 	flag.Parse()
 
-	if err := modeConflicts(*serve, *work, *experiment, *shard, *pairsSpec, *scenario, *checkpoint); err != nil {
+	if err := modeConflicts(*serve, *work, *experiment, *shard, *pairsSpec, *scenario, *checkpoint, *metricsAddr, *pprofFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "turbulence:", err)
 		os.Exit(2)
 	}
@@ -128,7 +144,7 @@ func main() {
 	}
 
 	if *serve != "" {
-		os.Exit(runServe(*serve, *seed, *pairsSpec, *scenario, *serveShards, *leaseTTL, *checkpoint))
+		os.Exit(runServe(*serve, *seed, *pairsSpec, *scenario, *serveShards, *leaseTTL, *checkpoint, *pprofFlag))
 	}
 	if *work != "" {
 		os.Exit(runWork(*work, *parallel))
@@ -183,8 +199,16 @@ func main() {
 			if p.Err != nil {
 				status = "error: " + p.Err.Error()
 			}
-			fmt.Fprintf(os.Stderr, "turbulence: run %d/%d %s %s\n", p.Done, p.Total, p.Key, status)
+			fmt.Fprintf(os.Stderr, "turbulence: run %d/%d %s %s (%s)\n", p.Done, p.Total, p.Key, status, p.Elapsed.Round(time.Millisecond))
 		})
+	}
+	if *metricsAddr != "" {
+		reg := turbulence.NewMetricsRegistry()
+		ctx.SetMetrics(turbulence.NewMetricsSink(reg))
+		if err := serveMetrics(*metricsAddr, reg, *pprofFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "turbulence:", err)
+			os.Exit(1)
+		}
 	}
 	if *scenario != "" {
 		sc, err := turbulence.FindScenario(*scenario)
@@ -240,7 +264,7 @@ func main() {
 // no further leases are issued, workers wind down, and whatever completed
 // still prints. With -checkpoint, completions are journalled and a
 // re-run on the same path resumes the sweep instead of restarting it.
-func runServe(addr string, seed int64, pairsSpec, scenario string, shards int, ttl time.Duration, checkpoint string) int {
+func runServe(addr string, seed int64, pairsSpec, scenario string, shards int, ttl time.Duration, checkpoint string, pprof bool) int {
 	keys, err := parsePairs(pairsSpec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "turbulence:", err)
@@ -270,6 +294,7 @@ func runServe(addr string, seed int64, pairsSpec, scenario string, shards int, t
 		turbulence.WithDispatchShards(shards),
 		turbulence.WithLeaseTTL(ttl),
 		turbulence.WithDispatchCheckpoint(checkpoint),
+		turbulence.WithDispatchPprof(pprof),
 		turbulence.WithDispatchLogf(logf),
 	)
 	// Whatever was collected prints — a failed or interrupted sweep must
@@ -341,15 +366,47 @@ func logf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, format+"\n", args...)
 }
 
+// serveMetrics starts the -metrics HTTP server in the background: the
+// registry at /metrics, plus pprof under /debug/pprof/ when asked. The
+// server lives exactly as long as the process — a sweep meter has nothing
+// to shut down gracefully — so errors after a successful bind only log.
+func serveMetrics(addr string, reg *turbulence.MetricsRegistry, pprof bool) error {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", reg.Handler())
+	if pprof {
+		mux.HandleFunc("GET /debug/pprof/", netpprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", netpprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", netpprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", netpprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", netpprof.Trace)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("-metrics %s: %w", addr, err)
+	}
+	logf("turbulence: metrics on http://%s/metrics", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			logf("turbulence: metrics server: %v", err)
+		}
+	}()
+	return nil
+}
+
 // modeConflicts enforces the -serve/-work mutual-exclusion rules: the two
 // modes exclude each other; both are whole-sweep services, so the
 // single-process slicing flags (-experiment, -shard) conflict with
 // either; a worker's plan arrives in its lease grants, so the
-// plan-shaping flags (-pairs, -scenario) conflict with -work; and the
+// plan-shaping flags (-pairs, -scenario) conflict with -work; the
 // checkpoint journal is coordinator state, so -checkpoint requires
-// -serve.
-func modeConflicts(serve, work, experiment, shard, pairs, scenario, checkpoint string) error {
+// -serve; -metrics is the local sweep's meter (the coordinator serves
+// its own /metrics); and -pprof needs a server to mount on.
+func modeConflicts(serve, work, experiment, shard, pairs, scenario, checkpoint, metrics string, pprof bool) error {
 	switch {
+	case metrics != "" && (serve != "" || work != ""):
+		return errors.New("-metrics does not combine with -serve/-work (the coordinator serves its own /metrics; workers report through it)")
+	case pprof && metrics == "" && serve == "":
+		return errors.New("-pprof requires -metrics or -serve (it mounts on their HTTP server)")
 	case serve != "" && work != "":
 		return errors.New("-serve and -work are mutually exclusive")
 	case (serve != "" || work != "") && experiment != "":

@@ -54,13 +54,13 @@ func TestParseRetention(t *testing.T) {
 func TestModeConflicts(t *testing.T) {
 	ok := func(serve, work, experiment, shard, pairs, scenario, checkpoint string) {
 		t.Helper()
-		if err := modeConflicts(serve, work, experiment, shard, pairs, scenario, checkpoint); err != nil {
+		if err := modeConflicts(serve, work, experiment, shard, pairs, scenario, checkpoint, "", false); err != nil {
 			t.Errorf("unexpected conflict: %v", err)
 		}
 	}
 	bad := func(serve, work, experiment, shard, pairs, scenario, checkpoint, want string) {
 		t.Helper()
-		err := modeConflicts(serve, work, experiment, shard, pairs, scenario, checkpoint)
+		err := modeConflicts(serve, work, experiment, shard, pairs, scenario, checkpoint, "", false)
 		if err == nil || !strings.Contains(err.Error(), want) {
 			t.Errorf("modeConflicts(%q,%q,%q,%q,%q,%q,%q) = %v, want mention of %s",
 				serve, work, experiment, shard, pairs, scenario, checkpoint, err, want)
@@ -82,6 +82,26 @@ func TestModeConflicts(t *testing.T) {
 	// The journal is coordinator state: -checkpoint needs -serve.
 	bad("", "host:8080", "", "", "", "", "sweep.ckpt", "-checkpoint")
 	bad("", "", "", "", "", "", "sweep.ckpt", "-checkpoint")
+
+	// -metrics meters the local sweep only; -pprof needs a server.
+	check := func(serve, work, metrics string, pprof bool, want string) {
+		t.Helper()
+		err := modeConflicts(serve, work, "", "", "", "", "", metrics, pprof)
+		switch {
+		case want == "" && err != nil:
+			t.Errorf("unexpected conflict: %v", err)
+		case want != "" && (err == nil || !strings.Contains(err.Error(), want)):
+			t.Errorf("modeConflicts(serve=%q, work=%q, metrics=%q, pprof=%v) = %v, want mention of %s",
+				serve, work, metrics, pprof, err, want)
+		}
+	}
+	check("", "", ":9090", false, "")
+	check("", "", ":9090", true, "")
+	check(":8080", "", "", true, "")
+	check(":8080", "", ":9090", false, "-metrics")
+	check("", "host:8080", ":9090", false, "-metrics")
+	check("", "", "", true, "-pprof")
+	check("", "host:8080", "", true, "-pprof")
 }
 
 // TestParsePairs pins the -pairs parser: names and suffixes resolve, the

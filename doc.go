@@ -125,6 +125,45 @@
 // killing the coordinator mid-sweep and resuming from its checkpoint,
 // and still pin the merged output byte-identical to the unsharded run.
 //
+// # Observability
+//
+// internal/obs is a dependency-free metrics layer rendered in Prometheus
+// text exposition format: atomic counters and gauges, fixed-bucket
+// histograms, and a Registry whose Handler serves them as /metrics. The
+// hot-path operations (Counter.Inc, Gauge.SetMax, Histogram.Observe, a
+// cached vector child) allocate nothing — pinned by TestHotPathAllocFree
+// and by the capture tap's steady-state alloc test running with a live
+// meter attached — so instrumentation never perturbs the simulation it
+// measures. Rendering uses strconv, never fmt (make check enforces it).
+//
+// The coordinator instruments its whole lease lifecycle: counters for
+// every transition (granted, renewed, completed, expired, rejected,
+// lost, strikes, quarantines), scrape-time gauges over the queue, fsync
+// latency histograms from the checkpoint journal, and per-worker
+// throughput series fed by WorkerStats snapshots that workers
+// self-measure and ship with each completion (an optional, versioned
+// JSON header — old coordinators ignore it, old workers simply send
+// none). Because the registry's scrape lock is the coordinator's own
+// mutex, every scrape is one consistent snapshot in which the ledger
+//
+//	granted == active + delivering + completed + expired + rejected + lost
+//
+// balances exactly (TestMetricsEndToEnd scrapes a live sweep to prove
+// it). GET /events serves the shard-lifecycle trace — a fixed ring of
+// timestamped lease/renew/complete/expire/reject/quarantine events with
+// lease IDs and worker names — and WithDispatchPprof mounts
+// net/http/pprof on the same mux. GET /status reports per-shard strike
+// counts and quarantine reasons alongside the queue counts.
+//
+// Local sweeps meter the same way: NewMetricsSink registers the sweep
+// instruments (cell wall-time histogram, simulator event/timer counters,
+// heap high-water, captured packet volume, netem drops by cause) on a
+// registry, WithMetrics or ExperimentContext.SetMetrics installs it on
+// the Runner, and cmd/turbulence -metrics addr serves the live meter
+// while experiments regenerate. Progress callbacks carry each cell's
+// start time and elapsed wall-clock for the same purpose. See
+// PERFORMANCE.md for the scrape-and-read recipe.
+//
 // # Network scenarios
 //
 // The paper measured one testbed path under typical conditions; the netem

@@ -1,0 +1,19 @@
+package capture
+
+import "turbulence/internal/obs"
+
+// CounterTap is the observability bridge for the capture path: a Tap that
+// bumps two obs counters per packet and touches nothing else. It rides
+// the same zero-alloc tap seam as the online analyzers, so attaching it
+// costs two atomic adds per packet — the steady-state allocation pin
+// (TestTapSteadyStateAllocFree) runs with one attached to prove it.
+type CounterTap struct {
+	Records *obs.Counter // packets observed
+	Bytes   *obs.Counter // on-the-wire bytes, Ethernet framing included
+}
+
+// Observe implements Tap.
+func (t *CounterTap) Observe(r *Record) {
+	t.Records.Inc()
+	t.Bytes.Add(uint64(r.WireLen))
+}

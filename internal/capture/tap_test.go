@@ -8,6 +8,7 @@ import (
 	"turbulence/internal/eventsim"
 	"turbulence/internal/inet"
 	"turbulence/internal/netsim"
+	"turbulence/internal/obs"
 	"turbulence/internal/racecheck"
 	"turbulence/internal/stats"
 )
@@ -318,6 +319,14 @@ func TestTapSteadyStateAllocFree(t *testing.T) {
 	recs = append(recs, orphan)
 
 	dx := NewFlowDemux()
+	// Metrics collection rides the same per-packet path, so the pin runs
+	// with it enabled: a CounterTap fed from a live obs registry observes
+	// every record alongside the demux.
+	reg := obs.NewRegistry()
+	meter := &CounterTap{
+		Records: reg.Counter("pkts_total", "packets"),
+		Bytes:   reg.Counter("bytes_total", "bytes"),
+	}
 	at := time.Duration(0)
 	id := uint16(0)
 	// One persistent scratch record, as the sniffer keeps: a fresh stack
@@ -332,6 +341,7 @@ func TestTapSteadyStateAllocFree(t *testing.T) {
 			r.At = at + time.Duration(i)*time.Millisecond
 			r.IPID += id
 			dx.Observe(&r)
+			meter.Observe(&r)
 		}
 	}
 	// Warm: discover flows, allocate train tables, grow tail rings past

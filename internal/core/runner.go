@@ -6,6 +6,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"turbulence/internal/obs"
 )
 
 // TraceRetention selects what a Runner keeps of each completed run.
@@ -41,6 +44,12 @@ type Progress struct {
 	Total int
 	Key   RunKey
 	Err   error
+
+	// Start and Elapsed are the cell's wall-clock execution window,
+	// measured around the simulation itself — progress meters and metrics
+	// sinks report per-cell durations without re-deriving them.
+	Start   time.Time
+	Elapsed time.Duration
 }
 
 // RunResult is one executed Plan cell.
@@ -71,6 +80,7 @@ type Runner struct {
 	ctx       context.Context
 	progress  func(Progress)
 	retention TraceRetention
+	sink      *obs.Sink
 }
 
 // context is the nil-safe accessor keeping the zero Runner usable.
@@ -118,6 +128,15 @@ func WithTraceRetention(tr TraceRetention) RunnerOption {
 	return func(r *Runner) { r.retention = tr }
 }
 
+// WithMetrics installs an observability sink: per-cell wall times and
+// error counts, eventsim scheduler totals, netem drop tallies, and — via
+// a capture tap attached to each run's sniffer — packet and byte volume.
+// Collection is alloc-free on the per-packet path and adds a handful of
+// atomic ops per cell elsewhere; it never changes simulation output.
+func WithMetrics(s *obs.Sink) RunnerOption {
+	return func(r *Runner) { r.sink = s }
+}
+
 // NewRunner builds a Runner from functional options.
 func NewRunner(opts ...RunnerOption) *Runner {
 	r := &Runner{workers: 1, ctx: context.Background()}
@@ -150,14 +169,14 @@ func (r *Runner) execute(p *Plan, emit func(RunResult) bool) {
 	var mu sync.Mutex
 	done := 0
 	var failed, stopped atomic.Bool
-	finish := func(res RunResult) bool {
+	finish := func(res RunResult, start time.Time, elapsed time.Duration) bool {
 		if res.Err != nil {
 			failed.Store(true)
 		}
 		mu.Lock()
 		done++
 		if r.progress != nil {
-			r.progress(Progress{Done: done, Total: len(keys), Key: res.Key, Err: res.Err})
+			r.progress(Progress{Done: done, Total: len(keys), Key: res.Key, Err: res.Err, Start: start, Elapsed: elapsed})
 		}
 		mu.Unlock()
 		if stopped.Load() {
@@ -175,10 +194,21 @@ func (r *Runner) execute(p *Plan, emit func(RunResult) bool) {
 			return false
 		}
 		seed := p.Seed(k)
-		run, cmp, err := runPair(ctx, seed, k.Pair.Set, k.Pair.Class, p.optionsFor(k), r.retention == StreamProfiles)
+		start := time.Now()
+		run, cmp, err := runPair(ctx, seed, k.Pair.Set, k.Pair.Class, p.optionsFor(k), r.retention == StreamProfiles, r.sink)
+		elapsed := time.Since(start)
 		if err != nil && ctx.Err() != nil {
 			// Interrupted mid-simulation: not a completed cell.
 			return false
+		}
+		if r.sink != nil {
+			r.sink.ObserveCell(elapsed.Seconds(), err != nil)
+			if run != nil {
+				r.sink.AddSim(run.Sim.TimersScheduled, run.Sim.EventsFired, run.Sim.HeapPeak)
+				d, u := &run.Downlink, &run.Uplink
+				r.sink.AddDrops(d.DroppedLoss+u.DroppedLoss, d.DroppedFull+u.DroppedFull,
+					d.DroppedAQM+u.DroppedAQM, d.TTLExpired+u.TTLExpired)
+			}
 		}
 		res := RunResult{Key: k, Seed: seed, Run: run, Err: err, Comparison: cmp}
 		if err == nil && r.retention == DropTracesAfterProfile {
@@ -186,7 +216,7 @@ func (r *Runner) execute(p *Plan, emit func(RunResult) bool) {
 			res.Comparison = &c
 			run.Trace, run.WMPFlow, run.RealFlow = nil, nil, nil
 		}
-		return finish(res)
+		return finish(res, start, elapsed)
 	}
 
 	if workers <= 1 {

@@ -12,6 +12,7 @@ import (
 	"turbulence/internal/media"
 	"turbulence/internal/netem"
 	"turbulence/internal/netsim"
+	"turbulence/internal/obs"
 	"turbulence/internal/probe"
 	"turbulence/internal/tracker"
 )
@@ -57,6 +58,18 @@ type PairRun struct {
 	// stay separate so model loss is distinguishable from AQM early drops
 	// and queue overflow in every report.
 	Downlink, Uplink netsim.PathStats
+
+	// Sim holds the run's scheduler counters. Deterministic for a given
+	// seed — the same cell yields the same counts on any worker layout —
+	// so they feed metrics without threatening reproducibility.
+	Sim SimCounters
+}
+
+// SimCounters is one run's eventsim activity summary.
+type SimCounters struct {
+	TimersScheduled uint64 // events ever pushed onto the scheduler
+	EventsFired     uint64 // events dispatched
+	HeapPeak        int    // high-water pending-event count
 }
 
 // Clips returns the pair's clips (Real, WindowsMedia).
@@ -109,7 +122,7 @@ func RunPair(seed int64, set int, class media.Class) (*PairRun, error) {
 
 // RunPairWith is RunPair with ablation options.
 func RunPairWith(seed int64, set int, class media.Class, opts Options) (*PairRun, error) {
-	run, _, err := runPair(context.Background(), seed, set, class, opts, false)
+	run, _, err := runPair(context.Background(), seed, set, class, opts, false, nil)
 	return run, err
 }
 
@@ -121,7 +134,7 @@ func RunPairContext(ctx context.Context, seed int64, set int, class media.Class,
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	run, _, err := runPair(ctx, seed, set, class, opts, false)
+	run, _, err := runPair(ctx, seed, set, class, opts, false, nil)
 	return run, err
 }
 
@@ -138,7 +151,12 @@ func RunPairContext(ctx context.Context, seed int64, set int, class media.Class,
 // reports, probes, path stats — is identical, and the profiles themselves
 // are exactly equal to what profiling a retained trace yields, because
 // ProfileFlow replays stored traces through the same analyzer.
-func runPair(ctx context.Context, seed int64, set int, class media.Class, opts Options, stream bool) (*PairRun, *Comparison, error) {
+//
+// A non-nil sink attaches a capture.CounterTap to the sniffer (packet and
+// byte volume, two atomic adds per record — the tap path's allocation pin
+// covers it). Sim counters and drop tallies are read from the finished
+// PairRun by the Runner, not here, keeping the sink out of the sim.
+func runPair(ctx context.Context, seed int64, set int, class media.Class, opts Options, stream bool, sink *obs.Sink) (*PairRun, *Comparison, error) {
 	clipSet, ok := media.FindSet(set)
 	if !ok {
 		return nil, nil, fmt.Errorf("core: unknown data set %d", set)
@@ -173,6 +191,9 @@ func runPair(ctx context.Context, seed int64, set int, class media.Class, opts O
 
 	sniff := capture.Attach(tb.Client)
 	sniff.RecvOnly = true
+	if sink != nil {
+		sniff.AddTap(&capture.CounterTap{Records: sink.Packets, Bytes: sink.Bytes})
+	}
 	var demux *capture.FlowDemux
 	if stream {
 		// Online analysis: records stream through the flow demultiplexer's
@@ -256,6 +277,11 @@ func runPair(ctx context.Context, seed int64, set int, class media.Class, opts O
 	}
 	if p := tb.Net.PathBetween(ClientAddr, site.Profile.Addr); p != nil {
 		run.Uplink = p.Stats()
+	}
+	run.Sim = SimCounters{
+		TimersScheduled: tb.Net.Sched.Scheduled(),
+		EventsFired:     tb.Net.Sched.Fired(),
+		HeapPeak:        tb.Net.Sched.PeakQueue(),
 	}
 	if stream {
 		wmp, real := demux.To(WMPDataPort), demux.To(RDTDataPort)

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"turbulence/internal/core"
+	"turbulence/internal/obs"
 	"turbulence/internal/wire"
 )
 
@@ -133,6 +134,15 @@ type Config struct {
 	// graceful half of their own ctrl-C handling) can still land it
 	// before the socket dies. Default 15s.
 	DrainGrace time.Duration
+	// Pprof mounts net/http/pprof on the coordinator's mux (under
+	// /debug/pprof/). Off by default: profiles expose goroutine stacks
+	// and heap contents, so enable it only on an address you'd let an
+	// operator shell into.
+	Pprof bool
+	// EventRing is the capacity of the shard-lifecycle event ring behind
+	// GET /events. Default 1024 — at five or so transitions per shard,
+	// enough to hold a mid-sized sweep's full history.
+	EventRing int
 	// Logf receives progress lines (default: none).
 	Logf func(format string, args ...any)
 }
@@ -188,6 +198,13 @@ func WithLinger(d time.Duration) Option { return func(c *Config) { c.Linger = d 
 // WithDrainGrace sets how long Serve accepts completions after a drain.
 func WithDrainGrace(d time.Duration) Option { return func(c *Config) { c.DrainGrace = d } }
 
+// WithPprof mounts net/http/pprof on the coordinator's mux (see
+// Config.Pprof for the exposure caveat).
+func WithPprof(on bool) Option { return func(c *Config) { c.Pprof = on } }
+
+// WithEventRing sets the lifecycle event ring's capacity.
+func WithEventRing(n int) Option { return func(c *Config) { c.EventRing = n } }
+
 // WithLogf installs a progress logger.
 func WithLogf(f func(format string, args ...any)) Option { return func(c *Config) { c.Logf = f } }
 
@@ -231,6 +248,9 @@ func newConfig(opts []Option) Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
 	}
+	if c.EventRing <= 0 {
+		c.EventRing = 1024
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -253,19 +273,23 @@ type Coordinator struct {
 	pending     []int          // shard ids ready to lease, FIFO
 	leases      map[string]int // outstanding leaseID → shard
 	deadlines   map[string]time.Time
-	issued      map[string]int  // every leaseID ever granted → shard
-	rejected    map[string]bool // leases already struck for a bad delivery
-	done        []bool          // per shard
-	strikes     []int           // per shard: expiries + rejected batches
-	quarantined []bool          // per shard: parked after MaxShardFailures
-	committing  []bool          // per shard: journal append in flight
-	commitDone  *sync.Cond      // on mu; broadcast when a commit settles
+	issued      map[string]int    // every leaseID ever granted → shard
+	holders     map[string]string // every leaseID ever granted → worker name
+	rejected    map[string]bool   // leases already struck for a bad delivery
+	done        []bool            // per shard
+	strikes     []int             // per shard: expiries + rejected batches
+	lastStrike  []string          // per shard: most recent strike reason
+	quarantined []bool            // per shard: parked after MaxShardFailures
+	committing  []bool            // per shard: journal append in flight
+	commitDone  *sync.Cond        // on mu; broadcast when a commit settles
 	results     map[int][]wire.Run
 	remaining   int // non-empty shards neither completed nor quarantined
+	delivering  int // live leases removed by an in-flight Complete, not yet classified
 	seq         int
 	draining    bool
 	finished    chan struct{} // closed when remaining hits 0
 	journal     *journal      // nil when checkpointing is off
+	m           *coordMetrics
 }
 
 // newEpoch draws the coordinator instance's random lease-ID tag. Lease
@@ -346,15 +370,18 @@ func New(plan *core.Plan, opts ...Option) (*Coordinator, error) {
 		leases:      make(map[string]int),
 		deadlines:   make(map[string]time.Time),
 		issued:      make(map[string]int),
+		holders:     make(map[string]string),
 		rejected:    make(map[string]bool),
 		done:        make([]bool, n),
 		strikes:     make([]int, n),
+		lastStrike:  make([]string, n),
 		quarantined: make([]bool, n),
 		committing:  make([]bool, n),
 		results:     make(map[int][]wire.Run),
 		finished:    make(chan struct{}),
 	}
 	c.commitDone = sync.NewCond(&c.mu)
+	c.m = newCoordMetrics(c, cfg.EventRing)
 	for shard, size := range c.sizes {
 		if size == 0 {
 			c.done[shard] = true
@@ -399,6 +426,8 @@ func New(plan *core.Plan, opts ...Option) (*Coordinator, error) {
 		if err != nil {
 			return nil, err
 		}
+		j.fsyncs = c.m.journalFsyncs
+		j.fsyncSeconds = c.m.journalFsyncSeconds
 		c.journal = j
 	}
 	if c.remaining == 0 {
@@ -458,10 +487,12 @@ func (c *Coordinator) expire(now time.Time) {
 		shard := c.leases[id]
 		delete(c.leases, id)
 		delete(c.deadlines, id)
+		c.m.expired.Inc()
+		c.m.event("expire", shard, id, c.holders[id], "")
 		if !c.done[shard] && !c.quarantined[shard] {
 			c.pending = append(c.pending, shard)
 			c.cfg.Logf("dispatch: lease %s expired, requeueing shard %d/%d", id, shard, c.shards)
-			c.strikeLocked(shard)
+			c.strikeLocked(shard, "lease expired")
 		}
 	}
 }
@@ -470,13 +501,17 @@ func (c *Coordinator) expire(now time.Time) {
 // reaches the quarantine threshold: off the queue, reported in /status,
 // no longer counted against completion — so one poisoned shard cannot
 // wedge the whole sweep. Called with c.mu held.
-func (c *Coordinator) strikeLocked(shard int) {
+func (c *Coordinator) strikeLocked(shard int, reason string) {
 	c.strikes[shard]++
+	c.lastStrike[shard] = reason
+	c.m.strikes.Inc()
 	max := c.cfg.MaxShardFailures
 	if max < 0 || c.strikes[shard] < max || c.done[shard] || c.quarantined[shard] {
 		return
 	}
 	c.quarantined[shard] = true
+	c.m.quarantines.Inc()
+	c.m.event("quarantine", shard, "", "", reason)
 	open := c.pending[:0]
 	for _, s := range c.pending {
 		if s != shard {
@@ -523,6 +558,9 @@ func (c *Coordinator) Lease(worker string) (wire.LeaseGrant, error) {
 	c.leases[id] = shard
 	c.deadlines[id] = time.Now().Add(c.cfg.LeaseTTL)
 	c.issued[id] = shard
+	c.holders[id] = worker
+	c.m.granted.Inc()
+	c.m.event("lease", shard, id, worker, "")
 	c.cfg.Logf("dispatch: leased shard %d/%d (%d cells) to %s as %s", shard, c.shards, c.sizes[shard], worker, id)
 	return wire.LeaseGrant{
 		Version:   wire.Version,
@@ -553,9 +591,13 @@ func (c *Coordinator) Renew(leaseID, worker string) error {
 		// parked); renewing would only extend pointless work.
 		delete(c.leases, leaseID)
 		delete(c.deadlines, leaseID)
+		c.m.lost.Inc()
+		c.m.event("lost", shard, leaseID, worker, "shard already resolved")
 		return fmt.Errorf("%w: shard %d already resolved", ErrLeaseLost, shard)
 	}
 	c.deadlines[leaseID] = time.Now().Add(c.cfg.LeaseTTL)
+	c.m.renewed.Inc()
+	c.m.event("renew", shard, leaseID, worker, "")
 	return nil
 }
 
@@ -573,18 +615,22 @@ func (c *Coordinator) Reject(leaseID string, reason error) error {
 	if !ok {
 		return fmt.Errorf("dispatch: unknown lease %q", leaseID)
 	}
+	if _, live := c.leases[leaseID]; live {
+		c.m.rejected.Inc()
+	}
 	delete(c.leases, leaseID)
 	delete(c.deadlines, leaseID)
 	if c.rejected[leaseID] {
 		return nil
 	}
 	c.rejected[leaseID] = true
+	c.m.event("reject", shard, leaseID, c.holders[leaseID], reason.Error())
 	if c.done[shard] || c.quarantined[shard] {
 		return nil
 	}
 	c.cfg.Logf("dispatch: lease %s delivery rejected (%v), requeueing shard %d/%d", leaseID, reason, shard, c.shards)
 	c.requeueLocked(shard)
-	c.strikeLocked(shard)
+	c.strikeLocked(shard, "delivery rejected: "+reason.Error())
 	return nil
 }
 
@@ -599,14 +645,40 @@ func (c *Coordinator) Reject(leaseID string, reason error) error {
 // is on) before it counts as done, so a coordinator crash after the ack
 // can never lose an acknowledged shard.
 func (c *Coordinator) Complete(leaseID string, runs []wire.Run) error {
+	return c.CompleteStats(leaseID, runs, nil)
+}
+
+// CompleteStats is Complete carrying the worker's optional self-measured
+// shard stats (see wire.WorkerStats). A nil stats — what old workers
+// effectively send — is simply Complete; snapshots with an unknown
+// version are ignored, never rejected, so the field can evolve without a
+// protocol bump.
+func (c *Coordinator) CompleteStats(leaseID string, runs []wire.Run, stats *wire.WorkerStats) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	shard, ok := c.issued[leaseID]
 	if !ok {
 		return fmt.Errorf("dispatch: unknown lease %q", leaseID)
 	}
+	// Lease-ledger accounting: removing a live lease here puts the
+	// delivery in flight until it is classified as completed or rejected
+	// below. c.mu is released twice on the way (the committing wait and
+	// the journal append), so `delivering` is what keeps a mid-delivery
+	// scrape balanced: granted == active + completed + expired +
+	// rejected + lost + delivering.
+	_, live := c.leases[leaseID]
 	delete(c.leases, leaseID)
 	delete(c.deadlines, leaseID)
+	if live {
+		c.delivering++
+	}
+	settle := func(outcome *obs.Counter) {
+		if live {
+			c.delivering--
+			outcome.Inc()
+			live = false
+		}
+	}
 	// A concurrent delivery for the same shard may be mid-journal-append;
 	// wait for it to settle so the done check below absorbs this one as a
 	// duplicate instead of double-committing the shard.
@@ -614,11 +686,18 @@ func (c *Coordinator) Complete(leaseID string, runs []wire.Run) error {
 		c.commitDone.Wait()
 	}
 	if c.done[shard] {
-		return nil // late duplicate of an expired-and-reissued lease
+		// Late duplicate of an expired-and-reissued lease. The work still
+		// happened on the worker, so its stats count.
+		settle(c.m.completed)
+		c.recordStatsLocked(stats)
+		c.m.event("complete", shard, leaseID, c.holders[leaseID], "duplicate")
+		return nil
 	}
 	if err := c.validateBatch(shard, runs); err != nil {
+		settle(c.m.rejected)
+		c.m.event("reject", shard, leaseID, c.holders[leaseID], err.Error())
 		c.requeueLocked(shard)
-		c.strikeLocked(shard)
+		c.strikeLocked(shard, "delivery rejected: "+err.Error())
 		return fmt.Errorf("%s (lease %s)", err, leaseID)
 	}
 	// Journal outside c.mu — the append fsyncs, and a slow disk must not
@@ -634,11 +713,17 @@ func (c *Coordinator) Complete(leaseID string, runs []wire.Run) error {
 	c.commitDone.Broadcast()
 	c.done[shard] = true
 	c.results[shard] = runs
+	settle(c.m.completed)
+	c.recordStatsLocked(stats)
+	c.m.batchCells.Observe(float64(len(runs)))
+	c.m.event("complete", shard, leaseID, c.holders[leaseID], "")
 	if c.quarantined[shard] {
 		// A parked shard's work arrived after all: unpark it. Its
 		// strike-out already removed it from remaining, so the count
 		// stays untouched.
 		c.quarantined[shard] = false
+		c.m.unparks.Inc()
+		c.m.event("unpark", shard, leaseID, c.holders[leaseID], "late completion rescued quarantined shard")
 		c.cfg.Logf("dispatch: quarantined shard %d/%d completed late (%s) — unparked", shard, c.shards, leaseID)
 		return nil
 	}
@@ -648,6 +733,16 @@ func (c *Coordinator) Complete(leaseID string, runs []wire.Run) error {
 		close(c.finished)
 	}
 	return nil
+}
+
+// recordStatsLocked folds a shipped WorkerStats snapshot into the
+// per-worker metric series, dropping nil and unknown-version snapshots.
+// Called with c.mu held.
+func (c *Coordinator) recordStatsLocked(stats *wire.WorkerStats) {
+	if stats == nil || stats.Version != wire.StatsVersion {
+		return
+	}
+	c.m.recordWorkerStats(stats)
 }
 
 // requeueLocked puts a shard back at the head of the queue, unless it is
@@ -714,6 +809,28 @@ func (c *Coordinator) Quarantined() []int {
 		if q {
 			out = append(out, s)
 		}
+	}
+	return out
+}
+
+// Failures reports every shard that has been struck at least once, in
+// ascending shard order, with its strike count, quarantine state, and
+// the most recent strike's reason — the /status detail that turns "the
+// sweep is stuck" into "shard 7 keeps killing its workers".
+func (c *Coordinator) Failures() []ShardFailure {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []ShardFailure
+	for s, n := range c.strikes {
+		if n == 0 {
+			continue
+		}
+		out = append(out, ShardFailure{
+			Shard:       s,
+			Strikes:     n,
+			Quarantined: c.quarantined[s],
+			Reason:      c.lastStrike[s],
+		})
 	}
 	return out
 }

@@ -11,10 +11,13 @@ import (
 	"math/rand/v2"
 	"net"
 	"net/http"
+	netpprof "net/http/pprof"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"turbulence/internal/core"
+	"turbulence/internal/obs"
 	"turbulence/internal/wire"
 )
 
@@ -35,10 +38,22 @@ import (
 // oversized bodies are deterministic and fail fast without it. Request
 // bodies are capped (Config.MaxBodyBytes) before decoding, so an oversized
 // or malicious body is a clean 413, never a coordinator OOM.
+// Observability rides the same mux read-only:
+//
+//	GET  /metrics   → Prometheus text exposition (always on)
+//	GET  /events    → JSON EventsReport, the shard-lifecycle ring
+//	     /debug/pprof/*  (only with Config.Pprof)
+//
+// and a completing worker may attach its self-measured WorkerStats as a
+// JSON header on POST /complete. The header is optional and versioned
+// independently of the gob envelopes: coordinators that predate it never
+// look, coordinators that postdate the worker ignore unknown versions —
+// either skew degrades to "no per-worker stats", never to an error.
 const (
 	leaseHeader     = "X-Turbulence-Lease"
 	versionHeader   = "X-Turbulence-Wire-Version"
 	retriableHeader = "X-Turbulence-Retriable"
+	statsHeader     = "X-Turbulence-Worker-Stats"
 )
 
 // ErrUnreachable marks a client call that exhausted its retry budget
@@ -53,14 +68,33 @@ var ErrUnreachable = errors.New("dispatch: coordinator unreachable")
 // before parsing; this is the body-level counterpart.
 var errTransient = errors.New("dispatch: transient response error")
 
-// StatusReport is the GET /status body.
+// StatusReport is the GET /status body. Its JSON shape is pinned by
+// TestStatusReportShape: operators script against these keys, so a field
+// rename is a breaking change even though the Go type is internal.
 type StatusReport struct {
-	Pending     int    `json:"pending"`
-	Leased      int    `json:"leased"`
-	Done        int    `json:"done"`
-	Shards      int    `json:"shards"`
-	Epoch       string `json:"epoch"`
-	Quarantined []int  `json:"quarantined,omitempty"`
+	Pending     int            `json:"pending"`
+	Leased      int            `json:"leased"`
+	Done        int            `json:"done"`
+	Shards      int            `json:"shards"`
+	Epoch       string         `json:"epoch"`
+	Quarantined []int          `json:"quarantined,omitempty"`
+	Failures    []ShardFailure `json:"failures,omitempty"`
+}
+
+// ShardFailure is the /status detail for one struck shard.
+type ShardFailure struct {
+	Shard       int    `json:"shard"`
+	Strikes     int    `json:"strikes"`
+	Quarantined bool   `json:"quarantined"`
+	Reason      string `json:"reason,omitempty"`
+}
+
+// EventsReport is the GET /events body: the retained shard-lifecycle
+// events oldest-first, plus how many were ever recorded (total > len
+// means the ring wrapped and the oldest history was shed).
+type EventsReport struct {
+	Total  int         `json:"total"`
+	Events []obs.Event `json:"events"`
 }
 
 // Handler exposes the coordinator over HTTP.
@@ -153,7 +187,17 @@ func (c *Coordinator) Handler() http.Handler {
 			ack(http.StatusBadRequest, fmt.Errorf("dispatch: bad complete body: %w", err))
 			return
 		}
-		if err := c.Complete(leaseID, runs); err != nil {
+		// The optional worker-stats header: malformed or unknown-version
+		// snapshots are dropped, never rejected — stats are telemetry,
+		// and a skewed worker's batch is still good.
+		var stats *wire.WorkerStats
+		if h := r.Header.Get(statsHeader); h != "" {
+			var ws wire.WorkerStats
+			if json.Unmarshal([]byte(h), &ws) == nil && ws.Version == wire.StatsVersion {
+				stats = &ws
+			}
+		}
+		if err := c.CompleteStats(leaseID, runs, stats); err != nil {
 			ack(http.StatusConflict, err)
 			return
 		}
@@ -165,8 +209,22 @@ func (c *Coordinator) Handler() http.Handler {
 		json.NewEncoder(w).Encode(StatusReport{
 			Pending: pending, Leased: leased, Done: done,
 			Shards: c.shards, Epoch: c.epoch, Quarantined: c.Quarantined(),
+			Failures: c.Failures(),
 		})
 	})
+	mux.Handle("GET /metrics", c.m.reg.Handler())
+	mux.HandleFunc("GET /events", func(w http.ResponseWriter, r *http.Request) {
+		events := c.m.ring.Snapshot()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(EventsReport{Total: c.m.ring.Total(), Events: events})
+	})
+	if c.cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", netpprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+	}
 	return mux
 }
 
@@ -177,10 +235,16 @@ func (c *Coordinator) Handler() http.Handler {
 // surface ErrUnreachable when the budget runs dry. Deterministic
 // rejections (version mismatch, unknown lease) fail immediately.
 type Client struct {
-	base string
-	hc   *http.Client
-	cfg  Config
+	base    string
+	hc      *http.Client
+	cfg     Config
+	retries atomic.Uint64 // transport retries across all calls
 }
+
+// Retries reports how many retry attempts (beyond each call's first try)
+// this client has spent, across all calls so far. Workers difference it
+// around a shard to self-report retry pressure in WorkerStats.
+func (cl *Client) Retries() uint64 { return cl.retries.Load() }
 
 // NewClient builds a client for a coordinator at base ("http://host:port";
 // a bare "host:port" gets the scheme prepended). Relevant options:
@@ -225,6 +289,7 @@ func (cl *Client) call(path string, header http.Header, body func() (io.Reader, 
 			if time.Since(start)+d > cl.cfg.MaxElapsed {
 				break
 			}
+			cl.retries.Add(1)
 			time.Sleep(d)
 			if backoff < 8*time.Second {
 				backoff *= 2
@@ -320,9 +385,22 @@ func (cl *Client) Renew(leaseID, worker string) error {
 // headers. Retried deliveries of an already-accepted batch are absorbed
 // idempotently server-side, so a lost ack costs nothing.
 func (cl *Client) Complete(leaseID string, runs []wire.Run) error {
+	return cl.CompleteStats(leaseID, runs, nil)
+}
+
+// CompleteStats is Complete with the worker's self-measured shard stats
+// riding as an optional JSON header (see statsHeader). Implements
+// StatsQueue, so a Worker driving this client ships its measurements
+// without any envelope change.
+func (cl *Client) CompleteStats(leaseID string, runs []wire.Run, stats *wire.WorkerStats) error {
 	header := http.Header{
 		leaseHeader:   []string{leaseID},
 		versionHeader: []string{strconv.Itoa(wire.Version)},
+	}
+	if stats != nil {
+		if js, err := json.Marshal(stats); err == nil {
+			header.Set(statsHeader, string(js))
+		}
 	}
 	return cl.call("/complete", header,
 		func() (io.Reader, error) { return encodeGobRuns(runs) },

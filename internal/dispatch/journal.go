@@ -9,7 +9,9 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
+	"turbulence/internal/obs"
 	"turbulence/internal/wire"
 )
 
@@ -65,6 +67,11 @@ type journal struct {
 	f    *os.File
 	dead bool // a failed append stops checkpointing (see append)
 	logf func(format string, args ...any)
+
+	// Set by the coordinator after open; nil-safe (obs handles are only
+	// read when non-nil).
+	fsyncs       *obs.Counter
+	fsyncSeconds *obs.Histogram
 }
 
 // appendFrame writes one length-prefixed gob frame and fsyncs. On any
@@ -96,8 +103,14 @@ func (j *journal) appendFrame(fr journalFrame) {
 		j.fail("write", err)
 		return
 	}
+	start := time.Now()
 	if err := j.f.Sync(); err != nil {
 		j.fail("fsync", err)
+		return
+	}
+	if j.fsyncs != nil {
+		j.fsyncs.Inc()
+		j.fsyncSeconds.Observe(time.Since(start).Seconds())
 	}
 }
 

@@ -12,6 +12,23 @@ import (
 	"turbulence/internal/wire"
 )
 
+// StatsQueue is the optional Queue extension for shipping a worker's
+// self-measured shard stats alongside a completion. Both the Coordinator
+// (in process) and the Client (as an HTTP header) implement it; a worker
+// driving a queue that doesn't simply falls back to plain Complete and
+// the measurements are not shipped.
+type StatsQueue interface {
+	Queue
+	CompleteStats(leaseID string, runs []wire.Run, stats *wire.WorkerStats) error
+}
+
+// RetryCounter is the optional Queue extension exposing cumulative
+// transport retries (the Client implements it); workers difference it
+// around a shard for WorkerStats.Retries.
+type RetryCounter interface {
+	Retries() uint64
+}
+
 // Worker is the dumb half of the dispatcher: pull a lease, run the shard,
 // ship the results, repeat until the coordinator says Done. It holds no
 // state between shards — everything it needs to execute arrives in the
@@ -84,7 +101,14 @@ func (w *Worker) Run(ctx context.Context) (completed int, err error) {
 			}
 			continue
 		}
-		runs, orphaned, err := w.runShard(grant)
+		// Self-measurement brackets the shard: wall time and renewals come
+		// out of runShard, transport retries are differenced around it.
+		var retriesBefore uint64
+		rc, hasRetries := w.q.(RetryCounter)
+		if hasRetries {
+			retriesBefore = rc.Retries()
+		}
+		runs, orphaned, stats, err := w.runShard(grant)
 		if err != nil {
 			return completed, err
 		}
@@ -100,7 +124,10 @@ func (w *Worker) Run(ctx context.Context) (completed int, err error) {
 			// expire and requeue) and report why we stopped.
 			return completed, w.cfg.RunContext.Err()
 		}
-		if err := w.q.Complete(grant.LeaseID, runs); err != nil {
+		if hasRetries {
+			stats.Retries = rc.Retries() - retriesBefore
+		}
+		if err := w.complete(grant.LeaseID, runs, &stats); err != nil {
 			if errors.Is(err, ErrUnreachable) {
 				w.cfg.Logf("dispatch: %s: coordinator unreachable shipping %s, draining after %d shards: %v", w.cfg.Name, grant.LeaseID, completed, err)
 				return completed, nil
@@ -116,14 +143,26 @@ func (w *Worker) Run(ctx context.Context) (completed int, err error) {
 	}
 }
 
+// complete ships a batch, with stats when the queue can carry them.
+func (w *Worker) complete(leaseID string, runs []wire.Run, stats *wire.WorkerStats) error {
+	if sq, ok := w.q.(StatsQueue); ok {
+		return sq.CompleteStats(leaseID, runs, stats)
+	}
+	return w.q.Complete(leaseID, runs)
+}
+
 // runShard reconstructs the granted plan, executes the leased slice under
 // a renewal heartbeat, and flattens the results to their wire shape.
 // orphaned means the lease was lost mid-run and the shard aborted; a nil,
-// false, nil return means the run was hard-cancelled mid-simulation.
-func (w *Worker) runShard(grant wire.LeaseGrant) (runs []wire.Run, orphaned bool, err error) {
+// false return means the run was hard-cancelled mid-simulation. The
+// returned stats carry the worker's self-measurement for the shard —
+// wall time, cell count, renewals — except Retries, which the caller
+// differences around this call.
+func (w *Worker) runShard(grant wire.LeaseGrant) (runs []wire.Run, orphaned bool, stats wire.WorkerStats, err error) {
+	stats = wire.WorkerStats{Version: wire.StatsVersion, Worker: w.cfg.Name, Shard: grant.Shard}
 	plan, err := grant.Plan.Plan()
 	if err != nil {
-		return nil, false, fmt.Errorf("dispatch: %s: lease %s: %w", w.cfg.Name, grant.LeaseID, err)
+		return nil, false, stats, fmt.Errorf("dispatch: %s: lease %s: %w", w.cfg.Name, grant.LeaseID, err)
 	}
 	shard := plan.Shard(grant.Shard, grant.Shards)
 	w.cfg.Logf("dispatch: %s running shard %d/%d (%d cells) as %s", w.cfg.Name, grant.Shard, grant.Shards, shard.Size(), grant.LeaseID)
@@ -134,7 +173,8 @@ func (w *Worker) runShard(grant wire.LeaseGrant) (runs []wire.Run, orphaned bool
 	runCtx, cancelRun := context.WithCancel(w.cfg.RunContext)
 	defer cancelRun()
 	var lost atomic.Bool
-	stopHeartbeat := w.heartbeat(grant, &lost, cancelRun)
+	var renewals atomic.Int64
+	stopHeartbeat := w.heartbeat(grant, &lost, cancelRun, &renewals)
 
 	runner := core.NewRunner(
 		core.WithWorkers(w.cfg.RunWorkers),
@@ -147,15 +187,20 @@ func (w *Worker) runShard(grant wire.LeaseGrant) (runs []wire.Run, orphaned bool
 	// the collector can surface *which* cell failed instead of leasing the
 	// poisoned shard forever. Hence Run's error is ignored here — it is
 	// already in the results.
+	start := time.Now()
 	results, _ := runner.Run(shard)
+	stats.RunMillis = time.Since(start).Milliseconds()
 	stopHeartbeat()
+	stats.Renewals = int(renewals.Load())
 	if w.cfg.RunContext.Err() != nil {
-		return nil, false, nil
+		return nil, false, stats, nil
 	}
 	if lost.Load() {
-		return nil, true, nil
+		return nil, true, stats, nil
 	}
-	return wire.FromResults(results), false, nil
+	runs = wire.FromResults(results)
+	stats.Cells = len(runs)
+	return runs, false, stats, nil
 }
 
 // heartbeat keeps grant's lease alive while the shard simulates: renew at
@@ -166,7 +211,7 @@ func (w *Worker) runShard(grant wire.LeaseGrant) (runs []wire.Run, orphaned bool
 // so the loop keeps beating until the lease is conclusively gone or the
 // shard ends. Returns a stop function (idempotent enough for one caller)
 // that waits for the goroutine to exit.
-func (w *Worker) heartbeat(grant wire.LeaseGrant, lost *atomic.Bool, cancelRun context.CancelFunc) (stop func()) {
+func (w *Worker) heartbeat(grant wire.LeaseGrant, lost *atomic.Bool, cancelRun context.CancelFunc, renewals *atomic.Int64) (stop func()) {
 	ttl := time.Duration(grant.TTLMillis) * time.Millisecond
 	if ttl <= 0 {
 		return func() {}
@@ -193,6 +238,7 @@ func (w *Worker) heartbeat(grant wire.LeaseGrant, lost *atomic.Bool, cancelRun c
 			err := w.q.Renew(grant.LeaseID, w.cfg.Name)
 			switch {
 			case err == nil:
+				renewals.Add(1)
 			case errors.Is(err, ErrLeaseLost):
 				w.cfg.Logf("dispatch: %s: renew %s: %v — aborting shard", w.cfg.Name, grant.LeaseID, err)
 				lost.Store(true)

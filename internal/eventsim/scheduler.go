@@ -87,6 +87,7 @@ type Scheduler struct {
 	seq       uint64
 	stopped   bool
 	fired     uint64
+	peak      int
 	interrupt func() bool
 }
 
@@ -103,6 +104,16 @@ func (s *Scheduler) Len() int { return len(s.queue) }
 
 // Fired reports how many events have run so far.
 func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Scheduled reports how many events have ever been scheduled. Together
+// with Fired it gives a cheap liveness meter: a large standing gap means
+// timers are piling up faster than they run.
+func (s *Scheduler) Scheduled() uint64 { return s.seq }
+
+// PeakQueue reports the high-water pending-event count — the deepest the
+// heap has ever been. Deterministic for a given seed, so it doubles as a
+// regression canary for scheduling blowups.
+func (s *Scheduler) PeakQueue() int { return s.peak }
 
 // alloc takes an event from the free list, refilling it in batches so cold
 // starts amortise to one allocation per 64 events.
@@ -289,6 +300,9 @@ func eventLess(a, b *Event) bool {
 func (s *Scheduler) push(e *Event) {
 	e.index = int32(len(s.queue))
 	s.queue = append(s.queue, e)
+	if len(s.queue) > s.peak {
+		s.peak = len(s.queue)
+	}
 	s.siftUp(len(s.queue) - 1)
 }
 

@@ -17,6 +17,7 @@ import (
 	"turbulence/internal/media"
 	"turbulence/internal/netem"
 	"turbulence/internal/netsim"
+	"turbulence/internal/obs"
 	"turbulence/internal/stats"
 )
 
@@ -122,6 +123,7 @@ type Context struct {
 	// observes each completed pair run.
 	cancel   context.Context
 	progress func(core.Progress)
+	sink     *obs.Sink
 
 	// scenario, when set, streams every cached Table 1 pair run under a
 	// netem scenario, turning the whole regenerated evaluation into a
@@ -168,6 +170,15 @@ func (c *Context) SetProgress(fn func(core.Progress)) *Context {
 	return c
 }
 
+// SetMetrics installs an obs.Sink on the underlying Runner: every
+// uncached pair run feeds cell timing, simulator counters, capture
+// volume, and netem drop causes into it. Results are unaffected — the
+// sink observes the sweep, it does not steer it.
+func (c *Context) SetMetrics(s *obs.Sink) *Context {
+	c.sink = s
+	return c
+}
+
 // SetRetention selects what the cached Table 1 sweep keeps of each pair
 // run (default core.RetainTraces). Must be called before the first run
 // executes. With StreamProfiles the sweep never materialises a trace —
@@ -197,6 +208,9 @@ func (c *Context) runner(extra ...core.RunnerOption) *core.Runner {
 	}
 	if c.progress != nil {
 		opts = append(opts, core.WithProgress(c.progress))
+	}
+	if c.sink != nil {
+		opts = append(opts, core.WithMetrics(c.sink))
 	}
 	opts = append(opts, extra...)
 	return core.NewRunner(opts...)

@@ -1,0 +1,132 @@
+// Package obs is turbulence's dependency-free observability layer: atomic
+// counters and gauges, fixed-bucket histograms, and a Registry that renders
+// the Prometheus text exposition format.
+//
+// The package is built around one asymmetry: metric *updates* sit on hot
+// paths (per packet, per simulated event, per lease transition) and must
+// not allocate, while metric *rendering* happens only when an operator
+// scrapes /metrics and may build whatever buffers it likes. Every update
+// method below is a single atomic op (or a short CAS loop for float
+// accumulation) on pre-allocated state; all string work is deferred to
+// scrape time and rendered with strconv, never fmt — `make lint` enforces
+// the fmt ban on this package.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// A Counter is a monotonically increasing uint64. The zero value is not
+// usable on its own — obtain counters from a Registry so they render.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one. Safe for concurrent use; never allocates.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n. Counters only go up; Add with a wildly large n is the
+// caller's bug, not checked here.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// A Gauge is an int64 that can go up and down (queue depths, active
+// leases, high-water marks).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (negative to decrement).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// SetMax raises the gauge to v if v exceeds the current value — a
+// lock-free high-water mark. Concurrent SetMax calls converge on the
+// largest value offered.
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// A FloatGauge holds a float64 (rates, ratios, throughput). Stored as
+// raw bits so Set/Value stay single atomic ops.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// A Histogram counts observations into fixed buckets chosen at
+// construction. Buckets are cumulative at render time only; Observe
+// touches exactly one bucket counter plus the running count and sum.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds; +Inf bucket is implicit
+	counts []atomic.Uint64 // len(bounds)+1; counts[len(bounds)] is the +Inf bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records v. Alloc-free: a linear scan over the (small, fixed)
+// bucket list, two atomic adds, and a CAS loop for the float sum.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// DurationBuckets is the default bucket layout for per-cell and per-shard
+// wall times, in seconds. Sim cells run seconds to minutes; the top
+// bucket catches pathological stalls.
+var DurationBuckets = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300}
+
+// BatchBuckets is the default layout for batch sizes (cells per
+// completed shard).
+var BatchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}

@@ -1,0 +1,348 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindFloatGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+// series is one sample stream: an unlabelled metric has exactly one with
+// an empty label value; a vec grows one per distinct label value.
+type series struct {
+	labelVal string
+	c        *Counter
+	g        *Gauge
+	f        *FloatGauge
+	fn       func() float64
+	h        *Histogram
+}
+
+type metric struct {
+	name, help string
+	kind       kind
+	label      string // label key for vecs; empty for plain metrics
+
+	mu      sync.Mutex // guards the two fields below (vec child creation)
+	series  []*series
+	byLabel map[string]*series
+}
+
+// A Registry owns a set of named metrics and renders them in Prometheus
+// text exposition format. Registration is not hot-path: do it once at
+// construction and hold the returned handles.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	byName  map[string]*metric
+
+	snapMu   sync.Mutex
+	snapshot func() func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+// SetSnapshotLock installs a lock taken around every render: lock is
+// called before the first metric is read and the function it returns
+// after the last. The dispatcher points this at its state mutex so a
+// scrape observes one consistent coordinator state (lease accounting
+// balances exactly, mid-sweep). GaugeFunc callbacks run while the
+// snapshot lock is held, so they must read their state without
+// re-acquiring it.
+func (r *Registry) SetSnapshotLock(lock func() func()) {
+	r.snapMu.Lock()
+	r.snapshot = lock
+	r.snapMu.Unlock()
+}
+
+func (r *Registry) register(name, help string, k kind, label string) *metric {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic("obs: duplicate metric " + name)
+	}
+	m := &metric{name: name, help: help, kind: k, label: label}
+	if label != "" {
+		m.byLabel = make(map[string]*series)
+	}
+	r.byName[name] = m
+	r.metrics = append(r.metrics, m)
+	return m
+}
+
+// Counter registers and returns a new unlabelled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.register(name, help, kindCounter, "")
+	c := &Counter{}
+	m.series = []*series{{c: c}}
+	return c
+}
+
+// Gauge registers and returns a new unlabelled int gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := r.register(name, help, kindGauge, "")
+	g := &Gauge{}
+	m.series = []*series{{g: g}}
+	return g
+}
+
+// FloatGauge registers and returns a new unlabelled float gauge.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	m := r.register(name, help, kindFloatGauge, "")
+	f := &FloatGauge{}
+	m.series = []*series{{f: f}}
+	return f
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape
+// time. If a snapshot lock is installed, fn runs under it.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	m := r.register(name, help, kindGaugeFunc, "")
+	m.series = []*series{{fn: fn}}
+}
+
+// Histogram registers and returns a histogram with the given ascending
+// upper bucket bounds (the +Inf bucket is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	m := r.register(name, help, kindHistogram, "")
+	h := newHistogram(bounds)
+	m.series = []*series{{h: h}}
+	return h
+}
+
+// A CounterVec is a family of counters keyed by one label value
+// (typically a worker name or drop cause). With allocates only on the
+// first sighting of a value — callers on hot paths cache the child.
+type CounterVec struct{ m *metric }
+
+// CounterVec registers a counter family with the given label key.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	if label == "" {
+		panic("obs: CounterVec needs a label key")
+	}
+	return &CounterVec{m: r.register(name, help, kindCounter, label)}
+}
+
+// With returns the child counter for the given label value, creating it
+// on first use.
+func (v *CounterVec) With(value string) *Counter {
+	v.m.mu.Lock()
+	defer v.m.mu.Unlock()
+	if s, ok := v.m.byLabel[value]; ok {
+		return s.c
+	}
+	s := &series{labelVal: value, c: &Counter{}}
+	v.m.byLabel[value] = s
+	v.m.series = append(v.m.series, s)
+	return s.c
+}
+
+// A FloatGaugeVec is a family of float gauges keyed by one label value.
+type FloatGaugeVec struct{ m *metric }
+
+// FloatGaugeVec registers a float gauge family with the given label key.
+func (r *Registry) FloatGaugeVec(name, help, label string) *FloatGaugeVec {
+	if label == "" {
+		panic("obs: FloatGaugeVec needs a label key")
+	}
+	return &FloatGaugeVec{m: r.register(name, help, kindFloatGauge, label)}
+}
+
+// With returns the child gauge for the given label value, creating it on
+// first use.
+func (v *FloatGaugeVec) With(value string) *FloatGauge {
+	v.m.mu.Lock()
+	defer v.m.mu.Unlock()
+	if s, ok := v.m.byLabel[value]; ok {
+		return s.f
+	}
+	s := &series{labelVal: value, f: &FloatGauge{}}
+	v.m.byLabel[value] = s
+	v.m.series = append(v.m.series, s)
+	return s.f
+}
+
+// WriteText renders every registered metric in Prometheus text
+// exposition format. Series within a vec are sorted by label value so
+// output is deterministic. Rendering allocates (it is scrape-time, not
+// hot-path) but uses strconv throughout.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.snapMu.Lock()
+	snap := r.snapshot
+	r.snapMu.Unlock()
+
+	r.mu.Lock()
+	metrics := make([]*metric, len(r.metrics))
+	copy(metrics, r.metrics)
+	r.mu.Unlock()
+
+	buf := make([]byte, 0, 4096)
+	if snap != nil {
+		unlock := snap()
+		defer unlock()
+	}
+	for _, m := range metrics {
+		buf = m.render(buf)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// Handler returns an http.Handler serving WriteText, suitable for
+// mounting at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}
+
+func (m *metric) render(buf []byte) []byte {
+	m.mu.Lock()
+	series := make([]*series, len(m.series))
+	copy(series, m.series)
+	m.mu.Unlock()
+	if len(series) == 0 {
+		return buf
+	}
+	sort.Slice(series, func(i, j int) bool { return series[i].labelVal < series[j].labelVal })
+
+	buf = append(buf, "# HELP "...)
+	buf = append(buf, m.name...)
+	buf = append(buf, ' ')
+	buf = appendEscapedHelp(buf, m.help)
+	buf = append(buf, "\n# TYPE "...)
+	buf = append(buf, m.name...)
+	switch m.kind {
+	case kindCounter:
+		buf = append(buf, " counter\n"...)
+	case kindHistogram:
+		buf = append(buf, " histogram\n"...)
+	default:
+		buf = append(buf, " gauge\n"...)
+	}
+	for _, s := range series {
+		switch m.kind {
+		case kindCounter:
+			buf = appendSeriesName(buf, m.name, m.label, s.labelVal)
+			buf = append(buf, ' ')
+			buf = strconv.AppendUint(buf, s.c.Value(), 10)
+			buf = append(buf, '\n')
+		case kindGauge:
+			buf = appendSeriesName(buf, m.name, m.label, s.labelVal)
+			buf = append(buf, ' ')
+			buf = strconv.AppendInt(buf, s.g.Value(), 10)
+			buf = append(buf, '\n')
+		case kindFloatGauge:
+			buf = appendSeriesName(buf, m.name, m.label, s.labelVal)
+			buf = append(buf, ' ')
+			buf = appendFloat(buf, s.f.Value())
+			buf = append(buf, '\n')
+		case kindGaugeFunc:
+			buf = appendSeriesName(buf, m.name, m.label, s.labelVal)
+			buf = append(buf, ' ')
+			buf = appendFloat(buf, s.fn())
+			buf = append(buf, '\n')
+		case kindHistogram:
+			buf = s.h.render(buf, m.name)
+		}
+	}
+	return buf
+}
+
+// render emits the cumulative bucket series, then _sum and _count.
+func (h *Histogram) render(buf []byte, name string) []byte {
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		buf = append(buf, name...)
+		buf = append(buf, `_bucket{le="`...)
+		buf = appendFloat(buf, bound)
+		buf = append(buf, `"} `...)
+		buf = strconv.AppendUint(buf, cum, 10)
+		buf = append(buf, '\n')
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	buf = append(buf, name...)
+	buf = append(buf, `_bucket{le="+Inf"} `...)
+	buf = strconv.AppendUint(buf, cum, 10)
+	buf = append(buf, '\n')
+	buf = append(buf, name...)
+	buf = append(buf, "_sum "...)
+	buf = appendFloat(buf, h.Sum())
+	buf = append(buf, '\n')
+	buf = append(buf, name...)
+	buf = append(buf, "_count "...)
+	buf = strconv.AppendUint(buf, h.Count(), 10)
+	buf = append(buf, '\n')
+	return buf
+}
+
+func appendSeriesName(buf []byte, name, label, value string) []byte {
+	buf = append(buf, name...)
+	if label != "" {
+		buf = append(buf, '{')
+		buf = append(buf, label...)
+		buf = append(buf, `="`...)
+		buf = appendEscapedLabel(buf, value)
+		buf = append(buf, `"}`...)
+	}
+	return buf
+}
+
+// appendFloat renders a float the way Prometheus expects: shortest
+// round-trip form, with integral values kept bare ("3" not "3e+00").
+func appendFloat(buf []byte, v float64) []byte {
+	return strconv.AppendFloat(buf, v, 'g', -1, 64)
+}
+
+// appendEscapedHelp escapes backslash and newline, per the exposition
+// format's HELP rules.
+func appendEscapedHelp(buf []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			buf = append(buf, `\\`...)
+		case '\n':
+			buf = append(buf, `\n`...)
+		default:
+			buf = append(buf, s[i])
+		}
+	}
+	return buf
+}
+
+// appendEscapedLabel escapes backslash, double-quote, and newline, per
+// the exposition format's label value rules.
+func appendEscapedLabel(buf []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			buf = append(buf, `\\`...)
+		case '"':
+			buf = append(buf, `\"`...)
+		case '\n':
+			buf = append(buf, `\n`...)
+		default:
+			buf = append(buf, s[i])
+		}
+	}
+	return buf
+}

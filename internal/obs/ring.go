@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// An Event is one timestamped entry in a lifecycle trace. The dispatcher
+// records one per shard-lifecycle transition (grant, renew, complete,
+// expire, reject, quarantine, requeue) so a stuck sweep can be diagnosed
+// after the fact without log scraping.
+type Event struct {
+	At     time.Time `json:"at"`
+	Kind   string    `json:"kind"`
+	Shard  int       `json:"shard"`
+	Lease  string    `json:"lease,omitempty"`
+	Worker string    `json:"worker,omitempty"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// A Ring is a fixed-capacity event buffer: appends are O(1) and never
+// grow memory; once full, the oldest entry is overwritten. Total keeps
+// counting so readers can tell how much history was shed.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	total int
+}
+
+// NewRing returns a ring holding up to capacity events (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Append records e, evicting the oldest event if the ring is full.
+func (r *Ring) Append(e Event) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained events, oldest first.
+func (r *Ring) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		out = append(out, r.buf...)
+		return out
+	}
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Total returns the number of events ever appended, including any the
+// ring has since overwritten.
+func (r *Ring) Total() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

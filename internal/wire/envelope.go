@@ -240,3 +240,26 @@ type Ack struct {
 	OK      bool
 	Err     string `json:",omitempty"`
 }
+
+// StatsVersion is the WorkerStats snapshot's own version, independent of
+// the envelope Version: the snapshot rides an optional HTTP header that
+// old coordinators never read and old workers never send, so evolving it
+// must not force a protocol bump. A coordinator ignores snapshots whose
+// version it does not know.
+const StatsVersion = 1
+
+// WorkerStats is a worker's self-measurement for one completed shard,
+// shipped alongside the completion batch (as the X-Turbulence-Worker-Stats
+// header, JSON-encoded — small, optional, and invisible to coordinators
+// that predate it). It is what lets the coordinator report per-worker
+// throughput as measured on the worker rather than inferred from
+// completion timestamps, which lease retries and queue waits distort.
+type WorkerStats struct {
+	Version   int    // StatsVersion of the sender
+	Worker    string `json:",omitempty"` // worker name, as in lease requests
+	Shard     int    // shard the batch completes
+	Cells     int    // cells executed (len of the shipped batch)
+	RunMillis int64  // wall-clock spent executing the shard's cells
+	Renewals  int    `json:",omitempty"` // successful lease renewals while running
+	Retries   uint64 `json:",omitempty"` // HTTP transport retries observed while running
+}

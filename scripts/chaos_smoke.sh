@@ -40,6 +40,32 @@ dump_logs() {
     done
 }
 
+# check_metrics fails the job unless the scraped /metrics body is
+# non-empty, carries the key dispatcher series, and every sample line
+# parses as Prometheus text exposition format.
+check_metrics() {
+    local body="$1"
+    if [ -z "$body" ]; then
+        echo "chaos smoke: /metrics body empty" >&2
+        exit 1
+    fi
+    local series
+    for series in turbulence_dispatch_leases_granted_total \
+                  turbulence_dispatch_queue_depth \
+                  turbulence_dispatch_journal_fsyncs_total; do
+        if ! printf '%s\n' "$body" | grep -Eq "^$series(\{[^}]*\})? "; then
+            echo "chaos smoke: /metrics missing series $series" >&2
+            printf '%s\n' "$body" | head -30 >&2
+            exit 1
+        fi
+    done
+    if printf '%s\n' "$body" | grep -v '^#' | grep -Evq '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?([0-9.eE+-]+|\+Inf|NaN)$'; then
+        echo "chaos smoke: malformed /metrics exposition line(s):" >&2
+        printf '%s\n' "$body" | grep -v '^#' | grep -Ev '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?([0-9.eE+-]+|\+Inf|NaN)$' | head -5 >&2
+        exit 1
+    fi
+}
+
 go build -o "$out/turbulence" ./cmd/turbulence
 
 serve=("$out/turbulence" -serve "127.0.0.1:$port" -seed 7
@@ -54,6 +80,15 @@ sleep 1
 w1_pid=$!
 "$out/turbulence" -work "127.0.0.1:$port" -parallel 1 2>"$out/w2.log" &
 w2_pid=$!
+
+# Scrape the coordinator mid-sweep, before any crash: the telemetry path
+# must serve parseable exposition text while workers pull and ship.
+metrics="$(curl -fsS --max-time 5 "http://127.0.0.1:$port/metrics")" || {
+    echo "chaos smoke: GET /metrics failed mid-sweep" >&2
+    dump_logs
+    exit 1
+}
+check_metrics "$metrics"
 
 # Poll /status until the sweep is provably mid-flight: at least one shard
 # journalled, at least one still outstanding — then SIGKILL the

@@ -27,6 +27,32 @@ digest() {
     fi
 }
 
+# check_metrics fails the job unless the scraped /metrics body is
+# non-empty, carries the key dispatcher series, and every sample line
+# parses as Prometheus text exposition format.
+check_metrics() {
+    local body="$1"
+    if [ -z "$body" ]; then
+        echo "dispatch smoke: /metrics body empty" >&2
+        exit 1
+    fi
+    local series
+    for series in turbulence_dispatch_leases_granted_total \
+                  turbulence_dispatch_queue_depth \
+                  turbulence_dispatch_shards_total; do
+        if ! printf '%s\n' "$body" | grep -Eq "^$series(\{[^}]*\})? "; then
+            echo "dispatch smoke: /metrics missing series $series" >&2
+            printf '%s\n' "$body" | head -30 >&2
+            exit 1
+        fi
+    done
+    if printf '%s\n' "$body" | grep -v '^#' | grep -Evq '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?([0-9.eE+-]+|\+Inf|NaN)$'; then
+        echo "dispatch smoke: malformed /metrics exposition line(s):" >&2
+        printf '%s\n' "$body" | grep -v '^#' | grep -Ev '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?([0-9.eE+-]+|\+Inf|NaN)$' | head -5 >&2
+        exit 1
+    fi
+}
+
 go build -o "$out/turbulence" ./cmd/turbulence
 
 "$out/turbulence" -serve "127.0.0.1:$port" -seed 7 \
@@ -39,6 +65,15 @@ sleep 1
 w1_pid=$!
 "$out/turbulence" -work "127.0.0.1:$port" -parallel 1 2>"$out/w2.log" &
 w2_pid=$!
+
+# Scrape the coordinator mid-sweep: the telemetry path must serve
+# parseable exposition text while workers are pulling and shipping.
+metrics="$(curl -fsS --max-time 5 "http://127.0.0.1:$port/metrics")" || {
+    echo "dispatch smoke: GET /metrics failed mid-sweep" >&2
+    sed 's/^/  serve: /' "$out/serve.log" >&2
+    exit 1
+}
+check_metrics "$metrics"
 
 serve_rc=0
 wait "$serve_pid" || serve_rc=$?

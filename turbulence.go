@@ -14,6 +14,7 @@ import (
 	"turbulence/internal/media"
 	"turbulence/internal/netem"
 	"turbulence/internal/netsim"
+	"turbulence/internal/obs"
 	"turbulence/internal/stats"
 	"turbulence/internal/wire"
 )
@@ -136,6 +137,13 @@ type (
 	// per-shard run workers, logging).
 	DispatchOption = dispatch.Option
 
+	// MetricsRegistry is a set of named metric series rendered in
+	// Prometheus text exposition format (Handler serves it as /metrics).
+	MetricsRegistry = obs.Registry
+	// MetricsSink is the sweep-side instrument bundle a Runner feeds:
+	// cell timing, simulator counters, capture volume, netem drops.
+	MetricsSink = obs.Sink
+
 	// RNG is the deterministic random stream used by generators.
 	RNG = eventsim.RNG
 
@@ -205,6 +213,19 @@ func WithProgress(fn func(Progress)) RunnerOption { return core.WithProgress(fn)
 // WithTraceRetention selects what each completed run keeps (RetainTraces
 // or DropTracesAfterProfile).
 func WithTraceRetention(tr TraceRetention) RunnerOption { return core.WithTraceRetention(tr) }
+
+// WithMetrics installs a MetricsSink on the Runner: every completed cell
+// feeds its wall time, simulator counters, capture volume and netem drop
+// causes into it. Results are unaffected.
+func WithMetrics(s *MetricsSink) RunnerOption { return core.WithMetrics(s) }
+
+// NewMetricsRegistry creates an empty metric registry. Serve it with
+// (*MetricsRegistry).Handler() on any mux.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewMetricsSink registers the sweep instrument bundle on reg and returns
+// it, ready for WithMetrics or ExperimentContext.SetMetrics.
+func NewMetricsSink(reg *MetricsRegistry) *MetricsSink { return obs.NewSink(reg) }
 
 // MergeRuns recombines shard outputs of one Plan into the canonical plan
 // order, so n processes each running plan.Shard(i, n) reproduce the
@@ -313,6 +334,16 @@ func WithDispatchRetryBudget(d time.Duration) DispatchOption { return dispatch.W
 // batches) is parked and reported instead of poisoning the queue forever.
 // Negative disables quarantine.
 func WithMaxShardFailures(n int) DispatchOption { return dispatch.WithMaxShardFailures(n) }
+
+// WithDispatchPprof mounts net/http/pprof profiling handlers under
+// /debug/pprof/ on the coordinator's mux. Off by default: profiling
+// endpoints expose internals and cost CPU when scraped, so they are
+// opt-in for operators who need them.
+func WithDispatchPprof(on bool) DispatchOption { return dispatch.WithPprof(on) }
+
+// WithDispatchEventRing sizes the coordinator's shard-lifecycle event
+// ring behind GET /events (default 1024; oldest events are overwritten).
+func WithDispatchEventRing(n int) DispatchOption { return dispatch.WithEventRing(n) }
 
 // Library returns the paper's Table 1 clip library (6 sets, 26 clips).
 func Library() []ClipSet { return media.Library() }
