@@ -1,0 +1,121 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"turbulence"
+)
+
+// runListen is the -listen mode: bind the streaming servers to real UDP
+// sockets on the given IP and serve the clip library until interrupted.
+func runListen(ip string, seed int64, metricsAddr string, pprof bool) int {
+	addr, err := turbulence.ParseAddr(ip)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "turbulence: -listen:", err)
+		return 2
+	}
+	var reg *turbulence.MetricsRegistry
+	if metricsAddr != "" {
+		reg = turbulence.NewMetricsRegistry()
+	}
+	lt, err := turbulence.NewLiveTransport(turbulence.LiveTransportConfig{
+		BindIP:  addr,
+		Seed:    seed,
+		Metrics: reg,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "turbulence:", err)
+		return 1
+	}
+	defer lt.Close()
+	if _, err := turbulence.ServeLive(lt, logf); err != nil {
+		fmt.Fprintln(os.Stderr, "turbulence:", err)
+		return 1
+	}
+	if metricsAddr != "" {
+		if err := serveMetrics(metricsAddr, reg, pprof); err != nil {
+			fmt.Fprintln(os.Stderr, "turbulence:", err)
+			return 1
+		}
+	}
+	logf("turbulence: live server on %s (wms ctl 1755, rdt ctl 554); ctrl-C stops", ip)
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt)
+	<-sigs
+	logf("turbulence: live server stopping")
+	return 0
+}
+
+// runPlay is the -play mode: stream one clip from a live server over real
+// UDP, then print the session report (profile + payload digest).
+func runPlay(serverIP, bindIP, clipSpec string, seed int64, metricsAddr string, pprof bool, timeout time.Duration) int {
+	server, err := turbulence.ParseAddr(serverIP)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "turbulence: -play:", err)
+		return 2
+	}
+	bind, err := turbulence.ParseAddr(bindIP)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "turbulence: -bind:", err)
+		return 2
+	}
+	clip, err := parseClip(clipSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "turbulence:", err)
+		return 2
+	}
+	var reg *turbulence.MetricsRegistry
+	if metricsAddr != "" {
+		reg = turbulence.NewMetricsRegistry()
+	}
+	lt, err := turbulence.NewLiveTransport(turbulence.LiveTransportConfig{
+		BindIP:  bind,
+		Seed:    seed,
+		Metrics: reg,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "turbulence:", err)
+		return 1
+	}
+	defer lt.Close()
+	if metricsAddr != "" {
+		if err := serveMetrics(metricsAddr, reg, pprof); err != nil {
+			fmt.Fprintln(os.Stderr, "turbulence:", err)
+			return 1
+		}
+	}
+	logf("turbulence: playing %s from %s (%v of media; live sessions run in real time)",
+		clip.Name(), serverIP, clip.Duration)
+	rep, err := turbulence.PlayLive(lt, server, clip, timeout, logf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "turbulence:", err)
+		return 1
+	}
+	fmt.Printf("live play %s from %s: units=%d lost=%d bytes=%d sendErrs=%d elapsed=%s\n",
+		clip.Name(), serverIP, rep.Units, rep.UnitsLost, rep.Bytes, rep.SendErrors,
+		rep.Elapsed.Round(time.Millisecond))
+	fmt.Printf("profile: %s\n", rep.Profile)
+	fmt.Printf("digest: %s\n", rep.Digest)
+	return 0
+}
+
+// parseClip resolves the -clip spec ("set/class", class by name or Table 1
+// suffix) to the Windows Media clip of that pair.
+func parseClip(spec string) (turbulence.Clip, error) {
+	ss, cs, ok := strings.Cut(spec, "/")
+	set, err := strconv.Atoi(ss)
+	class, cok := turbulence.ParseClass(cs)
+	if !ok || err != nil || !cok || set <= 0 {
+		return turbulence.Clip{}, fmt.Errorf("bad -clip %q (want set/class, e.g. 2/low or 6/v)", spec)
+	}
+	clip, found := turbulence.FindClip(set, turbulence.WindowsMedia, class)
+	if !found {
+		return turbulence.Clip{}, fmt.Errorf("no clip for set %d class %s", set, class)
+	}
+	return clip, nil
+}

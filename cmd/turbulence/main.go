@@ -10,6 +10,9 @@
 //	turbulence -serve addr [-seed N] [-pairs list] [-scenario name]
 //	           [-serve-shards N] [-lease-ttl d] [-checkpoint file] [-pprof]
 //	turbulence -work addr [-parallel N]
+//	turbulence -listen ip [-seed N] [-metrics addr] [-pprof]
+//	turbulence -play ip [-bind ip] [-clip set/class] [-seed N]
+//	           [-live-timeout d] [-metrics addr]
 //
 // With no -experiment it runs everything, printing each artifact's rows,
 // series summaries and headline notes. -points includes full series data
@@ -72,6 +75,21 @@
 // are mutually exclusive, and neither combines with -experiment or
 // -shard.
 //
+// -listen and -play run the protocol stacks over real UDP sockets instead
+// of the simulator — the same wms/rdt code, carried by a live transport.
+// -listen ip binds the servers (WMS on 1755, RDT control on 554 — the
+// latter is privileged and reported unavailable without rights) and
+// serves the full Table 1 clip library until interrupted; -play ip
+// streams -clip from such a server, feeds the received flow through the
+// same online analyzers the simulator uses, and prints the session
+// report: a turbulence profile directly comparable to the simulated WMP
+// column, and an order-independent payload digest that, over a lossless
+// path (localhost loopback), equals the digest of the simulated run of
+// the same clip. -metrics on either side additionally exposes the
+// transport's per-socket counters (sent/received/dropped packets, send
+// errors, duplicate sequences) on /metrics. Neither mode combines with
+// -serve, -work, -experiment or -shard.
+//
 // -checkpoint file journals every completed shard to file (fsync'd per
 // append), making the coordinator crash-safe: re-running the same -serve
 // command — same seed, pairs and scenario — with the same -checkpoint
@@ -123,9 +141,14 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "-serve: journal completed shards to this file; re-running with the same sweep flags and path resumes, re-leasing only unfinished shards")
 	metricsAddr := flag.String("metrics", "", "serve a live Prometheus meter of the local sweep on this address (host:port) at /metrics; the -serve coordinator has its own /metrics and does not combine with this")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the -metrics server or the -serve coordinator (off by default: profiling endpoints expose internals and cost CPU when scraped)")
+	listen := flag.String("listen", "", "serve the streaming protocol stacks over real UDP sockets bound to this IPv4 address (e.g. 127.0.0.1); -metrics adds the per-socket transport counters")
+	play := flag.String("play", "", "stream a clip over real UDP from a live server at this IPv4 address and print the session report")
+	bindIP := flag.String("bind", "127.0.0.1", "-play: local IPv4 address the client binds its sockets to")
+	clipSpec := flag.String("clip", "2/low", "-play: clip to stream, as set/class (e.g. 2/low, 6/very-high)")
+	liveTimeout := flag.Duration("live-timeout", 5*time.Minute, "-play: abort if the session has not completed in this long")
 	flag.Parse()
 
-	if err := modeConflicts(*serve, *work, *experiment, *shard, *pairsSpec, *scenario, *checkpoint, *metricsAddr, *pprofFlag); err != nil {
+	if err := modeConflicts(*serve, *work, *experiment, *shard, *pairsSpec, *scenario, *checkpoint, *metricsAddr, *pprofFlag, *listen, *play); err != nil {
 		fmt.Fprintln(os.Stderr, "turbulence:", err)
 		os.Exit(2)
 	}
@@ -143,6 +166,12 @@ func main() {
 		return
 	}
 
+	if *listen != "" {
+		os.Exit(runListen(*listen, *seed, *metricsAddr, *pprofFlag))
+	}
+	if *play != "" {
+		os.Exit(runPlay(*play, *bindIP, *clipSpec, *seed, *metricsAddr, *pprofFlag, *liveTimeout))
+	}
 	if *serve != "" {
 		os.Exit(runServe(*serve, *seed, *pairsSpec, *scenario, *serveShards, *leaseTTL, *checkpoint, *pprofFlag))
 	}
@@ -393,16 +422,29 @@ func serveMetrics(addr string, reg *turbulence.MetricsRegistry, pprof bool) erro
 	return nil
 }
 
-// modeConflicts enforces the -serve/-work mutual-exclusion rules: the two
-// modes exclude each other; both are whole-sweep services, so the
+// modeConflicts enforces the mode mutual-exclusion rules. -serve/-work:
+// the two modes exclude each other; both are whole-sweep services, so the
 // single-process slicing flags (-experiment, -shard) conflict with
 // either; a worker's plan arrives in its lease grants, so the
 // plan-shaping flags (-pairs, -scenario) conflict with -work; the
 // checkpoint journal is coordinator state, so -checkpoint requires
 // -serve; -metrics is the local sweep's meter (the coordinator serves
-// its own /metrics); and -pprof needs a server to mount on.
-func modeConflicts(serve, work, experiment, shard, pairs, scenario, checkpoint, metrics string, pprof bool) error {
+// its own /metrics); and -pprof needs a server to mount on. -listen/-play
+// are the live-transport modes: one process is either the live server or
+// the live client, and neither is a simulation sweep, so they exclude
+// each other and every sweep mode (-serve, -work, -experiment, -shard) —
+// but they do combine with -metrics, which then exposes the live
+// transport's per-socket counters.
+func modeConflicts(serve, work, experiment, shard, pairs, scenario, checkpoint, metrics string, pprof bool, listen, play string) error {
 	switch {
+	case listen != "" && play != "":
+		return errors.New("-listen and -play are mutually exclusive (run the live server and client as separate processes)")
+	case (listen != "" || play != "") && (serve != "" || work != ""):
+		return errors.New("-listen/-play do not combine with -serve/-work (live transport serves real traffic; the dispatcher serves simulation shards)")
+	case (listen != "" || play != "") && experiment != "":
+		return errors.New("-experiment does not combine with -listen/-play (live modes stream real traffic, not simulated experiments)")
+	case (listen != "" || play != "") && shard != "":
+		return errors.New("-shard does not combine with -listen/-play (there is no experiment list to slice in a live session)")
 	case metrics != "" && (serve != "" || work != ""):
 		return errors.New("-metrics does not combine with -serve/-work (the coordinator serves its own /metrics; workers report through it)")
 	case pprof && metrics == "" && serve == "":

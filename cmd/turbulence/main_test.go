@@ -54,13 +54,13 @@ func TestParseRetention(t *testing.T) {
 func TestModeConflicts(t *testing.T) {
 	ok := func(serve, work, experiment, shard, pairs, scenario, checkpoint string) {
 		t.Helper()
-		if err := modeConflicts(serve, work, experiment, shard, pairs, scenario, checkpoint, "", false); err != nil {
+		if err := modeConflicts(serve, work, experiment, shard, pairs, scenario, checkpoint, "", false, "", ""); err != nil {
 			t.Errorf("unexpected conflict: %v", err)
 		}
 	}
 	bad := func(serve, work, experiment, shard, pairs, scenario, checkpoint, want string) {
 		t.Helper()
-		err := modeConflicts(serve, work, experiment, shard, pairs, scenario, checkpoint, "", false)
+		err := modeConflicts(serve, work, experiment, shard, pairs, scenario, checkpoint, "", false, "", "")
 		if err == nil || !strings.Contains(err.Error(), want) {
 			t.Errorf("modeConflicts(%q,%q,%q,%q,%q,%q,%q) = %v, want mention of %s",
 				serve, work, experiment, shard, pairs, scenario, checkpoint, err, want)
@@ -86,7 +86,7 @@ func TestModeConflicts(t *testing.T) {
 	// -metrics meters the local sweep only; -pprof needs a server.
 	check := func(serve, work, metrics string, pprof bool, want string) {
 		t.Helper()
-		err := modeConflicts(serve, work, "", "", "", "", "", metrics, pprof)
+		err := modeConflicts(serve, work, "", "", "", "", "", metrics, pprof, "", "")
 		switch {
 		case want == "" && err != nil:
 			t.Errorf("unexpected conflict: %v", err)
@@ -102,6 +102,34 @@ func TestModeConflicts(t *testing.T) {
 	check("", "host:8080", ":9090", false, "-metrics")
 	check("", "", "", true, "-pprof")
 	check("", "host:8080", "", true, "-pprof")
+
+	// The live transport modes are their own axis: either alone is fine
+	// (with or without -metrics), but they never combine with each other or
+	// with the simulation service/experiment/shard flags.
+	live := func(serve, work, experiment, shard, metrics, listen, play, want string) {
+		t.Helper()
+		err := modeConflicts(serve, work, experiment, shard, "", "", "", metrics, false, listen, play)
+		switch {
+		case want == "" && err != nil:
+			t.Errorf("unexpected conflict: %v", err)
+		case want != "" && (err == nil || !strings.Contains(err.Error(), want)):
+			t.Errorf("modeConflicts(listen=%q, play=%q, serve=%q, work=%q, experiment=%q, shard=%q) = %v, want mention of %s",
+				listen, play, serve, work, experiment, shard, err, want)
+		}
+	}
+	live("", "", "", "", "", "127.0.0.1", "", "")
+	live("", "", "", "", "", "", "127.0.0.1", "")
+	live("", "", "", "", ":9090", "127.0.0.1", "", "")
+	live("", "", "", "", ":9090", "", "127.0.0.1", "")
+	live("", "", "", "", "", "127.0.0.1", "10.0.0.2", "mutually exclusive")
+	live(":8080", "", "", "", "", "127.0.0.1", "", "-serve")
+	live("", "host:8080", "", "", "", "127.0.0.1", "", "-serve")
+	live(":8080", "", "", "", "", "", "127.0.0.1", "-serve")
+	live("", "host:8080", "", "", "", "", "127.0.0.1", "-serve")
+	live("", "", "table1", "", "", "127.0.0.1", "", "-experiment")
+	live("", "", "fig01", "", "", "", "127.0.0.1", "-experiment")
+	live("", "", "", "1/3", "", "127.0.0.1", "", "-shard")
+	live("", "", "", "0/2", "", "", "127.0.0.1", "-shard")
 }
 
 // TestParsePairs pins the -pairs parser: names and suffixes resolve, the

@@ -190,6 +190,42 @@
 // noise; cmd/turbulence regenerates the whole evaluation under a scenario
 // via -scenario.
 //
+// # Live transport
+//
+// The protocol stacks (wms, rdt, tcplite) are written against the
+// Transport seam rather than the simulated host directly, and the seam
+// has two implementations. SimTransport adapts a simulated host — every
+// method is a one-line delegation, so a stack running over it is
+// byte-identical to the pre-seam code, pinned by the golden-digest tests.
+// LiveTransport carries the same stacks over real net.UDPConn sockets: a
+// single run-loop goroutine owns a private event scheduler and all
+// protocol state (the simulator's single-threaded discipline transplanted
+// onto wall time), per-socket reader goroutines hand received datagrams
+// to the loop in pooled frames, and the per-packet receive path allocates
+// nothing (pinned by TestLiveDeliverAllocs). Per-socket counters
+// (turbulence_transport_* series, labelled by port) expose sends,
+// receives, drops, send errors, unbound arrivals and duplicate sequence
+// numbers.
+//
+//	ip, _ := turbulence.ParseAddr("127.0.0.1")
+//	lt, _ := turbulence.NewLiveTransport(turbulence.LiveTransportConfig{BindIP: ip})
+//	defer lt.Close()
+//	turbulence.ServeLive(lt, log.Printf) // WMS + RDT servers, full library
+//
+// A second process (or a second transport in the same one) plays a clip
+// and gets the same report a simulated session produces — an online flow
+// profile plus an order-independent payload digest that must equal the
+// simulator's digest of the same clip on a lossless path:
+//
+//	rep, _ := turbulence.PlayLive(lt, serverAddr, clip, 2*time.Minute, nil)
+//	fmt.Println(rep.Profile, rep.Digest)
+//
+// cmd/turbulence wires both ends: -listen starts the live server, -play
+// streams one clip and prints the report, and scripts/live_smoke.sh
+// gates in CI that a real localhost session's digest equals the committed
+// simulator golden. See PERFORMANCE.md ("Serving real traffic") for the
+// recipe and caveats.
+//
 // # Concurrency model
 //
 // Each simulation run is strictly single-threaded: one Scheduler owns one

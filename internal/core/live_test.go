@@ -1,0 +1,111 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"turbulence/internal/eventsim"
+	"turbulence/internal/inet"
+	"turbulence/internal/media"
+	"turbulence/internal/transport"
+)
+
+// tinyClip is a deliberately short synthetic Windows Media clip for the
+// in-tree live loopback test: live sessions run in real time, so the full
+// Table 1 clips (tens of seconds) are reserved for scripts/live_smoke.sh.
+// Set 9 keeps its Name clear of the real library.
+func tinyClip() media.Clip {
+	return media.Clip{
+		Set:         9,
+		Format:      media.WindowsMedia,
+		Class:       media.Low,
+		Content:     media.Sports,
+		EncodedKbps: 56,
+		Duration:    1200 * time.Millisecond,
+	}
+}
+
+// TestLiveLoopbackMatchesSim is the headline parity pin: a clip streamed
+// between two live transports over real loopback UDP sockets delivers
+// exactly the payload set the simulator delivers over a clean path — same
+// unit count, same order-independent digest, zero loss.
+func TestLiveLoopbackMatchesSim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live loopback session runs in real time")
+	}
+	clip := tinyClip()
+	wantDigest, wantUnits, err := WMSPayloadDigest(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lo := inet.MakeAddr(127, 0, 0, 1)
+	ltSrv, err := transport.NewLive(transport.Config{BindIP: lo, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ltSrv.Close()
+	ltCli, err := transport.NewLive(transport.Config{BindIP: lo, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ltCli.Close()
+
+	ls, err := ServeLive(ltSrv, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ltSrv.DoWait(func(eventsim.Time) { ls.WMS.Register(clip.Name(), clip) })
+
+	rep, err := PlayLive(ltCli, lo, clip, 30*time.Second, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.UnitsLost != 0 {
+		t.Errorf("live loopback lost %d units; parity needs a lossless path", rep.UnitsLost)
+	}
+	if rep.Units != wantUnits {
+		t.Errorf("live delivered %d units, sim delivered %d", rep.Units, wantUnits)
+	}
+	if rep.Digest != wantDigest {
+		t.Errorf("live digest %s != sim digest %s", rep.Digest, wantDigest)
+	}
+	if rep.Bytes == 0 || rep.Profile.Packets == 0 {
+		t.Errorf("report looks empty: bytes=%d packets=%d", rep.Bytes, rep.Profile.Packets)
+	}
+}
+
+// TestWMSPayloadDigestGolden pins the simulated reference digest of the
+// paper's clip 2/low against the committed golden that
+// scripts/live_smoke.sh also checks a real -play session against. If an
+// intentional protocol change moves this, regenerate the file with
+// UPDATE_GOLDEN=1 and re-run the smoke test.
+func TestWMSPayloadDigestGolden(t *testing.T) {
+	clip, ok := media.FindClip(2, media.WindowsMedia, media.Low)
+	if !ok {
+		t.Fatal("clip 2/low missing from the library")
+	}
+	digest, units, err := WMSPayloadDigest(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if units == 0 {
+		t.Fatal("reference session delivered no units")
+	}
+	path := filepath.Join("testdata", "live_digest_2low.txt")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, []byte(digest+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := digest; got != strings.TrimSpace(string(want)) {
+		t.Errorf("digest %s != golden %s", got, strings.TrimSpace(string(want)))
+	}
+}

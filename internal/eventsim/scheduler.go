@@ -212,6 +212,17 @@ func (s *Scheduler) Step() bool {
 	return true
 }
 
+// NextEventAt reports the due time of the earliest pending event. The
+// second result is false when the queue is empty. This is the peek a
+// wall-clock-driven loop needs: drain events due by now with Step, then
+// sleep exactly until the next one (or until external input arrives).
+func (s *Scheduler) NextEventAt() (Time, bool) {
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	return s.queue[0].when, true
+}
+
 // SetInterrupt installs a poll function Run consults between events, every
 // interruptStride firings. A true return aborts Run with ErrInterrupted,
 // leaving the pending queue intact. Pass nil to clear. This is the

@@ -10,6 +10,7 @@ import (
 	"turbulence/internal/inet"
 	"turbulence/internal/netsim"
 	"turbulence/internal/segment"
+	"turbulence/internal/transport"
 )
 
 // State is the player lifecycle.
@@ -87,7 +88,7 @@ type PlayerEvents struct {
 
 // Player is the RealOne Player model.
 type Player struct {
-	host     *netsim.Host
+	host     transport.Transport
 	server   inet.Addr
 	clipRef  string
 	ctlPort  inet.Port
@@ -135,10 +136,16 @@ type Player struct {
 	FinishedAt       eventsim.Time
 }
 
-// NewPlayer prepares a RealPlayer on host for rtsp://server/clipRef.
+// NewPlayer prepares a RealPlayer on a simulated host for
+// rtsp://server/clipRef.
 func NewPlayer(host *netsim.Host, server inet.Addr, clipRef string, ctlPort, dataPort inet.Port, ev PlayerEvents) *Player {
+	return NewPlayerOn(transport.NewSim(host), server, clipRef, ctlPort, dataPort, ev)
+}
+
+// NewPlayerOn prepares a RealPlayer on any transport (simulated or live).
+func NewPlayerOn(t transport.Transport, server inet.Addr, clipRef string, ctlPort, dataPort inet.Port, ev PlayerEvents) *Player {
 	return &Player{
-		host:     host,
+		host:     t,
 		server:   server,
 		clipRef:  clipRef,
 		ctlPort:  ctlPort,
@@ -334,7 +341,7 @@ func (p *Player) startReporting() {
 		// gap count seen this interval via received+missing deltas.
 		return len(p.missing) + p.PacketsRecovered
 	}
-	p.stopReport = p.host.Network().Sched.Ticker(ReportInterval, "rdt.report", func(eventsim.Time) bool {
+	p.stopReport = p.host.Ticker(ReportInterval, "rdt.report", func(eventsim.Time) bool {
 		if p.state != Buffering && p.state != Playing {
 			return false
 		}
@@ -459,7 +466,7 @@ func (p *Player) maybeStartPlayout(now eventsim.Time) {
 	}
 	p.PlayBeganAt = now
 	p.setState(Playing)
-	p.stopPlay = p.host.Network().Sched.Ticker(time.Second, "rdt.playclock", func(now eventsim.Time) bool {
+	p.stopPlay = p.host.Ticker(time.Second, "rdt.playclock", func(now eventsim.Time) bool {
 		return p.playOneSecond(now)
 	})
 }

@@ -12,6 +12,7 @@ import (
 	"turbulence/internal/netsim"
 	"turbulence/internal/scaling"
 	"turbulence/internal/segment"
+	"turbulence/internal/transport"
 )
 
 // Tuning constants for the RealServer behavioural model. Values are chosen
@@ -80,7 +81,7 @@ func BurstRate(encodedBps, bottleneckBps float64) float64 {
 // Server is a RealServer host: RTSP control on port 554, RDT data to the
 // client's chosen port.
 type Server struct {
-	host  *netsim.Host
+	host  transport.Transport
 	rng   *eventsim.RNG
 	clips map[string]media.Clip
 
@@ -132,15 +133,20 @@ type session struct {
 	pktCap   int
 }
 
-// NewServer attaches a RealServer to the host.
+// NewServer attaches a RealServer to a simulated host.
 func NewServer(host *netsim.Host) *Server {
+	return NewServerOn(transport.NewSim(host))
+}
+
+// NewServerOn attaches a RealServer to any transport (simulated or live).
+func NewServerOn(t transport.Transport) *Server {
 	s := &Server{
-		host:     host,
-		rng:      host.Network().RNG().Split("rdt.server"),
+		host:     t,
+		rng:      t.RNG("rdt.server"),
 		clips:    make(map[string]media.Clip),
 		sessions: make(map[inet.Endpoint]*session),
 	}
-	host.BindUDP(inet.PortRTSPCtl, s.onControl)
+	t.BindUDP(inet.PortRTSPCtl, s.onControl)
 	return s
 }
 
@@ -155,8 +161,8 @@ func (s *Server) SetUncappedBurst(on bool) { s.uncappedBurst = on }
 // REPORTed loss by dropping delta frames, reducing its offered rate.
 func (s *Server) EnableScaling(on bool) { s.scalingOn = on }
 
-// Host returns the server's host.
-func (s *Server) Host() *netsim.Host { return s.host }
+// Host returns the transport the server is attached to.
+func (s *Server) Host() transport.Transport { return s.host }
 
 // ActiveSessions reports streams in flight.
 func (s *Server) ActiveSessions() int { return len(s.sessions) }
@@ -458,6 +464,6 @@ func (sess *session) stop() {
 		return
 	}
 	sess.done = true
-	sess.srv.host.Network().Sched.Cancel(sess.nextSend)
+	sess.srv.host.Cancel(sess.nextSend)
 	delete(sess.srv.sessions, sess.ctl)
 }

@@ -20,6 +20,7 @@ import (
 	"turbulence/internal/eventsim"
 	"turbulence/internal/inet"
 	"turbulence/internal/netsim"
+	"turbulence/internal/transport"
 )
 
 // MSS is the maximum segment payload; with headers it fills the Ethernet
@@ -46,7 +47,7 @@ var (
 
 // Stack is the per-host TCP endpoint table. Create one per host.
 type Stack struct {
-	host          *netsim.Host
+	host          transport.Transport
 	listeners     map[inet.Port]*Listener
 	conns         map[connKey]*Conn
 	nextEphemeral inet.Port
@@ -57,20 +58,25 @@ type connKey struct {
 	remote inet.Endpoint
 }
 
-// NewStack attaches a TCP stack to the host.
+// NewStack attaches a TCP stack to a simulated host.
 func NewStack(host *netsim.Host) *Stack {
+	return NewStackOn(transport.NewSim(host))
+}
+
+// NewStackOn attaches a TCP stack to any transport (simulated or live).
+func NewStackOn(t transport.Transport) *Stack {
 	s := &Stack{
-		host:          host,
+		host:          t,
 		listeners:     make(map[inet.Port]*Listener),
 		conns:         make(map[connKey]*Conn),
 		nextEphemeral: 49152,
 	}
-	host.OnTCP(s.onSegment)
+	t.OnTCP(s.onSegment)
 	return s
 }
 
-// Host returns the underlying host.
-func (s *Stack) Host() *netsim.Host { return s.host }
+// Host returns the transport the stack is attached to.
+func (s *Stack) Host() transport.Transport { return s.host }
 
 // Listener accepts inbound connections on a port.
 type Listener struct {
@@ -368,7 +374,7 @@ func (c *Conn) armRTO(now eventsim.Time) {
 }
 
 func (c *Conn) cancelRTO() {
-	c.stack.host.Network().Sched.Cancel(c.rtoTimer)
+	c.stack.host.Cancel(c.rtoTimer)
 	c.rtoTimer = eventsim.Timer{}
 }
 

@@ -8,6 +8,7 @@ import (
 	"turbulence/internal/eventsim"
 	"turbulence/internal/inet"
 	"turbulence/internal/netsim"
+	"turbulence/internal/transport"
 )
 
 var (
@@ -187,7 +188,7 @@ func TestSegmentsNeverFragment(t *testing.T) {
 	n, cs, ss := buildNet(t, 7, 0, 10e6)
 	ss.Listen(80, func(c *Conn) { c.OnData(func(eventsim.Time, []byte) {}) })
 	frags := 0
-	ss.Host().Tap(func(_ eventsim.Time, dir netsim.Direction, d *inet.Datagram) {
+	ss.Host().(*transport.Sim).Host().Tap(func(_ eventsim.Time, dir netsim.Direction, d *inet.Datagram) {
 		if dir == netsim.Recv && d.Header.IsFragment() {
 			frags++
 		}

@@ -1,0 +1,147 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"turbulence/internal/eventsim"
+	"turbulence/internal/inet"
+	"turbulence/internal/netsim"
+)
+
+// The conformance harness abstracts the one thing Sim and Live differ on:
+// how the world makes progress. Everything a stack does between runs —
+// bind, rebind, unbind, rebind again — must behave identically on both,
+// because the servers rebind their ports between sessions and a semantic
+// drift here would only surface as a live-only hang.
+type confEnv struct {
+	// do runs fn in the transport's execution context (the run loop for
+	// Live, directly for the single-threaded Sim).
+	do func(fn func())
+	// send transmits payload from the sender to the receiver's test port.
+	send func(payload []byte)
+	// settle lets in-flight traffic drain. With want=true it returns once
+	// check (evaluated in the transport's context) holds, failing the test
+	// if it never does; with want=false it waits out a grace period and
+	// asserts check stayed false throughout.
+	settle    func(check func() bool, want bool)
+	bindUDP   func(fn UDPHandler)
+	unbindUDP func()
+}
+
+const confPort inet.Port = 47121
+
+// testRebindSemantics drives the shared conformance scenario.
+func testRebindSemantics(t *testing.T, env *confEnv) {
+	var got1, got2, got3 int
+	bind := func(counter *int) UDPHandler {
+		return func(eventsim.Time, inet.Endpoint, []byte) { *counter++ }
+	}
+
+	// A fresh bind delivers.
+	env.do(func() { env.bindUDP(bind(&got1)) })
+	env.send([]byte("one"))
+	env.settle(func() bool { return got1 == 1 }, true)
+
+	// Rebinding replaces the handler: the old one sees nothing more.
+	env.do(func() { env.bindUDP(bind(&got2)) })
+	env.send([]byte("two"))
+	env.settle(func() bool { return got2 == 1 }, true)
+	env.do(func() {
+		if got1 != 1 {
+			t.Errorf("replaced handler saw %d packets, want 1", got1)
+		}
+	})
+
+	// Unbinding drops traffic on the floor — no handler runs.
+	env.do(func() { env.unbindUDP() })
+	env.send([]byte("three"))
+	env.settle(func() bool { return got1 > 1 || got2 > 1 || got3 > 0 }, false)
+
+	// A rebind after unbind works again (server restart between runs).
+	env.do(func() { env.bindUDP(bind(&got3)) })
+	env.send([]byte("four"))
+	env.settle(func() bool { return got3 == 1 }, true)
+}
+
+func TestRebindSemanticsSim(t *testing.T) {
+	n := netsim.New(1)
+	src := inet.MakeAddr(10, 0, 0, 1)
+	dst := inet.MakeAddr(10, 0, 0, 2)
+	hSrc := n.AddHost(src)
+	hDst := n.AddHost(dst)
+	n.ConnectDuplex(src, dst, []netsim.HopSpec{
+		{Addr: inet.MakeAddr(10, 0, 1, 1), Bandwidth: 100e6, PropDelay: time.Millisecond},
+	})
+	a, b := NewSim(hSrc), NewSim(hDst)
+
+	horizon := eventsim.Time(0)
+	env := &confEnv{
+		do:        func(fn func()) { fn() },
+		send:      func(p []byte) { a.SendUDP(confPort, inet.Endpoint{Addr: dst, Port: confPort}, p) },
+		bindUDP:   func(fn UDPHandler) { b.BindUDP(confPort, fn) },
+		unbindUDP: func() { b.UnbindUDP(confPort) },
+	}
+	env.settle = func(check func() bool, want bool) {
+		horizon = horizon.Add(100 * time.Millisecond)
+		if err := n.Run(horizon); err != nil {
+			t.Fatal(err)
+		}
+		if check() != want {
+			t.Fatalf("sim settle: condition = %v, want %v", !want, want)
+		}
+	}
+	testRebindSemantics(t, env)
+}
+
+func TestRebindSemanticsLive(t *testing.T) {
+	lo := inet.MakeAddr(127, 0, 0, 1)
+	a, err := NewLive(Config{BindIP: lo, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewLive(Config{BindIP: lo, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	env := &confEnv{
+		do: func(fn func()) { b.DoWait(func(eventsim.Time) { fn() }) },
+		send: func(p []byte) {
+			a.DoWait(func(eventsim.Time) {
+				if _, err := a.SendUDP(confPort+1, inet.Endpoint{Addr: lo, Port: confPort}, p); err != nil {
+					t.Errorf("live send: %v", err)
+				}
+			})
+		},
+		bindUDP:   func(fn UDPHandler) { b.BindUDP(confPort, fn) },
+		unbindUDP: func() { b.UnbindUDP(confPort) },
+	}
+	env.settle = func(check func() bool, want bool) {
+		if !want {
+			// Negative condition: wait out a grace period, then assert.
+			time.Sleep(150 * time.Millisecond)
+			var ok bool
+			b.DoWait(func(eventsim.Time) { ok = check() })
+			if ok {
+				t.Fatal("live settle: condition became true during grace period")
+			}
+			return
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			var ok bool
+			b.DoWait(func(eventsim.Time) { ok = check() })
+			if ok {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("live settle: condition never held")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	testRebindSemantics(t, env)
+}

@@ -1,0 +1,203 @@
+package transport
+
+import (
+	"encoding/binary"
+	"net/netip"
+	"strconv"
+	"testing"
+	"time"
+
+	"turbulence/internal/eventsim"
+	"turbulence/internal/inet"
+	"turbulence/internal/racecheck"
+)
+
+// TestLiveDeliverAllocs pins the per-packet receive path at zero
+// allocations: counter bumps, sequence tracking, endpoint conversion and
+// handler dispatch all run on pooled frames and preallocated state. The
+// pin runs deliver directly on an un-looped core so the measurement is not
+// smeared across goroutines.
+func TestLiveDeliverAllocs(t *testing.T) {
+	if racecheck.Enabled {
+		t.Skip("allocation pin is meaningless under the race detector")
+	}
+	tr, err := newCore(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const port inet.Port = 4002
+	label := strconv.Itoa(int(port))
+	tr.socks[port] = &sock{
+		port:    port,
+		sent:    tr.sent.With(label),
+		sentB:   tr.sentB.With(label),
+		recv:    tr.recv.With(label),
+		recvB:   tr.recvB.With(label),
+		dropped: tr.dropped.With(label),
+		sendErr: tr.sendErrs.With(label),
+		unbound: tr.unbound.With(label),
+	}
+	delivered := 0
+	tr.binds[port] = func(eventsim.Time, inet.Endpoint, []byte) { delivered++ }
+	tr.TrackSeqs(port, 1024, func(p []byte) (uint32, bool) {
+		if len(p) < 4 {
+			return 0, false
+		}
+		return binary.BigEndian.Uint32(p), true
+	})
+	tr.SetRecvTap(func(eventsim.Time, inet.Port, inet.Endpoint, int) {})
+
+	from := netip.AddrPortFrom(netip.AddrFrom4([4]byte{127, 0, 0, 1}), 9999)
+	seq := uint32(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		fr := tr.frames.Get().(*frame)
+		seq++
+		binary.BigEndian.PutUint32(fr.buf[:4], seq)
+		fr.n = 512
+		fr.port = port
+		fr.from = from
+		tr.deliver(fr)
+	})
+	if allocs != 0 {
+		t.Fatalf("deliver allocates %.1f per packet, want 0", allocs)
+	}
+	if delivered == 0 {
+		t.Fatal("handler never ran — the pin measured nothing")
+	}
+}
+
+// TestLiveBindErrSticky pins the bind-failure contract: a port that cannot
+// be bound (here: already taken by another transport on the same IP)
+// records its error, BindErr reports it from any goroutine, and the port
+// stays failed for senders too.
+func TestLiveBindErrSticky(t *testing.T) {
+	lo := inet.MakeAddr(127, 0, 0, 1)
+	const port inet.Port = 47131
+	first, err := NewLive(Config{BindIP: lo, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	first.DoWait(func(eventsim.Time) { first.BindUDP(port, func(eventsim.Time, inet.Endpoint, []byte) {}) })
+	if err := first.BindErr(port); err != nil {
+		t.Fatalf("first bind of %d failed: %v", port, err)
+	}
+
+	second, err := NewLive(Config{BindIP: lo, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	second.DoWait(func(eventsim.Time) { second.BindUDP(port, func(eventsim.Time, inet.Endpoint, []byte) {}) })
+	if err := second.BindErr(port); err == nil {
+		t.Fatalf("second bind of %d on the same IP succeeded; want address-in-use", port)
+	}
+	second.DoWait(func(eventsim.Time) {
+		if _, err := second.SendUDP(port, inet.Endpoint{Addr: lo, Port: port + 1}, []byte("x")); err == nil {
+			t.Error("send from a failed port succeeded; want the cached bind error")
+		}
+	})
+}
+
+// TestLiveTrackSeqs pins duplicate-sequence accounting end to end over
+// real loopback sockets: duplicates are counted and still delivered.
+func TestLiveTrackSeqs(t *testing.T) {
+	lo := inet.MakeAddr(127, 0, 0, 1)
+	const srcPort, dstPort inet.Port = 47141, 47142
+	a, err := NewLive(Config{BindIP: lo, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewLive(Config{BindIP: lo, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	delivered := 0
+	b.DoWait(func(eventsim.Time) {
+		b.TrackSeqs(dstPort, 256, func(p []byte) (uint32, bool) {
+			if len(p) < 4 {
+				return 0, false
+			}
+			return binary.BigEndian.Uint32(p), true
+		})
+		b.BindUDP(dstPort, func(eventsim.Time, inet.Endpoint, []byte) { delivered++ })
+	})
+
+	var pkt [4]byte
+	send := func(seq uint32) {
+		binary.BigEndian.PutUint32(pkt[:], seq)
+		a.DoWait(func(eventsim.Time) {
+			if _, err := a.SendUDP(srcPort, inet.Endpoint{Addr: lo, Port: dstPort}, pkt[:]); err != nil {
+				t.Errorf("send seq %d: %v", seq, err)
+			}
+		})
+	}
+	for _, seq := range []uint32{1, 2, 3, 2, 3, 4} { // two duplicates
+		send(seq)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var got int
+		var dups uint64
+		b.DoWait(func(eventsim.Time) {
+			got = delivered
+			dups = b.tracks[dstPort].dup.Value()
+		})
+		if got == 6 && dups == 2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered=%d dups=%d, want 6 and 2", got, dups)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// BenchmarkLiveLoopback measures one UDP round trip between two live
+// transports on loopback — the serialized floor of the live data path.
+func BenchmarkLiveLoopback(b *testing.B) {
+	lo := inet.MakeAddr(127, 0, 0, 1)
+	const echoPort, cliPort inet.Port = 47151, 47152
+	srv, err := NewLive(Config{BindIP: lo, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := NewLive(Config{BindIP: lo, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+
+	srv.DoWait(func(eventsim.Time) {
+		srv.BindUDP(echoPort, func(_ eventsim.Time, from inet.Endpoint, payload []byte) {
+			srv.SendUDP(echoPort, from, payload)
+		})
+	})
+	got := make(chan struct{}, 1)
+	cli.DoWait(func(eventsim.Time) {
+		cli.BindUDP(cliPort, func(eventsim.Time, inet.Endpoint, []byte) {
+			select {
+			case got <- struct{}{}:
+			default:
+			}
+		})
+	})
+
+	payload := make([]byte, 512)
+	send := func(eventsim.Time) {
+		if _, err := cli.SendUDP(cliPort, inet.Endpoint{Addr: lo, Port: echoPort}, payload); err != nil {
+			b.Error(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cli.Do(send)
+		<-got
+	}
+}

@@ -1,0 +1,76 @@
+package transport
+
+// SeqWindow is a sliding sequence-number dedup bitmap in the style of
+// production UDP transports (one bit per sequence over a fixed recent
+// window): O(1) per packet, fixed memory, no per-sequence map churn. The
+// live receive path uses it for retransmit/duplicate accounting on ports
+// whose payloads carry a sequence number — it observes, it never filters,
+// so protocol dedup logic (rdt's missing-set) stays authoritative.
+type SeqWindow struct {
+	bits []uint64
+	size uint32 // window span in sequence numbers (power of two)
+	max  uint32 // highest sequence observed
+	seen bool
+}
+
+// NewSeqWindow returns a window spanning at least size recent sequence
+// numbers (rounded up to a power of two, minimum 64).
+func NewSeqWindow(size int) *SeqWindow {
+	n := uint32(64)
+	for int(n) < size {
+		n <<= 1
+	}
+	return &SeqWindow{bits: make([]uint64, n/64), size: n}
+}
+
+// test reports and sets the bit for seq.
+func (w *SeqWindow) testAndSet(seq uint32) bool {
+	i := seq & (w.size - 1)
+	mask := uint64(1) << (i & 63)
+	word := &w.bits[i>>6]
+	was := *word&mask != 0
+	*word |= mask
+	return was
+}
+
+// clear zeroes the bit for seq.
+func (w *SeqWindow) clear(seq uint32) {
+	i := seq & (w.size - 1)
+	w.bits[i>>6] &^= uint64(1) << (i & 63)
+}
+
+// Observe records seq and reports whether it was already seen. Sequences
+// that have fallen out of the window (older than max-size+1) also report
+// true: at that age a reappearing sequence is a duplicate or a
+// pathologically late retransmit, and counting it as fresh would corrupt
+// the dedup accounting the window exists for.
+func (w *SeqWindow) Observe(seq uint32) (dup bool) {
+	if !w.seen {
+		w.seen = true
+		w.max = seq
+		w.testAndSet(seq)
+		return false
+	}
+	switch {
+	case seq > w.max:
+		// Advancing: clear the bits the window slides over. A jump wider
+		// than the window clears everything it wraps onto exactly once.
+		step := seq - w.max
+		if step > w.size {
+			step = w.size
+		}
+		for s := seq - step + 1; s != seq; s++ {
+			w.clear(s)
+		}
+		w.max = seq
+		w.testAndSet(seq)
+		return false
+	case w.max-seq < w.size:
+		return w.testAndSet(seq)
+	default:
+		return true // aged out of the window: treat as duplicate
+	}
+}
+
+// Max returns the highest sequence observed (0, false before any).
+func (w *SeqWindow) Max() (uint32, bool) { return w.max, w.seen }

@@ -1,0 +1,87 @@
+package transport
+
+import "testing"
+
+// TestSeqWindowFreshAndDup pins the basic contract: first sight of a
+// sequence is fresh, second sight within the window is a duplicate.
+func TestSeqWindowFreshAndDup(t *testing.T) {
+	w := NewSeqWindow(64)
+	for seq := uint32(0); seq < 200; seq++ {
+		if w.Observe(seq) {
+			t.Fatalf("fresh seq %d reported dup", seq)
+		}
+	}
+	if !w.Observe(199) {
+		t.Fatal("immediate repeat of 199 not a dup")
+	}
+	if !w.Observe(150) {
+		t.Fatal("in-window repeat of 150 not a dup")
+	}
+	if max, ok := w.Max(); !ok || max != 199 {
+		t.Fatalf("Max = %d, %v; want 199, true", max, ok)
+	}
+}
+
+// TestSeqWindowOutOfOrder pins that reordering within the window does not
+// count as duplication: a late-but-first-sighted sequence is fresh.
+func TestSeqWindowOutOfOrder(t *testing.T) {
+	w := NewSeqWindow(64)
+	w.Observe(10)
+	w.Observe(12)
+	if w.Observe(11) {
+		t.Fatal("reordered first sighting of 11 reported dup")
+	}
+	if !w.Observe(11) {
+		t.Fatal("second sighting of 11 not a dup")
+	}
+}
+
+// TestSeqWindowAgeOut pins the conservative stance on ancient sequences: a
+// sequence older than the window reports dup rather than corrupting the
+// accounting.
+func TestSeqWindowAgeOut(t *testing.T) {
+	w := NewSeqWindow(64)
+	w.Observe(0)
+	w.Observe(100)
+	if !w.Observe(0) {
+		t.Fatal("aged-out seq 0 not treated as dup")
+	}
+	// 100-63 = 37 is the oldest in-window sequence; never sighted, so fresh.
+	if w.Observe(37) {
+		t.Fatal("in-window never-seen seq 37 reported dup")
+	}
+}
+
+// TestSeqWindowWideJump pins that a jump wider than the window clears the
+// slid-over bits exactly once: sequences under the new max are fresh on
+// first sight even when their bit positions were set before the jump.
+func TestSeqWindowWideJump(t *testing.T) {
+	w := NewSeqWindow(64)
+	for seq := uint32(0); seq < 64; seq++ {
+		w.Observe(seq) // every bit in the window set
+	}
+	w.Observe(1000) // jump far past the window
+	for seq := uint32(1000 - 63); seq < 1000; seq++ {
+		if w.Observe(seq) {
+			t.Fatalf("post-jump first sighting of %d reported dup", seq)
+		}
+	}
+	if !w.Observe(990) {
+		t.Fatal("post-jump second sighting of 990 not a dup")
+	}
+}
+
+// TestSeqWindowRounding pins the size floor and power-of-two rounding via
+// age-out behaviour: a window asked for 100 spans 128.
+func TestSeqWindowRounding(t *testing.T) {
+	w := NewSeqWindow(100)
+	w.Observe(0)
+	w.Observe(127) // max-0 = 127 < 128: still in window
+	if w.Observe(1) {
+		t.Fatal("seq 1 should be inside the rounded-up 128 window")
+	}
+	w.Observe(128) // max-0 = 128: seq 0 just aged out
+	if !w.Observe(0) {
+		t.Fatal("seq 0 should have aged out of the 128 window")
+	}
+}

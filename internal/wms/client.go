@@ -8,6 +8,7 @@ import (
 	"turbulence/internal/inet"
 	"turbulence/internal/netsim"
 	"turbulence/internal/segment"
+	"turbulence/internal/transport"
 )
 
 // State is the player lifecycle.
@@ -64,8 +65,17 @@ type PlayerEvents struct {
 	// SecondPlayed fires once per played second with the achieved and
 	// encoded frame counts — the Figure 13 series.
 	SecondPlayed func(now eventsim.Time, second int, played, expected int)
+	// DataUnit fires for every accepted data unit with its raw segment
+	// payload, before segment decode — the hook payload-digest parity
+	// checks hang off. The payload view is only valid during the call.
+	DataUnit func(now eventsim.Time, seq uint32, segPayload []byte)
 	// StateChange fires on lifecycle transitions.
 	StateChange func(now eventsim.Time, s State)
+	// SendError fires when a control-plane send fails (live sockets can
+	// refuse writes; the simulator never does). The player keeps going —
+	// control messages are retried — but the failure is now visible
+	// instead of silently discarded.
+	SendError func(now eventsim.Time, err error)
 	// Done fires when the session completes.
 	Done func(now eventsim.Time)
 }
@@ -73,7 +83,7 @@ type PlayerEvents struct {
 // Player is the MediaPlayer model: control handshake, interleaved
 // delivery, delay buffer and playout clock.
 type Player struct {
-	host     *netsim.Host
+	host     transport.Transport
 	server   inet.Addr
 	clipRef  string
 	ctlPort  inet.Port
@@ -104,6 +114,7 @@ type Player struct {
 	// Stats MediaTracker reads.
 	UnitsReceived  int
 	UnitsLost      int
+	SendErrors     int
 	BytesReceived  int
 	FramesPlayed   int
 	FramesExpected int
@@ -118,11 +129,17 @@ const handshakeRetry = 2 * time.Second
 // maxRetries bounds control retransmissions before aborting.
 const maxRetries = 5
 
-// NewPlayer prepares a player on host for the given server and clip.
-// ctlPort/dataPort must be unique per concurrent player on the host.
+// NewPlayer prepares a player on a simulated host for the given server
+// and clip. ctlPort/dataPort must be unique per concurrent player on the
+// host.
 func NewPlayer(host *netsim.Host, server inet.Addr, clipRef string, ctlPort, dataPort inet.Port, ev PlayerEvents) *Player {
+	return NewPlayerOn(transport.NewSim(host), server, clipRef, ctlPort, dataPort, ev)
+}
+
+// NewPlayerOn prepares a player on any transport (simulated or live).
+func NewPlayerOn(t transport.Transport, server inet.Addr, clipRef string, ctlPort, dataPort inet.Port, ev PlayerEvents) *Player {
 	return &Player{
-		host:     host,
+		host:     t,
 		server:   server,
 		clipRef:  clipRef,
 		ctlPort:  ctlPort,
@@ -170,6 +187,17 @@ func (p *Player) serverCtl() inet.Endpoint {
 	return inet.Endpoint{Addr: p.server, Port: inet.PortMMSCtl}
 }
 
+// sendCtl sends one control message, surfacing a send failure through the
+// SendError event and the SendErrors counter instead of discarding it.
+func (p *Player) sendCtl(payload []byte) {
+	if _, err := p.host.SendUDP(p.ctlPort, p.serverCtl(), payload); err != nil {
+		p.SendErrors++
+		if p.events.SendError != nil {
+			p.events.SendError(p.host.Now(), err)
+		}
+	}
+}
+
 func (p *Player) sendDescribe() {
 	if p.state != Connecting || p.meta.OK {
 		return
@@ -179,7 +207,7 @@ func (p *Player) sendDescribe() {
 		return
 	}
 	p.retries++
-	p.host.SendUDP(p.ctlPort, p.serverCtl(), MarshalDescribe(Describe{ClipRef: p.clipRef}))
+	p.sendCtl(MarshalDescribe(Describe{ClipRef: p.clipRef}))
 	p.host.After(handshakeRetry, "wms.describeRetry", func(eventsim.Time) { p.sendDescribe() })
 }
 
@@ -192,7 +220,7 @@ func (p *Player) sendPlay() {
 		return
 	}
 	p.retries++
-	p.host.SendUDP(p.ctlPort, p.serverCtl(), MarshalPlay(Play{ClipRef: p.clipRef, DataPort: uint16(p.dataPort)}))
+	p.sendCtl(MarshalPlay(Play{ClipRef: p.clipRef, DataPort: uint16(p.dataPort)}))
 	p.host.After(handshakeRetry, "wms.playRetry", func(eventsim.Time) { p.sendPlay() })
 }
 
@@ -236,7 +264,7 @@ const FeedbackInterval = 2 * time.Second
 
 func (p *Player) beginBuffering(now eventsim.Time) {
 	p.setState(Buffering)
-	p.stopFeedback = p.host.Network().Sched.Ticker(FeedbackInterval, "wms.feedback", func(eventsim.Time) bool {
+	p.stopFeedback = p.host.Ticker(FeedbackInterval, "wms.feedback", func(eventsim.Time) bool {
 		if p.state != Buffering && p.state != Playing {
 			return false
 		}
@@ -248,25 +276,39 @@ func (p *Player) beginBuffering(now eventsim.Time) {
 		if total := recvDelta + lostDelta; total > 0 {
 			permille = lostDelta * 1000 / total
 		}
-		p.host.SendUDP(p.ctlPort, p.serverCtl(), MarshalFeedback(Feedback{LossPermille: uint16(permille)}))
+		p.sendCtl(MarshalFeedback(Feedback{LossPermille: uint16(permille)}))
 		return true
 	})
 	if p.noInterleave {
 		return
 	}
-	p.stopFlush = p.host.Network().Sched.Ticker(InterleaveFlush, "wms.interleave", func(now eventsim.Time) bool {
+	p.stopFlush = p.host.Ticker(InterleaveFlush, "wms.interleave", func(now eventsim.Time) bool {
 		p.flushInterleave(now)
 		return p.state == Buffering || p.state == Playing
 	})
 }
 
 func (p *Player) onData(now eventsim.Time, from inet.Endpoint, payload []byte) {
-	if from.Addr != p.server || (p.state != Buffering && p.state != Playing) {
+	if from.Addr != p.server {
+		return
+	}
+	// On a live transport the first data unit can outrun the PLAY 200 —
+	// control and data arrive on different sockets. Data from the server
+	// after a successful DESCRIBE implies the PLAY was accepted, so start
+	// buffering rather than dropping the unit. (Never taken in the
+	// simulator: its in-order delivery hands us the PLAY 200 first.)
+	if p.state == Connecting && p.meta.OK {
+		p.beginBuffering(now)
+	}
+	if p.state != Buffering && p.state != Playing {
 		return
 	}
 	h, segPayload, err := ParseData(payload)
 	if err != nil {
 		return
+	}
+	if p.events.DataUnit != nil {
+		p.events.DataUnit(now, h.Seq, segPayload)
 	}
 	// Sequence accounting: gaps are lost units (WMP has no retransmission;
 	// interleaving only disperses the damage).
@@ -329,7 +371,7 @@ func (p *Player) maybeStartPlayout(now eventsim.Time) {
 	}
 	p.PlayBeganAt = now
 	p.setState(Playing)
-	p.stopPlay = p.host.Network().Sched.Ticker(time.Second, "wms.playclock", func(now eventsim.Time) bool {
+	p.stopPlay = p.host.Ticker(time.Second, "wms.playclock", func(now eventsim.Time) bool {
 		return p.playOneSecond(now)
 	})
 }
@@ -373,7 +415,7 @@ func (p *Player) finish(now eventsim.Time) {
 	p.FinishedAt = now
 	p.setState(Done)
 	p.teardown()
-	p.host.SendUDP(p.ctlPort, p.serverCtl(), MarshalStop(Stop{}))
+	p.sendCtl(MarshalStop(Stop{}))
 	if p.events.Done != nil {
 		p.events.Done(now)
 	}

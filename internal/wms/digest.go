@@ -1,0 +1,45 @@
+package wms
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// UnitDigest folds data units into an order-independent digest of the
+// delivered payload. Each unit hashes to sha256(seq || segPayload) and
+// the per-unit hashes combine by wrapping addition of their 64-bit words,
+// so two sessions that delivered the same set of (seq, payload) units —
+// in any arrival order — produce the same digest. This is exactly the
+// equivalence live parity needs: a live loopback session reorders packets
+// relative to the simulator but must deliver the identical payload set.
+//
+// Addition (not XOR) is deliberate: XOR would cancel a unit delivered
+// twice, making a duplicated-and-dropped pair invisible. The unit count
+// folded into Sum closes the remaining multiset ambiguity for practical
+// purposes.
+type UnitDigest struct {
+	acc     [4]uint64
+	n       int
+	scratch []byte
+}
+
+// Add folds one data unit into the digest.
+func (d *UnitDigest) Add(seq uint32, payload []byte) {
+	d.scratch = d.scratch[:0]
+	d.scratch = binary.BigEndian.AppendUint32(d.scratch, seq)
+	d.scratch = append(d.scratch, payload...)
+	h := sha256.Sum256(d.scratch)
+	for i := range d.acc {
+		d.acc[i] += binary.BigEndian.Uint64(h[i*8:])
+	}
+	d.n++
+}
+
+// Units reports how many units have been folded in.
+func (d *UnitDigest) Units() int { return d.n }
+
+// Sum renders the digest: the unit count and the folded hash words.
+func (d *UnitDigest) Sum() string {
+	return fmt.Sprintf("%d:%016x%016x%016x%016x", d.n, d.acc[0], d.acc[1], d.acc[2], d.acc[3])
+}

@@ -9,6 +9,7 @@ import (
 	"turbulence/internal/netsim"
 	"turbulence/internal/scaling"
 	"turbulence/internal/segment"
+	"turbulence/internal/transport"
 )
 
 // MinUnitBytes is the smallest ASF data unit the server emits. At low
@@ -37,7 +38,7 @@ func UnitPlan(encodedBps float64) (unitBytes int, tick time.Duration) {
 // Server is a Windows Media server host serving registered clips over the
 // MMS-like control port and streaming CBR data units over UDP.
 type Server struct {
-	host  *netsim.Host
+	host  transport.Transport
 	clips map[string]media.Clip
 
 	// Sessions keyed by client control endpoint.
@@ -79,15 +80,20 @@ type session struct {
 	enc, pkt []byte
 }
 
-// NewServer attaches a WMS server to the host, listening on the MMS
-// control port.
+// NewServer attaches a WMS server to a simulated host, listening on the
+// MMS control port.
 func NewServer(host *netsim.Host) *Server {
+	return NewServerOn(transport.NewSim(host))
+}
+
+// NewServerOn attaches a WMS server to any transport (simulated or live).
+func NewServerOn(t transport.Transport) *Server {
 	s := &Server{
-		host:     host,
+		host:     t,
 		clips:    make(map[string]media.Clip),
 		sessions: make(map[inet.Endpoint]*session),
 	}
-	host.BindUDP(inet.PortMMSCtl, s.onControl)
+	t.BindUDP(inet.PortMMSCtl, s.onControl)
 	return s
 }
 
@@ -116,8 +122,8 @@ func (s *Server) plan(clip media.Clip) (int, time.Duration) {
 	return unit, tick
 }
 
-// Host returns the server's host.
-func (s *Server) Host() *netsim.Host { return s.host }
+// Host returns the transport the server is attached to.
+func (s *Server) Host() transport.Transport { return s.host }
 
 func (s *Server) onControl(now eventsim.Time, from inet.Endpoint, payload []byte) {
 	t, err := MsgType(payload)
@@ -207,7 +213,7 @@ func (s *Server) startSession(client inet.Endpoint, clip media.Clip) {
 	s.sessions[client] = sess
 	// First unit leaves immediately; the ticker paces the rest.
 	s.host.After(0, "wms.firstUnit", func(now eventsim.Time) { sess.sendUnit(now) })
-	sess.stopTick = s.host.Network().Sched.Ticker(tick, "wms.pacer", func(now eventsim.Time) bool {
+	sess.stopTick = s.host.Ticker(tick, "wms.pacer", func(now eventsim.Time) bool {
 		return sess.sendUnit(now)
 	})
 }

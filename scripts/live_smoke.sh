@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# live_smoke.sh — the live transport's rot protection: start a real
+# -listen server and a real -play client on localhost UDP sockets, stream
+# the paper's clip 2/low end to end in real time, and assert the delivered
+# payload digest equals the committed simulator golden
+# (internal/core/testdata/live_digest_2low.txt). TestWMSPayloadDigestGolden
+# pins the other half — golden == simulated clean-path delivery — so
+# together: live wire == golden == simulation.
+#
+# Usage: scripts/live_smoke.sh [metrics_port]   (default 18743)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+mport="${1:-18743}"
+out="$(mktemp -d)"
+server_pid=""
+cleanup() {
+    if [ -n "$server_pid" ]; then
+        kill "$server_pid" 2>/dev/null || true
+        wait "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$out"
+}
+trap cleanup EXIT
+
+# check_metrics fails the job unless the scraped /metrics body carries the
+# live transport series and every sample line parses as Prometheus text
+# exposition format.
+check_metrics() {
+    local body="$1"
+    if [ -z "$body" ]; then
+        echo "live smoke: /metrics body empty" >&2
+        exit 1
+    fi
+    local series
+    for series in turbulence_transport_sent_packets_total \
+                  turbulence_transport_sent_bytes_total \
+                  turbulence_transport_recv_packets_total; do
+        if ! printf '%s\n' "$body" | grep -Eq "^$series(\{[^}]*\})? "; then
+            echo "live smoke: /metrics missing series $series" >&2
+            printf '%s\n' "$body" | head -30 >&2
+            exit 1
+        fi
+    done
+    if printf '%s\n' "$body" | grep -v '^#' | grep -Evq '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?([0-9.eE+-]+|\+Inf|NaN)$'; then
+        echo "live smoke: malformed /metrics exposition line(s):" >&2
+        printf '%s\n' "$body" | grep -v '^#' | grep -Ev '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?([0-9.eE+-]+|\+Inf|NaN)$' | head -5 >&2
+        exit 1
+    fi
+}
+
+go build -o "$out/turbulence" ./cmd/turbulence
+
+"$out/turbulence" -listen 127.0.0.1 -seed 1 -metrics "127.0.0.1:$mport" \
+    2>"$out/server.log" &
+server_pid=$!
+sleep 1
+
+# The client streams clip 2/low in real time (~40 s of media plus preroll).
+if ! "$out/turbulence" -play 127.0.0.1 -bind 127.0.0.1 -clip 2/low -seed 2 \
+    -live-timeout 3m >"$out/play.out" 2>"$out/play.log"; then
+    echo "live smoke: -play failed" >&2
+    sed 's/^/  server: /' "$out/server.log" >&2
+    sed 's/^/  play: /' "$out/play.log" >&2
+    exit 1
+fi
+
+# The session report must show a lossless local session: digest parity is
+# only promised on a lossless path.
+report="$(grep '^live play ' "$out/play.out")"
+case "$report" in
+*" lost=0 "*) ;;
+*)
+    echo "live smoke: live session lost units: $report" >&2
+    exit 1
+    ;;
+esac
+case "$report" in
+*" sendErrs=0 "*) ;;
+*)
+    echo "live smoke: live session hit send errors: $report" >&2
+    exit 1
+    ;;
+esac
+
+want="$(tr -d '[:space:]' <internal/core/testdata/live_digest_2low.txt)"
+got="$(sed -n 's/^digest: //p' "$out/play.out" | tr -d '[:space:]')"
+if [ -z "$got" ]; then
+    echo "live smoke: no digest line in -play output" >&2
+    cat "$out/play.out" >&2
+    exit 1
+fi
+if [ "$got" != "$want" ]; then
+    echo "live smoke: live digest $got != committed golden $want" >&2
+    echo "(if the protocol legitimately changed, re-bless via UPDATE_GOLDEN=1 go test ./internal/core -run TestWMSPayloadDigestGolden)" >&2
+    sed 's/^/  server: /' "$out/server.log" >&2
+    exit 1
+fi
+
+# The server's transport counters must be live on /metrics after a session.
+metrics="$(curl -fsS --max-time 5 "http://127.0.0.1:$mport/metrics")" || {
+    echo "live smoke: GET /metrics failed" >&2
+    sed 's/^/  server: /' "$out/server.log" >&2
+    exit 1
+}
+check_metrics "$metrics"
+
+echo "live smoke ok: $(sed -n 's/^live play //p' "$out/play.out" | head -1); digest matches golden"

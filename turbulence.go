@@ -16,6 +16,7 @@ import (
 	"turbulence/internal/netsim"
 	"turbulence/internal/obs"
 	"turbulence/internal/stats"
+	"turbulence/internal/transport"
 	"turbulence/internal/wire"
 )
 
@@ -146,6 +147,31 @@ type (
 
 	// RNG is the deterministic random stream used by generators.
 	RNG = eventsim.RNG
+	// SimTime is a timestamp on a transport's event clock: simulated
+	// time in the simulator, wall time since start on a live transport.
+	// LiveTransport.Do/DoWait callbacks receive it.
+	SimTime = eventsim.Time
+
+	// Host is one simulated endpoint of a netsim network.
+	Host = netsim.Host
+	// Transport is the seam between the protocol stacks and the thing
+	// that carries their packets — simulated (SimTransport) or real UDP
+	// sockets (LiveTransport).
+	Transport = transport.Transport
+	// SimTransport adapts a simulated Host to the Transport interface
+	// (byte-identical to the stacks' pre-seam wiring).
+	SimTransport = transport.Sim
+	// LiveTransport drives the protocol stacks over real net.UDPConn
+	// sockets with a wall-clock event loop.
+	LiveTransport = transport.Live
+	// LiveTransportConfig parameterises a LiveTransport (bind IP, seed,
+	// metrics registry, tunnel port).
+	LiveTransportConfig = transport.Config
+	// LiveServers are the protocol servers ServeLive attached to a live
+	// transport.
+	LiveServers = core.LiveServers
+	// LiveReport is the outcome of one PlayLive client session.
+	LiveReport = core.LiveReport
 
 	// Flow identifies a unidirectional UDP flow.
 	Flow = inet.Flow
@@ -359,6 +385,38 @@ func FindClip(set int, f Format, class Class) (Clip, bool) {
 // ParseClass resolves a class from its name ("low", "high", "very-high")
 // or Table 1 suffix ("l", "h", "v").
 func ParseClass(s string) (Class, bool) { return media.ParseClass(s) }
+
+// NewSimTransport wraps a simulated host in the Transport interface.
+func NewSimTransport(h *Host) *SimTransport { return transport.NewSim(h) }
+
+// NewLiveTransport opens a live (real-socket) transport and starts its
+// run loop. Close it when done.
+func NewLiveTransport(cfg LiveTransportConfig) (*LiveTransport, error) {
+	return transport.NewLive(cfg)
+}
+
+// ServeLive attaches WMS and RDT servers (full clip library registered)
+// to a live transport — the -listen mode of cmd/turbulence.
+func ServeLive(lt *LiveTransport, logf func(format string, args ...any)) (*LiveServers, error) {
+	return core.ServeLive(lt, logf)
+}
+
+// PlayLive streams clip from a live WMS server and blocks until the
+// session completes, returning the payload digest and flow profile — the
+// -play mode of cmd/turbulence.
+func PlayLive(lt *LiveTransport, server Addr, clip Clip, timeout time.Duration, logf func(format string, args ...any)) (*LiveReport, error) {
+	return core.PlayLive(lt, server, clip, timeout, logf)
+}
+
+// WMSPayloadDigest streams clip over a clean simulated path and returns
+// the order-independent digest of the delivered data units — the parity
+// reference a lossless live session must reproduce.
+func WMSPayloadDigest(clip Clip) (digest string, units int, err error) {
+	return core.WMSPayloadDigest(clip)
+}
+
+// ParseAddr parses a dotted-quad IPv4 address.
+func ParseAddr(s string) (Addr, error) { return inet.ParseAddr(s) }
 
 // Sites returns the six simulated server sites.
 func Sites() []SiteProfile { return core.Sites() }
