@@ -56,11 +56,24 @@ bench-quick:
 # committed BENCH_*.json records: benchstat when it is installed, the
 # built-in benchjson comparer otherwise — either way the loop from "run
 # benchmarks" to "see the drift" closes without extra tooling.
+#
+# With GATE=<pct> set the comparison becomes a regression gate: benchjson
+# exits non-zero when any tracked benchmark's ns/op exceeds the newest
+# committed record's by more than <pct> percent (`make bench-compare
+# GATE=10`). The gate reads only GATE_RECORD — the latest record
+# supersedes the older snapshots, which keep regressions that were
+# knowingly accepted in past PRs (e.g. the columnar capture store's
+# FilterMatch cost) and would otherwise trip forever. Opt-in because the
+# records are snapshots from specific hardware — gate on runners that
+# refresh their own records.
+GATE_RECORD ?= BENCH_reuse.json
 bench-compare:
 	@test -f BENCH_current.txt || { echo "run 'make bench' first (writes BENCH_current.txt)"; exit 1; }
-	@if command -v benchstat >/dev/null 2>&1; then \
+	@if [ -n "$(GATE)" ]; then \
+		$(GO) run ./scripts/benchjson compare -gate $(GATE) BENCH_current.txt $(GATE_RECORD); \
+	elif command -v benchstat >/dev/null 2>&1; then \
 		sed -E 's/^(Benchmark[^[:space:]]+)-[0-9]+([[:space:]])/\1\2/' BENCH_current.txt > .bench_current.tmp; \
-		for rec in baseline netem plan stream; do \
+		for rec in baseline netem plan stream reuse; do \
 			echo "== benchstat vs $$rec =="; \
 			scripts/bench.sh $$rec > .bench_record.tmp 2>/dev/null || continue; \
 			benchstat .bench_record.tmp .bench_current.tmp || true; \

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"turbulence"
+	"turbulence/internal/eventsim"
 )
 
 // benchExperiment runs one registered experiment per iteration with a
@@ -159,12 +160,17 @@ func BenchmarkPlanStream(b *testing.B) {
 // back in RunResult.Comparison. The delta against BenchmarkPlanStream is
 // the whole point of online analysis: record storage, the payload arena
 // and the second profiling pass all disappear, and the network's wire
-// buffers recycle without capture ever pinning them.
+// buffers recycle without capture ever pinning them. The runner is the
+// full perf configuration — testbed reuse (the default) plus the
+// timing-wheel scheduler — so this is the number BENCH_reuse.json tracks;
+// output is byte-identical to the fresh heap-scheduled sweep (pinned by
+// TestReusedAndWheelMatchFresh).
 func BenchmarkPlanStreamOnline(b *testing.B) {
 	plan := turbulence.NewPlan(2002)
 	runner := turbulence.NewRunner(
 		turbulence.WithWorkers(0),
 		turbulence.WithTraceRetention(turbulence.StreamProfiles),
+		turbulence.WithTimingWheel(),
 	)
 	for i := 0; i < b.N; i++ {
 		n := 0
@@ -237,4 +243,57 @@ func BenchmarkFilterMatch(b *testing.B) {
 			b.Fatal("no matches")
 		}
 	}
+}
+
+// BenchmarkTestbedReset measures rewinding the full apparatus — network,
+// hosts, hops, both stacks at six sites, capture — for reuse: the
+// per-cell cost a cached sweep pays instead of construction. Compare
+// against BenchmarkPairRun's first-iteration build to see the gap the
+// TestbedCache closes.
+func BenchmarkTestbedReset(b *testing.B) {
+	tb := turbulence.NewTestbed(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Reset(int64(i + 2))
+	}
+}
+
+// BenchmarkSchedulerDense drives a dense self-rescheduling timer workload
+// — the event pattern packet pacing produces — through both scheduler
+// backends. The heap pays O(log n) sift per operation; the wheel buckets
+// near-future timers in O(1) and fires same-tick batches in one pop.
+func BenchmarkSchedulerDense(b *testing.B) {
+	const (
+		timers = 4096                   // concurrent pacing loops
+		step   = 800 * time.Microsecond // mean reschedule gap
+		spread = 64 * time.Microsecond  // per-timer phase offset
+	)
+	run := func(b *testing.B, wheel bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := eventsim.NewScheduler()
+			if wheel {
+				s.EnableWheel(0, 0)
+			}
+			fired := 0
+			var tick func(now eventsim.Time, arg any)
+			tick = func(now eventsim.Time, arg any) {
+				fired++
+				k := arg.(int)
+				s.AfterArg(eventsim.Duration(step+time.Duration(k%7)*spread), "dense.tick", tick, arg)
+			}
+			for k := 0; k < timers; k++ {
+				s.AfterArg(eventsim.Duration(time.Duration(k)*spread), "dense.start", tick, k)
+			}
+			if err := s.Run(eventsim.Time(200 * time.Millisecond)); err != nil {
+				b.Fatal(err)
+			}
+			if fired == 0 {
+				b.Fatal("no events fired")
+			}
+		}
+	}
+	b.Run("heap", func(b *testing.B) { run(b, false) })
+	b.Run("wheel", func(b *testing.B) { run(b, true) })
 }

@@ -226,6 +226,26 @@
 // simulator golden. See PERFORMANCE.md ("Serving real traffic") for the
 // recipe and caveats.
 //
+// # Testbed reuse and the timing wheel
+//
+// A Runner does not rebuild the apparatus per cell: each worker owns a
+// testbed cache, and every layer a cell touches — the event scheduler,
+// netsim's hosts and hops, netem model state, the protocol stacks,
+// capture — has a Reset(seed) path that restores post-construction state
+// without reallocating, so cells after the first replay into a recycled
+// testbed. The caches are retained on the Runner across Run/Stream/Seq
+// calls, so repeated sweeps start warm. Output is byte-identical to
+// building fresh (pinned by test, along with the golden digests);
+// WithFreshTestbeds() switches back to build-per-cell. WithTimingWheel()
+// swaps the scheduler's 4-ary heap for a hierarchical timing wheel that
+// buckets the dense pacing-timer workload in O(1) and fires
+// same-timestamp batches in one queue operation — again byte-identical,
+// only faster. Together they run the paper's full 13-pair online sweep
+// in under 400 ms and under 10 MB per sweep on one core; PERFORMANCE.md
+// ("Testbed reuse & the timing wheel") has the numbers and the recipe,
+// and WithSweepStats or a metrics sink exposes the economy
+// (testbeds built vs reused, wheel occupancy high-water) per sweep.
+//
 // # Concurrency model
 //
 // Each simulation run is strictly single-threaded: one Scheduler owns one

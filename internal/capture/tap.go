@@ -109,6 +109,16 @@ type FlowMetrics struct {
 	tail tailRing
 }
 
+// Reset clears the accumulators for a new flow while retaining the tail
+// ring's backing arrays, so a pooled analyzer observes its next flow
+// without reallocating the ring it already grew.
+func (m *FlowMetrics) Reset() {
+	tail := m.tail
+	*m = FlowMetrics{}
+	tail.head, tail.n = 0, 0
+	m.tail = tail
+}
+
 // Observe folds one record into the accumulators.
 func (m *FlowMetrics) Observe(r *Record) {
 	if !m.sawPacket {
@@ -335,6 +345,10 @@ type FlowDemux struct {
 	byFlow map[inet.Flow]int32
 	flows  []FlowStream
 	trains map[addrPair]*trainTable
+
+	// freeMetrics recycles per-flow analyzers across Resets, so a pooled
+	// demux discovers its flows without allocating accumulators again.
+	freeMetrics []*FlowMetrics
 }
 
 // NewFlowDemux returns an empty demultiplexer.
@@ -342,6 +356,26 @@ func NewFlowDemux() *FlowDemux {
 	return &FlowDemux{
 		byFlow: make(map[inet.Flow]int32),
 		trains: make(map[addrPair]*trainTable),
+	}
+}
+
+// Reset returns the demux to its post-NewFlowDemux state while retaining
+// every allocation it has made: flow analyzers move to a free list for the
+// next discovery pass, the flow map empties in place, and the train tables
+// (256 KB flat arrays, the demux's dominant allocation) are zeroed and
+// kept. This is what lets a sweep worker analyse run after run with one
+// demux instead of one per cell. The Extra factory is preserved; flow
+// views handed out before the Reset must not be used afterwards.
+func (dx *FlowDemux) Reset() {
+	clear(dx.byFlow)
+	for i := range dx.flows {
+		dx.flows[i].Metrics.Reset()
+		dx.freeMetrics = append(dx.freeMetrics, dx.flows[i].Metrics)
+		dx.flows[i] = FlowStream{}
+	}
+	dx.flows = dx.flows[:0]
+	for _, tt := range dx.trains {
+		clear(tt[:])
 	}
 }
 
@@ -357,7 +391,14 @@ func (dx *FlowDemux) Observe(r *Record) {
 		if !ok {
 			idx = int32(len(dx.flows))
 			dx.byFlow[flow] = idx
-			fs := FlowStream{Flow: flow, Metrics: &FlowMetrics{}}
+			var m *FlowMetrics
+			if n := len(dx.freeMetrics); n > 0 {
+				m = dx.freeMetrics[n-1]
+				dx.freeMetrics = dx.freeMetrics[:n-1]
+			} else {
+				m = &FlowMetrics{}
+			}
+			fs := FlowStream{Flow: flow, Metrics: m}
 			if dx.Extra != nil {
 				fs.Extra = dx.Extra(flow)
 			}

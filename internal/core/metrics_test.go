@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -56,6 +58,34 @@ func TestProgressTimingAndMetricsSink(t *testing.T) {
 			sink.Packets.Value(), sink.Bytes.Value())
 	}
 
+	// The sweep above reused its testbed: one shape on one worker means one
+	// build, and every further cell served by Reset.
+	if got := sink.TestbedsBuilt.Value(); got != 1 {
+		t.Fatalf("sink counted %d testbeds built, want 1 (one shape, one worker)", got)
+	}
+	if got, want := sink.TestbedsReused.Value(), uint64(plan.Size()-1); got != want {
+		t.Fatalf("sink counted %d testbed reuses, want %d", got, want)
+	}
+	if got := sink.WheelDepthPeak.Value(); got != 0 {
+		t.Fatalf("heap-backed sweep reports wheel occupancy %d", got)
+	}
+
+	// The new series render under their exposition names with the sweep's
+	// values.
+	var text strings.Builder
+	if err := reg.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"turbulence_testbeds_built_total 1\n",
+		fmt.Sprintf("turbulence_testbeds_reused_total %d\n", plan.Size()-1),
+		"turbulence_sim_wheel_depth_peak 0\n",
+	} {
+		if !strings.Contains(text.String(), want) {
+			t.Fatalf("rendered exposition lacks %q:\n%s", want, text.String())
+		}
+	}
+
 	// The meter observes; it must not steer. Same plan without a sink is
 	// profile-identical.
 	bare, err := NewRunner(WithWorkers(1)).Run(plan)
@@ -66,6 +96,27 @@ func TestProgressTimingAndMetricsSink(t *testing.T) {
 		a, b := Compare(results[i].Run), Compare(bare[i].Run)
 		if a.Real != b.Real {
 			t.Fatalf("cell %d: metered profile differs from bare run", i)
+		}
+	}
+
+	// A wheel-backed reused sweep reports its bucket high-water through the
+	// same sink — and stays profile-identical to the heap runs above.
+	wreg := obs.NewRegistry()
+	wsink := obs.NewSink(wreg)
+	wheeled, err := NewRunner(WithWorkers(1), WithTimingWheel(), WithMetrics(wsink)).Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := wsink.WheelDepthPeak.Value(); got <= 0 {
+		t.Fatalf("wheel sweep sink wheel high-water = %d, want > 0", got)
+	}
+	if got, want := wsink.TestbedsBuilt.Value(), uint64(1); got != want {
+		t.Fatalf("wheel sweep built %d testbeds, want %d", got, want)
+	}
+	for i := range wheeled {
+		a, b := Compare(wheeled[i].Run), Compare(bare[i].Run)
+		if a.Real != b.Real {
+			t.Fatalf("cell %d: wheel-backed profile differs from heap run", i)
 		}
 	}
 }

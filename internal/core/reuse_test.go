@@ -1,0 +1,146 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"turbulence/internal/media"
+	"turbulence/internal/racecheck"
+)
+
+// TestReusedAndWheelMatchFresh is the reuse tentpole's identity pin:
+// reset-reused testbeds and the timing-wheel scheduler backend must both
+// produce byte-identical traces to fresh heap-backed construction, at
+// every worker count. The reference is a fresh-testbed sequential sweep;
+// every (workers, wheel) combination is compared against it cell by cell
+// via the full trace digest.
+func TestReusedAndWheelMatchFresh(t *testing.T) {
+	plan := NewPlan(2002).
+		ForPairs(PairKey{2, media.High}, PairKey{4, media.Low}).
+		UnderScenarios(nil, mustScenario(t, "lossy-wifi"))
+	ref, err := NewRunner(WithWorkers(1), WithFreshTestbeds()).Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) != plan.Size() {
+		t.Fatalf("reference sweep yielded %d cells, want %d", len(ref), plan.Size())
+	}
+	refDigest := make([]uint64, len(ref))
+	for i, res := range ref {
+		refDigest[i] = traceDigest(res.Run)
+	}
+
+	for _, workers := range []int{1, 4, 0} {
+		for _, wheel := range []bool{false, true} {
+			opts := []RunnerOption{WithWorkers(workers)}
+			if wheel {
+				opts = append(opts, WithTimingWheel())
+			}
+			var sw SweepStats
+			opts = append(opts, WithSweepStats(func(s SweepStats) { sw = s }))
+			got, err := NewRunner(opts...).Run(plan)
+			if err != nil {
+				t.Fatalf("workers=%d wheel=%t: %v", workers, wheel, err)
+			}
+			if len(got) != len(ref) {
+				t.Fatalf("workers=%d wheel=%t: %d cells, want %d", workers, wheel, len(got), len(ref))
+			}
+			for i := range got {
+				if got[i].Seed != ref[i].Seed || got[i].Key.Pair != ref[i].Key.Pair {
+					t.Fatalf("workers=%d wheel=%t: cell %d is %v seed %d, reference has %v seed %d",
+						workers, wheel, i, got[i].Key.Pair, got[i].Seed, ref[i].Key.Pair, ref[i].Seed)
+				}
+				if d := traceDigest(got[i].Run); d != refDigest[i] {
+					t.Fatalf("workers=%d wheel=%t: cell %v trace digest %#x diverges from fresh heap run %#x",
+						workers, wheel, got[i].Key.Pair, d, refDigest[i])
+				}
+			}
+			// Testbed economy: every cell was served, by build or reuse.
+			if sw.TestbedsBuilt+sw.TestbedsReused != plan.Size() {
+				t.Fatalf("workers=%d wheel=%t: built %d + reused %d != %d cells",
+					workers, wheel, sw.TestbedsBuilt, sw.TestbedsReused, plan.Size())
+			}
+			if workers == 1 {
+				// Sequential: one worker, two shapes (faithful, lossy-wifi),
+				// four cells — exactly two builds and two reuses.
+				if sw.TestbedsBuilt != 2 || sw.TestbedsReused != 2 {
+					t.Fatalf("wheel=%t: sequential sweep built %d, reused %d, want 2 and 2",
+						wheel, sw.TestbedsBuilt, sw.TestbedsReused)
+				}
+			}
+			if wheel && sw.WheelPeak <= 0 {
+				t.Fatalf("workers=%d: wheel sweep reports no bucket occupancy", workers)
+			}
+			if !wheel && sw.WheelPeak != 0 {
+				t.Fatalf("workers=%d: heap sweep reports wheel occupancy %d", workers, sw.WheelPeak)
+			}
+		}
+	}
+}
+
+// TestResetAllocFree pins the steady-state cost of Testbed.Reset: rewinding
+// the whole apparatus — network, hosts, hops, both stacks at six sites —
+// must cost at most the small constant replay budget (the six per-site RDT
+// stream splits), not a rebuild.
+func TestResetAllocFree(t *testing.T) {
+	if racecheck.Enabled {
+		t.Skip("allocation pin: race instrumentation inflates counts")
+	}
+	tb := NewTestbed(1)
+	tb.Reset(2) // warm any lazily grown internals
+	allocs := testing.AllocsPerRun(10, func() { tb.Reset(3) })
+	if allocs > 30 {
+		t.Fatalf("Testbed.Reset allocates %.0f objects per call, want the constant replay budget (≤30)", allocs)
+	}
+}
+
+// TestReusedRunAllocatesFarLess pins the payoff the cache exists for: a
+// cell served by resetting a warm testbed must allocate at least 5× less
+// than the same cell building its apparatus from scratch.
+func TestReusedRunAllocatesFarLess(t *testing.T) {
+	if racecheck.Enabled {
+		t.Skip("allocation pin: race instrumentation dominates both measurements")
+	}
+	seed := SeedFor(2002, PairKey{Set: 2, Class: media.High})
+	ctx := context.Background()
+	measure := func(cache *TestbedCache) uint64 {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		if _, _, err := runPair(ctx, seed, 2, media.High, Options{}, true, nil, cache); err != nil {
+			t.Fatal(err)
+		}
+		runtime.ReadMemStats(&after)
+		return after.TotalAlloc - before.TotalAlloc
+	}
+
+	cache := NewTestbedCache()
+	if _, _, err := runPair(ctx, seed, 2, media.High, Options{}, true, nil, cache); err != nil {
+		t.Fatal(err) // warm: builds the testbed and the pooled demux
+	}
+	reused := measure(cache)
+	fresh := measure(nil)
+	if fresh < 5*reused {
+		t.Fatalf("fresh run allocates %d bytes, reused run %d bytes — want ≥5× reduction, got %.1f×",
+			fresh, reused, float64(fresh)/float64(reused))
+	}
+}
+
+// BenchmarkReusedPairRun measures one streamed cell served from a warm
+// cache — the steady-state unit of a reused sweep.
+func BenchmarkReusedPairRun(b *testing.B) {
+	seed := SeedFor(2002, PairKey{Set: 2, Class: media.High})
+	ctx := context.Background()
+	cache := NewTestbedCache()
+	if _, _, err := runPair(ctx, seed, 2, media.High, Options{}, true, nil, cache); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := runPair(ctx, seed, 2, media.High, Options{}, true, nil, cache); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -73,14 +73,94 @@ type RunResult struct {
 // options) runs sequentially with no cancellation, progress or trace
 // dropping — exactly the legacy sequential entry points. (A zero Runner
 // value also works; lacking the constructor's default it fans out across
-// all cores.) A Runner is stateless across calls and safe for concurrent
-// use; configuration is fixed at construction by functional options.
+// all cores.) Configuration is fixed at construction by functional
+// options. A Runner is safe for concurrent use; its only mutable state is
+// the pool of per-worker testbed caches it retains between executions, so
+// back-to-back sweeps on one Runner start with the previous sweep's warm
+// testbeds and arenas instead of rebuilding them (each cache is handed to
+// at most one worker at a time; output is unaffected — reuse is pinned
+// byte-identical to construction).
 type Runner struct {
-	workers   int
-	ctx       context.Context
-	progress  func(Progress)
-	retention TraceRetention
-	sink      *obs.Sink
+	workers    int
+	ctx        context.Context
+	progress   func(Progress)
+	retention  TraceRetention
+	sink       *obs.Sink
+	fresh      bool
+	wheel      bool
+	sweepStats func(SweepStats)
+	pool       *tallyPool
+}
+
+// tallyPool holds the worker tallies a Runner retains across executions.
+// It lives behind a pointer so the shallow Runner copies Seq makes share
+// it, and so the zero Runner (nil pool, nothing retained) stays valid.
+type tallyPool struct {
+	mu    sync.Mutex
+	spare []*workerTally
+}
+
+// workerTally is one worker's sweep accounting plus the testbed cache it
+// owns for the duration of an execution. The AtStart snapshots mark where
+// the current sweep's counting begins on a cache whose lifetime counters
+// span many sweeps.
+type workerTally struct {
+	cache         *TestbedCache
+	wheelPeak     int
+	builtAtStart  int
+	reusedAtStart int
+}
+
+// acquireTallies checks out n worker tallies: retained ones first, newly
+// built caches for the rest. Each tally's per-sweep accounting is rewound
+// to this execution's start.
+func (r *Runner) acquireTallies(n int) []*workerTally {
+	ts := make([]*workerTally, n)
+	if r.pool != nil {
+		r.pool.mu.Lock()
+		for i := range ts {
+			if m := len(r.pool.spare); m > 0 {
+				ts[i] = r.pool.spare[m-1]
+				r.pool.spare[m-1] = nil
+				r.pool.spare = r.pool.spare[:m-1]
+			}
+		}
+		r.pool.mu.Unlock()
+	}
+	for i, t := range ts {
+		if t == nil {
+			c := NewTestbedCache()
+			c.Wheel = r.wheel
+			c.Fresh = r.fresh
+			t = &workerTally{cache: c}
+			ts[i] = t
+		}
+		t.wheelPeak = 0
+		t.builtAtStart = t.cache.Built()
+		t.reusedAtStart = t.cache.Reused()
+	}
+	return ts
+}
+
+// releaseTallies returns an execution's tallies to the pool for the next
+// sweep. The zero Runner retains nothing.
+func (r *Runner) releaseTallies(ts []*workerTally) {
+	if r.pool == nil {
+		return
+	}
+	r.pool.mu.Lock()
+	r.pool.spare = append(r.pool.spare, ts...)
+	r.pool.mu.Unlock()
+}
+
+// SweepStats summarises one executed sweep's testbed economy: how many
+// testbeds were constructed versus served by reset-reuse, and the deepest
+// any run's timing-wheel buckets got (zero when the heap backend ran).
+// Delivered once per execution via WithSweepStats, after the last cell.
+type SweepStats struct {
+	TestbedsBuilt  int
+	TestbedsReused int
+	WheelPeak      int
 }
 
 // context is the nil-safe accessor keeping the zero Runner usable.
@@ -137,9 +217,33 @@ func WithMetrics(s *obs.Sink) RunnerOption {
 	return func(r *Runner) { r.sink = s }
 }
 
+// WithFreshTestbeds disables per-worker testbed reuse: every cell builds
+// its apparatus from scratch, the pre-reuse behaviour. Output is identical
+// either way (reuse is pinned byte-equal to construction); this is the A/B
+// switch for the identity tests and the reset benchmarks.
+func WithFreshTestbeds() RunnerOption {
+	return func(r *Runner) { r.fresh = true }
+}
+
+// WithTimingWheel runs every cell's scheduler on the hierarchical
+// timing-wheel backend instead of the default 4-ary heap (see
+// eventsim.Scheduler.EnableWheel). Firing order — and therefore every byte
+// of simulation output — is identical; only the queue's constant factor
+// changes.
+func WithTimingWheel() RunnerOption {
+	return func(r *Runner) { r.wheel = true }
+}
+
+// WithSweepStats installs a callback receiving the sweep's testbed-economy
+// summary (builds, reuses, wheel high-water) once execution finishes — the
+// hook the dispatch worker uses to ship those numbers to the coordinator.
+func WithSweepStats(fn func(SweepStats)) RunnerOption {
+	return func(r *Runner) { r.sweepStats = fn }
+}
+
 // NewRunner builds a Runner from functional options.
 func NewRunner(opts ...RunnerOption) *Runner {
-	r := &Runner{workers: 1, ctx: context.Background()}
+	r := &Runner{workers: 1, ctx: context.Background(), pool: &tallyPool{}}
 	for _, opt := range opts {
 		opt(r)
 	}
@@ -189,22 +293,25 @@ func (r *Runner) execute(p *Plan, emit func(RunResult) bool) {
 		return true
 	}
 
-	runCell := func(k RunKey) bool {
+	runCell := func(k RunKey, t *workerTally) bool {
 		if ctx.Err() != nil || failed.Load() {
 			return false
 		}
 		seed := p.Seed(k)
 		start := time.Now()
-		run, cmp, err := runPair(ctx, seed, k.Pair.Set, k.Pair.Class, p.optionsFor(k), r.retention == StreamProfiles, r.sink)
+		run, cmp, err := runPair(ctx, seed, k.Pair.Set, k.Pair.Class, p.optionsFor(k), r.retention == StreamProfiles, r.sink, t.cache)
 		elapsed := time.Since(start)
 		if err != nil && ctx.Err() != nil {
 			// Interrupted mid-simulation: not a completed cell.
 			return false
 		}
+		if run != nil && run.Sim.WheelPeak > t.wheelPeak {
+			t.wheelPeak = run.Sim.WheelPeak
+		}
 		if r.sink != nil {
 			r.sink.ObserveCell(elapsed.Seconds(), err != nil)
 			if run != nil {
-				r.sink.AddSim(run.Sim.TimersScheduled, run.Sim.EventsFired, run.Sim.HeapPeak)
+				r.sink.AddSim(run.Sim.TimersScheduled, run.Sim.EventsFired, run.Sim.HeapPeak, run.Sim.WheelPeak)
 				d, u := &run.Downlink, &run.Uplink
 				r.sink.AddDrops(d.DroppedLoss+u.DroppedLoss, d.DroppedFull+u.DroppedFull,
 					d.DroppedAQM+u.DroppedAQM, d.TTLExpired+u.TTLExpired)
@@ -219,9 +326,39 @@ func (r *Runner) execute(p *Plan, emit func(RunResult) bool) {
 		return finish(res, start, elapsed)
 	}
 
+	// Each worker owns a testbed cache: cells reuse the worker's testbeds
+	// via Reset instead of rebuilding the apparatus per run (unless the
+	// Runner was configured fresh — the cache then builds every time but
+	// still carries the wheel setting and the sweep tallies). Caches come
+	// from the Runner's retained pool, so a Runner driving many sweeps
+	// builds its testbeds once, not once per sweep.
+	tallies := r.acquireTallies(max(workers, 1))
+	// finishSweep folds the per-worker tallies into the sink and the
+	// WithSweepStats callback once no more cells will run, counting only
+	// this sweep's deltas on the long-lived caches, then returns the
+	// tallies to the pool.
+	finishSweep := func() {
+		var sw SweepStats
+		for _, t := range tallies {
+			sw.TestbedsBuilt += t.cache.Built() - t.builtAtStart
+			sw.TestbedsReused += t.cache.Reused() - t.reusedAtStart
+			if t.wheelPeak > sw.WheelPeak {
+				sw.WheelPeak = t.wheelPeak
+			}
+		}
+		if r.sink != nil {
+			r.sink.AddTestbeds(uint64(sw.TestbedsBuilt), uint64(sw.TestbedsReused))
+		}
+		if r.sweepStats != nil {
+			r.sweepStats(sw)
+		}
+		r.releaseTallies(tallies)
+	}
+	defer finishSweep()
+
 	if workers <= 1 {
 		for _, k := range keys {
-			if !runCell(k) {
+			if !runCell(k, tallies[0]) {
 				return
 			}
 		}
@@ -231,18 +368,18 @@ func (r *Runner) execute(p *Plan, emit func(RunResult) bool) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(t *workerTally) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(keys) {
 					return
 				}
-				if !runCell(keys[i]) {
+				if !runCell(keys[i], t) {
 					return
 				}
 			}
-		}()
+		}(tallies[w])
 	}
 	wg.Wait()
 }

@@ -70,6 +70,9 @@ type SimCounters struct {
 	TimersScheduled uint64 // events ever pushed onto the scheduler
 	EventsFired     uint64 // events dispatched
 	HeapPeak        int    // high-water pending-event count
+	// WheelPeak is the high-water timing-wheel bucket occupancy, zero when
+	// the run used the default heap backend.
+	WheelPeak int
 }
 
 // Clips returns the pair's clips (Real, WindowsMedia).
@@ -122,7 +125,7 @@ func RunPair(seed int64, set int, class media.Class) (*PairRun, error) {
 
 // RunPairWith is RunPair with ablation options.
 func RunPairWith(seed int64, set int, class media.Class, opts Options) (*PairRun, error) {
-	run, _, err := runPair(context.Background(), seed, set, class, opts, false, nil)
+	run, _, err := runPair(context.Background(), seed, set, class, opts, false, nil, nil)
 	return run, err
 }
 
@@ -134,7 +137,7 @@ func RunPairContext(ctx context.Context, seed int64, set int, class media.Class,
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	run, _, err := runPair(ctx, seed, set, class, opts, false, nil)
+	run, _, err := runPair(ctx, seed, set, class, opts, false, nil, nil)
 	return run, err
 }
 
@@ -156,7 +159,12 @@ func RunPairContext(ctx context.Context, seed int64, set int, class media.Class,
 // byte volume, two atomic adds per record — the tap path's allocation pin
 // covers it). Sim counters and drop tallies are read from the finished
 // PairRun by the Runner, not here, keeping the sink out of the sim.
-func runPair(ctx context.Context, seed int64, set int, class media.Class, opts Options, stream bool, sink *obs.Sink) (*PairRun, *Comparison, error) {
+//
+// A non-nil cache serves the testbed (reset-reused across the worker's
+// runs, or fresh if the cache says so) and the pooled analysis scratch;
+// nil builds everything fresh, the legacy one-off path. Either way the
+// run's bytes are identical: reuse is pinned equal to construction.
+func runPair(ctx context.Context, seed int64, set int, class media.Class, opts Options, stream bool, sink *obs.Sink, cache *TestbedCache) (*PairRun, *Comparison, error) {
 	clipSet, ok := media.FindSet(set)
 	if !ok {
 		return nil, nil, fmt.Errorf("core: unknown data set %d", set)
@@ -165,14 +173,12 @@ func runPair(ctx context.Context, seed int64, set int, class media.Class, opts O
 	if !ok {
 		return nil, nil, fmt.Errorf("core: set %d has no %v pair", set, class)
 	}
-	var tbOpts []TestbedOption
-	if opts.BottleneckBps > 0 {
-		tbOpts = append(tbOpts, WithBottleneck(set, opts.BottleneckBps))
+	var tb *Testbed
+	if cache != nil {
+		tb = cache.Get(seed, set, opts)
+	} else {
+		tb = NewTestbed(seed, shapeFor(set, opts).options()...)
 	}
-	if opts.Scenario != nil {
-		tbOpts = append(tbOpts, WithScenario(opts.Scenario))
-	}
-	tb := NewTestbed(seed, tbOpts...)
 	site := tb.Site(set)
 	run := &PairRun{Set: set, Class: class, Site: site.Profile}
 	if opts.Scenario != nil {
@@ -199,7 +205,11 @@ func runPair(ctx context.Context, seed int64, set int, class media.Class, opts O
 		// Online analysis: records stream through the flow demultiplexer's
 		// per-flow accumulators and are never stored.
 		sniff.SetStore(false)
-		demux = capture.NewFlowDemux()
+		if cache != nil {
+			demux = cache.demux()
+		} else {
+			demux = capture.NewFlowDemux()
+		}
 		sniff.AddTap(demux)
 	}
 
@@ -211,8 +221,10 @@ func runPair(ctx context.Context, seed int64, set int, class media.Class, opts O
 	// moment, mirroring the methodology.
 	const checksLead = 5 * time.Second
 	var wmpDone, realDone bool
+	var realTrk *tracker.RealTracker
+	var wmpTrk *tracker.MediaTracker
 	startReal := func() {
-		tracker.StartRealTracker(tb.Client, site.RDT, pair.Real.Name(), RDTCtlPort, RDTDataPort,
+		realTrk = tracker.StartRealTracker(tb.Client, site.RDT, pair.Real.Name(), RDTCtlPort, RDTDataPort,
 			func(rep *tracker.Report) { run.Real = rep; realDone = true })
 	}
 	// startWMP honours the interleave ablation on every path — including
@@ -229,6 +241,7 @@ func runPair(ctx context.Context, seed int64, set int, class media.Class, opts O
 		if opts.DisableInterleave {
 			mt.Player().DisableInterleave()
 		}
+		wmpTrk = mt
 	}
 	tb.Net.Sched.After(checksLead, "session.startPair", func(eventsim.Time) {
 		if opts.Sequential {
@@ -266,6 +279,11 @@ func runPair(ctx context.Context, seed int64, set int, class media.Class, opts O
 	if !wmpDone || !realDone {
 		return nil, nil, fmt.Errorf("core: pair %d/%v did not complete within horizon (wmp=%t real=%t)", set, class, wmpDone, realDone)
 	}
+	// The event loop has fully drained — nothing can deliver to the
+	// players anymore — so their pooled assembly state can recycle for
+	// the next run.
+	realTrk.Player().ReleaseResources()
+	wmpTrk.Player().ReleaseResources()
 
 	run.PingBefore = pingBefore.Report()
 	if pingAfter != nil {
@@ -282,6 +300,7 @@ func runPair(ctx context.Context, seed int64, set int, class media.Class, opts O
 		TimersScheduled: tb.Net.Sched.Scheduled(),
 		EventsFired:     tb.Net.Sched.Fired(),
 		HeapPeak:        tb.Net.Sched.PeakQueue(),
+		WheelPeak:       tb.Net.Sched.WheelPeak(),
 	}
 	if stream {
 		wmp, real := demux.To(WMPDataPort), demux.To(RDTDataPort)

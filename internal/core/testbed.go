@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"time"
 
+	"turbulence/internal/capture"
 	"turbulence/internal/inet"
 	"turbulence/internal/media"
 	"turbulence/internal/netem"
@@ -186,4 +187,128 @@ func (tb *Testbed) Site(set int) *Site {
 		panic(fmt.Sprintf("core: no site for set %d", set))
 	}
 	return s
+}
+
+// Reset rewinds the testbed to its post-NewTestbed state for seed without
+// reallocating anything: the network drains and reseeds, every host and hop
+// rewinds, and both stacks at every site re-arm on their freshly cleared
+// hosts. Construction draws from the root RNG exactly once per site (the
+// RDT server's stream split), in Sites() order — Reset replays the same
+// sequence in the same order, which is what makes a reset testbed
+// byte-identical to a newly built one under the same seed.
+//
+// Topology and clip registration are construction-time and retained; the
+// per-run ablation switches (unit cap, uncapped burst, scaling) revert to
+// their defaults, so callers reapply Options per run exactly as runPair
+// does on a fresh testbed.
+func (tb *Testbed) Reset(seed int64) {
+	tb.Net.Reset(seed)
+	for _, prof := range Sites() {
+		site := tb.Sites[prof.Set]
+		site.WMS.Reset()
+		site.RDT.Reset()
+	}
+}
+
+// testbedShape identifies the construction-time configuration of a testbed:
+// two testbeds with the same shape are interchangeable after a Reset. The
+// scenario is compared by pointer — a Plan shares one *Scenario across its
+// cells, and distinct pointers conservatively build distinct testbeds.
+type testbedShape struct {
+	scenario      *netem.Scenario
+	bottleneckSet int
+	bottleneckBps float64
+}
+
+// shapeFor derives the testbed shape a pair run needs from its options.
+func shapeFor(set int, opts Options) testbedShape {
+	sh := testbedShape{scenario: opts.Scenario}
+	if opts.BottleneckBps > 0 {
+		sh.bottleneckSet, sh.bottleneckBps = set, opts.BottleneckBps
+	}
+	return sh
+}
+
+// options expands a shape back into testbed construction options.
+func (sh testbedShape) options() []TestbedOption {
+	var tbOpts []TestbedOption
+	if sh.bottleneckBps > 0 {
+		tbOpts = append(tbOpts, WithBottleneck(sh.bottleneckSet, sh.bottleneckBps))
+	}
+	if sh.scenario != nil {
+		tbOpts = append(tbOpts, WithScenario(sh.scenario))
+	}
+	return tbOpts
+}
+
+// TestbedCache reuses testbeds across the runs of one worker. The first
+// run of each shape builds a testbed; subsequent runs Reset it to the new
+// seed instead of reconstructing the whole apparatus, which removes the
+// dominant allocation cost of a sweep (building six sites' paths, hosts and
+// stacks per cell). A cache is single-goroutine, like the runs it serves:
+// the Runner creates one per worker.
+//
+// The cache also owns the worker's online-analysis scratch (the capture
+// flow demux), pooled for the same reason.
+type TestbedCache struct {
+	// Wheel selects the timing-wheel scheduler backend for every testbed
+	// the cache builds (see eventsim.Scheduler.EnableWheel). Firing order —
+	// and therefore simulation output — is identical to the default heap.
+	Wheel bool
+	// Fresh disables reuse: every Get builds a new testbed (still honouring
+	// Wheel). The A/B switch the identity tests and benchmarks use.
+	Fresh bool
+
+	tbs           map[testbedShape]*Testbed
+	dx            *capture.FlowDemux
+	built, reused int
+}
+
+// NewTestbedCache returns an empty cache with default settings (reuse on,
+// heap scheduler).
+func NewTestbedCache() *TestbedCache {
+	return &TestbedCache{tbs: make(map[testbedShape]*Testbed)}
+}
+
+// Get returns a testbed for the run's shape, reset to seed: a cached one
+// when the shape was seen before (and Fresh is off), a newly built one
+// otherwise.
+func (c *TestbedCache) Get(seed int64, set int, opts Options) *Testbed {
+	sh := shapeFor(set, opts)
+	if !c.Fresh {
+		if tb, ok := c.tbs[sh]; ok {
+			c.reused++
+			tb.Reset(seed)
+			return tb
+		}
+	}
+	tb := NewTestbed(seed, sh.options()...)
+	if c.Wheel {
+		tb.Net.Sched.EnableWheel(0, 0)
+	}
+	c.built++
+	if !c.Fresh {
+		c.tbs[sh] = tb
+	}
+	return tb
+}
+
+// Built reports how many testbeds the cache constructed.
+func (c *TestbedCache) Built() int { return c.built }
+
+// Reused reports how many Gets were served by resetting a cached testbed.
+func (c *TestbedCache) Reused() int { return c.reused }
+
+// demux returns the worker's pooled flow demultiplexer, reset for a new
+// run. Under Fresh each call builds a new one, matching the legacy path.
+func (c *TestbedCache) demux() *capture.FlowDemux {
+	if c.Fresh {
+		return capture.NewFlowDemux()
+	}
+	if c.dx == nil {
+		c.dx = capture.NewFlowDemux()
+	} else {
+		c.dx.Reset()
+	}
+	return c.dx
 }

@@ -45,12 +45,15 @@ type coordMetrics struct {
 	journalFsyncs       *obs.Counter
 	journalFsyncSeconds *obs.Histogram
 
-	workerCells      *obs.CounterVec
-	workerShards     *obs.CounterVec
-	workerRenewals   *obs.CounterVec
-	workerRetries    *obs.CounterVec
-	workerRunSeconds *obs.FloatGaugeVec
-	workerThroughput *obs.FloatGaugeVec
+	workerCells          *obs.CounterVec
+	workerShards         *obs.CounterVec
+	workerRenewals       *obs.CounterVec
+	workerRetries        *obs.CounterVec
+	workerRunSeconds     *obs.FloatGaugeVec
+	workerThroughput     *obs.FloatGaugeVec
+	workerTestbedsBuilt  *obs.CounterVec
+	workerTestbedsReused *obs.CounterVec
+	workerWheelPeak      *obs.FloatGaugeVec
 }
 
 // newCoordMetrics registers the dispatcher metric set. The gauges close
@@ -81,12 +84,15 @@ func newCoordMetrics(c *Coordinator, ringSize int) *coordMetrics {
 		journalFsyncs:       reg.Counter("turbulence_dispatch_journal_fsyncs_total", "Checkpoint journal appends made durable."),
 		journalFsyncSeconds: reg.Histogram("turbulence_dispatch_journal_fsync_seconds", "Seconds per checkpoint journal fsync.", []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1}),
 
-		workerCells:      reg.CounterVec("turbulence_dispatch_worker_cells_total", "Cells completed per worker, as self-measured in WorkerStats.", "worker"),
-		workerShards:     reg.CounterVec("turbulence_dispatch_worker_shards_total", "Shards completed per worker.", "worker"),
-		workerRenewals:   reg.CounterVec("turbulence_dispatch_worker_renewals_total", "Lease renewals per worker while running shards.", "worker"),
-		workerRetries:    reg.CounterVec("turbulence_dispatch_worker_retries_total", "Transport retries per worker while running shards.", "worker"),
-		workerRunSeconds: reg.FloatGaugeVec("turbulence_dispatch_worker_run_seconds", "Wall-clock the worker spent executing its most recent shard.", "worker"),
-		workerThroughput: reg.FloatGaugeVec("turbulence_dispatch_worker_throughput_cells_per_second", "Cells per second over the worker's most recent shard, self-measured.", "worker"),
+		workerCells:          reg.CounterVec("turbulence_dispatch_worker_cells_total", "Cells completed per worker, as self-measured in WorkerStats.", "worker"),
+		workerShards:         reg.CounterVec("turbulence_dispatch_worker_shards_total", "Shards completed per worker.", "worker"),
+		workerRenewals:       reg.CounterVec("turbulence_dispatch_worker_renewals_total", "Lease renewals per worker while running shards.", "worker"),
+		workerRetries:        reg.CounterVec("turbulence_dispatch_worker_retries_total", "Transport retries per worker while running shards.", "worker"),
+		workerRunSeconds:     reg.FloatGaugeVec("turbulence_dispatch_worker_run_seconds", "Wall-clock the worker spent executing its most recent shard.", "worker"),
+		workerThroughput:     reg.FloatGaugeVec("turbulence_dispatch_worker_throughput_cells_per_second", "Cells per second over the worker's most recent shard, self-measured.", "worker"),
+		workerTestbedsBuilt:  reg.CounterVec("turbulence_dispatch_worker_testbeds_built_total", "Testbeds constructed from scratch per worker, as self-measured in WorkerStats.", "worker"),
+		workerTestbedsReused: reg.CounterVec("turbulence_dispatch_worker_testbeds_reused_total", "Cells served by resetting a cached testbed per worker, as self-measured in WorkerStats.", "worker"),
+		workerWheelPeak:      reg.FloatGaugeVec("turbulence_dispatch_worker_wheel_depth_peak", "High-water timing-wheel bucket occupancy over the worker's most recent shard (zero under the heap backend).", "worker"),
 	}
 	reg.GaugeFunc("turbulence_dispatch_queue_depth", "Shards sitting in the pending queue.",
 		func() float64 { return float64(len(c.pending)) })
@@ -147,6 +153,9 @@ func (m *coordMetrics) recordWorkerStats(s *wire.WorkerStats) {
 	m.workerShards.With(name).Inc()
 	m.workerRenewals.With(name).Add(uint64(s.Renewals))
 	m.workerRetries.With(name).Add(s.Retries)
+	m.workerTestbedsBuilt.With(name).Add(uint64(s.TestbedsBuilt))
+	m.workerTestbedsReused.With(name).Add(uint64(s.TestbedsReused))
+	m.workerWheelPeak.With(name).Set(float64(s.WheelPeak))
 	secs := float64(s.RunMillis) / 1000
 	m.workerRunSeconds.With(name).Set(secs)
 	if secs <= 0 {

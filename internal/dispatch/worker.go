@@ -180,6 +180,11 @@ func (w *Worker) runShard(grant wire.LeaseGrant) (runs []wire.Run, orphaned bool
 		core.WithWorkers(w.cfg.RunWorkers),
 		core.WithContext(runCtx),
 		core.WithTraceRetention(core.StreamProfiles),
+		core.WithSweepStats(func(sw core.SweepStats) {
+			stats.TestbedsBuilt = sw.TestbedsBuilt
+			stats.TestbedsReused = sw.TestbedsReused
+			stats.WheelPeak = sw.WheelPeak
+		}),
 	)
 	// A cell error is a result, not a transport failure: the batch ships
 	// with the Err run inside (fail-fast leaves it short, which the

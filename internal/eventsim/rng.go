@@ -18,17 +18,44 @@ func NewRNG(seed int64) *RNG {
 	return &RNG{r: rand.New(rand.NewSource(seed))}
 }
 
+// Reseed rewinds the generator to the deterministic stream for seed, as if
+// freshly constructed by NewRNG(seed), without allocating. This is the RNG
+// half of testbed reuse: a Reset(seed) replays the exact construction-time
+// Split sequence a fresh build would perform, so child streams come out
+// identical.
+func (g *RNG) Reseed(seed int64) { g.r.Seed(seed) }
+
 // Split derives an independent child stream labelled by name. The child's
 // seed is a hash of the parent seed position and the label, so two children
 // with different labels never share a stream.
 func (g *RNG) Split(name string) *RNG {
+	return NewRNG(g.splitSeed(name))
+}
+
+// SplitInto is Split reusing an existing child generator: the parent
+// advances by the same single draw, and child is rewound to exactly the
+// stream Split(name) would have returned — without allocating a source
+// (math/rand sources are ~5 KB each, which matters on the testbed-reuse
+// Reset paths that replay construction splits every run). A nil child
+// falls back to Split.
+func (g *RNG) SplitInto(name string, child *RNG) *RNG {
+	seed := g.splitSeed(name)
+	if child == nil {
+		return NewRNG(seed)
+	}
+	child.Reseed(seed)
+	return child
+}
+
+// splitSeed derives (and consumes) the child seed for a labelled split.
+func (g *RNG) splitSeed(name string) int64 {
 	h := uint64(1469598103934665603) // FNV-1a offset basis
 	for i := 0; i < len(name); i++ {
 		h ^= uint64(name[i])
 		h *= 1099511628211
 	}
 	h ^= g.r.Uint64()
-	return NewRNG(int64(h))
+	return int64(h)
 }
 
 // Float64 returns a uniform draw in [0,1).

@@ -12,7 +12,8 @@ import (
 type Event struct {
 	when  Time
 	seq   uint64 // tiebreak: FIFO among events at the same instant
-	index int32  // heap index; -1 once removed
+	index int32  // position in heap or bucket; -1 removed; -2 in-flight
+	slot  int32  // wheel bucket index; -1 when heap-resident
 	gen   uint32 // incremented on every recycle; validates Timer handles
 	name  string
 
@@ -22,6 +23,11 @@ type Event struct {
 	afn func(now Time, arg any)
 	arg any
 }
+
+// inFlight marks an event popped into the current dispatch batch but not yet
+// fired. Such events are in no queue, so Cancel must neutralise them in
+// place rather than remove them.
+const inFlight = -2
 
 // Timer is a cancellable handle to a scheduled event. The zero Timer is
 // valid and behaves as an already-fired event. Because events are pooled,
@@ -70,20 +76,48 @@ var ErrInterrupted = errors.New("eventsim: interrupted")
 // wall clock) a poll every 2048 events still aborts within microseconds.
 const interruptStride = 2048
 
+// eventQueue is the pending-set abstraction behind the Scheduler: a 4-ary
+// heap by default, or a hierarchical timing wheel when dense short-horizon
+// timers dominate (EnableWheel). Both order events by (when, seq), so the
+// Scheduler's observable firing order is identical regardless of backend.
+type eventQueue interface {
+	push(e *Event)
+	// peek returns the earliest pending event without removing it, or nil.
+	peek() *Event
+	// popMin removes and returns the earliest pending event, or nil.
+	popMin() *Event
+	// popRun removes every event sharing the earliest due time, appending
+	// them to batch in (when, seq) order. This is the batched-dispatch
+	// seam: the wheel extracts a whole same-timestamp run in one bucket
+	// scan instead of one heap pop per event.
+	popRun(batch []*Event) []*Event
+	// remove deletes a specific pending event (Cancel path).
+	remove(e *Event)
+	len() int
+	// reset restores the post-construction state, retaining backing
+	// arrays. The queue must already be empty.
+	reset()
+}
+
 // Scheduler is a single-threaded discrete-event scheduler. It is not safe
 // for concurrent use; all model code runs inside event callbacks on one
 // goroutine, which is what makes runs deterministic. (Concurrency in this
 // repository happens one level up: independent experiment runs each own a
 // private Scheduler and fan out across OS threads.)
 //
-// The pending queue is a 4-ary heap: shallower than a binary heap, so the
-// common churn of scheduling and firing touches fewer cache lines per
-// operation. Fired and cancelled events return to a free list, making the
-// steady-state schedule/fire cycle allocation-free.
+// The pending queue is a 4-ary heap by default: shallower than a binary
+// heap, so the common churn of scheduling and firing touches fewer cache
+// lines per operation. EnableWheel swaps in a hierarchical timing wheel for
+// dense short-horizon workloads; firing order is identical. Fired and
+// cancelled events return to a free list, making the steady-state
+// schedule/fire cycle allocation-free.
 type Scheduler struct {
 	now       Time
-	queue     []*Event
+	q         eventQueue
+	heap      heapQueue // default backend; retained across EnableWheel for Reset reuse
+	wheel     *wheelQueue
 	free      []*Event
+	batch     []*Event // reused same-timestamp dispatch buffer
 	seq       uint64
 	stopped   bool
 	fired     uint64
@@ -93,14 +127,43 @@ type Scheduler struct {
 
 // NewScheduler returns a scheduler positioned at the epoch.
 func NewScheduler() *Scheduler {
-	return &Scheduler{}
+	s := &Scheduler{}
+	s.q = &s.heap
+	return s
 }
+
+// EnableWheel switches the pending queue to a hierarchical timing wheel:
+// near-future events hash into fixed-width buckets (granularity wide, slots
+// of them), far-future events overflow to a 4-ary heap and cascade into
+// buckets as the window advances. Firing order is identical to the heap —
+// (when, seq) — the wheel only changes the constant factor for dense
+// short-horizon timer workloads. Zero arguments select the defaults
+// (250µs × 1024 slots ≈ a 256ms window). It panics if events are pending:
+// the backend may only change while the queue is empty.
+func (s *Scheduler) EnableWheel(granularity Duration, slots int) {
+	if s.q.len() != 0 {
+		panic("eventsim: EnableWheel with pending events")
+	}
+	if granularity <= 0 {
+		granularity = defaultWheelGranularity
+	}
+	if slots <= 0 {
+		slots = defaultWheelSlots
+	}
+	if s.wheel == nil || s.wheel.granularity != granularity || len(s.wheel.buckets) != slots {
+		s.wheel = newWheelQueue(granularity, slots)
+	}
+	s.q = s.wheel
+}
+
+// WheelEnabled reports whether the timing-wheel backend is active.
+func (s *Scheduler) WheelEnabled() bool { return s.q == eventQueue(s.wheel) && s.wheel != nil }
 
 // Now implements Clock.
 func (s *Scheduler) Now() Time { return s.now }
 
 // Len reports the number of pending events.
-func (s *Scheduler) Len() int { return len(s.queue) }
+func (s *Scheduler) Len() int { return s.q.len() }
 
 // Fired reports how many events have run so far.
 func (s *Scheduler) Fired() uint64 { return s.fired }
@@ -111,9 +174,49 @@ func (s *Scheduler) Fired() uint64 { return s.fired }
 func (s *Scheduler) Scheduled() uint64 { return s.seq }
 
 // PeakQueue reports the high-water pending-event count — the deepest the
-// heap has ever been. Deterministic for a given seed, so it doubles as a
-// regression canary for scheduling blowups.
+// queue has ever been. Deterministic for a given seed, so it doubles as a
+// regression canary for scheduling blowups. Reset(nil) zeroes it along
+// with the other per-run counters, so under testbed reuse each run reports
+// its own high-water mark, not the maximum across every run so far.
 func (s *Scheduler) PeakQueue() int { return s.peak }
+
+// WheelPeak reports the high-water bucket occupancy of the timing wheel:
+// the largest number of events resident in wheel buckets (excluding the
+// overflow heap) at any point. Zero when the wheel was never enabled.
+// Reset zeroes it with the other per-run counters.
+func (s *Scheduler) WheelPeak() int {
+	if s.wheel == nil {
+		return 0
+	}
+	return s.wheel.peakResident
+}
+
+// Reset returns the scheduler to its post-NewScheduler state — clock at the
+// epoch, no pending events, counters zeroed — while retaining the event
+// free list, dispatch buffer, and queue backing arrays, so a reset
+// scheduler schedules its next million events without allocating. Pending
+// events are discarded; drain, if non-nil, observes each one first so
+// owners of pooled per-event payloads (netsim's in-flight datagrams) can
+// reclaim them. The queue backend (heap or wheel) is preserved.
+func (s *Scheduler) Reset(drain func(name string, arg any)) {
+	for {
+		e := s.q.popMin()
+		if e == nil {
+			break
+		}
+		if drain != nil {
+			drain(e.name, e.arg)
+		}
+		s.release(e)
+	}
+	s.q.reset()
+	s.now = 0
+	s.seq = 0
+	s.fired = 0
+	s.stopped = false
+	s.peak = 0
+	s.interrupt = nil
+}
 
 // alloc takes an event from the free list, refilling it in batches so cold
 // starts amortise to one allocation per 64 events.
@@ -121,6 +224,8 @@ func (s *Scheduler) alloc() *Event {
 	if len(s.free) == 0 {
 		batch := make([]Event, 64)
 		for i := range batch {
+			batch[i].index = -1
+			batch[i].slot = -1
 			s.free = append(s.free, &batch[i])
 		}
 	}
@@ -134,6 +239,7 @@ func (s *Scheduler) alloc() *Event {
 func (s *Scheduler) release(e *Event) {
 	e.gen++
 	e.index = -1
+	e.slot = -1
 	e.name = ""
 	e.fn = nil
 	e.afn = nil
@@ -153,7 +259,10 @@ func (s *Scheduler) schedule(when Time, name string, fn func(now Time), afn func
 	e.afn = afn
 	e.arg = arg
 	s.seq++
-	s.push(e)
+	s.q.push(e)
+	if n := s.q.len(); n > s.peak {
+		s.peak = n
+	}
 	return Timer{e: e, gen: e.gen}
 }
 
@@ -184,22 +293,32 @@ func (s *Scheduler) AfterArg(d Duration, name string, fn func(now Time, arg any)
 
 // Cancel removes a pending event. Cancelling a timer whose event already
 // fired or was already cancelled is a no-op, even if the underlying event
-// has since been recycled for other work.
+// has since been recycled for other work. An event popped into the current
+// dispatch batch but not yet fired is neutralised in place: it will be
+// skipped and recycled when the batch reaches it.
 func (s *Scheduler) Cancel(t Timer) {
 	if t.Cancelled() {
 		return
 	}
-	s.remove(int(t.e.index))
-	s.release(t.e)
+	e := t.e
+	if e.index == inFlight {
+		e.gen++ // stales every handle now; the later release bumps again, harmlessly
+		e.fn = nil
+		e.afn = nil
+		e.arg = nil
+		return
+	}
+	s.q.remove(e)
+	s.release(e)
 }
 
 // Step runs the single earliest pending event, advancing the clock to its
 // due time. It reports false if the queue was empty.
 func (s *Scheduler) Step() bool {
-	if len(s.queue) == 0 {
+	e := s.q.popMin()
+	if e == nil {
 		return false
 	}
-	e := s.popMin()
 	s.now = e.when
 	s.fired++
 	fn, afn, arg := e.fn, e.afn, e.arg
@@ -217,10 +336,11 @@ func (s *Scheduler) Step() bool {
 // wall-clock-driven loop needs: drain events due by now with Step, then
 // sleep exactly until the next one (or until external input arrives).
 func (s *Scheduler) NextEventAt() (Time, bool) {
-	if len(s.queue) == 0 {
+	e := s.q.peek()
+	if e == nil {
 		return 0, false
 	}
-	return s.queue[0].when, true
+	return e.when, true
 }
 
 // SetInterrupt installs a poll function Run consults between events, every
@@ -234,25 +354,79 @@ func (s *Scheduler) SetInterrupt(fn func() bool) { s.interrupt = fn }
 // (horizon <= 0 means no horizon). It returns ErrStopped if Stop was called
 // from inside a callback, and ErrInterrupted if an installed interrupt poll
 // fired.
+//
+// Dispatch is batched: all events sharing the earliest due time are popped
+// in one queue operation and fired back-to-back in (when, seq) order, so a
+// burst of simultaneous timers costs one head access, not one per event.
+// Events a callback schedules at the current instant carry later sequence
+// numbers and fire in the next batch at the same timestamp, exactly as the
+// unbatched loop ordered them.
 func (s *Scheduler) Run(horizon Time) error {
 	s.stopped = false
-	for len(s.queue) > 0 {
+	sincePoll := uint64(0)
+	for {
+		head := s.q.peek()
+		if head == nil {
+			break
+		}
 		if s.stopped {
 			return ErrStopped
 		}
-		if s.interrupt != nil && s.fired%interruptStride == 0 && s.interrupt() {
-			return ErrInterrupted
+		if s.interrupt != nil && sincePoll >= interruptStride {
+			sincePoll = 0
+			if s.interrupt() {
+				return ErrInterrupted
+			}
 		}
-		if horizon > 0 && s.queue[0].when > horizon {
+		if horizon > 0 && head.when > horizon {
 			s.now = horizon
 			return nil
 		}
-		s.Step()
+		s.batch = s.q.popRun(s.batch[:0])
+		s.now = head.when
+		sincePoll += uint64(len(s.batch))
+		for i, e := range s.batch {
+			s.batch[i] = nil
+			if s.stopped {
+				s.requeue(s.batch[i:], e)
+				return ErrStopped
+			}
+			s.fired++
+			fn, afn, arg := e.fn, e.afn, e.arg
+			s.release(e)
+			if afn != nil {
+				afn(s.now, arg)
+			} else if fn != nil {
+				fn(s.now)
+			}
+		}
 	}
 	if horizon > 0 && s.now < horizon {
 		s.now = horizon
 	}
 	return nil
+}
+
+// requeue returns the unfired remainder of a dispatch batch to the queue
+// after Stop halted Run mid-batch. Sequence numbers are preserved, so a
+// subsequent Run resumes in exactly the order the batch would have fired.
+func (s *Scheduler) requeue(rest []*Event, first *Event) {
+	if first.fn == nil && first.afn == nil {
+		s.release(first) // cancelled in flight
+	} else {
+		s.q.push(first)
+	}
+	for i, e := range rest {
+		if e == nil {
+			continue
+		}
+		rest[i] = nil
+		if e.fn == nil && e.afn == nil {
+			s.release(e)
+			continue
+		}
+		s.q.push(e)
+	}
 }
 
 // RunUntilIdle executes events until none remain, with no horizon.
@@ -267,8 +441,8 @@ func (s *Scheduler) Stop() { s.stopped = true }
 func (s *Scheduler) Advance(d Duration) {
 	CheckNonNegative(d)
 	target := s.now.Add(d)
-	if len(s.queue) > 0 && s.queue[0].when < target {
-		panic(fmt.Sprintf("eventsim: Advance(%v) would skip event %q at %v", d, s.queue[0].name, s.queue[0].when))
+	if e := s.q.peek(); e != nil && e.when < target {
+		panic(fmt.Sprintf("eventsim: Advance(%v) would skip event %q at %v", d, e.name, e.when))
 	}
 	s.now = target
 }
@@ -299,7 +473,7 @@ func (s *Scheduler) Ticker(interval Duration, name string, fn func(now Time) boo
 	}
 }
 
-// --- 4-ary heap on s.queue, ordered by (when, seq) ---
+// --- 4-ary heap ordered by (when, seq) ---
 
 func eventLess(a, b *Event) bool {
 	if a.when != b.when {
@@ -308,50 +482,80 @@ func eventLess(a, b *Event) bool {
 	return a.seq < b.seq
 }
 
-func (s *Scheduler) push(e *Event) {
-	e.index = int32(len(s.queue))
-	s.queue = append(s.queue, e)
-	if len(s.queue) > s.peak {
-		s.peak = len(s.queue)
-	}
-	s.siftUp(len(s.queue) - 1)
+// heapQueue is the default eventQueue: a 4-ary heap on a flat slice, with
+// each event carrying its own index for O(log n) removal.
+type heapQueue struct {
+	q []*Event
 }
 
-func (s *Scheduler) popMin() *Event {
-	q := s.queue
+func (h *heapQueue) len() int { return len(h.q) }
+
+func (h *heapQueue) reset() { h.q = h.q[:0] }
+
+func (h *heapQueue) peek() *Event {
+	if len(h.q) == 0 {
+		return nil
+	}
+	return h.q[0]
+}
+
+func (h *heapQueue) push(e *Event) {
+	e.slot = -1
+	e.index = int32(len(h.q))
+	h.q = append(h.q, e)
+	h.siftUp(len(h.q) - 1)
+}
+
+func (h *heapQueue) popMin() *Event {
+	q := h.q
+	if len(q) == 0 {
+		return nil
+	}
 	e := q[0]
 	n := len(q) - 1
 	q[0] = q[n]
 	q[0].index = 0
 	q[n] = nil
-	s.queue = q[:n]
+	h.q = q[:n]
 	if n > 0 {
-		s.siftDown(0)
+		h.siftDown(0)
 	}
-	e.index = -1
+	e.index = inFlight
 	return e
 }
 
-// remove deletes the event at heap position i.
-func (s *Scheduler) remove(i int) {
-	q := s.queue
+func (h *heapQueue) popRun(batch []*Event) []*Event {
+	e := h.popMin()
+	if e == nil {
+		return batch
+	}
+	batch = append(batch, e)
+	for len(h.q) > 0 && h.q[0].when == e.when {
+		batch = append(batch, h.popMin())
+	}
+	return batch
+}
+
+// remove deletes event e, which must be resident at heap position e.index.
+func (h *heapQueue) remove(e *Event) {
+	i := int(e.index)
+	q := h.q
 	n := len(q) - 1
-	e := q[i]
 	if i != n {
 		q[i] = q[n]
 		q[i].index = int32(i)
 	}
 	q[n] = nil
-	s.queue = q[:n]
+	h.q = q[:n]
 	if i < n {
-		s.siftDown(i)
-		s.siftUp(i)
+		h.siftDown(i)
+		h.siftUp(i)
 	}
 	e.index = -1
 }
 
-func (s *Scheduler) siftUp(i int) {
-	q := s.queue
+func (h *heapQueue) siftUp(i int) {
+	q := h.q
 	e := q[i]
 	for i > 0 {
 		parent := (i - 1) / 4
@@ -366,8 +570,8 @@ func (s *Scheduler) siftUp(i int) {
 	e.index = int32(i)
 }
 
-func (s *Scheduler) siftDown(i int) {
-	q := s.queue
+func (h *heapQueue) siftDown(i int) {
+	q := h.q
 	n := len(q)
 	e := q[i]
 	for {

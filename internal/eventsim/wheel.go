@@ -1,0 +1,249 @@
+package eventsim
+
+// Hierarchical timing wheel: an eventQueue tuned for the dense short-horizon
+// timers the packet paths generate (serialization completions, tick trains,
+// per-packet delivery events). Near-future events hash into fixed-width
+// buckets by due time; far-future events (player stalls, session watchdogs,
+// end-of-clip horizons) overflow into a 4-ary heap and cascade into buckets
+// as the window advances past them. Every operation preserves the exact
+// (when, seq) order of the heap — the wheel is a constant-factor trade, not
+// a semantic one — which is what lets the golden digests pin wheel runs
+// byte-identical to heap runs.
+//
+// Shape of the win: a heap pays O(log n) pointer-chasing per push/pop with
+// n the total pending count (often thousands when six sites stream at
+// once). The wheel pays O(1) per push and a short linear scan of one small
+// bucket per pop, because the dense timers cluster into the next few
+// milliseconds while the heap's depth is inflated by the long idle tail.
+
+const (
+	defaultWheelGranularity = Duration(250_000) // 250µs buckets
+	defaultWheelSlots       = 1024              // × 250µs = 256ms window
+)
+
+type wheelQueue struct {
+	granularity Duration
+	mask        int        // len(buckets)-1; len is a power of two
+	buckets     [][]*Event // ring of due-time buckets, backing arrays reused
+	resident    int        // events across all buckets (excludes overflow)
+	base        Time       // start of buckets[cursor]'s interval
+	cursor      int
+	overflow    heapQueue // events at or beyond base + window
+
+	// peakResident is the bucket-occupancy high-water mark — the telemetry
+	// counterpart of Scheduler.PeakQueue for the wheel path. Reset zeroes it.
+	peakResident int
+}
+
+func newWheelQueue(granularity Duration, slots int) *wheelQueue {
+	n := 1
+	for n < slots {
+		n <<= 1
+	}
+	return &wheelQueue{
+		granularity: granularity,
+		mask:        n - 1,
+		buckets:     make([][]*Event, n),
+	}
+}
+
+func (w *wheelQueue) len() int { return w.resident + w.overflow.len() }
+
+func (w *wheelQueue) reset() {
+	w.resident = 0
+	w.base = 0
+	w.cursor = 0
+	w.peakResident = 0
+	w.overflow.reset()
+}
+
+// window is the span of simulated time the buckets cover from base.
+func (w *wheelQueue) window() Duration {
+	return w.granularity * Duration(len(w.buckets))
+}
+
+func (w *wheelQueue) push(e *Event) {
+	d := e.when.Sub(w.base)
+	if d < 0 {
+		// The cursor already advanced into or past e's instant (it can sit
+		// mid-bucket while the clock trails behind). The current bucket is
+		// scanned first and scanned fully, so ordering still holds.
+		d = 0
+	}
+	idx := int(d / w.granularity)
+	if idx >= len(w.buckets) {
+		w.overflow.push(e)
+		return
+	}
+	b := (w.cursor + idx) & w.mask
+	e.slot = int32(b)
+	e.index = int32(len(w.buckets[b]))
+	w.buckets[b] = append(w.buckets[b], e)
+	w.resident++
+	if w.resident > w.peakResident {
+		w.peakResident = w.resident
+	}
+}
+
+// advance moves the cursor one bucket forward and cascades any overflow
+// events the enlarged window now covers. Callers only advance past empty
+// buckets, so no resident event is ever skipped.
+func (w *wheelQueue) advance() {
+	w.cursor = (w.cursor + 1) & w.mask
+	w.base = w.base.Add(w.granularity)
+	w.cascade()
+}
+
+// cascade drains overflow events that now fall inside the bucket window.
+func (w *wheelQueue) cascade() {
+	end := w.base.Add(w.window())
+	for {
+		e := w.overflow.peek()
+		if e == nil || e.when >= end {
+			return
+		}
+		w.overflow.popMin()
+		w.push(e)
+	}
+}
+
+// rebase recenters an all-overflow wheel at t, so subsequent near-future
+// pushes land in buckets again instead of degenerating into the heap.
+// Only legal when every bucket is empty.
+func (w *wheelQueue) rebase(t Time) {
+	w.base = Time(Duration(t) / w.granularity * w.granularity)
+	w.cursor = 0
+	w.cascade()
+}
+
+// minBucket advances the cursor to the first non-empty bucket and returns
+// its slice. Requires resident > 0.
+func (w *wheelQueue) minBucket() []*Event {
+	for len(w.buckets[w.cursor]) == 0 {
+		w.advance()
+	}
+	return w.buckets[w.cursor]
+}
+
+func (w *wheelQueue) peek() *Event {
+	if w.resident == 0 {
+		// All pending events are beyond the window; the overflow min is
+		// the global min.
+		return w.overflow.peek()
+	}
+	b := w.minBucket()
+	min := b[0]
+	for _, e := range b[1:] {
+		if eventLess(e, min) {
+			min = e
+		}
+	}
+	return min
+}
+
+// removeFromBucket swap-removes e from its resident bucket.
+func (w *wheelQueue) removeFromBucket(e *Event) {
+	b := w.buckets[e.slot]
+	i := int(e.index)
+	last := len(b) - 1
+	if i != last {
+		b[i] = b[last]
+		b[i].index = int32(i)
+	}
+	b[last] = nil
+	w.buckets[e.slot] = b[:last]
+	w.resident--
+	e.slot = -1
+}
+
+func (w *wheelQueue) popMin() *Event {
+	if w.resident == 0 {
+		e := w.overflow.popMin()
+		if e != nil {
+			w.rebase(e.when)
+		}
+		return e
+	}
+	b := w.minBucket()
+	mi := 0
+	for i := 1; i < len(b); i++ {
+		if eventLess(b[i], b[mi]) {
+			mi = i
+		}
+	}
+	e := b[mi]
+	w.removeFromBucket(e)
+	e.index = inFlight
+	return e
+}
+
+// popRun extracts every event sharing the earliest due time in one pass
+// over the min bucket: scan once for the min instant, sweep once to
+// collect its cohort, then order the (typically tiny) cohort by seq with
+// an insertion sort. The heap equivalent pays a full pop per event.
+func (w *wheelQueue) popRun(batch []*Event) []*Event {
+	if w.resident == 0 {
+		e := w.popMin() // rebases around the overflow min
+		if e == nil {
+			return batch
+		}
+		batch = append(batch, e)
+		// Rebasing may have cascaded same-instant events into buckets.
+		for {
+			n := w.peek()
+			if n == nil || n.when != e.when {
+				return batch
+			}
+			batch = append(batch, w.popMin())
+		}
+	}
+	b := w.minBucket()
+	when := b[0].when
+	for _, e := range b[1:] {
+		if e.when < when {
+			when = e.when
+		}
+	}
+	start := len(batch)
+	for i := 0; i < len(b); {
+		e := b[i]
+		if e.when != when {
+			i++
+			continue
+		}
+		// Swap-remove shrinks b in place; revisit index i.
+		last := len(b) - 1
+		if i != last {
+			b[i] = b[last]
+			b[i].index = int32(i)
+		}
+		b[last] = nil
+		b = b[:last]
+		w.resident--
+		e.slot = -1
+		e.index = inFlight
+		batch = append(batch, e)
+	}
+	w.buckets[w.cursor] = b
+	// Restore FIFO order within the instant: insertion sort by seq.
+	run := batch[start:]
+	for i := 1; i < len(run); i++ {
+		e := run[i]
+		j := i - 1
+		for j >= 0 && run[j].seq > e.seq {
+			run[j+1] = run[j]
+			j--
+		}
+		run[j+1] = e
+	}
+	return batch
+}
+
+func (w *wheelQueue) remove(e *Event) {
+	if e.slot >= 0 {
+		w.removeFromBucket(e)
+		e.index = -1
+		return
+	}
+	w.overflow.remove(e)
+}

@@ -1,0 +1,314 @@
+package eventsim
+
+import (
+	"testing"
+	"time"
+)
+
+// fireLog records one firing as observed by a callback.
+type fireLog struct {
+	when Time
+	id   int
+}
+
+// runWorkload drives one seeded pseudo-random timer workload on s and
+// returns the observed firing sequence. The workload mixes everything the
+// wheel handles differently from the heap: dense near-future timers inside
+// the bucket window, far-future timers that overflow and cascade back,
+// same-instant cohorts (batched dispatch), pre-run and re-entrant
+// cancellation — including cancelling a same-instant sibling that is
+// already in the dispatch batch — and callbacks that reschedule at the
+// current instant.
+func runWorkload(s *Scheduler, seed int64) []fireLog {
+	rng := NewRNG(seed)
+	var fired []fireLog
+	id := 0
+	var timers []Timer
+
+	schedule := func(at Time) {
+		myID := id
+		id++
+		timers = append(timers, s.At(at, "w", func(now Time) {
+			fired = append(fired, fireLog{now, myID})
+			switch rng.Intn(6) {
+			case 0:
+				// Reschedule at the current instant: must land in a later
+				// same-timestamp batch, after every pending event at now.
+				reID := id
+				id++
+				timers = append(timers, s.At(now, "re", func(n2 Time) {
+					fired = append(fired, fireLog{n2, reID})
+				}))
+			case 1:
+				// Chain a short follow-up (stays inside the wheel window).
+				reID := id
+				id++
+				timers = append(timers, s.After(Duration(rng.Intn(2000))*time.Microsecond, "chain", func(n2 Time) {
+					fired = append(fired, fireLog{n2, reID})
+				}))
+			case 2:
+				// Cancel a random outstanding timer — possibly one sharing
+				// this instant, i.e. already popped into the batch.
+				s.Cancel(timers[rng.Intn(len(timers))])
+			}
+		}))
+	}
+
+	for i := 0; i < 400; i++ {
+		var d Duration
+		switch rng.Intn(4) {
+		case 0:
+			// Dense near future: well inside the 256ms default window.
+			d = Duration(rng.Intn(5000)) * time.Microsecond
+		case 1:
+			// Same-instant cohorts on a coarse grid.
+			d = Duration(rng.Intn(20)) * 10 * time.Millisecond
+		case 2:
+			// Beyond the window: overflow heap, cascades back in.
+			d = Duration(300+rng.Intn(700)) * time.Millisecond
+		default:
+			// Far future with an idle gap before it: exercises rebase.
+			d = Duration(2+rng.Intn(5)) * Duration(time.Second)
+		}
+		schedule(Time(d))
+	}
+	// Cancel a swathe before running.
+	for i := 0; i < 60; i++ {
+		s.Cancel(timers[rng.Intn(len(timers))])
+	}
+	s.RunUntilIdle()
+	return fired
+}
+
+// TestWheelMatchesHeapOrder is the backend-parity property: for seeded
+// random workloads, the timing wheel fires exactly the sequence the heap
+// fires — same events, same order, same timestamps. This is the test that
+// licenses flipping sweeps onto the wheel without re-pinning any golden.
+func TestWheelMatchesHeapOrder(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		heap := NewScheduler()
+		wheel := NewScheduler()
+		wheel.EnableWheel(0, 0)
+		if !wheel.WheelEnabled() {
+			t.Fatal("EnableWheel did not switch backends")
+		}
+		h := runWorkload(heap, seed)
+		w := runWorkload(wheel, seed)
+		if len(h) != len(w) {
+			t.Fatalf("seed %d: heap fired %d events, wheel %d", seed, len(h), len(w))
+		}
+		for i := range h {
+			if h[i] != w[i] {
+				t.Fatalf("seed %d: firing %d diverges: heap %+v, wheel %+v", seed, i, h[i], w[i])
+			}
+		}
+		if heap.Fired() != wheel.Fired() || heap.Scheduled() != wheel.Scheduled() {
+			t.Fatalf("seed %d: counters diverge: heap %d/%d, wheel %d/%d",
+				seed, heap.Scheduled(), heap.Fired(), wheel.Scheduled(), wheel.Fired())
+		}
+	}
+}
+
+// TestWheelMatchesHeapAcrossGranularities re-runs the parity property on a
+// coarse and a tiny wheel, so bucket-boundary rounding is exercised at
+// more than the default shape.
+func TestWheelMatchesHeapAcrossGranularities(t *testing.T) {
+	shapes := []struct {
+		g     Duration
+		slots int
+	}{
+		{Duration(time.Millisecond), 64},
+		{Duration(50 * time.Microsecond), 8},
+	}
+	for _, sh := range shapes {
+		heap := NewScheduler()
+		wheel := NewScheduler()
+		wheel.EnableWheel(sh.g, sh.slots)
+		h := runWorkload(heap, 42)
+		w := runWorkload(wheel, 42)
+		if len(h) != len(w) {
+			t.Fatalf("wheel %v×%d: heap fired %d, wheel %d", sh.g, sh.slots, len(h), len(w))
+		}
+		for i := range h {
+			if h[i] != w[i] {
+				t.Fatalf("wheel %v×%d: firing %d diverges: heap %+v, wheel %+v", sh.g, sh.slots, i, h[i], w[i])
+			}
+		}
+	}
+}
+
+// TestWheelOverflowCascade pins the overflow path specifically: events far
+// beyond the bucket window must come back in time order as the window
+// advances over them, interleaved correctly with near-future events.
+func TestWheelOverflowCascade(t *testing.T) {
+	s := NewScheduler()
+	s.EnableWheel(Duration(time.Millisecond), 16) // 16ms window
+	var got []Time
+	log := func(now Time) { got = append(got, now) }
+	want := []Time{
+		Time(1 * time.Millisecond),
+		Time(10 * time.Millisecond),
+		Time(100 * time.Millisecond), // overflow, cascades in
+		Time(101 * time.Millisecond),
+		Time(1 * time.Second), // deep overflow: rebase after idle gap
+	}
+	s.At(Time(time.Second), "deep", log)
+	s.At(Time(100*time.Millisecond), "far", log)
+	s.At(Time(101*time.Millisecond), "far2", log)
+	s.At(Time(time.Millisecond), "near", log)
+	s.At(Time(10*time.Millisecond), "mid", log)
+	s.RunUntilIdle()
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("firing %d at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestWheelPeakAndReset pins the wheel telemetry and its Reset semantics:
+// WheelPeak reports the bucket-occupancy high-water of the current run and
+// Reset zeroes it (the PeakQueue stale-semantics fix, wheel edition).
+func TestWheelPeakAndReset(t *testing.T) {
+	s := NewScheduler()
+	if s.WheelPeak() != 0 {
+		t.Fatal("WheelPeak nonzero before EnableWheel")
+	}
+	s.EnableWheel(0, 0)
+	for i := 1; i <= 10; i++ {
+		s.After(Duration(i)*time.Millisecond, "e", func(Time) {})
+	}
+	if s.WheelPeak() != 10 {
+		t.Fatalf("WheelPeak %d with 10 resident events, want 10", s.WheelPeak())
+	}
+	if s.PeakQueue() != 10 {
+		t.Fatalf("PeakQueue %d, want 10", s.PeakQueue())
+	}
+	s.RunUntilIdle()
+	s.Reset(nil)
+	if s.WheelPeak() != 0 || s.PeakQueue() != 0 {
+		t.Fatalf("peaks survive Reset: wheel %d, queue %d", s.WheelPeak(), s.PeakQueue())
+	}
+	if !s.WheelEnabled() {
+		t.Fatal("Reset dropped the wheel backend")
+	}
+	// The reset wheel must still order correctly from the epoch.
+	var got []Time
+	s.After(Duration(2*time.Millisecond), "b", func(now Time) { got = append(got, now) })
+	s.After(Duration(time.Millisecond), "a", func(now Time) { got = append(got, now) })
+	s.RunUntilIdle()
+	if len(got) != 2 || got[0] != Time(time.Millisecond) || got[1] != Time(2*time.Millisecond) {
+		t.Fatalf("post-Reset firing order wrong: %v", got)
+	}
+}
+
+// TestEnableWheelPanicsWithPending pins the backend-switch precondition.
+func TestEnableWheelPanicsWithPending(t *testing.T) {
+	s := NewScheduler()
+	s.After(Duration(time.Millisecond), "pending", func(Time) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EnableWheel with pending events did not panic")
+		}
+	}()
+	s.EnableWheel(0, 0)
+}
+
+// TestWheelSteadyStateAllocFree is the heap pin's wheel counterpart: a warm
+// schedule/fire cycle on the wheel backend must not allocate.
+func TestWheelSteadyStateAllocFree(t *testing.T) {
+	s := NewScheduler()
+	s.EnableWheel(0, 0)
+	var tick func(now Time)
+	n := 0
+	tick = func(now Time) {
+		if n++; n < 1000 {
+			s.After(time.Millisecond, "tick", tick)
+		}
+	}
+	s.After(time.Millisecond, "tick", tick)
+	// Warm a full wheel revolution so every bucket the workload touches has
+	// grown its backing array; steady state begins once the wheel has
+	// lapped itself.
+	for i := 0; i < 300; i++ {
+		s.Step()
+	}
+	allocs := testing.AllocsPerRun(50, func() { s.Step() })
+	if allocs > 0 {
+		t.Fatalf("steady-state wheel Step allocates %.1f times per event, want 0", allocs)
+	}
+}
+
+// TestSchedulerResetDrainsPending pins Reset's drain contract: every
+// pending event is surfaced to the drain callback exactly once, with its
+// name and argument, and the scheduler comes back empty at the epoch.
+func TestSchedulerResetDrainsPending(t *testing.T) {
+	for _, wheel := range []bool{false, true} {
+		s := NewScheduler()
+		if wheel {
+			s.EnableWheel(0, 0)
+		}
+		payload := &struct{ n int }{7}
+		s.AtArg(Time(time.Millisecond), "drainme", func(Time, any) {}, payload)
+		s.At(Time(2*time.Second), "faraway", func(Time) {}) // overflow on the wheel
+		var drained []string
+		var gotArg any
+		s.Reset(func(name string, arg any) {
+			drained = append(drained, name)
+			if arg != nil {
+				gotArg = arg
+			}
+		})
+		if len(drained) != 2 {
+			t.Fatalf("wheel=%t: drained %d events, want 2", wheel, len(drained))
+		}
+		if gotArg != payload {
+			t.Fatalf("wheel=%t: drain did not surface the event argument", wheel)
+		}
+		if s.Len() != 0 || s.Now() != 0 || s.Scheduled() != 0 || s.Fired() != 0 {
+			t.Fatalf("wheel=%t: Reset left state behind: len=%d now=%v sched=%d fired=%d",
+				wheel, s.Len(), s.Now(), s.Scheduled(), s.Fired())
+		}
+	}
+}
+
+// TestBatchedDispatchStopResumes pins the Stop-mid-batch contract on both
+// backends: the unfired remainder of a same-instant batch is requeued with
+// sequence numbers intact, so a subsequent Run resumes in the exact order
+// the batch would have fired.
+func TestBatchedDispatchStopResumes(t *testing.T) {
+	for _, wheel := range []bool{false, true} {
+		s := NewScheduler()
+		if wheel {
+			s.EnableWheel(0, 0)
+		}
+		var got []int
+		at := Time(time.Millisecond)
+		for i := 0; i < 5; i++ {
+			i := i
+			s.At(at, "batch", func(Time) {
+				got = append(got, i)
+				if i == 1 {
+					s.Stop()
+				}
+			})
+		}
+		if err := s.Run(0); err != ErrStopped {
+			t.Fatalf("wheel=%t: Run returned %v, want ErrStopped", wheel, err)
+		}
+		if err := s.Run(0); err != nil {
+			t.Fatalf("wheel=%t: resume Run returned %v", wheel, err)
+		}
+		want := []int{0, 1, 2, 3, 4}
+		if len(got) != len(want) {
+			t.Fatalf("wheel=%t: fired %v, want %v", wheel, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("wheel=%t: fired %v, want %v", wheel, got, want)
+			}
+		}
+	}
+}

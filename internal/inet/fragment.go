@@ -2,7 +2,6 @@ package inet
 
 import (
 	"fmt"
-	"sort"
 )
 
 // Fragment splits a datagram into MTU-sized fragments per RFC 791. The
@@ -16,18 +15,29 @@ import (
 // media traffic, matching 2002 behaviour where PMTUD was commonly off for
 // UDP streaming.
 func Fragment(d *Datagram, mtu int) ([]*Datagram, error) {
+	return AppendFragments(nil, d, mtu)
+}
+
+// AppendFragments is Fragment appending to dst, so per-packet senders can
+// reuse one scratch slice across sends instead of allocating a train slice
+// per datagram. Fragment structs come from the parent's buffer pool when it
+// has one.
+func AppendFragments(dst []*Datagram, d *Datagram, mtu int) ([]*Datagram, error) {
 	if mtu < IPv4HeaderLen+8 {
-		return nil, fmt.Errorf("inet: mtu %d too small to fragment", mtu)
+		return dst, fmt.Errorf("inet: mtu %d too small to fragment", mtu)
 	}
 	if d.Len() <= mtu {
-		return []*Datagram{d}, nil
+		return append(dst, d), nil
 	}
 	if d.Header.DontFragment() {
-		return nil, fmt.Errorf("inet: datagram %d bytes exceeds mtu %d with DF set", d.Len(), mtu)
+		return dst, fmt.Errorf("inet: datagram %d bytes exceeds mtu %d with DF set", d.Len(), mtu)
+	}
+	var pool *BufPool
+	if d.owner != nil {
+		pool = d.owner.pool
 	}
 	// Payload bytes per fragment must be a multiple of 8 (offset units).
 	chunk := (mtu - IPv4HeaderLen) &^ 7
-	out := make([]*Datagram, 0, (len(d.Payload)+chunk-1)/chunk)
 	for off := 0; off < len(d.Payload); off += chunk {
 		end := off + chunk
 		last := false
@@ -47,11 +57,19 @@ func Fragment(d *Datagram, mtu int) ([]*Datagram, error) {
 		// only its own range, so no copy is needed. They share the pooled
 		// owner too; the caller fixes its reference count to the train
 		// length.
-		frag := &Datagram{Header: h, Payload: d.Payload[off:end:end], owner: d.owner}
+		var frag *Datagram
+		if pool != nil {
+			frag = pool.getDatagram()
+		} else {
+			frag = &Datagram{}
+		}
+		frag.Header = h
+		frag.Payload = d.Payload[off:end:end]
+		frag.owner = d.owner
 		frag.Header.TotalLen = uint16(frag.Len())
-		out = append(out, frag)
+		dst = append(dst, frag)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // SetFragmentRefs points a fragment train's shared wire buffer at the
@@ -99,6 +117,9 @@ type reassemblyBuf struct {
 // paper highlights (§3.C, citing [FF99]).
 type Reassembler struct {
 	pending map[reassemblyKey]*reassemblyBuf
+	// freeBufs recycles reassembly buffers between fragment sets, so a
+	// steady stream of fragmented datagrams does not allocate per train.
+	freeBufs []*reassemblyBuf
 	// pool, when set, supplies the assembled datagrams' payload buffers;
 	// the consumer (the host's delivery path) releases them after the
 	// transport handler returns.
@@ -106,6 +127,26 @@ type Reassembler struct {
 	// Completed counts successfully reassembled datagrams; Discarded counts
 	// datagrams flushed while incomplete.
 	Completed, Discarded int
+}
+
+// getBuf returns an empty reassembly buffer, recycled when possible.
+func (r *Reassembler) getBuf() *reassemblyBuf {
+	if n := len(r.freeBufs); n > 0 {
+		buf := r.freeBufs[n-1]
+		r.freeBufs = r.freeBufs[:n-1]
+		return buf
+	}
+	return &reassemblyBuf{}
+}
+
+// putBuf releases a buffer's fragments and recycles it.
+func (r *Reassembler) putBuf(buf *reassemblyBuf) {
+	for _, f := range buf.frags {
+		f.Release()
+	}
+	buf.frags = buf.frags[:0]
+	buf.gotLast = false
+	r.freeBufs = append(r.freeBufs, buf)
 }
 
 // NewReassembler returns an empty reassembler.
@@ -134,7 +175,7 @@ func (r *Reassembler) Add(d *Datagram) (*Datagram, error) {
 	key := reassemblyKey{src: d.Header.Src, dst: d.Header.Dst, proto: d.Header.Protocol, id: d.Header.ID}
 	buf := r.pending[key]
 	if buf == nil {
-		buf = &reassemblyBuf{}
+		buf = r.getBuf()
 		r.pending[key] = buf
 	}
 	buf.frags = append(buf.frags, d)
@@ -150,12 +191,24 @@ func (r *Reassembler) Add(d *Datagram) (*Datagram, error) {
 	}
 	delete(r.pending, key)
 	// The fragments' bytes are spliced into the whole datagram; their
-	// shared wire buffer can recycle.
-	for _, f := range buf.frags {
-		f.Release()
-	}
+	// shared wire buffer can recycle, as can the buffer that collected them.
+	r.putBuf(buf)
 	r.Completed++
 	return whole, nil
+}
+
+// Reset restores the reassembler to its freshly constructed state without
+// reallocating: pending fragments release their wire buffers back to the
+// pool, the pending map is cleared in place, and the counters zero. Unlike
+// FlushIncomplete, discarded fragments are not counted — Reset rewinds
+// state between runs rather than accounting for the end of one.
+func (r *Reassembler) Reset() {
+	for k, buf := range r.pending {
+		r.putBuf(buf)
+		delete(r.pending, k)
+	}
+	r.Completed = 0
+	r.Discarded = 0
 }
 
 // FlushIncomplete drops all partially assembled datagrams (e.g. at end of
@@ -177,11 +230,16 @@ func (r *Reassembler) FlushIncomplete() int {
 // ending at a fragment without MF.
 func tryAssemble(frags []*Datagram, pool *BufPool) (*Datagram, bool) {
 	// Sorting in place is fine: the buffer is private to the reassembler
-	// and fragment order within a pending set carries no meaning.
+	// and fragment order within a pending set carries no meaning. Insertion
+	// sort, not sort.Slice: trains are short (≤ ~45 fragments) and this is
+	// the per-packet path, where the closure and swapper allocations of the
+	// generic sort would dominate.
 	sorted := frags
-	sort.Slice(sorted, func(i, j int) bool {
-		return sorted[i].Header.FragOff < sorted[j].Header.FragOff
-	})
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].Header.FragOff < sorted[j-1].Header.FragOff; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
 	tail := sorted[len(sorted)-1]
 	size := int(tail.Header.FragOff)*8 + len(tail.Payload)
 	// Validate the byte range first, so a corrupt set never costs a
@@ -219,7 +277,15 @@ func tryAssemble(frags []*Datagram, pool *BufPool) (*Datagram, bool) {
 	h := sorted[0].Header
 	h.FragOff = 0
 	h.Flags &^= FlagMoreFrags
-	whole := &Datagram{Header: h, Payload: payload, owner: wb}
+	var whole *Datagram
+	if pool != nil {
+		whole = pool.getDatagram()
+	} else {
+		whole = &Datagram{}
+	}
+	whole.Header = h
+	whole.Payload = payload
+	whole.owner = wb
 	whole.Header.TotalLen = uint16(whole.Len())
 	return whole, true
 }

@@ -137,17 +137,34 @@ func Checksum(b []byte) uint16 { return checksumWithInitial(0, b) }
 
 // checksumWithInitial folds b into a running 16-bit one's-complement sum
 // (e.g. a pre-summed pseudo-header) and finalises it.
+//
+// Because 2^16 ≡ 1 (mod 2^16−1), a big-endian 32-bit word is congruent to
+// the sum of its two 16-bit halves, so the sum can be accumulated eight
+// bytes at a time in a uint64 and folded once at the end — ~4× fewer loop
+// iterations than word-at-a-time on the full-MTU payloads UDP checksums
+// cover. The uint64 cannot overflow below ~2^31 input bytes, far beyond
+// any packet.
 func checksumWithInitial(sum uint32, b []byte) uint16 {
-	for i := 0; i+1 < len(b); i += 2 {
-		sum += uint32(binary.BigEndian.Uint16(b[i:]))
+	s := uint64(sum)
+	for len(b) >= 8 {
+		s += uint64(binary.BigEndian.Uint32(b)) + uint64(binary.BigEndian.Uint32(b[4:]))
+		b = b[8:]
 	}
-	if len(b)%2 == 1 {
-		sum += uint32(b[len(b)-1]) << 8
+	if len(b) >= 4 {
+		s += uint64(binary.BigEndian.Uint32(b))
+		b = b[4:]
 	}
-	for sum>>16 != 0 {
-		sum = (sum & 0xFFFF) + (sum >> 16)
+	if len(b) >= 2 {
+		s += uint64(binary.BigEndian.Uint16(b))
+		b = b[2:]
 	}
-	return ^uint16(sum)
+	if len(b) == 1 {
+		s += uint64(b[0]) << 8
+	}
+	for s>>16 != 0 {
+		s = (s & 0xFFFF) + (s >> 16)
+	}
+	return ^uint16(s)
 }
 
 // String summarises the header for diagnostics.

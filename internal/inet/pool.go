@@ -18,11 +18,30 @@ type WireBuf struct {
 	pool *BufPool
 }
 
-// BufPool recycles WireBufs. A pool belongs to one single-threaded
-// simulation (the Network owns it); it is not safe for concurrent use.
-// The zero value is ready.
+// BufPool recycles WireBufs and the Datagram structs that carry them. A
+// pool belongs to one single-threaded simulation (the Network owns it); it
+// is not safe for concurrent use. The zero value is ready.
 type BufPool struct {
-	free []*WireBuf
+	free  []*WireBuf
+	freeD []*Datagram
+}
+
+// getDatagram returns a zeroed Datagram struct, recycled when possible.
+func (p *BufPool) getDatagram() *Datagram {
+	if n := len(p.freeD); n > 0 {
+		d := p.freeD[n-1]
+		p.freeD = p.freeD[:n-1]
+		return d
+	}
+	return &Datagram{}
+}
+
+// putDatagram recycles a dead Datagram struct. The caller owns the last
+// reference; the struct is zeroed so a stale pointer reads an empty
+// datagram rather than the next packet's.
+func (p *BufPool) putDatagram(d *Datagram) {
+	*d = Datagram{}
+	p.freeD = append(p.freeD, d)
 }
 
 // get returns a buffer with capacity for at least n bytes and one
@@ -62,9 +81,12 @@ func (p *BufPool) put(wb *WireBuf) {
 
 // Release drops the datagram's reference on its shared wire buffer, if it
 // has one; the buffer returns to its pool when the last sibling fragment
-// releases. Datagrams built outside a pool (ICMP, TCP, tests) have no
-// owner and Release is a no-op. Releasing the same datagram twice is a
-// bug; the owner pointer is cleared to make the second call harmless.
+// releases, and the datagram's own struct recycles immediately — Release
+// is each fragment's terminal touch, so the caller must not use the
+// datagram afterwards (the same contract the recycled payload bytes
+// already imposed). Datagrams built outside a pool (ICMP, TCP, tests)
+// have no owner and Release is a no-op. Releasing the same datagram twice
+// is a bug; the owner pointer is cleared to make the second call harmless.
 func (d *Datagram) Release() {
 	wb := d.owner
 	if wb == nil {
@@ -72,8 +94,28 @@ func (d *Datagram) Release() {
 	}
 	d.owner = nil
 	wb.refs--
-	if wb.refs <= 0 && wb.pool != nil {
-		wb.pool.put(wb)
+	if pool := wb.pool; pool != nil {
+		if wb.refs <= 0 {
+			pool.put(wb)
+		}
+		pool.putDatagram(d)
+	}
+}
+
+// Recycle returns a fragmented parent datagram's struct to its pool
+// without touching the shared wire buffer's reference count. Only the
+// host send path calls it, after SetFragmentRefs has pointed the buffer's
+// count at the fragments: the parent struct is then dead — its payload
+// lives on as the fragments' sub-slices — but was never given a reference
+// of its own to Release.
+func (d *Datagram) Recycle() {
+	wb := d.owner
+	if wb == nil {
+		return
+	}
+	d.owner = nil
+	if wb.pool != nil {
+		wb.pool.putDatagram(d)
 	}
 }
 
@@ -93,17 +135,16 @@ func BuildUDPPooled(p *BufPool, src, dst Endpoint, id uint16, payload []byte) (*
 		p.put(wb)
 		return nil, err
 	}
-	d := &Datagram{
-		Header: IPv4Header{
-			ID:       id,
-			TTL:      DefaultTTL,
-			Protocol: ProtoUDP,
-			Src:      src.Addr,
-			Dst:      dst.Addr,
-		},
-		Payload: wb.b,
-		owner:   wb,
+	d := p.getDatagram()
+	d.Header = IPv4Header{
+		ID:       id,
+		TTL:      DefaultTTL,
+		Protocol: ProtoUDP,
+		Src:      src.Addr,
+		Dst:      dst.Addr,
 	}
+	d.Payload = wb.b
+	d.owner = wb
 	d.Header.TotalLen = uint16(d.Len())
 	return d, nil
 }

@@ -7,6 +7,7 @@ package media
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"turbulence/internal/eventsim"
@@ -235,6 +236,52 @@ func (c Clip) Frames() []Frame {
 		}
 	}
 	return frames
+}
+
+// frameIndex caches the per-clip packetisation arrays. Clip is a small
+// comparable value and Frames is a pure function of it, so one generation
+// per distinct clip serves every session of every run.
+var frameIndex struct {
+	sync.RWMutex
+	m map[Clip]frameArrays
+}
+
+type frameArrays struct {
+	sizes []int
+	keys  []bool
+}
+
+// FrameIndex returns the clip's frame sizes and keyframe flags — the two
+// arrays the servers packetise from — memoised process-wide. Regenerating
+// Frames per session start was one of the larger per-run allocations once
+// testbeds became reusable; the index is built once per distinct clip and
+// shared. The returned slices are shared and read-only: callers (and
+// anything they hand the slices to, such as segment.Cutter) must not
+// mutate them.
+func FrameIndex(c Clip) (sizes []int, keys []bool) {
+	frameIndex.RLock()
+	fa, ok := frameIndex.m[c]
+	frameIndex.RUnlock()
+	if ok {
+		return fa.sizes, fa.keys
+	}
+	frames := c.Frames()
+	fa = frameArrays{sizes: make([]int, len(frames)), keys: make([]bool, len(frames))}
+	for i, f := range frames {
+		fa.sizes[i] = f.Bytes
+		fa.keys[i] = f.Key
+	}
+	frameIndex.Lock()
+	if prior, ok := frameIndex.m[c]; ok {
+		fa = prior // a racing builder won; share its arrays
+	} else {
+		if frameIndex.m == nil {
+			frameIndex.m = make(map[Clip]frameArrays)
+		}
+		frameIndex.m[c] = fa
+	}
+	frameIndex.Unlock()
+	return fa.sizes, fa.keys
 }
 
 // clipSeed derives a stable seed from the clip identity.

@@ -96,6 +96,25 @@ func newHopState(spec HopSpec) *hopState {
 	return h
 }
 
+// reset rewinds the hop to its just-connected state: queue and FIFO state,
+// cross-traffic integration, and counters zero, and the netem models are
+// rebuilt from the spec's factories — byte-identical to construction, and
+// allocation-free for unimpaired hops (a zero Impairment builds no models).
+func (h *hopState) reset() {
+	h.models = h.spec.Impair.Build(h.spec.Bandwidth, h.queueCap())
+	h.busyUntil = 0
+	h.lastExit = 0
+	h.queued = 0
+	h.crossInit = false
+	h.crossAt = 0
+	h.crossLoad = 0
+	h.Forwarded = 0
+	h.DroppedLoss = 0
+	h.DroppedFull = 0
+	h.DroppedAQM = 0
+	h.TTLExpired = 0
+}
+
 // transmissionDelay returns the serialization time of wireBytes at bps.
 func transmissionDelay(wireBytes int, bps float64) time.Duration {
 	if bps <= 0 {

@@ -59,6 +59,11 @@ type Host struct {
 	tcpHandler   TCPHandler
 	taps         []TapFunc
 
+	// frags is the send path's fragment-train scratch, reused across sends.
+	// Safe to share across SendUDP and SendTCP: the network schedules hop
+	// traversal as events, so a send never re-enters another send.
+	frags []*inet.Datagram
+
 	// Counters.
 	SentDatagrams     uint64
 	ReceivedDatagrams uint64
@@ -76,6 +81,28 @@ func newHost(n *Network, addr inet.Addr) *Host {
 		reasm:       inet.NewReassemblerPooled(&n.pool),
 		udpHandlers: make(map[inet.Port]UDPHandler),
 	}
+}
+
+// reset restores the host to its just-created state without reallocating:
+// port bindings, taps, counters, the IP ID sequence, and half-reassembled
+// fragments all clear, while the handler map and reassembler keep their
+// backing storage (and stale fragments release their pooled wire buffers).
+func (h *Host) reset() {
+	h.mtu = inet.DefaultMTU
+	h.ipID = 0
+	h.reasm.Reset()
+	clear(h.udpHandlers)
+	h.icmpHandlers = h.icmpHandlers[:0]
+	h.tcpHandler = nil
+	h.taps = h.taps[:0]
+	clear(h.frags) // drop stale pointers into recycled datagrams
+	h.frags = h.frags[:0]
+	h.SentDatagrams = 0
+	h.ReceivedDatagrams = 0
+	h.ReceivedUDP = 0
+	h.Unroutable = 0
+	h.UndeliveredPort = 0
+	h.ChecksumErrors = 0
 }
 
 // Addr returns the host's address.
@@ -133,12 +160,13 @@ func (h *Host) SendTCP(dst inet.Addr, seg []byte) error {
 		return inet.ErrPayloadRange
 	}
 	d.Header.TotalLen = uint16(d.Len())
-	frags, err := inet.Fragment(d, h.mtu)
+	var err error
+	h.frags, err = inet.AppendFragments(h.frags[:0], d, h.mtu)
 	if err != nil {
 		return err
 	}
 	now := h.net.Now()
-	for _, f := range frags {
+	for _, f := range h.frags {
 		h.transmit(f, now)
 	}
 	return nil
@@ -165,17 +193,22 @@ func (h *Host) SendUDP(srcPort inet.Port, dst inet.Endpoint, payload []byte) (in
 	if err != nil {
 		return 0, err
 	}
-	frags, err := inet.Fragment(d, h.mtu)
+	h.frags, err = inet.AppendFragments(h.frags[:0], d, h.mtu)
 	if err != nil {
 		d.Release()
 		return 0, err
 	}
-	inet.SetFragmentRefs(frags)
+	inet.SetFragmentRefs(h.frags)
+	if len(h.frags) > 1 {
+		// The parent's struct is dead once its payload has been sliced into
+		// the fragments (which now own the buffer's references); recycle it.
+		d.Recycle()
+	}
 	now := h.net.Now()
-	for _, f := range frags {
+	for _, f := range h.frags {
 		h.transmit(f, now)
 	}
-	return len(frags), nil
+	return len(h.frags), nil
 }
 
 // SendICMP transmits an ICMP message to dst with the given TTL.

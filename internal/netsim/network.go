@@ -26,6 +26,10 @@ type Network struct {
 	// streaming reuses a small working set instead of allocating per
 	// packet.
 	pool inet.BufPool
+
+	// drainFn is the bound scheduler-drain callback, created once so Reset
+	// does not allocate a method value per call.
+	drainFn func(name string, arg any)
 }
 
 // transit is one datagram's journey along a path: the state threaded
@@ -81,11 +85,47 @@ type route struct{ src, dst inet.Addr }
 
 // New creates an empty network with a deterministic RNG.
 func New(seed int64) *Network {
-	return &Network{
+	n := &Network{
 		Sched: eventsim.NewScheduler(),
 		rng:   eventsim.NewRNG(seed),
 		hosts: make(map[inet.Addr]*Host),
 		paths: make(map[route]*Path),
+	}
+	n.drainFn = n.drainEvent
+	return n
+}
+
+// drainEvent reclaims pooled per-event payloads when the scheduler discards
+// pending events on Reset: an in-flight transit releases its datagram's
+// wire buffer to the pool and returns itself to the transit free list.
+func (n *Network) drainEvent(_ string, arg any) {
+	t, ok := arg.(*transit)
+	if !ok {
+		return
+	}
+	if t.d != nil {
+		t.d.Release()
+	}
+	n.releaseTransit(t)
+}
+
+// Reset restores the network to its post-New state for the given seed
+// without reallocating: the scheduler drains (in-flight datagrams return
+// to the wire-buffer pool), the root RNG reseeds, and every host and hop
+// rewinds to its just-connected state. Topology is retained — Reset
+// rewinds state, it does not rewire hosts or paths — which is what lets a
+// testbed built once serve every cell of a sweep. Host and hop resets draw
+// nothing from the RNG, so map iteration order does not affect determinism.
+func (n *Network) Reset(seed int64) {
+	n.Sched.Reset(n.drainFn)
+	n.rng.Reseed(seed)
+	for _, h := range n.hosts {
+		h.reset()
+	}
+	for _, p := range n.paths {
+		for _, hop := range p.hops {
+			hop.reset()
+		}
 	}
 }
 

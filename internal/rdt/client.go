@@ -156,6 +156,16 @@ func NewPlayerOn(t transport.Transport, server inet.Addr, clipRef string, ctlPor
 	}
 }
 
+// ReleaseResources recycles the player's pooled assembly state. Call only
+// after the event loop has fully drained: a datagram delivered afterwards
+// would touch recycled state (and now panics loudly instead).
+func (p *Player) ReleaseResources() {
+	if p.asm != nil {
+		p.asm.Release()
+		p.asm = nil
+	}
+}
+
 // State returns the lifecycle state.
 func (p *Player) State() State { return p.state }
 

@@ -96,6 +96,25 @@ type Server struct {
 	// messages (the §VI media-scaling extension).
 	scalingOn bool
 
+	// ctrlFn is the bound control handler, created once so Reset can rebind
+	// the control port without allocating a method value.
+	ctrlFn transport.UDPHandler
+
+	// Packet-economy pools, owned by the server so they survive both
+	// session teardown and Reset: enc is the per-packet segment-list
+	// scratch (copied into the data packet immediately), freePkts recycles
+	// data-packet buffers evicted from resend windows, and ringPool
+	// recycles whole resend rings between sessions. Together they make
+	// steady-state streaming on a reused testbed allocation-free once the
+	// first run has filled the window.
+	enc      []byte
+	freePkts [][]byte
+	ringPool []*resendRing
+	rngPool  []*eventsim.RNG
+	// probes caches the SETUP bandwidth-probe train: packet i's bytes are
+	// a pure function of i, and the UDP layer copies every send.
+	probes [ProbeTrainLen][]byte
+
 	// Counters.
 	Described, Setup, Played, TornDown, NAKsReceived, Resent int
 	// ThinSteps counts scaling level increases across sessions.
@@ -117,21 +136,29 @@ type session struct {
 	ctrl           scaling.Controller
 	rateFactor     float64 // pacing-rate multiplier from media scaling
 	byteFrac       [scaling.MaxLevel + 1]float64
-	resend         map[uint32][]byte
-	resendQ        []uint32
+	resend         *resendRing
 	playing        bool
 	done           bool
 	nextSend       eventsim.Timer
-
-	// enc is the per-packet segment-list scratch (copied into the data
-	// packet immediately); freePkts recycles data-packet buffers evicted
-	// from the resend window, so steady-state sending allocates only while
-	// the window is still filling. pktCap is the session's buffer size
-	// class, derived from its pacing draw's upper bound.
-	enc      []byte
-	freePkts [][]byte
-	pktCap   int
 }
+
+// resendRing holds the last ResendWindow data packets for NAK
+// retransmission, indexed by sequence number modulo the window. Sequence
+// numbers are consecutive per session, so the ring holds exactly the same
+// window a map keyed by seq would — without the map's per-insert churn.
+// A slot's packet is valid only when its recorded seq matches the lookup
+// (pkts[slot] non-nil guards the seq-0 zero value).
+type resendRing struct {
+	pkts [ResendWindow][]byte
+	seqs [ResendWindow]uint32
+}
+
+// pktBufCap is the uniform recycled data-packet buffer capacity: sized for
+// the largest packet any session can emit, so one server-wide free list
+// serves every clip's size class. The slack beyond MaxPayload covers the
+// segment-list framing — tiny delta frames can pack over a hundred
+// segment headers into one packet.
+const pktBufCap = dataHeaderLen + MaxPayload + 1024
 
 // NewServer attaches a RealServer to a simulated host.
 func NewServer(host *netsim.Host) *Server {
@@ -146,8 +173,34 @@ func NewServerOn(t transport.Transport) *Server {
 		clips:    make(map[string]media.Clip),
 		sessions: make(map[inet.Endpoint]*session),
 	}
-	t.BindUDP(inet.PortRTSPCtl, s.onControl)
+	s.ctrlFn = s.onControl
+	t.BindUDP(inet.PortRTSPCtl, s.ctrlFn)
 	return s
+}
+
+// Reset restores the server to its post-NewServerOn state: sessions clear,
+// ablation switches revert, counters zero, and the control port rebinds.
+// The server RNG re-splits from the transport's (already reseeded) root —
+// the same construction-time draw a fresh build performs, in the same
+// order, which is what keeps reused runs byte-identical to fresh ones.
+// Registered clips are retained.
+func (s *Server) Reset() {
+	for _, sess := range s.sessions {
+		sess.done = true
+		sess.recycle()
+	}
+	clear(s.sessions)
+	s.uncappedBurst = false
+	s.scalingOn = false
+	s.Described = 0
+	s.Setup = 0
+	s.Played = 0
+	s.TornDown = 0
+	s.NAKsReceived = 0
+	s.Resent = 0
+	s.ThinSteps = 0
+	s.rng = s.host.RNGInto("rdt.server", s.rng)
+	s.host.BindUDP(inet.PortRTSPCtl, s.ctrlFn)
 }
 
 // Register serves a clip under rtsp://<host>/<ref>.
@@ -241,20 +294,33 @@ func (s *Server) handleSetup(now eventsim.Time, from inet.Endpoint, req Request)
 	if old := s.sessions[from]; old != nil {
 		old.stop()
 	}
+	var sessRNG *eventsim.RNG
+	if n := len(s.rngPool); n > 0 {
+		sessRNG = s.rngPool[n-1]
+		s.rngPool = s.rngPool[:n-1]
+	}
 	sess := &session{
-		srv:    s,
-		ctl:    from,
-		data:   dataEP,
-		clip:   clip,
-		rng:    s.rng.Split("session/" + from.String() + "/" + clip.Name()),
-		resend: make(map[uint32][]byte),
+		srv:  s,
+		ctl:  from,
+		data: dataEP,
+		clip: clip,
+		rng:  s.rng.SplitInto("session/"+from.String()+"/"+clip.Name(), sessRNG),
+	}
+	if n := len(s.ringPool); n > 0 {
+		sess.resend = s.ringPool[n-1]
+		s.ringPool = s.ringPool[:n-1]
+	} else {
+		sess.resend = new(resendRing)
 	}
 	s.sessions[from] = sess
 	s.reply(from, Response{Status: 200, CSeq: req.CSeq, Headers: map[string]string{
 		"Transport": fmt.Sprintf("x-real-rdt/udp;client_port=%d", port),
 	}})
 	for i := 0; i < ProbeTrainLen; i++ {
-		s.host.SendUDP(inet.PortRDTData, dataEP, MarshalProbe(i))
+		if s.probes[i] == nil {
+			s.probes[i] = MarshalProbe(i)
+		}
+		s.host.SendUDP(inet.PortRDTData, dataEP, s.probes[i])
 	}
 }
 
@@ -293,7 +359,7 @@ func (s *Server) handleNAK(from inet.Endpoint, req Request) {
 	}
 	s.NAKsReceived++
 	for _, seq := range ParseSeqList(req.Header("Seqs")) {
-		if pkt, ok := sess.resend[seq]; ok {
+		if pkt := sess.resendPkt(seq); pkt != nil {
 			resent := append([]byte(nil), pkt...)
 			resent[9] |= FlagRetrans
 			s.host.SendUDP(inet.PortRDTData, sess.data, resent)
@@ -332,13 +398,9 @@ func (s *Server) handleReport(from inet.Endpoint, req Request) {
 
 // start launches the pacing loop for a session.
 func (sess *session) start(now eventsim.Time, bottleneckBps float64) {
-	frames := sess.clip.Frames()
-	sizes := make([]int, len(frames))
-	keys := make([]bool, len(frames))
-	for i, f := range frames {
-		sizes[i] = f.Bytes
-		keys[i] = f.Key
-	}
+	// The frame index is shared and read-only; Cutter and ByteFractions
+	// only ever read it.
+	sizes, keys := media.FrameIndex(sess.clip)
 	sess.cutter = segment.NewCutter(sizes, keys)
 	sess.started = now
 	sess.playing = true
@@ -383,32 +445,25 @@ func (sess *session) sendNext(now eventsim.Time) {
 		size = MaxPayload
 	}
 	segs := sess.cutter.Next(int(size))
-	sess.enc = segment.AppendList(sess.enc[:0], segs)
+	srv := sess.srv
+	srv.enc = segment.AppendList(srv.enc[:0], segs)
 	encBytesPerSec := sess.clip.EncodedBps() / 8
 	tsMs := uint32(sess.sentMediaBytes / encBytesPerSec * 1000)
 	var buf []byte
-	if n := len(sess.freePkts); n > 0 {
-		buf = sess.freePkts[n-1][:0]
-		sess.freePkts = sess.freePkts[:n-1]
+	if n := len(srv.freePkts); n > 0 {
+		buf = srv.freePkts[n-1][:0]
+		srv.freePkts = srv.freePkts[:n-1]
 	}
-	if need := dataHeaderLen + len(sess.enc); cap(buf) < need {
-		// One per-session size class sized off the pacing draw's upper
-		// bound, so every recycled buffer fits every packet and the window
-		// reaches a zero-allocation steady state without overshooting the
-		// session's actual packet sizes.
-		if sess.pktCap == 0 {
-			bound := int(1.9*PacketSizeMean(sess.clip.EncodedBps())) + 256
-			if bound > MaxPayload+256 {
-				bound = MaxPayload + 256
-			}
-			sess.pktCap = dataHeaderLen + bound
+	if need := dataHeaderLen + len(srv.enc); cap(buf) < need {
+		if buf != nil {
+			srv.freePkts = append(srv.freePkts, buf) // undersized; back to the pool
 		}
-		if need < sess.pktCap {
-			need = sess.pktCap
+		if need < pktBufCap {
+			need = pktBufCap
 		}
 		buf = make([]byte, 0, need)
 	}
-	pkt := AppendData(buf, DataHeader{Seq: sess.seq, TSms: tsMs}, sess.enc)
+	pkt := AppendData(buf, DataHeader{Seq: sess.seq, TSms: tsMs}, srv.enc)
 	sess.srv.host.SendUDP(inet.PortRDTData, sess.data, pkt)
 	sess.remember(sess.seq, pkt)
 	sess.seq++
@@ -428,16 +483,23 @@ func (sess *session) sendNext(now eventsim.Time) {
 // layer copies every send, so a recycled buffer is never aliased by an
 // in-flight packet).
 func (sess *session) remember(seq uint32, pkt []byte) {
-	sess.resend[seq] = pkt
-	sess.resendQ = append(sess.resendQ, seq)
-	if len(sess.resendQ) > ResendWindow {
-		old := sess.resendQ[0]
-		sess.resendQ = sess.resendQ[1:]
-		if buf, ok := sess.resend[old]; ok {
-			sess.freePkts = append(sess.freePkts, buf)
-		}
-		delete(sess.resend, old)
+	slot := seq % ResendWindow
+	r := sess.resend
+	if old := r.pkts[slot]; old != nil {
+		sess.srv.freePkts = append(sess.srv.freePkts, old)
 	}
+	r.pkts[slot], r.seqs[slot] = pkt, seq
+}
+
+// resendPkt looks up a NAKed sequence number in the resend window,
+// returning nil when the packet has already been evicted (or was never
+// sent).
+func (sess *session) resendPkt(seq uint32) []byte {
+	slot := seq % ResendWindow
+	if sess.resend.seqs[slot] != seq {
+		return nil
+	}
+	return sess.resend.pkts[slot]
 }
 
 // finish sends the end-of-stream marker (thrice, for loss robustness) and
@@ -465,5 +527,27 @@ func (sess *session) stop() {
 	}
 	sess.done = true
 	sess.srv.host.Cancel(sess.nextSend)
+	sess.recycle()
 	delete(sess.srv.sessions, sess.ctl)
+}
+
+// recycle returns the session's resend window — packet buffers and ring —
+// to the server's pools. Called exactly once, when the session ends (stop)
+// or the server rewinds (Reset).
+func (sess *session) recycle() {
+	srv := sess.srv
+	r := sess.resend
+	for i, buf := range r.pkts {
+		if buf != nil {
+			srv.freePkts = append(srv.freePkts, buf)
+			r.pkts[i] = nil
+		}
+		r.seqs[i] = 0
+	}
+	srv.ringPool = append(srv.ringPool, r)
+	sess.resend = nil
+	if sess.rng != nil {
+		srv.rngPool = append(srv.rngPool, sess.rng)
+		sess.rng = nil
+	}
 }

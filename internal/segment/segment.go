@@ -10,6 +10,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Segment is a contiguous byte range of one encoded frame.
@@ -267,9 +268,37 @@ type frameState struct {
 	key      bool
 }
 
-// NewAssembler returns an empty assembler.
-func NewAssembler() *Assembler {
+// asmPool recycles whole assemblers across player lifetimes: one playout
+// ramps hundreds of in-flight frames through the map and the free list,
+// and reusing that grown storage is what keeps a reused-testbed run from
+// paying the ramp again. sync.Pool because sweep workers acquire and
+// release concurrently.
+var asmPool = sync.Pool{New: func() any {
 	return &Assembler{frames: make(map[uint32]*frameState)}
+}}
+
+// NewAssembler returns an empty assembler, reusing a released one's
+// storage when available.
+func NewAssembler() *Assembler {
+	return asmPool.Get().(*Assembler)
+}
+
+// Reset rewinds the assembler to its empty state, keeping the frame map
+// and free-list storage.
+func (a *Assembler) Reset() {
+	for k, fs := range a.frames {
+		a.free = append(a.free, fs)
+		delete(a.frames, k)
+	}
+	a.CompletedFrames = 0
+}
+
+// Release resets the assembler and returns it to the package pool. Call
+// only once nothing can touch the assembler again — players release via
+// their owners after the simulation has fully drained.
+func (a *Assembler) Release() {
+	a.Reset()
+	asmPool.Put(a)
 }
 
 // Add records one received segment and reports whether it completed its

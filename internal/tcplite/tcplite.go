@@ -51,6 +51,10 @@ type Stack struct {
 	listeners     map[inet.Port]*Listener
 	conns         map[connKey]*Conn
 	nextEphemeral inet.Port
+
+	// segFn is the bound segment consumer, created once so Reset can rebind
+	// without allocating a method value.
+	segFn transport.TCPHandler
 }
 
 type connKey struct {
@@ -71,8 +75,21 @@ func NewStackOn(t transport.Transport) *Stack {
 		conns:         make(map[connKey]*Conn),
 		nextEphemeral: 49152,
 	}
-	t.OnTCP(s.onSegment)
+	s.segFn = s.onSegment
+	t.OnTCP(s.segFn)
 	return s
+}
+
+// Reset restores the stack to its post-NewStackOn state without
+// reallocating: listeners and connections clear (their retransmission
+// timers were already drained by the owning scheduler's reset), the
+// ephemeral port sequence rewinds, and the segment consumer rebinds on the
+// freshly reset transport.
+func (s *Stack) Reset() {
+	clear(s.listeners)
+	clear(s.conns)
+	s.nextEphemeral = 49152
+	s.host.OnTCP(s.segFn)
 }
 
 // Host returns the transport the stack is attached to.

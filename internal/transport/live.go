@@ -521,6 +521,11 @@ func (t *Live) Cancel(tm eventsim.Timer) { t.sched.Cancel(tm) }
 // RNG derives the labelled stream from the transport's seeded root.
 func (t *Live) RNG(label string) *eventsim.RNG { return t.rng.Split(label) }
 
+// RNGInto is RNG rewinding child in place; see Transport.
+func (t *Live) RNGInto(label string, child *eventsim.RNG) *eventsim.RNG {
+	return t.rng.SplitInto(label, child)
+}
+
 // SetRecvTap installs an observer on the receive path: every delivered
 // datagram reports its arrival time, local port, remote endpoint and
 // payload length before the handler runs. The live client mode feeds its

@@ -74,4 +74,11 @@ func (s *Sim) Cancel(t eventsim.Timer) { s.h.Network().Sched.Cancel(t) }
 // call (and therefore the same draws) the stacks made directly.
 func (s *Sim) RNG(label string) *eventsim.RNG { return s.h.Network().RNG().Split(label) }
 
+// RNGInto is RNG rewinding child in place (same draws, no source
+// allocation); the stacks' Reset paths use it to replay construction
+// splits on reused testbeds.
+func (s *Sim) RNGInto(label string, child *eventsim.RNG) *eventsim.RNG {
+	return s.h.Network().RNG().SplitInto(label, child)
+}
+
 var _ Transport = (*Sim)(nil)

@@ -81,4 +81,10 @@ type Transport interface {
 	// component (Sim: the network root RNG's Split; Live: a private
 	// seeded root's Split).
 	RNG(label string) *eventsim.RNG
+
+	// RNGInto is RNG rewinding an existing generator in place instead of
+	// allocating a new source — the stacks' Reset paths replay their
+	// construction-time splits through it so reused testbeds stay
+	// allocation-free. Identical draws to RNG; nil child allocates.
+	RNGInto(label string, child *eventsim.RNG) *eventsim.RNG
 }

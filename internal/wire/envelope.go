@@ -262,4 +262,11 @@ type WorkerStats struct {
 	RunMillis int64  // wall-clock spent executing the shard's cells
 	Renewals  int    `json:",omitempty"` // successful lease renewals while running
 	Retries   uint64 `json:",omitempty"` // HTTP transport retries observed while running
+
+	// Testbed-economy measurements for the shard (see core.SweepStats).
+	// Added fields, not a version bump: JSON decoding ignores them on old
+	// coordinators and zeroes them from old workers.
+	TestbedsBuilt  int `json:",omitempty"` // testbeds constructed from scratch
+	TestbedsReused int `json:",omitempty"` // cells served by resetting a cached testbed
+	WheelPeak      int `json:",omitempty"` // high-water timing-wheel bucket occupancy
 }

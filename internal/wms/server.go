@@ -53,6 +53,10 @@ type Server struct {
 	// feedback (the §VI media-scaling extension).
 	scaling bool
 
+	// ctrlFn is the bound control handler, created once so Reset can rebind
+	// the control port without allocating a method value.
+	ctrlFn transport.UDPHandler
+
 	// Counters.
 	Described, Played, Stopped int
 	// ThinSteps counts scaling level increases across sessions.
@@ -93,8 +97,26 @@ func NewServerOn(t transport.Transport) *Server {
 		clips:    make(map[string]media.Clip),
 		sessions: make(map[inet.Endpoint]*session),
 	}
-	t.BindUDP(inet.PortMMSCtl, s.onControl)
+	s.ctrlFn = s.onControl
+	t.BindUDP(inet.PortMMSCtl, s.ctrlFn)
 	return s
+}
+
+// Reset restores the server to its post-NewServerOn state without
+// reallocating: sessions clear (their pending timers were already drained
+// by the owning scheduler's reset), the ablation switches revert, counters
+// zero, and the control port rebinds on the freshly reset transport.
+// Registered clips are retained — registration is part of construction and
+// identical across runs.
+func (s *Server) Reset() {
+	clear(s.sessions)
+	s.unitCap = 0
+	s.scaling = false
+	s.Described = 0
+	s.Played = 0
+	s.Stopped = 0
+	s.ThinSteps = 0
+	s.host.BindUDP(inet.PortMMSCtl, s.ctrlFn)
 }
 
 // Register makes a clip available under its Table 1 name (and any aliases).
@@ -192,13 +214,9 @@ func (s *Server) startSession(client inet.Endpoint, clip media.Clip) {
 	if old := s.sessions[client]; old != nil {
 		old.stop()
 	}
-	frames := clip.Frames()
-	sizes := make([]int, len(frames))
-	keys := make([]bool, len(frames))
-	for i, f := range frames {
-		sizes[i] = f.Bytes
-		keys[i] = f.Key
-	}
+	// The frame index is shared and read-only; Cutter and ByteFractions
+	// only ever read it.
+	sizes, keys := media.FrameIndex(clip)
 	unit, tick := s.plan(clip)
 	sess := &session{
 		srv:      s,

@@ -14,6 +14,8 @@
 #   scripts/bench.sh netem      same for the netem record (BENCH_netem.json)
 #   scripts/bench.sh plan       same for the Plan/Runner record (BENCH_plan.json)
 #   scripts/bench.sh stream     same for the online-analysis record (BENCH_stream.json)
+#   scripts/bench.sh reuse      same for the testbed-reuse/timing-wheel record
+#                               (BENCH_reuse.json)
 #
 # Compare a fresh run against the committed records:
 #   scripts/bench.sh > BENCH_current.txt
@@ -26,7 +28,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-TRACKED='BenchmarkPairRun$|BenchmarkPairRunNetem|BenchmarkProfileFlow$|BenchmarkFilterMatch$|BenchmarkRunAllSequential$|BenchmarkRunAllParallel$|BenchmarkPlanStream$|BenchmarkPlanStreamOnline$'
+TRACKED='BenchmarkPairRun$|BenchmarkPairRunNetem|BenchmarkProfileFlow$|BenchmarkFilterMatch$|BenchmarkRunAllSequential$|BenchmarkRunAllParallel$|BenchmarkPlanStream$|BenchmarkPlanStreamOnline$|BenchmarkTestbedReset$|BenchmarkSchedulerDense'
 
 case "${1:-}" in
 baseline)
@@ -42,6 +44,9 @@ plan)
     ;;
 stream)
     exec go run ./scripts/benchjson BENCH_stream.json
+    ;;
+reuse)
+    exec go run ./scripts/benchjson BENCH_reuse.json
     ;;
 smoke)
     exec go test -run=NONE -bench="$TRACKED" -benchmem -benchtime=1x -count=1 .

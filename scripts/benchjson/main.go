@@ -12,6 +12,13 @@
 // `make bench-compare` uses when benchstat is not installed. With no
 // records named it compares against every BENCH_*.json in the working
 // directory.
+//
+// Gate mode (`benchjson compare -gate <pct> BENCH_current.txt [...]`)
+// additionally exits non-zero when any benchmark's ns/op exceeds a
+// committed record's by more than <pct> percent — the opt-in regression
+// gate behind `make bench-compare GATE=<pct>`. Records are snapshots from
+// specific hardware, so the gate is meaningful on runners that refresh
+// their own records; that is why it is opt-in rather than the default.
 package main
 
 import (
@@ -40,11 +47,22 @@ type baseline struct {
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "compare" {
-		if len(os.Args) < 3 {
-			fmt.Fprintln(os.Stderr, "usage: benchjson compare BENCH_current.txt [record.json ...]")
+		args := os.Args[2:]
+		gate := -1.0 // negative: report only, never fail
+		if len(args) >= 2 && args[0] == "-gate" {
+			v, err := strconv.ParseFloat(args[1], 64)
+			if err != nil || v < 0 {
+				fmt.Fprintln(os.Stderr, "benchjson: -gate wants a non-negative percentage")
+				os.Exit(2)
+			}
+			gate = v
+			args = args[2:]
+		}
+		if len(args) < 1 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson compare [-gate pct] BENCH_current.txt [record.json ...]")
 			os.Exit(2)
 		}
-		compare(os.Args[2], os.Args[3:])
+		compare(args[0], args[1:], gate)
 		return
 	}
 	file := "BENCH_baseline.json"
@@ -130,7 +148,7 @@ func parseBench(file string) map[string]entry {
 	return out
 }
 
-func compare(currentFile string, records []string) {
+func compare(currentFile string, records []string, gate float64) {
 	current := parseBench(currentFile)
 	if len(records) == 0 {
 		var err error
@@ -141,6 +159,7 @@ func compare(currentFile string, records []string) {
 		}
 		sort.Strings(records)
 	}
+	var regressions []string
 	for _, rec := range records {
 		b := load(rec)
 		shared := make(map[string]entry)
@@ -157,14 +176,30 @@ func compare(currentFile string, records []string) {
 			"benchmark", "old ns/op", "old B/op", "new ns/op", "new B/op", "Δns/op", "ΔB/op")
 		for _, name := range sortedNames(shared) {
 			old, cur := shared[name], current[name]
+			dns := pct(cur.NsPerOp, old.NsPerOp)
 			fmt.Printf("%-34s %12.0fns %7.1fMB %12.0fns %7.1fMB %+8.1f%% %+8.1f%%\n",
 				name,
 				old.NsPerOp, float64(old.BytesPerOp)/1e6,
 				cur.NsPerOp, float64(cur.BytesPerOp)/1e6,
-				pct(cur.NsPerOp, old.NsPerOp), pct(float64(cur.BytesPerOp), float64(old.BytesPerOp)))
+				dns, pct(float64(cur.BytesPerOp), float64(old.BytesPerOp)))
+			if gate >= 0 && dns > gate {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: ns/op %+.1f%% vs %s (gate %.0f%%)", name, dns, rec, gate))
+			}
 		}
 		fmt.Println()
 	}
+	if gate < 0 {
+		return
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: ns/op regression gate failed:")
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "  "+r)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("gate: no tracked benchmark regressed ns/op by more than %.0f%%\n", gate)
 }
 
 func pct(cur, old float64) float64 {

@@ -60,6 +60,10 @@ type (
 	Runner = core.Runner
 	// RunnerOption configures a Runner at construction.
 	RunnerOption = core.RunnerOption
+
+	// SweepStats aggregates a sweep's testbed-economy counters; see
+	// WithSweepStats.
+	SweepStats = core.SweepStats
 	// RunKey identifies one cell of a Plan's run space.
 	RunKey = core.RunKey
 	// RunResult is one executed Plan cell.
@@ -239,6 +243,23 @@ func WithProgress(fn func(Progress)) RunnerOption { return core.WithProgress(fn)
 // WithTraceRetention selects what each completed run keeps (RetainTraces
 // or DropTracesAfterProfile).
 func WithTraceRetention(tr TraceRetention) RunnerOption { return core.WithTraceRetention(tr) }
+
+// WithFreshTestbeds disables the Runner's per-worker testbed reuse: every
+// cell builds its apparatus from scratch, the pre-reuse behaviour. Runs
+// are byte-identical either way; fresh mode trades speed for nothing and
+// exists for A/B measurement and debugging.
+func WithFreshTestbeds() RunnerOption { return core.WithFreshTestbeds() }
+
+// WithTimingWheel switches each run's event scheduler from the 4-ary heap
+// to the hierarchical timing wheel. Firing order — and therefore every
+// run byte — is identical; the wheel trades heap re-ordering for O(1)
+// bucket pushes on dense timer workloads.
+func WithTimingWheel() RunnerOption { return core.WithTimingWheel() }
+
+// WithSweepStats registers a callback receiving the sweep's aggregate
+// testbed-economy counters (testbeds built vs reused, wheel occupancy
+// high-water) after the last cell completes.
+func WithSweepStats(fn func(SweepStats)) RunnerOption { return core.WithSweepStats(fn) }
 
 // WithMetrics installs a MetricsSink on the Runner: every completed cell
 // feeds its wall time, simulator counters, capture volume and netem drop
