@@ -13,15 +13,21 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Tier-1 hygiene: gofmt cleanliness plus go vet, and shellcheck over the
-# repo's shell scripts when it is installed (CI runners ship it; local
-# trees without it just skip). Fails listing any file gofmt would rewrite.
+# Tier-1 hygiene: gofmt cleanliness plus go vet, staticcheck and
+# shellcheck when they are installed (CI runners and dev trees that ship
+# them get the stricter gate; trees without them just skip — nothing here
+# downloads tooling). Fails listing any file gofmt would rewrite.
 lint:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
 	@if command -v shellcheck >/dev/null 2>&1; then \
 		shellcheck scripts/*.sh; \
 	else \
@@ -83,15 +89,25 @@ bench-compare:
 		$(GO) run ./scripts/benchjson compare BENCH_current.txt; \
 	fi
 
-# Coverage for the distributed-sweep plumbing (the wire format and the
-# shard dispatcher — the layers whose bugs corrupt results silently).
-# Writes cover.out (gitignored); CI uploads it as a per-run artifact.
+# Coverage for the distributed-sweep plumbing (the wire format, the shard
+# dispatcher and the result store — the layers whose bugs corrupt results
+# silently). Writes cover.out (gitignored); CI uploads it as a per-run
+# artifact and fails below the floor, so the cache/dispatch paths cannot
+# quietly shed their tests.
+COVER_FLOOR ?= 75
 cover:
 	$(GO) test -covermode=atomic -coverprofile=cover.out \
-		-coverpkg=./internal/wire/...,./internal/dispatch/... \
-		./internal/wire/... ./internal/dispatch/...
-	@$(GO) tool cover -func=cover.out | tail -n 1
+		-coverpkg=./internal/wire/...,./internal/dispatch/...,./internal/resultstore/... \
+		./internal/wire/... ./internal/dispatch/... ./internal/resultstore/...
+	@total=$$($(GO) tool cover -func=cover.out | tail -n 1 | awk '{ print $$3 }'); \
+	echo "total: $$total (floor $(COVER_FLOOR)%)"; \
+	pct=$${total%\%}; \
+	if [ "$$(awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN { print (p < f) }')" = 1 ]; then \
+		echo "coverage $$total is below the $(COVER_FLOOR)% floor"; exit 1; \
+	fi
 
 clean:
-	rm -f BENCH_current.txt .bench_record.tmp .bench_current.tmp cover.out
+	rm -f BENCH_current.txt .bench_record.tmp .bench_current.tmp cover.out \
+		go-test.json bench-smoke.txt
+	rm -f ./*.test cmd/turbulence/turbulence
 	$(GO) clean ./...

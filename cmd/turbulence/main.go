@@ -5,11 +5,12 @@
 //
 //	turbulence [-seed N] [-experiment id] [-parallel N] [-scenario name]
 //	           [-retention retain|drop|stream] [-shard i/n] [-progress]
-//	           [-metrics addr] [-pprof]
+//	           [-metrics addr] [-pprof] [-result-store dir]
 //	           [-json] [-csv dir] [-points] [-list] [-list-scenarios]
 //	turbulence -serve addr [-seed N] [-pairs list] [-scenario name]
 //	           [-serve-shards N] [-lease-ttl d] [-checkpoint file] [-pprof]
-//	turbulence -work addr [-parallel N]
+//	           [-result-store dir] [-adaptive-leases]
+//	turbulence -work addr [-parallel N] [-result-store dir]
 //	turbulence -listen ip [-seed N] [-metrics addr] [-pprof]
 //	turbulence -play ip [-bind ip] [-clip set/class] [-seed N]
 //	           [-live-timeout d] [-metrics addr]
@@ -99,6 +100,27 @@
 // shard is never double-run; only a worker that actually dies forfeits
 // its lease. A checkpoint written for a different sweep is refused rather
 // than mixed in.
+//
+// -result-store dir makes sweeps incremental: completed cell results are
+// appended to a content-addressed store in dir — keyed by a digest over
+// pair, scenario, variant, seed and engine version — and a later -serve
+// or -work sweep whose cells match is served from the store without
+// simulating them, byte-identical to a fresh run. On -serve the
+// coordinator consults the store when it carves the plan (fully-cached
+// shards are never leased; partially-cached shards tell workers which
+// cells to skip) and inserts what workers ship back; on -work it is the
+// worker's local read-through cache; on a plain experiment sweep it is
+// populated only — experiments reduce full player reports the store does
+// not hold — and requires -retention drop or stream, because the store
+// holds turbulence profiles, not packet captures. A corrupted store
+// frame is detected by checksum, counted on /metrics
+// (turbulence_cache_corrupt_frames_total) and recomputed — never served.
+//
+// -adaptive-leases sizes -serve leases from each worker's measured
+// throughput instead of granting whole static shards: slices subdivide by
+// stride until they fit -lease-ttl/4 of work at the puller's pace, so
+// slow workers take smaller bites and strike-prone shards cost less to
+// retry. Output is byte-identical either way.
 package main
 
 import (
@@ -139,6 +161,8 @@ func main() {
 	serveShards := flag.Int("serve-shards", 0, "-serve lease granularity: how many shard slices the plan is carved into (0 = one per cell, capped at 256)")
 	leaseTTL := flag.Duration("lease-ttl", 2*time.Minute, "-serve: how long a leased shard may stay unrenewed before it is re-issued to another worker (workers heartbeat while simulating)")
 	checkpoint := flag.String("checkpoint", "", "-serve: journal completed shards to this file; re-running with the same sweep flags and path resumes, re-leasing only unfinished shards")
+	resultStore := flag.String("result-store", "", "content-addressed result store directory: completed cells are appended, and later -serve/-work sweeps serve matching cells from it without simulating (plain sweeps populate it; they need -retention drop or stream)")
+	adaptiveLeases := flag.Bool("adaptive-leases", false, "-serve: size leases from each worker's measured throughput (stride subdivision; output is byte-identical)")
 	metricsAddr := flag.String("metrics", "", "serve a live Prometheus meter of the local sweep on this address (host:port) at /metrics; the -serve coordinator has its own /metrics and does not combine with this")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the -metrics server or the -serve coordinator (off by default: profiling endpoints expose internals and cost CPU when scraped)")
 	listen := flag.String("listen", "", "serve the streaming protocol stacks over real UDP sockets bound to this IPv4 address (e.g. 127.0.0.1); -metrics adds the per-socket transport counters")
@@ -148,7 +172,7 @@ func main() {
 	liveTimeout := flag.Duration("live-timeout", 5*time.Minute, "-play: abort if the session has not completed in this long")
 	flag.Parse()
 
-	if err := modeConflicts(*serve, *work, *experiment, *shard, *pairsSpec, *scenario, *checkpoint, *metricsAddr, *pprofFlag, *listen, *play); err != nil {
+	if err := modeConflicts(*serve, *work, *experiment, *shard, *pairsSpec, *scenario, *checkpoint, *metricsAddr, *pprofFlag, *listen, *play, *resultStore, *retention, *adaptiveLeases); err != nil {
 		fmt.Fprintln(os.Stderr, "turbulence:", err)
 		os.Exit(2)
 	}
@@ -173,10 +197,10 @@ func main() {
 		os.Exit(runPlay(*play, *bindIP, *clipSpec, *seed, *metricsAddr, *pprofFlag, *liveTimeout))
 	}
 	if *serve != "" {
-		os.Exit(runServe(*serve, *seed, *pairsSpec, *scenario, *serveShards, *leaseTTL, *checkpoint, *pprofFlag))
+		os.Exit(runServe(*serve, *seed, *pairsSpec, *scenario, *serveShards, *leaseTTL, *checkpoint, *resultStore, *adaptiveLeases, *pprofFlag))
 	}
 	if *work != "" {
-		os.Exit(runWork(*work, *parallel))
+		os.Exit(runWork(*work, *parallel, *resultStore))
 	}
 
 	ids := turbulence.ExperimentIDs()
@@ -222,6 +246,16 @@ func main() {
 		// first trace-bound experiment; restrict to the trace-free set.
 		ids = traceFreeIDs(ids)
 	}
+	var store *turbulence.ResultStore
+	if *resultStore != "" {
+		store, err = turbulence.OpenResultStore(*resultStore, logf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "turbulence:", err)
+			os.Exit(1)
+		}
+		defer store.Close()
+		ctx.SetResultStore(store)
+	}
 	if *progress {
 		ctx.SetProgress(func(p turbulence.Progress) {
 			status := "ok"
@@ -234,6 +268,9 @@ func main() {
 	if *metricsAddr != "" {
 		reg := turbulence.NewMetricsRegistry()
 		ctx.SetMetrics(turbulence.NewMetricsSink(reg))
+		if store != nil {
+			store.Register(reg)
+		}
 		if err := serveMetrics(*metricsAddr, reg, *pprofFlag); err != nil {
 			fmt.Fprintln(os.Stderr, "turbulence:", err)
 			os.Exit(1)
@@ -293,7 +330,7 @@ func main() {
 // no further leases are issued, workers wind down, and whatever completed
 // still prints. With -checkpoint, completions are journalled and a
 // re-run on the same path resumes the sweep instead of restarting it.
-func runServe(addr string, seed int64, pairsSpec, scenario string, shards int, ttl time.Duration, checkpoint string, pprof bool) int {
+func runServe(addr string, seed int64, pairsSpec, scenario string, shards int, ttl time.Duration, checkpoint, storeDir string, adaptive bool, pprof bool) int {
 	keys, err := parsePairs(pairsSpec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "turbulence:", err)
@@ -311,6 +348,23 @@ func runServe(addr string, seed int64, pairsSpec, scenario string, shards int, t
 		}
 		plan.UnderScenarios(sc)
 	}
+	opts := []turbulence.DispatchOption{
+		turbulence.WithDispatchShards(shards),
+		turbulence.WithLeaseTTL(ttl),
+		turbulence.WithDispatchCheckpoint(checkpoint),
+		turbulence.WithAdaptiveLeases(adaptive),
+		turbulence.WithDispatchPprof(pprof),
+		turbulence.WithDispatchLogf(logf),
+	}
+	if storeDir != "" {
+		st, err := turbulence.OpenResultStore(storeDir, logf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "turbulence:", err)
+			return 1
+		}
+		defer st.Close()
+		opts = append(opts, turbulence.WithDispatchResultStore(st))
+	}
 	// The first ctrl-C drains; unregistering then lets a second one kill
 	// the process the hard way (NotifyContext would keep swallowing it).
 	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -319,13 +373,7 @@ func runServe(addr string, seed int64, pairsSpec, scenario string, shards int, t
 		<-sigCtx.Done()
 		stop()
 	}()
-	runs, err := turbulence.Serve(sigCtx, addr, plan,
-		turbulence.WithDispatchShards(shards),
-		turbulence.WithLeaseTTL(ttl),
-		turbulence.WithDispatchCheckpoint(checkpoint),
-		turbulence.WithDispatchPprof(pprof),
-		turbulence.WithDispatchLogf(logf),
-	)
+	runs, err := turbulence.Serve(sigCtx, addr, plan, opts...)
 	// Whatever was collected prints — a failed or interrupted sweep must
 	// not discard the cells workers already shipped.
 	if runs == nil {
@@ -352,7 +400,7 @@ func runServe(addr string, seed int64, pairsSpec, scenario string, shards int, t
 // The first ctrl-C drains (the current shard finishes and ships); a
 // second aborts the in-flight simulation and abandons the lease to
 // expiry.
-func runWork(addr string, parallel int) int {
+func runWork(addr string, parallel int, storeDir string) int {
 	drainCtx, drain := context.WithCancel(context.Background())
 	hardCtx, abort := context.WithCancel(context.Background())
 	defer drain()
@@ -371,12 +419,22 @@ func runWork(addr string, parallel int) int {
 	if name == "" {
 		name = "worker"
 	}
-	done, err := turbulence.Work(drainCtx, addr,
+	opts := []turbulence.DispatchOption{
 		turbulence.WithWorkerName(fmt.Sprintf("%s-%d", name, os.Getpid())),
 		turbulence.WithRunWorkers(parallel),
 		turbulence.WithRunContext(hardCtx),
 		turbulence.WithDispatchLogf(logf),
-	)
+	}
+	if storeDir != "" {
+		st, err := turbulence.OpenResultStore(storeDir, logf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "turbulence:", err)
+			return 1
+		}
+		defer st.Close()
+		opts = append(opts, turbulence.WithDispatchResultStore(st))
+	}
+	done, err := turbulence.Work(drainCtx, addr, opts...)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintf(os.Stderr, "turbulence: aborted after %d shards\n", done)
@@ -434,8 +492,13 @@ func serveMetrics(addr string, reg *turbulence.MetricsRegistry, pprof bool) erro
 // the live client, and neither is a simulation sweep, so they exclude
 // each other and every sweep mode (-serve, -work, -experiment, -shard) —
 // but they do combine with -metrics, which then exposes the live
-// transport's per-socket counters.
-func modeConflicts(serve, work, experiment, shard, pairs, scenario, checkpoint, metrics string, pprof bool, listen, play string) error {
+// transport's per-socket counters. -result-store caches per-cell
+// comparison profiles, so it needs a mode that simulates cells (not
+// -listen/-play) and, in a plain local sweep, a retention mode that
+// actually produces profiles-without-traces (-retention drop or
+// stream); -adaptive-leases is coordinator lease-sizing policy, so it
+// requires -serve.
+func modeConflicts(serve, work, experiment, shard, pairs, scenario, checkpoint, metrics string, pprof bool, listen, play, resultStore, retention string, adaptive bool) error {
 	switch {
 	case listen != "" && play != "":
 		return errors.New("-listen and -play are mutually exclusive (run the live server and client as separate processes)")
@@ -461,6 +524,12 @@ func modeConflicts(serve, work, experiment, shard, pairs, scenario, checkpoint, 
 		return errors.New("-scenario does not combine with -work (the plan arrives in lease grants; set it on -serve)")
 	case checkpoint != "" && serve == "":
 		return errors.New("-checkpoint requires -serve (the journal is coordinator state; workers are stateless)")
+	case (listen != "" || play != "") && resultStore != "":
+		return errors.New("-result-store does not combine with -listen/-play (live transport carries real traffic; there are no simulated cells to cache)")
+	case resultStore != "" && serve == "" && work == "" && retention == "retain":
+		return errors.New("-result-store with a plain sweep requires -retention drop or stream (the store holds comparison profiles, not traces)")
+	case adaptive && serve == "":
+		return errors.New("-adaptive-leases requires -serve (lease sizing is coordinator policy)")
 	}
 	return nil
 }

@@ -125,6 +125,53 @@
 // killing the coordinator mid-sweep and resuming from its checkpoint,
 // and still pin the merged output byte-identical to the unsharded run.
 //
+// # Incremental sweeps
+//
+// Sweeps overlap: a new scenario axis, one more pair, a rerun after an
+// analysis-only change. The result store (internal/resultstore; facade
+// OpenResultStore, WithResultStore, WithDispatchResultStore) makes the
+// overlap free by content-addressing every completed cell: the key is
+// the sha256 of what determines its output — pair, scenario, effective
+// options, seed, engine generation — never the plan's labels or cell
+// index, so any plan that contains an equivalent cell hits, whatever
+// shape the sweep around it takes. Entries are appended to a single
+// file as length-prefixed, checksummed gob frames behind a version
+// header; a torn or corrupt tail is counted, logged, truncated and
+// re-simulated — corruption is always a miss, never data — and a store
+// written by a different wire or engine generation is refused at open.
+//
+// A Runner with WithResultStore serves cached cells without building a
+// testbed and inserts fresh ones on the way out; merged output stays
+// byte-identical to a storeless run (TestCachedSweepMatchesFresh pins a
+// warm rerun at zero simulations, every pool shape). The dispatcher
+// consults its store once, at plan-carve time: fully-cached shards
+// complete without ever being leased, partially-cached shards ship the
+// cached cell indexes in the lease grant (LeaseGrant.CachedCells) so
+// workers simulate only the rest, and fresh results are inserted as
+// shards commit. With WithAdaptiveLeases the coordinator also sizes
+// leases from each worker's observed throughput — stride-subdividing a
+// shard so a slow or strike-prone worker pulls a slice it can finish
+// inside WithLeaseTarget, while per-shard journalling, quarantine and
+// merge order stay at the base carve. The warm-rerun recipe:
+//
+//	$ turbulence -serve :8080 -seed 2002 -result-store sweep.cache
+//	...add pairs or scenarios, rerun...
+//	$ turbulence -serve :8080 -seed 2002 -pairs ... -result-store sweep.cache
+//	# overlapping cells served from the store (cache_hits on /metrics),
+//	# only the new cells simulate; output identical to a cold sweep
+//
+// Local experiment sweeps take -result-store too (with -retention drop
+// or stream), write-through only: experiments reduce the full player
+// reports a Comparison does not hold, so the context's own sweeps
+// populate the store for later Comparison-space consumers rather than
+// serve from it. Cache traffic is metered as
+// turbulence_cache_{hits,misses,bytes,corrupt_frames}_total wherever a
+// registry is attached. The CI
+// cache-smoke job pins the whole story over real sockets: a warm
+// superset rerun must report every previously-computed cell as a hit,
+// simulate only the new ones, merge to the committed golden digest, and
+// recompute — not serve — a deliberately torn store frame.
+//
 // # Observability
 //
 // internal/obs is a dependency-free metrics layer rendered in Prometheus

@@ -61,6 +61,11 @@ type Plan struct {
 	// shard/shards carve the strided slice {cell : Index%shards == shard};
 	// zero values mean unsharded. Set only via Shard.
 	shard, shards int
+
+	// omit drops individual cells by canonical Index on top of the shard
+	// carve; nil means none. Set only via Omitting. Omitted cells keep
+	// their Index: the remaining cells still merge into canonical order.
+	omit map[int]bool
 }
 
 // NewPlan declares the paper's full evaluation sweep for a base seed: all
@@ -178,16 +183,42 @@ func (p *Plan) ShardSizes(n int) []int {
 	return out
 }
 
-// Size reports how many cells this plan executes (after sharding), with no
-// simulation cost.
+// Omitting returns a copy of the plan that skips the cells with the listed
+// canonical Indexes — how a worker honours a lease grant's CachedCells: the
+// coordinator already holds those results, so the worker runs the shard's
+// remaining cells and the batch merges around the cached ones. Indexes
+// outside the plan (or outside its shard slice) are ignored. The copy's
+// cells keep their global Index.
+func (p *Plan) Omitting(indexes ...int) *Plan {
+	if len(indexes) == 0 {
+		return p
+	}
+	q := *p
+	q.omit = make(map[int]bool, len(indexes)+len(p.omit))
+	for i := range p.omit {
+		q.omit[i] = true
+	}
+	for _, i := range indexes {
+		q.omit[i] = true
+	}
+	return &q
+}
+
+// Size reports how many cells this plan executes (after sharding and
+// omissions), with no simulation cost.
 func (p *Plan) Size() int {
 	total := len(p.pairs()) * len(p.scenarios()) * len(p.variants())
-	if p.shards == 0 {
-		return total
+	n := total
+	if p.shards != 0 {
+		n = total / p.shards
+		if p.shard < total%p.shards {
+			n++
+		}
 	}
-	n := total / p.shards
-	if p.shard < total%p.shards {
-		n++
+	for idx := range p.omit {
+		if idx >= 0 && idx < total && (p.shards == 0 || idx%p.shards == p.shard) {
+			n--
+		}
 	}
 	return n
 }
@@ -224,12 +255,14 @@ func (k RunKey) String() string {
 	return s
 }
 
-// optionsFor composes a cell's effective run Options: the variant's
+// OptionsFor composes a cell's effective run Options: the variant's
 // options, with the scenario axis — when the plan declares one —
 // replacing the Scenario field outright. A nil axis entry then really
 // means the faithful testbed, so a variant's stray Options.Scenario can
-// never run impaired under a faithful label.
-func (p *Plan) optionsFor(k RunKey) Options {
+// never run impaired under a faithful label. The effective options are
+// part of a cell's identity: content addressing (wire.CellSpecFrom) must
+// digest these, not the raw variant options.
+func (p *Plan) OptionsFor(k RunKey) Options {
 	o := k.Variant.Opts
 	if len(p.Scenarios) > 0 {
 		o.Scenario = k.Scenario
@@ -247,7 +280,7 @@ func (p *Plan) Keys() []RunKey {
 	for si, sc := range scs {
 		for vi, v := range vars {
 			for _, pk := range pairs {
-				if p.shards == 0 || idx%p.shards == p.shard {
+				if (p.shards == 0 || idx%p.shards == p.shard) && !p.omit[idx] {
 					out = append(out, RunKey{
 						Index:    idx,
 						Pair:     pk,

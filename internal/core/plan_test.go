@@ -424,14 +424,14 @@ func TestScenarioAxisWinsOverVariantScenario(t *testing.T) {
 		UnderScenarios(nil, dsl).
 		WithOptions(Options{Scenario: cable})
 	keys := plan.Keys()
-	if got := plan.optionsFor(keys[0]).Scenario; got != nil {
+	if got := plan.OptionsFor(keys[0]).Scenario; got != nil {
 		t.Fatalf("faithful axis cell runs under %q", got.Name)
 	}
-	if got := plan.optionsFor(keys[1]).Scenario; got != dsl {
+	if got := plan.OptionsFor(keys[1]).Scenario; got != dsl {
 		t.Fatalf("dsl axis cell runs under %v", got)
 	}
 	noAxis := NewPlan(1).ForPairs(PairKey{1, media.Low}).WithOptions(Options{Scenario: cable})
-	if got := noAxis.optionsFor(noAxis.Keys()[0]).Scenario; got != cable {
+	if got := noAxis.OptionsFor(noAxis.Keys()[0]).Scenario; got != cable {
 		t.Fatalf("axis-less plan dropped the variant scenario: %v", got)
 	}
 }

@@ -89,6 +89,7 @@ type Runner struct {
 	fresh      bool
 	wheel      bool
 	sweepStats func(SweepStats)
+	store      ResultStore
 	pool       *tallyPool
 }
 
@@ -161,6 +162,19 @@ type SweepStats struct {
 	TestbedsBuilt  int
 	TestbedsReused int
 	WheelPeak      int
+}
+
+// ResultStore is a content-addressed cache of completed cell results: the
+// hook WithResultStore installs so warm reruns skip simulation. A cell is
+// addressed by everything that determines its Comparison — pair, effective
+// options (Plan.OptionsFor), and seed; implementations fold in the engine
+// generation (internal/resultstore does, via wire.CellSpecFrom). Both
+// methods must be safe for concurrent use from every Runner worker.
+// LookupResult's Comparison must not be mutated by the caller —
+// implementations may return a shared pointer.
+type ResultStore interface {
+	LookupResult(pair PairKey, opts Options, seed int64) (*Comparison, bool)
+	InsertResult(pair PairKey, opts Options, seed int64, cmp *Comparison)
 }
 
 // context is the nil-safe accessor keeping the zero Runner usable.
@@ -241,6 +255,22 @@ func WithSweepStats(fn func(SweepStats)) RunnerOption {
 	return func(r *Runner) { r.sweepStats = fn }
 }
 
+// WithResultStore installs a content-addressed result cache: before
+// simulating a cell the Runner consults the store, and a hit becomes the
+// cell's RunResult directly — Comparison set, Run nil, merged in canonical
+// order exactly as a fresh execution would be. Callers that consume
+// RunResult.Run (player reports, packet flows) rather than Comparisons
+// must not install a store with a lookup path; the experiments harness
+// wraps its store insert-only for exactly this reason. Misses simulate
+// normally and their Comparisons are inserted for the next sweep. The
+// store is consulted only under DropTracesAfterProfile and StreamProfiles:
+// RetainTraces promises full packet captures, which the store does not
+// hold, so it bypasses the cache entirely rather than silently degrade the
+// result shape. Errored cells are never cached.
+func WithResultStore(s ResultStore) RunnerOption {
+	return func(r *Runner) { r.store = s }
+}
+
 // NewRunner builds a Runner from functional options.
 func NewRunner(opts ...RunnerOption) *Runner {
 	r := &Runner{workers: 1, ctx: context.Background(), pool: &tallyPool{}}
@@ -299,7 +329,17 @@ func (r *Runner) execute(p *Plan, emit func(RunResult) bool) {
 		}
 		seed := p.Seed(k)
 		start := time.Now()
-		run, cmp, err := runPair(ctx, seed, k.Pair.Set, k.Pair.Class, p.optionsFor(k), r.retention == StreamProfiles, r.sink, t.cache)
+		useStore := r.store != nil && r.retention != RetainTraces
+		if useStore {
+			if cmp, ok := r.store.LookupResult(k.Pair, p.OptionsFor(k), seed); ok {
+				elapsed := time.Since(start)
+				if r.sink != nil {
+					r.sink.ObserveCell(elapsed.Seconds(), false)
+				}
+				return finish(RunResult{Key: k, Seed: seed, Comparison: cmp}, start, elapsed)
+			}
+		}
+		run, cmp, err := runPair(ctx, seed, k.Pair.Set, k.Pair.Class, p.OptionsFor(k), r.retention == StreamProfiles, r.sink, t.cache)
 		elapsed := time.Since(start)
 		if err != nil && ctx.Err() != nil {
 			// Interrupted mid-simulation: not a completed cell.
@@ -322,6 +362,9 @@ func (r *Runner) execute(p *Plan, emit func(RunResult) bool) {
 			c := Compare(run)
 			res.Comparison = &c
 			run.Trace, run.WMPFlow, run.RealFlow = nil, nil, nil
+		}
+		if useStore && err == nil && res.Comparison != nil {
+			r.store.InsertResult(k.Pair, p.OptionsFor(k), seed, res.Comparison)
 		}
 		return finish(res, start, elapsed)
 	}

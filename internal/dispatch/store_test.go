@@ -1,0 +1,310 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"turbulence/internal/core"
+	"turbulence/internal/media"
+	"turbulence/internal/netem"
+	"turbulence/internal/resultstore"
+	"turbulence/internal/wire"
+)
+
+func openStore(t *testing.T, dir string) *resultstore.Store {
+	t.Helper()
+	st, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// runDispatched drives a full coordinator + n loopback workers sweep and
+// returns the merged wire bytes.
+func runDispatched(t *testing.T, c *Coordinator, n int) []byte {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := NewWorker(Loopback(c),
+				WithName(fmt.Sprintf("w%d", i)),
+				WithRunWorkers(1),
+				WithRetry(10*time.Millisecond),
+			)
+			_, errs[i] = w.Run(ctx)
+		}()
+	}
+	merged, err := c.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := wire.WriteGob(&buf, merged); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDispatchWarmRerunServesFromStore is the dispatcher half of the
+// incremental-sweep pin: a cold dispatched sweep populates the result
+// store; a second coordinator on the identical plan finds every shard
+// fully cached at carve time, grants zero leases, and its merge is
+// byte-identical to the cold run — which is itself byte-identical to the
+// unsharded single-process sweep.
+func TestDispatchWarmRerunServesFromStore(t *testing.T) {
+	plan := testPlan(t)
+	want := unshardedGob(t, plan)
+	st := openStore(t, t.TempDir())
+
+	cold, err := New(plan, WithShards(4), WithRetry(10*time.Millisecond), WithResultStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runDispatched(t, cold, 2); !bytes.Equal(got, want) {
+		t.Fatal("cold dispatched sweep differs from unsharded run")
+	}
+	if s := st.Stats(); s.Entries != plan.Size() {
+		t.Fatalf("store holds %d entries after the cold sweep, want %d", s.Entries, plan.Size())
+	}
+
+	warm, err := New(plan, WithShards(4), WithResultStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Done() {
+		t.Fatal("warm coordinator not done at carve time despite a fully-cached plan")
+	}
+	if g, _ := warm.Lease("w"); !g.Done {
+		t.Fatalf("warm coordinator leased work: %+v", g)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	merged, err := warm.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := wire.WriteGob(&buf, merged); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatal("warm store-served sweep differs from unsharded run")
+	}
+}
+
+// TestDispatchPartialCacheShipsCachedCells pins the superset-rerun path: a
+// smaller sweep populates the store, then a superset plan's grants carry
+// the overlapping cells as CachedCells, workers omit them, and the merge
+// is still byte-identical to the unsharded superset run.
+func TestDispatchPartialCacheShipsCachedCells(t *testing.T) {
+	dsl, err := netem.Find("dsl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := openStore(t, t.TempDir())
+
+	// Seed the store from an in-process run of a strict subset (one pair
+	// under both scenarios — 2 of the 6 superset cells).
+	subset := core.NewPlan(7).
+		ForPairs(core.PairKey{Set: 1, Class: media.Low}).
+		UnderScenarios(nil, dsl)
+	if _, err := core.NewRunner(
+		core.WithWorkers(1),
+		core.WithTraceRetention(core.StreamProfiles),
+		core.WithResultStore(st),
+	).Run(subset); err != nil {
+		t.Fatal(err)
+	}
+	seeded := st.Stats().Entries
+	if seeded != subset.Size() {
+		t.Fatalf("store holds %d entries after the subset run, want %d", seeded, subset.Size())
+	}
+
+	plan := testPlan(t)
+	want := unshardedGob(t, plan)
+	c, err := New(plan, WithShards(1), WithRetry(10*time.Millisecond), WithResultStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.Lease("probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.CachedCells) != seeded {
+		t.Fatalf("grant ships %d cached cells, want %d: %+v", len(g.CachedCells), seeded, g.CachedCells)
+	}
+	// The worker executes the grant exactly as Worker.runShard would:
+	// reconstruct, omit the cached cells, run, ship.
+	gp, err := g.Plan.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard := gp.Shard(g.Shard, g.Shards).Omitting(g.CachedCells...)
+	if shard.Size() != plan.Size()-seeded {
+		t.Fatalf("omitted shard has %d cells, want %d", shard.Size(), plan.Size()-seeded)
+	}
+	results, err := core.NewRunner(
+		core.WithWorkers(1),
+		core.WithTraceRetention(core.StreamProfiles),
+	).Run(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Complete(g.LeaseID, wire.FromResults(results)); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Done() {
+		t.Fatal("coordinator not done after the only shard completed")
+	}
+	var buf bytes.Buffer
+	if err := wire.WriteGob(&buf, c.Collected()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatal("partially-cached sweep differs from unsharded run")
+	}
+	// The fresh cells were inserted on completion: the store now covers
+	// the whole superset.
+	if s := st.Stats(); s.Entries != plan.Size() {
+		t.Fatalf("store holds %d entries after the superset sweep, want %d", s.Entries, plan.Size())
+	}
+}
+
+// TestAdaptiveLeaseSplitting pins the subdivision mechanics without
+// workers: a measured-slow puller gets a stride-split slice (Shards is a
+// multiple of the base carve), the far half stays leasable, every cell is
+// granted exactly once across the slices, and completing all slices
+// assembles the whole shard.
+func TestAdaptiveLeaseSplitting(t *testing.T) {
+	plan := testPlan(t) // 6 cells
+	c, err := New(plan,
+		WithShards(1),
+		WithAdaptiveLeases(true),
+		WithLeaseTarget(time.Second),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 cells/s × 1s target = 2 cells per lease: the 6-cell shard must
+	// split (6 → 3 → 2, stride-halving) for this worker.
+	c.m.workerThroughput.With("slow").Set(2)
+
+	fakeRuns := func(g wire.LeaseGrant) []wire.Run {
+		var runs []wire.Run
+		for _, k := range plan.Shard(g.Shard, g.Shards).Keys() {
+			runs = append(runs, wire.Run{Index: k.Index, Set: k.Pair.Set, Class: k.Pair.Class.String(),
+				Comparison: &core.Comparison{Set: k.Pair.Set}})
+		}
+		return runs
+	}
+
+	seen := make(map[int]int)
+	grants := 0
+	for !c.Done() {
+		g, err := c.Lease("slow")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.LeaseID == "" {
+			t.Fatalf("queue stalled mid-shard: %+v", g)
+		}
+		if g.Shards%c.shards != 0 {
+			t.Fatalf("granted Shards=%d is not a multiple of the base carve %d", g.Shards, c.shards)
+		}
+		runs := fakeRuns(g)
+		if len(runs) > 2 {
+			t.Fatalf("slow worker granted %d cells, want <= 2 (grant %d/%d)", len(runs), g.Shard, g.Shards)
+		}
+		for _, r := range runs {
+			seen[r.Index]++
+		}
+		grants++
+		if grants > 16 {
+			t.Fatal("adaptive splitting did not converge")
+		}
+		if err := c.Complete(g.LeaseID, runs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if grants < 3 {
+		t.Fatalf("6 cells at <=2 per lease took %d grants, want >= 3", grants)
+	}
+	for idx := 0; idx < plan.Size(); idx++ {
+		if seen[idx] != 1 {
+			t.Fatalf("cell %d granted %d times, want exactly once", idx, seen[idx])
+		}
+	}
+	merged := c.Collected()
+	if len(merged) != plan.Size() {
+		t.Fatalf("assembled %d runs, want %d", len(merged), plan.Size())
+	}
+	for i, r := range merged {
+		if r.Index != i {
+			t.Fatalf("merged[%d].Index = %d — canonical order broken by subdivision", i, r.Index)
+		}
+	}
+}
+
+// TestAdaptiveDispatchMatchesUnsharded is the adaptive end-to-end pin:
+// real workers with live throughput measurements, splitting enabled, and
+// the merge still byte-identical to the single-process run.
+func TestAdaptiveDispatchMatchesUnsharded(t *testing.T) {
+	plan := testPlan(t)
+	want := unshardedGob(t, plan)
+	c, err := New(plan,
+		WithShards(2),
+		WithAdaptiveLeases(true),
+		WithLeaseTarget(50*time.Millisecond),
+		WithRetry(10*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runDispatched(t, c, 3); !bytes.Equal(got, want) {
+		t.Fatal("adaptive dispatched sweep differs from unsharded run")
+	}
+}
+
+// TestAdaptiveSplitAfterStrike pins the quarantine-pressure rule: once a
+// shard has a strike, even an unmeasured worker gets at most half of it,
+// so a repeat failure forfeits half as much work.
+func TestAdaptiveSplitAfterStrike(t *testing.T) {
+	plan := testPlan(t)
+	c, err := New(plan, WithShards(1), WithAdaptiveLeases(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First pull: no measurement, no strikes — the whole shard.
+	g1, _ := c.Lease("fresh")
+	if g1.Shards != 1 {
+		t.Fatalf("unmeasured worker got a split slice %d/%d, want the whole shard", g1.Shard, g1.Shards)
+	}
+	// Reject it (a strike) and pull again: the slab must now subdivide.
+	if err := c.Complete(g1.LeaseID, nil); err == nil {
+		t.Fatal("short batch accepted")
+	}
+	g2, _ := c.Lease("fresh")
+	if g2.LeaseID == "" {
+		t.Fatalf("struck shard not re-leasable: %+v", g2)
+	}
+	if g2.Shards < 2 {
+		t.Fatalf("struck shard granted whole (%d/%d), want a split slice", g2.Shard, g2.Shards)
+	}
+}

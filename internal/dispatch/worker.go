@@ -165,6 +165,11 @@ func (w *Worker) runShard(grant wire.LeaseGrant) (runs []wire.Run, orphaned bool
 		return nil, false, stats, fmt.Errorf("dispatch: %s: lease %s: %w", w.cfg.Name, grant.LeaseID, err)
 	}
 	shard := plan.Shard(grant.Shard, grant.Shards)
+	if len(grant.CachedCells) > 0 {
+		// The coordinator already holds these cells from its result store;
+		// simulating them here would be correct but wasted work.
+		shard = shard.Omitting(grant.CachedCells...)
+	}
 	w.cfg.Logf("dispatch: %s running shard %d/%d (%d cells) as %s", w.cfg.Name, grant.Shard, grant.Shards, shard.Size(), grant.LeaseID)
 
 	// The run context is a child of the hard-cancel context: either the
@@ -176,7 +181,7 @@ func (w *Worker) runShard(grant wire.LeaseGrant) (runs []wire.Run, orphaned bool
 	var renewals atomic.Int64
 	stopHeartbeat := w.heartbeat(grant, &lost, cancelRun, &renewals)
 
-	runner := core.NewRunner(
+	runnerOpts := []core.RunnerOption{
 		core.WithWorkers(w.cfg.RunWorkers),
 		core.WithContext(runCtx),
 		core.WithTraceRetention(core.StreamProfiles),
@@ -185,7 +190,14 @@ func (w *Worker) runShard(grant wire.LeaseGrant) (runs []wire.Run, orphaned bool
 			stats.TestbedsReused = sw.TestbedsReused
 			stats.WheelPeak = sw.WheelPeak
 		}),
-	)
+	}
+	if w.cfg.Store != nil {
+		// Local read-through cache: cells this worker (or a co-located
+		// sweep) has already simulated are served from disk even when the
+		// coordinator is remote and has no store of its own.
+		runnerOpts = append(runnerOpts, core.WithResultStore(w.cfg.Store))
+	}
+	runner := core.NewRunner(runnerOpts...)
 	// A cell error is a result, not a transport failure: the batch ships
 	// with the Err run inside (fail-fast leaves it short, which the
 	// coordinator accepts exactly because the error explains the gap), so

@@ -124,6 +124,7 @@ type Context struct {
 	cancel   context.Context
 	progress func(core.Progress)
 	sink     *obs.Sink
+	store    core.ResultStore
 
 	// scenario, when set, streams every cached Table 1 pair run under a
 	// netem scenario, turning the whole regenerated evaluation into a
@@ -179,6 +180,30 @@ func (c *Context) SetMetrics(s *obs.Sink) *Context {
 	return c
 }
 
+// SetResultStore installs a content-addressed result store on the
+// underlying Runner, write-through only: completed cells are inserted so
+// later Comparison-space sweeps (a dispatched rerun, a Runner with
+// WithResultStore) hit on them, but the context's own sweeps never serve
+// from the store — experiments reduce the full player reports and packet
+// flows of a PairRun, which the store's Comparisons do not hold, so a
+// cache hit here would leave the experiment nothing to regenerate from.
+// Inserts need a Comparison, so pair it with
+// SetRetention(DropTracesAfterProfile) or StreamProfiles — under the
+// default RetainTraces it is inert.
+func (c *Context) SetResultStore(s core.ResultStore) *Context {
+	c.store = s
+	return c
+}
+
+// insertOnly adapts a ResultStore to the harness's write-through
+// discipline: every lookup misses locally (without touching the store's
+// hit/miss counters), every insert persists.
+type insertOnly struct{ core.ResultStore }
+
+func (insertOnly) LookupResult(core.PairKey, core.Options, int64) (*core.Comparison, bool) {
+	return nil, false
+}
+
 // SetRetention selects what the cached Table 1 sweep keeps of each pair
 // run (default core.RetainTraces). Must be called before the first run
 // executes. With StreamProfiles the sweep never materialises a trace —
@@ -211,6 +236,9 @@ func (c *Context) runner(extra ...core.RunnerOption) *core.Runner {
 	}
 	if c.sink != nil {
 		opts = append(opts, core.WithMetrics(c.sink))
+	}
+	if c.store != nil {
+		opts = append(opts, core.WithResultStore(insertOnly{c.store}))
 	}
 	opts = append(opts, extra...)
 	return core.NewRunner(opts...)

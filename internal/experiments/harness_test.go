@@ -7,6 +7,7 @@ import (
 
 	"turbulence/internal/core"
 	"turbulence/internal/media"
+	"turbulence/internal/resultstore"
 	"turbulence/internal/stats"
 )
 
@@ -138,5 +139,63 @@ func TestContextCancelKeepsCompletedRuns(t *testing.T) {
 	run, err := ctx.Pair(k.Set, k.Class)
 	if err != nil || run == nil {
 		t.Fatalf("cached pair after cancel: %v, %v", run, err)
+	}
+}
+
+// TestResultStoreWriteThroughOnly pins the harness's store discipline:
+// experiments reduce full PairRuns (player reports, packet flows), which
+// the store's Comparisons cannot reconstruct, so a context must populate
+// the store without ever serving its own sweeps from it — a warm rerun
+// against a full store still regenerates every experiment, run data
+// intact.
+func TestResultStoreWriteThroughOnly(t *testing.T) {
+	st, err := resultstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	cold := NewContext(55).SetRetention(core.StreamProfiles).SetResultStore(st)
+	coldRes, err := Run(cold, "table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := st.Stats().Entries
+	if entries == 0 {
+		t.Fatal("cold experiment sweep inserted nothing into the store")
+	}
+
+	// Warm context, same seed, same (now fully covering) store: the
+	// lookup path must not be taken — every run needs its full reports.
+	warm := NewContext(55).SetRetention(core.StreamProfiles).SetResultStore(st)
+	warmRes, err := Run(warm, "table1")
+	if err != nil {
+		t.Fatalf("warm experiment sweep against a populated store: %v", err)
+	}
+	if len(warmRes.Rows) != len(coldRes.Rows) {
+		t.Fatalf("warm run rendered %d rows, cold %d", len(warmRes.Rows), len(coldRes.Rows))
+	}
+	for i := range coldRes.Rows {
+		if strings.Join(warmRes.Rows[i], "|") != strings.Join(coldRes.Rows[i], "|") {
+			t.Fatalf("row %d differs warm vs cold:\n  %v\n  %v", i, warmRes.Rows[i], coldRes.Rows[i])
+		}
+	}
+	runs, err := warm.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range runs {
+		if run == nil || run.WMP == nil || run.Real == nil {
+			t.Fatal("warm run served from the store: missing player reports")
+		}
+	}
+	// No double inserts, no hits, and crucially no store-level misses:
+	// the harness short-circuits lookups locally.
+	s := st.Stats()
+	if s.Entries != entries {
+		t.Fatalf("warm sweep changed the store: %d -> %d entries", entries, s.Entries)
+	}
+	if s.Hits != 0 {
+		t.Fatalf("harness served %d cells from the store", s.Hits)
 	}
 }

@@ -151,6 +151,18 @@ func TestGaugeFuncAndSnapshotLock(t *testing.T) {
 	}
 }
 
+func TestCounterFunc(t *testing.T) {
+	r := NewRegistry()
+	var hits uint64
+	r.CounterFunc("cache_hits_total", "store hits", func() uint64 { return hits })
+	hits = 17
+	out := render(t, r)
+	want := "# HELP cache_hits_total store hits\n# TYPE cache_hits_total counter\ncache_hits_total 17\n"
+	if !strings.Contains(out, want) {
+		t.Fatalf("CounterFunc output missing %q:\n%s", want, out)
+	}
+}
+
 func TestRingWraparound(t *testing.T) {
 	ring := NewRing(3)
 	base := time.Unix(0, 0)

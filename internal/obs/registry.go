@@ -12,6 +12,7 @@ type kind int
 
 const (
 	kindCounter kind = iota
+	kindCounterFunc
 	kindGauge
 	kindFloatGauge
 	kindGaugeFunc
@@ -26,6 +27,7 @@ type series struct {
 	g        *Gauge
 	f        *FloatGauge
 	fn       func() float64
+	cfn      func() uint64
 	h        *Histogram
 }
 
@@ -116,6 +118,16 @@ func (r *Registry) FloatGauge(name, help string) *FloatGauge {
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	m := r.register(name, help, kindGaugeFunc, "")
 	m.series = []*series{{fn: fn}}
+}
+
+// CounterFunc registers a counter whose value is read by fn at scrape
+// time — for components that keep their own atomic tallies (the result
+// store's hit/miss counters) and should render with the counter TYPE
+// rather than masquerade as gauges. fn must be monotonic non-decreasing;
+// if a snapshot lock is installed, it runs under it.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	m := r.register(name, help, kindCounterFunc, "")
+	m.series = []*series{{cfn: fn}}
 }
 
 // Histogram registers and returns a histogram with the given ascending
@@ -231,7 +243,7 @@ func (m *metric) render(buf []byte) []byte {
 	buf = append(buf, "\n# TYPE "...)
 	buf = append(buf, m.name...)
 	switch m.kind {
-	case kindCounter:
+	case kindCounter, kindCounterFunc:
 		buf = append(buf, " counter\n"...)
 	case kindHistogram:
 		buf = append(buf, " histogram\n"...)
@@ -244,6 +256,11 @@ func (m *metric) render(buf []byte) []byte {
 			buf = appendSeriesName(buf, m.name, m.label, s.labelVal)
 			buf = append(buf, ' ')
 			buf = strconv.AppendUint(buf, s.c.Value(), 10)
+			buf = append(buf, '\n')
+		case kindCounterFunc:
+			buf = appendSeriesName(buf, m.name, m.label, s.labelVal)
+			buf = append(buf, ' ')
+			buf = strconv.AppendUint(buf, s.cfn(), 10)
 			buf = append(buf, '\n')
 		case kindGauge:
 			buf = appendSeriesName(buf, m.name, m.label, s.labelVal)

@@ -1,0 +1,352 @@
+package resultstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"turbulence/internal/core"
+	"turbulence/internal/media"
+	"turbulence/internal/netem"
+	"turbulence/internal/obs"
+	"turbulence/internal/wire"
+)
+
+func cmpFor(i int) *core.Comparison {
+	return &core.Comparison{
+		Set:       i,
+		ClassName: "low",
+		Real:      core.FlowProfile{Packets: i, MeanSize: float64(i) * 1.5},
+		WMP:       core.FlowProfile{Packets: i * 2, CBR: true},
+	}
+}
+
+func open(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir, WithLogf(t.Logf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	if _, ok := s.Lookup("d0"); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	for i := 0; i < 5; i++ {
+		s.Insert("d"+strconv.Itoa(i), cmpFor(i))
+	}
+	s.Insert("d3", cmpFor(99)) // re-insert: first writer wins
+	got, ok := s.Lookup("d3")
+	if !ok || got.Set != 3 {
+		t.Fatalf("Lookup(d3) = %+v, %v; want first-inserted value", got, ok)
+	}
+	st := s.Stats()
+	if st.Entries != 5 || st.Hits != 1 || st.Misses != 1 || st.CorruptFrames != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: everything persisted, cleanly.
+	s2 := open(t, dir)
+	defer s2.Close()
+	for i := 0; i < 5; i++ {
+		got, ok := s2.Lookup("d" + strconv.Itoa(i))
+		if !ok || got.Set != i {
+			t.Fatalf("after reopen, Lookup(d%d) = %+v, %v", i, got, ok)
+		}
+	}
+	if st := s2.Stats(); st.Entries != 5 || st.CorruptFrames != 0 || st.Bytes == 0 {
+		t.Fatalf("reopen stats = %+v", st)
+	}
+
+	// The counters render as real counters on a registry.
+	reg := obs.NewRegistry()
+	s2.Register(reg)
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE turbulence_cache_hits_total counter\nturbulence_cache_hits_total 5\n",
+		"turbulence_cache_misses_total 0\n",
+		"turbulence_cache_corrupt_frames_total 0\n",
+		"turbulence_cache_entries 5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestStoreConcurrent hammers insert and lookup from many goroutines —
+// meaningful under -race.
+func TestStoreConcurrent(t *testing.T) {
+	s := open(t, t.TempDir())
+	defer s.Close()
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				d := "d" + strconv.Itoa(i) // all workers contend on the same digests
+				s.Insert(d, cmpFor(i))
+				if got, ok := s.Lookup(d); !ok || got.Set != i {
+					t.Errorf("Lookup(%s) = %+v, %v", d, got, ok)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Entries != perWorker {
+		t.Fatalf("entries = %d, want %d", st.Entries, perWorker)
+	}
+}
+
+// TestStoreTornTailReopen simulates a crash mid-append: the torn frame is
+// dropped and counted, everything before it survives, and the store keeps
+// appending cleanly from the cut.
+func TestStoreTornTailReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	for i := 0; i < 3; i++ {
+		s.Insert("d"+strconv.Itoa(i), cmpFor(i))
+	}
+	s.Close()
+
+	path := filepath.Join(dir, storeFile)
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := info.Size()
+	// Tear: a new frame's worth of bytes, cut mid-body.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(raw, raw[len(raw)-20:]...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, dir)
+	if st := s2.Stats(); st.Entries != 3 || st.CorruptFrames != 1 {
+		t.Fatalf("after torn tail, stats = %+v", st)
+	}
+	if info, err := os.Stat(path); err != nil || info.Size() != whole {
+		t.Fatalf("torn tail not truncated: size %d, want %d (err %v)", info.Size(), whole, err)
+	}
+	s2.Insert("d9", cmpFor(9))
+	s2.Close()
+
+	s3 := open(t, dir)
+	defer s3.Close()
+	if st := s3.Stats(); st.Entries != 4 || st.CorruptFrames != 0 {
+		t.Fatalf("after append-past-tear reopen, stats = %+v", st)
+	}
+}
+
+// TestStoreCorruptFrameIsMiss flips one byte inside the last frame's body:
+// the checksum must catch it and the frame must become a miss — gob alone
+// would decode many single-byte corruptions into plausible garbage.
+func TestStoreCorruptFrameIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	s.Insert("keep", cmpFor(1))
+	s.Insert("flip", cmpFor(2))
+	s.Close()
+
+	path := filepath.Join(dir, storeFile)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-3] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, dir)
+	defer s2.Close()
+	if _, ok := s2.Lookup("keep"); !ok {
+		t.Fatal("frame before the corruption was lost")
+	}
+	if _, ok := s2.Lookup("flip"); ok {
+		t.Fatal("corrupt frame served as data")
+	}
+	if st := s2.Stats(); st.CorruptFrames != 1 {
+		t.Fatalf("corrupt frames = %d, want 1", st.CorruptFrames)
+	}
+}
+
+// TestStoreForeignRefusal pins the refuse-loudly cases: a file written by
+// a different engine generation, a different wire version, or not a
+// result store at all.
+func TestStoreForeignRefusal(t *testing.T) {
+	writeHeader := func(t *testing.T, h storeHeader) string {
+		t.Helper()
+		dir := t.TempDir()
+		f, err := os.Create(filepath.Join(dir, storeFile))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := writeFrame(f, storeFrame{Header: &h}); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		return dir
+	}
+
+	cases := []struct {
+		name string
+		h    storeHeader
+	}{
+		{"foreign engine", storeHeader{Magic: storeMagic, Wire: wire.Version, Engine: wire.EngineVersion + 1}},
+		{"foreign wire", storeHeader{Magic: storeMagic, Wire: wire.Version + 1, Engine: wire.EngineVersion}},
+		{"wrong magic", storeHeader{Magic: "something-else", Wire: wire.Version, Engine: wire.EngineVersion}},
+	}
+	for _, tc := range cases {
+		if _, err := Open(writeHeader(t, tc.h)); err == nil {
+			t.Errorf("%s: Open accepted a foreign store", tc.name)
+		}
+	}
+
+	// Not a frame file at all.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, storeFile), []byte("hello world, not a store"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Error("Open accepted an arbitrary file")
+	}
+}
+
+// smokePlan is the dispatch-smoke plan (seed 7, 4 pairs, dsl) — reusing it
+// here keeps the in-process cache pin and the CI cache-smoke job on the
+// same cells.
+func smokePlan(t *testing.T) *core.Plan {
+	t.Helper()
+	dsl, err := netem.Find("dsl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.NewPlan(7).
+		ForPairs(
+			core.PairKey{Set: 1, Class: media.Low},
+			core.PairKey{Set: 3, Class: media.Low},
+			core.PairKey{Set: 2, Class: media.High},
+			core.PairKey{Set: 5, Class: media.High},
+		).
+		UnderScenarios(dsl)
+}
+
+func wireBytes(t *testing.T, results []core.RunResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := wire.WriteGob(&buf, wire.FromResults(results)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCachedSweepMatchesFresh is the acceptance pin: a warm rerun of an
+// identical plan simulates zero cells yet merges byte-identical wire
+// output to a fresh run, at every worker-pool shape.
+func TestCachedSweepMatchesFresh(t *testing.T) {
+	plan := smokePlan(t)
+	fresh, err := core.NewRunner(
+		core.WithWorkers(0),
+		core.WithTraceRetention(core.StreamProfiles),
+	).Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wireBytes(t, fresh)
+
+	s := open(t, t.TempDir())
+	defer s.Close()
+
+	// Cold run populates the store — and must already match fresh bytes.
+	cold, err := core.NewRunner(
+		core.WithWorkers(1),
+		core.WithTraceRetention(core.StreamProfiles),
+		core.WithResultStore(s),
+	).Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wireBytes(t, cold), want) {
+		t.Fatal("cold run through the store differs from a storeless run")
+	}
+	if st := s.Stats(); st.Entries != plan.Size() || st.Misses != uint64(plan.Size()) {
+		t.Fatalf("cold run stats = %+v, want %d entries and misses", st, plan.Size())
+	}
+
+	for _, workers := range []int{1, 4, 0} { // 0 = all cores
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			before := s.Stats()
+			var sw core.SweepStats
+			warm, err := core.NewRunner(
+				core.WithWorkers(workers),
+				core.WithTraceRetention(core.StreamProfiles),
+				core.WithResultStore(s),
+				core.WithSweepStats(func(st core.SweepStats) { sw = st }),
+			).Run(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := wireBytes(t, warm); !bytes.Equal(got, want) {
+				t.Fatal("warm (cached) run is not byte-identical to the fresh run")
+			}
+			after := s.Stats()
+			if hits := after.Hits - before.Hits; hits != uint64(plan.Size()) {
+				t.Fatalf("warm run hits = %d, want %d", hits, plan.Size())
+			}
+			if after.Misses != before.Misses {
+				t.Fatalf("warm run missed %d cells", after.Misses-before.Misses)
+			}
+			// Zero simulations: no testbed was ever built or reused.
+			if sw.TestbedsBuilt != 0 || sw.TestbedsReused != 0 {
+				t.Fatalf("warm run simulated: %+v", sw)
+			}
+		})
+	}
+}
+
+// TestStoreDigestSensitivity pins what the content address covers: seed,
+// pair, effective options and scenario all change the digest; the plan's
+// labels (variant name, Index) do not exist in it at all.
+func TestStoreDigestSensitivity(t *testing.T) {
+	pair := core.PairKey{Set: 1, Class: media.Low}
+	dsl, err := netem.Find("dsl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := wire.CellSpecFrom(pair, core.Options{}, 7).Digest()
+	distinct := map[string]string{"base": base}
+	add := func(name, d string) {
+		for prev, pd := range distinct {
+			if pd == d {
+				t.Errorf("%s digest collides with %s", name, prev)
+			}
+		}
+		distinct[name] = d
+	}
+	add("seed", wire.CellSpecFrom(pair, core.Options{}, 8).Digest())
+	add("pair", wire.CellSpecFrom(core.PairKey{Set: 3, Class: media.Low}, core.Options{}, 7).Digest())
+	add("options", wire.CellSpecFrom(pair, core.Options{Sequential: true}, 7).Digest())
+	add("scenario", wire.CellSpecFrom(pair, core.Options{Scenario: dsl}, 7).Digest())
+}

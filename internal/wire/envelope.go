@@ -18,7 +18,13 @@ import (
 //
 // Version 2 added the lease-renewal verb (POST /renew, RenewRequest) and
 // the coordinator checkpoint journal keyed by PlanSpec.Digest.
-const Version = 2
+//
+// Version 3 added CachedCells to LeaseGrant: a coordinator with a result
+// store tells the worker which of the shard's cells are already served
+// from cache, and the worker must omit exactly those from its batch. An
+// old worker would simulate and ship them anyway, tripping the batch
+// validator — hence the bump.
+const Version = 3
 
 // PairSpec is the wire shape of one clip-pair key. Class travels as the
 // Table 1 name ("low", "high", "very-high") so JSON stays readable.
@@ -98,18 +104,7 @@ func PlanSpecOf(p *core.Plan) PlanSpec {
 		variants = []core.Variant{{}}
 	}
 	for _, v := range variants {
-		vs := VariantSpec{Name: v.Name, Opts: OptionsSpec{
-			WMSUnitCap:        v.Opts.WMSUnitCap,
-			UncappedBurst:     v.Opts.UncappedBurst,
-			DisableInterleave: v.Opts.DisableInterleave,
-			Sequential:        v.Opts.Sequential,
-			BottleneckBps:     v.Opts.BottleneckBps,
-			EnableScaling:     v.Opts.EnableScaling,
-		}}
-		if v.Opts.Scenario != nil {
-			vs.Opts.Scenario = v.Opts.Scenario.Name
-		}
-		spec.Variants = append(spec.Variants, vs)
+		spec.Variants = append(spec.Variants, VariantSpec{Name: v.Name, Opts: optionsSpecOf(v.Opts)})
 	}
 	return spec
 }
@@ -226,6 +221,13 @@ type LeaseGrant struct {
 	// TTLMillis is how long the coordinator holds the lease before
 	// assuming the worker died and re-issuing the shard.
 	TTLMillis int64 `json:",omitempty"`
+
+	// CachedCells lists the global plan Indexes inside this lease's slice
+	// that the coordinator already holds results for (from its result
+	// store). The worker must skip them — Plan.Omitting — and ship a batch
+	// covering only the remaining cells; the coordinator merges the cached
+	// results back in canonical order.
+	CachedCells []int `json:",omitempty"`
 
 	Wait        bool  `json:",omitempty"`
 	RetryMillis int64 `json:",omitempty"`

@@ -15,6 +15,7 @@ import (
 	"turbulence/internal/netem"
 	"turbulence/internal/netsim"
 	"turbulence/internal/obs"
+	"turbulence/internal/resultstore"
 	"turbulence/internal/stats"
 	"turbulence/internal/transport"
 	"turbulence/internal/wire"
@@ -142,6 +143,16 @@ type (
 	// per-shard run workers, logging).
 	DispatchOption = dispatch.Option
 
+	// ResultStore is the content-addressed, append-only on-disk cache of
+	// completed cell results: cells are keyed by a digest over pair ×
+	// scenario × variant × seed × engine version, so a rerun — local or
+	// dispatched — serves matching cells from disk instead of simulating
+	// them, and a corrupted frame is a recount-and-recompute, never data.
+	ResultStore = resultstore.Store
+	// ResultStoreStats is a ResultStore's counter snapshot (hits, misses,
+	// bytes appended, corrupt frames dropped, resident entries).
+	ResultStoreStats = resultstore.Stats
+
 	// MetricsRegistry is a set of named metric series rendered in
 	// Prometheus text exposition format (Handler serves it as /metrics).
 	MetricsRegistry = obs.Registry
@@ -265,6 +276,26 @@ func WithSweepStats(fn func(SweepStats)) RunnerOption { return core.WithSweepSta
 // feeds its wall time, simulator counters, capture volume and netem drop
 // causes into it. Results are unaffected.
 func WithMetrics(s *MetricsSink) RunnerOption { return core.WithMetrics(s) }
+
+// OpenResultStore opens (creating if absent) the content-addressed result
+// store in dir. The store is safe for concurrent use by one process; a
+// torn or corrupted tail frame from a crashed writer is counted, logged
+// through logf (when non-nil) and truncated away on open — a damaged
+// store degrades to a smaller cache, never to wrong results.
+func OpenResultStore(dir string, logf func(format string, args ...any)) (*ResultStore, error) {
+	if logf == nil {
+		return resultstore.Open(dir)
+	}
+	return resultstore.Open(dir, resultstore.WithLogf(logf))
+}
+
+// WithResultStore installs a result store as the Runner's read-through
+// cache: under the drop/stream retentions, cells whose digest is present
+// are served from the store without simulating, and freshly simulated
+// cells are inserted for the next sweep. Under RetainTraces the store is
+// bypassed (it holds profiles, not packet captures). Served results are
+// byte-identical to simulated ones.
+func WithResultStore(s *ResultStore) RunnerOption { return core.WithResultStore(s) }
 
 // NewMetricsRegistry creates an empty metric registry. Serve it with
 // (*MetricsRegistry).Handler() on any mux.
@@ -391,6 +422,27 @@ func WithDispatchPprof(on bool) DispatchOption { return dispatch.WithPprof(on) }
 // WithDispatchEventRing sizes the coordinator's shard-lifecycle event
 // ring behind GET /events (default 1024; oldest events are overwritten).
 func WithDispatchEventRing(n int) DispatchOption { return dispatch.WithEventRing(n) }
+
+// WithDispatchResultStore installs a result store on the dispatcher. On a
+// coordinator it is consulted once at plan-carve time — fully-cached
+// shards are journalled done and never leased, partially-cached shards
+// ship their hit indexes in each grant so workers skip them — and newly
+// delivered cells are inserted for the next sweep; its cache counters
+// join the coordinator's /metrics. On a worker it is the local Runner's
+// read-through cache.
+func WithDispatchResultStore(s *ResultStore) DispatchOption { return dispatch.WithResultStore(s) }
+
+// WithAdaptiveLeases sizes coordinator leases from each worker's measured
+// throughput instead of granting whole static shards: slices subdivide by
+// stride (cell indexes and seeds never move) until they fit the lease
+// target at the puller's pace, and strike-prone shards subdivide further
+// so a repeat failure forfeits less work. The merged output is
+// byte-identical either way.
+func WithAdaptiveLeases(on bool) DispatchOption { return dispatch.WithAdaptiveLeases(on) }
+
+// WithLeaseTarget sets the wall-clock an adaptively sized lease should
+// take at the pulling worker's measured throughput (default LeaseTTL/4).
+func WithLeaseTarget(d time.Duration) DispatchOption { return dispatch.WithLeaseTarget(d) }
 
 // Library returns the paper's Table 1 clip library (6 sets, 26 clips).
 func Library() []ClipSet { return media.Library() }
